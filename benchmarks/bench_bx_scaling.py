@@ -1,0 +1,99 @@
+"""E8 — §II-B: cost of the bidirectional transformations themselves.
+
+Measures the `get` and `put` directions and the GetPut/PutGet law checks as
+the source table and the view width grow — the machinery every update in the
+system relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bx.compose import ComposeLens
+from repro.bx.laws import check_well_behaved
+from repro.bx.projection import ProjectionLens
+from repro.bx.selection import SelectionLens
+from repro.core.records import full_record_schema
+from repro.metrics.reporting import format_table
+from repro.relational.predicates import Ge
+from repro.relational.table import Table
+from repro.workloads.generator import MedicalRecordGenerator
+
+
+def _source(rows: int) -> Table:
+    records = MedicalRecordGenerator(seed=8, first_patient_id=1000).records(
+        rows, distinct_medications=15)
+    return Table("full", full_record_schema(), records)
+
+
+NARROW = ProjectionLens(("patient_id", "dosage"), view_name="narrow")
+WIDE = ProjectionLens(("patient_id", "medication_name", "clinical_data", "address",
+                       "dosage", "mechanism_of_action"), view_name="wide")
+FUNCTIONAL = ProjectionLens(("medication_name", "mechanism_of_action"),
+                            view_key=("medication_name",), view_name="functional")
+COMPOSED = ComposeLens(SelectionLens(Ge("patient_id", 1000)),
+                       ProjectionLens(("patient_id", "dosage")), view_name="composed")
+
+LENSES = {
+    "projection (2 cols, keyed)": NARROW,
+    "projection (6 cols, keyed)": WIDE,
+    "projection (functional key)": FUNCTIONAL,
+    "selection ; projection": COMPOSED,
+}
+
+
+@pytest.mark.parametrize("rows", [10, 100, 1000])
+def test_bx_get_scaling(benchmark, emit, rows):
+    source = _source(rows)
+    view = benchmark(lambda: NARROW.get(source))
+    emit(f"E8_bx_get_{rows}", format_table(
+        ("metric", "value"),
+        [("source rows", rows), ("view rows", len(view))],
+        title=f"get() over a {rows}-row source"))
+    assert len(view) == rows
+
+
+@pytest.mark.parametrize("rows", [10, 100, 1000])
+def test_bx_put_scaling(benchmark, emit, rows):
+    source = _source(rows)
+    view = NARROW.get(source)
+    key = view.rows[0]["patient_id"]
+    view.update_by_key((key,), {"dosage": "updated"})
+
+    new_source = benchmark(lambda: NARROW.put(source, view))
+    emit(f"E8_bx_put_{rows}", format_table(
+        ("metric", "value"),
+        [("source rows", rows),
+         ("rows changed", 1),
+         ("dosage after put", new_source.get(key)["dosage"])],
+        title=f"put() over a {rows}-row source"))
+    assert new_source.get(key)["dosage"] == "updated"
+
+
+@pytest.mark.parametrize("lens_name", sorted(LENSES))
+def test_bx_law_check_cost(benchmark, emit, lens_name):
+    """Cost of verifying well-behavedness on concrete data (200-row source)."""
+    source = _source(200)
+    lens = LENSES[lens_name]
+
+    report = benchmark(lambda: check_well_behaved(lens, source))
+    emit(f"E8_bx_laws_{lens_name.split()[0]}_{len(LENSES)}", format_table(
+        ("lens", "GetPut", "PutGet"),
+        [(lens_name, report.get_put_holds, report.put_get_holds)],
+        title="Law checking on a 200-row source"))
+    assert report.well_behaved
+
+
+def test_bx_summary_series(benchmark, emit):
+    """One table: get/put row counts for every lens shape and source size."""
+    rows = []
+    benchmark.pedantic(lambda: _source(1000), rounds=1, iterations=1)
+    for size in (10, 100, 1000):
+        source = _source(size)
+        for name, lens in LENSES.items():
+            view = lens.get(source)
+            rows.append((size, name, len(view), len(view.schema)))
+    emit("E8_bx_summary", format_table(
+        ("source rows", "lens", "view rows", "view columns"), rows,
+        title="View sizes produced by each lens shape"))
+    assert rows

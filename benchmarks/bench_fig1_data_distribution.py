@@ -1,0 +1,74 @@
+"""E1 — Fig. 1: data distribution and view derivation.
+
+Reproduces the paper's data layout (full record split into D1/D2/D3 and the
+shared views D13=D31, D23=D32) and measures how expensive building that
+distribution is as the number of full records grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scenario import (
+    DOCTOR_RESEARCHER_TABLE,
+    PATIENT_DOCTOR_TABLE,
+    PAPER_RECORDS,
+    build_paper_scenario,
+    build_scaled_scenario,
+)
+from repro.metrics.reporting import format_table
+from repro.workloads.generator import MedicalRecordGenerator
+
+
+def _fig1_rows(system):
+    rows = []
+    layout = (
+        ("Full medical records", "doctor+patient+researcher", 7, len(PAPER_RECORDS)),
+    )
+    d1 = system.peer("patient").local_table("D1")
+    d2 = system.peer("researcher").local_table("D2")
+    d3 = system.peer("doctor").local_table("D3")
+    d13 = system.peer("patient").shared_table(PATIENT_DOCTOR_TABLE)
+    d31 = system.peer("doctor").shared_table(PATIENT_DOCTOR_TABLE)
+    d23 = system.peer("researcher").shared_table(DOCTOR_RESEARCHER_TABLE)
+    d32 = system.peer("doctor").shared_table(DOCTOR_RESEARCHER_TABLE)
+    for label, owner, table in (
+        ("D1", "Patient", d1), ("D2", "Researcher", d2), ("D3", "Doctor", d3),
+        ("D13", "Patient", d13), ("D31", "Doctor", d31),
+        ("D23", "Researcher", d23), ("D32", "Doctor", d32),
+    ):
+        rows.append((label, owner, len(table.schema), len(table)))
+    return list(layout) + rows
+
+
+def test_fig1_paper_tables(benchmark, emit):
+    """Build the exact Fig. 1 scenario and report every table's shape."""
+    system = benchmark(build_paper_scenario)
+    rows = _fig1_rows(system)
+    emit("E1_fig1_data_distribution", format_table(
+        ("table", "resides on", "attributes", "rows"), rows,
+        title="Fig. 1 data distribution (paper scenario)"))
+    # The shared tables must be identical across their two owners.
+    assert system.all_shared_tables_consistent()
+    assert system.views_consistent_with_sources()
+
+
+@pytest.mark.parametrize("record_count", [2, 20, 100])
+def test_fig1_scaling_with_record_count(benchmark, emit, record_count):
+    """View derivation cost as the number of full records grows."""
+    generator = MedicalRecordGenerator(seed=1, first_patient_id=188)
+    records = generator.records(record_count, distinct_medications=10)
+
+    system = benchmark(lambda: build_scaled_scenario(records=records))
+    doctor = system.peer("doctor")
+    emit(f"E1_fig1_scale_{record_count}", format_table(
+        ("metric", "value"),
+        [
+            ("full records", record_count),
+            ("doctor D3 rows", len(doctor.local_table("D3"))),
+            ("researcher D2 rows", len(system.peer("researcher").local_table("D2"))),
+            ("shared D23/D32 rows", len(doctor.shared_table(DOCTOR_RESEARCHER_TABLE))),
+            ("doctor storage bytes", doctor.storage_bytes()),
+        ],
+        title=f"Fig. 1 layout scaled to {record_count} records"))
+    assert system.all_shared_tables_consistent()

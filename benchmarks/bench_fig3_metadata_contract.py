@@ -1,0 +1,91 @@
+"""E2 — Fig. 3: the metadata collection in the smart contract.
+
+Measures registration of sharing agreements (one Fig. 3 row each), permission
+look-ups, and permission changes, and reports the on-chain metadata footprint
+per agreement — the quantity the paper's §V storage argument depends on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scenario import PATIENT_DOCTOR_TABLE, build_paper_scenario
+from repro.metrics.reporting import format_table
+from repro.workloads.topology import TopologySpec, build_topology_system
+
+
+def test_fig3_registration_and_lookup(benchmark, emit):
+    """Register the paper's two agreements and probe the metadata they store."""
+    system = benchmark(build_paper_scenario)
+    app = system.server_app("patient")
+    metadata = app.query_contract("get_metadata", metadata_id=PATIENT_DOCTOR_TABLE)
+    rows = [
+        (PATIENT_DOCTOR_TABLE,
+         ", ".join(sorted(metadata["sharing_peers"].values())),
+         "; ".join(f"{attr}:{'/'.join(roles)}"
+                   for attr, roles in sorted(metadata["write_permission"].items())),
+         metadata["authority_role"]),
+    ]
+    emit("E2_fig3_metadata_entry", format_table(
+        ("metadata id", "sharing peers", "write permission", "authority"), rows,
+        title="Fig. 3 metadata entry as stored on-chain"))
+    assert metadata["write_permission"]["dosage"] == ["Doctor"]
+
+
+@pytest.mark.parametrize("patients", [2, 8, 24])
+def test_fig3_metadata_scales_with_agreements(benchmark, emit, patients):
+    """On-chain state growth as the number of sharing agreements grows."""
+    def build():
+        return build_topology_system(TopologySpec(patients=patients, researchers=2, seed=7))
+
+    system = benchmark(build)
+    node = system.server_app("doctor").node
+    agreements = len(system.agreement_ids)
+    state_bytes = node.chain.state.storage_bytes()
+    chain_bytes = node.chain.storage_bytes()
+    emit(f"E2_fig3_metadata_scale_{patients}", format_table(
+        ("metric", "value"),
+        [
+            ("sharing agreements (Fig. 3 rows)", agreements),
+            ("contract state bytes", state_bytes),
+            ("chain bytes", chain_bytes),
+            ("state bytes per agreement", state_bytes // max(agreements, 1)),
+            ("blocks", node.chain.height),
+        ],
+        title=f"Metadata footprint with {agreements} agreements"))
+    assert system.all_shared_tables_consistent()
+
+
+def test_fig3_permission_check_latency(benchmark, emit):
+    """Read-only permission probes (can_peer_write) against a node replica."""
+    system = build_paper_scenario()
+    app = system.server_app("patient")
+
+    def probe():
+        allowed = app.can_write(PATIENT_DOCTOR_TABLE, "clinical_data")
+        denied = app.can_write(PATIENT_DOCTOR_TABLE, "dosage")
+        return allowed, denied
+
+    allowed, denied = benchmark(probe)
+    emit("E2_fig3_permission_probe", format_table(
+        ("probe", "result"),
+        [("Patient may write clinical_data", allowed),
+         ("Patient may write dosage", denied)],
+        title="Per-attribute permission checks (Fig. 3 semantics)"))
+    assert allowed and not denied
+
+
+def test_fig3_permission_change_by_authority(benchmark, emit):
+    """The paper's example: Doctor grants the Patient write access to Dosage."""
+    def change():
+        system = build_paper_scenario()
+        return system.coordinator.change_permission(
+            "doctor", PATIENT_DOCTOR_TABLE, "dosage", ["Doctor", "Patient"])
+
+    result = benchmark(change)
+    emit("E2_fig3_permission_change", format_table(
+        ("attribute", "previous writers", "new writers", "changed by role"),
+        [(result["attribute"], "/".join(result["previous"]), "/".join(result["new"]),
+          result["changed_by_role"])],
+        title="Authority-driven permission change"))
+    assert result["new"] == ["Doctor", "Patient"]

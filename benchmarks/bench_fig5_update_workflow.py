@@ -1,0 +1,127 @@
+"""E4 — Fig. 5: the 11-step update-propagation workflow.
+
+Runs the paper's exact narrative (a researcher updates a medicine mechanism
+and the doctor absorbs it) and the steps-6-11 variant where the absorbed
+change overlaps another shared table and must be re-shared with the patient.
+Reports the per-step trace, the end-to-end simulated latency, and how that
+latency splits between consensus (block intervals) and data/BX work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.scenario import (
+    CARE_TABLE,
+    DOCTOR_RESEARCHER_TABLE,
+    STUDY_TABLE,
+    build_extended_scenario,
+    build_paper_scenario,
+)
+from repro.metrics.reporting import format_table
+
+BLOCK_INTERVAL = 2.0
+
+
+def test_fig5_researcher_update_trace(benchmark, emit):
+    """Steps 1-5 of Fig. 5: researcher → contract → doctor → BX put."""
+    def run():
+        system = build_paper_scenario(SystemConfig.private_chain(BLOCK_INTERVAL))
+        trace = system.coordinator.update_shared_entry(
+            "researcher", DOCTOR_RESEARCHER_TABLE, ("Ibuprofen",),
+            {"mechanism_of_action": "MeA1-revised"})
+        return system, trace
+
+    system, trace = benchmark(run)
+    rows = [(step.index, step.actor, step.action,
+             round(step.simulated_time, 2),
+             step.block_number if step.block_number is not None else "")
+            for step in trace.steps]
+    emit("E4_fig5_trace", format_table(
+        ("step", "actor", "action", "simulated t (s)", "block"), rows,
+        title="Fig. 5 workflow trace (researcher updates the mechanism of action)"))
+    assert trace.succeeded
+    assert system.peer("doctor").local_table("D3").get(188)[
+        "mechanism_of_action"] == "MeA1-revised"
+
+
+def test_fig5_cascade_to_patient_trace(benchmark, emit):
+    """Steps 1-11 including the re-share with the patient (steps 6-11)."""
+    def run():
+        system = build_extended_scenario(SystemConfig.private_chain(BLOCK_INTERVAL))
+        trace = system.coordinator.update_shared_entry(
+            "researcher", STUDY_TABLE, (188,), {"dosage": "two tablets every 12h"})
+        return system, trace
+
+    system, trace = benchmark(run)
+    rows = [(step.index, step.actor, step.action,
+             round(step.simulated_time, 2),
+             step.block_number if step.block_number is not None else "")
+            for step in trace.steps]
+    emit("E4_fig5_cascade_trace", format_table(
+        ("step", "actor", "action", "simulated t (s)", "block"), rows,
+        title="Fig. 5 workflow with steps 6-11 (dosage re-shared with the patient)"))
+    assert trace.succeeded
+    assert CARE_TABLE in trace.cascaded_metadata_ids
+    assert system.peer("patient").local_table("D1").get(188)[
+        "dosage"] == "two tablets every 12h"
+
+
+def test_fig5_latency_breakdown(benchmark, emit):
+    """Where the end-to-end latency goes: consensus vs data transfer vs BX."""
+    benchmark.pedantic(lambda: build_paper_scenario(
+        SystemConfig.private_chain(BLOCK_INTERVAL)), rounds=1, iterations=1)
+    results = []
+    for label, builder, metadata_id, key, updates in (
+        ("single hop (steps 1-5)",
+         lambda: build_paper_scenario(SystemConfig.private_chain(BLOCK_INTERVAL)),
+         DOCTOR_RESEARCHER_TABLE, ("Ibuprofen",),
+         {"mechanism_of_action": "MeA1-revised"}),
+        ("with cascade (steps 1-11)",
+         lambda: build_extended_scenario(SystemConfig.private_chain(BLOCK_INTERVAL)),
+         STUDY_TABLE, (188,), {"dosage": "two tablets every 12h"}),
+    ):
+        system = builder()
+        trace = system.coordinator.update_shared_entry("researcher", metadata_id, key, updates)
+        consensus_time = trace.blocks_created * BLOCK_INTERVAL
+        results.append((label, trace.step_count, trace.blocks_created,
+                        round(trace.elapsed, 2), round(consensus_time, 2),
+                        round(trace.elapsed - consensus_time, 2)))
+    emit("E4_fig5_latency_breakdown", format_table(
+        ("scenario", "steps", "blocks", "total latency (s)",
+         "consensus share (s)", "network+BX share (s)"),
+        results,
+        title="End-to-end latency breakdown of the Fig. 5 workflow"))
+    # The cascading run must be strictly more expensive than the single hop.
+    assert results[1][3] > results[0][3]
+    assert results[1][2] > results[0][2]
+
+
+@pytest.mark.parametrize("record_count", [2, 50, 200])
+def test_fig5_workflow_scales_with_record_count(benchmark, emit, record_count):
+    """The workflow's cost as the shared tables grow (diff-based transfer keeps
+    the propagated payload proportional to the change, not the table size)."""
+    from repro.workloads.generator import MedicalRecordGenerator
+
+    records = MedicalRecordGenerator(seed=2, first_patient_id=188).records(
+        record_count, distinct_medications=12)
+
+    def run():
+        system = build_extended_scenario(SystemConfig.private_chain(BLOCK_INTERVAL),
+                                         records=records)
+        trace = system.coordinator.update_shared_entry(
+            "researcher", STUDY_TABLE, (records[0]["patient_id"],),
+            {"dosage": "two tablets every 12h"})
+        return system, trace
+
+    system, trace = benchmark(run)
+    transferred = sum(c.bytes_transferred() for c in system.simulator.channels.channels)
+    emit(f"E4_fig5_scale_{record_count}", format_table(
+        ("metric", "value"),
+        [("records", record_count),
+         ("simulated latency (s)", round(trace.elapsed, 2)),
+         ("blocks created", trace.blocks_created),
+         ("channel bytes transferred", transferred)],
+        title=f"Fig. 5 workflow with {record_count} records"))
+    assert trace.succeeded

@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment of DESIGN.md §5 (E1..E10).  Each
+prints the rows/series the corresponding paper artifact describes and also
+writes them to ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can
+quote them verbatim.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit_result(experiment_id: str, text: str) -> None:
+    """Print an experiment's result table and persist it under results/."""
+    banner = f"\n===== {experiment_id} =====\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture
+def emit():
+    """Fixture handing benches the result emitter."""
+    return emit_result

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The editable install path of modern pip (PEP 660) requires the ``wheel``
+package, which is not available in fully offline environments; this classic
+``setup.py`` keeps ``python setup.py develop`` / legacy editable installs
+working there.  Metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,102 @@
+"""A centralized trusted-server sharing baseline.
+
+The introduction argues that a trusted cloud server with centralized access
+control is a single point of failure and a sharing bottleneck.  This baseline
+implements that design — one server holds every shared table and mediates
+every read and update — so availability and update-latency comparisons can be
+made against the decentralized architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import UpdateRejected
+from repro.ledger.clock import SimClock
+from repro.relational.table import Table
+
+
+@dataclass
+class _AccessRule:
+    table_name: str
+    user: str
+    can_read: bool
+    writable_columns: Tuple[str, ...]
+
+
+class CentralizedSharingBaseline:
+    """One server stores all shared tables and checks permissions itself."""
+
+    def __init__(self, clock: Optional[SimClock] = None, request_latency: float = 0.05):
+        self.clock = clock or SimClock()
+        self.request_latency = request_latency
+        self.available = True
+        self._tables: Dict[str, Table] = {}
+        self._rules: List[_AccessRule] = []
+        self._operations = 0
+
+    # ------------------------------------------------------------------ set-up
+
+    def host_table(self, table: Table) -> None:
+        """Upload a shared table to the central server."""
+        self._tables[table.name] = table.snapshot()
+
+    def grant(self, table_name: str, user: str, can_read: bool = True,
+              writable_columns: Sequence[str] = ()) -> None:
+        if table_name not in self._tables:
+            raise KeyError(f"server does not host table {table_name!r}")
+        self._rules.append(_AccessRule(table_name=table_name, user=user, can_read=can_read,
+                                       writable_columns=tuple(writable_columns)))
+
+    def set_available(self, available: bool) -> None:
+        """Simulate a server outage (the single-point-of-failure argument)."""
+        self.available = available
+
+    # ----------------------------------------------------------------- helpers
+
+    def _rule_for(self, table_name: str, user: str) -> Optional[_AccessRule]:
+        for rule in self._rules:
+            if rule.table_name == table_name and rule.user == user:
+                return rule
+        return None
+
+    def _touch(self) -> None:
+        if not self.available:
+            raise ConnectionError("the central sharing server is unavailable")
+        self.clock.advance(self.request_latency)
+        self._operations += 1
+
+    # -------------------------------------------------------------- operations
+
+    def read(self, user: str, table_name: str) -> Table:
+        self._touch()
+        rule = self._rule_for(table_name, user)
+        if rule is None or not rule.can_read:
+            raise UpdateRejected(f"user {user!r} may not read {table_name!r}")
+        return self._tables[table_name].snapshot()
+
+    def update(self, user: str, table_name: str, key: Sequence[object],
+               updates: Mapping[str, object]) -> None:
+        self._touch()
+        rule = self._rule_for(table_name, user)
+        if rule is None:
+            raise UpdateRejected(f"user {user!r} has no access to {table_name!r}")
+        illegal = [column for column in updates if column not in rule.writable_columns]
+        if illegal:
+            raise UpdateRejected(
+                f"user {user!r} may not write columns {illegal} of {table_name!r}"
+            )
+        self._tables[table_name].update_by_key(key, updates)
+
+    # ------------------------------------------------------------------ metrics
+
+    @property
+    def operations_served(self) -> int:
+        return self._operations
+
+    def storage_bytes(self) -> int:
+        from repro.crypto.hashing import canonical_json
+
+        return sum(len(canonical_json(t.to_dict()).encode("utf-8"))
+                   for t in self._tables.values())

@@ -1,0 +1,91 @@
+"""MedRec-style full-record sharing baseline.
+
+MedRec [4] keeps raw data in provider databases and grants *whole-record*
+access through blockchain permissions; it explicitly does not manage
+fine-grained slices of a record.  This baseline models that: when a provider
+shares with a peer, the peer receives every attribute of the provider's
+records.  The exposure benchmark (E7) compares the number of attributes each
+role can see — and the number of attributes exposed to parties with no need
+for them — against the paper's fine-grained views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.relational.table import Table
+
+
+@dataclass
+class _Grant:
+    provider: str
+    consumer: str
+    table_name: str
+    columns: Tuple[str, ...]
+
+
+class FullRecordSharingBaseline:
+    """Shares complete records (every attribute) with each authorised peer."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[Tuple[str, str], Table] = {}
+        self._grants: List[_Grant] = []
+
+    # ----------------------------------------------------------------- set-up
+
+    def register_provider_table(self, provider: str, table: Table) -> None:
+        """Register a provider's base table (e.g. the doctor's D3)."""
+        self._tables[(provider, table.name)] = table
+
+    def grant_access(self, provider: str, consumer: str, table_name: str) -> None:
+        """Authorise ``consumer`` to download the provider's whole table."""
+        key = (provider, table_name)
+        if key not in self._tables:
+            raise KeyError(f"provider {provider!r} has no table {table_name!r}")
+        table = self._tables[key]
+        self._grants.append(
+            _Grant(provider=provider, consumer=consumer, table_name=table_name,
+                   columns=table.schema.column_names)
+        )
+
+    # ----------------------------------------------------------------- queries
+
+    def download(self, provider: str, consumer: str, table_name: str) -> Table:
+        """The consumer downloads the full table it was granted."""
+        for grant in self._grants:
+            if (grant.provider, grant.consumer, grant.table_name) == (provider, consumer,
+                                                                      table_name):
+                return self._tables[(provider, table_name)].snapshot()
+        raise PermissionError(
+            f"{consumer!r} has not been granted access to {provider!r}.{table_name!r}"
+        )
+
+    def columns_exposed_to(self, consumer: str) -> Tuple[str, ...]:
+        """Every attribute the consumer can see across all grants."""
+        seen: List[str] = []
+        for grant in self._grants:
+            if grant.consumer != consumer:
+                continue
+            for column in grant.columns:
+                if column not in seen:
+                    seen.append(column)
+        return tuple(seen)
+
+    def exposure_matrix(self) -> Dict[str, Tuple[str, ...]]:
+        """consumer → attributes visible under full-record sharing."""
+        consumers = {grant.consumer for grant in self._grants}
+        return {consumer: self.columns_exposed_to(consumer) for consumer in sorted(consumers)}
+
+    def unnecessary_exposure(self, needed: Mapping[str, Sequence[str]]) -> Dict[str, Tuple[str, ...]]:
+        """Attributes each consumer can see but does not need.
+
+        ``needed`` maps consumer → the attributes that consumer actually cares
+        about (the paper's fine-grained views).  The result quantifies the
+        "additional but unnecessary information" of the introduction.
+        """
+        result: Dict[str, Tuple[str, ...]] = {}
+        for consumer, visible in self.exposure_matrix().items():
+            required = set(needed.get(consumer, ()))
+            result[consumer] = tuple(column for column in visible if column not in required)
+        return result

@@ -1,0 +1,93 @@
+"""HDG-style store-the-data-on-chain baseline.
+
+Healthcare Data Gateways [22] put medical data itself on the blockchain so it
+cannot be modified; the paper's critique (§V) is that every node then carries
+the full data, so storage pressure grows with the data.  This baseline stores
+each record (or each update) as a transaction payload on a simulated chain,
+so the per-node chain size can be compared with the paper's metadata-only
+approach (benchmark E6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.config import LedgerConfig
+from repro.crypto.keys import generate_keypair
+from repro.ledger.chain import Blockchain
+from repro.ledger.clock import SimClock
+from repro.ledger.mempool import Mempool
+from repro.ledger.miner import Miner
+from repro.ledger.transaction import Transaction
+
+
+class OnChainStorageBaseline:
+    """Stores raw medical records as on-chain transaction payloads."""
+
+    def __init__(self, config: Optional[LedgerConfig] = None, key_seed: int = 99):
+        self.config = config or LedgerConfig()
+        self.clock = SimClock()
+        self.chain = Blockchain(self.config)
+        self.mempool = Mempool()
+        self.keypair = generate_keypair(seed=key_seed)
+        self.miner = Miner(self.chain, self.mempool, self.clock,
+                           proposer=self.keypair.address,
+                           enforce_serialization=False)
+        self._nonce = 0
+        self._records_stored = 0
+
+    # ------------------------------------------------------------------ writes
+
+    def store_record(self, record: Mapping[str, object]) -> str:
+        """Put one full medical record on-chain; returns the transaction hash."""
+        tx = Transaction(
+            sender=self.keypair.address,
+            kind="transfer",
+            nonce=self._nonce,
+            payload={"record": dict(record)},
+            timestamp=self.clock.now(),
+        ).signed_by(self.keypair)
+        self._nonce += 1
+        self.mempool.submit(tx)
+        self._records_stored += 1
+        return tx.tx_hash
+
+    def store_records(self, records: Sequence[Mapping[str, object]],
+                      mine_every: int = 32) -> int:
+        """Store many records, mining a block every ``mine_every`` submissions."""
+        for index, record in enumerate(records, start=1):
+            self.store_record(record)
+            if index % mine_every == 0:
+                self.miner.mine_until_empty()
+        self.miner.mine_until_empty()
+        return len(records)
+
+    def store_update(self, record_key: object, changes: Mapping[str, object]) -> str:
+        """Record an update to an existing record as another on-chain payload."""
+        tx = Transaction(
+            sender=self.keypair.address,
+            kind="transfer",
+            nonce=self._nonce,
+            payload={"update": {"key": record_key, "changes": dict(changes)}},
+            timestamp=self.clock.now(),
+        ).signed_by(self.keypair)
+        self._nonce += 1
+        self.mempool.submit(tx)
+        return tx.tx_hash
+
+    def finalize(self) -> None:
+        """Mine whatever is still pending."""
+        self.miner.mine_until_empty()
+
+    # ----------------------------------------------------------------- metrics
+
+    @property
+    def records_stored(self) -> int:
+        return self._records_stored
+
+    def per_node_storage_bytes(self) -> int:
+        """Chain size every node must replicate (the §V storage-pressure claim)."""
+        return self.chain.storage_bytes()
+
+    def block_count(self) -> int:
+        return len(self.chain) - 1

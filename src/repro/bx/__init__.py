@@ -1,0 +1,48 @@
+"""Bidirectional transformations (asymmetric lenses) over relational tables.
+
+This subpackage implements the BX machinery of §II-B of the paper: a lens
+between a *source* table and a *view* table exposes
+
+* ``get(source) -> view`` — the forward transformation, and
+* ``put(source, view) -> source'`` — the backward transformation,
+
+and is *well-behaved* when the GetPut and PutGet round-tripping laws hold:
+
+* ``put(s, get(s)) == s``            (GetPut)
+* ``get(put(s, v)) == v``            (PutGet)
+
+The concrete lenses provided are those the paper's views need — projection
+(with key-based or functional-dependency-based alignment), selection, rename,
+and composition — plus executable law checking (:mod:`repro.bx.laws`), a
+declarative view-definition DSL (:mod:`repro.bx.dsl`) and a registry of named
+BX programs such as ``BX13`` / ``BX23`` / ``BX31`` / ``BX32``
+(:mod:`repro.bx.registry`).
+"""
+
+from repro.bx.lens import Lens, DeletePolicy, InsertPolicy
+from repro.bx.projection import ProjectionLens
+from repro.bx.selection import SelectionLens
+from repro.bx.rename import RenameLens
+from repro.bx.compose import ComposeLens, IdentityLens
+from repro.bx.laws import LawReport, check_get_put, check_put_get, check_well_behaved
+from repro.bx.dsl import ViewSpec, lens_from_spec
+from repro.bx.registry import BXProgram, BXRegistry
+
+__all__ = [
+    "Lens",
+    "DeletePolicy",
+    "InsertPolicy",
+    "ProjectionLens",
+    "SelectionLens",
+    "RenameLens",
+    "ComposeLens",
+    "IdentityLens",
+    "LawReport",
+    "check_get_put",
+    "check_put_get",
+    "check_well_behaved",
+    "ViewSpec",
+    "lens_from_spec",
+    "BXProgram",
+    "BXRegistry",
+]

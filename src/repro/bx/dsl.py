@@ -1,0 +1,122 @@
+"""A declarative DSL for defining shared views and deriving their lenses.
+
+A sharing agreement in the paper specifies "the structure of the shared
+table" that the peers agreed on.  :class:`ViewSpec` is that structure as a
+serialisable value: which source table, which columns, an optional row filter,
+optional renaming, and the alignment key.  ``lens_from_spec`` turns a spec
+into a concrete, composed lens; the same spec is stored in the smart contract
+metadata so every node can reconstruct the lens identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import AgreementError
+from repro.bx.compose import ComposeLens
+from repro.bx.lens import DeletePolicy, InsertPolicy, Lens
+from repro.bx.projection import ProjectionLens
+from repro.bx.rename import RenameLens
+from repro.bx.selection import SelectionLens
+from repro.relational.predicates import Predicate
+
+
+@dataclass(frozen=True)
+class ViewSpec:
+    """A declarative description of one shared view.
+
+    Attributes
+    ----------
+    source_table:
+        Name of the base table in the provider's local database (e.g. ``"D3"``).
+    view_name:
+        Name of the shared view table (e.g. ``"D31"``).
+    columns:
+        Projected columns, in the order the peers agreed on.
+    view_key:
+        Columns used to align rows in ``put``.  Defaults to the source
+        primary key when omitted.
+    where:
+        Optional row filter (selection) applied before projection.
+    rename:
+        Optional column renaming applied after projection
+        (source column name → shared column name).
+    on_delete / on_insert:
+        Policies for view-side deletions/insertions.
+    """
+
+    source_table: str
+    view_name: str
+    columns: Tuple[str, ...]
+    view_key: Tuple[str, ...] = ()
+    where: Optional[Predicate] = None
+    rename: Dict[str, str] = field(default_factory=dict)
+    on_delete: DeletePolicy = DeletePolicy.DELETE
+    on_insert: InsertPolicy = InsertPolicy.INSERT_WITH_NULLS
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise AgreementError("a view spec needs at least one column")
+        object.__setattr__(self, "columns", tuple(self.columns))
+        object.__setattr__(self, "view_key", tuple(self.view_key))
+        object.__setattr__(self, "rename", dict(self.rename))
+
+    @property
+    def shared_columns(self) -> Tuple[str, ...]:
+        """Column names as they appear in the shared view (after renaming)."""
+        return tuple(self.rename.get(c, c) for c in self.columns)
+
+    def to_dict(self) -> dict:
+        return {
+            "source_table": self.source_table,
+            "view_name": self.view_name,
+            "columns": list(self.columns),
+            "view_key": list(self.view_key),
+            "where": self.where.to_dict() if self.where is not None else None,
+            "rename": dict(self.rename),
+            "on_delete": self.on_delete.value,
+            "on_insert": self.on_insert.value,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "ViewSpec":
+        return ViewSpec(
+            source_table=payload["source_table"],
+            view_name=payload["view_name"],
+            columns=tuple(payload["columns"]),
+            view_key=tuple(payload.get("view_key", ())),
+            where=Predicate.from_dict(payload["where"]) if payload.get("where") else None,
+            rename=dict(payload.get("rename", {})),
+            on_delete=DeletePolicy(payload.get("on_delete", "delete")),
+            on_insert=InsertPolicy(payload.get("on_insert", "insert_with_nulls")),
+        )
+
+
+def lens_from_spec(spec: ViewSpec) -> Lens:
+    """Build the concrete lens a :class:`ViewSpec` describes.
+
+    Layering (innermost first): selection (if any) → projection → rename (if
+    any).  The composed lens carries the spec's view name so produced tables
+    are named correctly.
+    """
+    projection = ProjectionLens(
+        columns=spec.columns,
+        view_key=spec.view_key or None,
+        view_name=spec.view_name if not spec.rename else None,
+        on_delete=spec.on_delete,
+        on_insert=spec.on_insert,
+    )
+    lens: Lens = projection
+    if spec.where is not None:
+        selection = SelectionLens(
+            spec.where,
+            on_delete=spec.on_delete,
+            on_insert=spec.on_insert,
+        )
+        lens = ComposeLens(selection, projection, view_name=spec.view_name if not spec.rename else None)
+    if spec.rename:
+        rename = RenameLens(spec.rename, view_name=spec.view_name)
+        lens = ComposeLens(lens, rename, view_name=spec.view_name)
+    lens.name = spec.view_name
+    return lens

@@ -1,0 +1,106 @@
+"""Executable checking of the lens round-tripping laws.
+
+The paper relies on well-behavedness (GetPut and PutGet) to guarantee that a
+source and its views stay consistent after updates on either side.  Instead
+of a proof, the reproduction *checks* the laws on concrete data: the database
+manager can verify them before installing an updated source, and the property
+tests verify them on randomly generated tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import BXError, LensLawViolation
+from repro.bx.lens import Lens
+from repro.relational.diff import diff_tables
+from repro.relational.table import Table
+
+
+@dataclass(frozen=True)
+class LawReport:
+    """Outcome of checking one or both laws on concrete data."""
+
+    lens_name: str
+    get_put_holds: Optional[bool]
+    put_get_holds: Optional[bool]
+    detail: str = ""
+
+    @property
+    def well_behaved(self) -> bool:
+        """True when every checked law holds (unchecked laws don't count against)."""
+        checked = [law for law in (self.get_put_holds, self.put_get_holds) if law is not None]
+        return all(checked) if checked else False
+
+
+def check_get_put(lens: Lens, source: Table) -> bool:
+    """GetPut: ``put(source, get(source)) == source``.
+
+    Intuitively: if the view was not changed, putting it back must not change
+    the source.
+    """
+    view = lens.get(source)
+    round_tripped = lens.put(source, view)
+    return round_tripped == source
+
+
+def check_put_get(lens: Lens, source: Table, view: Table) -> bool:
+    """PutGet: ``get(put(source, view)) == view``.
+
+    Intuitively: every update on the view must be taken into account, so the
+    (possibly modified) view can be regenerated from the updated source.
+    """
+    new_source = lens.put(source, view)
+    regenerated = lens.get(new_source)
+    return regenerated == view
+
+
+def check_well_behaved(lens: Lens, source: Table, view: Optional[Table] = None) -> LawReport:
+    """Check both laws and return a :class:`LawReport`.
+
+    When ``view`` is omitted, PutGet is checked against ``get(source)`` (a
+    trivially consistent view), which still exercises the code path.
+    """
+    detail_parts = []
+    try:
+        get_put = check_get_put(lens, source)
+        if not get_put:
+            before = source
+            after = lens.put(source, lens.get(source))
+            detail_parts.append(
+                f"GetPut violated: {len(diff_tables(before, after))} row(s) changed"
+            )
+    except BXError as exc:
+        get_put = False
+        detail_parts.append(f"GetPut raised: {exc}")
+
+    candidate_view = view if view is not None else None
+    try:
+        if candidate_view is None:
+            candidate_view = lens.get(source)
+        put_get = check_put_get(lens, source, candidate_view)
+        if not put_get:
+            regenerated = lens.get(lens.put(source, candidate_view))
+            detail_parts.append(
+                f"PutGet violated: {len(diff_tables(candidate_view, regenerated))} row(s) differ"
+            )
+    except BXError as exc:
+        put_get = False
+        detail_parts.append(f"PutGet raised: {exc}")
+
+    return LawReport(
+        lens_name=lens.name,
+        get_put_holds=get_put,
+        put_get_holds=put_get,
+        detail="; ".join(detail_parts),
+    )
+
+
+def assert_well_behaved(lens: Lens, source: Table, view: Optional[Table] = None) -> None:
+    """Raise :class:`LensLawViolation` unless both laws hold on the given data."""
+    report = check_well_behaved(lens, source, view)
+    if not report.well_behaved:
+        raise LensLawViolation(
+            f"lens {report.lens_name!r} is not well-behaved on the given data: {report.detail}"
+        )

@@ -1,0 +1,89 @@
+"""The lens abstraction and shared policies.
+
+A :class:`Lens` is an asymmetric bidirectional transformation between a
+source :class:`~repro.relational.table.Table` and a view table.  ``put`` is
+not an inverse of ``get``: it receives both the original source and the
+updated view, and produces an updated source (footnote 4 of the paper).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+
+class DeletePolicy(Enum):
+    """What ``put`` does when a view row present in ``get(source)`` disappears.
+
+    * ``DELETE`` — delete the corresponding source rows (keeps PutGet).
+    * ``FORBID`` — raise :class:`~repro.errors.PutConflictError`; the paper's
+      workflow uses this for views whose peers only have field-update rights.
+    """
+
+    DELETE = "delete"
+    FORBID = "forbid"
+
+
+class InsertPolicy(Enum):
+    """What ``put`` does when the view contains a row absent from ``get(source)``.
+
+    * ``INSERT_WITH_NULLS`` — create a source row, filling hidden attributes
+      with NULLs (keeps PutGet as long as hidden attributes are nullable).
+    * ``FORBID`` — raise :class:`~repro.errors.PutConflictError`.
+    """
+
+    INSERT_WITH_NULLS = "insert_with_nulls"
+    FORBID = "forbid"
+
+
+class Lens:
+    """Base class for asymmetric lenses over tables."""
+
+    #: Human-readable name used in logs, the BX registry and the audit trail.
+    name: str = "lens"
+
+    def get(self, source: Table) -> Table:
+        """Forward transformation: derive the view from the source."""
+        raise NotImplementedError
+
+    def put(self, source: Table, view: Table) -> Table:
+        """Backward transformation: embed the view back into the source.
+
+        Returns a *new* table; the caller decides whether to install it (the
+        database manager uses :meth:`Table.replace_all`).
+        """
+        raise NotImplementedError
+
+    def view_schema(self, source_schema: Schema) -> Schema:
+        """The schema of the view this lens produces from ``source_schema``."""
+        raise NotImplementedError
+
+    # -- composition sugar ----------------------------------------------------
+
+    def then(self, other: "Lens") -> "Lens":
+        """Sequential composition ``self ; other`` (source → mid → view)."""
+        from repro.bx.compose import ComposeLens
+
+        return ComposeLens(self, other)
+
+    def __rshift__(self, other: "Lens") -> "Lens":
+        return self.then(other)
+
+    # -- descriptive helpers --------------------------------------------------
+
+    def describe(self) -> dict:
+        """A serialisable description of the lens (used in agreements/logs)."""
+        return {"kind": type(self).__name__, "name": self.name}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+def named_view(view: Table, name: Optional[str]) -> Table:
+    """Return ``view`` renamed to ``name`` when a name is supplied."""
+    if name is None or view.name == name:
+        return view
+    return Table(name, view.schema, (row.to_dict() for row in view))

@@ -1,0 +1,171 @@
+"""Projection lenses: the workhorse of the paper's fine-grained views.
+
+Two alignment modes are supported by the same class:
+
+* **Keyed projection** — the view retains the source's primary key
+  (e.g. D1 → D13 keeps ``patient_id``).  ``put`` aligns view rows to source
+  rows one-to-one by key; view-side inserts and deletes map to source-side
+  inserts and deletes according to the configured policies.
+
+* **Functional projection** — the view's key is *not* the source key but a
+  set of columns that functionally determine the projected values
+  (e.g. D3 → D32 projects ``(medication_name, mechanism_of_action)``; the
+  medication name determines the mechanism).  ``put`` updates the projected
+  value columns of *every* source row matching a view key, which is exactly
+  what step 5 of Fig. 5 needs ("update MeA1 to a new name" for all records of
+  that medication).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PutConflictError, SchemaError, ViewShapeError
+from repro.bx.lens import DeletePolicy, InsertPolicy, Lens, named_view
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+
+class ProjectionLens(Lens):
+    """Project a source table onto a subset of its columns.
+
+    Parameters
+    ----------
+    columns:
+        The view's columns, in order.  Must be a subset of the source columns.
+    view_key:
+        The columns of the view used to align rows during ``put``.  Defaults
+        to the source primary key when it survives the projection.
+    view_name:
+        Name given to produced view tables (e.g. ``"D13"``).
+    on_delete / on_insert:
+        Policies for view-side deletions and insertions (see
+        :class:`~repro.bx.lens.DeletePolicy` / :class:`~repro.bx.lens.InsertPolicy`).
+    """
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        view_key: Optional[Sequence[str]] = None,
+        view_name: Optional[str] = None,
+        on_delete: DeletePolicy = DeletePolicy.DELETE,
+        on_insert: InsertPolicy = InsertPolicy.INSERT_WITH_NULLS,
+    ):
+        if not columns:
+            raise SchemaError("a projection lens needs at least one column")
+        self.columns: Tuple[str, ...] = tuple(columns)
+        self.view_key: Optional[Tuple[str, ...]] = tuple(view_key) if view_key else None
+        if self.view_key:
+            missing = [c for c in self.view_key if c not in self.columns]
+            if missing:
+                raise SchemaError(f"view key columns {missing} are not projected columns")
+        self.view_name = view_name
+        self.on_delete = on_delete
+        self.on_insert = on_insert
+        self.name = view_name or ("project(" + ",".join(self.columns) + ")")
+
+    # ------------------------------------------------------------------- get
+
+    def _effective_key(self, source_schema: Schema) -> Tuple[str, ...]:
+        """The alignment key actually used for a given source schema."""
+        if self.view_key:
+            return self.view_key
+        if source_schema.primary_key and all(k in self.columns for k in source_schema.primary_key):
+            return source_schema.primary_key
+        raise SchemaError(
+            "projection lens has no usable alignment key: supply view_key "
+            f"(projected columns: {self.columns}, source key: {source_schema.primary_key})"
+        )
+
+    def view_schema(self, source_schema: Schema) -> Schema:
+        key = self._effective_key(source_schema)
+        return source_schema.project(self.columns, primary_key=key)
+
+    def get(self, source: Table) -> Table:
+        key = self._effective_key(source.schema)
+        schema = source.schema.project(self.columns, primary_key=key)
+        seen: Dict[Tuple, Dict] = {}
+        for row in source:
+            projected = row.project(self.columns).to_dict()
+            marker = tuple(projected[k] for k in key)
+            if marker in seen:
+                if seen[marker] != projected:
+                    raise PutConflictError(
+                        f"source violates the functional dependency of view {self.name!r}: "
+                        f"key {marker!r} maps to conflicting projected rows"
+                    )
+                continue
+            seen[marker] = projected
+        view = Table(self.view_name or f"{source.name}_view", schema, seen.values())
+        return named_view(view, self.view_name)
+
+    # ------------------------------------------------------------------- put
+
+    def put(self, source: Table, view: Table) -> Table:
+        self._check_view_shape(view)
+        key = self._effective_key(source.schema)
+        value_columns = [c for c in self.columns if c not in key]
+
+        view_by_key: Dict[Tuple, Dict] = {}
+        for row in view:
+            marker = tuple(row[k] for k in key)
+            existing = view_by_key.get(marker)
+            candidate = row.project(self.columns).to_dict()
+            if existing is not None and existing != candidate:
+                raise ViewShapeError(
+                    f"view {view.name!r} has conflicting rows for key {marker!r}"
+                )
+            view_by_key[marker] = candidate
+
+        new_rows: List[Dict] = []
+        matched_keys = set()
+        for row in source:
+            marker = tuple(row[k] for k in key)
+            if marker in view_by_key:
+                matched_keys.add(marker)
+                updates = {c: view_by_key[marker][c] for c in value_columns}
+                new_rows.append(row.merged(updates).to_dict())
+            else:
+                # The view no longer contains this key.
+                if self.on_delete is DeletePolicy.DELETE:
+                    continue
+                raise PutConflictError(
+                    f"view {view.name!r} dropped key {marker!r} but the lens forbids deletions"
+                )
+
+        for marker, projected in view_by_key.items():
+            if marker in matched_keys:
+                continue
+            if self.on_insert is InsertPolicy.FORBID:
+                raise PutConflictError(
+                    f"view {view.name!r} introduced key {marker!r} but the lens forbids insertions"
+                )
+            fresh = {c.name: None for c in source.schema.columns}
+            fresh.update(projected)
+            new_rows.append(fresh)
+
+        return Table(source.name, source.schema, new_rows)
+
+    # --------------------------------------------------------------- helpers
+
+    def _check_view_shape(self, view: Table) -> None:
+        view_columns = set(view.schema.column_names)
+        expected = set(self.columns)
+        if view_columns != expected:
+            raise ViewShapeError(
+                f"view {view.name!r} has columns {sorted(view_columns)}, "
+                f"lens expects {sorted(expected)}"
+            )
+
+    def describe(self) -> dict:
+        description = super().describe()
+        description.update(
+            {
+                "columns": list(self.columns),
+                "view_key": list(self.view_key) if self.view_key else None,
+                "view_name": self.view_name,
+                "on_delete": self.on_delete.value,
+                "on_insert": self.on_insert.value,
+            }
+        )
+        return description

@@ -1,0 +1,105 @@
+"""A registry of named BX programs (``BX13``, ``BX23``, ``BX31``, ``BX32``...).
+
+The paper names each bidirectional program after the source/view pair it
+synchronises; a peer's database manager looks the program up by the shared
+table it needs to refresh (``get``) or to reflect (``put``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.errors import UnknownLensError
+from repro.bx.dsl import ViewSpec, lens_from_spec
+from repro.bx.lens import Lens
+from repro.relational.table import Table
+
+
+@dataclass(frozen=True)
+class BXProgram:
+    """A named bidirectional program tying a source table to a shared view."""
+
+    name: str
+    source_table: str
+    view_name: str
+    lens: Lens
+    spec: Optional[ViewSpec] = None
+
+    def get(self, source: Table) -> Table:
+        """Run the forward direction (derive the shared view)."""
+        return self.lens.get(source)
+
+    def put(self, source: Table, view: Table) -> Table:
+        """Run the backward direction (reflect view changes into the source)."""
+        return self.lens.put(source, view)
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "source_table": self.source_table,
+            "view_name": self.view_name,
+            "lens": self.lens.describe(),
+            "spec": self.spec.to_dict() if self.spec is not None else None,
+        }
+
+
+class BXRegistry:
+    """All BX programs known to one peer, indexed by name and by view."""
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, BXProgram] = {}
+        self._by_view: Dict[str, str] = {}
+
+    def register(self, name: str, source_table: str, view_name: str, lens: Lens,
+                 spec: Optional[ViewSpec] = None) -> BXProgram:
+        """Register a BX program under ``name`` (e.g. ``"BX13"``)."""
+        program = BXProgram(name=name, source_table=source_table, view_name=view_name,
+                            lens=lens, spec=spec)
+        self._by_name[name] = program
+        self._by_view[view_name] = name
+        return program
+
+    def register_spec(self, name: str, spec: ViewSpec) -> BXProgram:
+        """Register a BX program built from a declarative :class:`ViewSpec`."""
+        return self.register(
+            name=name,
+            source_table=spec.source_table,
+            view_name=spec.view_name,
+            lens=lens_from_spec(spec),
+            spec=spec,
+        )
+
+    def get(self, name: str) -> BXProgram:
+        """Look up a program by its BX name."""
+        if name not in self._by_name:
+            raise UnknownLensError(f"no BX program named {name!r}")
+        return self._by_name[name]
+
+    def for_view(self, view_name: str) -> BXProgram:
+        """Look up the program that maintains ``view_name``."""
+        if view_name not in self._by_view:
+            raise UnknownLensError(f"no BX program maintains view {view_name!r}")
+        return self._by_name[self._by_view[view_name]]
+
+    def programs_for_source(self, source_table: str) -> Tuple[BXProgram, ...]:
+        """All programs deriving views from ``source_table``.
+
+        Used by step 6 of Fig. 5: after a source is updated through one view's
+        ``put``, the peer must check every *other* view of the same source for
+        overlapping data that needs re-sharing.
+        """
+        return tuple(p for p in self._by_name.values() if p.source_table == source_table)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[BXProgram]:
+        return iter(self._by_name.values())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._by_name)

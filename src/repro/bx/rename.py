@@ -1,0 +1,49 @@
+"""Rename lenses: bijective column renaming between peers' vocabularies.
+
+Two hospitals rarely agree on column names; the sharing agreement can carry a
+rename lens so each peer sees the shared table in its own vocabulary while
+``put`` maps updates back losslessly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import SchemaError, ViewShapeError
+from repro.bx.lens import Lens, named_view
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+
+class RenameLens(Lens):
+    """Rename columns according to a bijective mapping ``source → view``."""
+
+    def __init__(self, mapping: Dict[str, str], view_name: Optional[str] = None):
+        if len(set(mapping.values())) != len(mapping):
+            raise SchemaError(f"rename mapping is not injective: {mapping}")
+        self.mapping = dict(mapping)
+        self.reverse_mapping = {v: k for k, v in mapping.items()}
+        self.view_name = view_name
+        self.name = view_name or "rename"
+
+    def view_schema(self, source_schema: Schema) -> Schema:
+        return source_schema.rename(self.mapping)
+
+    def get(self, source: Table) -> Table:
+        view = source.rename_columns(self.mapping, name=self.view_name or f"{source.name}_ren")
+        return named_view(view, self.view_name)
+
+    def put(self, source: Table, view: Table) -> Table:
+        expected = set(self.view_schema(source.schema).column_names)
+        if set(view.schema.column_names) != expected:
+            raise ViewShapeError(
+                f"view {view.name!r} columns {sorted(view.schema.column_names)} "
+                f"do not match the renamed schema {sorted(expected)}"
+            )
+        restored = view.rename_columns(self.reverse_mapping, name=source.name)
+        return Table(source.name, source.schema, (row.to_dict() for row in restored))
+
+    def describe(self) -> dict:
+        description = super().describe()
+        description.update({"mapping": dict(self.mapping), "view_name": self.view_name})
+        return description

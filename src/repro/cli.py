@@ -1,0 +1,164 @@
+"""A small command-line interface for exploring the reproduction.
+
+Usage (after ``pip install -e .`` / ``python setup.py develop``)::
+
+    python -m repro.cli scenario                # print the Fig. 1 tables
+    python -m repro.cli update                  # run the Fig. 5 update, print the trace
+    python -m repro.cli cascade                 # run the steps-6-11 cascading update
+    python -m repro.cli audit                   # run a few operations, print the audit trail
+    python -m repro.cli throughput --interval 12 --updates 6
+    python -m repro.cli exposure                # fine-grained vs full-record exposure
+
+Every command is deterministic; latencies are simulated seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines.full_record import FullRecordSharingBaseline
+from repro.config import SystemConfig
+from repro.core.scenario import (
+    CARE_TABLE,
+    DOCTOR_RESEARCHER_TABLE,
+    PATIENT_DOCTOR_TABLE,
+    STUDY_TABLE,
+    build_extended_scenario,
+    build_paper_scenario,
+)
+from repro.metrics.collectors import exposure_report, measure_throughput
+from repro.metrics.reporting import format_table
+from repro.workloads.updates import UpdateStreamGenerator
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    system = build_paper_scenario()
+    print(system.peer("patient").local_table("D1").pretty(), "\n")
+    print(system.peer("researcher").local_table("D2").pretty(), "\n")
+    print(system.peer("doctor").local_table("D3").pretty(), "\n")
+    print(system.peer("patient").shared_table(PATIENT_DOCTOR_TABLE).pretty(), "\n")
+    print(system.peer("doctor").shared_table(DOCTOR_RESEARCHER_TABLE).pretty(), "\n")
+    print("shared tables consistent:", system.all_shared_tables_consistent())
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    system = build_paper_scenario(SystemConfig.private_chain(args.interval))
+    trace = system.coordinator.update_shared_entry(
+        "researcher", DOCTOR_RESEARCHER_TABLE, ("Ibuprofen",),
+        {"mechanism_of_action": "MeA1-revised"})
+    print(trace.pretty(), "\n")
+    print(system.peer("doctor").local_table("D3").pretty())
+    return 0 if trace.succeeded else 1
+
+
+def _cmd_cascade(args: argparse.Namespace) -> int:
+    system = build_extended_scenario(SystemConfig.private_chain(args.interval))
+    trace = system.coordinator.update_shared_entry(
+        "researcher", STUDY_TABLE, (188,), {"dosage": "two tablets every 12h"})
+    print(trace.pretty(), "\n")
+    print(system.peer("patient").shared_table(CARE_TABLE).pretty())
+    return 0 if trace.succeeded and CARE_TABLE in trace.cascaded_metadata_ids else 1
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    system = build_paper_scenario()
+    system.coordinator.update_shared_entry(
+        "researcher", DOCTOR_RESEARCHER_TABLE, ("Ibuprofen",),
+        {"mechanism_of_action": "MeA1-revised"})
+    system.coordinator.change_permission(
+        "doctor", PATIENT_DOCTOR_TABLE, "dosage", ["Doctor", "Patient"])
+    system.coordinator.update_shared_entry(
+        "patient", PATIENT_DOCTOR_TABLE, (188,), {"dosage": "one tablet every 8h"})
+    trail = system.audit_trail(via_peer=args.via)
+    print(trail.pretty(), "\n")
+    check = system.check_contract_specification()
+    print("contract specification check:", "PASSED" if check.passed else "FAILED")
+    return 0 if check.passed and trail.verify_integrity() else 1
+
+
+def _cmd_throughput(args: argparse.Namespace) -> int:
+    system = build_paper_scenario(SystemConfig.private_chain(args.interval))
+    events = UpdateStreamGenerator(system, seed=args.seed).stream(args.updates)
+    result = measure_throughput(system, events)
+    print(format_table(
+        ("metric", "value"),
+        [("block interval (s)", args.interval),
+         ("updates accepted", result.updates_accepted),
+         ("updates rejected", result.updates_rejected),
+         ("simulated seconds", round(result.simulated_seconds, 2)),
+         ("throughput (updates/s)", round(result.throughput, 4)),
+         ("blocks created", result.blocks_created)],
+        title="Shared-data update throughput"))
+    return 0
+
+
+def _cmd_exposure(args: argparse.Namespace) -> int:
+    system = build_paper_scenario()
+    baseline = FullRecordSharingBaseline()
+    baseline.register_provider_table("doctor", system.peer("doctor").local_table("D3"))
+    baseline.grant_access("doctor", "Patient", "D3")
+    baseline.grant_access("doctor", "Researcher", "D3")
+    report = exposure_report(
+        fine_grained={
+            "Patient": system.agreement(PATIENT_DOCTOR_TABLE).shared_columns,
+            "Researcher": system.agreement(DOCTOR_RESEARCHER_TABLE).shared_columns,
+        },
+        full_record=baseline.exposure_matrix(),
+    )
+    counts = report.exposure_counts()
+    print(format_table(
+        ("role", "fine-grained attrs", "full-record attrs", "unnecessary"),
+        [(role, counts[role]["fine_grained"], counts[role]["full_record"],
+          counts[role]["unnecessary"]) for role in sorted(counts)],
+        title="Attribute exposure: fine-grained views vs full-record sharing"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Blockchain-based Bidirectional Updates on "
+                    "Fine-grained Medical Data' (ICDE 2019)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("scenario", help="print the Fig. 1 data distribution") \
+        .set_defaults(handler=_cmd_scenario)
+
+    update = subparsers.add_parser("update", help="run the Fig. 5 researcher update")
+    update.add_argument("--interval", type=float, default=2.0,
+                        help="block interval in simulated seconds")
+    update.set_defaults(handler=_cmd_update)
+
+    cascade = subparsers.add_parser("cascade",
+                                    help="run the steps-6-11 cascading dosage update")
+    cascade.add_argument("--interval", type=float, default=2.0)
+    cascade.set_defaults(handler=_cmd_cascade)
+
+    audit = subparsers.add_parser("audit", help="run operations and print the audit trail")
+    audit.add_argument("--via", default="patient",
+                       help="peer whose node replica the trail is read from")
+    audit.set_defaults(handler=_cmd_audit)
+
+    throughput = subparsers.add_parser("throughput", help="measure update throughput")
+    throughput.add_argument("--interval", type=float, default=12.0)
+    throughput.add_argument("--updates", type=int, default=6)
+    throughput.add_argument("--seed", type=int, default=41)
+    throughput.set_defaults(handler=_cmd_throughput)
+
+    subparsers.add_parser("exposure", help="compare attribute exposure against "
+                                           "full-record sharing") \
+        .set_defaults(handler=_cmd_exposure)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

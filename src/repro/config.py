@@ -1,0 +1,108 @@
+"""System-wide configuration objects.
+
+The reproduction is fully deterministic: anything that could depend on time or
+randomness is parameterised here and driven either by a seed or by the
+simulated clock (:class:`repro.ledger.clock.SimClock`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ConsensusConfig:
+    """Configuration of the ledger consensus engine.
+
+    Attributes
+    ----------
+    kind:
+        ``"poa"`` (proof-of-authority, the private-chain deployment the paper
+        recommends in §IV.3) or ``"pow"`` (a public-chain stand-in).
+    block_interval:
+        Target seconds of simulated time between blocks.  The paper quotes
+        ~12 s for public Ethereum (§IV.1).
+    pow_difficulty:
+        Number of leading zero hex digits required of a PoW block hash.
+    authorities:
+        Addresses allowed to seal blocks under PoA.  Empty means "any node".
+    """
+
+    kind: str = "poa"
+    block_interval: float = 12.0
+    pow_difficulty: int = 3
+    authorities: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("poa", "pow"):
+            raise ValueError(f"unknown consensus kind: {self.kind!r}")
+        if self.block_interval <= 0:
+            raise ValueError("block_interval must be positive")
+        if self.pow_difficulty < 0:
+            raise ValueError("pow_difficulty must be non-negative")
+
+
+@dataclass(frozen=True)
+class LedgerConfig:
+    """Configuration of the simulated blockchain."""
+
+    consensus: ConsensusConfig = field(default_factory=ConsensusConfig)
+    max_transactions_per_block: int = 64
+    gas_limit_per_block: int = 8_000_000
+    gas_per_transaction: int = 21_000
+    gas_per_payload_byte: int = 16
+    chain_id: int = 2019
+
+    def __post_init__(self) -> None:
+        if self.max_transactions_per_block <= 0:
+            raise ValueError("max_transactions_per_block must be positive")
+        if self.gas_limit_per_block <= 0:
+            raise ValueError("gas_limit_per_block must be positive")
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Configuration of the simulated peer-to-peer network."""
+
+    base_latency: float = 0.05
+    latency_jitter: float = 0.02
+    drop_rate: float = 0.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.base_latency < 0 or self.latency_jitter < 0:
+            raise ValueError("latencies must be non-negative")
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ValueError("drop_rate must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Top-level configuration assembling every subsystem (Fig. 2)."""
+
+    ledger: LedgerConfig = field(default_factory=LedgerConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    check_lens_laws: bool = True
+    audit_enabled: bool = True
+
+    @staticmethod
+    def private_chain(block_interval: float = 2.0) -> "SystemConfig":
+        """A convenient PoA configuration (the paper's recommended deployment)."""
+        return SystemConfig(
+            ledger=LedgerConfig(
+                consensus=ConsensusConfig(kind="poa", block_interval=block_interval)
+            )
+        )
+
+    @staticmethod
+    def public_chain(block_interval: float = 12.0, difficulty: int = 3) -> "SystemConfig":
+        """A public-Ethereum-like PoW configuration (§IV.1 / §IV.3)."""
+        return SystemConfig(
+            ledger=LedgerConfig(
+                consensus=ConsensusConfig(
+                    kind="pow",
+                    block_interval=block_interval,
+                    pow_difficulty=difficulty,
+                )
+            )
+        )

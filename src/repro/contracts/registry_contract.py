@@ -1,0 +1,56 @@
+"""A discovery registry of sharing agreements.
+
+When a provider deploys a :class:`~repro.contracts.sharing_contract.SharedDataContract`
+(or registers a new metadata entry in an existing one), peers need a way to
+discover the contract address that governs a given shared table.  The
+registry contract records that mapping on-chain, so a client that only knows
+the shared-table identifier can find the governing contract.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.contracts.base import Contract
+
+
+class SharingRegistryContract(Contract):
+    """Maps shared-table identifiers to the contract that governs them."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.agreements: Dict[str, dict] = {}
+
+    def register_agreement(self, metadata_id: str, contract_address: str,
+                           description: str = "") -> dict:
+        """Record that ``metadata_id`` is governed by ``contract_address``."""
+        self.require(metadata_id not in self.agreements,
+                     f"agreement {metadata_id!r} is already registered")
+        record = {
+            "metadata_id": metadata_id,
+            "contract_address": contract_address,
+            "registered_by": self.ctx.caller,
+            "description": description,
+            "block_number": self.ctx.block_number,
+        }
+        self.agreements[metadata_id] = record
+        self.emit("AgreementRegistered", **record)
+        return record
+
+    def lookup(self, metadata_id: str) -> dict:
+        """The registration record for ``metadata_id``."""
+        self.require(metadata_id in self.agreements, f"unknown agreement {metadata_id!r}")
+        return dict(self.agreements[metadata_id])
+
+    def contract_for(self, metadata_id: str) -> str:
+        """Just the governing contract address for ``metadata_id``."""
+        return self.lookup(metadata_id)["contract_address"]
+
+    def list_agreements(self) -> List[str]:
+        return sorted(self.agreements)
+
+    def agreements_registered_by(self, address: str) -> List[str]:
+        return sorted(
+            metadata_id for metadata_id, record in self.agreements.items()
+            if record["registered_by"] == address
+        )

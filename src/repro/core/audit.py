@@ -1,0 +1,150 @@
+"""The on-chain audit trail of shared-data updates.
+
+"Blockchain properties such as immutability, auditability and transparency
+enable nodes to check and review update history on shared data" (§III-B).
+The :class:`AuditTrail` reconstructs that history from any node's chain
+replica: the contract's recorded operations, the permission changes, and the
+blocks that carried them — and verifies that the chain itself has not been
+tampered with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.contracts.sharing_contract import SharedDataContract
+from repro.errors import SharingError
+from repro.network.node import BlockchainNode
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One auditable operation on shared data."""
+
+    update_id: int
+    metadata_id: str
+    operation: str
+    requester: str
+    requester_role: str
+    changed_attributes: Tuple[str, ...]
+    diff_hash: str
+    block_number: int
+    block_hash: str
+    timestamp: float
+    acknowledged_by: Tuple[str, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "update_id": self.update_id,
+            "metadata_id": self.metadata_id,
+            "operation": self.operation,
+            "requester": self.requester,
+            "requester_role": self.requester_role,
+            "changed_attributes": list(self.changed_attributes),
+            "diff_hash": self.diff_hash,
+            "block_number": self.block_number,
+            "block_hash": self.block_hash,
+            "timestamp": self.timestamp,
+            "acknowledged_by": list(self.acknowledged_by),
+        }
+
+
+class AuditTrail:
+    """Reconstructs and verifies the shared-data update history from one node."""
+
+    def __init__(self, node: BlockchainNode, contract_address: str):
+        self.node = node
+        self.contract_address = contract_address
+        contract = node.contract_at(contract_address)
+        if not isinstance(contract, SharedDataContract):
+            raise SharingError(
+                f"address {contract_address!r} does not host a SharedDataContract "
+                f"on node {node.name!r}"
+            )
+        self.contract = contract
+
+    # ----------------------------------------------------------------- history
+
+    def records(self, metadata_id: Optional[str] = None) -> List[AuditRecord]:
+        """All recorded operations, in chain order (optionally for one table)."""
+        result: List[AuditRecord] = []
+        for record in self.contract.history:
+            if metadata_id is not None and record.metadata_id != metadata_id:
+                continue
+            block = self.node.chain.block_by_number(record.block_number)
+            result.append(
+                AuditRecord(
+                    update_id=record.update_id,
+                    metadata_id=record.metadata_id,
+                    operation=record.operation,
+                    requester=record.requester,
+                    requester_role=record.requester_role,
+                    changed_attributes=tuple(record.changed_attributes),
+                    diff_hash=record.diff_hash,
+                    block_number=record.block_number,
+                    block_hash=block.block_hash,
+                    timestamp=record.timestamp,
+                    acknowledged_by=tuple(record.acknowledged_by),
+                )
+            )
+        return result
+
+    def permission_changes(self, metadata_id: Optional[str] = None) -> List[dict]:
+        """Every permission change recorded by the contract."""
+        return [
+            dict(change) for change in self.contract.permission_changes
+            if metadata_id is None or change["metadata_id"] == metadata_id
+        ]
+
+    def updates_by_peer(self) -> Dict[str, int]:
+        """How many operations each peer (address) performed."""
+        counts: Dict[str, int] = {}
+        for record in self.contract.history:
+            counts[record.requester] = counts.get(record.requester, 0) + 1
+        return counts
+
+    # -------------------------------------------------------------- verification
+
+    def verify_integrity(self) -> bool:
+        """Re-validate the chain replica this trail was built from."""
+        return self.node.chain.verify_chain()
+
+    def tampered_blocks(self) -> List[int]:
+        """Block numbers whose linkage or seal no longer validates."""
+        return self.node.chain.detect_tampering()
+
+    def verify_record_inclusion(self, record: AuditRecord) -> bool:
+        """Check the block referenced by an audit record still carries a
+        transaction requesting that operation (Merkle-root based)."""
+        block = self.node.chain.block_by_number(record.block_number)
+        if block.block_hash != record.block_hash:
+            return False
+        if not block.verify_merkle_root():
+            return False
+        for tx in block.transactions:
+            if tx.kind == "call" and tx.args.get("metadata_id") == record.metadata_id:
+                if tx.args.get("diff_hash") == record.diff_hash:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------ report
+
+    def pretty(self, metadata_id: Optional[str] = None) -> str:
+        """A plain-text audit report."""
+        records = self.records(metadata_id)
+        lines = [
+            f"Audit trail from node {self.node.name!r} "
+            f"(chain height {self.node.chain.height}, integrity="
+            f"{'OK' if self.verify_integrity() else 'TAMPERED'})",
+        ]
+        for record in records:
+            lines.append(
+                f"  #{record.update_id:<3} block {record.block_number:<4} "
+                f"t={record.timestamp:8.2f}s {record.operation:<7} on {record.metadata_id:<12} "
+                f"by {record.requester_role:<11} attrs={list(record.changed_attributes)} "
+                f"acks={len(record.acknowledged_by)}"
+            )
+        if not records:
+            lines.append("  (no operations recorded)")
+        return "\n".join(lines)

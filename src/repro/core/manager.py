@@ -1,0 +1,149 @@
+"""The database manager: runs BX programs for one peer (Fig. 2).
+
+The manager is the component that "disposes of the synchronization between
+shared data and local data according to consistency logic relations ...
+implemented by executing BX programs".  Concretely it can:
+
+* **refresh** a shared table from the local base table (``get`` direction,
+  e.g. step 1 / step 7 of Fig. 5);
+* **reflect** an updated shared table into the local base table (``put``
+  direction, e.g. step 5 / step 11 of Fig. 5);
+* compute the **diff** a refresh would cause, so the workflow knows whether a
+  dependent view actually changed (step 6);
+* optionally check the lens laws on the concrete data before installing an
+  updated source, failing loudly instead of silently corrupting local data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.bx.laws import check_put_get
+from repro.bx.registry import BXProgram
+from repro.errors import BXError, ConstraintViolation, SynchronizationError
+from repro.core.peer import Peer
+from repro.relational.diff import TableDiff, apply_diff, diff_tables
+from repro.relational.table import Table
+
+
+class DatabaseManager:
+    """Executes the BX programs of one peer."""
+
+    def __init__(self, peer: Peer, check_laws: bool = True):
+        self.peer = peer
+        self.check_laws = check_laws
+        self._get_invocations = 0
+        self._put_invocations = 0
+
+    # ----------------------------------------------------------------- metrics
+
+    @property
+    def statistics(self) -> Dict[str, int]:
+        return {"get_invocations": self._get_invocations, "put_invocations": self._put_invocations}
+
+    # ----------------------------------------------------------- get direction
+
+    def derive_view(self, metadata_id: str) -> Table:
+        """Run ``get`` and return the freshly derived view (without storing it)."""
+        program = self.peer.bx_program(metadata_id)
+        source = self.peer.database.table(program.source_table)
+        self._get_invocations += 1
+        return program.get(source)
+
+    def pending_view_diff(self, metadata_id: str) -> TableDiff:
+        """Diff between the stored shared table and a fresh ``get`` of the source.
+
+        An empty diff means the stored shared piece is already consistent with
+        the local base table (nothing to propagate).
+        """
+        agreement = self.peer.agreement(metadata_id)
+        stored = self.peer.database.table(agreement.view_name_for(self.peer.name))
+        fresh = self.derive_view(metadata_id)
+        return diff_tables(stored, fresh)
+
+    def refresh_shared_table(self, metadata_id: str) -> TableDiff:
+        """Regenerate the stored shared table from the local base table (``get``).
+
+        Returns the diff that was applied to the stored copy.
+        """
+        agreement = self.peer.agreement(metadata_id)
+        view_name = agreement.view_name_for(self.peer.name)
+        stored = self.peer.database.table(view_name)
+        fresh = self.derive_view(metadata_id)
+        diff = diff_tables(stored, fresh)
+        if not diff.is_empty:
+            self.peer.database.replace_table(view_name, (row.to_dict() for row in fresh))
+        return diff
+
+    # ----------------------------------------------------------- put direction
+
+    def apply_incoming_diff(self, metadata_id: str, diff: TableDiff) -> None:
+        """Apply a diff received from the sharing peer to the stored shared table."""
+        agreement = self.peer.agreement(metadata_id)
+        view_name = agreement.view_name_for(self.peer.name)
+        table = self.peer.database.table(view_name)
+        apply_diff(table, diff)
+        self.peer.database.wal.append("replace", view_name,
+                                      {"rows": len(table), "reason": "incoming_diff"})
+
+    def replace_shared_table(self, metadata_id: str, snapshot: Table) -> None:
+        """Replace the stored shared table with a full snapshot from the peer."""
+        agreement = self.peer.agreement(metadata_id)
+        view_name = agreement.view_name_for(self.peer.name)
+        self.peer.database.replace_table(view_name, (row.to_dict() for row in snapshot))
+
+    def reflect_shared_table(self, metadata_id: str) -> TableDiff:
+        """Run ``put``: embed the stored shared table back into the local base table.
+
+        Returns the diff applied to the base table.  When law checking is
+        enabled, PutGet is verified on the concrete data before the new source
+        is installed; a violation raises :class:`SynchronizationError` and the
+        local base table is left untouched.
+        """
+        program = self.peer.bx_program(metadata_id)
+        agreement = self.peer.agreement(metadata_id)
+        view_name = agreement.view_name_for(self.peer.name)
+        source = self.peer.database.table(program.source_table)
+        view = self.peer.database.table(view_name)
+        self._put_invocations += 1
+        try:
+            new_source = program.put(source, view)
+        except (BXError, ConstraintViolation) as exc:
+            raise SynchronizationError(
+                f"cannot reflect shared table {view_name!r} into {program.source_table!r}: {exc}"
+            ) from exc
+        if self.check_laws and not check_put_get(program.lens, source, view.snapshot()):
+            raise SynchronizationError(
+                f"PutGet law violated while reflecting {view_name!r} into "
+                f"{program.source_table!r}; refusing to install an inconsistent source"
+            )
+        diff = diff_tables(source, new_source)
+        if not diff.is_empty:
+            self.peer.database.replace_table(program.source_table,
+                                             (row.to_dict() for row in new_source))
+        return diff
+
+    # ----------------------------------------------------------- dependencies
+
+    def dependent_agreements(self, metadata_id: str) -> Tuple[str, ...]:
+        """Other agreements of this peer that derive from the same base table.
+
+        These are the candidates for step 6 of Fig. 5: after reflecting an
+        update into the base table, the peer must check whether these other
+        shared pieces changed and need re-sharing.
+        """
+        program = self.peer.bx_program(metadata_id)
+        return tuple(
+            other for other in self.peer.agreements_sharing_source(program.source_table)
+            if other != metadata_id
+        )
+
+    def changed_dependents(self, metadata_id: str) -> Dict[str, TableDiff]:
+        """The subset of dependent agreements whose shared table would change,
+        with the diff each would undergo."""
+        changed: Dict[str, TableDiff] = {}
+        for other in self.dependent_agreements(metadata_id):
+            diff = self.pending_view_diff(other)
+            if not diff.is_empty:
+                changed[other] = diff
+        return changed

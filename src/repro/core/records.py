@@ -1,0 +1,110 @@
+"""The paper's medical-record schema.
+
+Fig. 1 defines a full medical record with seven attributes::
+
+    a0. patient ID          a4. dosage
+    a1. medication name     a5. mechanism of action
+    a2. clinical data       a6. mode of action
+    a3. address
+
+and the local tables each stakeholder keeps:
+
+* **Patient (D1)** — a0..a4
+* **Researcher (D2)** — a1, a5, a6
+* **Doctor (D3)** — a0, a1, a2, a4, a5
+
+This module names those attributes once, with readable column identifiers,
+and builds the corresponding schemas.  Everything downstream (scenario
+builder, workloads, benchmarks) uses these definitions, so the reproduction's
+data layout is exactly the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.relational.schema import Column, DataType, Schema
+
+#: Paper attribute id → readable column name.
+ATTRIBUTE_LABELS: Dict[str, str] = {
+    "a0": "patient_id",
+    "a1": "medication_name",
+    "a2": "clinical_data",
+    "a3": "address",
+    "a4": "dosage",
+    "a5": "mechanism_of_action",
+    "a6": "mode_of_action",
+}
+
+#: Readable column name → paper attribute id.
+COLUMN_TO_ATTRIBUTE: Dict[str, str] = {v: k for k, v in ATTRIBUTE_LABELS.items()}
+
+#: The full record's columns, in the paper's order a0..a6.
+FULL_RECORD_COLUMNS: Tuple[str, ...] = tuple(
+    ATTRIBUTE_LABELS[f"a{i}"] for i in range(7)
+)
+
+_COLUMN_TYPES: Dict[str, DataType] = {
+    "patient_id": DataType.INTEGER,
+    "medication_name": DataType.STRING,
+    "clinical_data": DataType.STRING,
+    "address": DataType.STRING,
+    "dosage": DataType.STRING,
+    "mechanism_of_action": DataType.STRING,
+    "mode_of_action": DataType.STRING,
+}
+
+
+def _columns(names: Sequence[str], not_null: Sequence[str] = ()) -> Tuple[Column, ...]:
+    not_null_set = set(not_null)
+    return tuple(
+        Column(
+            name=name,
+            dtype=_COLUMN_TYPES[name],
+            nullable=name not in not_null_set,
+            description=COLUMN_TO_ATTRIBUTE.get(name, ""),
+        )
+        for name in names
+    )
+
+
+def full_record_schema() -> Schema:
+    """The schema of the "Full medical records" table of Fig. 1 (a0..a6)."""
+    return Schema(
+        columns=_columns(FULL_RECORD_COLUMNS, not_null=("patient_id",)),
+        primary_key=("patient_id",),
+    )
+
+
+def patient_schema() -> Schema:
+    """Patient's local table D1: attributes a0..a4, keyed by patient id."""
+    names = tuple(ATTRIBUTE_LABELS[f"a{i}"] for i in range(5))
+    return Schema(columns=_columns(names, not_null=("patient_id",)),
+                  primary_key=("patient_id",))
+
+
+def researcher_schema() -> Schema:
+    """Researcher's local table D2: attributes a1, a5, a6, keyed by medication."""
+    names = ("medication_name", "mechanism_of_action", "mode_of_action")
+    return Schema(columns=_columns(names, not_null=("medication_name",)),
+                  primary_key=("medication_name",))
+
+
+def doctor_schema() -> Schema:
+    """Doctor's local table D3: attributes a0, a1, a2, a4, a5, keyed by patient id."""
+    names = ("patient_id", "medication_name", "clinical_data", "dosage",
+             "mechanism_of_action")
+    return Schema(columns=_columns(names, not_null=("patient_id",)),
+                  primary_key=("patient_id",))
+
+
+def schema_for_attributes(attributes: Sequence[str], primary_key: Sequence[str] = ()) -> Schema:
+    """Build a schema from paper attribute ids (``"a0"``..) or column names."""
+    names = [ATTRIBUTE_LABELS.get(attr, attr) for attr in attributes]
+    key = tuple(ATTRIBUTE_LABELS.get(attr, attr) for attr in primary_key)
+    return Schema(columns=_columns(names, not_null=key), primary_key=key)
+
+
+def attribute_ids(columns: Sequence[str]) -> Tuple[str, ...]:
+    """Map readable column names back to the paper's a0..a6 labels."""
+    return tuple(COLUMN_TO_ATTRIBUTE.get(column, column) for column in columns)

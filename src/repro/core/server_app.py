@@ -1,0 +1,193 @@
+"""The per-peer server application (the "Server App" box of Fig. 2).
+
+The server app mediates between one peer's client side, its database manager,
+its trusted blockchain node and the pairwise data channels:
+
+* it signs and submits contract-call transactions through the trusted node;
+* it listens to contract events on that node and turns the ones addressed to
+  its peer into :class:`Notification` objects ("the smart contract notifies
+  sharing peers of the modification");
+* it serves data requests from sharing peers and fetches updated shared data
+  from them over the pairwise channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.contracts.runtime import ContractRuntime
+from repro.core.manager import DatabaseManager
+from repro.core.peer import Peer
+from repro.errors import SharingError
+from repro.ledger.events import LogEntry
+from repro.ledger.transaction import Transaction
+from repro.network.channels import ChannelRegistry, ChannelTransfer
+from repro.network.node import BlockchainNode
+from repro.relational.diff import TableDiff
+from repro.relational.table import Table
+
+
+@dataclass(frozen=True)
+class Notification:
+    """A contract event addressed to this peer."""
+
+    metadata_id: str
+    operation: str
+    update_id: int
+    requester: str
+    requester_role: str
+    changed_attributes: Tuple[str, ...]
+    diff_hash: str
+    block_number: int
+
+    @staticmethod
+    def from_event(entry: LogEntry) -> "Notification":
+        data = entry.data
+        return Notification(
+            metadata_id=data.get("metadata_id", ""),
+            operation=data.get("operation", ""),
+            update_id=int(data.get("update_id", 0)),
+            requester=data.get("requester", ""),
+            requester_role=data.get("requester_role", ""),
+            changed_attributes=tuple(data.get("changed_attributes", ())),
+            diff_hash=data.get("diff_hash", ""),
+            block_number=entry.block_number,
+        )
+
+
+class ServerApp:
+    """Mediator between one peer and the rest of the system."""
+
+    def __init__(self, peer: Peer, node: BlockchainNode, channels: ChannelRegistry,
+                 check_lens_laws: bool = True):
+        self.peer = peer
+        self.node = node
+        self.channels = channels
+        self.manager = DatabaseManager(peer, check_laws=check_lens_laws)
+        self.contract_address: Optional[str] = None
+        self.registry_address: Optional[str] = None
+        self._notifications: List[Notification] = []
+        #: metadata_id → most recent outgoing diff, served to requesting peers.
+        self.outgoing_diffs: Dict[str, TableDiff] = {}
+        node.subscribe_events(self._on_event)
+
+    # -------------------------------------------------------------------- events
+
+    def _on_event(self, entry: LogEntry) -> None:
+        if entry.name != "SharedDataChanged":
+            return
+        notify_peers = entry.data.get("notify_peers", ())
+        if self.peer.address not in notify_peers:
+            return
+        self._notifications.append(Notification.from_event(entry))
+
+    @property
+    def notifications(self) -> Tuple[Notification, ...]:
+        return tuple(self._notifications)
+
+    def pop_notifications(self, metadata_id: Optional[str] = None) -> List[Notification]:
+        """Remove and return pending notifications (optionally for one table)."""
+        if metadata_id is None:
+            popped, self._notifications = self._notifications, []
+            return popped
+        popped = [n for n in self._notifications if n.metadata_id == metadata_id]
+        self._notifications = [n for n in self._notifications if n.metadata_id != metadata_id]
+        return popped
+
+    # ------------------------------------------------------------- transactions
+
+    def build_contract_call(self, method: str, args: Mapping[str, Any],
+                            contract_address: Optional[str] = None) -> Transaction:
+        """Build and sign a contract-call transaction from this peer."""
+        address = contract_address or self.contract_address
+        if address is None:
+            raise SharingError(
+                f"peer {self.peer.name!r} has no sharing contract address configured"
+            )
+        confirmed = self.node.chain.state.nonce_of(self.peer.address)
+        nonce = self.node.mempool.next_nonce(self.peer.address, confirmed)
+        tx = Transaction(
+            sender=self.peer.address,
+            kind="call",
+            nonce=nonce,
+            contract=address,
+            method=method,
+            args=dict(args),
+            timestamp=self.node.clock.now(),
+        )
+        return tx.signed_by(self.peer.keypair)
+
+    def build_deploy(self, contract_class_name: str,
+                     args: Optional[Mapping[str, Any]] = None) -> Transaction:
+        """Build and sign a contract-deployment transaction from this peer."""
+        confirmed = self.node.chain.state.nonce_of(self.peer.address)
+        nonce = self.node.mempool.next_nonce(self.peer.address, confirmed)
+        tx = Transaction(
+            sender=self.peer.address,
+            kind="deploy",
+            nonce=nonce,
+            method=contract_class_name,
+            args=dict(args or {}),
+            timestamp=self.node.clock.now(),
+        )
+        return tx.signed_by(self.peer.keypair)
+
+    # ----------------------------------------------------------------- queries
+
+    def query_contract(self, method: str, **args: Any) -> Any:
+        """Read-only call against this peer's node replica of the sharing contract."""
+        if self.contract_address is None:
+            raise SharingError(
+                f"peer {self.peer.name!r} has no sharing contract address configured"
+            )
+        return self.node.static_call(self.contract_address, method,
+                                     caller=self.peer.address, **args)
+
+    def can_write(self, metadata_id: str, attribute: str) -> bool:
+        """Permission probe for this peer on one attribute of a shared table."""
+        return bool(
+            self.query_contract(
+                "can_peer_write",
+                metadata_id=metadata_id,
+                address=self.peer.address,
+                attribute=attribute,
+            )
+        )
+
+    # ------------------------------------------------------------ data channel
+
+    def channel_to(self, other_peer_name: str):
+        return self.channels.channel_between(self.peer.name, other_peer_name)
+
+    def request_shared_data(self, metadata_id: str, provider_peer_name: str,
+                            since_update: Optional[int] = None) -> ChannelTransfer:
+        """Ask the sharing peer for the newest shared data ("request updated data")."""
+        channel = self.channel_to(provider_peer_name)
+        return channel.request_data(self.peer.name, provider_peer_name,
+                                    self.peer.agreement(metadata_id).view_name_for(
+                                        provider_peer_name),
+                                    since_update=since_update)
+
+    def serve_shared_data(self, metadata_id: str, requester_peer_name: str,
+                          mode: str = "diff") -> ChannelTransfer:
+        """Send the newest shared data to the requesting peer ("send updated data").
+
+        ``mode="diff"`` sends the most recent outgoing row-level diff when one
+        is available, falling back to a full snapshot otherwise.
+        """
+        channel = self.channel_to(requester_peer_name)
+        if mode == "diff" and metadata_id in self.outgoing_diffs:
+            return channel.send_diff(self.peer.name, requester_peer_name,
+                                     self.outgoing_diffs[metadata_id])
+        snapshot = self.peer.shared_table(metadata_id)
+        return channel.send_snapshot(self.peer.name, requester_peer_name, snapshot)
+
+    def receive_shared_data(self, metadata_id: str, transfer: ChannelTransfer) -> None:
+        """Install shared data received over a channel into the local database."""
+        if transfer.kind == "diff":
+            self.manager.apply_incoming_diff(metadata_id, TableDiff.from_dict(transfer.payload))
+        elif transfer.kind == "snapshot":
+            self.manager.replace_shared_table(metadata_id, Table.from_dict(transfer.payload))
+        else:
+            raise SharingError(f"cannot install channel transfer of kind {transfer.kind!r}")

@@ -1,0 +1,189 @@
+"""Sharing agreements between two peers.
+
+A sharing agreement is the off-chain counterpart of one metadata entry of the
+Fig. 3 contract table.  It names:
+
+* the two sharing peers and their roles (e.g. Doctor / Patient);
+* for **each** peer, how the shared table is derived from that peer's *own*
+  local base table (a :class:`~repro.bx.dsl.ViewSpec`) — D13 is derived from
+  D1 on the Patient side while the identical table D31 is derived from D3 on
+  the Doctor side;
+* the per-attribute write permissions (attribute → roles allowed to write);
+* the role with authority to change permissions;
+* which peer initiates the registration on the blockchain.
+
+The agreement is serialisable: its dictionary form is stored in the smart
+contract as the agreed "structure of the shared table".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bx.dsl import ViewSpec
+from repro.errors import AgreementError
+
+
+@dataclass(frozen=True)
+class PeerViewDefinition:
+    """How one peer derives the shared table from its local base table."""
+
+    peer: str
+    role: str
+    view_spec: ViewSpec
+
+    def to_dict(self) -> dict:
+        return {"peer": self.peer, "role": self.role, "view_spec": self.view_spec.to_dict()}
+
+    @staticmethod
+    def from_dict(payload: dict) -> "PeerViewDefinition":
+        return PeerViewDefinition(
+            peer=payload["peer"],
+            role=payload["role"],
+            view_spec=ViewSpec.from_dict(payload["view_spec"]),
+        )
+
+
+@dataclass(frozen=True)
+class SharingAgreement:
+    """A pairwise agreement to share one fine-grained view."""
+
+    metadata_id: str
+    definitions: Tuple[PeerViewDefinition, PeerViewDefinition]
+    write_permission: Dict[str, Tuple[str, ...]]
+    authority_role: str
+    initiator: str
+
+    def __post_init__(self) -> None:
+        if len(self.definitions) != 2:
+            raise AgreementError("a sharing agreement is between exactly two peers")
+        peers = {definition.peer for definition in self.definitions}
+        if len(peers) != 2:
+            raise AgreementError("the two sharing peers must be distinct")
+        if self.initiator not in peers:
+            raise AgreementError(
+                f"initiator {self.initiator!r} is not one of the sharing peers {sorted(peers)}"
+            )
+        roles = {definition.role for definition in self.definitions}
+        if self.authority_role not in roles:
+            raise AgreementError(
+                f"authority role {self.authority_role!r} is not held by either peer"
+            )
+        shared_a = self.definitions[0].view_spec.shared_columns
+        shared_b = self.definitions[1].view_spec.shared_columns
+        if set(shared_a) != set(shared_b):
+            raise AgreementError(
+                "the two peers' view specs expose different shared columns: "
+                f"{sorted(shared_a)} vs {sorted(shared_b)}"
+            )
+        normalised = {}
+        for attribute, writers in self.write_permission.items():
+            if attribute not in shared_a:
+                raise AgreementError(
+                    f"write permission references attribute {attribute!r} which is not part "
+                    f"of the shared table {sorted(shared_a)}"
+                )
+            unknown = [writer for writer in writers if writer not in roles]
+            if unknown:
+                raise AgreementError(
+                    f"write permission for {attribute!r} grants unknown roles {unknown}"
+                )
+            normalised[attribute] = tuple(writers)
+        object.__setattr__(self, "write_permission", normalised)
+
+    # -------------------------------------------------------------- inspection
+
+    @property
+    def peers(self) -> Tuple[str, str]:
+        return (self.definitions[0].peer, self.definitions[1].peer)
+
+    @property
+    def roles(self) -> Dict[str, str]:
+        """peer name → role."""
+        return {definition.peer: definition.role for definition in self.definitions}
+
+    @property
+    def shared_columns(self) -> Tuple[str, ...]:
+        """The columns of the shared table, in the initiator's declared order."""
+        return self.definition_for(self.initiator).view_spec.shared_columns
+
+    def definition_for(self, peer: str) -> PeerViewDefinition:
+        for definition in self.definitions:
+            if definition.peer == peer:
+                return definition
+        raise AgreementError(f"peer {peer!r} is not part of agreement {self.metadata_id!r}")
+
+    def counterparty_of(self, peer: str) -> str:
+        """The other sharing peer."""
+        peers = self.peers
+        if peer == peers[0]:
+            return peers[1]
+        if peer == peers[1]:
+            return peers[0]
+        raise AgreementError(f"peer {peer!r} is not part of agreement {self.metadata_id!r}")
+
+    def view_name_for(self, peer: str) -> str:
+        """The shared table's name in ``peer``'s local database (D13 vs D31)."""
+        return self.definition_for(peer).view_spec.view_name
+
+    def role_of(self, peer: str) -> str:
+        return self.definition_for(peer).role
+
+    def writers_of(self, attribute: str) -> Tuple[str, ...]:
+        return self.write_permission.get(attribute, ())
+
+    def can_role_write(self, role: str, attribute: str) -> bool:
+        return role in self.write_permission.get(attribute, ())
+
+    def writable_columns(self, role: str) -> Tuple[str, ...]:
+        return tuple(attr for attr, writers in self.write_permission.items() if role in writers)
+
+    # ------------------------------------------------------------ serialisation
+
+    def to_dict(self) -> dict:
+        return {
+            "metadata_id": self.metadata_id,
+            "definitions": [definition.to_dict() for definition in self.definitions],
+            "write_permission": {k: list(v) for k, v in self.write_permission.items()},
+            "authority_role": self.authority_role,
+            "initiator": self.initiator,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "SharingAgreement":
+        definitions = tuple(PeerViewDefinition.from_dict(d) for d in payload["definitions"])
+        return SharingAgreement(
+            metadata_id=payload["metadata_id"],
+            definitions=definitions,  # type: ignore[arg-type]
+            write_permission={k: tuple(v) for k, v in payload["write_permission"].items()},
+            authority_role=payload["authority_role"],
+            initiator=payload["initiator"],
+        )
+
+    # ------------------------------------------------------------- construction
+
+    @staticmethod
+    def build(
+        metadata_id: str,
+        peer_a: str,
+        role_a: str,
+        spec_a: ViewSpec,
+        peer_b: str,
+        role_b: str,
+        spec_b: ViewSpec,
+        write_permission: Mapping[str, Sequence[str]],
+        authority_role: str,
+        initiator: Optional[str] = None,
+    ) -> "SharingAgreement":
+        """Convenience constructor with flat arguments."""
+        return SharingAgreement(
+            metadata_id=metadata_id,
+            definitions=(
+                PeerViewDefinition(peer=peer_a, role=role_a, view_spec=spec_a),
+                PeerViewDefinition(peer=peer_b, role=role_b, view_spec=spec_b),
+            ),
+            write_permission={k: tuple(v) for k, v in write_permission.items()},
+            authority_role=authority_role,
+            initiator=initiator or peer_a,
+        )

@@ -1,0 +1,409 @@
+"""Cross-peer coordination of shared-data operations (Fig. 4 and Fig. 5).
+
+The :class:`UpdateCoordinator` drives the paper's protocols end to end:
+
+* the **CRUD procedure** of Fig. 4 — a user executes an operation locally,
+  requests permission from the smart contract, sharing peers are notified,
+  fetch the newest shared data, the metadata is updated, and every sharing
+  peer runs its BX program to reflect the change into its complete data;
+* the **11-step update workflow** of Fig. 5 — including step 6, where the
+  peer that absorbed an update checks whether *other* shared pieces derived
+  from the same base table changed and, if so, propagates to those peers too
+  (the Researcher → Doctor → Patient cascade).
+
+Every run produces a :class:`WorkflowTrace` whose steps mirror the numbered
+steps of the figures, with simulated timestamps and block numbers, so the
+benchmarks and the examples can print the exact choreography.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.crypto.hashing import hash_payload
+from repro.errors import UpdateRejected, WorkflowError
+from repro.core.sharing import SharingAgreement
+from repro.relational.diff import TableDiff, diff_tables
+from repro.relational.table import Table
+
+
+@dataclass(frozen=True)
+class WorkflowStep:
+    """One numbered step of a workflow run."""
+
+    index: int
+    actor: str
+    action: str
+    description: str
+    simulated_time: float
+    block_number: Optional[int] = None
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "actor": self.actor,
+            "action": self.action,
+            "description": self.description,
+            "simulated_time": self.simulated_time,
+            "block_number": self.block_number,
+            "data": dict(self.data),
+        }
+
+
+@dataclass
+class WorkflowTrace:
+    """The full record of one shared-data operation and its propagation."""
+
+    initiator: str
+    metadata_id: str
+    operation: str
+    steps: List[WorkflowStep] = field(default_factory=list)
+    succeeded: bool = False
+    error: Optional[str] = None
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    blocks_created: int = 0
+    cascaded_metadata_ids: List[str] = field(default_factory=list)
+
+    @property
+    def elapsed(self) -> float:
+        """End-to-end simulated latency of the operation."""
+        return self.finished_at - self.started_at
+
+    @property
+    def step_count(self) -> int:
+        return len(self.steps)
+
+    def add_step(self, actor: str, action: str, description: str, clock_now: float,
+                 block_number: Optional[int] = None, **data: Any) -> WorkflowStep:
+        step = WorkflowStep(
+            index=len(self.steps) + 1,
+            actor=actor,
+            action=action,
+            description=description,
+            simulated_time=clock_now,
+            block_number=block_number,
+            data=dict(data),
+        )
+        self.steps.append(step)
+        return step
+
+    def pretty(self) -> str:
+        """A plain-text rendering of the trace, step by step."""
+        lines = [
+            f"Workflow {self.operation!r} on {self.metadata_id!r} initiated by {self.initiator}",
+            f"  succeeded={self.succeeded} elapsed={self.elapsed:.2f}s "
+            f"blocks={self.blocks_created} steps={self.step_count}",
+        ]
+        for step in self.steps:
+            block = f" [block #{step.block_number}]" if step.block_number is not None else ""
+            lines.append(
+                f"  {step.index:>2}. t={step.simulated_time:8.2f}s {step.actor:<12} "
+                f"{step.action:<22} {step.description}{block}"
+            )
+        if self.error:
+            lines.append(f"  ERROR: {self.error}")
+        return "\n".join(lines)
+
+
+class UpdateCoordinator:
+    """Runs shared-data operations across the whole system."""
+
+    def __init__(self, system: "MedicalDataSharingSystem"):  # noqa: F821 (forward ref)
+        self.system = system
+
+    # --------------------------------------------------------------- utilities
+
+    @property
+    def _clock(self):
+        return self.system.simulator.clock
+
+    def _peer(self, name: str):
+        return self.system.peer(name)
+
+    def _app(self, name: str):
+        return self.system.server_app(name)
+
+    def _mine(self) -> int:
+        """Mine pending transactions; returns how many blocks were produced."""
+        blocks = self.system.simulator.mine()
+        return len(blocks)
+
+    def _submit_and_mine(self, peer_name: str, method: str, args: Mapping[str, Any]):
+        """Submit a signed contract call from ``peer_name`` and mine it.
+
+        Returns ``(receipt, blocks_created)`` using the submitting peer's own
+        node replica for the receipt lookup.
+        """
+        app = self._app(peer_name)
+        tx = app.build_contract_call(method, args)
+        self.system.simulator.submit_transaction(app.node.name, tx)
+        blocks = self._mine()
+        receipt = app.node.chain.receipt(tx.tx_hash)
+        return receipt, blocks
+
+    @staticmethod
+    def _diff_hash(diff: TableDiff) -> str:
+        return hash_payload(diff.to_dict())
+
+    @staticmethod
+    def _changed_attributes(diff: TableDiff, agreement: SharingAgreement) -> Tuple[str, ...]:
+        """The shared attributes an operation touches (what permission is checked on)."""
+        shared = set(agreement.shared_columns)
+        return tuple(column for column in diff.touched_columns if column in shared)
+
+    # ------------------------------------------------------------ read (Fig. 4)
+
+    def read_shared_data(self, peer_name: str, metadata_id: str) -> Table:
+        """Read = query the local database directly (no blockchain involvement)."""
+        return self._peer(peer_name).shared_table(metadata_id).snapshot()
+
+    # -------------------------------------------------------- update entry-point
+
+    def propagate_local_change(self, peer_name: str, metadata_id: str) -> WorkflowTrace:
+        """Fig. 5, researcher-style: the peer already updated its *local base
+        table* and now propagates the change through the shared view.
+
+        Step 1 regenerates the shared view with ``get``; the remaining steps
+        follow the contract/notification/put protocol.
+        """
+        trace = WorkflowTrace(initiator=peer_name, metadata_id=metadata_id, operation="update",
+                              started_at=self._clock.now())
+        app = self._app(peer_name)
+        diff = app.manager.pending_view_diff(metadata_id)
+        trace.add_step(peer_name, "bx_get",
+                       f"regenerate shared view from local base table "
+                       f"({len(diff)} row change(s))", self._clock.now(),
+                       rows_changed=len(diff))
+        if diff.is_empty:
+            trace.succeeded = True
+            trace.finished_at = self._clock.now()
+            return trace
+        self._finish(trace, peer_name, metadata_id, "update", diff,
+                     install_initiator_view=True, reflect_initiator_source=False)
+        return trace
+
+    def update_shared_entry(self, peer_name: str, metadata_id: str, key: Sequence[Any],
+                            updates: Mapping[str, Any]) -> WorkflowTrace:
+        """Fig. 4 entry-level update: the peer edits one row of the shared table.
+
+        The change is validated locally, authorised on-chain, installed in the
+        peer's stored shared table, reflected into the peer's own base table
+        with ``put``, and propagated to the sharing peer.
+        """
+        trace = WorkflowTrace(initiator=peer_name, metadata_id=metadata_id, operation="update",
+                              started_at=self._clock.now())
+        peer = self._peer(peer_name)
+        stored = peer.shared_table(metadata_id)
+        candidate = stored.snapshot()
+        candidate.update_by_key(key, updates)
+        diff = diff_tables(stored, candidate)
+        trace.add_step(peer_name, "local_edit",
+                       f"edit shared entry {tuple(key)!r}: {dict(updates)!r}",
+                       self._clock.now(), rows_changed=len(diff))
+        if diff.is_empty:
+            trace.succeeded = True
+            trace.finished_at = self._clock.now()
+            return trace
+        self._finish(trace, peer_name, metadata_id, "update", diff,
+                     install_initiator_view=True, reflect_initiator_source=True,
+                     candidate_view=candidate)
+        return trace
+
+    def create_shared_entry(self, peer_name: str, metadata_id: str,
+                            values: Mapping[str, Any]) -> WorkflowTrace:
+        """Fig. 4 entry-level create: add a row to the shared table."""
+        trace = WorkflowTrace(initiator=peer_name, metadata_id=metadata_id, operation="create",
+                              started_at=self._clock.now())
+        peer = self._peer(peer_name)
+        stored = peer.shared_table(metadata_id)
+        candidate = stored.snapshot()
+        candidate.insert(values)
+        diff = diff_tables(stored, candidate)
+        trace.add_step(peer_name, "local_edit", f"create shared entry {dict(values)!r}",
+                       self._clock.now(), rows_changed=len(diff))
+        self._finish(trace, peer_name, metadata_id, "create", diff,
+                     install_initiator_view=True, reflect_initiator_source=True,
+                     candidate_view=candidate)
+        return trace
+
+    def delete_shared_entry(self, peer_name: str, metadata_id: str,
+                            key: Sequence[Any]) -> WorkflowTrace:
+        """Fig. 4 entry-level delete: remove a row from the shared table."""
+        trace = WorkflowTrace(initiator=peer_name, metadata_id=metadata_id, operation="delete",
+                              started_at=self._clock.now())
+        peer = self._peer(peer_name)
+        stored = peer.shared_table(metadata_id)
+        candidate = stored.snapshot()
+        candidate.delete_by_key(key)
+        diff = diff_tables(stored, candidate)
+        trace.add_step(peer_name, "local_edit", f"delete shared entry {tuple(key)!r}",
+                       self._clock.now(), rows_changed=len(diff))
+        self._finish(trace, peer_name, metadata_id, "delete", diff,
+                     install_initiator_view=True, reflect_initiator_source=True,
+                     candidate_view=candidate)
+        return trace
+
+    def _finish(self, trace: WorkflowTrace, peer_name: str, metadata_id: str, operation: str,
+                diff: TableDiff, install_initiator_view: bool, reflect_initiator_source: bool,
+                candidate_view: Optional[Table] = None) -> None:
+        """Run the protocol, always stamping the trace end time; rejections carry
+        the trace on the raised exception (``exc.trace``)."""
+        try:
+            self._run_protocol(peer_name, metadata_id, operation, diff, trace,
+                               install_initiator_view=install_initiator_view,
+                               reflect_initiator_source=reflect_initiator_source,
+                               candidate_view=candidate_view)
+        except UpdateRejected as exc:
+            trace.finished_at = self._clock.now()
+            exc.trace = trace  # type: ignore[attr-defined]
+            raise
+        trace.finished_at = self._clock.now()
+
+    # ------------------------------------------------------- permission admin
+
+    def change_permission(self, peer_name: str, metadata_id: str, attribute: str,
+                          new_writers: Sequence[str]) -> dict:
+        """Have the authority peer change the writers of one attribute."""
+        receipt, _blocks = self._submit_and_mine(
+            peer_name, "change_permission",
+            {"metadata_id": metadata_id, "attribute": attribute,
+             "new_writers": list(new_writers)},
+        )
+        if not receipt.success:
+            raise UpdateRejected(f"permission change rejected: {receipt.error}")
+        return receipt.return_value
+
+    # -------------------------------------------------------------- the protocol
+
+    def _run_protocol(self, initiator: str, metadata_id: str, operation: str,
+                      diff: TableDiff, trace: WorkflowTrace,
+                      install_initiator_view: bool, reflect_initiator_source: bool,
+                      candidate_view: Optional[Table] = None, depth: int = 0) -> None:
+        """Steps 2..11 of Fig. 5 (recursing into step 6's cascade)."""
+        if depth > 8:
+            raise WorkflowError("propagation cascade exceeded the supported depth")
+        peer = self._peer(initiator)
+        app = self._app(initiator)
+        agreement = peer.agreement(metadata_id)
+        counterpart = agreement.counterparty_of(initiator)
+        counterpart_app = self._app(counterpart)
+        changed_attributes = self._changed_attributes(diff, agreement)
+        diff_hash = self._diff_hash(diff)
+
+        # Step 2: request permission from the smart contract.
+        method = {"update": "request_update", "create": "request_create",
+                  "delete": "request_delete"}[operation]
+        receipt, blocks = self._submit_and_mine(
+            initiator, method,
+            {"metadata_id": metadata_id, "changed_attributes": list(changed_attributes),
+             "diff_hash": diff_hash},
+        )
+        trace.blocks_created += blocks
+        trace.add_step(initiator, "contract_request",
+                       f"send {operation} request for attributes {list(changed_attributes)}",
+                       self._clock.now(), block_number=receipt.block_number,
+                       success=receipt.success, error=receipt.error)
+        if not receipt.success:
+            trace.succeeded = False
+            trace.error = receipt.error
+            raise UpdateRejected(
+                f"{operation} on {metadata_id!r} by {initiator} rejected: {receipt.error}"
+            )
+        update_id = int(receipt.return_value["update_id"])
+
+        # The contract accepted: install the local changes on the initiator side.
+        if install_initiator_view:
+            if candidate_view is not None:
+                app.manager.replace_shared_table(metadata_id, candidate_view)
+            else:
+                app.manager.refresh_shared_table(metadata_id)
+        app.outgoing_diffs[metadata_id] = diff
+        initiator_reflected = False
+        if reflect_initiator_source:
+            source_diff = app.manager.reflect_shared_table(metadata_id)
+            initiator_reflected = True
+            trace.add_step(initiator, "bx_put",
+                           f"reflect shared-table change into local base table "
+                           f"({len(source_diff)} row change(s))", self._clock.now(),
+                           rows_changed=len(source_diff))
+
+        # Step 3: the sharing peer is notified through the contract event.
+        notifications = counterpart_app.pop_notifications(metadata_id)
+        matching = [n for n in notifications if n.update_id == update_id]
+        if not matching:
+            raise WorkflowError(
+                f"peer {counterpart!r} did not receive the contract notification for "
+                f"update {update_id} on {metadata_id!r}"
+            )
+        trace.add_step(counterpart, "notified",
+                       f"received contract notification (update #{update_id})",
+                       self._clock.now(), update_id=update_id)
+
+        # Step 4: the sharing peer fetches the newest shared data over the channel.
+        counterpart_app.request_shared_data(metadata_id, initiator, since_update=update_id)
+        transfer = app.serve_shared_data(metadata_id, counterpart, mode="diff")
+        counterpart_app.receive_shared_data(metadata_id, transfer)
+        trace.add_step(counterpart, "fetch_data",
+                       f"fetched updated shared data ({transfer.kind}, "
+                       f"{transfer.size_bytes} bytes)", self._clock.now(),
+                       transfer_kind=transfer.kind, bytes=transfer.size_bytes)
+
+        # Step 5: the sharing peer reflects the change into its complete data (put).
+        source_diff = counterpart_app.manager.reflect_shared_table(metadata_id)
+        trace.add_step(counterpart, "bx_put",
+                       f"reflect shared-table change into local base table "
+                       f"({len(source_diff)} row change(s))", self._clock.now(),
+                       rows_changed=len(source_diff))
+
+        # Metadata update / acknowledgement: the sharing peer confirms it holds
+        # the newest shared data, unblocking further operations on this table.
+        ack_receipt, ack_blocks = self._submit_and_mine(
+            counterpart, "acknowledge_update",
+            {"metadata_id": metadata_id, "update_id": update_id},
+        )
+        trace.blocks_created += ack_blocks
+        trace.add_step(counterpart, "acknowledge",
+                       "acknowledged the update on the smart contract",
+                       self._clock.now(), block_number=ack_receipt.block_number,
+                       success=ack_receipt.success)
+        if not ack_receipt.success:
+            raise WorkflowError(
+                f"acknowledgement by {counterpart!r} failed: {ack_receipt.error}"
+            )
+
+        # Step 6 and steps 7-11: both the peer that absorbed the update (the
+        # counterpart) and — when it reflected a direct edit into its own base
+        # table — the initiator must check whether other shared pieces derived
+        # from the same base table changed, and re-share them.
+        self._cascade(counterpart, metadata_id, trace, depth)
+        if initiator_reflected:
+            self._cascade(initiator, metadata_id, trace, depth)
+
+        trace.succeeded = True
+
+    def _cascade(self, peer_name: str, metadata_id: str, trace: WorkflowTrace,
+                 depth: int) -> None:
+        """Check dependent shared views of ``peer_name`` and propagate changes."""
+        app = self._app(peer_name)
+        dependents = app.manager.changed_dependents(metadata_id)
+        trace.add_step(peer_name, "check_dependencies",
+                       f"{len(dependents)} dependent shared table(s) affected",
+                       self._clock.now(), dependents=sorted(dependents))
+        for dependent_id, dependent_diff in sorted(dependents.items()):
+            trace.cascaded_metadata_ids.append(dependent_id)
+            trace.add_step(peer_name, "bx_get",
+                           f"regenerate dependent shared view {dependent_id!r} "
+                           f"({len(dependent_diff)} row change(s))", self._clock.now(),
+                           rows_changed=len(dependent_diff))
+            try:
+                self._run_protocol(peer_name, dependent_id, "update", dependent_diff, trace,
+                                   install_initiator_view=True, reflect_initiator_source=False,
+                                   depth=depth + 1)
+            except UpdateRejected as exc:
+                # A rejected cascade leg does not undo the already-accepted
+                # primary update; the peer simply keeps its other shared piece
+                # unchanged and the trace records the refusal.
+                trace.add_step(peer_name, "cascade_rejected", str(exc), self._clock.now())

@@ -1,0 +1,33 @@
+"""Cryptographic primitives used by the simulated ledger.
+
+The module provides deterministic, dependency-free stand-ins for the
+primitives a real blockchain deployment would use:
+
+* :mod:`repro.crypto.hashing` — canonical SHA-256 hashing of structured data.
+* :mod:`repro.crypto.merkle` — Merkle trees with membership proofs.
+* :mod:`repro.crypto.keys` — Schnorr-style key pairs over a prime-order group.
+* :mod:`repro.crypto.signatures` — signing and verification of payloads.
+
+These are *simulation-grade*: they are honest implementations of the textbook
+constructions, adequate for reproducing the paper's protocols, and are not
+intended to resist a real adversary.
+"""
+
+from repro.crypto.hashing import sha256_hex, hash_payload, short_hash
+from repro.crypto.merkle import MerkleTree, MerkleProof
+from repro.crypto.keys import KeyPair, generate_keypair, address_from_public_key
+from repro.crypto.signatures import Signature, sign, verify
+
+__all__ = [
+    "sha256_hex",
+    "hash_payload",
+    "short_hash",
+    "MerkleTree",
+    "MerkleProof",
+    "KeyPair",
+    "generate_keypair",
+    "address_from_public_key",
+    "Signature",
+    "sign",
+    "verify",
+]

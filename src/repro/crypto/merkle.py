@@ -1,0 +1,113 @@
+"""Merkle trees over transaction hashes.
+
+Each block commits to its transaction list through a Merkle root, and light
+verification of "transaction X is in block B" is possible through
+:class:`MerkleProof` without holding the full transaction list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.crypto.hashing import hash_pair, sha256_hex
+
+#: Root of an empty tree — hashing an empty byte string keeps it well-defined.
+EMPTY_ROOT = sha256_hex(b"")
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """A membership proof for one leaf of a Merkle tree.
+
+    Attributes
+    ----------
+    leaf:
+        The leaf hash being proven.
+    index:
+        Position of the leaf in the original sequence.
+    path:
+        Sibling hashes from the leaf to the root, each tagged with the side
+        (``"left"`` or ``"right"``) the sibling sits on.
+    """
+
+    leaf: str
+    index: int
+    path: Tuple[Tuple[str, str], ...]
+
+    def compute_root(self) -> str:
+        """Recompute the root implied by this proof."""
+        current = self.leaf
+        for side, sibling in self.path:
+            if side == "left":
+                current = hash_pair(sibling, current)
+            else:
+                current = hash_pair(current, sibling)
+        return current
+
+    def verify(self, expected_root: str) -> bool:
+        """Return ``True`` iff the proof reconstructs ``expected_root``."""
+        return self.compute_root() == expected_root
+
+
+class MerkleTree:
+    """A binary Merkle tree built over a sequence of leaf hashes.
+
+    Odd layers duplicate their last element (the Bitcoin convention), so any
+    non-empty number of leaves is supported.
+    """
+
+    def __init__(self, leaves: Sequence[str]):
+        self._leaves: List[str] = list(leaves)
+        self._layers: List[List[str]] = self._build_layers(self._leaves)
+
+    @staticmethod
+    def _build_layers(leaves: Sequence[str]) -> List[List[str]]:
+        if not leaves:
+            return [[EMPTY_ROOT]]
+        layers: List[List[str]] = [list(leaves)]
+        current = list(leaves)
+        while len(current) > 1:
+            if len(current) % 2 == 1:
+                current = current + [current[-1]]
+            current = [
+                hash_pair(current[i], current[i + 1]) for i in range(0, len(current), 2)
+            ]
+            layers.append(current)
+        return layers
+
+    @property
+    def root(self) -> str:
+        """The Merkle root committing to all leaves."""
+        return self._layers[-1][0]
+
+    @property
+    def leaves(self) -> Tuple[str, ...]:
+        return tuple(self._leaves)
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def proof(self, index: int) -> MerkleProof:
+        """Build a membership proof for the leaf at ``index``."""
+        if not self._leaves:
+            raise IndexError("cannot build a proof over an empty tree")
+        if not 0 <= index < len(self._leaves):
+            raise IndexError(f"leaf index {index} out of range")
+        path = []
+        position = index
+        for layer in self._layers[:-1]:
+            padded = layer if len(layer) % 2 == 0 else layer + [layer[-1]]
+            if position % 2 == 0:
+                sibling = padded[position + 1]
+                path.append(("right", sibling))
+            else:
+                sibling = padded[position - 1]
+                path.append(("left", sibling))
+            position //= 2
+        return MerkleProof(leaf=self._leaves[index], index=index, path=tuple(path))
+
+    @staticmethod
+    def root_of(leaves: Sequence[str]) -> str:
+        """Convenience: the Merkle root of ``leaves`` without keeping the tree."""
+        return MerkleTree(leaves).root

@@ -1,0 +1,67 @@
+"""Schnorr signatures over canonicalised payloads.
+
+Used by the ledger to authenticate transactions: every node re-verifies the
+signature of each transaction before accepting a block, mirroring how a real
+Ethereum-style chain validates sender authenticity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.hashing import canonical_json
+from repro.crypto.keys import GENERATOR, KeyPair, ORDER, PRIME
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A Schnorr signature ``(commitment, response)``."""
+
+    commitment: int
+    response: int
+
+    def to_dict(self) -> dict:
+        return {"commitment": hex(self.commitment), "response": hex(self.response)}
+
+    @staticmethod
+    def from_dict(payload: dict) -> "Signature":
+        return Signature(
+            commitment=int(payload["commitment"], 16),
+            response=int(payload["response"], 16),
+        )
+
+
+def _challenge(commitment: int, public_key: int, message: bytes) -> int:
+    """Fiat–Shamir challenge binding the commitment, key and message."""
+    material = f"{commitment:x}|{public_key:x}|".encode("utf-8") + message
+    return int(hashlib.sha256(material).hexdigest(), 16) % ORDER
+
+
+def _deterministic_nonce(private_key: int, message: bytes) -> int:
+    """RFC-6979-style deterministic nonce so signing never needs fresh entropy."""
+    key = private_key.to_bytes((private_key.bit_length() + 7) // 8 or 1, "big")
+    digest = hmac.new(key, message, hashlib.sha256).digest()
+    nonce = int.from_bytes(digest, "big") % (ORDER - 2)
+    return nonce + 1
+
+
+def sign(keypair: KeyPair, payload: Any) -> Signature:
+    """Sign a JSON-serialisable payload with ``keypair``."""
+    message = canonical_json(payload).encode("utf-8")
+    nonce = _deterministic_nonce(keypair.private_key, message)
+    commitment = pow(GENERATOR, nonce, PRIME)
+    challenge = _challenge(commitment, keypair.public_key, message)
+    response = (nonce + challenge * keypair.private_key) % ORDER
+    return Signature(commitment=commitment, response=response)
+
+
+def verify(public_key: int, payload: Any, signature: Signature) -> bool:
+    """Verify ``signature`` over ``payload`` for ``public_key``."""
+    message = canonical_json(payload).encode("utf-8")
+    challenge = _challenge(signature.commitment, public_key, message)
+    left = pow(GENERATOR, signature.response, PRIME)
+    right = (signature.commitment * pow(public_key, challenge, PRIME)) % PRIME
+    return left == right

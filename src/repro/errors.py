@@ -1,0 +1,160 @@
+"""Shared exception hierarchy for the reproduction library.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+applications embedding the library can catch a single base class, while tests
+can assert on precise failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Relational engine
+# ---------------------------------------------------------------------------
+
+class RelationalError(ReproError):
+    """Base class for errors raised by :mod:`repro.relational`."""
+
+
+class SchemaError(RelationalError):
+    """A schema definition or schema compatibility constraint was violated."""
+
+
+class ConstraintViolation(RelationalError):
+    """A table constraint (primary key, not-null, type) was violated."""
+
+
+class UnknownColumnError(RelationalError):
+    """A query or update referenced a column that does not exist."""
+
+
+class UnknownTableError(RelationalError):
+    """A database operation referenced a table that does not exist."""
+
+
+class DuplicateTableError(RelationalError):
+    """A table with the same name already exists in the database."""
+
+
+class RowNotFoundError(RelationalError):
+    """A keyed lookup did not match any row."""
+
+
+class TransactionError(RelationalError):
+    """A transaction was used incorrectly (double commit, no active txn, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Bidirectional transformations
+# ---------------------------------------------------------------------------
+
+class BXError(ReproError):
+    """Base class for errors raised by :mod:`repro.bx`."""
+
+
+class LensLawViolation(BXError):
+    """A lens failed the GetPut or PutGet round-tripping law on given data."""
+
+
+class PutConflictError(BXError):
+    """A ``put`` could not embed the view into the source unambiguously."""
+
+
+class ViewShapeError(BXError):
+    """A view passed to ``put`` is incompatible with the lens' view schema."""
+
+
+class UnknownLensError(BXError):
+    """A BX registry lookup failed."""
+
+
+# ---------------------------------------------------------------------------
+# Ledger / blockchain
+# ---------------------------------------------------------------------------
+
+class LedgerError(ReproError):
+    """Base class for errors raised by :mod:`repro.ledger`."""
+
+
+class InvalidBlockError(LedgerError):
+    """A block failed validation (hash linkage, Merkle root, consensus seal)."""
+
+
+class InvalidTransactionError(LedgerError):
+    """A transaction failed validation (signature, nonce, payload)."""
+
+
+class ForkError(LedgerError):
+    """A chain reorganisation could not be applied."""
+
+
+class ConsensusError(LedgerError):
+    """A consensus engine rejected a block or could not produce one."""
+
+
+# ---------------------------------------------------------------------------
+# Contracts
+# ---------------------------------------------------------------------------
+
+class ContractError(ReproError):
+    """Base class for errors raised by :mod:`repro.contracts`."""
+
+
+class ContractNotFoundError(ContractError):
+    """A call referenced a contract address with no deployed contract."""
+
+
+class ContractRevert(ContractError):
+    """A contract aborted execution; state changes of the call are discarded."""
+
+
+class PermissionDenied(ContractRevert):
+    """The caller lacks the permission required by the sharing contract."""
+
+
+class ContractSpecViolation(ContractError):
+    """An executable specification check of a contract failed (§IV.2)."""
+
+
+# ---------------------------------------------------------------------------
+# Network
+# ---------------------------------------------------------------------------
+
+class NetworkError(ReproError):
+    """Base class for errors raised by :mod:`repro.network`."""
+
+
+class UnknownPeerError(NetworkError):
+    """A message was addressed to a peer not registered in the transport."""
+
+
+class ChannelClosedError(NetworkError):
+    """A data channel between two peers was used after being closed."""
+
+
+# ---------------------------------------------------------------------------
+# Core sharing architecture
+# ---------------------------------------------------------------------------
+
+class SharingError(ReproError):
+    """Base class for errors raised by :mod:`repro.core`."""
+
+
+class AgreementError(SharingError):
+    """A sharing agreement is malformed or inconsistent with local schemas."""
+
+
+class UpdateRejected(SharingError):
+    """An update on shared data was rejected (permission, conflict, stale)."""
+
+
+class SynchronizationError(SharingError):
+    """Source/view synchronisation failed or produced inconsistent data."""
+
+
+class WorkflowError(SharingError):
+    """The multi-step update workflow could not be completed."""

@@ -1,0 +1,86 @@
+"""Chain archival: export a node's chain to JSON and rebuild it by replay.
+
+Two uses in the reproduction:
+
+* **bootstrap** — a late-joining node can import an archive exported by an
+  existing node and reach the same state root by re-executing every block
+  (deterministic contract execution makes the replay exact);
+* **cold audit** — an auditor without a running node can load an archive,
+  re-validate every linkage/seal/Merkle root, and inspect the history.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Optional, Union
+
+from repro.config import LedgerConfig
+from repro.errors import InvalidBlockError, LedgerError
+from repro.ledger.block import Block
+from repro.ledger.chain import Blockchain, TransactionExecutor
+
+#: Format marker so future layout changes can be detected on load.
+FORMAT_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+def chain_to_dict(chain: Blockchain) -> dict:
+    """Serialise a chain (configuration digest + every block) to a plain dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "chain_id": chain.config.chain_id,
+        "consensus": chain.config.consensus.kind,
+        "height": chain.height,
+        "blocks": [block.to_dict() for block in chain.blocks],
+    }
+
+
+def export_chain(chain: Blockchain, path: PathLike) -> pathlib.Path:
+    """Write the chain archive to ``path``; returns the path written."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(chain_to_dict(chain), indent=2, sort_keys=True),
+                      encoding="utf-8")
+    return target
+
+
+def import_chain(path: PathLike, config: LedgerConfig,
+                 executor: Optional[TransactionExecutor] = None) -> Blockchain:
+    """Rebuild a chain from an archive by re-validating and re-executing it.
+
+    The caller supplies the same ledger configuration (and an executor with the
+    same contract classes registered) that produced the archive; a mismatching
+    genesis or an invalid block aborts the import.
+    """
+    source = pathlib.Path(path)
+    if not source.exists():
+        raise LedgerError(f"no chain archive at {source}")
+    payload = json.loads(source.read_text(encoding="utf-8"))
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise LedgerError(f"unsupported archive format version {payload.get('format_version')!r}")
+    if payload.get("chain_id") != config.chain_id:
+        raise LedgerError(
+            f"archive chain id {payload.get('chain_id')} does not match configuration "
+            f"chain id {config.chain_id}"
+        )
+    chain = Blockchain(config, executor=executor)
+    blocks = [Block.from_dict(block_payload) for block_payload in payload.get("blocks", ())]
+    if not blocks:
+        raise LedgerError("archive contains no blocks")
+    if blocks[0].block_hash != chain.genesis.block_hash:
+        raise LedgerError("archive genesis does not match the configured chain")
+    for block in blocks[1:]:
+        chain.append_block(block)
+    return chain
+
+
+def verify_archive(path: PathLike, config: LedgerConfig,
+                   executor: Optional[TransactionExecutor] = None) -> bool:
+    """True when the archive at ``path`` replays into a valid chain."""
+    try:
+        chain = import_chain(path, config, executor=executor)
+    except (LedgerError, InvalidBlockError):
+        return False
+    return chain.verify_chain()

@@ -1,0 +1,149 @@
+"""Light-client verification of shared-data operations.
+
+A patient's phone should not need a full chain replica to convince itself
+that "update #17 on my shared table is included in block 42 of the chain all
+full nodes agree on".  A :class:`LightClient` keeps only block headers and
+verifies:
+
+* header-chain integrity (parent-hash linkage and consensus seals);
+* transaction inclusion, via Merkle proofs produced by any full node;
+* that an audit record's diff hash matches a transaction committed on-chain.
+
+This complements the audit trail: the trail reads a full replica, the light
+client checks a single record against headers it can fetch from anyone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.errors import InvalidBlockError, LedgerError
+from repro.ledger.block import Block, BlockHeader
+from repro.ledger.chain import Blockchain
+from repro.ledger.consensus import ConsensusEngine
+from repro.ledger.transaction import Transaction
+
+
+@dataclass(frozen=True)
+class InclusionProof:
+    """Everything a light client needs to verify one transaction's inclusion."""
+
+    tx_hash: str
+    block_number: int
+    merkle_proof: MerkleProof
+
+    def to_dict(self) -> dict:
+        return {
+            "tx_hash": self.tx_hash,
+            "block_number": self.block_number,
+            "leaf": self.merkle_proof.leaf,
+            "index": self.merkle_proof.index,
+            "path": [list(step) for step in self.merkle_proof.path],
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "InclusionProof":
+        return InclusionProof(
+            tx_hash=payload["tx_hash"],
+            block_number=payload["block_number"],
+            merkle_proof=MerkleProof(
+                leaf=payload["leaf"],
+                index=payload["index"],
+                path=tuple((side, sibling) for side, sibling in payload["path"]),
+            ),
+        )
+
+
+def build_inclusion_proof(chain: Blockchain, tx_hash: str) -> InclusionProof:
+    """Have a full node build the inclusion proof for one transaction."""
+    for block in chain.blocks:
+        hashes = list(block.transaction_hashes())
+        if tx_hash in hashes:
+            tree = MerkleTree(hashes)
+            return InclusionProof(
+                tx_hash=tx_hash,
+                block_number=block.number,
+                merkle_proof=tree.proof(hashes.index(tx_hash)),
+            )
+    raise LedgerError(f"transaction {tx_hash[:12]} is not on the chain")
+
+
+class LightClient:
+    """A header-only client that verifies inclusion proofs."""
+
+    def __init__(self, consensus: ConsensusEngine, genesis: Block):
+        self.consensus = consensus
+        self._headers: List[BlockHeader] = [genesis.header]
+
+    # ------------------------------------------------------------------ headers
+
+    @property
+    def height(self) -> int:
+        return self._headers[-1].number
+
+    @property
+    def headers(self) -> Tuple[BlockHeader, ...]:
+        return tuple(self._headers)
+
+    def accept_header(self, header: BlockHeader) -> None:
+        """Validate and append the next block header."""
+        head = self._headers[-1]
+        if header.number != head.number + 1:
+            raise InvalidBlockError(
+                f"expected header #{head.number + 1}, got #{header.number}"
+            )
+        if header.parent_hash != head.block_hash:
+            raise InvalidBlockError(
+                f"header #{header.number} does not link to the current head"
+            )
+        if header.timestamp < head.timestamp:
+            raise InvalidBlockError("header timestamp precedes its parent")
+        self.consensus.validate_seal(Block(header=header))
+        self._headers.append(header)
+
+    def sync_from(self, chain: Blockchain) -> int:
+        """Fetch headers the client is missing from a full node; returns how many."""
+        added = 0
+        for block in chain.blocks[self.height + 1:]:
+            self.accept_header(block.header)
+            added += 1
+        return added
+
+    def header(self, number: int) -> BlockHeader:
+        if not 0 <= number <= self.height:
+            raise InvalidBlockError(f"light client has no header #{number}")
+        return self._headers[number]
+
+    # ------------------------------------------------------------------- proofs
+
+    def verify_inclusion(self, proof: InclusionProof) -> bool:
+        """True when ``proof`` ties its transaction to a known, sealed header."""
+        if proof.block_number > self.height:
+            return False
+        header = self.header(proof.block_number)
+        if proof.merkle_proof.leaf != proof.tx_hash:
+            return False
+        return proof.merkle_proof.verify(header.merkle_root)
+
+    def verify_operation(self, proof: InclusionProof, transaction: Transaction,
+                         expected_metadata_id: Optional[str] = None,
+                         expected_diff_hash: Optional[str] = None) -> bool:
+        """Verify that a concrete shared-data operation is committed on-chain.
+
+        The full node hands the light client the raw transaction plus its
+        inclusion proof; the client recomputes the transaction hash itself, so
+        a lying full node cannot substitute a different payload.
+        """
+        if transaction.tx_hash != proof.tx_hash:
+            return False
+        if not transaction.verify_signature():
+            return False
+        if expected_metadata_id is not None and \
+                transaction.args.get("metadata_id") != expected_metadata_id:
+            return False
+        if expected_diff_hash is not None and \
+                transaction.args.get("diff_hash") != expected_diff_hash:
+            return False
+        return self.verify_inclusion(proof)

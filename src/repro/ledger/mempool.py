@@ -1,0 +1,85 @@
+"""The pending-transaction pool.
+
+Transactions submitted by peers wait here until a miner includes them in a
+block.  The pool keeps arrival order (the paper's contracts "dispose of the
+updates according to received requests in chronological order") and rejects
+duplicates and invalid signatures up front.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import InvalidTransactionError
+from repro.ledger.transaction import Transaction
+
+
+class Mempool:
+    """An ordered pool of pending transactions."""
+
+    def __init__(self, require_signatures: bool = True):
+        self._pending: List[Transaction] = []
+        self._hashes: Dict[str, Transaction] = {}
+        self.require_signatures = require_signatures
+        self._rejected_count = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __contains__(self, tx_hash: object) -> bool:
+        return tx_hash in self._hashes
+
+    @property
+    def rejected_count(self) -> int:
+        """How many submissions were rejected (duplicates or bad signatures)."""
+        return self._rejected_count
+
+    def submit(self, tx: Transaction) -> str:
+        """Add a transaction to the pool; returns its hash.
+
+        Raises :class:`InvalidTransactionError` for unsigned/duplicate
+        transactions rather than silently dropping them — errors should never
+        pass silently.
+        """
+        if self.require_signatures and not tx.verify_signature():
+            self._rejected_count += 1
+            raise InvalidTransactionError(
+                f"transaction from {tx.sender} has a missing or invalid signature"
+            )
+        tx_hash = tx.tx_hash
+        if tx_hash in self._hashes:
+            self._rejected_count += 1
+            raise InvalidTransactionError(f"duplicate transaction {tx_hash[:12]}")
+        self._pending.append(tx)
+        self._hashes[tx_hash] = tx
+        return tx_hash
+
+    def submit_many(self, txs: Iterable[Transaction]) -> List[str]:
+        return [self.submit(tx) for tx in txs]
+
+    def peek(self, limit: Optional[int] = None) -> Tuple[Transaction, ...]:
+        """The oldest pending transactions, without removing them."""
+        if limit is None:
+            return tuple(self._pending)
+        return tuple(self._pending[:limit])
+
+    def remove(self, tx_hashes: Iterable[str]) -> int:
+        """Remove the given transactions (after block inclusion); returns count removed."""
+        to_remove = set(tx_hashes)
+        before = len(self._pending)
+        self._pending = [tx for tx in self._pending if tx.tx_hash not in to_remove]
+        for tx_hash in to_remove:
+            self._hashes.pop(tx_hash, None)
+        return before - len(self._pending)
+
+    def clear(self) -> None:
+        self._pending = []
+        self._hashes = {}
+
+    def pending_for_sender(self, sender: str) -> Tuple[Transaction, ...]:
+        return tuple(tx for tx in self._pending if tx.sender == sender)
+
+    def next_nonce(self, sender: str, confirmed_nonce: int) -> int:
+        """The next nonce a sender should use given its confirmed account nonce."""
+        pending = [tx.nonce for tx in self.pending_for_sender(sender)]
+        return max([confirmed_nonce - 1] + pending) + 1

@@ -1,0 +1,132 @@
+"""The block producer.
+
+The miner drains the mempool into new blocks, honouring:
+
+* the per-block transaction and gas limits;
+* the paper's serialisation rule (§III-B): *"one block can contain one
+  transaction at most on some shared data at one time"* — conflicting update
+  requests on the same shared table are deferred to later blocks;
+* the consensus engine's sealing procedure and block interval.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.ledger.block import Block, BlockHeader
+from repro.ledger.chain import Blockchain
+from repro.ledger.clock import SimClock
+from repro.ledger.gas import GasSchedule
+from repro.ledger.mempool import Mempool
+from repro.ledger.transaction import Transaction, TransactionReceipt
+
+#: Returns the "shared data key" a transaction contends on, or None when the
+#: transaction is not an update request on shared data.
+ConflictKeyFn = Callable[[Transaction], Optional[str]]
+
+
+def default_conflict_key(tx: Transaction) -> Optional[str]:
+    """The default contention rule.
+
+    Contract calls that request an operation on shared data carry the target
+    ``metadata_id`` in their arguments; two requests on the same metadata id
+    may not share a block.
+    """
+    if tx.kind != "call":
+        return None
+    if tx.method in ("request_update", "request_create", "request_delete"):
+        metadata_id = tx.args.get("metadata_id")
+        return str(metadata_id) if metadata_id is not None else None
+    return None
+
+
+class Miner:
+    """Builds, seals and appends blocks from a mempool."""
+
+    def __init__(
+        self,
+        chain: Blockchain,
+        mempool: Mempool,
+        clock: SimClock,
+        proposer: str = "miner-0",
+        conflict_key: ConflictKeyFn = default_conflict_key,
+        enforce_serialization: bool = True,
+    ):
+        self.chain = chain
+        self.mempool = mempool
+        self.clock = clock
+        self.proposer = proposer
+        self.conflict_key = conflict_key
+        self.enforce_serialization = enforce_serialization
+        self.gas_schedule = GasSchedule(
+            per_transaction=chain.config.gas_per_transaction,
+            per_payload_byte=chain.config.gas_per_payload_byte,
+        )
+        self.blocks_mined = 0
+
+    # ------------------------------------------------------------ block packing
+
+    def _select_transactions(self) -> List[Transaction]:
+        """Choose the transactions for the next block, oldest first."""
+        selected: List[Transaction] = []
+        used_keys = set()
+        gas_used = 0
+        for tx in self.mempool.peek():
+            if len(selected) >= self.chain.config.max_transactions_per_block:
+                break
+            gas = self.gas_schedule.intrinsic_gas(tx)
+            if gas_used + gas > self.chain.config.gas_limit_per_block:
+                continue
+            if self.enforce_serialization:
+                key = self.conflict_key(tx)
+                if key is not None:
+                    if key in used_keys:
+                        # The paper's rule: defer the second update on the same
+                        # shared data to a later block.
+                        continue
+                    used_keys.add(key)
+            selected.append(tx)
+            gas_used += gas
+        return selected
+
+    def mine_block(self) -> Optional[Block]:
+        """Mine one block from the current mempool.
+
+        Returns None when the mempool is empty — the simulated chain does not
+        produce empty blocks (nothing in the paper requires them and the
+        benchmarks only care about blocks carrying requests).
+        """
+        transactions = self._select_transactions()
+        if not transactions:
+            return None
+        header = BlockHeader(
+            number=self.chain.height + 1,
+            parent_hash=self.chain.head.block_hash,
+            merkle_root="",
+            timestamp=self.clock.now(),
+            proposer=self.proposer,
+        )
+        block = Block(header=header, transactions=tuple(transactions))
+        header.merkle_root = block.compute_merkle_root()
+        self.chain.consensus.seal(header, self.clock)
+        sealed = Block(header=header, transactions=tuple(transactions))
+        self.chain.append_block(sealed)
+        self.mempool.remove(sealed.transaction_hashes())
+        self.blocks_mined += 1
+        return sealed
+
+    def mine_until_empty(self, max_blocks: int = 1_000) -> List[Block]:
+        """Mine blocks until the mempool is drained (or ``max_blocks`` reached)."""
+        mined: List[Block] = []
+        while len(self.mempool) > 0 and len(mined) < max_blocks:
+            block = self.mine_block()
+            if block is None:
+                break
+            mined.append(block)
+        return mined
+
+    # ----------------------------------------------------------------- metrics
+
+    def receipts_of(self, block: Block) -> Tuple[TransactionReceipt, ...]:
+        """Receipts of every transaction in ``block``."""
+        return tuple(self.chain.receipt(tx_hash) for tx_hash in block.transaction_hashes())

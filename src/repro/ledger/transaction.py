@@ -1,0 +1,170 @@
+"""Transactions and receipts.
+
+A transaction is a signed request from an account: either a plain value/data
+transfer, a contract deployment, or a contract call.  Contract calls carry a
+method name and keyword arguments; the contract runtime executes them when a
+block is applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.crypto.hashing import hash_payload
+from repro.crypto.keys import KeyPair
+from repro.crypto.signatures import Signature, sign, verify
+from repro.errors import InvalidTransactionError
+
+
+@dataclass
+class Transaction:
+    """A signed ledger transaction.
+
+    Attributes
+    ----------
+    sender:
+        Address of the originating account.
+    kind:
+        ``"transfer"``, ``"deploy"`` or ``"call"``.
+    nonce:
+        Per-sender sequence number, preventing replay and ordering a sender's
+        transactions.
+    contract:
+        Target contract address for ``call`` transactions; for ``deploy``
+        transactions it is filled with the created address by the runtime.
+    method:
+        Contract method name for ``call`` transactions, or the contract class
+        name for ``deploy`` transactions.
+    args:
+        Keyword arguments of the call / constructor.
+    payload:
+        Free-form extra data (used by baselines that store raw data on-chain).
+    timestamp:
+        Simulated submission time.
+    """
+
+    sender: str
+    kind: str
+    nonce: int
+    contract: Optional[str] = None
+    method: Optional[str] = None
+    args: Dict[str, Any] = field(default_factory=dict)
+    payload: Dict[str, Any] = field(default_factory=dict)
+    timestamp: float = 0.0
+    sender_public_key: Optional[int] = None
+    signature: Optional[Signature] = None
+
+    VALID_KINDS = ("transfer", "deploy", "call")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.VALID_KINDS:
+            raise InvalidTransactionError(f"unknown transaction kind {self.kind!r}")
+        if self.nonce < 0:
+            raise InvalidTransactionError("nonce must be non-negative")
+
+    # ------------------------------------------------------------------ identity
+
+    def signing_payload(self) -> dict:
+        """The part of the transaction covered by the signature."""
+        return {
+            "sender": self.sender,
+            "kind": self.kind,
+            "nonce": self.nonce,
+            "contract": self.contract,
+            "method": self.method,
+            "args": self.args,
+            "payload": self.payload,
+            "timestamp": self.timestamp,
+        }
+
+    @property
+    def tx_hash(self) -> str:
+        """The transaction hash (includes the signature when present)."""
+        body = self.signing_payload()
+        if self.signature is not None:
+            body["signature"] = self.signature.to_dict()
+        return hash_payload(body)
+
+    # ------------------------------------------------------------------ signing
+
+    def signed_by(self, keypair: KeyPair) -> "Transaction":
+        """Return a copy of this transaction signed with ``keypair``."""
+        if keypair.address != self.sender:
+            raise InvalidTransactionError(
+                f"key address {keypair.address} does not match sender {self.sender}"
+            )
+        signature = sign(keypair, self.signing_payload())
+        return Transaction(
+            sender=self.sender,
+            kind=self.kind,
+            nonce=self.nonce,
+            contract=self.contract,
+            method=self.method,
+            args=dict(self.args),
+            payload=dict(self.payload),
+            timestamp=self.timestamp,
+            sender_public_key=keypair.public_key,
+            signature=signature,
+        )
+
+    def verify_signature(self) -> bool:
+        """True when the transaction carries a valid signature of its sender."""
+        if self.signature is None or self.sender_public_key is None:
+            return False
+        from repro.crypto.keys import address_from_public_key
+
+        if address_from_public_key(self.sender_public_key) != self.sender:
+            return False
+        return verify(self.sender_public_key, self.signing_payload(), self.signature)
+
+    # ------------------------------------------------------------- serialisation
+
+    def to_dict(self) -> dict:
+        body = self.signing_payload()
+        body["sender_public_key"] = hex(self.sender_public_key) if self.sender_public_key else None
+        body["signature"] = self.signature.to_dict() if self.signature else None
+        return body
+
+    @staticmethod
+    def from_dict(payload: dict) -> "Transaction":
+        return Transaction(
+            sender=payload["sender"],
+            kind=payload["kind"],
+            nonce=payload["nonce"],
+            contract=payload.get("contract"),
+            method=payload.get("method"),
+            args=dict(payload.get("args", {})),
+            payload=dict(payload.get("payload", {})),
+            timestamp=payload.get("timestamp", 0.0),
+            sender_public_key=int(payload["sender_public_key"], 16)
+            if payload.get("sender_public_key") else None,
+            signature=Signature.from_dict(payload["signature"])
+            if payload.get("signature") else None,
+        )
+
+
+@dataclass(frozen=True)
+class TransactionReceipt:
+    """The outcome of executing one transaction inside a block."""
+
+    tx_hash: str
+    block_number: int
+    success: bool
+    gas_used: int
+    return_value: Any = None
+    error: Optional[str] = None
+    contract_address: Optional[str] = None
+    events: Tuple[dict, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "tx_hash": self.tx_hash,
+            "block_number": self.block_number,
+            "success": self.success,
+            "gas_used": self.gas_used,
+            "return_value": self.return_value,
+            "error": self.error,
+            "contract_address": self.contract_address,
+            "events": list(self.events),
+        }

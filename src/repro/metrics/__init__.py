@@ -1,0 +1,22 @@
+"""Metric collection and reporting for the benchmark harness."""
+
+from repro.metrics.collectors import (
+    ExposureReport,
+    LatencyCollector,
+    StorageComparison,
+    ThroughputResult,
+    exposure_report,
+    measure_throughput,
+)
+from repro.metrics.reporting import format_table, format_series
+
+__all__ = [
+    "LatencyCollector",
+    "ThroughputResult",
+    "ExposureReport",
+    "StorageComparison",
+    "exposure_report",
+    "measure_throughput",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,151 @@
+"""Pairwise shared-data channels.
+
+The paper insists that "data transfer only exists between sharing peers" and
+that modifications on data shared by two nodes are never disclosed to a third
+party.  A :class:`DataChannel` is that pairwise pipe: it can carry a data
+request, a full shared-table snapshot, or a row-level diff — and it records
+everything it carried so exposure can be audited per channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ChannelClosedError, UnknownPeerError
+from repro.ledger.clock import SimClock
+from repro.relational.diff import TableDiff
+from repro.relational.table import Table
+
+
+@dataclass
+class ChannelTransfer:
+    """One payload carried by a channel."""
+
+    sender: str
+    recipient: str
+    kind: str                      # "request" | "snapshot" | "diff"
+    shared_table: str
+    payload: Dict[str, Any]
+    timestamp: float
+    size_bytes: int
+
+
+class DataChannel:
+    """A bidirectional channel between exactly two sharing peers."""
+
+    def __init__(self, peer_a: str, peer_b: str, clock: SimClock, latency: float = 0.05):
+        self.peers = frozenset({peer_a, peer_b})
+        if len(self.peers) != 2:
+            raise UnknownPeerError("a data channel needs two distinct peers")
+        self.clock = clock
+        self.latency = latency
+        self.open = True
+        self._transfers: List[ChannelTransfer] = []
+
+    def _check(self, sender: str, recipient: str) -> None:
+        if not self.open:
+            raise ChannelClosedError("the data channel has been closed")
+        if sender not in self.peers or recipient not in self.peers:
+            raise UnknownPeerError(
+                f"peers {sender!r}/{recipient!r} do not both belong to this channel"
+            )
+
+    def _record(self, sender: str, recipient: str, kind: str, shared_table: str,
+                payload: Mapping[str, Any]) -> ChannelTransfer:
+        from repro.crypto.hashing import canonical_json
+
+        self.clock.advance(self.latency)
+        transfer = ChannelTransfer(
+            sender=sender,
+            recipient=recipient,
+            kind=kind,
+            shared_table=shared_table,
+            payload=dict(payload),
+            timestamp=self.clock.now(),
+            size_bytes=len(canonical_json(dict(payload)).encode("utf-8")),
+        )
+        self._transfers.append(transfer)
+        return transfer
+
+    # ------------------------------------------------------------------- sends
+
+    def request_data(self, sender: str, recipient: str, shared_table: str,
+                     since_update: Optional[int] = None) -> ChannelTransfer:
+        """Ask the other peer for the newest contents of a shared table."""
+        self._check(sender, recipient)
+        return self._record(sender, recipient, "request", shared_table,
+                            {"shared_table": shared_table, "since_update": since_update})
+
+    def send_snapshot(self, sender: str, recipient: str, table: Table) -> ChannelTransfer:
+        """Send a full snapshot of the shared table."""
+        self._check(sender, recipient)
+        return self._record(sender, recipient, "snapshot", table.name, table.to_dict())
+
+    def send_diff(self, sender: str, recipient: str, diff: TableDiff) -> ChannelTransfer:
+        """Send only the row-level changes of the shared table."""
+        self._check(sender, recipient)
+        return self._record(sender, recipient, "diff", diff.table_name, diff.to_dict())
+
+    def close(self) -> None:
+        self.open = False
+
+    # ----------------------------------------------------------------- queries
+
+    @property
+    def transfers(self) -> Tuple[ChannelTransfer, ...]:
+        return tuple(self._transfers)
+
+    def bytes_transferred(self) -> int:
+        return sum(t.size_bytes for t in self._transfers)
+
+    def tables_seen_by(self, peer: str) -> Tuple[str, ...]:
+        """Shared tables whose contents were delivered to ``peer`` over this channel."""
+        seen = []
+        for transfer in self._transfers:
+            if transfer.recipient == peer and transfer.kind in ("snapshot", "diff"):
+                if transfer.shared_table not in seen:
+                    seen.append(transfer.shared_table)
+        return tuple(seen)
+
+
+class ChannelRegistry:
+    """All pairwise channels of the system, keyed by the unordered peer pair."""
+
+    def __init__(self, clock: SimClock, latency: float = 0.05):
+        self.clock = clock
+        self.latency = latency
+        self._channels: Dict[frozenset, DataChannel] = {}
+
+    def channel_between(self, peer_a: str, peer_b: str) -> DataChannel:
+        """Return (creating if needed) the channel between two peers."""
+        key = frozenset({peer_a, peer_b})
+        if len(key) != 2:
+            raise UnknownPeerError("a data channel needs two distinct peers")
+        if key not in self._channels:
+            self._channels[key] = DataChannel(peer_a, peer_b, self.clock, self.latency)
+        return self._channels[key]
+
+    def has_channel(self, peer_a: str, peer_b: str) -> bool:
+        return frozenset({peer_a, peer_b}) in self._channels
+
+    @property
+    def channels(self) -> Tuple[DataChannel, ...]:
+        return tuple(self._channels.values())
+
+    def all_transfers(self) -> Tuple[ChannelTransfer, ...]:
+        transfers: List[ChannelTransfer] = []
+        for channel in self._channels.values():
+            transfers.extend(channel.transfers)
+        return tuple(sorted(transfers, key=lambda t: t.timestamp))
+
+    def exposure_report(self) -> Dict[str, Tuple[str, ...]]:
+        """For each peer, the shared tables whose data it received over any channel."""
+        report: Dict[str, List[str]] = {}
+        for channel in self._channels.values():
+            for peer in channel.peers:
+                for table in channel.tables_seen_by(peer):
+                    report.setdefault(peer, [])
+                    if table not in report[peer]:
+                        report[peer].append(table)
+        return {peer: tuple(tables) for peer, tables in report.items()}

@@ -1,0 +1,86 @@
+"""Transaction and block gossip.
+
+A minimal flooding protocol: when a client submits a transaction it is
+broadcast to every node; when the miner seals a block it is broadcast to
+every node.  Nodes deduplicate by hash, so the simulation tolerates redundant
+delivery the way a real gossip mesh does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ledger.block import Block
+from repro.ledger.transaction import Transaction
+from repro.network.node import BlockchainNode
+from repro.network.transport import SimTransport
+
+
+class GossipProtocol:
+    """Floods transactions and blocks to all registered nodes."""
+
+    def __init__(self, transport: SimTransport):
+        self.transport = transport
+        self._nodes: Dict[str, BlockchainNode] = {}
+
+    def register_node(self, node: BlockchainNode) -> None:
+        """Attach a node to the gossip mesh."""
+        self._nodes[node.name] = node
+        self.transport.register(node.name, node.handle_message)
+
+    @property
+    def nodes(self) -> Tuple[BlockchainNode, ...]:
+        return tuple(self._nodes.values())
+
+    def node(self, name: str) -> BlockchainNode:
+        return self._nodes[name]
+
+    @property
+    def miner_nodes(self) -> Tuple[BlockchainNode, ...]:
+        return tuple(node for node in self._nodes.values() if node.is_miner)
+
+    # ------------------------------------------------------------------ gossip
+
+    def broadcast_transaction(self, origin: str, transaction: Transaction) -> int:
+        """Gossip a transaction from ``origin`` to every other node."""
+        if origin in self._nodes:
+            self._nodes[origin].receive_transaction(transaction)
+        messages = self.transport.broadcast(
+            origin, "tx", transaction.to_dict(), exclude=()
+        )
+        self.transport.flush()
+        return len(messages)
+
+    def broadcast_block(self, origin: str, block: Block) -> int:
+        """Gossip a sealed block from ``origin`` to every other node."""
+        messages = self.transport.broadcast(origin, "block", block.to_dict())
+        self.transport.flush()
+        return len(messages)
+
+    # ------------------------------------------------------------------ mining
+
+    def mine_and_propagate(self, miner_name: Optional[str] = None) -> List[Block]:
+        """Have a miner drain its mempool and gossip every block it seals."""
+        miners = [self._nodes[miner_name]] if miner_name else list(self.miner_nodes)
+        mined: List[Block] = []
+        for node in miners:
+            if node.miner is None:
+                continue
+            while True:
+                block = node.miner.mine_block()
+                if block is None:
+                    break
+                mined.append(block)
+                self.broadcast_block(node.name, block)
+        return mined
+
+    # ------------------------------------------------------------------ checks
+
+    def in_consensus(self) -> bool:
+        """True when every node's replica has the same height and state root."""
+        nodes = list(self._nodes.values())
+        if len(nodes) < 2:
+            return True
+        heights = {node.chain.height for node in nodes}
+        roots = {node.state_root() for node in nodes}
+        return len(heights) == 1 and len(roots) == 1

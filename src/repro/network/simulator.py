@@ -1,0 +1,98 @@
+"""Assembly of the simulated network.
+
+A :class:`NetworkSimulator` owns the simulated clock, the transport, the
+gossip mesh of blockchain nodes, and the registry of pairwise data channels.
+The core system (:mod:`repro.core.system`) builds one simulator and attaches
+the application-level peers (doctor, patient, researcher, ...) to it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.config import LedgerConfig, NetworkConfig
+from repro.contracts.base import Contract
+from repro.ledger.block import Block
+from repro.ledger.clock import SimClock
+from repro.ledger.transaction import Transaction
+from repro.network.channels import ChannelRegistry
+from repro.network.gossip import GossipProtocol
+from repro.network.node import BlockchainNode
+from repro.network.transport import SimTransport
+
+
+class NetworkSimulator:
+    """Clock + transport + blockchain nodes + pairwise data channels."""
+
+    def __init__(self, ledger_config: LedgerConfig = LedgerConfig(),
+                 network_config: NetworkConfig = NetworkConfig(),
+                 contract_classes: Tuple[Type[Contract], ...] = ()):
+        self.clock = SimClock()
+        self.ledger_config = ledger_config
+        self.network_config = network_config
+        self.contract_classes = tuple(contract_classes)
+        self.transport = SimTransport(self.clock, network_config)
+        self.gossip = GossipProtocol(self.transport)
+        self.channels = ChannelRegistry(self.clock, latency=network_config.base_latency)
+
+    # -------------------------------------------------------------------- nodes
+
+    def add_node(self, name: str, is_miner: bool = False) -> BlockchainNode:
+        """Create a blockchain node and attach it to the gossip mesh.
+
+        A node added after blocks have already been produced first syncs its
+        replica from an existing node, so late-joining peers observe the same
+        contract state as everyone else.
+        """
+        existing = list(self.gossip.nodes)
+        node = BlockchainNode(
+            name=name,
+            clock=self.clock,
+            config=self.ledger_config,
+            contract_classes=self.contract_classes,
+            is_miner=is_miner,
+        )
+        if existing and existing[0].chain.height > 0:
+            node.sync_with(existing[0])
+        self.gossip.register_node(node)
+        return node
+
+    def node(self, name: str) -> BlockchainNode:
+        return self.gossip.node(name)
+
+    @property
+    def nodes(self) -> Tuple[BlockchainNode, ...]:
+        return self.gossip.nodes
+
+    # -------------------------------------------------------------- transactions
+
+    def submit_transaction(self, via_node: str, transaction: Transaction) -> str:
+        """Submit a signed transaction through a trusted node and gossip it."""
+        self.gossip.broadcast_transaction(via_node, transaction)
+        return transaction.tx_hash
+
+    def mine(self, miner_name: Optional[str] = None) -> List[Block]:
+        """Produce blocks from pending transactions and propagate them."""
+        return self.gossip.mine_and_propagate(miner_name)
+
+    def submit_and_mine(self, via_node: str, transaction: Transaction) -> List[Block]:
+        """Submit one transaction and immediately mine it into a block."""
+        self.submit_transaction(via_node, transaction)
+        return self.mine()
+
+    # -------------------------------------------------------------------- checks
+
+    def in_consensus(self) -> bool:
+        return self.gossip.in_consensus()
+
+    def statistics(self) -> Dict[str, object]:
+        """A summary of network and chain activity, used by benchmarks."""
+        any_node = self.nodes[0] if self.nodes else None
+        return {
+            "now": self.clock.now(),
+            "transport": self.transport.statistics,
+            "channel_bytes": sum(c.bytes_transferred() for c in self.channels.channels),
+            "chain_height": any_node.chain.height if any_node else 0,
+            "chain_storage_bytes": any_node.chain.storage_bytes() if any_node else 0,
+            "in_consensus": self.in_consensus(),
+        }

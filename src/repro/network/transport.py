@@ -1,0 +1,135 @@
+"""The seeded, logged message transport.
+
+Handlers are registered per peer name; :meth:`SimTransport.send` enqueues a
+message and :meth:`SimTransport.flush` delivers pending messages in timestamp
+order, applying latency and (optionally) message drops from a seeded RNG.
+Every message — delivered or dropped — is kept in the transport log, which
+the exposure benchmark audits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.config import NetworkConfig
+from repro.errors import UnknownPeerError
+from repro.ledger.clock import SimClock
+from repro.network.message import Message
+
+#: A handler receives the delivered message.
+MessageHandler = Callable[[Message], None]
+
+
+class SimTransport:
+    """Delivers messages between registered peers with simulated latency."""
+
+    def __init__(self, clock: SimClock, config: NetworkConfig = NetworkConfig()):
+        self.clock = clock
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._handlers: Dict[str, MessageHandler] = {}
+        self._queue: List[Message] = []
+        self._log: List[Message] = []
+        self._delivered_count = 0
+        self._dropped_count = 0
+
+    # ------------------------------------------------------------- registration
+
+    def register(self, name: str, handler: MessageHandler) -> None:
+        """Register (or replace) the handler for peer ``name``."""
+        self._handlers[name] = handler
+
+    def is_registered(self, name: str) -> bool:
+        return name in self._handlers
+
+    @property
+    def peer_names(self) -> Tuple[str, ...]:
+        return tuple(self._handlers)
+
+    # ------------------------------------------------------------------ sending
+
+    def send(self, sender: str, recipient: str, kind: str,
+             payload: Optional[Mapping[str, Any]] = None) -> Message:
+        """Queue a message for delivery; returns the envelope."""
+        if recipient not in self._handlers:
+            raise UnknownPeerError(f"unknown recipient {recipient!r}")
+        message = Message(
+            sender=sender,
+            recipient=recipient,
+            kind=kind,
+            payload=dict(payload or {}),
+            sent_at=self.clock.now(),
+        )
+        self._queue.append(message)
+        self._log.append(message)
+        return message
+
+    def broadcast(self, sender: str, kind: str, payload: Optional[Mapping[str, Any]] = None,
+                  exclude: Tuple[str, ...] = ()) -> List[Message]:
+        """Send the same message to every registered peer except ``sender``/``exclude``."""
+        messages = []
+        for name in self._handlers:
+            if name == sender or name in exclude:
+                continue
+            messages.append(self.send(sender, name, kind, payload))
+        return messages
+
+    # ----------------------------------------------------------------- delivery
+
+    def _latency_for(self, message: Message) -> float:
+        jitter = self._rng.uniform(0, self.config.latency_jitter)
+        return self.config.base_latency + jitter
+
+    def flush(self, advance_clock: bool = True) -> int:
+        """Deliver every queued message in order; returns how many were delivered.
+
+        Delivery of one message may enqueue new ones (a handler replying);
+        those are delivered too, so a call to ``flush`` runs the network to
+        quiescence.
+        """
+        delivered = 0
+        while self._queue:
+            message = self._queue.pop(0)
+            if self.config.drop_rate > 0 and self._rng.random() < self.config.drop_rate:
+                message.dropped = True
+                self._dropped_count += 1
+                continue
+            latency = self._latency_for(message)
+            if advance_clock:
+                self.clock.advance(latency)
+            message.delivered_at = self.clock.now()
+            handler = self._handlers.get(message.recipient)
+            if handler is None:
+                raise UnknownPeerError(f"recipient {message.recipient!r} vanished")
+            handler(message)
+            delivered += 1
+            self._delivered_count += 1
+        return delivered
+
+    # --------------------------------------------------------------------- log
+
+    @property
+    def log(self) -> Tuple[Message, ...]:
+        """Every message ever sent through this transport."""
+        return tuple(self._log)
+
+    @property
+    def statistics(self) -> Dict[str, int]:
+        return {
+            "sent": len(self._log),
+            "delivered": self._delivered_count,
+            "dropped": self._dropped_count,
+            "pending": len(self._queue),
+        }
+
+    def messages_seen_by(self, peer: str) -> Tuple[Message, ...]:
+        """Messages delivered to ``peer`` (what that peer has been exposed to)."""
+        return tuple(m for m in self._log if m.recipient == peer and m.delivered_at is not None)
+
+    def messages_of_kind(self, kind: str) -> Tuple[Message, ...]:
+        return tuple(m for m in self._log if m.kind == kind)
+
+    def bytes_transferred(self) -> int:
+        """Total payload bytes of delivered messages."""
+        return sum(m.size_bytes() for m in self._log if m.delivered_at is not None)

@@ -1,0 +1,213 @@
+"""A named collection of tables, views and indexes: a peer's local database.
+
+The database layer ties together tables, the WAL, transactions, indexes and
+registered view definitions.  Every peer in :mod:`repro.core` owns exactly one
+:class:`Database` (its "full database and many data pieces shared with other
+users", Fig. 2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import (
+    DuplicateTableError,
+    UnknownTableError,
+)
+from repro.relational.index import HashIndex
+from repro.relational.predicates import Predicate
+from repro.relational.query import Query, execute_query
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.relational.transactions import TransactionManager
+from repro.relational.wal import WriteAheadLog
+
+
+class Database:
+    """An in-memory multi-table database with logged mutations."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+        self._views: Dict[str, Query] = {}
+        self._indexes: Dict[Tuple[str, Tuple[str, ...]], HashIndex] = {}
+        self.wal = WriteAheadLog()
+        self.transactions = TransactionManager(self._tables)
+
+    # ----------------------------------------------------------------- tables
+
+    def create_table(self, name: str, schema: Schema,
+                     rows: Iterable[Mapping[str, Any]] = ()) -> Table:
+        """Create a base table; fails if the name already exists."""
+        if name in self._tables:
+            raise DuplicateTableError(f"table {name!r} already exists in database {self.name!r}")
+        table = Table(name, schema, rows)
+        self._tables[name] = table
+        self.transactions.register_table(name, table)
+        self.wal.append("create_table", name, {"schema": schema.to_dict(), "rows": len(table)},
+                        self.transactions.current_transaction_id())
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Drop a base table."""
+        if name not in self._tables:
+            raise UnknownTableError(f"unknown table {name!r}")
+        del self._tables[name]
+        self._indexes = {key: idx for key, idx in self._indexes.items() if key[0] != name}
+        self.wal.append("drop_table", name, {}, self.transactions.current_transaction_id())
+
+    def table(self, name: str) -> Table:
+        """Look up one base table by name."""
+        if name not in self._tables:
+            raise UnknownTableError(f"unknown table {name!r} in database {self.name!r}")
+        return self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def table_names(self) -> Tuple[str, ...]:
+        return tuple(self._tables)
+
+    @property
+    def tables(self) -> Dict[str, Table]:
+        """A shallow copy of the name → table mapping."""
+        return dict(self._tables)
+
+    # ------------------------------------------------------------------ writes
+
+    def insert(self, table_name: str, values: Mapping[str, Any]) -> None:
+        """Insert one row into a table (logged)."""
+        table = self.table(table_name)
+        row = table.insert(values)
+        self.wal.append("insert", table_name, {"row": row.to_dict()},
+                        self.transactions.current_transaction_id())
+        self._refresh_indexes(table_name)
+
+    def insert_many(self, table_name: str, rows: Iterable[Mapping[str, Any]]) -> int:
+        """Insert several rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(table_name, row)
+            count += 1
+        return count
+
+    def update_by_key(self, table_name: str, key: Sequence[Any],
+                      updates: Mapping[str, Any]) -> None:
+        """Update one keyed row (logged)."""
+        table = self.table(table_name)
+        row = table.update_by_key(key, updates)
+        self.wal.append(
+            "update", table_name,
+            {"key": list(key) if isinstance(key, (list, tuple)) else [key],
+             "updates": dict(updates), "row": row.to_dict()},
+            self.transactions.current_transaction_id(),
+        )
+        self._refresh_indexes(table_name)
+
+    def update_where(self, table_name: str, predicate: Predicate,
+                     updates: Mapping[str, Any]) -> int:
+        """Update matching rows (logged); returns the count."""
+        table = self.table(table_name)
+        count = table.update_where(predicate, updates)
+        self.wal.append(
+            "update", table_name,
+            {"predicate": predicate.to_dict(), "updates": dict(updates), "count": count},
+            self.transactions.current_transaction_id(),
+        )
+        self._refresh_indexes(table_name)
+        return count
+
+    def delete_by_key(self, table_name: str, key: Sequence[Any]) -> None:
+        """Delete one keyed row (logged)."""
+        table = self.table(table_name)
+        row = table.delete_by_key(key)
+        self.wal.append(
+            "delete", table_name,
+            {"key": list(key) if isinstance(key, (list, tuple)) else [key], "row": row.to_dict()},
+            self.transactions.current_transaction_id(),
+        )
+        self._refresh_indexes(table_name)
+
+    def delete_where(self, table_name: str, predicate: Predicate) -> int:
+        """Delete matching rows (logged); returns the count."""
+        table = self.table(table_name)
+        count = table.delete_where(predicate)
+        self.wal.append(
+            "delete", table_name,
+            {"predicate": predicate.to_dict(), "count": count},
+            self.transactions.current_transaction_id(),
+        )
+        self._refresh_indexes(table_name)
+        return count
+
+    def replace_table(self, table_name: str, rows: Iterable[Mapping[str, Any]]) -> None:
+        """Atomically replace a table's contents (used by BX ``put``; logged)."""
+        table = self.table(table_name)
+        table.replace_all(rows)
+        self.wal.append("replace", table_name, {"rows": len(table)},
+                        self.transactions.current_transaction_id())
+        self._refresh_indexes(table_name)
+
+    # ------------------------------------------------------------------- reads
+
+    def query(self, query: Query, name: Optional[str] = None) -> Table:
+        """Evaluate a query AST over this database's base tables."""
+        return execute_query(query, self._tables, name=name)
+
+    def select(self, table_name: str, predicate: Predicate = None) -> List:
+        """Shorthand row selection from one table."""
+        return self.table(table_name).select(predicate)
+
+    # ------------------------------------------------------------------- views
+
+    def register_view(self, name: str, definition: Query) -> None:
+        """Register a named view definition (not materialised)."""
+        self._views[name] = definition
+
+    def view(self, name: str) -> Table:
+        """Materialise a registered view."""
+        if name not in self._views:
+            raise UnknownTableError(f"unknown view {name!r} in database {self.name!r}")
+        return self.query(self._views[name], name=name)
+
+    def view_definition(self, name: str) -> Query:
+        if name not in self._views:
+            raise UnknownTableError(f"unknown view {name!r} in database {self.name!r}")
+        return self._views[name]
+
+    @property
+    def view_names(self) -> Tuple[str, ...]:
+        return tuple(self._views)
+
+    # ----------------------------------------------------------------- indexes
+
+    def create_index(self, table_name: str, columns: Sequence[str]) -> HashIndex:
+        """Create (or return an existing) hash index on ``columns``."""
+        key = (table_name, tuple(columns))
+        if key not in self._indexes:
+            self._indexes[key] = HashIndex(self.table(table_name), columns)
+        return self._indexes[key]
+
+    def index(self, table_name: str, columns: Sequence[str]) -> HashIndex:
+        key = (table_name, tuple(columns))
+        if key not in self._indexes:
+            raise UnknownTableError(f"no index on {table_name!r}{tuple(columns)!r}")
+        return self._indexes[key]
+
+    def _refresh_indexes(self, table_name: str) -> None:
+        for (name, _columns), index in self._indexes.items():
+            if name == table_name:
+                index.rebuild(self.table(table_name))
+
+    # ---------------------------------------------------------------- recovery
+
+    def storage_bytes(self) -> int:
+        """An approximate storage footprint (serialised size of all tables)."""
+        from repro.crypto.hashing import canonical_json
+
+        return sum(len(canonical_json(t.to_dict()).encode("utf-8")) for t in self._tables.values())
+
+    def snapshot(self) -> Dict[str, Table]:
+        """Independent snapshots of every base table."""
+        return {name: table.snapshot() for name, table in self._tables.items()}

@@ -1,0 +1,186 @@
+"""Row-level diffs between two states of a keyed table.
+
+Diffs drive two parts of the reproduction:
+
+* the update workflow transmits *only* what changed between the old and new
+  shared view (the "send updated data" message of Fig. 2/Fig. 5);
+* the audit trail and benchmarks report how many rows/attributes each
+  propagation step touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.table import Table
+
+
+@dataclass(frozen=True)
+class RowChange:
+    """One changed row.
+
+    ``kind`` is ``"insert"``, ``"delete"`` or ``"update"``; for updates,
+    ``changed_columns`` lists the columns whose values differ.
+    """
+
+    kind: str
+    key: Tuple[Any, ...]
+    before: Optional[Mapping[str, Any]]
+    after: Optional[Mapping[str, Any]]
+    changed_columns: Tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "key": list(self.key),
+            "before": dict(self.before) if self.before is not None else None,
+            "after": dict(self.after) if self.after is not None else None,
+            "changed_columns": list(self.changed_columns),
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "RowChange":
+        return RowChange(
+            kind=payload["kind"],
+            key=tuple(payload["key"]),
+            before=payload.get("before"),
+            after=payload.get("after"),
+            changed_columns=tuple(payload.get("changed_columns", ())),
+        )
+
+
+@dataclass(frozen=True)
+class TableDiff:
+    """The full set of row changes between two table states."""
+
+    table_name: str
+    changes: Tuple[RowChange, ...]
+
+    def __len__(self) -> int:
+        return len(self.changes)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.changes
+
+    @property
+    def inserted(self) -> Tuple[RowChange, ...]:
+        return tuple(c for c in self.changes if c.kind == "insert")
+
+    @property
+    def deleted(self) -> Tuple[RowChange, ...]:
+        return tuple(c for c in self.changes if c.kind == "delete")
+
+    @property
+    def updated(self) -> Tuple[RowChange, ...]:
+        return tuple(c for c in self.changes if c.kind == "update")
+
+    @property
+    def touched_columns(self) -> Tuple[str, ...]:
+        """All columns changed by any update, plus all columns of inserts/deletes."""
+        seen: List[str] = []
+        for change in self.changes:
+            if change.kind == "update":
+                columns = change.changed_columns
+            else:
+                source = change.after if change.after is not None else change.before
+                columns = tuple(source or ())
+            for column in columns:
+                if column not in seen:
+                    seen.append(column)
+        return tuple(seen)
+
+    def to_dict(self) -> dict:
+        return {
+            "table_name": self.table_name,
+            "changes": [change.to_dict() for change in self.changes],
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "TableDiff":
+        return TableDiff(
+            table_name=payload["table_name"],
+            changes=tuple(RowChange.from_dict(c) for c in payload.get("changes", ())),
+        )
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "inserted": len(self.inserted),
+            "deleted": len(self.deleted),
+            "updated": len(self.updated),
+        }
+
+
+def diff_tables(before: Table, after: Table) -> TableDiff:
+    """Compute the keyed row-level diff from ``before`` to ``after``.
+
+    Both tables must share the same primary key.  Keyless tables fall back to
+    a positional diff where the key is the row index.
+    """
+    if before.schema.column_names != after.schema.column_names:
+        raise SchemaError(
+            "cannot diff tables with different columns: "
+            f"{before.schema.column_names} vs {after.schema.column_names}"
+        )
+    changes: List[RowChange] = []
+    if before.schema.primary_key and before.schema.primary_key == after.schema.primary_key:
+        key_columns = before.schema.primary_key
+        old = {row.key(key_columns): row for row in before}
+        new = {row.key(key_columns): row for row in after}
+        for key in old:
+            if key not in new:
+                changes.append(RowChange("delete", key, old[key].to_dict(), None))
+        for key, row in new.items():
+            if key not in old:
+                changes.append(RowChange("insert", key, None, row.to_dict()))
+            elif old[key] != row:
+                changed = tuple(
+                    column for column in before.schema.column_names
+                    if old[key][column] != row[column]
+                )
+                changes.append(
+                    RowChange("update", key, old[key].to_dict(), row.to_dict(), changed)
+                )
+    else:
+        old_rows = list(before)
+        new_rows = list(after)
+        for position in range(max(len(old_rows), len(new_rows))):
+            old_row = old_rows[position] if position < len(old_rows) else None
+            new_row = new_rows[position] if position < len(new_rows) else None
+            key = (position,)
+            if old_row is None and new_row is not None:
+                changes.append(RowChange("insert", key, None, new_row.to_dict()))
+            elif new_row is None and old_row is not None:
+                changes.append(RowChange("delete", key, old_row.to_dict(), None))
+            elif old_row != new_row:
+                changed = tuple(
+                    column for column in before.schema.column_names
+                    if old_row[column] != new_row[column]
+                )
+                changes.append(
+                    RowChange("update", key, old_row.to_dict(), new_row.to_dict(), changed)
+                )
+    return TableDiff(table_name=before.name, changes=tuple(changes))
+
+
+def apply_diff(table: Table, diff: TableDiff) -> None:
+    """Apply a keyed diff to ``table`` in place.
+
+    The sharing peer that receives "updated data" applies the diff to its own
+    copy of the shared table before running the BX ``put``.
+    """
+    if not table.schema.primary_key:
+        raise SchemaError("apply_diff requires a keyed table")
+    for change in diff.changes:
+        if change.kind == "insert":
+            table.insert(change.after or {})
+        elif change.kind == "delete":
+            table.delete_by_key(change.key)
+        elif change.kind == "update":
+            after = change.after or {}
+            updates = {column: after[column] for column in change.changed_columns}
+            table.update_by_key(change.key, updates)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown change kind {change.kind!r}")

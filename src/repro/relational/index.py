@@ -1,0 +1,60 @@
+"""Secondary hash indexes over tables.
+
+Indexes are maintained explicitly by their owner (the :class:`Database`
+refreshes them after committed writes).  They accelerate the equality
+look-ups used by the sharing workflow (e.g. find the record for a given
+patient id) and are benchmarked in the BX-scaling experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.errors import UnknownColumnError
+from repro.relational.row import Row
+from repro.relational.table import Table
+
+
+class HashIndex:
+    """A hash index mapping column-value tuples to rows of one table."""
+
+    def __init__(self, table: Table, columns: Sequence[str]):
+        for column in columns:
+            if not table.schema.has_column(column):
+                raise UnknownColumnError(
+                    f"cannot index unknown column {column!r} of table {table.name!r}"
+                )
+        self.table_name = table.name
+        self.columns: Tuple[str, ...] = tuple(columns)
+        self._buckets: Dict[Tuple[Any, ...], List[Row]] = {}
+        self.rebuild(table)
+
+    def rebuild(self, table: Table) -> None:
+        """Rebuild the index from the table's current contents."""
+        if table.name != self.table_name:
+            raise ValueError(
+                f"index built for table {self.table_name!r} cannot be rebuilt from {table.name!r}"
+            )
+        self._buckets = {}
+        for row in table:
+            key = tuple(row[c] for c in self.columns)
+            self._buckets.setdefault(key, []).append(row)
+
+    def lookup(self, *values: Any) -> List[Row]:
+        """Rows whose indexed columns equal ``values``."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"index on {self.columns} expects {len(self.columns)} values, got {len(values)}"
+            )
+        return list(self._buckets.get(tuple(values), ()))
+
+    def contains(self, *values: Any) -> bool:
+        return bool(self.lookup(*values))
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    @property
+    def distinct_keys(self) -> int:
+        """Number of distinct key tuples currently indexed."""
+        return len(self._buckets)

@@ -1,0 +1,84 @@
+"""Saving and loading a peer's local database.
+
+A peer's database (its full tables, the materialised shared pieces, and the
+registered view definitions) can be serialised to a single JSON document so a
+client can stop and later resume with the same local state — the paper's
+"medical data always stay in each peer's local database" needs that data to
+survive restarts.
+
+The format is deliberately plain JSON: human-inspectable, diffable, and free
+of any pickling of code objects.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Union
+
+from repro.errors import RelationalError
+from repro.relational.database import Database
+from repro.relational.query import Query
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+#: Format marker so future layout changes can be detected on load.
+FORMAT_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+def database_to_dict(database: Database) -> dict:
+    """Serialise a database (tables + view definitions) to a plain dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": database.name,
+        "tables": [database.table(name).to_dict() for name in database.table_names],
+        "views": {
+            name: database.view_definition(name).to_dict() for name in database.view_names
+        },
+    }
+
+
+def database_from_dict(payload: dict) -> Database:
+    """Rebuild a database from :func:`database_to_dict` output."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise RelationalError(
+            f"unsupported database format version {version!r} (expected {FORMAT_VERSION})"
+        )
+    database = Database(payload["name"])
+    for table_payload in payload.get("tables", ()):
+        table = Table.from_dict(table_payload)
+        database.create_table(table.name, table.schema, (row.to_dict() for row in table))
+    for view_name, view_payload in payload.get("views", {}).items():
+        database.register_view(view_name, Query.from_dict(view_payload))
+    return database
+
+
+def save_database(database: Database, path: PathLike) -> pathlib.Path:
+    """Write the database to ``path`` as JSON; returns the path written."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(database_to_dict(database), indent=2, sort_keys=True),
+                      encoding="utf-8")
+    return target
+
+
+def load_database(path: PathLike) -> Database:
+    """Read a database previously written by :func:`save_database`."""
+    source = pathlib.Path(path)
+    if not source.exists():
+        raise RelationalError(f"no database file at {source}")
+    payload = json.loads(source.read_text(encoding="utf-8"))
+    return database_from_dict(payload)
+
+
+def databases_identical(first: Database, second: Database) -> bool:
+    """True when the two databases hold the same tables with the same contents."""
+    if set(first.table_names) != set(second.table_names):
+        return False
+    for name in first.table_names:
+        if first.table(name) != second.table(name):
+            return False
+    return True

@@ -1,0 +1,275 @@
+"""Composable row predicates used by selections and lens conditions.
+
+Predicates are small serialisable objects (rather than opaque lambdas) so
+that queries, sharing agreements and contract payloads can describe them,
+log them in the WAL and reproduce them across peers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence, Tuple
+
+
+class Predicate:
+    """Base class for row predicates."""
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        """Return True if ``row`` satisfies this predicate."""
+        raise NotImplementedError
+
+    def __call__(self, row: Mapping[str, Any]) -> bool:
+        return self.evaluate(row)
+
+    # Composition sugar -----------------------------------------------------
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+    def to_dict(self) -> dict:
+        raise NotImplementedError
+
+    @staticmethod
+    def from_dict(payload: dict) -> "Predicate":
+        """Rebuild a predicate from its serialised form."""
+        kind = payload["kind"]
+        builders = {
+            "true": lambda p: TruePredicate(),
+            "eq": lambda p: Eq(p["column"], p["value"]),
+            "ne": lambda p: Ne(p["column"], p["value"]),
+            "lt": lambda p: Lt(p["column"], p["value"]),
+            "le": lambda p: Le(p["column"], p["value"]),
+            "gt": lambda p: Gt(p["column"], p["value"]),
+            "ge": lambda p: Ge(p["column"], p["value"]),
+            "in": lambda p: In(p["column"], tuple(p["values"])),
+            "between": lambda p: Between(p["column"], p["low"], p["high"]),
+            "contains": lambda p: Contains(p["column"], p["value"]),
+            "isnull": lambda p: IsNull(p["column"]),
+            "and": lambda p: And(*[Predicate.from_dict(c) for c in p["children"]]),
+            "or": lambda p: Or(*[Predicate.from_dict(c) for c in p["children"]]),
+            "not": lambda p: Not(Predicate.from_dict(p["child"])),
+        }
+        if kind not in builders:
+            raise ValueError(f"unknown predicate kind {kind!r}")
+        return builders[kind](payload)
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Matches every row."""
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return True
+
+    def to_dict(self) -> dict:
+        return {"kind": "true"}
+
+
+@dataclass(frozen=True)
+class _ColumnValuePredicate(Predicate):
+    column: str
+    value: Any
+
+    kind = "abstract"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "column": self.column, "value": self.value}
+
+
+class Eq(_ColumnValuePredicate):
+    """``row[column] == value``"""
+
+    kind = "eq"
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return row.get(self.column) == self.value
+
+
+class Ne(_ColumnValuePredicate):
+    """``row[column] != value``"""
+
+    kind = "ne"
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return row.get(self.column) != self.value
+
+
+class Lt(_ColumnValuePredicate):
+    """``row[column] < value`` (None never matches)."""
+
+    kind = "lt"
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        current = row.get(self.column)
+        return current is not None and current < self.value
+
+
+class Le(_ColumnValuePredicate):
+    """``row[column] <= value`` (None never matches)."""
+
+    kind = "le"
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        current = row.get(self.column)
+        return current is not None and current <= self.value
+
+
+class Gt(_ColumnValuePredicate):
+    """``row[column] > value`` (None never matches)."""
+
+    kind = "gt"
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        current = row.get(self.column)
+        return current is not None and current > self.value
+
+
+class Ge(_ColumnValuePredicate):
+    """``row[column] >= value`` (None never matches)."""
+
+    kind = "ge"
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        current = row.get(self.column)
+        return current is not None and current >= self.value
+
+
+@dataclass(frozen=True)
+class In(Predicate):
+    """``row[column]`` is one of ``values``."""
+
+    column: str
+    values: Tuple[Any, ...]
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return row.get(self.column) in self.values
+
+    def to_dict(self) -> dict:
+        return {"kind": "in", "column": self.column, "values": list(self.values)}
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """``low <= row[column] <= high`` (None never matches)."""
+
+    column: str
+    low: Any
+    high: Any
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        current = row.get(self.column)
+        return current is not None and self.low <= current <= self.high
+
+    def to_dict(self) -> dict:
+        return {"kind": "between", "column": self.column, "low": self.low, "high": self.high}
+
+
+@dataclass(frozen=True)
+class Contains(Predicate):
+    """``value`` is a substring / member of ``row[column]``."""
+
+    column: str
+    value: Any
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        current = row.get(self.column)
+        if current is None:
+            return False
+        try:
+            return self.value in current
+        except TypeError:
+            return False
+
+    def to_dict(self) -> dict:
+        return {"kind": "contains", "column": self.column, "value": self.value}
+
+
+@dataclass(frozen=True)
+class IsNull(Predicate):
+    """``row[column] is None``."""
+
+    column: str
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return row.get(self.column) is None
+
+    def to_dict(self) -> dict:
+        return {"kind": "isnull", "column": self.column}
+
+
+class And(Predicate):
+    """Conjunction of child predicates."""
+
+    def __init__(self, *children: Predicate):
+        self.children: Tuple[Predicate, ...] = tuple(children)
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return all(child.evaluate(row) for child in self.children)
+
+    def to_dict(self) -> dict:
+        return {"kind": "and", "children": [c.to_dict() for c in self.children]}
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, And) and self.children == other.children
+
+    def __hash__(self) -> int:
+        return hash(("and", self.children))
+
+
+class Or(Predicate):
+    """Disjunction of child predicates."""
+
+    def __init__(self, *children: Predicate):
+        self.children: Tuple[Predicate, ...] = tuple(children)
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return any(child.evaluate(row) for child in self.children)
+
+    def to_dict(self) -> dict:
+        return {"kind": "or", "children": [c.to_dict() for c in self.children]}
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Or) and self.children == other.children
+
+    def __hash__(self) -> int:
+        return hash(("or", self.children))
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of a child predicate."""
+
+    child: Predicate
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return not self.child.evaluate(row)
+
+    def to_dict(self) -> dict:
+        return {"kind": "not", "child": self.child.to_dict()}
+
+
+def columns_referenced(predicate: Predicate) -> Tuple[str, ...]:
+    """Return the set of column names a predicate mentions, in first-seen order."""
+    seen: list = []
+
+    def visit(node: Predicate) -> None:
+        if isinstance(node, (And, Or)):
+            for child in node.children:
+                visit(child)
+        elif isinstance(node, Not):
+            visit(node.child)
+        elif isinstance(node, TruePredicate):
+            return
+        else:
+            column = getattr(node, "column", None)
+            if column is not None and column not in seen:
+                seen.append(column)
+
+    visit(predicate)
+    return tuple(seen)

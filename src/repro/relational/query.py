@@ -1,0 +1,173 @@
+"""A small relational-algebra query AST.
+
+Views in the paper ("querying a few but not all attributes on the base
+table") are expressed as query trees over base tables.  The same query trees
+are used to *define* lenses declaratively in :mod:`repro.bx.dsl`, so a view
+definition written once serves both the forward query and the backward
+update propagation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError, UnknownTableError
+from repro.relational.predicates import Predicate, TruePredicate
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+
+class Query:
+    """Base class of query AST nodes."""
+
+    def execute(self, tables: Dict[str, Table]) -> Table:
+        """Evaluate this query against a mapping of table name → table."""
+        raise NotImplementedError
+
+    def output_schema(self, tables: Dict[str, Table]) -> Schema:
+        """The schema the query produces (without materialising rows)."""
+        return self.execute(tables).schema
+
+    def to_dict(self) -> dict:
+        raise NotImplementedError
+
+    @staticmethod
+    def from_dict(payload: dict) -> "Query":
+        kind = payload["kind"]
+        if kind == "scan":
+            return Scan(payload["table"])
+        if kind == "project":
+            return Project(Query.from_dict(payload["child"]), tuple(payload["columns"]),
+                           distinct=payload.get("distinct", True))
+        if kind == "select":
+            return Select(Query.from_dict(payload["child"]),
+                          Predicate.from_dict(payload["predicate"]))
+        if kind == "rename":
+            return Rename(Query.from_dict(payload["child"]), dict(payload["mapping"]))
+        if kind == "join":
+            return Join(Query.from_dict(payload["left"]), Query.from_dict(payload["right"]),
+                        tuple(payload["on"]))
+        raise ValueError(f"unknown query kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class Scan(Query):
+    """Read an entire base table."""
+
+    table: str
+
+    def execute(self, tables: Dict[str, Table]) -> Table:
+        if self.table not in tables:
+            raise UnknownTableError(f"unknown table {self.table!r}")
+        return tables[self.table].snapshot()
+
+    def to_dict(self) -> dict:
+        return {"kind": "scan", "table": self.table}
+
+
+@dataclass(frozen=True)
+class Project(Query):
+    """Project a child query onto a subset of columns."""
+
+    child: Query
+    columns: Tuple[str, ...]
+    distinct: bool = True
+
+    def execute(self, tables: Dict[str, Table]) -> Table:
+        return self.child.execute(tables).project(list(self.columns), distinct=self.distinct)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "project",
+            "child": self.child.to_dict(),
+            "columns": list(self.columns),
+            "distinct": self.distinct,
+        }
+
+
+@dataclass(frozen=True)
+class Select(Query):
+    """Filter a child query by a predicate."""
+
+    child: Query
+    predicate: Predicate = field(default_factory=TruePredicate)
+
+    def execute(self, tables: Dict[str, Table]) -> Table:
+        return self.child.execute(tables).where(self.predicate)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "select",
+            "child": self.child.to_dict(),
+            "predicate": self.predicate.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class Rename(Query):
+    """Rename columns of a child query."""
+
+    child: Query
+    mapping: Dict[str, str]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mapping", dict(self.mapping))
+
+    def execute(self, tables: Dict[str, Table]) -> Table:
+        return self.child.execute(tables).rename_columns(self.mapping)
+
+    def to_dict(self) -> dict:
+        return {"kind": "rename", "child": self.child.to_dict(), "mapping": dict(self.mapping)}
+
+
+@dataclass(frozen=True)
+class Join(Query):
+    """Natural equi-join of two child queries on the given columns."""
+
+    left: Query
+    right: Query
+    on: Tuple[str, ...]
+
+    def execute(self, tables: Dict[str, Table]) -> Table:
+        left = self.left.execute(tables)
+        right = self.right.execute(tables)
+        for column in self.on:
+            if not left.schema.has_column(column) or not right.schema.has_column(column):
+                raise SchemaError(f"join column {column!r} missing from an input")
+        # A join can multiply rows per left key, so the result is keyless.
+        merged_schema = Schema(columns=left.schema.merge(right.schema).columns, primary_key=())
+        right_extra = [c for c in right.schema.column_names if c not in left.schema.column_names]
+        index: Dict[Tuple, list] = {}
+        for row in right:
+            index.setdefault(tuple(row[c] for c in self.on), []).append(row)
+        out_rows = []
+        for row in left:
+            key = tuple(row[c] for c in self.on)
+            for match in index.get(key, ()):
+                combined = row.to_dict()
+                for column in right_extra:
+                    combined[column] = match[column]
+                out_rows.append(combined)
+        return Table(f"{left.name}_join_{right.name}", merged_schema, out_rows)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "join",
+            "left": self.left.to_dict(),
+            "right": self.right.to_dict(),
+            "on": list(self.on),
+        }
+
+
+def execute_query(query: Query, tables: Dict[str, Table], name: Optional[str] = None) -> Table:
+    """Evaluate ``query`` and optionally rename the result table."""
+    result = query.execute(tables)
+    if name is not None:
+        result = Table(name, result.schema, (row.to_dict() for row in result))
+    return result
+
+
+def projection_query(table: str, columns: Sequence[str]) -> Query:
+    """Convenience constructor for the paper's typical view definition."""
+    return Project(Scan(table), tuple(columns))

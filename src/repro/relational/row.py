@@ -1,0 +1,72 @@
+"""Immutable rows.
+
+Rows are lightweight mappings from column name to value.  They are immutable
+so that snapshots, diffs and lens transformations can share them safely.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Sequence, Tuple
+
+from repro.errors import UnknownColumnError
+
+
+class Row(Mapping[str, Any]):
+    """An immutable mapping of column names to values."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Mapping[str, Any]):
+        self._values: Dict[str, Any] = dict(values)
+
+    # -- Mapping protocol -------------------------------------------------------
+
+    def __getitem__(self, key: str) -> Any:
+        try:
+            return self._values[key]
+        except KeyError:
+            raise UnknownColumnError(f"row has no column {key!r}") from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            return self._values == other._values
+        if isinstance(other, Mapping):
+            return self._values == dict(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._values.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._values.items())
+        return f"Row({inner})"
+
+    # -- derivation -------------------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Row":
+        """Return a row containing only the given columns."""
+        return Row({name: self[name] for name in names})
+
+    def rename(self, mapping: Mapping[str, str]) -> "Row":
+        """Return a row with columns renamed according to ``mapping``."""
+        return Row({mapping.get(name, name): value for name, value in self._values.items()})
+
+    def merged(self, updates: Mapping[str, Any]) -> "Row":
+        """Return a new row with ``updates`` applied over this row's values."""
+        merged = dict(self._values)
+        merged.update(updates)
+        return Row(merged)
+
+    def key(self, key_columns: Sequence[str]) -> Tuple[Any, ...]:
+        """The tuple of values of the given key columns."""
+        return tuple(self[name] for name in key_columns)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain mutable dict copy of this row."""
+        return dict(self._values)

@@ -1,0 +1,268 @@
+"""Typed columns and table schemas.
+
+A :class:`Schema` describes the shape of a table: ordered, named, typed
+columns, a primary-key subset and nullability.  Schemas are immutable value
+objects; deriving a projected or renamed schema returns a new object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError, UnknownColumnError
+
+
+class DataType(Enum):
+    """Column data types supported by the engine."""
+
+    STRING = "string"
+    INTEGER = "integer"
+    FLOAT = "float"
+    BOOLEAN = "boolean"
+    DATE = "date"
+
+    def validates(self, value: object) -> bool:
+        """Return True if ``value`` is acceptable for this type."""
+        if value is None:
+            return True  # nullability is enforced separately
+        if self is DataType.STRING:
+            return isinstance(value, str)
+        if self is DataType.INTEGER:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is DataType.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is DataType.BOOLEAN:
+            return isinstance(value, bool)
+        if self is DataType.DATE:
+            return isinstance(value, str)
+        return False
+
+    def coerce(self, value: object) -> object:
+        """Coerce ``value`` to this type where a loss-free conversion exists."""
+        if value is None:
+            return None
+        if self is DataType.FLOAT and isinstance(value, int) and not isinstance(value, bool):
+            return float(value)
+        return value
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single named, typed column.
+
+    Attributes
+    ----------
+    name:
+        Column name, e.g. ``"patient_id"``.
+    dtype:
+        The :class:`DataType` of values stored in the column.
+    nullable:
+        Whether ``None`` is an allowed value.
+    description:
+        Optional human-readable documentation (e.g. the paper's ``a0..a6``
+        attribute labels).
+    """
+
+    name: str
+    dtype: DataType = DataType.STRING
+    nullable: bool = True
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError("column name must be a non-empty string")
+
+    def renamed(self, new_name: str) -> "Column":
+        """Return a copy of this column with a different name."""
+        return Column(
+            name=new_name,
+            dtype=self.dtype,
+            nullable=self.nullable,
+            description=self.description,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "dtype": self.dtype.value,
+            "nullable": self.nullable,
+            "description": self.description,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "Column":
+        return Column(
+            name=payload["name"],
+            dtype=DataType(payload.get("dtype", "string")),
+            nullable=payload.get("nullable", True),
+            description=payload.get("description", ""),
+        )
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of columns with an optional primary key.
+
+    Attributes
+    ----------
+    columns:
+        The ordered column definitions.
+    primary_key:
+        Names of the columns forming the primary key (may be empty).
+    """
+
+    columns: Tuple[Column, ...]
+    primary_key: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [column.name for column in self.columns]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+        for key in self.primary_key:
+            if key not in names:
+                raise SchemaError(f"primary key column {key!r} not in schema")
+        for key in self.primary_key:
+            column = self.column(key)
+            if column.nullable:
+                # Primary-key columns are implicitly NOT NULL; normalise that.
+                object.__setattr__(
+                    self,
+                    "columns",
+                    tuple(
+                        c.renamed(c.name) if c.name != key else Column(
+                            name=c.name,
+                            dtype=c.dtype,
+                            nullable=False,
+                            description=c.description,
+                        )
+                        for c in self.columns
+                    ),
+                )
+
+    # -- construction helpers ------------------------------------------------
+
+    @staticmethod
+    def build(
+        columns: Sequence,  # Sequence[Column | tuple | str]
+        primary_key: Iterable[str] = (),
+    ) -> "Schema":
+        """Build a schema from flexible column specs.
+
+        Each entry of ``columns`` may be a :class:`Column`, a ``(name, dtype)``
+        tuple, or a bare column-name string (defaults to STRING type).
+        """
+        normalised: List[Column] = []
+        for spec in columns:
+            if isinstance(spec, Column):
+                normalised.append(spec)
+            elif isinstance(spec, tuple):
+                name, dtype = spec[0], spec[1]
+                nullable = spec[2] if len(spec) > 2 else True
+                if isinstance(dtype, str):
+                    dtype = DataType(dtype)
+                normalised.append(Column(name=name, dtype=dtype, nullable=nullable))
+            elif isinstance(spec, str):
+                normalised.append(Column(name=spec))
+            else:
+                raise SchemaError(f"cannot build a column from {spec!r}")
+        return Schema(columns=tuple(normalised), primary_key=tuple(primary_key))
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def column(self, name: str) -> Column:
+        """Look up one column by name."""
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise UnknownColumnError(f"unknown column {name!r}; schema has {self.column_names}")
+
+    def has_column(self, name: str) -> bool:
+        return any(column.name == name for column in self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self.has_column(name)
+
+    # -- derivation ------------------------------------------------------------
+
+    def project(self, names: Sequence[str], primary_key: Optional[Sequence[str]] = None) -> "Schema":
+        """Return a schema containing only ``names`` (in the given order).
+
+        The primary key is retained when all of its columns survive the
+        projection, unless an explicit ``primary_key`` is supplied.
+        """
+        for name in names:
+            if not self.has_column(name):
+                raise UnknownColumnError(f"cannot project unknown column {name!r}")
+        columns = tuple(self.column(name) for name in names)
+        if primary_key is not None:
+            key = tuple(primary_key)
+        elif self.primary_key and all(k in names for k in self.primary_key):
+            key = self.primary_key
+        else:
+            key = ()
+        return Schema(columns=columns, primary_key=key)
+
+    def rename(self, mapping: Dict[str, str]) -> "Schema":
+        """Return a schema with columns renamed according to ``mapping``."""
+        for old in mapping:
+            if not self.has_column(old):
+                raise UnknownColumnError(f"cannot rename unknown column {old!r}")
+        columns = tuple(
+            column.renamed(mapping.get(column.name, column.name)) for column in self.columns
+        )
+        key = tuple(mapping.get(name, name) for name in self.primary_key)
+        return Schema(columns=columns, primary_key=key)
+
+    def drop(self, names: Sequence[str]) -> "Schema":
+        """Return a schema without the columns in ``names``."""
+        remaining = [c.name for c in self.columns if c.name not in set(names)]
+        return self.project(remaining)
+
+    def is_projection_of(self, other: "Schema") -> bool:
+        """True if every column of this schema appears (same type) in ``other``."""
+        for column in self.columns:
+            if not other.has_column(column.name):
+                return False
+            if other.column(column.name).dtype is not column.dtype:
+                return False
+        return True
+
+    def merge(self, other: "Schema") -> "Schema":
+        """Union of two schemas (columns of ``other`` appended, no duplicates)."""
+        columns = list(self.columns)
+        for column in other.columns:
+            if self.has_column(column.name):
+                existing = self.column(column.name)
+                if existing.dtype is not column.dtype:
+                    raise SchemaError(
+                        f"conflicting types for column {column.name!r}: "
+                        f"{existing.dtype} vs {column.dtype}"
+                    )
+            else:
+                columns.append(column)
+        key = self.primary_key or other.primary_key
+        return Schema(columns=tuple(columns), primary_key=key)
+
+    # -- serialisation ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "columns": [column.to_dict() for column in self.columns],
+            "primary_key": list(self.primary_key),
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "Schema":
+        return Schema(
+            columns=tuple(Column.from_dict(c) for c in payload["columns"]),
+            primary_key=tuple(payload.get("primary_key", ())),
+        )

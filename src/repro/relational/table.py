@@ -1,0 +1,346 @@
+"""Tables: the unit of storage and the carrier of lens transformations.
+
+A :class:`Table` owns a :class:`~repro.relational.schema.Schema` and a list of
+:class:`~repro.relational.row.Row` objects.  Tables enforce type constraints,
+nullability and primary-key uniqueness on every mutation, support keyed
+lookups/updates/deletes, and can produce independent snapshots so that lenses
+and transactions never alias live state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.crypto.hashing import hash_payload
+from repro.errors import (
+    ConstraintViolation,
+    RowNotFoundError,
+    SchemaError,
+    UnknownColumnError,
+)
+from repro.relational.predicates import Predicate, TruePredicate
+from repro.relational.row import Row
+from repro.relational.schema import Schema
+
+
+class Table:
+    """A typed, optionally keyed, in-memory table."""
+
+    def __init__(self, name: str, schema: Schema, rows: Iterable[Mapping[str, Any]] = ()):
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        self.name = name
+        self.schema = schema
+        self._rows: List[Row] = []
+        self._key_index: Dict[Tuple[Any, ...], int] = {}
+        for row in rows:
+            self.insert(row)
+
+    # ------------------------------------------------------------------ basics
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        """Two tables are equal when they hold the same rows over the same columns.
+
+        Row order is ignored for keyed tables (the key defines identity) and
+        significant for keyless tables.
+        """
+        if not isinstance(other, Table):
+            return NotImplemented
+        if self.schema.column_names != other.schema.column_names:
+            return False
+        if self.schema.primary_key and self.schema.primary_key == other.schema.primary_key:
+            mine = {row.key(self.schema.primary_key): row for row in self._rows}
+            theirs = {row.key(other.schema.primary_key): row for row in other._rows}
+            return mine == theirs
+        return self._rows == other._rows
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, columns={list(self.schema.column_names)}, rows={len(self)})"
+
+    @property
+    def rows(self) -> Tuple[Row, ...]:
+        """An immutable snapshot of the current rows."""
+        return tuple(self._rows)
+
+    @property
+    def primary_key(self) -> Tuple[str, ...]:
+        return self.schema.primary_key
+
+    def fingerprint(self) -> str:
+        """A content hash of the table (schema + rows), independent of row order
+        for keyed tables."""
+        if self.schema.primary_key:
+            payload_rows = sorted(
+                (row.to_dict() for row in self._rows),
+                key=lambda r: repr([r[k] for k in self.schema.primary_key]),
+            )
+        else:
+            payload_rows = [row.to_dict() for row in self._rows]
+        return hash_payload({"schema": self.schema.to_dict(), "rows": payload_rows})
+
+    # ------------------------------------------------------------------ checks
+
+    def _validate(self, values: Mapping[str, Any]) -> Row:
+        """Validate and normalise a row mapping against the schema."""
+        unknown = set(values) - set(self.schema.column_names)
+        if unknown:
+            raise UnknownColumnError(
+                f"unknown column(s) {sorted(unknown)} for table {self.name!r}"
+            )
+        normalised: Dict[str, Any] = {}
+        for column in self.schema.columns:
+            value = values.get(column.name)
+            value = column.dtype.coerce(value)
+            if value is None and not column.nullable:
+                raise ConstraintViolation(
+                    f"column {column.name!r} of table {self.name!r} is NOT NULL"
+                )
+            if not column.dtype.validates(value):
+                raise ConstraintViolation(
+                    f"value {value!r} is not a valid {column.dtype.value} "
+                    f"for column {column.name!r}"
+                )
+            normalised[column.name] = value
+        return Row(normalised)
+
+    def _key_of(self, row: Mapping[str, Any]) -> Optional[Tuple[Any, ...]]:
+        if not self.schema.primary_key:
+            return None
+        return tuple(row[name] for name in self.schema.primary_key)
+
+    # ------------------------------------------------------------------ writes
+
+    def insert(self, values: Mapping[str, Any]) -> Row:
+        """Insert one row, returning the stored (normalised) row."""
+        row = self._validate(values)
+        key = self._key_of(row)
+        if key is not None:
+            if key in self._key_index:
+                raise ConstraintViolation(
+                    f"duplicate primary key {key!r} in table {self.name!r}"
+                )
+            self._key_index[key] = len(self._rows)
+        self._rows.append(row)
+        return row
+
+    def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> List[Row]:
+        """Insert several rows; fails atomically per row (not per batch)."""
+        return [self.insert(row) for row in rows]
+
+    def update_by_key(self, key: Sequence[Any], updates: Mapping[str, Any]) -> Row:
+        """Update the row identified by its primary key value(s)."""
+        if not self.schema.primary_key:
+            raise ConstraintViolation(f"table {self.name!r} has no primary key")
+        key_tuple = tuple(key) if isinstance(key, (list, tuple)) else (key,)
+        if key_tuple not in self._key_index:
+            raise RowNotFoundError(f"no row with key {key_tuple!r} in table {self.name!r}")
+        position = self._key_index[key_tuple]
+        current = self._rows[position]
+        candidate = self._validate(current.merged(updates).to_dict())
+        new_key = self._key_of(candidate)
+        if new_key != key_tuple:
+            if new_key in self._key_index:
+                raise ConstraintViolation(
+                    f"primary key change collides with existing key {new_key!r}"
+                )
+            del self._key_index[key_tuple]
+            self._key_index[new_key] = position
+        self._rows[position] = candidate
+        return candidate
+
+    def update_where(self, predicate: Predicate, updates: Mapping[str, Any]) -> int:
+        """Update every row matching ``predicate``; returns the number updated."""
+        count = 0
+        for position, row in enumerate(self._rows):
+            if not predicate.evaluate(row):
+                continue
+            candidate = self._validate(row.merged(updates).to_dict())
+            old_key = self._key_of(row)
+            new_key = self._key_of(candidate)
+            if old_key != new_key and new_key is not None:
+                if new_key in self._key_index:
+                    raise ConstraintViolation(
+                        f"primary key change collides with existing key {new_key!r}"
+                    )
+                if old_key is not None:
+                    del self._key_index[old_key]
+                self._key_index[new_key] = position
+            self._rows[position] = candidate
+            count += 1
+        return count
+
+    def delete_by_key(self, key: Sequence[Any]) -> Row:
+        """Delete the row identified by its primary key value(s)."""
+        if not self.schema.primary_key:
+            raise ConstraintViolation(f"table {self.name!r} has no primary key")
+        key_tuple = tuple(key) if isinstance(key, (list, tuple)) else (key,)
+        if key_tuple not in self._key_index:
+            raise RowNotFoundError(f"no row with key {key_tuple!r} in table {self.name!r}")
+        position = self._key_index.pop(key_tuple)
+        removed = self._rows.pop(position)
+        self._reindex()
+        return removed
+
+    def delete_where(self, predicate: Predicate) -> int:
+        """Delete every row matching ``predicate``; returns the number removed."""
+        before = len(self._rows)
+        self._rows = [row for row in self._rows if not predicate.evaluate(row)]
+        self._reindex()
+        return before - len(self._rows)
+
+    def clear(self) -> None:
+        """Remove every row."""
+        self._rows = []
+        self._key_index = {}
+
+    def replace_all(self, rows: Iterable[Mapping[str, Any]]) -> None:
+        """Atomically replace the table contents with ``rows``.
+
+        Used by the lens ``put`` direction: the updated source replaces the
+        previous contents in one step.  If any new row is invalid the table is
+        left unchanged.
+        """
+        staged = Table(self.name, self.schema, rows)
+        self._rows = list(staged._rows)
+        self._key_index = dict(staged._key_index)
+
+    def _reindex(self) -> None:
+        self._key_index = {}
+        if not self.schema.primary_key:
+            return
+        for position, row in enumerate(self._rows):
+            self._key_index[self._key_of(row)] = position
+
+    # ------------------------------------------------------------------- reads
+
+    def get(self, key: Sequence[Any]) -> Row:
+        """Return the row with the given primary key value(s)."""
+        if not self.schema.primary_key:
+            raise ConstraintViolation(f"table {self.name!r} has no primary key")
+        key_tuple = tuple(key) if isinstance(key, (list, tuple)) else (key,)
+        if key_tuple not in self._key_index:
+            raise RowNotFoundError(f"no row with key {key_tuple!r} in table {self.name!r}")
+        return self._rows[self._key_index[key_tuple]]
+
+    def contains_key(self, key: Sequence[Any]) -> bool:
+        key_tuple = tuple(key) if isinstance(key, (list, tuple)) else (key,)
+        return key_tuple in self._key_index
+
+    def select(self, predicate: Predicate = None) -> List[Row]:
+        """Return all rows matching ``predicate`` (all rows when omitted)."""
+        predicate = predicate or TruePredicate()
+        return [row for row in self._rows if predicate.evaluate(row)]
+
+    def first(self, predicate: Predicate = None) -> Optional[Row]:
+        """The first row matching ``predicate``, or None."""
+        predicate = predicate or TruePredicate()
+        for row in self._rows:
+            if predicate.evaluate(row):
+                return row
+        return None
+
+    def column_values(self, column: str) -> List[Any]:
+        """All values of one column, in row order."""
+        if not self.schema.has_column(column):
+            raise UnknownColumnError(f"unknown column {column!r} in table {self.name!r}")
+        return [row[column] for row in self._rows]
+
+    def keys(self) -> List[Tuple[Any, ...]]:
+        """All primary-key tuples, in row order."""
+        if not self.schema.primary_key:
+            raise ConstraintViolation(f"table {self.name!r} has no primary key")
+        return [self._key_of(row) for row in self._rows]
+
+    # -------------------------------------------------------------- derivation
+
+    def snapshot(self, name: Optional[str] = None) -> "Table":
+        """An independent deep copy of this table."""
+        return Table(name or self.name, self.schema, (row.to_dict() for row in self._rows))
+
+    def project(self, columns: Sequence[str], name: Optional[str] = None,
+                distinct: bool = True) -> "Table":
+        """Relational projection onto ``columns``.
+
+        When ``distinct`` is true (the default — matching relational-algebra
+        semantics used by the paper's views such as D2 → D23), duplicate
+        projected rows are collapsed.
+        """
+        projected_schema = self.schema.project(columns)
+        seen: Dict[Tuple, None] = {}
+        out_rows: List[Dict[str, Any]] = []
+        for row in self._rows:
+            projected = row.project(columns).to_dict()
+            marker = tuple(sorted(projected.items(), key=lambda kv: kv[0]))
+            if distinct and marker in seen:
+                continue
+            seen[marker] = None
+            out_rows.append(projected)
+        return Table(name or f"{self.name}_proj", projected_schema, out_rows)
+
+    def where(self, predicate: Predicate, name: Optional[str] = None) -> "Table":
+        """Relational selection."""
+        return Table(name or f"{self.name}_sel", self.schema, (r.to_dict() for r in self.select(predicate)))
+
+    def rename_columns(self, mapping: Dict[str, str], name: Optional[str] = None) -> "Table":
+        """Relational rename."""
+        renamed_schema = self.schema.rename(mapping)
+        return Table(
+            name or f"{self.name}_ren",
+            renamed_schema,
+            (row.rename(mapping).to_dict() for row in self._rows),
+        )
+
+    def order_by(self, columns: Sequence[str], reverse: bool = False) -> List[Row]:
+        """Rows sorted by the given columns (None sorts first)."""
+        for column in columns:
+            if not self.schema.has_column(column):
+                raise UnknownColumnError(f"unknown column {column!r}")
+
+        def sort_key(row: Row):
+            return tuple((row[c] is not None, row[c]) for c in columns)
+
+        return sorted(self._rows, key=sort_key, reverse=reverse)
+
+    def map_rows(self, transform: Callable[[Row], Mapping[str, Any]],
+                 name: Optional[str] = None) -> "Table":
+        """Apply ``transform`` to every row, producing a new table with the same schema."""
+        return Table(name or self.name, self.schema, (transform(row) for row in self._rows))
+
+    # ------------------------------------------------------------ serialisation
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "schema": self.schema.to_dict(),
+            "rows": [row.to_dict() for row in self._rows],
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "Table":
+        return Table(
+            name=payload["name"],
+            schema=Schema.from_dict(payload["schema"]),
+            rows=payload.get("rows", ()),
+        )
+
+    def pretty(self, max_rows: int = 20) -> str:
+        """A plain-text rendering of the table, used by examples and reports."""
+        names = list(self.schema.column_names)
+        rows = [[str(row[c]) if row[c] is not None else "" for c in names]
+                for row in self._rows[:max_rows]]
+        widths = [len(n) for n in names]
+        for row in rows:
+            widths = [max(w, len(cell)) for w, cell in zip(widths, row)]
+        header = " | ".join(n.ljust(w) for n, w in zip(names, widths))
+        separator = "-+-".join("-" * w for w in widths)
+        body = [" | ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in rows]
+        lines = [f"{self.name} ({len(self)} rows)", header, separator] + body
+        if len(self._rows) > max_rows:
+            lines.append(f"... {len(self._rows) - max_rows} more rows")
+        return "\n".join(lines)

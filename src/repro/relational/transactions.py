@@ -1,0 +1,93 @@
+"""Snapshot transactions over a database.
+
+The peer-side protocol of Fig. 4 says a user "tries to execute the operation
+locally" before requesting permission on-chain; if the smart contract denies
+permission the local attempt must be rolled back.  :class:`TransactionManager`
+provides exactly that: snapshot-begin, commit and rollback over all tables of
+one :class:`~repro.relational.database.Database`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import TransactionError
+from repro.relational.table import Table
+
+
+@dataclass
+class _TransactionRecord:
+    transaction_id: int
+    snapshots: Dict[str, Table]
+    active: bool = True
+
+
+class TransactionManager:
+    """Manages snapshot transactions for a set of named tables.
+
+    The manager is deliberately simple: one active transaction at a time per
+    database (peers in the paper serialise their own local operations), with
+    nested ``begin`` rejected explicitly.
+    """
+
+    def __init__(self, tables: Dict[str, Table]):
+        self._tables = tables
+        self._counter = itertools.count(1)
+        self._current: Optional[_TransactionRecord] = None
+        self._committed = 0
+        self._rolled_back = 0
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._current is not None and self._current.active
+
+    @property
+    def statistics(self) -> Dict[str, int]:
+        return {"committed": self._committed, "rolled_back": self._rolled_back}
+
+    def begin(self) -> int:
+        """Start a transaction; returns its id."""
+        if self.in_transaction:
+            raise TransactionError("a transaction is already active")
+        snapshots = {name: table.snapshot() for name, table in self._tables.items()}
+        self._current = _TransactionRecord(
+            transaction_id=next(self._counter), snapshots=snapshots
+        )
+        return self._current.transaction_id
+
+    def commit(self) -> int:
+        """Commit the active transaction; returns its id."""
+        if not self.in_transaction:
+            raise TransactionError("no active transaction to commit")
+        record = self._current
+        record.active = False
+        self._current = None
+        self._committed += 1
+        return record.transaction_id
+
+    def rollback(self) -> int:
+        """Roll back the active transaction, restoring all snapshots."""
+        if not self.in_transaction:
+            raise TransactionError("no active transaction to roll back")
+        record = self._current
+        for name, snapshot in record.snapshots.items():
+            if name in self._tables:
+                self._tables[name].replace_all(row.to_dict() for row in snapshot)
+        record.active = False
+        self._current = None
+        self._rolled_back += 1
+        return record.transaction_id
+
+    def current_transaction_id(self) -> Optional[int]:
+        """The id of the active transaction, or None."""
+        return self._current.transaction_id if self.in_transaction else None
+
+    def register_table(self, name: str, table: Table) -> None:
+        """Track a table created after the manager was constructed."""
+        self._tables[name] = table
+        if self.in_transaction:
+            # A table created inside a transaction starts from an empty snapshot
+            # so rollback removes the inserted rows.
+            self._current.snapshots[name] = table.snapshot()

@@ -1,0 +1,99 @@
+"""A write-ahead log of database operations.
+
+Every mutating operation executed through a :class:`~repro.relational.database.Database`
+is appended to a WAL entry.  The log serves three purposes in the reproduction:
+
+* recovery — a database can be rebuilt by replaying the log from empty;
+* local audit — the peer-side complement to the on-chain audit trail;
+* benchmarking — operation counts per experiment are read from the log.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class WalEntry:
+    """One logged operation.
+
+    Attributes
+    ----------
+    sequence:
+        Monotonically increasing sequence number.
+    operation:
+        ``"create_table" | "insert" | "update" | "delete" | "replace" | "drop_table"``.
+    table:
+        Target table name.
+    payload:
+        Operation-specific data (row values, key, updates, schema, ...).
+    transaction_id:
+        Identifier of the enclosing transaction, if any.
+    """
+
+    sequence: int
+    operation: str
+    table: str
+    payload: Mapping[str, Any]
+    transaction_id: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "sequence": self.sequence,
+            "operation": self.operation,
+            "table": self.table,
+            "payload": dict(self.payload),
+            "transaction_id": self.transaction_id,
+        }
+
+
+class WriteAheadLog:
+    """An append-only, in-memory operation log."""
+
+    def __init__(self) -> None:
+        self._entries: List[WalEntry] = []
+        self._counter = itertools.count(1)
+
+    def append(self, operation: str, table: str, payload: Mapping[str, Any],
+               transaction_id: Optional[int] = None) -> WalEntry:
+        """Append one entry and return it."""
+        entry = WalEntry(
+            sequence=next(self._counter),
+            operation=operation,
+            table=table,
+            payload=dict(payload),
+            transaction_id=transaction_id,
+        )
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[WalEntry]:
+        return iter(self._entries)
+
+    @property
+    def entries(self) -> Tuple[WalEntry, ...]:
+        return tuple(self._entries)
+
+    def entries_for_table(self, table: str) -> Tuple[WalEntry, ...]:
+        """All entries targeting ``table``."""
+        return tuple(entry for entry in self._entries if entry.table == table)
+
+    def entries_since(self, sequence: int) -> Tuple[WalEntry, ...]:
+        """All entries with a sequence number strictly greater than ``sequence``."""
+        return tuple(entry for entry in self._entries if entry.sequence > sequence)
+
+    def operation_counts(self) -> Dict[str, int]:
+        """How many times each operation kind appears in the log."""
+        counts: Dict[str, int] = {}
+        for entry in self._entries:
+            counts[entry.operation] = counts.get(entry.operation, 0) + 1
+        return counts
+
+    def truncate(self) -> None:
+        """Discard all entries (used after checkpointing in tests)."""
+        self._entries = []

@@ -1,0 +1,19 @@
+"""Synthetic workloads.
+
+The paper defers experiments on real patient data to future work; the
+reproduction substitutes synthetic, trivially de-identified records with the
+paper's exact schema, plus generators for update streams and larger peer
+topologies used by the throughput and scaling benchmarks.
+"""
+
+from repro.workloads.generator import MedicalRecordGenerator
+from repro.workloads.updates import UpdateEvent, UpdateStreamGenerator
+from repro.workloads.topology import TopologySpec, build_topology_system
+
+__all__ = [
+    "MedicalRecordGenerator",
+    "UpdateEvent",
+    "UpdateStreamGenerator",
+    "TopologySpec",
+    "build_topology_system",
+]

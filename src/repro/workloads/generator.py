@@ -1,0 +1,88 @@
+"""Synthetic medical-record generation.
+
+Records follow the paper's a0..a6 schema.  Values are synthetic but shaped
+like the paper's examples (medication names, dosage phrases, mechanism
+labels), so examples and benchmark output stay readable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.records import FULL_RECORD_COLUMNS
+
+_MEDICATIONS = (
+    "Ibuprofen", "Wellbutrin", "Amoxicillin", "Metformin", "Lisinopril",
+    "Atorvastatin", "Omeprazole", "Amlodipine", "Gabapentin", "Sertraline",
+    "Levothyroxine", "Azithromycin", "Hydrochlorothiazide", "Prednisone",
+    "Citalopram", "Fluoxetine", "Tramadol", "Trazodone", "Clopidogrel",
+    "Montelukast",
+)
+
+_CITIES = (
+    "Sapporo", "Osaka", "Tokyo", "Kyoto", "Nagoya", "Fukuoka", "Sendai",
+    "Hiroshima", "Yokohama", "Kobe", "Nara", "Kanazawa",
+)
+
+_DOSAGE_TEMPLATES = (
+    "one tablet every {h}h",
+    "{mg} mg twice daily",
+    "{mg} mg once daily",
+    "two tablets every {h}h",
+    "{mg} mg every morning",
+)
+
+
+class MedicalRecordGenerator:
+    """Deterministic generator of full medical records (a0..a6)."""
+
+    def __init__(self, seed: int = 42, first_patient_id: int = 188):
+        self._rng = random.Random(seed)
+        self._next_patient_id = first_patient_id
+
+    def _dosage(self) -> str:
+        template = self._rng.choice(_DOSAGE_TEMPLATES)
+        return template.format(h=self._rng.choice((4, 6, 8, 12)),
+                               mg=self._rng.choice((50, 100, 200, 250, 500)))
+
+    def record(self, patient_id: Optional[int] = None,
+               medication: Optional[str] = None) -> Dict[str, object]:
+        """Generate one full record."""
+        if patient_id is None:
+            patient_id = self._next_patient_id
+            self._next_patient_id += 1
+        medication = medication or self._rng.choice(_MEDICATIONS)
+        clinical_index = self._rng.randrange(1, 10_000)
+        mechanism_index = _MEDICATIONS.index(medication) + 1 if medication in _MEDICATIONS \
+            else self._rng.randrange(100, 999)
+        return {
+            "patient_id": patient_id,
+            "medication_name": medication,
+            "clinical_data": f"CliD{clinical_index}",
+            "address": self._rng.choice(_CITIES),
+            "dosage": self._dosage(),
+            "mechanism_of_action": f"MeA{mechanism_index}",
+            "mode_of_action": f"MoA{mechanism_index}",
+        }
+
+    def records(self, count: int, distinct_medications: Optional[int] = None) -> List[Dict[str, object]]:
+        """Generate ``count`` records, optionally bounding the medication variety.
+
+        Bounding the variety makes the functional dependency medication →
+        mechanism realistic for the D23/D32 view (many patients per
+        medication).
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        medications: Sequence[str] = _MEDICATIONS
+        if distinct_medications is not None:
+            medications = _MEDICATIONS[:max(1, min(distinct_medications, len(_MEDICATIONS)))]
+        generated = []
+        for _ in range(count):
+            generated.append(self.record(medication=self._rng.choice(medications)))
+        return generated
+
+    @staticmethod
+    def column_names() -> Tuple[str, ...]:
+        return FULL_RECORD_COLUMNS

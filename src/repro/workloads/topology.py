@@ -1,0 +1,144 @@
+"""Larger peer topologies.
+
+The paper's scenario has three peers; the motivation section talks about
+hospitals, many patients and researchers.  :func:`build_topology_system`
+builds a hub topology with one (or more) doctors, N patients and M
+researchers, each with realistic local tables and pairwise sharing
+agreements, so benchmarks can scale the number of agreements and concurrent
+updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.bx.dsl import ViewSpec
+from repro.config import SystemConfig
+from repro.core.records import doctor_schema, patient_schema, researcher_schema
+from repro.core.sharing import SharingAgreement
+from repro.core.system import MedicalDataSharingSystem
+from repro.relational.predicates import Eq
+from repro.workloads.generator import MedicalRecordGenerator
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Shape of a generated sharing network."""
+
+    patients: int = 5
+    researchers: int = 1
+    distinct_medications: int = 8
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.patients < 1:
+            raise ValueError("a topology needs at least one patient")
+        if self.researchers < 0:
+            raise ValueError("researchers must be non-negative")
+        if self.distinct_medications < 1:
+            raise ValueError("distinct_medications must be at least 1")
+
+
+def _patient_agreement(patient_name: str, patient_id: int, metadata_id: str) -> SharingAgreement:
+    shared_columns = ("patient_id", "medication_name", "clinical_data", "dosage")
+    patient_spec = ViewSpec(source_table="D1", view_name=f"D13_{patient_id}",
+                            columns=shared_columns, view_key=("patient_id",))
+    doctor_spec = ViewSpec(source_table="D3", view_name=f"D31_{patient_id}",
+                           columns=shared_columns, view_key=("patient_id",),
+                           where=Eq("patient_id", patient_id))
+    return SharingAgreement.build(
+        metadata_id=metadata_id,
+        peer_a="doctor", role_a="Doctor", spec_a=doctor_spec,
+        peer_b=patient_name, role_b="Patient", spec_b=patient_spec,
+        write_permission={
+            "patient_id": ("Doctor",),
+            "medication_name": ("Doctor",),
+            "dosage": ("Doctor",),
+            "clinical_data": ("Patient", "Doctor"),
+        },
+        authority_role="Doctor",
+        initiator="doctor",
+    )
+
+
+def _researcher_agreement(researcher_name: str, metadata_id: str) -> SharingAgreement:
+    shared_columns = ("medication_name", "mechanism_of_action")
+    researcher_spec = ViewSpec(source_table="D2", view_name=f"D23_{researcher_name}",
+                               columns=shared_columns, view_key=("medication_name",))
+    doctor_spec = ViewSpec(source_table="D3", view_name=f"D32_{researcher_name}",
+                           columns=shared_columns, view_key=("medication_name",))
+    return SharingAgreement.build(
+        metadata_id=metadata_id,
+        peer_a=researcher_name, role_a="Researcher", spec_a=researcher_spec,
+        peer_b="doctor", role_b="Doctor", spec_b=doctor_spec,
+        write_permission={
+            "medication_name": ("Doctor", "Researcher"),
+            "mechanism_of_action": ("Researcher",),
+        },
+        authority_role="Researcher",
+        initiator=researcher_name,
+    )
+
+
+def build_topology_system(spec: TopologySpec = TopologySpec(),
+                          config: Optional[SystemConfig] = None) -> MedicalDataSharingSystem:
+    """Build a doctor-centred topology with ``spec.patients`` patients and
+    ``spec.researchers`` researchers, sharing established and contracts live."""
+    generator = MedicalRecordGenerator(seed=spec.seed)
+    # One full record per patient peer (patient_id keys D1/D3), with the
+    # medication variety bounded so several patients share each medication —
+    # that is what makes the D23/D32 functional view non-trivial.
+    full_records = generator.records(spec.patients,
+                                     distinct_medications=spec.distinct_medications)
+    records_by_patient: Dict[int, List[dict]] = {}
+    all_records: List[dict] = []
+    patient_ids: List[int] = []
+    for record in full_records:
+        patient_id = record["patient_id"]
+        patient_ids.append(patient_id)
+        records_by_patient[patient_id] = [record]
+        all_records.append(record)
+
+    system = MedicalDataSharingSystem(config or SystemConfig.private_chain())
+    system.add_peer("doctor", "Doctor")
+
+    doctor_columns = ("patient_id", "medication_name", "clinical_data", "dosage",
+                      "mechanism_of_action")
+    doctor_rows = [{c: record[c] for c in doctor_columns} for record in all_records]
+    system.peer("doctor").database.create_table("D3", doctor_schema(), doctor_rows)
+
+    patient_columns = ("patient_id", "medication_name", "clinical_data", "address", "dosage")
+    patient_names = []
+    for patient_id in patient_ids:
+        name = f"patient-{patient_id}"
+        patient_names.append(name)
+        system.add_peer(name, "Patient")
+        rows = [{c: record[c] for c in patient_columns}
+                for record in records_by_patient[patient_id]]
+        system.peer(name).database.create_table("D1", patient_schema(), rows)
+
+    researcher_columns = ("medication_name", "mechanism_of_action", "mode_of_action")
+    researcher_names = []
+    seen_medications: Dict[str, dict] = {}
+    for record in all_records:
+        seen_medications[record["medication_name"]] = {
+            c: record[c] for c in researcher_columns
+        }
+    for index in range(spec.researchers):
+        name = f"researcher-{index + 1}"
+        researcher_names.append(name)
+        system.add_peer(name, "Researcher")
+        system.peer(name).database.create_table("D2", researcher_schema(),
+                                                 list(seen_medications.values()))
+
+    system.deploy_contracts("doctor")
+    for patient_id, name in zip(patient_ids, patient_names):
+        system.establish_sharing(
+            _patient_agreement(name, patient_id, metadata_id=f"D13&D31:{patient_id}")
+        )
+    for name in researcher_names:
+        system.establish_sharing(
+            _researcher_agreement(name, metadata_id=f"D23&D32:{name}")
+        )
+    return system

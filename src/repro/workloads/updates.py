@@ -1,0 +1,132 @@
+"""Update-stream generation.
+
+Benchmarks need streams of shared-data operations with a controllable mix
+(which peer updates, which attribute, how often conflicting updates hit the
+same shared table).  :class:`UpdateStreamGenerator` produces those streams
+deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.sharing import SharingAgreement
+from repro.core.system import MedicalDataSharingSystem
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """One intended shared-data update."""
+
+    peer: str
+    metadata_id: str
+    key: Tuple[object, ...]
+    updates: Dict[str, object]
+
+    def to_dict(self) -> dict:
+        return {
+            "peer": self.peer,
+            "metadata_id": self.metadata_id,
+            "key": list(self.key),
+            "updates": dict(self.updates),
+        }
+
+
+class UpdateStreamGenerator:
+    """Generates streams of valid (permission-respecting) update events."""
+
+    def __init__(self, system: MedicalDataSharingSystem, seed: int = 17):
+        self.system = system
+        self._rng = random.Random(seed)
+        self._counter = 0
+
+    def _writable_attributes(self, agreement: SharingAgreement, peer: str) -> Tuple[str, ...]:
+        """Attributes ``peer`` may update through ``agreement``, excluding keys.
+
+        Two kinds of columns are excluded:
+
+        * the view's own alignment key (changing it is a row rename, not an
+          entry-level field update);
+        * columns that act as the alignment key of *another* shared view the
+          same peer derives from the same base table — renaming such a column
+          cannot be propagated losslessly through that functional view (the
+          classic view-update limitation), so a realistic workload avoids it.
+        """
+        role = agreement.role_of(peer)
+        spec = agreement.definition_for(peer).view_spec
+        excluded = set(spec.view_key)
+        peer_object = self.system.peer(peer)
+        for other_id in peer_object.agreements_sharing_source(spec.source_table):
+            if other_id == agreement.metadata_id:
+                continue
+            other_spec = peer_object.agreement(other_id).definition_for(peer).view_spec
+            excluded.update(other_spec.view_key)
+        return tuple(
+            attribute for attribute in agreement.writable_columns(role)
+            if attribute not in excluded
+        )
+
+    def event_for(self, metadata_id: str, peer: Optional[str] = None,
+                  attribute: Optional[str] = None) -> UpdateEvent:
+        """Build one update event targeting ``metadata_id``.
+
+        The peer and attribute are chosen (seeded-randomly when omitted) such
+        that the contract will accept the update, so throughput benchmarks
+        measure the protocol rather than a stream of rejections.
+        """
+        agreement = self.system.agreement(metadata_id)
+        candidates = []
+        for candidate in agreement.peers:
+            writable = self._writable_attributes(agreement, candidate)
+            if writable:
+                candidates.append((candidate, writable))
+        if not candidates:
+            raise ValueError(f"no peer can write any attribute of {metadata_id!r}")
+        if peer is None:
+            peer, writable = candidates[self._rng.randrange(len(candidates))]
+        else:
+            match = [entry for entry in candidates if entry[0] == peer]
+            if not match:
+                raise ValueError(f"peer {peer!r} cannot write any attribute of {metadata_id!r}")
+            writable = match[0][1]
+        if attribute is None:
+            attribute = writable[self._rng.randrange(len(writable))]
+        shared = self.system.peer(peer).shared_table(metadata_id)
+        if len(shared) == 0:
+            raise ValueError(f"shared table {metadata_id!r} is empty on peer {peer!r}")
+        rows = list(shared)
+        row = rows[self._rng.randrange(len(rows))]
+        key = row.key(shared.schema.primary_key)
+        self._counter += 1
+        return UpdateEvent(
+            peer=peer,
+            metadata_id=metadata_id,
+            key=key,
+            updates={attribute: f"updated-{attribute}-{self._counter}"},
+        )
+
+    def stream(self, count: int, metadata_ids: Optional[Sequence[str]] = None,
+               conflict_fraction: float = 0.0) -> List[UpdateEvent]:
+        """Generate ``count`` events across the given shared tables.
+
+        ``conflict_fraction`` is the fraction of events that intentionally
+        target the same shared table as the previous event (used by the
+        serialisation ablation, E9).
+        """
+        if not 0.0 <= conflict_fraction <= 1.0:
+            raise ValueError("conflict_fraction must be in [0, 1]")
+        metadata_ids = list(metadata_ids or self.system.agreement_ids)
+        if not metadata_ids:
+            raise ValueError("the system has no established agreements")
+        events: List[UpdateEvent] = []
+        previous_id: Optional[str] = None
+        for _ in range(count):
+            if previous_id is not None and self._rng.random() < conflict_fraction:
+                metadata_id = previous_id
+            else:
+                metadata_id = metadata_ids[self._rng.randrange(len(metadata_ids))]
+            events.append(self.event_for(metadata_id))
+            previous_id = metadata_id
+        return events

@@ -1,0 +1,183 @@
+"""Tests for law checking, the view-spec DSL and the BX registry."""
+
+import pytest
+
+from repro.bx.dsl import ViewSpec, lens_from_spec
+from repro.bx.laws import LawReport, assert_well_behaved, check_well_behaved
+from repro.bx.lens import DeletePolicy, InsertPolicy, Lens
+from repro.bx.projection import ProjectionLens
+from repro.bx.registry import BXRegistry
+from repro.errors import AgreementError, LensLawViolation, UnknownLensError
+from repro.relational.predicates import Eq
+from repro.relational.table import Table
+
+
+class _BrokenLens(Lens):
+    """A deliberately ill-behaved lens: put ignores the view entirely."""
+
+    name = "broken"
+
+    def view_schema(self, source_schema):
+        return source_schema
+
+    def get(self, source):
+        return source.snapshot()
+
+    def put(self, source, view):
+        return source.snapshot()
+
+
+class TestLawChecking:
+    def test_well_behaved_lens_passes(self, patient_table):
+        lens = ProjectionLens(("patient_id", "dosage"))
+        report = check_well_behaved(lens, patient_table)
+        assert report.well_behaved
+        assert report.get_put_holds and report.put_get_holds
+        assert report.detail == ""
+
+    def test_broken_lens_fails_put_get(self, patient_table):
+        lens = _BrokenLens()
+        view = patient_table.snapshot()
+        view.update_by_key((188,), {"dosage": "changed"})
+        report = check_well_behaved(lens, patient_table, view)
+        assert report.get_put_holds is True
+        assert report.put_get_holds is False
+        assert "PutGet" in report.detail
+
+    def test_assert_well_behaved_raises(self, patient_table):
+        lens = _BrokenLens()
+        view = patient_table.snapshot()
+        view.update_by_key((188,), {"dosage": "changed"})
+        with pytest.raises(LensLawViolation):
+            assert_well_behaved(lens, patient_table, view)
+
+    def test_assert_well_behaved_passes_silently(self, patient_table):
+        assert_well_behaved(ProjectionLens(("patient_id", "dosage")), patient_table)
+
+    def test_report_with_no_checks_is_not_well_behaved(self):
+        report = LawReport(lens_name="x", get_put_holds=None, put_get_holds=None)
+        assert not report.well_behaved
+
+    def test_check_handles_put_errors(self, patient_table):
+        # A lens that forbids insertions reports a PutGet failure (raised) when
+        # the view introduces a new key, rather than crashing the checker.
+        lens = ProjectionLens(("patient_id", "dosage"), on_insert=InsertPolicy.FORBID)
+        view = lens.get(patient_table)
+        view.insert({"patient_id": 999, "dosage": "x"})
+        report = check_well_behaved(lens, patient_table, view)
+        assert report.put_get_holds is False
+        assert "raised" in report.detail
+
+
+class TestViewSpecDsl:
+    def test_spec_requires_columns(self):
+        with pytest.raises(AgreementError):
+            ViewSpec(source_table="D1", view_name="V", columns=())
+
+    def test_shared_columns_apply_rename(self):
+        spec = ViewSpec(source_table="D1", view_name="V", columns=("a", "b"),
+                        rename={"a": "alpha"})
+        assert spec.shared_columns == ("alpha", "b")
+
+    def test_round_trip_dict(self):
+        spec = ViewSpec(
+            source_table="D3", view_name="D31",
+            columns=("patient_id", "dosage"),
+            view_key=("patient_id",),
+            where=Eq("patient_id", 188),
+            rename={"dosage": "dose"},
+            on_delete=DeletePolicy.FORBID,
+            on_insert=InsertPolicy.FORBID,
+        )
+        restored = ViewSpec.from_dict(spec.to_dict())
+        assert restored.columns == spec.columns
+        assert restored.on_delete is DeletePolicy.FORBID
+        assert restored.where.to_dict() == spec.where.to_dict()
+        assert restored.rename == {"dosage": "dose"}
+
+    def test_lens_from_simple_spec(self, patient_table):
+        spec = ViewSpec(source_table="D1", view_name="D13",
+                        columns=("patient_id", "medication_name", "dosage"),
+                        view_key=("patient_id",))
+        lens = lens_from_spec(spec)
+        view = lens.get(patient_table)
+        assert view.name == "D13"
+        assert view.schema.column_names == ("patient_id", "medication_name", "dosage")
+
+    def test_lens_from_spec_with_filter_and_rename(self, doctor_table):
+        spec = ViewSpec(
+            source_table="D3", view_name="D31",
+            columns=("patient_id", "dosage"),
+            view_key=("patient_id",),
+            where=Eq("patient_id", 188),
+            rename={"dosage": "dose"},
+        )
+        lens = lens_from_spec(spec)
+        view = lens.get(doctor_table)
+        assert view.name == "D31"
+        assert len(view) == 1
+        assert "dose" in view.schema.column_names
+        view.update_by_key((188,), {"dose": "two tablets"})
+        new_source = lens.put(doctor_table, view)
+        assert new_source.get(188)["dosage"] == "two tablets"
+        assert new_source.get(189)["dosage"] == "100 mg twice daily"
+
+    def test_lens_name_matches_view(self):
+        spec = ViewSpec(source_table="D2", view_name="D23",
+                        columns=("medication_name", "mechanism_of_action"),
+                        view_key=("medication_name",))
+        assert lens_from_spec(spec).name == "D23"
+
+
+class TestBXRegistry:
+    def _registry(self):
+        registry = BXRegistry()
+        registry.register_spec("BX13", ViewSpec(
+            source_table="D1", view_name="D13",
+            columns=("patient_id", "medication_name", "dosage"),
+            view_key=("patient_id",),
+        ))
+        registry.register_spec("BX12", ViewSpec(
+            source_table="D1", view_name="D12",
+            columns=("patient_id", "clinical_data"),
+            view_key=("patient_id",),
+        ))
+        registry.register_spec("BX23", ViewSpec(
+            source_table="D2", view_name="D23",
+            columns=("medication_name", "mechanism_of_action"),
+            view_key=("medication_name",),
+        ))
+        return registry
+
+    def test_lookup_by_name_and_view(self):
+        registry = self._registry()
+        assert registry.get("BX13").view_name == "D13"
+        assert registry.for_view("D23").name == "BX23"
+        assert "BX13" in registry
+        assert len(registry) == 3
+        assert set(registry.names) == {"BX13", "BX12", "BX23"}
+
+    def test_unknown_lookups(self):
+        registry = self._registry()
+        with pytest.raises(UnknownLensError):
+            registry.get("BX99")
+        with pytest.raises(UnknownLensError):
+            registry.for_view("D99")
+
+    def test_programs_for_source(self):
+        registry = self._registry()
+        views = {p.view_name for p in registry.programs_for_source("D1")}
+        assert views == {"D13", "D12"}
+
+    def test_program_get_put(self, patient_table):
+        registry = self._registry()
+        program = registry.get("BX13")
+        view = program.get(patient_table)
+        view.update_by_key((188,), {"dosage": "changed"})
+        assert program.put(patient_table, view).get(188)["dosage"] == "changed"
+
+    def test_describe_includes_spec(self):
+        program = self._registry().get("BX13")
+        description = program.describe()
+        assert description["source_table"] == "D1"
+        assert description["spec"]["view_name"] == "D13"

@@ -1,0 +1,162 @@
+"""Tests for projection lenses (keyed and functional alignment)."""
+
+import pytest
+
+from repro.bx.lens import DeletePolicy, InsertPolicy
+from repro.bx.laws import check_get_put, check_put_get
+from repro.bx.projection import ProjectionLens
+from repro.errors import PutConflictError, SchemaError, ViewShapeError
+from repro.relational.table import Table
+
+
+class TestKeyedProjection:
+    """View retains the source primary key (the D1 → D13 shape)."""
+
+    def test_get_projects_columns(self, patient_table):
+        lens = ProjectionLens(("patient_id", "medication_name", "dosage"), view_name="D13")
+        view = lens.get(patient_table)
+        assert view.name == "D13"
+        assert view.schema.column_names == ("patient_id", "medication_name", "dosage")
+        assert len(view) == 1
+
+    def test_get_put_law(self, patient_table):
+        lens = ProjectionLens(("patient_id", "medication_name", "dosage"))
+        assert check_get_put(lens, patient_table)
+
+    def test_put_updates_projected_columns(self, patient_table):
+        lens = ProjectionLens(("patient_id", "dosage"))
+        view = lens.get(patient_table)
+        view.update_by_key((188,), {"dosage": "two tablets every 6h"})
+        new_source = lens.put(patient_table, view)
+        assert new_source.get(188)["dosage"] == "two tablets every 6h"
+        # hidden attributes are untouched
+        assert new_source.get(188)["address"] == "Sapporo"
+
+    def test_put_get_law_after_update(self, patient_table):
+        lens = ProjectionLens(("patient_id", "dosage"))
+        view = lens.get(patient_table)
+        view.update_by_key((188,), {"dosage": "changed"})
+        assert check_put_get(lens, patient_table, view)
+
+    def test_put_insert_with_nulls(self, patient_table):
+        lens = ProjectionLens(("patient_id", "medication_name"))
+        view = lens.get(patient_table)
+        view.insert({"patient_id": 190, "medication_name": "Aspirin"})
+        new_source = lens.put(patient_table, view)
+        assert new_source.get(190)["medication_name"] == "Aspirin"
+        assert new_source.get(190)["address"] is None
+        assert check_put_get(lens, patient_table, view)
+
+    def test_put_insert_forbidden(self, patient_table):
+        lens = ProjectionLens(("patient_id", "medication_name"),
+                              on_insert=InsertPolicy.FORBID)
+        view = lens.get(patient_table)
+        view.insert({"patient_id": 190, "medication_name": "Aspirin"})
+        with pytest.raises(PutConflictError):
+            lens.put(patient_table, view)
+
+    def test_put_delete_removes_source_row(self, doctor_table):
+        lens = ProjectionLens(("patient_id", "dosage"))
+        view = lens.get(doctor_table)
+        view.delete_by_key((189,))
+        new_source = lens.put(doctor_table, view)
+        assert not new_source.contains_key(189)
+        assert check_put_get(lens, doctor_table, view)
+
+    def test_put_delete_forbidden(self, doctor_table):
+        lens = ProjectionLens(("patient_id", "dosage"), on_delete=DeletePolicy.FORBID)
+        view = lens.get(doctor_table)
+        view.delete_by_key((189,))
+        with pytest.raises(PutConflictError):
+            lens.put(doctor_table, view)
+
+    def test_view_shape_checked(self, patient_table):
+        lens = ProjectionLens(("patient_id", "dosage"))
+        wrong = patient_table.project(["patient_id", "address"])
+        with pytest.raises(ViewShapeError):
+            lens.put(patient_table, wrong)
+
+
+class TestFunctionalProjection:
+    """View key is not the source key (the D3 → D32 shape)."""
+
+    def test_get_collapses_duplicates(self, doctor_table):
+        lens = ProjectionLens(("medication_name", "mechanism_of_action"),
+                              view_key=("medication_name",), view_name="D32")
+        doctor_table.insert({"patient_id": 190, "medication_name": "Ibuprofen",
+                             "clinical_data": "CliD3", "dosage": "x",
+                             "mechanism_of_action": "MeA1"})
+        view = lens.get(doctor_table)
+        assert len(view) == 2  # Ibuprofen row deduplicated
+
+    def test_get_detects_fd_violation(self, doctor_table):
+        lens = ProjectionLens(("medication_name", "mechanism_of_action"),
+                              view_key=("medication_name",))
+        doctor_table.insert({"patient_id": 190, "medication_name": "Ibuprofen",
+                             "clinical_data": "CliD3", "dosage": "x",
+                             "mechanism_of_action": "DIFFERENT"})
+        with pytest.raises(PutConflictError):
+            lens.get(doctor_table)
+
+    def test_put_updates_every_matching_source_row(self, doctor_table):
+        doctor_table.insert({"patient_id": 190, "medication_name": "Ibuprofen",
+                             "clinical_data": "CliD3", "dosage": "x",
+                             "mechanism_of_action": "MeA1"})
+        lens = ProjectionLens(("medication_name", "mechanism_of_action"),
+                              view_key=("medication_name",))
+        view = lens.get(doctor_table)
+        view.update_by_key(("Ibuprofen",), {"mechanism_of_action": "MeA1-new"})
+        new_source = lens.put(doctor_table, view)
+        assert new_source.get(188)["mechanism_of_action"] == "MeA1-new"
+        assert new_source.get(190)["mechanism_of_action"] == "MeA1-new"
+        assert new_source.get(189)["mechanism_of_action"] == "MeA2"
+
+    def test_put_get_and_get_put_laws(self, doctor_table):
+        lens = ProjectionLens(("medication_name", "mechanism_of_action"),
+                              view_key=("medication_name",))
+        assert check_get_put(lens, doctor_table)
+        view = lens.get(doctor_table)
+        view.update_by_key(("Wellbutrin",), {"mechanism_of_action": "MeA2-new"})
+        assert check_put_get(lens, doctor_table, view)
+
+    def test_put_delete_removes_all_matching_rows(self, doctor_table):
+        lens = ProjectionLens(("medication_name", "mechanism_of_action"),
+                              view_key=("medication_name",))
+        view = lens.get(doctor_table)
+        view.delete_by_key(("Ibuprofen",))
+        new_source = lens.put(doctor_table, view)
+        assert not new_source.contains_key(188)
+        assert new_source.contains_key(189)
+
+    def test_conflicting_view_rows_rejected(self, doctor_table):
+        lens = ProjectionLens(("medication_name", "mechanism_of_action"),
+                              view_key=("medication_name",))
+        schema = lens.view_schema(doctor_table.schema)
+        bad_view = Table("bad", schema.project(
+            ("medication_name", "mechanism_of_action"), primary_key=()),
+            [{"medication_name": "Ibuprofen", "mechanism_of_action": "A"},
+             {"medication_name": "Ibuprofen", "mechanism_of_action": "B"}])
+        with pytest.raises(ViewShapeError):
+            lens.put(doctor_table, bad_view)
+
+
+class TestValidation:
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            ProjectionLens(())
+
+    def test_view_key_must_be_projected(self):
+        with pytest.raises(SchemaError):
+            ProjectionLens(("a", "b"), view_key=("c",))
+
+    def test_no_alignment_key_available(self, people_table):
+        keyless = people_table.project(["name", "city"])
+        lens = ProjectionLens(("name",))
+        with pytest.raises(SchemaError):
+            lens.get(keyless)
+
+    def test_describe_mentions_columns(self):
+        lens = ProjectionLens(("a", "b"), view_name="V")
+        description = lens.describe()
+        assert description["columns"] == ["a", "b"]
+        assert description["view_name"] == "V"

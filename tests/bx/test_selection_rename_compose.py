@@ -1,0 +1,172 @@
+"""Tests for selection, rename and composed lenses."""
+
+import pytest
+
+from repro.bx.compose import ComposeLens, IdentityLens
+from repro.bx.lens import DeletePolicy
+from repro.bx.laws import check_get_put, check_put_get
+from repro.bx.projection import ProjectionLens
+from repro.bx.rename import RenameLens
+from repro.bx.selection import SelectionLens
+from repro.errors import PutConflictError, SchemaError, ViewShapeError
+from repro.relational.predicates import Eq, Gt
+from repro.relational.table import Table
+
+
+class TestSelectionLens:
+    def test_get_filters_rows(self, doctor_table):
+        lens = SelectionLens(Eq("patient_id", 188), view_name="D3_188")
+        view = lens.get(doctor_table)
+        assert len(view) == 1
+        assert view.name == "D3_188"
+
+    def test_laws_hold(self, doctor_table):
+        lens = SelectionLens(Eq("patient_id", 188))
+        assert check_get_put(lens, doctor_table)
+        view = lens.get(doctor_table)
+        view.update_by_key((188,), {"dosage": "changed"})
+        assert check_put_get(lens, doctor_table, view)
+
+    def test_put_preserves_hidden_rows(self, doctor_table):
+        lens = SelectionLens(Eq("patient_id", 188))
+        view = lens.get(doctor_table)
+        view.update_by_key((188,), {"clinical_data": "CliD1-new"})
+        new_source = lens.put(doctor_table, view)
+        assert new_source.get(188)["clinical_data"] == "CliD1-new"
+        assert new_source.get(189)["clinical_data"] == "CliD2"
+
+    def test_put_rejects_rows_escaping_predicate(self, doctor_table):
+        lens = SelectionLens(Eq("patient_id", 188))
+        view = lens.get(doctor_table)
+        view.update_by_key((188,), {"patient_id": 500})
+        with pytest.raises(ViewShapeError):
+            lens.put(doctor_table, view)
+
+    def test_put_insert_visible_row(self, doctor_table):
+        lens = SelectionLens(Gt("patient_id", 100))
+        view = lens.get(doctor_table)
+        view.insert({"patient_id": 200, "medication_name": "Aspirin",
+                     "clinical_data": "CliD9", "dosage": "x",
+                     "mechanism_of_action": "MeA9"})
+        new_source = lens.put(doctor_table, view)
+        assert new_source.contains_key(200)
+
+    def test_put_delete_forbidden_policy(self, doctor_table):
+        lens = SelectionLens(Gt("patient_id", 100), on_delete=DeletePolicy.FORBID)
+        view = lens.get(doctor_table)
+        view.delete_by_key((189,))
+        with pytest.raises(PutConflictError):
+            lens.put(doctor_table, view)
+
+    def test_requires_keyed_source(self, people_table):
+        keyless = people_table.project(["name", "city"])
+        lens = SelectionLens(Eq("city", "Osaka"))
+        with pytest.raises(SchemaError):
+            lens.get(keyless)
+
+    def test_put_rejects_wrong_columns(self, doctor_table):
+        lens = SelectionLens(Eq("patient_id", 188))
+        wrong = doctor_table.project(["patient_id", "dosage"])
+        with pytest.raises(ViewShapeError):
+            lens.put(doctor_table, wrong)
+
+
+class TestRenameLens:
+    def test_get_renames(self, patient_table):
+        lens = RenameLens({"dosage": "dose"}, view_name="shared")
+        view = lens.get(patient_table)
+        assert "dose" in view.schema.column_names
+        assert "dosage" not in view.schema.column_names
+
+    def test_laws_hold(self, patient_table):
+        lens = RenameLens({"dosage": "dose", "address": "city"})
+        assert check_get_put(lens, patient_table)
+        view = lens.get(patient_table)
+        view.update_by_key((188,), {"dose": "changed"})
+        assert check_put_get(lens, patient_table, view)
+
+    def test_put_maps_back(self, patient_table):
+        lens = RenameLens({"dosage": "dose"})
+        view = lens.get(patient_table)
+        view.update_by_key((188,), {"dose": "new dose"})
+        new_source = lens.put(patient_table, view)
+        assert new_source.get(188)["dosage"] == "new dose"
+
+    def test_non_injective_mapping_rejected(self):
+        with pytest.raises(SchemaError):
+            RenameLens({"a": "x", "b": "x"})
+
+    def test_put_rejects_unrenamed_view(self, patient_table):
+        lens = RenameLens({"dosage": "dose"})
+        with pytest.raises(ViewShapeError):
+            lens.put(patient_table, patient_table.snapshot())
+
+
+class TestIdentityLens:
+    def test_get_is_copy(self, patient_table):
+        lens = IdentityLens(view_name="full")
+        view = lens.get(patient_table)
+        assert view == patient_table
+        assert view.name == "full"
+
+    def test_put_replaces_source(self, patient_table):
+        lens = IdentityLens()
+        view = lens.get(patient_table)
+        view.update_by_key((188,), {"address": "Tokyo"})
+        assert lens.put(patient_table, view).get(188)["address"] == "Tokyo"
+
+    def test_laws_hold(self, patient_table):
+        lens = IdentityLens()
+        assert check_get_put(lens, patient_table)
+        assert check_put_get(lens, patient_table, lens.get(patient_table))
+
+
+class TestComposition:
+    def _composed(self):
+        selection = SelectionLens(Eq("patient_id", 188))
+        projection = ProjectionLens(("patient_id", "medication_name", "dosage"),
+                                    view_name="D31")
+        return ComposeLens(selection, projection, view_name="D31")
+
+    def test_get_applies_both(self, doctor_table):
+        view = self._composed().get(doctor_table)
+        assert len(view) == 1
+        assert view.schema.column_names == ("patient_id", "medication_name", "dosage")
+
+    def test_put_composes_correctly(self, doctor_table):
+        lens = self._composed()
+        view = lens.get(doctor_table)
+        view.update_by_key((188,), {"dosage": "two tablets"})
+        new_source = lens.put(doctor_table, view)
+        assert new_source.get(188)["dosage"] == "two tablets"
+        assert new_source.get(189)["dosage"] == "100 mg twice daily"
+
+    def test_composition_is_well_behaved(self, doctor_table):
+        lens = self._composed()
+        assert check_get_put(lens, doctor_table)
+        view = lens.get(doctor_table)
+        view.update_by_key((188,), {"medication_name": "Naproxen"})
+        assert check_put_get(lens, doctor_table, view)
+
+    def test_rshift_operator(self, doctor_table):
+        lens = SelectionLens(Eq("patient_id", 188)) >> ProjectionLens(
+            ("patient_id", "dosage"))
+        assert len(lens.get(doctor_table)) == 1
+
+    def test_three_level_composition(self, doctor_table):
+        lens = ComposeLens(
+            ComposeLens(SelectionLens(Eq("patient_id", 188)),
+                        ProjectionLens(("patient_id", "dosage"))),
+            RenameLens({"dosage": "dose"}),
+            view_name="shared",
+        )
+        view = lens.get(doctor_table)
+        assert view.schema.column_names == ("patient_id", "dose")
+        view.update_by_key((188,), {"dose": "updated"})
+        new_source = lens.put(doctor_table, view)
+        assert new_source.get(188)["dosage"] == "updated"
+
+    def test_describe_nests(self, doctor_table):
+        description = self._composed().describe()
+        assert description["inner"]["kind"] == "SelectionLens"
+        assert description["outer"]["kind"] == "ProjectionLens"

@@ -1,0 +1,149 @@
+"""Tests for the registry contract and the executable spec checker (§IV.2)."""
+
+import pytest
+
+from repro.contracts.base import CallContext
+from repro.contracts.registry_contract import SharingRegistryContract
+from repro.contracts.sharing_contract import SharedDataContract, UpdateRecord
+from repro.contracts.verification import ContractSpecChecker
+from repro.errors import ContractRevert, ContractSpecViolation
+
+from tests.contracts.test_sharing_contract import DOCTOR, PATIENT, RESEARCHER, call
+
+
+class TestRegistryContract:
+    @pytest.fixture
+    def registry(self):
+        registry = SharingRegistryContract()
+        call(registry, DOCTOR, "register_agreement", metadata_id="D13&D31",
+             contract_address="0xc" + "a" * 39, description="patient-doctor table")
+        return registry
+
+    def test_lookup(self, registry):
+        record, _ = call(registry, PATIENT, "lookup", metadata_id="D13&D31")
+        assert record["contract_address"] == "0xc" + "a" * 39
+        address, _ = call(registry, PATIENT, "contract_for", metadata_id="D13&D31")
+        assert address == "0xc" + "a" * 39
+
+    def test_duplicate_rejected(self, registry):
+        with pytest.raises(ContractRevert):
+            call(registry, DOCTOR, "register_agreement", metadata_id="D13&D31",
+                 contract_address="0xother")
+
+    def test_unknown_lookup_rejected(self, registry):
+        with pytest.raises(ContractRevert):
+            call(registry, DOCTOR, "lookup", metadata_id="NOPE")
+
+    def test_listing(self, registry):
+        call(registry, RESEARCHER, "register_agreement", metadata_id="D23&D32",
+             contract_address="0xc" + "a" * 39)
+        listing, _ = call(registry, DOCTOR, "list_agreements")
+        assert listing == ["D13&D31", "D23&D32"]
+        mine, _ = call(registry, DOCTOR, "agreements_registered_by", address=RESEARCHER)
+        assert mine == ["D23&D32"]
+
+
+def _well_behaved_contract():
+    contract = SharedDataContract()
+    call(contract, RESEARCHER, "register_shared_table",
+         metadata_id="D23&D32",
+         sharing_peers={DOCTOR: "Doctor", RESEARCHER: "Researcher"},
+         write_permission={"medication_name": ["Doctor", "Researcher"],
+                           "mechanism_of_action": ["Researcher"]},
+         authority_role="Researcher")
+    record, _ = call(contract, RESEARCHER, "request_update", metadata_id="D23&D32",
+                     changed_attributes=["mechanism_of_action"], diff_hash="h1",
+                     block_number=2, timestamp=2.0)
+    call(contract, DOCTOR, "acknowledge_update", metadata_id="D23&D32",
+         update_id=record["update_id"], block_number=3, timestamp=3.0)
+    call(contract, DOCTOR, "request_update", metadata_id="D23&D32",
+         changed_attributes=["medication_name"], diff_hash="h2",
+         block_number=4, timestamp=4.0)
+    return contract
+
+
+class TestSpecChecker:
+    def test_clean_history_passes(self):
+        contract = _well_behaved_contract()
+        result = ContractSpecChecker(contract).check_all()
+        assert result.passed, result.violations
+        assert result.checks_run == 5
+        result.raise_if_failed()
+
+    def test_detects_permission_violation(self):
+        contract = _well_behaved_contract()
+        # Forge a history record that claims the Doctor wrote the mechanism.
+        contract.history.append(UpdateRecord(
+            update_id=99, metadata_id="D23&D32", operation="update",
+            requester=DOCTOR, requester_role="Doctor",
+            changed_attributes=("mechanism_of_action",), diff_hash="forged",
+            block_number=9, timestamp=9.0,
+        ))
+        result = ContractSpecChecker(contract).check_all()
+        assert not result.passed
+        assert any("permission" in v or "role" in v for v in result.violations)
+        with pytest.raises(ContractSpecViolation):
+            result.raise_if_failed()
+
+    def test_detects_non_peer_requester(self):
+        contract = _well_behaved_contract()
+        contract.history.append(UpdateRecord(
+            update_id=100, metadata_id="D23&D32", operation="update",
+            requester="0xintruder", requester_role="Researcher",
+            changed_attributes=("mechanism_of_action",), diff_hash="forged",
+            block_number=9, timestamp=9.0,
+        ))
+        result = ContractSpecChecker(contract).check_all()
+        assert any("non-peer" in v for v in result.violations)
+
+    def test_detects_time_regression(self):
+        contract = _well_behaved_contract()
+        contract.history.append(UpdateRecord(
+            update_id=101, metadata_id="D23&D32", operation="update",
+            requester=RESEARCHER, requester_role="Researcher",
+            changed_attributes=("mechanism_of_action",), diff_hash="x",
+            block_number=10, timestamp=0.5,
+        ))
+        result = ContractSpecChecker(contract).check_all()
+        assert any("earlier than" in v for v in result.violations)
+
+    def test_detects_missing_acknowledgement(self):
+        contract = _well_behaved_contract()
+        # Two consecutive operations where the first was never acknowledged.
+        contract.history.append(UpdateRecord(
+            update_id=102, metadata_id="D23&D32", operation="update",
+            requester=RESEARCHER, requester_role="Researcher",
+            changed_attributes=("mechanism_of_action",), diff_hash="x",
+            block_number=11, timestamp=11.0,
+        ))
+        contract.history.append(UpdateRecord(
+            update_id=103, metadata_id="D23&D32", operation="update",
+            requester=RESEARCHER, requester_role="Researcher",
+            changed_attributes=("mechanism_of_action",), diff_hash="y",
+            block_number=12, timestamp=12.0,
+        ))
+        result = ContractSpecChecker(contract).check_all()
+        assert any("acknowledged" in v for v in result.violations)
+
+    def test_detects_serialization_violation(self):
+        contract = _well_behaved_contract()
+        for update_id in (104, 105):
+            contract.history.append(UpdateRecord(
+                update_id=update_id, metadata_id="D23&D32", operation="update",
+                requester=RESEARCHER, requester_role="Researcher",
+                changed_attributes=("mechanism_of_action",), diff_hash="x",
+                block_number=20, timestamp=20.0,
+            ))
+        result = ContractSpecChecker(contract).check_all()
+        assert any("at most one" in v for v in result.violations)
+
+    def test_detects_unauthorized_permission_change(self):
+        contract = _well_behaved_contract()
+        contract.permission_changes.append({
+            "metadata_id": "D23&D32", "attribute": "mechanism_of_action",
+            "previous": ["Researcher"], "new": ["Doctor"],
+            "changed_by": DOCTOR, "changed_by_role": "Doctor",
+            "block_number": 30, "timestamp": 30.0,
+        })
+        result = ContractSpecChecker(contract).check_all()
+        assert any("authority" in v for v in result.violations)

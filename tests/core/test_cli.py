@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_scenario_command(self, capsys):
+        assert main(["scenario"]) == 0
+        output = capsys.readouterr().out
+        assert "D1" in output and "D3" in output
+        assert "shared tables consistent: True" in output
+
+    def test_update_command(self, capsys):
+        assert main(["update", "--interval", "1.0"]) == 0
+        output = capsys.readouterr().out
+        assert "Workflow 'update'" in output
+        assert "MeA1-revised" in output
+
+    def test_cascade_command(self, capsys):
+        assert main(["cascade", "--interval", "1.0"]) == 0
+        output = capsys.readouterr().out
+        assert "two tablets every 12h" in output
+
+    def test_audit_command(self, capsys):
+        assert main(["audit", "--via", "researcher"]) == 0
+        output = capsys.readouterr().out
+        assert "integrity=OK" in output
+        assert "PASSED" in output
+
+    def test_throughput_command(self, capsys):
+        assert main(["throughput", "--interval", "2", "--updates", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "throughput (updates/s)" in output
+
+    def test_exposure_command(self, capsys):
+        assert main(["exposure"]) == 0
+        output = capsys.readouterr().out
+        assert "Researcher" in output and "unnecessary" in output
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-command"])

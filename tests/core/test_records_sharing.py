@@ -1,0 +1,169 @@
+"""Tests for the record schemas (Fig. 1) and sharing agreements (Fig. 3)."""
+
+import pytest
+
+from repro.bx.dsl import ViewSpec
+from repro.core.records import (
+    ATTRIBUTE_LABELS,
+    FULL_RECORD_COLUMNS,
+    attribute_ids,
+    doctor_schema,
+    full_record_schema,
+    patient_schema,
+    researcher_schema,
+    schema_for_attributes,
+)
+from repro.core.sharing import PeerViewDefinition, SharingAgreement
+from repro.errors import AgreementError
+
+
+class TestRecordSchemas:
+    def test_full_record_has_seven_attributes(self):
+        schema = full_record_schema()
+        assert len(schema) == 7
+        assert schema.column_names == FULL_RECORD_COLUMNS
+        assert schema.primary_key == ("patient_id",)
+
+    def test_attribute_labels_match_paper(self):
+        assert ATTRIBUTE_LABELS["a0"] == "patient_id"
+        assert ATTRIBUTE_LABELS["a4"] == "dosage"
+        assert ATTRIBUTE_LABELS["a5"] == "mechanism_of_action"
+        assert ATTRIBUTE_LABELS["a6"] == "mode_of_action"
+
+    def test_patient_schema_is_a0_to_a4(self):
+        assert patient_schema().column_names == (
+            "patient_id", "medication_name", "clinical_data", "address", "dosage")
+
+    def test_researcher_schema_is_a1_a5_a6(self):
+        assert researcher_schema().column_names == (
+            "medication_name", "mechanism_of_action", "mode_of_action")
+        assert researcher_schema().primary_key == ("medication_name",)
+
+    def test_doctor_schema_matches_fig1(self):
+        assert set(doctor_schema().column_names) == {
+            "patient_id", "medication_name", "clinical_data", "dosage",
+            "mechanism_of_action"}
+
+    def test_local_schemas_are_projections_of_full_record(self):
+        full = full_record_schema()
+        assert patient_schema().is_projection_of(full)
+        assert doctor_schema().is_projection_of(full)
+        assert researcher_schema().is_projection_of(full)
+
+    def test_schema_for_attribute_ids(self):
+        schema = schema_for_attributes(["a0", "a4"], primary_key=["a0"])
+        assert schema.column_names == ("patient_id", "dosage")
+        assert schema.primary_key == ("patient_id",)
+
+    def test_attribute_ids_round_trip(self):
+        assert attribute_ids(("patient_id", "dosage")) == ("a0", "a4")
+
+
+def _specs():
+    doctor_spec = ViewSpec(source_table="D3", view_name="D31",
+                           columns=("patient_id", "dosage"), view_key=("patient_id",))
+    patient_spec = ViewSpec(source_table="D1", view_name="D13",
+                            columns=("patient_id", "dosage"), view_key=("patient_id",))
+    return doctor_spec, patient_spec
+
+
+class TestSharingAgreement:
+    def _agreement(self, **overrides):
+        doctor_spec, patient_spec = _specs()
+        payload = dict(
+            metadata_id="D13&D31",
+            peer_a="doctor", role_a="Doctor", spec_a=doctor_spec,
+            peer_b="patient", role_b="Patient", spec_b=patient_spec,
+            write_permission={"dosage": ("Doctor",), "patient_id": ("Doctor",)},
+            authority_role="Doctor",
+        )
+        payload.update(overrides)
+        return SharingAgreement.build(**payload)
+
+    def test_basic_accessors(self):
+        agreement = self._agreement()
+        assert agreement.peers == ("doctor", "patient")
+        assert agreement.counterparty_of("doctor") == "patient"
+        assert agreement.counterparty_of("patient") == "doctor"
+        assert agreement.view_name_for("doctor") == "D31"
+        assert agreement.view_name_for("patient") == "D13"
+        assert agreement.role_of("patient") == "Patient"
+        assert agreement.roles == {"doctor": "Doctor", "patient": "Patient"}
+        assert agreement.shared_columns == ("patient_id", "dosage")
+
+    def test_permission_helpers(self):
+        agreement = self._agreement()
+        assert agreement.can_role_write("Doctor", "dosage")
+        assert not agreement.can_role_write("Patient", "dosage")
+        assert agreement.writers_of("dosage") == ("Doctor",)
+        assert agreement.writable_columns("Doctor") == ("dosage", "patient_id")
+
+    def test_counterparty_of_unknown_peer(self):
+        with pytest.raises(AgreementError):
+            self._agreement().counterparty_of("researcher")
+
+    def test_initiator_must_be_a_peer(self):
+        with pytest.raises(AgreementError):
+            self._agreement(initiator="researcher")
+
+    def test_authority_must_be_a_role(self):
+        with pytest.raises(AgreementError):
+            self._agreement(authority_role="Admin")
+
+    def test_permission_attribute_must_be_shared(self):
+        with pytest.raises(AgreementError):
+            self._agreement(write_permission={"address": ("Doctor",)})
+
+    def test_permission_role_must_exist(self):
+        with pytest.raises(AgreementError):
+            self._agreement(write_permission={"dosage": ("Researcher",)})
+
+    def test_views_must_expose_same_columns(self):
+        doctor_spec, _ = _specs()
+        bad_patient_spec = ViewSpec(source_table="D1", view_name="D13",
+                                    columns=("patient_id", "clinical_data"),
+                                    view_key=("patient_id",))
+        with pytest.raises(AgreementError):
+            SharingAgreement.build(
+                metadata_id="X",
+                peer_a="doctor", role_a="Doctor", spec_a=doctor_spec,
+                peer_b="patient", role_b="Patient", spec_b=bad_patient_spec,
+                write_permission={}, authority_role="Doctor",
+            )
+
+    def test_peers_must_be_distinct(self):
+        doctor_spec, patient_spec = _specs()
+        with pytest.raises(AgreementError):
+            SharingAgreement(
+                metadata_id="X",
+                definitions=(
+                    PeerViewDefinition("doctor", "Doctor", doctor_spec),
+                    PeerViewDefinition("doctor", "Doctor", patient_spec),
+                ),
+                write_permission={},
+                authority_role="Doctor",
+                initiator="doctor",
+            )
+
+    def test_round_trip_dict(self):
+        agreement = self._agreement()
+        restored = SharingAgreement.from_dict(agreement.to_dict())
+        assert restored.metadata_id == agreement.metadata_id
+        assert restored.peers == agreement.peers
+        assert restored.write_permission == agreement.write_permission
+        assert restored.definition_for("doctor").view_spec.columns == ("patient_id", "dosage")
+
+    def test_rename_gives_common_shared_columns(self):
+        doctor_spec = ViewSpec(source_table="D3", view_name="D31",
+                               columns=("patient_id", "dosage"), view_key=("patient_id",),
+                               rename={"dosage": "dose"})
+        patient_spec = ViewSpec(source_table="D1", view_name="D13",
+                                columns=("patient_id", "dose"), view_key=("patient_id",))
+        agreement = SharingAgreement.build(
+            metadata_id="X",
+            peer_a="doctor", role_a="Doctor", spec_a=doctor_spec,
+            peer_b="patient", role_b="Patient", spec_b=patient_spec,
+            write_permission={"dose": ("Doctor",)},
+            authority_role="Doctor",
+        )
+        assert set(agreement.shared_columns) == {"patient_id", "dose"}

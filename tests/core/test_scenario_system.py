@@ -1,0 +1,158 @@
+"""Tests for the Fig. 1 scenario builder and the system assembly (Fig. 2)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.records import patient_schema
+from repro.core.scenario import (
+    DOCTOR_RESEARCHER_TABLE,
+    PAPER_RECORDS,
+    PATIENT_DOCTOR_TABLE,
+    build_paper_scenario,
+    build_scaled_scenario,
+    doctor_researcher_agreement,
+    patient_doctor_agreement,
+)
+from repro.core.system import MedicalDataSharingSystem
+from repro.errors import AgreementError, SharingError
+from repro.workloads.generator import MedicalRecordGenerator
+
+
+class TestFig1DataDistribution:
+    """The scenario must reproduce the Fig. 1 tables exactly."""
+
+    def test_peers_and_roles(self, paper_system):
+        assert paper_system.peer_names == ("doctor", "patient", "researcher")
+        assert paper_system.peer("doctor").role == "Doctor"
+        assert paper_system.peer("researcher").role == "Researcher"
+
+    def test_patient_d1_contents(self, paper_system):
+        d1 = paper_system.peer("patient").local_table("D1")
+        assert len(d1) == 1
+        row = d1.get(188)
+        assert row["address"] == "Sapporo"
+        assert row["dosage"] == "one tablet every 4h"
+
+    def test_doctor_d3_contents(self, paper_system):
+        d3 = paper_system.peer("doctor").local_table("D3")
+        assert len(d3) == 2
+        assert d3.get(189)["mechanism_of_action"] == "MeA2"
+        assert "address" not in d3.schema.column_names
+        assert "mode_of_action" not in d3.schema.column_names
+
+    def test_researcher_d2_contents(self, paper_system):
+        d2 = paper_system.peer("researcher").local_table("D2")
+        assert len(d2) == 2
+        assert d2.get(("Ibuprofen",))["mode_of_action"] == "MoA1"
+
+    def test_shared_d13_equals_d31(self, paper_system):
+        assert paper_system.shared_tables_consistent(PATIENT_DOCTOR_TABLE)
+        d13 = paper_system.peer("patient").shared_table(PATIENT_DOCTOR_TABLE)
+        d31 = paper_system.peer("doctor").shared_table(PATIENT_DOCTOR_TABLE)
+        assert d13.name == "D13" and d31.name == "D31"
+        assert len(d13) == 1 and len(d31) == 1
+        assert set(d13.schema.column_names) == {"patient_id", "medication_name",
+                                                "clinical_data", "dosage"}
+
+    def test_shared_d23_equals_d32(self, paper_system):
+        assert paper_system.shared_tables_consistent(DOCTOR_RESEARCHER_TABLE)
+        d23 = paper_system.peer("researcher").shared_table(DOCTOR_RESEARCHER_TABLE)
+        assert len(d23) == 2
+        assert set(d23.schema.column_names) == {"medication_name", "mechanism_of_action"}
+
+    def test_views_consistent_with_sources(self, paper_system):
+        assert paper_system.views_consistent_with_sources()
+
+    def test_contract_metadata_matches_fig3(self, paper_system):
+        app = paper_system.server_app("patient")
+        metadata = app.query_contract("get_metadata", metadata_id=PATIENT_DOCTOR_TABLE)
+        assert metadata["authority_role"] == "Doctor"
+        assert set(metadata["write_permission"]["clinical_data"]) == {"Patient", "Doctor"}
+        assert metadata["write_permission"]["dosage"] == ["Doctor"]
+        metadata2 = app.query_contract("get_metadata", metadata_id=DOCTOR_RESEARCHER_TABLE)
+        assert metadata2["authority_role"] == "Researcher"
+        assert metadata2["write_permission"]["mechanism_of_action"] == ["Researcher"]
+
+    def test_every_node_agrees_on_state(self, paper_system):
+        assert paper_system.simulator.in_consensus()
+
+    def test_agreement_lookup(self, paper_system):
+        agreement = paper_system.agreement(PATIENT_DOCTOR_TABLE)
+        assert agreement.peers == ("doctor", "patient")
+        with pytest.raises(AgreementError):
+            paper_system.agreement("NOPE")
+
+
+class TestScaledScenario:
+    def test_scaled_records(self):
+        generator = MedicalRecordGenerator(seed=5, first_patient_id=300)
+        records = [PAPER_RECORDS[0], PAPER_RECORDS[1]] + generator.records(8)
+        system = build_scaled_scenario(records=records)
+        assert len(system.peer("doctor").local_table("D3")) == 10
+        assert system.all_shared_tables_consistent()
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValueError):
+            build_scaled_scenario(records=())
+
+    def test_public_chain_configuration(self):
+        system = build_paper_scenario(config=SystemConfig.public_chain(block_interval=12.0,
+                                                                       difficulty=1))
+        assert system.simulator.clock.now() > 0
+        assert system.all_shared_tables_consistent()
+
+
+class TestSystemAssembly:
+    def test_duplicate_peer_rejected(self):
+        system = MedicalDataSharingSystem()
+        system.add_peer("doctor", "Doctor")
+        with pytest.raises(SharingError):
+            system.add_peer("doctor", "Doctor")
+
+    def test_unknown_peer_lookup(self):
+        system = MedicalDataSharingSystem()
+        with pytest.raises(SharingError):
+            system.peer("ghost")
+        with pytest.raises(SharingError):
+            system.server_app("ghost")
+
+    def test_sharing_requires_deployed_contracts(self):
+        system = MedicalDataSharingSystem()
+        system.add_peer("doctor", "Doctor")
+        system.add_peer("patient", "Patient")
+        with pytest.raises(SharingError):
+            system.establish_sharing(patient_doctor_agreement())
+
+    def test_contracts_deploy_once(self, fresh_paper_system):
+        with pytest.raises(SharingError):
+            fresh_paper_system.deploy_contracts("doctor")
+
+    def test_duplicate_agreement_rejected(self, fresh_paper_system):
+        with pytest.raises(AgreementError):
+            fresh_paper_system.establish_sharing(patient_doctor_agreement())
+
+    def test_agreement_with_unknown_peer_rejected(self):
+        system = MedicalDataSharingSystem()
+        system.add_peer("doctor", "Doctor")
+        doctor = system.peer("doctor")
+        from repro.core.records import doctor_schema
+        doctor.database.create_table("D3", doctor_schema(), [])
+        system.deploy_contracts("doctor")
+        with pytest.raises(AgreementError):
+            system.establish_sharing(patient_doctor_agreement())
+
+    def test_statistics_structure(self, paper_system):
+        stats = paper_system.statistics()
+        assert stats["peers"] == 3
+        assert stats["agreements"] == 2
+        assert "doctor" in stats["bx_invocations"]
+        assert stats["chain_height"] > 0
+
+    def test_registry_contract_records_agreements(self, paper_system):
+        app = paper_system.server_app("doctor")
+        listing = app.node.static_call(paper_system.registry_address, "list_agreements")
+        assert listing == [PATIENT_DOCTOR_TABLE, DOCTOR_RESEARCHER_TABLE]
+
+    def test_peer_key_material_distinct(self, paper_system):
+        addresses = {peer.address for peer in paper_system.peers}
+        assert len(addresses) == 3

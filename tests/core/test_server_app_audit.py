@@ -1,0 +1,164 @@
+"""Tests for the server app (notifications, channels) and the audit trail."""
+
+import pytest
+
+from repro.core.scenario import DOCTOR_RESEARCHER_TABLE, PATIENT_DOCTOR_TABLE
+from repro.errors import SharingError
+
+
+class TestServerApp:
+    def test_notifications_delivered_only_to_sharing_peers(self, fresh_paper_system):
+        system = fresh_paper_system
+        system.coordinator.update_shared_entry(
+            "researcher", DOCTOR_RESEARCHER_TABLE, ("Ibuprofen",),
+            {"mechanism_of_action": "MeA1-v2"})
+        # The workflow already consumed the doctor's notification; the patient,
+        # who is not a sharing peer of D23&D32, must have received nothing.
+        assert system.server_app("patient").notifications == ()
+        # The researcher (the requester) is not notified about its own update.
+        assert all(n.metadata_id != DOCTOR_RESEARCHER_TABLE
+                   for n in system.server_app("researcher").notifications)
+
+    def test_pop_notifications_filters_by_table(self, fresh_paper_system):
+        system = fresh_paper_system
+        app = system.server_app("doctor")
+        tx = system.server_app("researcher").build_contract_call(
+            "request_update",
+            {"metadata_id": DOCTOR_RESEARCHER_TABLE,
+             "changed_attributes": ["mechanism_of_action"], "diff_hash": "h"})
+        system.simulator.submit_transaction(system.server_app("researcher").node.name, tx)
+        system.simulator.mine()
+        assert len(app.pop_notifications(PATIENT_DOCTOR_TABLE)) == 0
+        popped = app.pop_notifications(DOCTOR_RESEARCHER_TABLE)
+        assert len(popped) == 1
+        assert popped[0].requester_role == "Researcher"
+        assert app.pop_notifications() == []
+
+    def test_can_write_probe(self, paper_system):
+        assert paper_system.server_app("patient").can_write(
+            PATIENT_DOCTOR_TABLE, "clinical_data")
+        assert not paper_system.server_app("patient").can_write(
+            PATIENT_DOCTOR_TABLE, "dosage")
+
+    def test_contract_call_requires_configured_address(self):
+        from repro.core.system import MedicalDataSharingSystem
+
+        system = MedicalDataSharingSystem()
+        system.add_peer("doctor", "Doctor")
+        with pytest.raises(SharingError):
+            system.server_app("doctor").build_contract_call("get_metadata", {})
+        with pytest.raises(SharingError):
+            system.server_app("doctor").query_contract("list_metadata_ids")
+
+    def test_serve_shared_data_falls_back_to_snapshot(self, fresh_paper_system):
+        system = fresh_paper_system
+        transfer = system.server_app("doctor").serve_shared_data(
+            PATIENT_DOCTOR_TABLE, "patient", mode="diff")
+        assert transfer.kind == "snapshot"  # no outgoing diff recorded yet
+
+    def test_receive_shared_data_rejects_requests(self, fresh_paper_system):
+        system = fresh_paper_system
+        app = system.server_app("patient")
+        transfer = app.request_shared_data(PATIENT_DOCTOR_TABLE, "doctor")
+        with pytest.raises(SharingError):
+            app.receive_shared_data(PATIENT_DOCTOR_TABLE, transfer)
+
+    def test_channel_transfer_round_trip(self, fresh_paper_system):
+        system = fresh_paper_system
+        doctor_app = system.server_app("doctor")
+        patient_app = system.server_app("patient")
+        doctor_app.peer.shared_table(PATIENT_DOCTOR_TABLE).update_by_key(
+            (188,), {"dosage": "offline change"})
+        transfer = doctor_app.serve_shared_data(PATIENT_DOCTOR_TABLE, "patient",
+                                                mode="snapshot")
+        patient_app.receive_shared_data(PATIENT_DOCTOR_TABLE, transfer)
+        assert system.peer("patient").shared_table(PATIENT_DOCTOR_TABLE).get(188)[
+            "dosage"] == "offline change"
+
+
+class TestAuditTrail:
+    def test_records_reconstructed_from_any_node(self, fresh_paper_system):
+        system = fresh_paper_system
+        system.coordinator.update_shared_entry(
+            "researcher", DOCTOR_RESEARCHER_TABLE, ("Ibuprofen",),
+            {"mechanism_of_action": "MeA1-v2"})
+        system.coordinator.update_shared_entry(
+            "doctor", PATIENT_DOCTOR_TABLE, (188,), {"dosage": "updated dosage"})
+        for observer in ("doctor", "patient", "researcher"):
+            trail = system.audit_trail(via_peer=observer)
+            records = trail.records()
+            assert len(records) == 2
+            assert records[0].requester_role == "Researcher"
+            assert records[1].requester_role == "Doctor"
+            assert trail.verify_integrity()
+            assert all(trail.verify_record_inclusion(record) for record in records)
+
+    def test_records_filter_by_table(self, fresh_paper_system):
+        system = fresh_paper_system
+        system.coordinator.update_shared_entry(
+            "researcher", DOCTOR_RESEARCHER_TABLE, ("Ibuprofen",),
+            {"mechanism_of_action": "MeA1-v2"})
+        trail = system.audit_trail()
+        assert len(trail.records(DOCTOR_RESEARCHER_TABLE)) == 1
+        assert len(trail.records(PATIENT_DOCTOR_TABLE)) == 0
+
+    def test_permission_changes_recorded(self, fresh_paper_system):
+        system = fresh_paper_system
+        system.coordinator.change_permission(
+            "doctor", PATIENT_DOCTOR_TABLE, "dosage", ["Doctor", "Patient"])
+        trail = system.audit_trail()
+        changes = trail.permission_changes(PATIENT_DOCTOR_TABLE)
+        assert len(changes) == 1
+        assert changes[0]["new"] == ["Doctor", "Patient"]
+
+    def test_updates_by_peer(self, fresh_paper_system):
+        system = fresh_paper_system
+        system.coordinator.update_shared_entry(
+            "researcher", DOCTOR_RESEARCHER_TABLE, ("Ibuprofen",),
+            {"mechanism_of_action": "MeA1-v2"})
+        trail = system.audit_trail()
+        counts = trail.updates_by_peer()
+        assert counts[system.peer("researcher").address] == 1
+
+    def test_tampering_detected(self, fresh_paper_system):
+        system = fresh_paper_system
+        system.coordinator.update_shared_entry(
+            "researcher", DOCTOR_RESEARCHER_TABLE, ("Ibuprofen",),
+            {"mechanism_of_action": "MeA1-v2"})
+        trail = system.audit_trail(via_peer="patient")
+        record = trail.records()[0]
+        # Tamper with the patient node's replica of the block carrying the update.
+        block = trail.node.chain.block_by_number(record.block_number)
+        block.header.timestamp += 999
+        assert not trail.verify_integrity()
+        assert record.block_number in trail.tampered_blocks()
+        assert not trail.verify_record_inclusion(record)
+
+    def test_audit_requires_deployed_contract(self):
+        from repro.core.system import MedicalDataSharingSystem
+
+        system = MedicalDataSharingSystem()
+        system.add_peer("doctor", "Doctor")
+        with pytest.raises(SharingError):
+            system.audit_trail()
+
+    def test_pretty_report(self, fresh_paper_system):
+        system = fresh_paper_system
+        system.coordinator.update_shared_entry(
+            "researcher", DOCTOR_RESEARCHER_TABLE, ("Ibuprofen",),
+            {"mechanism_of_action": "MeA1-v2"})
+        report = system.audit_trail().pretty()
+        assert "integrity=OK" in report
+        assert "Researcher" in report
+
+    def test_spec_checker_passes_on_real_history(self, fresh_paper_system):
+        system = fresh_paper_system
+        system.coordinator.update_shared_entry(
+            "researcher", DOCTOR_RESEARCHER_TABLE, ("Ibuprofen",),
+            {"mechanism_of_action": "MeA1-v2"})
+        system.coordinator.change_permission(
+            "doctor", PATIENT_DOCTOR_TABLE, "dosage", ["Doctor", "Patient"])
+        system.coordinator.update_shared_entry(
+            "patient", PATIENT_DOCTOR_TABLE, (188,), {"dosage": "patient-chosen"})
+        result = system.check_contract_specification()
+        assert result.passed, result.violations

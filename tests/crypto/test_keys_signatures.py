@@ -1,0 +1,70 @@
+"""Tests for key pairs and Schnorr signatures."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.keys import KeyPair, address_from_public_key, generate_keypair
+from repro.crypto.signatures import Signature, sign, verify
+
+
+class TestKeyPairs:
+    def test_deterministic_from_seed(self):
+        assert generate_keypair(seed=7) == generate_keypair(seed=7)
+
+    def test_different_seeds_differ(self):
+        assert generate_keypair(seed=1) != generate_keypair(seed=2)
+
+    def test_address_format(self):
+        keypair = generate_keypair(seed=3)
+        assert keypair.address.startswith("0x")
+        assert len(keypair.address) == 42
+
+    def test_address_depends_on_public_key(self):
+        a = generate_keypair(seed=4)
+        b = generate_keypair(seed=5)
+        assert a.address != b.address
+        assert a.address == address_from_public_key(a.public_key)
+
+    def test_to_dict_excludes_private_key(self):
+        payload = generate_keypair(seed=6).to_dict()
+        assert "private_key" not in payload
+        assert set(payload) == {"public_key", "address"}
+
+
+class TestSignatures:
+    def test_sign_and_verify(self):
+        keypair = generate_keypair(seed=11)
+        payload = {"action": "update", "table": "D23"}
+        signature = sign(keypair, payload)
+        assert verify(keypair.public_key, payload, signature)
+
+    def test_signature_rejects_modified_payload(self):
+        keypair = generate_keypair(seed=12)
+        signature = sign(keypair, {"amount": 1})
+        assert not verify(keypair.public_key, {"amount": 2}, signature)
+
+    def test_signature_rejects_wrong_key(self):
+        alice = generate_keypair(seed=13)
+        mallory = generate_keypair(seed=14)
+        signature = sign(alice, {"x": 1})
+        assert not verify(mallory.public_key, {"x": 1}, signature)
+
+    def test_signing_is_deterministic(self):
+        keypair = generate_keypair(seed=15)
+        assert sign(keypair, {"x": 1}) == sign(keypair, {"x": 1})
+
+    def test_signature_round_trips_through_dict(self):
+        keypair = generate_keypair(seed=16)
+        signature = sign(keypair, {"x": 1})
+        restored = Signature.from_dict(signature.to_dict())
+        assert restored == signature
+        assert verify(keypair.public_key, {"x": 1}, restored)
+
+    @given(st.integers(min_value=1, max_value=10_000),
+           st.dictionaries(st.text(min_size=1, max_size=5),
+                           st.integers(min_value=-1000, max_value=1000),
+                           max_size=5))
+    @settings(max_examples=20, deadline=None)
+    def test_property_sign_verify_roundtrip(self, seed, payload):
+        keypair = generate_keypair(seed=seed)
+        assert verify(keypair.public_key, payload, sign(keypair, payload))

@@ -1,0 +1,79 @@
+"""Tests for Merkle trees and proofs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashing import hash_payload
+from repro.crypto.merkle import EMPTY_ROOT, MerkleProof, MerkleTree
+
+
+def _leaves(count):
+    return [hash_payload({"tx": i}) for i in range(count)]
+
+
+class TestMerkleTree:
+    def test_empty_tree_root(self):
+        assert MerkleTree([]).root == EMPTY_ROOT
+
+    def test_single_leaf_root_is_leaf(self):
+        leaf = hash_payload({"tx": 0})
+        assert MerkleTree([leaf]).root == leaf
+
+    def test_root_changes_with_leaves(self):
+        assert MerkleTree(_leaves(3)).root != MerkleTree(_leaves(4)).root
+
+    def test_root_changes_with_order(self):
+        leaves = _leaves(4)
+        assert MerkleTree(leaves).root != MerkleTree(list(reversed(leaves))).root
+
+    def test_root_of_shortcut(self):
+        leaves = _leaves(5)
+        assert MerkleTree.root_of(leaves) == MerkleTree(leaves).root
+
+    def test_len(self):
+        assert len(MerkleTree(_leaves(7))) == 7
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 4, 5, 8, 13])
+    def test_proofs_verify_for_every_leaf(self, count):
+        leaves = _leaves(count)
+        tree = MerkleTree(leaves)
+        for index in range(count):
+            proof = tree.proof(index)
+            assert proof.verify(tree.root)
+
+    def test_proof_fails_against_wrong_root(self):
+        tree = MerkleTree(_leaves(6))
+        proof = tree.proof(2)
+        other_root = MerkleTree(_leaves(7)).root
+        assert not proof.verify(other_root)
+
+    def test_tampered_leaf_fails(self):
+        tree = MerkleTree(_leaves(6))
+        proof = tree.proof(1)
+        tampered = MerkleProof(leaf=hash_payload({"tx": 999}), index=1, path=proof.path)
+        assert not tampered.verify(tree.root)
+
+    def test_proof_out_of_range(self):
+        tree = MerkleTree(_leaves(3))
+        with pytest.raises(IndexError):
+            tree.proof(3)
+
+    def test_proof_on_empty_tree(self):
+        with pytest.raises(IndexError):
+            MerkleTree([]).proof(0)
+
+
+class TestMerkleProperties:
+    @given(st.integers(min_value=1, max_value=40), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_random_leaf_membership(self, count, data):
+        leaves = _leaves(count)
+        tree = MerkleTree(leaves)
+        index = data.draw(st.integers(min_value=0, max_value=count - 1))
+        assert tree.proof(index).verify(tree.root)
+
+    @given(st.lists(st.text(min_size=1, max_size=8), min_size=1, max_size=20, unique=True))
+    @settings(max_examples=25, deadline=None)
+    def test_root_deterministic_for_any_leaves(self, raw):
+        leaves = [hash_payload(item) for item in raw]
+        assert MerkleTree(leaves).root == MerkleTree(leaves).root

@@ -1,0 +1,150 @@
+"""Integration tests of the full Researcher → Doctor → Patient cascade and of
+entry-level create/delete, on a purpose-built topology.
+
+The paper's own Fig. 5 narrative for steps 7-11 is a *dosage* change that the
+doctor re-shares with the patient after absorbing a researcher update.  The
+paper scenario's exact views only overlap on the D32 key, so this module uses
+a slightly richer pair of agreements (documented below) in which the overlap
+is a plain value column — which is precisely the situation steps 6-11
+describe:
+
+* ``CARE``  — doctor ↔ patient share (patient_id, medication_name, dosage,
+  clinical_data), derived from the doctor's D3 and the patient's D1.
+* ``STUDY`` — doctor ↔ researcher share (patient_id, dosage,
+  mechanism_of_action), keyed by patient id, derived from the doctor's D3 and
+  the researcher's study table DS.
+
+``dosage`` appears in both shared tables, so a researcher-side dosage update
+must flow STUDY → D3 → CARE → patient.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.scenario import CARE_TABLE as CARE
+from repro.core.scenario import STUDY_TABLE as STUDY
+from repro.core.scenario import build_extended_scenario
+
+
+@pytest.fixture
+def trio_system():
+    return build_extended_scenario(SystemConfig.private_chain(block_interval=1.0))
+
+
+class TestFullCascade:
+    def test_researcher_dosage_update_reaches_patient(self, trio_system):
+        """Fig. 5 steps 1-11 end to end: the dosage change initiated on the
+        researcher's shared study table is reflected into the doctor's D3 and
+        then re-shared with (and reflected by) the patient."""
+        system = trio_system
+        trace = system.coordinator.update_shared_entry(
+            "researcher", STUDY, (188,), {"dosage": "two tablets every 12h"})
+        assert trace.succeeded
+        assert CARE in trace.cascaded_metadata_ids
+        # Doctor absorbed it.
+        assert system.peer("doctor").local_table("D3").get(188)[
+            "dosage"] == "two tablets every 12h"
+        # Patient received the re-share and reflected it into D1.
+        assert system.peer("patient").shared_table(CARE).get(188)[
+            "dosage"] == "two tablets every 12h"
+        assert system.peer("patient").local_table("D1").get(188)[
+            "dosage"] == "two tablets every 12h"
+        # Researcher's own base table was updated through its own put.
+        assert system.peer("researcher").local_table("DS").get(188)[
+            "dosage"] == "two tablets every 12h"
+        # Every shared table is pairwise consistent and consistent with sources.
+        assert system.all_shared_tables_consistent()
+        assert system.views_consistent_with_sources()
+
+    def test_cascade_trace_shows_both_contract_requests(self, trio_system):
+        trace = trio_system.coordinator.update_shared_entry(
+            "researcher", STUDY, (188,), {"dosage": "two tablets every 12h"})
+        contract_steps = [s for s in trace.steps if s.action == "contract_request"]
+        assert len(contract_steps) == 2  # STUDY request + CARE cascade request
+        acknowledgements = [s for s in trace.steps if s.action == "acknowledge"]
+        assert len(acknowledgements) == 2
+        assert trace.blocks_created >= 4
+
+    def test_cascade_latency_exceeds_single_hop(self, trio_system):
+        single = trio_system.coordinator.update_shared_entry(
+            "researcher", STUDY, (188,), {"mechanism_of_action": "MeA1-only-study"})
+        cascading = trio_system.coordinator.update_shared_entry(
+            "researcher", STUDY, (189,), {"dosage": "cascaded dosage"})
+        assert cascading.elapsed > single.elapsed
+        assert single.cascaded_metadata_ids == []
+
+    def test_unrelated_attribute_does_not_cascade(self, trio_system):
+        """A mechanism-of-action change is not part of CARE, so the patient is
+        never contacted (the paper's "third party" isolation)."""
+        system = trio_system
+        patient_messages_before = len(
+            system.simulator.channels.channel_between("doctor", "patient").transfers)
+        trace = system.coordinator.update_shared_entry(
+            "researcher", STUDY, (188,), {"mechanism_of_action": "MeA1-private"})
+        assert trace.succeeded
+        assert trace.cascaded_metadata_ids == []
+        patient_messages_after = len(
+            system.simulator.channels.channel_between("doctor", "patient").transfers)
+        assert patient_messages_after == patient_messages_before
+
+    def test_third_party_never_sees_other_channel_data(self, trio_system):
+        system = trio_system
+        system.coordinator.update_shared_entry(
+            "researcher", STUDY, (188,), {"dosage": "two tablets every 12h"})
+        exposure = system.simulator.channels.exposure_report()
+        # The researcher never receives CARE data; the patient never receives STUDY data.
+        assert "D31" not in exposure.get("researcher", ())
+        assert "D13" not in exposure.get("researcher", ())
+        assert "DS3" not in exposure.get("patient", ())
+        assert "D3S" not in exposure.get("patient", ())
+
+
+class TestCreateAndDeleteEndToEnd:
+    def test_doctor_creates_record_and_it_cascades(self, trio_system):
+        system = trio_system
+        trace = system.coordinator.create_shared_entry(
+            "doctor", CARE,
+            {"patient_id": 200, "medication_name": "Amoxicillin",
+             "clinical_data": "CliD9", "dosage": "250 mg three times daily"})
+        assert trace.succeeded
+        # Patient side: shared table and base table gained the record.
+        assert system.peer("patient").shared_table(CARE).contains_key(200)
+        assert system.peer("patient").local_table("D1").contains_key(200)
+        # Doctor's base table gained it (hidden attribute NULL).
+        assert system.peer("doctor").local_table("D3").get(200)["mechanism_of_action"] is None
+        # The STUDY share also gained the new patient via the cascade.
+        assert STUDY in trace.cascaded_metadata_ids
+        assert system.peer("researcher").shared_table(STUDY).contains_key(200)
+        assert system.peer("researcher").local_table("DS").contains_key(200)
+        assert system.all_shared_tables_consistent()
+
+    def test_doctor_deletes_record_everywhere(self, trio_system):
+        system = trio_system
+        trace = system.coordinator.delete_shared_entry("doctor", CARE, (189,))
+        assert trace.succeeded
+        assert not system.peer("doctor").local_table("D3").contains_key(189)
+        assert not system.peer("patient").local_table("D1").contains_key(189)
+        assert not system.peer("researcher").local_table("DS").contains_key(189)
+        assert system.all_shared_tables_consistent()
+        assert system.views_consistent_with_sources()
+
+    def test_researcher_cannot_create_care_entries(self, trio_system):
+        from repro.errors import UpdateRejected
+
+        with pytest.raises(Exception) as excinfo:
+            trio_system.coordinator.create_shared_entry(
+                "researcher", CARE,
+                {"patient_id": 300, "medication_name": "X", "clinical_data": "C",
+                 "dosage": "d"})
+        # The researcher is not a peer of CARE at all.
+        assert excinfo.type.__name__ in ("AgreementError", "UpdateRejected")
+
+    def test_audit_covers_cascaded_operations(self, trio_system):
+        system = trio_system
+        system.coordinator.update_shared_entry(
+            "researcher", STUDY, (188,), {"dosage": "two tablets every 12h"})
+        trail = system.audit_trail()
+        records = trail.records()
+        assert {record.metadata_id for record in records} == {STUDY, CARE}
+        assert trail.verify_integrity()
+        assert system.check_contract_specification().passed

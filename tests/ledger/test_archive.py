@@ -1,0 +1,86 @@
+"""Tests for chain archival (export, replay import, cold verification)."""
+
+import json
+
+import pytest
+
+from repro.config import ConsensusConfig, LedgerConfig
+from repro.contracts.runtime import ContractRuntime
+from repro.contracts.sharing_contract import SharedDataContract
+from repro.core.scenario import DOCTOR_RESEARCHER_TABLE, build_paper_scenario
+from repro.errors import LedgerError
+from repro.ledger.archive import export_chain, import_chain, verify_archive
+
+
+@pytest.fixture
+def system_with_history():
+    system = build_paper_scenario()
+    system.coordinator.update_shared_entry(
+        "researcher", DOCTOR_RESEARCHER_TABLE, ("Ibuprofen",),
+        {"mechanism_of_action": "MeA1-revised"})
+    return system
+
+
+def _fresh_executor():
+    runtime = ContractRuntime()
+    runtime.register_contract_class(SharedDataContract)
+    from repro.contracts.registry_contract import SharingRegistryContract
+
+    runtime.register_contract_class(SharingRegistryContract)
+    return runtime
+
+
+class TestExportImport:
+    def test_round_trip_reaches_same_state_root(self, system_with_history, tmp_path):
+        node = system_with_history.server_app("doctor").node
+        path = export_chain(node.chain, tmp_path / "chain.json")
+        rebuilt = import_chain(path, node.chain.config, executor=_fresh_executor())
+        assert rebuilt.height == node.chain.height
+        assert rebuilt.head.block_hash == node.chain.head.block_hash
+        assert rebuilt.state.state_root() == node.chain.state.state_root()
+        # The replayed contract carries the same history.
+        contract = rebuilt.state.contract_at(system_with_history.contract_address)
+        assert len(contract.history) == 1
+
+    def test_verify_archive(self, system_with_history, tmp_path):
+        node = system_with_history.server_app("patient").node
+        path = export_chain(node.chain, tmp_path / "chain.json")
+        assert verify_archive(path, node.chain.config, executor=_fresh_executor())
+
+    def test_archive_is_plain_json(self, system_with_history, tmp_path):
+        node = system_with_history.server_app("doctor").node
+        path = export_chain(node.chain, tmp_path / "chain.json")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["height"] == node.chain.height
+        assert len(payload["blocks"]) == len(node.chain)
+
+
+class TestErrors:
+    def test_missing_archive(self, tmp_path):
+        with pytest.raises(LedgerError):
+            import_chain(tmp_path / "missing.json", LedgerConfig())
+
+    def test_chain_id_mismatch(self, system_with_history, tmp_path):
+        node = system_with_history.server_app("doctor").node
+        path = export_chain(node.chain, tmp_path / "chain.json")
+        other_config = LedgerConfig(chain_id=999,
+                                    consensus=node.chain.config.consensus)
+        with pytest.raises(LedgerError):
+            import_chain(path, other_config, executor=_fresh_executor())
+
+    def test_tampered_archive_fails_verification(self, system_with_history, tmp_path):
+        node = system_with_history.server_app("doctor").node
+        path = export_chain(node.chain, tmp_path / "chain.json")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["blocks"][-1]["header"]["merkle_root"] = "0" * 64
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert not verify_archive(path, node.chain.config, executor=_fresh_executor())
+
+    def test_unsupported_version(self, system_with_history, tmp_path):
+        node = system_with_history.server_app("doctor").node
+        path = export_chain(node.chain, tmp_path / "chain.json")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["format_version"] = 42
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(LedgerError):
+            import_chain(path, node.chain.config, executor=_fresh_executor())

@@ -1,0 +1,246 @@
+"""Tests for the blockchain and the miner (including the serialisation rule)."""
+
+import pytest
+
+from repro.config import ConsensusConfig, LedgerConfig
+from repro.crypto.keys import generate_keypair
+from repro.errors import ForkError, InvalidBlockError, InvalidTransactionError
+from repro.ledger.chain import Blockchain, NullExecutor
+from repro.ledger.clock import SimClock
+from repro.ledger.mempool import Mempool
+from repro.ledger.miner import Miner, default_conflict_key
+from repro.ledger.state import WorldState
+from repro.ledger.transaction import Transaction
+
+KEY = generate_keypair(seed=31)
+OTHER = generate_keypair(seed=32)
+
+
+def _tx(nonce, method="request_update", metadata_id="T1", keypair=KEY):
+    return Transaction(
+        sender=keypair.address, kind="call", nonce=nonce, contract="0xc" + "1" * 39,
+        method=method, args={"metadata_id": metadata_id, "changed_attributes": ["a"],
+                             "diff_hash": "h"},
+        timestamp=0.0,
+    ).signed_by(keypair)
+
+
+def _setup(block_interval=2.0, enforce=True, max_txs=64):
+    config = LedgerConfig(
+        consensus=ConsensusConfig(kind="poa", block_interval=block_interval),
+        max_transactions_per_block=max_txs,
+    )
+    chain = Blockchain(config)
+    mempool = Mempool()
+    clock = SimClock()
+    miner = Miner(chain, mempool, clock, enforce_serialization=enforce)
+    return chain, mempool, clock, miner
+
+
+class TestBlockchainBasics:
+    def test_starts_with_genesis(self):
+        chain, _, _, _ = _setup()
+        assert chain.height == 0
+        assert len(chain) == 1
+        assert chain.head == chain.genesis
+
+    def test_block_lookup(self):
+        chain, mempool, _, miner = _setup()
+        mempool.submit(_tx(0))
+        block = miner.mine_block()
+        assert chain.block_by_number(1).block_hash == block.block_hash
+        assert chain.block_by_hash(block.block_hash).number == 1
+        with pytest.raises(InvalidBlockError):
+            chain.block_by_number(99)
+        with pytest.raises(InvalidBlockError):
+            chain.block_by_hash("f" * 64)
+
+    def test_receipts(self):
+        chain, mempool, _, miner = _setup()
+        tx = _tx(0)
+        mempool.submit(tx)
+        miner.mine_block()
+        receipt = chain.receipt(tx.tx_hash)
+        assert receipt.success
+        assert receipt.gas_used > 0
+        assert chain.has_receipt(tx.tx_hash)
+        with pytest.raises(InvalidTransactionError):
+            chain.receipt("0" * 64)
+
+    def test_total_gas_accumulates(self):
+        chain, mempool, _, miner = _setup()
+        mempool.submit_many([_tx(i, metadata_id=f"T{i}") for i in range(3)])
+        miner.mine_until_empty()
+        assert chain.total_gas_used > 0
+
+    def test_transactions_iterator(self):
+        chain, mempool, _, miner = _setup()
+        mempool.submit_many([_tx(i, metadata_id=f"T{i}") for i in range(3)])
+        miner.mine_until_empty()
+        assert len(list(chain.transactions())) == 3
+
+
+class TestValidation:
+    def test_rejects_unsigned_transaction_in_block(self):
+        chain, mempool, clock, miner = _setup()
+        mempool.submit(_tx(0))
+        block = miner.mine_block()
+        # Craft a copy of the block with a stripped signature.
+        from repro.ledger.block import Block
+        bad_tx = Transaction.from_dict(block.transactions[0].to_dict())
+        bad_tx.signature = None
+        bad = Block.from_dict(block.to_dict())
+        with pytest.raises(InvalidBlockError):
+            chain2, _, _, _ = _setup()
+            bad_block = Block(header=bad.header, transactions=(bad_tx,))
+            chain2.append_block(bad_block)
+
+    def test_rejects_block_over_tx_limit(self):
+        chain, mempool, clock, miner = _setup(max_txs=2)
+        mempool.submit_many([_tx(i, metadata_id=f"T{i}") for i in range(5)])
+        block = miner.mine_block()
+        assert len(block.transactions) <= 2
+
+    def test_verify_chain_and_tamper_detection(self):
+        chain, mempool, _, miner = _setup()
+        mempool.submit_many([_tx(i, metadata_id=f"T{i}") for i in range(3)])
+        miner.mine_until_empty()
+        assert chain.verify_chain()
+        assert chain.detect_tampering() == []
+        # Tamper with a mid-chain block header.
+        chain.blocks[1].header.timestamp += 1000
+        assert not chain.verify_chain()
+        assert chain.detect_tampering()
+
+    def test_average_block_interval(self):
+        chain, mempool, _, miner = _setup(block_interval=3.0)
+        mempool.submit_many([_tx(i, metadata_id=f"T{i}") for i in range(2)])
+        miner.mine_block()
+        miner.mine_block()
+        assert chain.average_block_interval() > 0
+
+    def test_storage_bytes_grows(self):
+        chain, mempool, _, miner = _setup()
+        before = chain.storage_bytes()
+        mempool.submit(_tx(0))
+        miner.mine_block()
+        assert chain.storage_bytes() > before
+
+
+class TestSerializationRule:
+    """§III-B: one block contains at most one update on a given shared table."""
+
+    def test_conflicting_updates_split_across_blocks(self):
+        chain, mempool, _, miner = _setup()
+        mempool.submit(_tx(0, metadata_id="D23&D32"))
+        mempool.submit(_tx(1, metadata_id="D23&D32"))
+        mempool.submit(_tx(2, metadata_id="D13&D31"))
+        first = miner.mine_block()
+        assert len(first.transactions) == 2  # one per shared table
+        ids = [tx.args["metadata_id"] for tx in first.transactions]
+        assert sorted(ids) == ["D13&D31", "D23&D32"]
+        second = miner.mine_block()
+        assert len(second.transactions) == 1
+        assert second.transactions[0].args["metadata_id"] == "D23&D32"
+
+    def test_rule_can_be_disabled(self):
+        chain, mempool, _, miner = _setup(enforce=False)
+        mempool.submit(_tx(0, metadata_id="X"))
+        mempool.submit(_tx(1, metadata_id="X"))
+        block = miner.mine_block()
+        assert len(block.transactions) == 2
+
+    def test_non_update_transactions_do_not_conflict(self):
+        chain, mempool, _, miner = _setup()
+        ack0 = Transaction(sender=KEY.address, kind="call", nonce=0, contract="0xc" + "1" * 39,
+                           method="acknowledge_update", args={"metadata_id": "X", "update_id": 1},
+                           timestamp=0.0).signed_by(KEY)
+        ack1 = Transaction(sender=OTHER.address, kind="call", nonce=0, contract="0xc" + "1" * 39,
+                           method="acknowledge_update", args={"metadata_id": "X", "update_id": 1},
+                           timestamp=0.0).signed_by(OTHER)
+        mempool.submit_many([ack0, ack1])
+        block = miner.mine_block()
+        assert len(block.transactions) == 2
+
+    def test_default_conflict_key(self):
+        update = _tx(0, metadata_id="M")
+        assert default_conflict_key(update) == "M"
+        ack = Transaction(sender=KEY.address, kind="call", nonce=1, contract="0xc",
+                          method="acknowledge_update", args={"metadata_id": "M"})
+        assert default_conflict_key(ack) is None
+        transfer = Transaction(sender=KEY.address, kind="transfer", nonce=2)
+        assert default_conflict_key(transfer) is None
+
+
+class TestMiner:
+    def test_empty_mempool_produces_no_block(self):
+        _, _, _, miner = _setup()
+        assert miner.mine_block() is None
+
+    def test_mine_until_empty(self):
+        chain, mempool, _, miner = _setup()
+        mempool.submit_many([_tx(i, metadata_id="SAME") for i in range(4)])
+        blocks = miner.mine_until_empty()
+        assert len(blocks) == 4  # serialization forces one per block
+        assert len(mempool) == 0
+        assert miner.blocks_mined == 4
+
+    def test_clock_advances_per_block(self):
+        chain, mempool, clock, miner = _setup(block_interval=12.0)
+        mempool.submit_many([_tx(i, metadata_id=f"T{i}") for i in range(2)])
+        miner.mine_until_empty()
+        assert clock.now() == pytest.approx(12.0)
+
+    def test_receipts_of_block(self):
+        chain, mempool, _, miner = _setup()
+        mempool.submit(_tx(0))
+        block = miner.mine_block()
+        receipts = miner.receipts_of(block)
+        assert len(receipts) == 1 and receipts[0].success
+
+
+class TestForkChoice:
+    def test_replace_suffix_with_longer_fork(self):
+        chain, mempool, clock, miner = _setup()
+        mempool.submit(_tx(0, metadata_id="A"))
+        miner.mine_block()
+        # Build a longer fork from the same genesis on a second chain; using the
+        # same metadata id forces one block per transaction (3 blocks > 1).
+        fork_chain, fork_pool, fork_clock, fork_miner = _setup()
+        fork_pool.submit_many([_tx(i, metadata_id="FORK") for i in range(3)])
+        fork_miner.mine_until_empty()
+        fork_blocks = list(fork_chain.blocks[1:])
+        chain.replace_suffix(fork_blocks, from_number=1)
+        assert chain.height == 3
+
+    def test_replace_suffix_rejects_shorter_fork(self):
+        chain, mempool, _, miner = _setup()
+        mempool.submit_many([_tx(i, metadata_id=f"T{i}") for i in range(2)])
+        miner.mine_block()
+        with pytest.raises(ForkError):
+            chain.replace_suffix([], from_number=1)
+
+    def test_replace_suffix_rejects_bad_fork_point(self):
+        chain, _, _, _ = _setup()
+        with pytest.raises(ForkError):
+            chain.replace_suffix([], from_number=0)
+
+
+class TestNullExecutorAndState:
+    def test_null_executor_increments_nonce(self):
+        executor = NullExecutor()
+        state = WorldState()
+        receipt = executor.execute(_tx(0), state, block_number=1, timestamp=0.0)
+        assert receipt.success
+        assert state.nonce_of(KEY.address) == 1
+
+    def test_state_root_changes_with_accounts(self):
+        state = WorldState()
+        root_before = state.state_root()
+        state.increment_nonce("0xabc")
+        assert state.state_root() != root_before
+
+    def test_storage_bytes(self):
+        state = WorldState()
+        state.increment_nonce("0xabc")
+        assert state.storage_bytes() > 0

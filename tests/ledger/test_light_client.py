@@ -1,0 +1,116 @@
+"""Tests for light-client verification of shared-data operations."""
+
+import pytest
+
+from repro.core.scenario import DOCTOR_RESEARCHER_TABLE, build_paper_scenario
+from repro.errors import InvalidBlockError, LedgerError
+from repro.ledger.block import Block, BlockHeader
+from repro.ledger.light_client import InclusionProof, LightClient, build_inclusion_proof
+
+
+@pytest.fixture
+def system_with_update():
+    system = build_paper_scenario()
+    trace = system.coordinator.update_shared_entry(
+        "researcher", DOCTOR_RESEARCHER_TABLE, ("Ibuprofen",),
+        {"mechanism_of_action": "MeA1-revised"})
+    assert trace.succeeded
+    return system
+
+
+def _update_transaction(chain):
+    for tx in chain.transactions():
+        if tx.method == "request_update":
+            return tx
+    raise AssertionError("no update transaction on the chain")
+
+
+class TestInclusionProof:
+    def test_proof_round_trip_and_verification(self, system_with_update):
+        chain = system_with_update.server_app("doctor").node.chain
+        tx = _update_transaction(chain)
+        proof = build_inclusion_proof(chain, tx.tx_hash)
+        restored = InclusionProof.from_dict(proof.to_dict())
+        header = chain.block_by_number(proof.block_number).header
+        assert restored.merkle_proof.verify(header.merkle_root)
+
+    def test_proof_for_unknown_transaction(self, system_with_update):
+        chain = system_with_update.server_app("doctor").node.chain
+        with pytest.raises(LedgerError):
+            build_inclusion_proof(chain, "0" * 64)
+
+
+class TestLightClient:
+    def _client(self, system):
+        chain = system.server_app("doctor").node.chain
+        client = LightClient(chain.consensus, chain.genesis)
+        client.sync_from(chain)
+        return client, chain
+
+    def test_sync_and_height(self, system_with_update):
+        client, chain = self._client(system_with_update)
+        assert client.height == chain.height
+        assert len(client.headers) == len(chain)
+        # Syncing again adds nothing.
+        assert client.sync_from(chain) == 0
+
+    def test_rejects_non_linking_header(self, system_with_update):
+        client, chain = self._client(system_with_update)
+        rogue = BlockHeader(number=client.height + 1, parent_hash="f" * 64,
+                            merkle_root="0" * 64, timestamp=0.0, proposer="rogue")
+        with pytest.raises(InvalidBlockError):
+            client.accept_header(rogue)
+
+    def test_rejects_wrong_number(self, system_with_update):
+        client, chain = self._client(system_with_update)
+        stale = chain.block_by_number(1).header
+        with pytest.raises(InvalidBlockError):
+            client.accept_header(stale)
+
+    def test_rejects_forged_seal(self, system_with_update):
+        client, chain = self._client(system_with_update)
+        head = chain.head.header
+        forged = BlockHeader(number=head.number + 1, parent_hash=head.block_hash,
+                             merkle_root="0" * 64, timestamp=head.timestamp + 1,
+                             proposer="node-doctor", seal="forged")
+        with pytest.raises(InvalidBlockError):
+            client.accept_header(forged)
+
+    def test_verifies_update_inclusion(self, system_with_update):
+        client, chain = self._client(system_with_update)
+        tx = _update_transaction(chain)
+        proof = build_inclusion_proof(chain, tx.tx_hash)
+        assert client.verify_inclusion(proof)
+        assert client.verify_operation(proof, tx,
+                                       expected_metadata_id=DOCTOR_RESEARCHER_TABLE,
+                                       expected_diff_hash=tx.args["diff_hash"])
+
+    def test_rejects_substituted_payload(self, system_with_update):
+        """A lying full node cannot pass off a different transaction body."""
+        client, chain = self._client(system_with_update)
+        tx = _update_transaction(chain)
+        proof = build_inclusion_proof(chain, tx.tx_hash)
+        from repro.ledger.transaction import Transaction
+
+        tampered = Transaction.from_dict(tx.to_dict())
+        tampered.args = dict(tampered.args, diff_hash="forged")
+        assert not client.verify_operation(proof, tampered)
+
+    def test_rejects_wrong_metadata_expectation(self, system_with_update):
+        client, chain = self._client(system_with_update)
+        tx = _update_transaction(chain)
+        proof = build_inclusion_proof(chain, tx.tx_hash)
+        assert not client.verify_operation(proof, tx, expected_metadata_id="SOMETHING ELSE")
+
+    def test_rejects_proof_beyond_known_height(self, system_with_update):
+        client, chain = self._client(system_with_update)
+        tx = _update_transaction(chain)
+        proof = build_inclusion_proof(chain, tx.tx_hash)
+        beyond = InclusionProof(tx_hash=proof.tx_hash, block_number=client.height + 5,
+                                merkle_proof=proof.merkle_proof)
+        assert not client.verify_inclusion(beyond)
+
+    def test_header_lookup_bounds(self, system_with_update):
+        client, _ = self._client(system_with_update)
+        with pytest.raises(InvalidBlockError):
+            client.header(client.height + 1)

@@ -1,0 +1,166 @@
+"""Tests for transactions, blocks and the simulated clock."""
+
+import pytest
+
+from repro.crypto.keys import generate_keypair
+from repro.errors import InvalidBlockError, InvalidTransactionError
+from repro.ledger.block import Block, BlockHeader, GENESIS_PARENT, make_genesis_block, validate_block_linkage
+from repro.ledger.clock import SimClock
+from repro.ledger.gas import GasSchedule, payload_size, transaction_gas
+from repro.ledger.transaction import Transaction
+
+ALICE = generate_keypair(seed=101)
+BOB = generate_keypair(seed=102)
+
+
+def _signed_tx(nonce=0, method="request_update", args=None, keypair=ALICE):
+    tx = Transaction(
+        sender=keypair.address,
+        kind="call",
+        nonce=nonce,
+        contract="0xc" + "0" * 39,
+        method=method,
+        args=args or {"metadata_id": "D23&D32"},
+        timestamp=1.0,
+    )
+    return tx.signed_by(keypair)
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(12.0) == 12.0
+        assert clock.now() == 12.0
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_advance_to_never_goes_backwards(self):
+        clock = SimClock(start=10)
+        clock.advance_to(5)
+        assert clock.now() == 10
+        clock.advance_to(15)
+        assert clock.now() == 15
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(start=-1)
+
+
+class TestTransaction:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidTransactionError):
+            Transaction(sender="0xabc", kind="mystery", nonce=0)
+
+    def test_negative_nonce_rejected(self):
+        with pytest.raises(InvalidTransactionError):
+            Transaction(sender="0xabc", kind="call", nonce=-1)
+
+    def test_signing_requires_matching_key(self):
+        tx = Transaction(sender="0x" + "1" * 40, kind="call", nonce=0)
+        with pytest.raises(InvalidTransactionError):
+            tx.signed_by(ALICE)
+
+    def test_signed_transaction_verifies(self):
+        assert _signed_tx().verify_signature()
+
+    def test_unsigned_transaction_does_not_verify(self):
+        tx = Transaction(sender=ALICE.address, kind="call", nonce=0)
+        assert not tx.verify_signature()
+
+    def test_tampered_args_break_signature(self):
+        tx = _signed_tx()
+        tx.args["metadata_id"] = "SOMETHING ELSE"
+        assert not tx.verify_signature()
+
+    def test_signature_from_other_key_rejected(self):
+        tx = _signed_tx()
+        tx.sender_public_key = BOB.public_key
+        assert not tx.verify_signature()
+
+    def test_hash_changes_with_content(self):
+        assert _signed_tx(nonce=0).tx_hash != _signed_tx(nonce=1).tx_hash
+
+    def test_round_trip_dict(self):
+        tx = _signed_tx()
+        restored = Transaction.from_dict(tx.to_dict())
+        assert restored.tx_hash == tx.tx_hash
+        assert restored.verify_signature()
+
+
+class TestGas:
+    def test_intrinsic_gas_grows_with_payload(self):
+        small = _signed_tx(args={"metadata_id": "x"})
+        large = _signed_tx(args={"metadata_id": "x" * 500})
+        schedule = GasSchedule()
+        assert schedule.intrinsic_gas(large) > schedule.intrinsic_gas(small)
+
+    def test_deploy_costs_more(self):
+        call = _signed_tx()
+        deploy = Transaction(sender=ALICE.address, kind="deploy", nonce=0,
+                             method="SharedDataContract").signed_by(ALICE)
+        assert transaction_gas(deploy) > 0
+        assert GasSchedule().intrinsic_gas(deploy) >= GasSchedule().per_contract_deployment
+
+    def test_payload_size_positive(self):
+        assert payload_size(_signed_tx()) > 0
+
+
+class TestBlocks:
+    def _block(self, number, parent_hash, transactions=()):
+        header = BlockHeader(number=number, parent_hash=parent_hash, merkle_root="",
+                             timestamp=float(number), proposer="miner")
+        block = Block(header=header, transactions=tuple(transactions))
+        header.merkle_root = block.compute_merkle_root()
+        return Block(header=header, transactions=tuple(transactions))
+
+    def test_genesis_block(self):
+        genesis = make_genesis_block(chain_id=2019)
+        assert genesis.number == 0
+        assert genesis.parent_hash == GENESIS_PARENT
+        assert genesis.verify_merkle_root()
+
+    def test_merkle_root_commits_to_transactions(self):
+        block = self._block(1, "00" * 32, [_signed_tx(nonce=0), _signed_tx(nonce=1)])
+        assert block.verify_merkle_root()
+        tampered = Block(header=block.header, transactions=(_signed_tx(nonce=2),))
+        assert not tampered.verify_merkle_root()
+
+    def test_find_transaction(self):
+        tx = _signed_tx()
+        block = self._block(1, "00" * 32, [tx])
+        assert block.find_transaction(tx.tx_hash) is not None
+        assert block.find_transaction("0" * 64) is None
+
+    def test_linkage_validation(self):
+        genesis = make_genesis_block(chain_id=1)
+        good = self._block(1, genesis.block_hash)
+        validate_block_linkage(genesis, good)
+
+    def test_linkage_rejects_wrong_parent(self):
+        genesis = make_genesis_block(chain_id=1)
+        bad = self._block(1, "ff" * 32)
+        with pytest.raises(InvalidBlockError):
+            validate_block_linkage(genesis, bad)
+
+    def test_linkage_rejects_wrong_number(self):
+        genesis = make_genesis_block(chain_id=1)
+        bad = self._block(5, genesis.block_hash)
+        with pytest.raises(InvalidBlockError):
+            validate_block_linkage(genesis, bad)
+
+    def test_linkage_rejects_time_travel(self):
+        genesis = make_genesis_block(chain_id=1, timestamp=100.0)
+        child = self._block(1, genesis.block_hash)
+        with pytest.raises(InvalidBlockError):
+            validate_block_linkage(genesis, child)
+
+    def test_round_trip_dict(self):
+        block = self._block(1, "00" * 32, [_signed_tx()])
+        restored = Block.from_dict(block.to_dict())
+        assert restored.block_hash == block.block_hash
+        assert restored.verify_merkle_root()

@@ -1,0 +1,99 @@
+"""Tests for late-joining nodes and peers (replica sync)."""
+
+import pytest
+
+from repro.core.scenario import (
+    DOCTOR_RESEARCHER_TABLE,
+    PATIENT_DOCTOR_TABLE,
+    build_paper_scenario,
+)
+from repro.errors import UpdateRejected
+
+
+class TestLateJoiningNode:
+    def test_new_node_syncs_to_current_height(self, fresh_paper_system):
+        system = fresh_paper_system
+        system.coordinator.update_shared_entry(
+            "researcher", DOCTOR_RESEARCHER_TABLE, ("Ibuprofen",),
+            {"mechanism_of_action": "MeA1-revised"})
+        established = system.server_app("doctor").node
+        newcomer = system.simulator.add_node("node-late")
+        assert newcomer.chain.height == established.chain.height
+        assert newcomer.state_root() == established.state_root()
+
+    def test_new_node_sees_contract_history(self, fresh_paper_system):
+        system = fresh_paper_system
+        system.coordinator.update_shared_entry(
+            "researcher", DOCTOR_RESEARCHER_TABLE, ("Ibuprofen",),
+            {"mechanism_of_action": "MeA1-revised"})
+        newcomer = system.simulator.add_node("node-late")
+        history = newcomer.static_call(system.contract_address, "update_history",
+                                       metadata_id=DOCTOR_RESEARCHER_TABLE)
+        assert len(history) == 1
+        assert history[0]["requester_role"] == "Researcher"
+
+    def test_network_stays_in_consensus_after_join(self, fresh_paper_system):
+        system = fresh_paper_system
+        system.simulator.add_node("node-late")
+        assert system.simulator.in_consensus()
+        trace = system.coordinator.update_shared_entry(
+            "doctor", PATIENT_DOCTOR_TABLE, (188,), {"dosage": "two tablets every 6h"})
+        assert trace.succeeded
+        assert system.simulator.in_consensus()
+
+
+class TestLateJoiningPeer:
+    def test_outsider_peer_gets_a_synced_replica(self, fresh_paper_system):
+        system = fresh_paper_system
+        system.add_peer("insurer", "Insurer")
+        app = system.server_app("insurer")
+        assert app.node.chain.height == system.server_app("doctor").node.chain.height
+        # The insurer can query the contract from its own replica but cannot
+        # operate on shared data it is not a peer of.
+        metadata = app.query_contract("get_metadata", metadata_id=PATIENT_DOCTOR_TABLE)
+        assert metadata["authority_role"] == "Doctor"
+        tx = app.build_contract_call(
+            "request_update",
+            {"metadata_id": PATIENT_DOCTOR_TABLE,
+             "changed_attributes": ["dosage"], "diff_hash": "h"})
+        system.simulator.submit_transaction(app.node.name, tx)
+        system.simulator.mine()
+        receipt = app.node.chain.receipt(tx.tx_hash)
+        assert not receipt.success
+
+    def test_late_peer_can_join_new_agreement(self, fresh_paper_system):
+        """A pharmacist joins later and establishes a new fine-grained share
+        with the doctor (dosage only)."""
+        from repro.bx.dsl import ViewSpec
+        from repro.core.records import schema_for_attributes
+        from repro.core.sharing import SharingAgreement
+
+        system = fresh_paper_system
+        pharmacist = system.add_peer("pharmacist", "Pharmacist")
+        pharmacy_schema = schema_for_attributes(["patient_id", "dosage"],
+                                                primary_key=["patient_id"])
+        pharmacist.database.create_table("DP", pharmacy_schema, [
+            {"patient_id": 188, "dosage": "one tablet every 4h"},
+            {"patient_id": 189, "dosage": "100 mg twice daily"},
+        ])
+        agreement = SharingAgreement.build(
+            metadata_id="D3P&DP3",
+            peer_a="doctor", role_a="Doctor",
+            spec_a=ViewSpec(source_table="D3", view_name="D3P",
+                            columns=("patient_id", "dosage"), view_key=("patient_id",)),
+            peer_b="pharmacist", role_b="Pharmacist",
+            spec_b=ViewSpec(source_table="DP", view_name="DP3",
+                            columns=("patient_id", "dosage"), view_key=("patient_id",)),
+            write_permission={"patient_id": ("Doctor",),
+                              "dosage": ("Doctor", "Pharmacist")},
+            authority_role="Doctor",
+            initiator="doctor",
+        )
+        system.establish_sharing(agreement)
+        assert system.shared_tables_consistent("D3P&DP3")
+        trace = system.coordinator.update_shared_entry(
+            "pharmacist", "D3P&DP3", (188,), {"dosage": "dispensed: one tablet every 4h"})
+        assert trace.succeeded
+        assert system.peer("doctor").local_table("D3").get(188)[
+            "dosage"] == "dispensed: one tablet every 4h"
+        assert system.all_shared_tables_consistent()

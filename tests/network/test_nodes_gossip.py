@@ -1,0 +1,118 @@
+"""Tests for blockchain nodes, gossip and the network simulator."""
+
+import pytest
+
+from repro.config import ConsensusConfig, LedgerConfig, NetworkConfig
+from repro.contracts.sharing_contract import SharedDataContract
+from repro.crypto.keys import generate_keypair
+from repro.ledger.transaction import Transaction
+from repro.network.simulator import NetworkSimulator
+
+KEY = generate_keypair(seed=77)
+
+
+def _simulator(node_count=3):
+    simulator = NetworkSimulator(
+        ledger_config=LedgerConfig(consensus=ConsensusConfig(kind="poa", block_interval=1.0)),
+        network_config=NetworkConfig(base_latency=0.01, latency_jitter=0.0),
+        contract_classes=(SharedDataContract,),
+    )
+    for index in range(node_count):
+        simulator.add_node(f"node-{index}", is_miner=(index == 0))
+    return simulator
+
+
+def _deploy_tx(nonce=0):
+    return Transaction(sender=KEY.address, kind="deploy", nonce=nonce,
+                       method="SharedDataContract", timestamp=0.0).signed_by(KEY)
+
+
+def _call_tx(contract, nonce, method="register_shared_table", **args):
+    defaults = {
+        "metadata_id": "T1",
+        "sharing_peers": {KEY.address: "Doctor"},
+        "write_permission": {"dosage": ["Doctor"]},
+        "authority_role": "Doctor",
+    }
+    defaults.update(args)
+    return Transaction(sender=KEY.address, kind="call", nonce=nonce, contract=contract,
+                       method=method, args=defaults, timestamp=0.0).signed_by(KEY)
+
+
+class TestGossipAndConsensus:
+    def test_transaction_gossips_to_all_mempools(self):
+        simulator = _simulator()
+        simulator.submit_transaction("node-0", _deploy_tx())
+        for node in simulator.nodes:
+            assert len(node.mempool) == 1
+
+    def test_mined_block_reaches_every_replica(self):
+        simulator = _simulator()
+        simulator.submit_and_mine("node-1", _deploy_tx())
+        heights = {node.chain.height for node in simulator.nodes}
+        assert heights == {1}
+        assert simulator.in_consensus()
+
+    def test_contract_state_identical_across_nodes(self):
+        simulator = _simulator()
+        blocks = simulator.submit_and_mine("node-0", _deploy_tx())
+        address = simulator.node("node-0").chain.receipt(
+            blocks[0].transactions[0].tx_hash).contract_address
+        simulator.submit_and_mine("node-2", _call_tx(address, nonce=1))
+        roots = {node.state_root() for node in simulator.nodes}
+        assert len(roots) == 1
+        for node in simulator.nodes:
+            contract = node.contract_at(address)
+            assert "T1" in contract.entries
+
+    def test_duplicate_gossip_is_idempotent(self):
+        simulator = _simulator()
+        tx = _deploy_tx()
+        simulator.submit_transaction("node-0", tx)
+        # Re-broadcasting the same transaction must not duplicate it.
+        simulator.gossip.broadcast_transaction("node-0", tx)
+        for node in simulator.nodes:
+            assert len(node.mempool) == 1
+
+    def test_stale_block_is_ignored(self):
+        simulator = _simulator()
+        blocks = simulator.submit_and_mine("node-0", _deploy_tx())
+        node = simulator.node("node-1")
+        assert node.receive_block(blocks[0]) is False  # already applied via gossip
+        assert node.chain.height == 1
+
+    def test_events_observed_on_every_node(self):
+        simulator = _simulator()
+        blocks = simulator.submit_and_mine("node-0", _deploy_tx())
+        address = simulator.node("node-0").chain.receipt(
+            blocks[0].transactions[0].tx_hash).contract_address
+        observed = []
+        simulator.node("node-2").subscribe_events(lambda e: observed.append(e.name))
+        simulator.submit_and_mine("node-0", _call_tx(address, nonce=1))
+        assert "SharedTableRegistered" in observed
+
+    def test_static_call_on_replica(self):
+        simulator = _simulator()
+        blocks = simulator.submit_and_mine("node-0", _deploy_tx())
+        address = simulator.node("node-0").chain.receipt(
+            blocks[0].transactions[0].tx_hash).contract_address
+        simulator.submit_and_mine("node-0", _call_tx(address, nonce=1))
+        listing = simulator.node("node-2").static_call(address, "list_metadata_ids")
+        assert listing == ["T1"]
+
+    def test_statistics(self):
+        simulator = _simulator()
+        simulator.submit_and_mine("node-0", _deploy_tx())
+        stats = simulator.statistics()
+        assert stats["chain_height"] == 1
+        assert stats["in_consensus"] is True
+        assert stats["transport"]["delivered"] > 0
+
+    def test_mining_without_transactions_produces_nothing(self):
+        simulator = _simulator()
+        assert simulator.mine() == []
+
+    def test_single_node_network_is_trivially_consistent(self):
+        simulator = _simulator(node_count=1)
+        simulator.submit_and_mine("node-0", _deploy_tx())
+        assert simulator.in_consensus()

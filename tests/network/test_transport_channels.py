@@ -1,0 +1,164 @@
+"""Tests for the transport and the pairwise data channels."""
+
+import pytest
+
+from repro.config import NetworkConfig
+from repro.errors import ChannelClosedError, UnknownPeerError
+from repro.ledger.clock import SimClock
+from repro.network.channels import ChannelRegistry, DataChannel
+from repro.network.transport import SimTransport
+from repro.relational.diff import diff_tables
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def transport(clock):
+    return SimTransport(clock, NetworkConfig(base_latency=0.1, latency_jitter=0.0, seed=1))
+
+
+class TestTransport:
+    def test_register_and_send(self, transport):
+        received = []
+        transport.register("alice", received.append)
+        transport.register("bob", received.append)
+        transport.send("alice", "bob", "ping", {"n": 1})
+        assert transport.flush() == 1
+        assert received[0].kind == "ping"
+        assert received[0].payload == {"n": 1}
+
+    def test_unknown_recipient_rejected(self, transport):
+        transport.register("alice", lambda m: None)
+        with pytest.raises(UnknownPeerError):
+            transport.send("alice", "ghost", "ping")
+
+    def test_latency_advances_clock(self, transport, clock):
+        transport.register("alice", lambda m: None)
+        transport.register("bob", lambda m: None)
+        transport.send("alice", "bob", "ping")
+        transport.flush()
+        assert clock.now() == pytest.approx(0.1)
+
+    def test_message_latency_recorded(self, transport):
+        transport.register("a", lambda m: None)
+        transport.register("b", lambda m: None)
+        message = transport.send("a", "b", "ping")
+        transport.flush()
+        assert message.latency == pytest.approx(0.1)
+
+    def test_broadcast_excludes_sender(self, transport):
+        seen = {"a": [], "b": [], "c": []}
+        for name in seen:
+            transport.register(name, (lambda n: (lambda m: seen[n].append(m)))(name))
+        transport.broadcast("a", "block", {"number": 1})
+        transport.flush()
+        assert len(seen["a"]) == 0
+        assert len(seen["b"]) == 1 and len(seen["c"]) == 1
+
+    def test_handler_reply_is_also_delivered(self, transport):
+        log = []
+
+        def bob_handler(message):
+            log.append(("bob", message.kind))
+            if message.kind == "ping":
+                transport.send("bob", "alice", "pong")
+
+        transport.register("alice", lambda m: log.append(("alice", m.kind)))
+        transport.register("bob", bob_handler)
+        transport.send("alice", "bob", "ping")
+        transport.flush()
+        assert ("bob", "ping") in log and ("alice", "pong") in log
+
+    def test_drop_rate_drops_messages(self, clock):
+        transport = SimTransport(clock, NetworkConfig(drop_rate=0.9, seed=3))
+        transport.register("a", lambda m: None)
+        transport.register("b", lambda m: None)
+        for _ in range(30):
+            transport.send("a", "b", "ping")
+        transport.flush()
+        stats = transport.statistics
+        assert stats["dropped"] > 0
+        assert stats["delivered"] + stats["dropped"] == stats["sent"]
+
+    def test_exposure_log(self, transport):
+        transport.register("a", lambda m: None)
+        transport.register("b", lambda m: None)
+        transport.send("a", "b", "data", {"secret": 1})
+        transport.flush()
+        assert len(transport.messages_seen_by("b")) == 1
+        assert len(transport.messages_seen_by("a")) == 0
+        assert len(transport.messages_of_kind("data")) == 1
+        assert transport.bytes_transferred() > 0
+
+
+class TestDataChannel:
+    def test_requires_two_distinct_peers(self, clock):
+        with pytest.raises(UnknownPeerError):
+            DataChannel("alice", "alice", clock)
+
+    def test_snapshot_transfer(self, clock, patient_table):
+        channel = DataChannel("doctor", "patient", clock)
+        transfer = channel.send_snapshot("doctor", "patient", patient_table)
+        assert transfer.kind == "snapshot"
+        assert transfer.size_bytes > 0
+        assert channel.tables_seen_by("patient") == ("D1",)
+        assert channel.tables_seen_by("doctor") == ()
+
+    def test_diff_transfer(self, clock, patient_table):
+        channel = DataChannel("doctor", "patient", clock)
+        after = patient_table.snapshot()
+        after.update_by_key((188,), {"dosage": "changed"})
+        transfer = channel.send_diff("doctor", "patient", diff_tables(patient_table, after))
+        assert transfer.kind == "diff"
+
+    def test_request_and_latency(self, clock):
+        channel = DataChannel("doctor", "patient", clock, latency=0.2)
+        channel.request_data("patient", "doctor", "D31", since_update=3)
+        assert clock.now() == pytest.approx(0.2)
+
+    def test_third_party_rejected(self, clock, patient_table):
+        channel = DataChannel("doctor", "patient", clock)
+        with pytest.raises(UnknownPeerError):
+            channel.send_snapshot("doctor", "researcher", patient_table)
+
+    def test_closed_channel_rejected(self, clock, patient_table):
+        channel = DataChannel("doctor", "patient", clock)
+        channel.close()
+        with pytest.raises(ChannelClosedError):
+            channel.send_snapshot("doctor", "patient", patient_table)
+
+    def test_bytes_transferred_accumulates(self, clock, patient_table):
+        channel = DataChannel("doctor", "patient", clock)
+        channel.send_snapshot("doctor", "patient", patient_table)
+        channel.send_snapshot("patient", "doctor", patient_table)
+        assert channel.bytes_transferred() > 0
+        assert len(channel.transfers) == 2
+
+
+class TestChannelRegistry:
+    def test_channel_is_shared_between_orderings(self, clock):
+        registry = ChannelRegistry(clock)
+        first = registry.channel_between("a", "b")
+        second = registry.channel_between("b", "a")
+        assert first is second
+        assert registry.has_channel("a", "b")
+
+    def test_distinct_peers_required(self, clock):
+        registry = ChannelRegistry(clock)
+        with pytest.raises(UnknownPeerError):
+            registry.channel_between("a", "a")
+
+    def test_exposure_report(self, clock, patient_table, researcher_table):
+        registry = ChannelRegistry(clock)
+        registry.channel_between("doctor", "patient").send_snapshot(
+            "doctor", "patient", patient_table)
+        registry.channel_between("doctor", "researcher").send_snapshot(
+            "researcher", "doctor", researcher_table)
+        report = registry.exposure_report()
+        assert report["patient"] == ("D1",)
+        assert report["doctor"] == ("D2",)
+        assert "researcher" not in report
+        assert len(registry.all_transfers()) == 2

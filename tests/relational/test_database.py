@@ -1,0 +1,202 @@
+"""Tests for the database layer: tables, views, WAL, transactions, indexes."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateTableError,
+    TransactionError,
+    UnknownTableError,
+)
+from repro.relational.database import Database
+from repro.relational.predicates import Eq, Gt
+from repro.relational.query import Project, Scan, Select
+from repro.relational.schema import DataType, Schema
+
+
+@pytest.fixture
+def db(people_table):
+    database = Database("test_db")
+    database.create_table("people", people_table.schema,
+                          (row.to_dict() for row in people_table))
+    return database
+
+
+class TestTables:
+    def test_create_and_lookup(self, db):
+        assert db.has_table("people")
+        assert len(db.table("people")) == 3
+        assert db.table_names == ("people",)
+
+    def test_duplicate_table_rejected(self, db, people_schema):
+        with pytest.raises(DuplicateTableError):
+            db.create_table("people", people_schema)
+
+    def test_unknown_table(self, db):
+        with pytest.raises(UnknownTableError):
+            db.table("missing")
+
+    def test_drop_table(self, db):
+        db.drop_table("people")
+        assert not db.has_table("people")
+        with pytest.raises(UnknownTableError):
+            db.drop_table("people")
+
+
+class TestWritesAndWal:
+    def test_insert_logged(self, db):
+        db.insert("people", {"id": 4, "name": "Dai", "city": "Kobe", "age": 55})
+        assert len(db.table("people")) == 4
+        assert db.wal.operation_counts()["insert"] == 1
+
+    def test_insert_many(self, db):
+        count = db.insert_many("people", [
+            {"id": 5, "name": "Emi", "city": "Nara", "age": 27},
+            {"id": 6, "name": "Fumi", "city": "Kobe", "age": 31},
+        ])
+        assert count == 2
+        assert len(db.table("people")) == 5
+
+    def test_update_by_key_logged(self, db):
+        db.update_by_key("people", (1,), {"city": "Tokyo"})
+        assert db.table("people").get(1)["city"] == "Tokyo"
+        entries = db.wal.entries_for_table("people")
+        assert entries[-1].operation == "update"
+
+    def test_update_where(self, db):
+        assert db.update_where("people", Gt("age", 30), {"city": "Tokyo"}) == 2
+
+    def test_delete_by_key(self, db):
+        db.delete_by_key("people", (2,))
+        assert not db.table("people").contains_key(2)
+
+    def test_delete_where(self, db):
+        assert db.delete_where("people", Eq("city", "Kyoto")) == 1
+
+    def test_replace_table(self, db):
+        db.replace_table("people", [{"id": 10, "name": "Solo", "city": "Gifu", "age": 1}])
+        assert len(db.table("people")) == 1
+        assert db.wal.operation_counts()["replace"] == 1
+
+    def test_wal_sequences_are_monotonic(self, db):
+        db.insert("people", {"id": 4, "name": "Dai", "city": "Kobe", "age": 55})
+        db.delete_by_key("people", (4,))
+        sequences = [entry.sequence for entry in db.wal]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == len(sequences)
+
+    def test_wal_entries_since(self, db):
+        first = db.wal.entries[-1].sequence
+        db.insert("people", {"id": 4, "name": "Dai", "city": "Kobe", "age": 55})
+        assert len(db.wal.entries_since(first)) == 1
+
+
+class TestQueriesAndViews:
+    def test_query(self, db):
+        result = db.query(Project(Scan("people"), ("id", "name")))
+        assert result.schema.column_names == ("id", "name")
+
+    def test_select_shorthand(self, db):
+        assert len(db.select("people", Eq("city", "Osaka"))) == 1
+
+    def test_register_and_materialise_view(self, db):
+        db.register_view("adults", Select(Scan("people"), Gt("age", 30)))
+        view = db.view("adults")
+        assert view.name == "adults"
+        assert len(view) == 2
+        assert "adults" in db.view_names
+
+    def test_view_reflects_base_changes(self, db):
+        db.register_view("adults", Select(Scan("people"), Gt("age", 30)))
+        db.insert("people", {"id": 7, "name": "Gen", "city": "Kobe", "age": 70})
+        assert len(db.view("adults")) == 3
+
+    def test_unknown_view(self, db):
+        with pytest.raises(UnknownTableError):
+            db.view("missing")
+        with pytest.raises(UnknownTableError):
+            db.view_definition("missing")
+
+
+class TestIndexes:
+    def test_create_and_use_index(self, db):
+        index = db.create_index("people", ["city"])
+        assert index.contains("Osaka")
+
+    def test_index_refreshed_after_write(self, db):
+        index = db.create_index("people", ["city"])
+        db.insert("people", {"id": 8, "name": "Hana", "city": "Osaka", "age": 23})
+        assert len(index.lookup("Osaka")) == 2
+
+    def test_index_lookup_requires_creation(self, db):
+        with pytest.raises(UnknownTableError):
+            db.index("people", ["age"])
+
+    def test_create_index_is_idempotent(self, db):
+        first = db.create_index("people", ["city"])
+        second = db.create_index("people", ["city"])
+        assert first is second
+
+
+class TestTransactions:
+    def test_commit_keeps_changes(self, db):
+        db.transactions.begin()
+        db.insert("people", {"id": 4, "name": "Dai", "city": "Kobe", "age": 55})
+        db.transactions.commit()
+        assert db.table("people").contains_key(4)
+
+    def test_rollback_restores_all_tables(self, db):
+        db.transactions.begin()
+        db.insert("people", {"id": 4, "name": "Dai", "city": "Kobe", "age": 55})
+        db.update_by_key("people", (1,), {"city": "Tokyo"})
+        db.transactions.rollback()
+        assert not db.table("people").contains_key(4)
+        assert db.table("people").get(1)["city"] == "Sapporo"
+
+    def test_nested_begin_rejected(self, db):
+        db.transactions.begin()
+        with pytest.raises(TransactionError):
+            db.transactions.begin()
+        db.transactions.rollback()
+
+    def test_commit_without_begin_rejected(self, db):
+        with pytest.raises(TransactionError):
+            db.transactions.commit()
+
+    def test_rollback_without_begin_rejected(self, db):
+        with pytest.raises(TransactionError):
+            db.transactions.rollback()
+
+    def test_wal_records_transaction_id(self, db):
+        txn_id = db.transactions.begin()
+        db.insert("people", {"id": 4, "name": "Dai", "city": "Kobe", "age": 55})
+        db.transactions.commit()
+        assert db.wal.entries[-1].transaction_id == txn_id
+
+    def test_statistics(self, db):
+        db.transactions.begin()
+        db.transactions.commit()
+        db.transactions.begin()
+        db.transactions.rollback()
+        assert db.transactions.statistics == {"committed": 1, "rolled_back": 1}
+
+    def test_table_created_inside_transaction_rolls_back_contents(self, db):
+        schema = Schema.build([("k", DataType.INTEGER)], primary_key=["k"])
+        db.transactions.begin()
+        db.create_table("scratch", schema, [{"k": 1}])
+        db.insert("scratch", {"k": 2})
+        db.transactions.rollback()
+        assert len(db.table("scratch")) == 1
+
+
+class TestStorage:
+    def test_storage_bytes_grows_with_data(self, db):
+        before = db.storage_bytes()
+        db.insert_many("people", [
+            {"id": 100 + i, "name": f"p{i}", "city": "Kobe", "age": i} for i in range(20)
+        ])
+        assert db.storage_bytes() > before
+
+    def test_snapshot_is_independent(self, db):
+        snapshot = db.snapshot()
+        db.update_by_key("people", (1,), {"name": "Changed"})
+        assert snapshot["people"].get(1)["name"] == "Aiko"

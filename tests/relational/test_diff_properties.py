@@ -1,0 +1,111 @@
+"""Property-based tests for diffs, apply_diff and table invariants.
+
+The update workflow transmits diffs between peers and applies them to the
+receiving peer's stored shared table; these properties guarantee that a diff
+always reconstructs the sender's state exactly, for arbitrary combinations of
+inserts, updates and deletes.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relational.diff import TableDiff, apply_diff, diff_tables
+from repro.relational.schema import Column, DataType, Schema
+from repro.relational.table import Table
+
+SCHEMA = Schema(
+    columns=(
+        Column("id", DataType.INTEGER, nullable=False),
+        Column("value", DataType.STRING),
+        Column("count", DataType.INTEGER),
+    ),
+    primary_key=("id",),
+)
+
+_values = st.text(alphabet="abcxyz", min_size=0, max_size=5)
+
+
+@st.composite
+def tables(draw, min_rows=0, max_rows=10):
+    ids = draw(st.lists(st.integers(min_value=0, max_value=30), unique=True,
+                        min_size=min_rows, max_size=max_rows))
+    rows = [{"id": identifier, "value": draw(_values),
+             "count": draw(st.integers(min_value=0, max_value=9))}
+            for identifier in ids]
+    return Table("t", SCHEMA, rows)
+
+
+@st.composite
+def table_pairs(draw):
+    """A (before, after) pair where after is an arbitrary mutation of before."""
+    before = draw(tables())
+    after = before.snapshot()
+    for row in list(after):
+        action = draw(st.sampled_from(["keep", "update", "delete"]))
+        if action == "delete":
+            after.delete_by_key((row["id"],))
+        elif action == "update":
+            after.update_by_key((row["id"],), {"value": draw(_values),
+                                               "count": draw(st.integers(0, 9))})
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        new_id = draw(st.integers(min_value=31, max_value=60))
+        if not after.contains_key(new_id):
+            after.insert({"id": new_id, "value": draw(_values), "count": 0})
+    return before, after
+
+
+class TestDiffProperties:
+    @given(table_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_apply_diff_reconstructs_target(self, pair):
+        before, after = pair
+        diff = diff_tables(before, after)
+        replica = before.snapshot()
+        apply_diff(replica, diff)
+        assert replica == after
+
+    @given(table_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_diff_round_trips_through_serialisation(self, pair):
+        before, after = pair
+        diff = diff_tables(before, after)
+        restored = TableDiff.from_dict(diff.to_dict())
+        replica = before.snapshot()
+        apply_diff(replica, restored)
+        assert replica == after
+
+    @given(tables())
+    @settings(max_examples=40, deadline=None)
+    def test_self_diff_is_empty(self, table):
+        assert diff_tables(table, table.snapshot()).is_empty
+
+    @given(table_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_diff_summary_matches_changes(self, pair):
+        before, after = pair
+        diff = diff_tables(before, after)
+        summary = diff.summary()
+        before_keys = {row["id"] for row in before}
+        after_keys = {row["id"] for row in after}
+        assert summary["inserted"] == len(after_keys - before_keys)
+        assert summary["deleted"] == len(before_keys - after_keys)
+
+    @given(table_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_reverse_diff_restores_original(self, pair):
+        before, after = pair
+        forward = diff_tables(before, after)
+        backward = diff_tables(after, before)
+        replica = before.snapshot()
+        apply_diff(replica, forward)
+        apply_diff(replica, backward)
+        assert replica == before
+
+    @given(tables(min_rows=1))
+    @settings(max_examples=40, deadline=None)
+    def test_fingerprint_invariant_under_row_order(self, table):
+        rows = [row.to_dict() for row in table]
+        reversed_table = Table("t", SCHEMA, list(reversed(rows)))
+        assert table.fingerprint() == reversed_table.fingerprint()
+        assert table == reversed_table

@@ -1,0 +1,125 @@
+"""Tests for secondary indexes and row-level diffs."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.relational.diff import RowChange, TableDiff, apply_diff, diff_tables
+from repro.relational.index import HashIndex
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+
+class TestHashIndex:
+    def test_lookup(self, people_table):
+        index = HashIndex(people_table, ["city"])
+        assert [row["name"] for row in index.lookup("Osaka")] == ["Ben"]
+        assert index.lookup("Nowhere") == []
+
+    def test_contains(self, people_table):
+        index = HashIndex(people_table, ["city"])
+        assert index.contains("Kyoto")
+        assert not index.contains("Nara")
+
+    def test_compound_index(self, people_table):
+        index = HashIndex(people_table, ["city", "age"])
+        assert index.lookup("Osaka", 41)[0]["name"] == "Ben"
+
+    def test_lookup_arity_checked(self, people_table):
+        index = HashIndex(people_table, ["city", "age"])
+        with pytest.raises(ValueError):
+            index.lookup("Osaka")
+
+    def test_unknown_column(self, people_table):
+        with pytest.raises(UnknownColumnError):
+            HashIndex(people_table, ["missing"])
+
+    def test_rebuild_reflects_updates(self, people_table):
+        index = HashIndex(people_table, ["city"])
+        people_table.update_by_key((1,), {"city": "Osaka"})
+        index.rebuild(people_table)
+        assert len(index.lookup("Osaka")) == 2
+
+    def test_rebuild_rejects_wrong_table(self, people_table):
+        index = HashIndex(people_table, ["city"])
+        other = Table("other", people_table.schema)
+        with pytest.raises(ValueError):
+            index.rebuild(other)
+
+    def test_len_and_distinct(self, people_table):
+        index = HashIndex(people_table, ["city"])
+        assert len(index) == 3
+        assert index.distinct_keys == 3
+
+
+class TestDiffTables:
+    def test_empty_diff_for_identical(self, people_table):
+        diff = diff_tables(people_table, people_table.snapshot())
+        assert diff.is_empty
+        assert diff.summary() == {"inserted": 0, "deleted": 0, "updated": 0}
+
+    def test_detects_updates(self, people_table):
+        after = people_table.snapshot()
+        after.update_by_key((2,), {"city": "Tokyo", "age": 42})
+        diff = diff_tables(people_table, after)
+        assert len(diff.updated) == 1
+        change = diff.updated[0]
+        assert set(change.changed_columns) == {"city", "age"}
+        assert change.key == (2,)
+
+    def test_detects_inserts_and_deletes(self, people_table):
+        after = people_table.snapshot()
+        after.delete_by_key((1,))
+        after.insert({"id": 9, "name": "New", "city": "Kobe", "age": 20})
+        diff = diff_tables(people_table, after)
+        assert len(diff.inserted) == 1
+        assert len(diff.deleted) == 1
+        assert diff.inserted[0].key == (9,)
+        assert diff.deleted[0].key == (1,)
+
+    def test_touched_columns(self, people_table):
+        after = people_table.snapshot()
+        after.update_by_key((1,), {"age": 35})
+        after.update_by_key((2,), {"city": "Tokyo"})
+        diff = diff_tables(people_table, after)
+        assert set(diff.touched_columns) == {"age", "city"}
+
+    def test_schema_mismatch_rejected(self, people_table):
+        other = people_table.project(["id", "name"])
+        with pytest.raises(SchemaError):
+            diff_tables(people_table, other)
+
+    def test_keyless_positional_diff(self):
+        schema = Schema.build(["v"])
+        before = Table("t", schema, [{"v": "a"}, {"v": "b"}])
+        after = Table("t", schema, [{"v": "a"}, {"v": "c"}, {"v": "d"}])
+        diff = diff_tables(before, after)
+        assert len(diff.updated) == 1
+        assert len(diff.inserted) == 1
+
+    def test_round_trip_dict(self, people_table):
+        after = people_table.snapshot()
+        after.update_by_key((3,), {"age": 30})
+        diff = diff_tables(people_table, after)
+        restored = TableDiff.from_dict(diff.to_dict())
+        assert restored.summary() == diff.summary()
+        assert restored.changes[0].key == diff.changes[0].key
+
+
+class TestApplyDiff:
+    def test_apply_reproduces_target(self, people_table):
+        after = people_table.snapshot()
+        after.update_by_key((1,), {"city": "Nagoya"})
+        after.delete_by_key((2,))
+        after.insert({"id": 4, "name": "Dai", "city": "Kobe", "age": 55})
+        diff = diff_tables(people_table, after)
+
+        replica = people_table.snapshot()
+        apply_diff(replica, diff)
+        assert replica == after
+
+    def test_apply_requires_keyed_table(self):
+        schema = Schema.build(["v"])
+        table = Table("t", schema, [{"v": "a"}])
+        diff = TableDiff(table_name="t", changes=(RowChange("insert", (1,), None, {"v": "b"}),))
+        with pytest.raises(SchemaError):
+            apply_diff(table, diff)

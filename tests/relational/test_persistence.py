@@ -1,0 +1,88 @@
+"""Tests for database persistence (save/load round trips)."""
+
+import json
+
+import pytest
+
+from repro.errors import RelationalError
+from repro.relational.database import Database
+from repro.relational.persistence import (
+    database_from_dict,
+    database_to_dict,
+    databases_identical,
+    load_database,
+    save_database,
+)
+from repro.relational.predicates import Gt
+from repro.relational.query import Project, Scan, Select
+
+
+@pytest.fixture
+def populated_db(people_table):
+    database = Database("peer_db")
+    database.create_table("people", people_table.schema,
+                          (row.to_dict() for row in people_table))
+    database.register_view("adults", Select(Scan("people"), Gt("age", 30)))
+    database.register_view("ids", Project(Scan("people"), ("id",)))
+    return database
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, populated_db, tmp_path):
+        path = save_database(populated_db, tmp_path / "db.json")
+        restored = load_database(path)
+        assert restored.name == "peer_db"
+        assert databases_identical(populated_db, restored)
+
+    def test_views_survive(self, populated_db, tmp_path):
+        path = save_database(populated_db, tmp_path / "db.json")
+        restored = load_database(path)
+        assert set(restored.view_names) == {"adults", "ids"}
+        assert len(restored.view("adults")) == 2
+
+    def test_written_file_is_plain_json(self, populated_db, tmp_path):
+        path = save_database(populated_db, tmp_path / "db.json")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["name"] == "peer_db"
+        assert payload["format_version"] == 1
+
+    def test_nested_directory_created(self, populated_db, tmp_path):
+        path = save_database(populated_db, tmp_path / "deep" / "nested" / "db.json")
+        assert path.exists()
+
+    def test_restored_database_is_independent(self, populated_db, tmp_path):
+        path = save_database(populated_db, tmp_path / "db.json")
+        restored = load_database(path)
+        restored.update_by_key("people", (1,), {"name": "Changed"})
+        assert populated_db.table("people").get(1)["name"] == "Aiko"
+
+    def test_paper_peer_database_round_trips(self, fresh_paper_system, tmp_path):
+        doctor_db = fresh_paper_system.peer("doctor").database
+        path = save_database(doctor_db, tmp_path / "doctor.json")
+        restored = load_database(path)
+        assert databases_identical(doctor_db, restored)
+        assert set(restored.table_names) == set(doctor_db.table_names)
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(RelationalError):
+            load_database(tmp_path / "missing.json")
+
+    def test_unsupported_version(self, populated_db):
+        payload = database_to_dict(populated_db)
+        payload["format_version"] = 99
+        with pytest.raises(RelationalError):
+            database_from_dict(payload)
+
+    def test_identity_check_detects_differences(self, populated_db, tmp_path):
+        path = save_database(populated_db, tmp_path / "db.json")
+        restored = load_database(path)
+        restored.update_by_key("people", (1,), {"age": 99})
+        assert not databases_identical(populated_db, restored)
+
+    def test_identity_check_detects_missing_tables(self, populated_db, tmp_path):
+        path = save_database(populated_db, tmp_path / "db.json")
+        restored = load_database(path)
+        restored.drop_table("people")
+        assert not databases_identical(populated_db, restored)

@@ -1,0 +1,102 @@
+"""Tests for composable predicates."""
+
+import pytest
+
+from repro.relational.predicates import (
+    And, Between, Contains, Eq, Ge, Gt, In, IsNull, Le, Lt, Ne, Not, Or,
+    Predicate, TruePredicate, columns_referenced,
+)
+
+ROW = {"age": 30, "city": "Osaka", "note": None, "tags": ["x", "y"]}
+
+
+class TestBasicPredicates:
+    @pytest.mark.parametrize("predicate,expected", [
+        (TruePredicate(), True),
+        (Eq("city", "Osaka"), True),
+        (Eq("city", "Kyoto"), False),
+        (Ne("city", "Kyoto"), True),
+        (Lt("age", 31), True),
+        (Lt("age", 30), False),
+        (Le("age", 30), True),
+        (Gt("age", 29), True),
+        (Ge("age", 30), True),
+        (Ge("age", 31), False),
+        (In("city", ("Osaka", "Kyoto")), True),
+        (In("city", ("Nara",)), False),
+        (Between("age", 20, 40), True),
+        (Between("age", 31, 40), False),
+        (Contains("tags", "x"), True),
+        (Contains("tags", "z"), False),
+        (Contains("city", "sak"), True),
+        (IsNull("note"), True),
+        (IsNull("age"), False),
+    ])
+    def test_evaluate(self, predicate, expected):
+        assert predicate.evaluate(ROW) is expected
+
+    def test_missing_column_behaves_as_none(self):
+        assert not Eq("missing", 1).evaluate(ROW)
+        assert IsNull("missing").evaluate(ROW)
+        assert not Lt("missing", 10).evaluate(ROW)
+
+    def test_contains_on_non_container(self):
+        assert not Contains("age", 3).evaluate(ROW)
+
+    def test_callable(self):
+        assert Eq("age", 30)(ROW)
+
+
+class TestComposition:
+    def test_and_or_not(self):
+        predicate = (Eq("city", "Osaka") & Gt("age", 20)) | Eq("city", "Nara")
+        assert predicate.evaluate(ROW)
+        assert not (~predicate).evaluate(ROW)
+
+    def test_and_requires_all(self):
+        assert not And(Eq("city", "Osaka"), Eq("age", 31)).evaluate(ROW)
+
+    def test_or_requires_any(self):
+        assert Or(Eq("city", "Nara"), Eq("age", 30)).evaluate(ROW)
+
+    def test_empty_and_is_true(self):
+        assert And().evaluate(ROW)
+
+    def test_empty_or_is_false(self):
+        assert not Or().evaluate(ROW)
+
+
+class TestSerialisation:
+    @pytest.mark.parametrize("predicate", [
+        TruePredicate(),
+        Eq("a", 1),
+        Ne("a", "x"),
+        Lt("a", 5),
+        Le("a", 5),
+        Gt("a", 5),
+        Ge("a", 5),
+        In("a", (1, 2, 3)),
+        Between("a", 1, 9),
+        Contains("a", "sub"),
+        IsNull("a"),
+        And(Eq("a", 1), Or(Eq("b", 2), Not(IsNull("c")))),
+    ])
+    def test_round_trip(self, predicate):
+        restored = Predicate.from_dict(predicate.to_dict())
+        row_yes = {"a": 1, "b": 2, "c": 3}
+        row_no = {"a": 99, "b": 99, "c": None}
+        assert restored.evaluate(row_yes) == predicate.evaluate(row_yes)
+        assert restored.evaluate(row_no) == predicate.evaluate(row_no)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Predicate.from_dict({"kind": "mystery"})
+
+
+class TestColumnsReferenced:
+    def test_collects_unique_columns_in_order(self):
+        predicate = And(Eq("a", 1), Or(Gt("b", 2), Eq("a", 3)), Not(IsNull("c")))
+        assert columns_referenced(predicate) == ("a", "b", "c")
+
+    def test_true_predicate_references_nothing(self):
+        assert columns_referenced(TruePredicate()) == ()

@@ -1,0 +1,103 @@
+"""Tests for the relational-algebra query AST."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownTableError
+from repro.relational.predicates import Eq, Gt
+from repro.relational.query import Join, Project, Query, Rename, Scan, Select, execute_query, projection_query
+from repro.relational.schema import DataType, Schema
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def tables(people_table):
+    orders_schema = Schema.build(
+        [("order_id", DataType.INTEGER), ("id", DataType.INTEGER), ("item", DataType.STRING)],
+        primary_key=["order_id"],
+    )
+    orders = Table("orders", orders_schema, [
+        {"order_id": 100, "id": 1, "item": "aspirin"},
+        {"order_id": 101, "id": 1, "item": "ibuprofen"},
+        {"order_id": 102, "id": 3, "item": "bandage"},
+    ])
+    return {"people": people_table, "orders": orders}
+
+
+class TestScanProjectSelect:
+    def test_scan_returns_snapshot(self, tables):
+        result = Scan("people").execute(tables)
+        result.update_by_key((1,), {"name": "Changed"})
+        assert tables["people"].get(1)["name"] == "Aiko"
+
+    def test_scan_unknown_table(self, tables):
+        with pytest.raises(UnknownTableError):
+            Scan("missing").execute(tables)
+
+    def test_project(self, tables):
+        result = Project(Scan("people"), ("id", "city")).execute(tables)
+        assert result.schema.column_names == ("id", "city")
+
+    def test_select(self, tables):
+        result = Select(Scan("people"), Gt("age", 30)).execute(tables)
+        assert len(result) == 2
+
+    def test_select_default_predicate(self, tables):
+        assert len(Select(Scan("people")).execute(tables)) == 3
+
+    def test_rename(self, tables):
+        result = Rename(Scan("people"), {"city": "location"}).execute(tables)
+        assert "location" in result.schema.column_names
+
+    def test_nested_pipeline(self, tables):
+        query = Project(Select(Scan("people"), Gt("age", 30)), ("name",))
+        result = query.execute(tables)
+        assert {row["name"] for row in result} == {"Aiko", "Ben"}
+
+    def test_projection_query_helper(self, tables):
+        query = projection_query("people", ("id", "name"))
+        assert query.execute(tables).schema.column_names == ("id", "name")
+
+
+class TestJoin:
+    def test_join_matches_rows(self, tables):
+        query = Join(Scan("people"), Scan("orders"), ("id",))
+        result = query.execute(tables)
+        assert len(result) == 3
+        items_for_1 = {row["item"] for row in result if row["id"] == 1}
+        assert items_for_1 == {"aspirin", "ibuprofen"}
+
+    def test_join_missing_column(self, tables):
+        with pytest.raises(SchemaError):
+            Join(Scan("people"), Scan("orders"), ("missing",)).execute(tables)
+
+    def test_join_schema_merges_columns(self, tables):
+        result = Join(Scan("people"), Scan("orders"), ("id",)).execute(tables)
+        assert "item" in result.schema.column_names
+        assert "name" in result.schema.column_names
+
+
+class TestSerialisation:
+    def test_round_trip(self, tables):
+        query = Project(
+            Select(Rename(Scan("people"), {"city": "location"}), Eq("location", "Osaka")),
+            ("id", "location"),
+        )
+        restored = Query.from_dict(query.to_dict())
+        assert restored.execute(tables).rows == query.execute(tables).rows
+
+    def test_join_round_trip(self, tables):
+        query = Join(Scan("people"), Scan("orders"), ("id",))
+        restored = Query.from_dict(query.to_dict())
+        assert len(restored.execute(tables)) == len(query.execute(tables))
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Query.from_dict({"kind": "mystery"})
+
+    def test_execute_query_renames_result(self, tables):
+        result = execute_query(Scan("people"), tables, name="D13")
+        assert result.name == "D13"
+
+    def test_output_schema(self, tables):
+        query = Project(Scan("people"), ("id", "name"))
+        assert query.output_schema(tables).column_names == ("id", "name")

@@ -1,0 +1,52 @@
+"""Tests for immutable rows."""
+
+import pytest
+
+from repro.errors import UnknownColumnError
+from repro.relational.row import Row
+
+
+class TestRow:
+    def test_mapping_access(self):
+        row = Row({"a": 1, "b": "x"})
+        assert row["a"] == 1
+        assert len(row) == 2
+        assert set(row) == {"a", "b"}
+
+    def test_unknown_column(self):
+        with pytest.raises(UnknownColumnError):
+            Row({"a": 1})["b"]
+
+    def test_equality_with_dict(self):
+        assert Row({"a": 1}) == {"a": 1}
+        assert Row({"a": 1}) != {"a": 2}
+
+    def test_hashable(self):
+        assert len({Row({"a": 1}), Row({"a": 1}), Row({"a": 2})}) == 2
+
+    def test_project(self):
+        row = Row({"a": 1, "b": 2, "c": 3})
+        assert row.project(["c", "a"]) == {"c": 3, "a": 1}
+
+    def test_rename(self):
+        row = Row({"a": 1, "b": 2})
+        assert row.rename({"a": "x"}) == {"x": 1, "b": 2}
+
+    def test_merged_does_not_mutate(self):
+        row = Row({"a": 1, "b": 2})
+        merged = row.merged({"b": 5, "a": 9})
+        assert merged == {"a": 9, "b": 5}
+        assert row == {"a": 1, "b": 2}
+
+    def test_key(self):
+        row = Row({"a": 1, "b": 2, "c": 3})
+        assert row.key(["b", "a"]) == (2, 1)
+
+    def test_to_dict_is_copy(self):
+        row = Row({"a": 1})
+        payload = row.to_dict()
+        payload["a"] = 99
+        assert row["a"] == 1
+
+    def test_repr_contains_values(self):
+        assert "a=1" in repr(Row({"a": 1}))

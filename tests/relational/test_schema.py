@@ -1,0 +1,151 @@
+"""Tests for columns and schemas."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.relational.schema import Column, DataType, Schema
+
+
+class TestDataType:
+    @pytest.mark.parametrize("dtype,value,expected", [
+        (DataType.STRING, "hello", True),
+        (DataType.STRING, 5, False),
+        (DataType.INTEGER, 5, True),
+        (DataType.INTEGER, True, False),
+        (DataType.INTEGER, 5.5, False),
+        (DataType.FLOAT, 5.5, True),
+        (DataType.FLOAT, 5, True),
+        (DataType.BOOLEAN, True, True),
+        (DataType.BOOLEAN, 1, False),
+        (DataType.DATE, "2019-04-24", True),
+    ])
+    def test_validates(self, dtype, value, expected):
+        assert dtype.validates(value) is expected
+
+    def test_none_is_always_type_valid(self):
+        for dtype in DataType:
+            assert dtype.validates(None)
+
+    def test_coerce_int_to_float(self):
+        assert DataType.FLOAT.coerce(3) == 3.0
+        assert isinstance(DataType.FLOAT.coerce(3), float)
+
+    def test_coerce_none_stays_none(self):
+        assert DataType.INTEGER.coerce(None) is None
+
+
+class TestColumn:
+    def test_requires_name(self):
+        with pytest.raises(SchemaError):
+            Column(name="")
+
+    def test_renamed_preserves_type(self):
+        column = Column("age", DataType.INTEGER, nullable=False)
+        renamed = column.renamed("years")
+        assert renamed.name == "years"
+        assert renamed.dtype is DataType.INTEGER
+        assert renamed.nullable is False
+
+    def test_round_trip_dict(self):
+        column = Column("dosage", DataType.STRING, nullable=True, description="a4")
+        assert Column.from_dict(column.to_dict()) == column
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(columns=(Column("a"), Column("a")))
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            Schema(columns=(Column("a"),), primary_key=("b",))
+
+    def test_primary_key_becomes_not_null(self):
+        schema = Schema(columns=(Column("id", DataType.INTEGER, nullable=True),),
+                        primary_key=("id",))
+        assert schema.column("id").nullable is False
+
+    def test_build_from_mixed_specs(self):
+        schema = Schema.build(["a", ("b", DataType.INTEGER), Column("c")], primary_key=["a"])
+        assert schema.column_names == ("a", "b", "c")
+        assert schema.column("b").dtype is DataType.INTEGER
+
+    def test_build_from_string_dtype(self):
+        schema = Schema.build([("n", "integer")])
+        assert schema.column("n").dtype is DataType.INTEGER
+
+    def test_build_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            Schema.build([42])
+
+    def test_column_lookup_unknown(self):
+        schema = Schema.build(["a"])
+        with pytest.raises(UnknownColumnError):
+            schema.column("missing")
+
+    def test_contains(self):
+        schema = Schema.build(["a", "b"])
+        assert "a" in schema
+        assert "z" not in schema
+        assert 42 not in schema
+
+    def test_project_keeps_key_if_present(self):
+        schema = Schema.build([("id", DataType.INTEGER), "name", "city"], primary_key=["id"])
+        projected = schema.project(["id", "city"])
+        assert projected.primary_key == ("id",)
+        assert projected.column_names == ("id", "city")
+
+    def test_project_drops_key_if_missing(self):
+        schema = Schema.build([("id", DataType.INTEGER), "name"], primary_key=["id"])
+        assert schema.project(["name"]).primary_key == ()
+
+    def test_project_explicit_key(self):
+        schema = Schema.build([("id", DataType.INTEGER), "name"], primary_key=["id"])
+        assert schema.project(["name"], primary_key=["name"]).primary_key == ("name",)
+
+    def test_project_unknown_column(self):
+        schema = Schema.build(["a"])
+        with pytest.raises(UnknownColumnError):
+            schema.project(["a", "b"])
+
+    def test_rename(self):
+        schema = Schema.build([("id", DataType.INTEGER), "name"], primary_key=["id"])
+        renamed = schema.rename({"id": "ident"})
+        assert renamed.column_names == ("ident", "name")
+        assert renamed.primary_key == ("ident",)
+
+    def test_rename_unknown_column(self):
+        with pytest.raises(UnknownColumnError):
+            Schema.build(["a"]).rename({"b": "c"})
+
+    def test_drop(self):
+        schema = Schema.build(["a", "b", "c"])
+        assert schema.drop(["b"]).column_names == ("a", "c")
+
+    def test_is_projection_of(self):
+        full = Schema.build([("id", DataType.INTEGER), "name", "city"])
+        part = Schema.build([("id", DataType.INTEGER), "city"])
+        assert part.is_projection_of(full)
+        assert not full.is_projection_of(part)
+
+    def test_is_projection_checks_types(self):
+        full = Schema.build([("id", DataType.INTEGER)])
+        other = Schema.build([("id", DataType.STRING)])
+        assert not other.is_projection_of(full)
+
+    def test_merge(self):
+        left = Schema.build([("id", DataType.INTEGER), "name"], primary_key=["id"])
+        right = Schema.build([("id", DataType.INTEGER), "city"])
+        merged = left.merge(right)
+        assert merged.column_names == ("id", "name", "city")
+        assert merged.primary_key == ("id",)
+
+    def test_merge_conflicting_types(self):
+        left = Schema.build([("id", DataType.INTEGER)])
+        right = Schema.build([("id", DataType.STRING)])
+        with pytest.raises(SchemaError):
+            left.merge(right)
+
+    def test_round_trip_dict(self):
+        schema = Schema.build([("id", DataType.INTEGER), "name"], primary_key=["id"])
+        assert Schema.from_dict(schema.to_dict()) == schema

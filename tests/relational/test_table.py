@@ -1,0 +1,226 @@
+"""Tests for tables: constraints, CRUD, derivation."""
+
+import pytest
+
+from repro.errors import (
+    ConstraintViolation,
+    RowNotFoundError,
+    SchemaError,
+    UnknownColumnError,
+)
+from repro.relational.predicates import Eq, Gt
+from repro.relational.schema import Column, DataType, Schema
+from repro.relational.table import Table
+
+
+class TestConstruction:
+    def test_requires_name(self, people_schema):
+        with pytest.raises(SchemaError):
+            Table("", people_schema)
+
+    def test_initial_rows_validated(self, people_schema):
+        with pytest.raises(ConstraintViolation):
+            Table("t", people_schema, [{"id": None, "name": "x"}])
+
+    def test_len_and_iter(self, people_table):
+        assert len(people_table) == 3
+        assert {row["name"] for row in people_table} == {"Aiko", "Ben", "Chie"}
+
+
+class TestConstraints:
+    def test_unknown_column_rejected(self, people_table):
+        with pytest.raises(UnknownColumnError):
+            people_table.insert({"id": 9, "nickname": "x"})
+
+    def test_type_violation_rejected(self, people_table):
+        with pytest.raises(ConstraintViolation):
+            people_table.insert({"id": 9, "age": "not a number"})
+
+    def test_not_null_key_enforced(self, people_table):
+        with pytest.raises(ConstraintViolation):
+            people_table.insert({"id": None, "name": "x"})
+
+    def test_duplicate_key_rejected(self, people_table):
+        with pytest.raises(ConstraintViolation):
+            people_table.insert({"id": 1, "name": "dup"})
+
+    def test_missing_optional_columns_become_null(self, people_table):
+        row = people_table.insert({"id": 9})
+        assert row["name"] is None
+
+
+class TestKeyedOperations:
+    def test_get(self, people_table):
+        assert people_table.get((2,))["name"] == "Ben"
+        assert people_table.get(2)["name"] == "Ben"
+
+    def test_get_missing(self, people_table):
+        with pytest.raises(RowNotFoundError):
+            people_table.get((99,))
+
+    def test_contains_key(self, people_table):
+        assert people_table.contains_key(1)
+        assert not people_table.contains_key(42)
+
+    def test_update_by_key(self, people_table):
+        people_table.update_by_key((1,), {"city": "Nagoya"})
+        assert people_table.get(1)["city"] == "Nagoya"
+
+    def test_update_missing_key(self, people_table):
+        with pytest.raises(RowNotFoundError):
+            people_table.update_by_key((99,), {"city": "Nagoya"})
+
+    def test_update_changing_key(self, people_table):
+        people_table.update_by_key((1,), {"id": 10})
+        assert people_table.contains_key(10)
+        assert not people_table.contains_key(1)
+
+    def test_update_key_collision(self, people_table):
+        with pytest.raises(ConstraintViolation):
+            people_table.update_by_key((1,), {"id": 2})
+
+    def test_delete_by_key(self, people_table):
+        removed = people_table.delete_by_key((3,))
+        assert removed["name"] == "Chie"
+        assert len(people_table) == 2
+        assert not people_table.contains_key(3)
+
+    def test_delete_missing_key(self, people_table):
+        with pytest.raises(RowNotFoundError):
+            people_table.delete_by_key((42,))
+
+    def test_keyless_table_rejects_keyed_ops(self):
+        table = Table("t", Schema.build(["a"]), [{"a": "x"}])
+        with pytest.raises(ConstraintViolation):
+            table.get(("x",))
+        with pytest.raises(ConstraintViolation):
+            table.delete_by_key(("x",))
+
+
+class TestPredicateOperations:
+    def test_select(self, people_table):
+        rows = people_table.select(Gt("age", 30))
+        assert {row["name"] for row in rows} == {"Aiko", "Ben"}
+
+    def test_select_all_by_default(self, people_table):
+        assert len(people_table.select()) == 3
+
+    def test_first(self, people_table):
+        assert people_table.first(Eq("city", "Kyoto"))["name"] == "Chie"
+        assert people_table.first(Eq("city", "Nowhere")) is None
+
+    def test_update_where(self, people_table):
+        count = people_table.update_where(Gt("age", 30), {"city": "Tokyo"})
+        assert count == 2
+        assert people_table.get(3)["city"] == "Kyoto"
+
+    def test_delete_where(self, people_table):
+        assert people_table.delete_where(Eq("city", "Osaka")) == 1
+        assert len(people_table) == 2
+        # index is rebuilt correctly after deletion
+        assert people_table.get(3)["name"] == "Chie"
+
+    def test_column_values(self, people_table):
+        assert people_table.column_values("age") == [34, 41, 29]
+        with pytest.raises(UnknownColumnError):
+            people_table.column_values("missing")
+
+    def test_keys(self, people_table):
+        assert people_table.keys() == [(1,), (2,), (3,)]
+
+
+class TestDerivation:
+    def test_snapshot_is_independent(self, people_table):
+        snapshot = people_table.snapshot()
+        people_table.update_by_key((1,), {"name": "Changed"})
+        assert snapshot.get(1)["name"] == "Aiko"
+
+    def test_project(self, people_table):
+        projected = people_table.project(["id", "city"])
+        assert projected.schema.column_names == ("id", "city")
+        assert len(projected) == 3
+        assert projected.schema.primary_key == ("id",)
+
+    def test_project_distinct_collapses_duplicates(self, people_table):
+        people_table.insert({"id": 4, "name": "Dai", "city": "Osaka", "age": 50})
+        projected = people_table.project(["city"])
+        assert len(projected) == 3  # Sapporo, Osaka, Kyoto
+
+    def test_project_not_distinct(self, people_table):
+        people_table.insert({"id": 4, "name": "Dai", "city": "Osaka", "age": 50})
+        assert len(people_table.project(["city"], distinct=False)) == 4
+
+    def test_where(self, people_table):
+        filtered = people_table.where(Eq("city", "Osaka"))
+        assert len(filtered) == 1
+        assert filtered.schema == people_table.schema
+
+    def test_rename_columns(self, people_table):
+        renamed = people_table.rename_columns({"city": "location"})
+        assert "location" in renamed.schema.column_names
+        assert renamed.get(1)["location"] == "Sapporo"
+
+    def test_order_by(self, people_table):
+        ordered = people_table.order_by(["age"])
+        assert [row["name"] for row in ordered] == ["Chie", "Aiko", "Ben"]
+        reverse = people_table.order_by(["age"], reverse=True)
+        assert [row["name"] for row in reverse] == ["Ben", "Aiko", "Chie"]
+
+    def test_order_by_handles_nulls(self, people_table):
+        people_table.insert({"id": 7, "name": "Null", "city": None, "age": None})
+        ordered = people_table.order_by(["age"])
+        assert ordered[0]["name"] == "Null"
+
+    def test_map_rows(self, people_table):
+        bumped = people_table.map_rows(lambda row: row.merged({"age": row["age"] + 1}))
+        assert bumped.get(1)["age"] == 35
+        assert people_table.get(1)["age"] == 34
+
+    def test_replace_all(self, people_table):
+        people_table.replace_all([{"id": 5, "name": "Eri", "city": "Kobe", "age": 22}])
+        assert len(people_table) == 1
+        assert people_table.get(5)["name"] == "Eri"
+
+    def test_replace_all_invalid_rows_leave_table_unchanged(self, people_table):
+        with pytest.raises(ConstraintViolation):
+            people_table.replace_all([{"id": 5}, {"id": 5}])
+        assert len(people_table) == 3
+
+
+class TestEqualityAndFingerprint:
+    def test_keyed_equality_ignores_order(self, people_schema):
+        rows = [
+            {"id": 1, "name": "Aiko", "city": "Sapporo", "age": 34},
+            {"id": 2, "name": "Ben", "city": "Osaka", "age": 41},
+        ]
+        a = Table("t", people_schema, rows)
+        b = Table("t", people_schema, list(reversed(rows)))
+        assert a == b
+
+    def test_different_rows_not_equal(self, people_schema):
+        a = Table("t", people_schema, [{"id": 1, "name": "A", "city": "X", "age": 1}])
+        b = Table("t", people_schema, [{"id": 1, "name": "B", "city": "X", "age": 1}])
+        assert a != b
+
+    def test_fingerprint_stable_under_row_order(self, people_schema):
+        rows = [
+            {"id": 1, "name": "Aiko", "city": "Sapporo", "age": 34},
+            {"id": 2, "name": "Ben", "city": "Osaka", "age": 41},
+        ]
+        a = Table("t", people_schema, rows)
+        b = Table("t", people_schema, list(reversed(rows)))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_changes_with_content(self, people_table):
+        before = people_table.fingerprint()
+        people_table.update_by_key((1,), {"age": 99})
+        assert people_table.fingerprint() != before
+
+    def test_round_trip_dict(self, people_table):
+        restored = Table.from_dict(people_table.to_dict())
+        assert restored == people_table
+
+    def test_pretty_mentions_rows(self, people_table):
+        text = people_table.pretty()
+        assert "people" in text
+        assert "Aiko" in text

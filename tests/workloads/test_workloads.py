@@ -1,0 +1,125 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.core.records import FULL_RECORD_COLUMNS, full_record_schema
+from repro.core.scenario import DOCTOR_RESEARCHER_TABLE, PATIENT_DOCTOR_TABLE
+from repro.errors import UpdateRejected
+from repro.relational.table import Table
+from repro.workloads.generator import MedicalRecordGenerator
+from repro.workloads.topology import TopologySpec, build_topology_system
+from repro.workloads.updates import UpdateStreamGenerator
+
+
+class TestMedicalRecordGenerator:
+    def test_records_fit_the_full_schema(self):
+        generator = MedicalRecordGenerator(seed=1)
+        records = generator.records(25)
+        table = Table("full", full_record_schema(), records)
+        assert len(table) == 25
+        assert set(records[0]) == set(FULL_RECORD_COLUMNS)
+
+    def test_deterministic_for_seed(self):
+        assert MedicalRecordGenerator(seed=3).records(5) == MedicalRecordGenerator(seed=3).records(5)
+        assert MedicalRecordGenerator(seed=3).records(5) != MedicalRecordGenerator(seed=4).records(5)
+
+    def test_patient_ids_are_sequential_and_unique(self):
+        records = MedicalRecordGenerator(seed=2, first_patient_id=500).records(10)
+        ids = [record["patient_id"] for record in records]
+        assert ids == list(range(500, 510))
+
+    def test_mechanism_is_functionally_determined_by_medication(self):
+        records = MedicalRecordGenerator(seed=5).records(60, distinct_medications=4)
+        mapping = {}
+        for record in records:
+            existing = mapping.setdefault(record["medication_name"],
+                                          record["mechanism_of_action"])
+            assert existing == record["mechanism_of_action"]
+        assert len(mapping) <= 4
+
+    def test_explicit_patient_and_medication(self):
+        record = MedicalRecordGenerator(seed=6).record(patient_id=42, medication="Ibuprofen")
+        assert record["patient_id"] == 42
+        assert record["medication_name"] == "Ibuprofen"
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            MedicalRecordGenerator().records(-1)
+
+
+class TestUpdateStream:
+    def test_events_target_writable_attributes(self, fresh_paper_system):
+        generator = UpdateStreamGenerator(fresh_paper_system, seed=3)
+        events = generator.stream(12)
+        assert len(events) == 12
+        for event in events:
+            agreement = fresh_paper_system.agreement(event.metadata_id)
+            role = agreement.role_of(event.peer)
+            for attribute in event.updates:
+                assert agreement.can_role_write(role, attribute)
+
+    def test_generated_events_are_accepted_by_the_system(self, fresh_paper_system):
+        generator = UpdateStreamGenerator(fresh_paper_system, seed=4)
+        for event in generator.stream(5):
+            trace = fresh_paper_system.coordinator.update_shared_entry(
+                event.peer, event.metadata_id, event.key, event.updates)
+            assert trace.succeeded
+
+    def test_explicit_peer_and_attribute(self, fresh_paper_system):
+        generator = UpdateStreamGenerator(fresh_paper_system, seed=5)
+        event = generator.event_for(DOCTOR_RESEARCHER_TABLE, peer="researcher",
+                                    attribute="mechanism_of_action")
+        assert event.peer == "researcher"
+        assert list(event.updates) == ["mechanism_of_action"]
+
+    def test_peer_without_permission_rejected(self, fresh_paper_system):
+        generator = UpdateStreamGenerator(fresh_paper_system, seed=6)
+        with pytest.raises(ValueError):
+            generator.event_for(DOCTOR_RESEARCHER_TABLE, peer="patient")
+
+    def test_conflict_fraction_validation(self, fresh_paper_system):
+        generator = UpdateStreamGenerator(fresh_paper_system, seed=7)
+        with pytest.raises(ValueError):
+            generator.stream(3, conflict_fraction=1.5)
+
+    def test_conflicting_stream_targets_repeat_tables(self, fresh_paper_system):
+        generator = UpdateStreamGenerator(fresh_paper_system, seed=8)
+        events = generator.stream(20, conflict_fraction=1.0)
+        tables = [event.metadata_id for event in events]
+        assert len(set(tables[1:])) == 1  # after the first, always the same table
+
+    def test_event_round_trip_dict(self, fresh_paper_system):
+        generator = UpdateStreamGenerator(fresh_paper_system, seed=9)
+        event = generator.event_for(PATIENT_DOCTOR_TABLE)
+        payload = event.to_dict()
+        assert payload["metadata_id"] == PATIENT_DOCTOR_TABLE
+        assert payload["updates"] == dict(event.updates)
+
+
+class TestTopology:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            TopologySpec(patients=0)
+        with pytest.raises(ValueError):
+            TopologySpec(researchers=-1)
+        with pytest.raises(ValueError):
+            TopologySpec(distinct_medications=0)
+
+    def test_builds_hub_topology(self):
+        system = build_topology_system(TopologySpec(patients=3, researchers=2, seed=11))
+        assert len(system.peer_names) == 6  # doctor + 3 patients + 2 researchers
+        assert len(system.agreement_ids) == 5  # 3 patient shares + 2 researcher shares
+        assert system.all_shared_tables_consistent()
+        assert system.views_consistent_with_sources()
+
+    def test_updates_flow_in_generated_topology(self):
+        system = build_topology_system(TopologySpec(patients=2, researchers=1, seed=13))
+        patient_agreements = [mid for mid in system.agreement_ids if mid.startswith("D13")]
+        target = patient_agreements[0]
+        patient_id = int(target.split(":")[1])
+        trace = system.coordinator.update_shared_entry(
+            "doctor", target, (patient_id,), {"dosage": "updated by doctor"})
+        assert trace.succeeded
+        patient_peer = f"patient-{patient_id}"
+        assert system.peer(patient_peer).local_table("D1").get(patient_id)[
+            "dosage"] == "updated by doctor"
