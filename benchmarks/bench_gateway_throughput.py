@@ -1,0 +1,177 @@
+"""E11 — gateway serving: batched ledger commits vs sequential updates.
+
+The gateway's write scheduler folds compatible updates from many tenants
+into batches that share two consensus rounds (one for all requests, one for
+all acknowledgements), instead of paying two rounds per update.  This
+experiment drives the same multi-tenant write workload through
+
+* the **sequential baseline** — one
+  :meth:`~repro.core.workflow.UpdateCoordinator.update_shared_entry` call per
+  update, exactly what the seed reproduction offered; and
+* the **gateway** — requests queued per tenant session, planned into batches
+  and committed through
+  :meth:`~repro.core.workflow.UpdateCoordinator.commit_entry_batch`,
+
+and reports accepted-writes-per-simulated-second for both, the speedup, the
+read cache hit rate and each tenant's latency p95.  Runnable two ways::
+
+    python -m pytest benchmarks/bench_gateway_throughput.py   # asserts ≥3×
+    python benchmarks/bench_gateway_throughput.py             # prints JSON
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Dict, List
+
+from repro.config import SystemConfig
+from repro.core.system import MedicalDataSharingSystem
+from repro.gateway import ReadViewRequest, SharingGateway, UpdateEntryRequest
+from repro.workloads.topology import TopologySpec, build_topology_system
+
+DEFAULT_TENANTS = 8
+DEFAULT_ROUNDS = 2
+DEFAULT_INTERVAL = 2.0
+
+
+def _build(tenants: int, interval: float) -> MedicalDataSharingSystem:
+    return build_topology_system(TopologySpec(patients=tenants, researchers=0),
+                                 SystemConfig.private_chain(interval))
+
+
+def _tenant_tables(system: MedicalDataSharingSystem) -> Dict[str, str]:
+    """peer name → the metadata id of its patient↔doctor shared table."""
+    tables = {}
+    for metadata_id in system.agreement_ids:
+        patient_id = metadata_id.split(":")[1]
+        tables[f"patient-{patient_id}"] = metadata_id
+    return tables
+
+
+def _write_events(tables: Dict[str, str], rounds: int) -> List[Dict[str, object]]:
+    """The identical per-tenant update stream both systems replay."""
+    events = []
+    for round_index in range(rounds):
+        for peer, metadata_id in sorted(tables.items()):
+            patient_id = int(metadata_id.split(":")[1])
+            events.append({
+                "peer": peer,
+                "metadata_id": metadata_id,
+                "key": (patient_id,),
+                "updates": {"clinical_data": f"CliD-{patient_id}-r{round_index}"},
+                "round": round_index,
+            })
+    return events
+
+
+def run_gateway_throughput_comparison(tenants: int = DEFAULT_TENANTS,
+                                      rounds: int = DEFAULT_ROUNDS,
+                                      interval: float = DEFAULT_INTERVAL,
+                                      reads_per_write: int = 2) -> Dict[str, object]:
+    """Run both systems over the same workload; returns the JSON-able result."""
+    # --- sequential baseline: one protocol run (two consensus rounds) per update.
+    sequential = _build(tenants, interval)
+    events = _write_events(_tenant_tables(sequential), rounds)
+    start = sequential.simulator.clock.now()
+    for event in events:
+        trace = sequential.coordinator.update_shared_entry(
+            event["peer"], event["metadata_id"], event["key"], event["updates"])
+        assert trace.succeeded
+    sequential_seconds = sequential.simulator.clock.now() - start
+    sequential_throughput = len(events) / sequential_seconds
+
+    # --- gateway: same writes batched per round, plus read traffic that
+    # exercises the view cache between commits.
+    batched = _build(tenants, interval)
+    gateway = SharingGateway(batched, max_batch_size=tenants)
+    tables = _tenant_tables(batched)
+    sessions = {peer: gateway.open_session(peer) for peer in tables}
+    start = batched.simulator.clock.now()
+    responses = []
+    for round_index in range(rounds):
+        for _ in range(reads_per_write):
+            for peer, metadata_id in sorted(tables.items()):
+                gateway.submit(sessions[peer], ReadViewRequest(metadata_id))
+        for event in events:
+            if event["round"] != round_index:
+                continue
+            responses.append(gateway.submit(
+                sessions[event["peer"]],
+                UpdateEntryRequest(metadata_id=event["metadata_id"],
+                                   key=event["key"], updates=event["updates"])))
+        gateway.drain()
+    batched_seconds = batched.simulator.clock.now() - start
+    assert all(response.ok for response in responses)
+    assert batched.all_shared_tables_consistent()
+    batched_throughput = len(events) / batched_seconds
+
+    metrics = gateway.metrics()
+    return {
+        "tenants": tenants,
+        "rounds": rounds,
+        "writes": len(events),
+        "block_interval": interval,
+        "sequential": {
+            "simulated_seconds": sequential_seconds,
+            "throughput": sequential_throughput,
+            "consensus_rounds": 2 * len(events),
+        },
+        "batched": {
+            "simulated_seconds": batched_seconds,
+            "throughput": batched_throughput,
+            "consensus_rounds": metrics["batches"]["consensus_rounds"],
+            "batches": metrics["batches"]["committed"],
+            "mean_batch_size": metrics["batches"]["mean_size"],
+        },
+        "speedup": batched_throughput / sequential_throughput,
+        "cache_hit_rate": metrics["cache"]["hit_rate"],
+        "per_tenant_p95": {tenant: stats["p95"]
+                           for tenant, stats in metrics["tenants"].items()},
+    }
+
+
+def test_gateway_batched_throughput_vs_sequential(emit):
+    """Batched commits must be ≥3× the sequential baseline at 8 tenants."""
+    result = run_gateway_throughput_comparison()
+    emit("E11_gateway_throughput", json.dumps(result, indent=2, sort_keys=True))
+    assert result["writes"] == DEFAULT_TENANTS * DEFAULT_ROUNDS
+    assert result["speedup"] >= 3.0
+    # The read traffic between commits must actually hit the cache ...
+    assert result["cache_hit_rate"] > 0.3
+    # ... and every tenant's latency distribution is reported.
+    assert len(result["per_tenant_p95"]) == DEFAULT_TENANTS
+    assert all(p95 > 0 for p95 in result["per_tenant_p95"].values())
+
+
+def test_gateway_batch_size_scaling(emit):
+    """Larger batches amortise consensus rounds: fewer rounds, more throughput."""
+    rows = []
+    throughputs = []
+    for tenants in (2, 4, 8):
+        result = run_gateway_throughput_comparison(tenants=tenants, rounds=1)
+        throughputs.append(result["batched"]["throughput"])
+        rows.append((tenants, result["writes"],
+                     round(result["batched"]["throughput"], 4),
+                     round(result["speedup"], 2)))
+    emit("E11_gateway_batch_scaling", json.dumps(
+        [{"tenants": row[0], "writes": row[1], "throughput": row[2],
+          "speedup": row[3]} for row in rows], indent=2))
+    # Throughput grows with the number of batchable tenants.
+    assert throughputs[-1] > throughputs[0]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tenants", type=int, default=DEFAULT_TENANTS)
+    parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS)
+    parser.add_argument("--interval", type=float, default=DEFAULT_INTERVAL)
+    args = parser.parse_args()
+    result = run_gateway_throughput_comparison(
+        tenants=args.tenants, rounds=args.rounds, interval=args.interval)
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0 if result["speedup"] >= 3.0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

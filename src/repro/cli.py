@@ -8,15 +8,20 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro.cli audit                   # run a few operations, print the audit trail
     python -m repro.cli throughput --interval 12 --updates 6
     python -m repro.cli exposure                # fine-grained vs full-record exposure
+    python -m repro.cli gateway-loadtest --tenants 8 --duration 30
 
-Every command is deterministic; latencies are simulated seconds.
+Every command is deterministic; latencies are simulated seconds.  Every
+command also accepts ``--json`` to emit a machine-readable result instead of
+the pretty-printed report, so benches and scripts can consume the output
+without parsing tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.baselines.full_record import FullRecordSharingBaseline
 from repro.config import SystemConfig
@@ -33,14 +38,35 @@ from repro.metrics.reporting import format_table
 from repro.workloads.updates import UpdateStreamGenerator
 
 
+def _emit_json(payload: Dict[str, Any]) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     system = build_paper_scenario()
+    consistent = system.all_shared_tables_consistent()
+    if args.json:
+        _emit_json({
+            "local_tables": {
+                "D1": system.peer("patient").local_table("D1").to_dict(),
+                "D2": system.peer("researcher").local_table("D2").to_dict(),
+                "D3": system.peer("doctor").local_table("D3").to_dict(),
+            },
+            "shared_tables": {
+                PATIENT_DOCTOR_TABLE:
+                    system.peer("patient").shared_table(PATIENT_DOCTOR_TABLE).to_dict(),
+                DOCTOR_RESEARCHER_TABLE:
+                    system.peer("doctor").shared_table(DOCTOR_RESEARCHER_TABLE).to_dict(),
+            },
+            "consistent": consistent,
+        })
+        return 0
     print(system.peer("patient").local_table("D1").pretty(), "\n")
     print(system.peer("researcher").local_table("D2").pretty(), "\n")
     print(system.peer("doctor").local_table("D3").pretty(), "\n")
     print(system.peer("patient").shared_table(PATIENT_DOCTOR_TABLE).pretty(), "\n")
     print(system.peer("doctor").shared_table(DOCTOR_RESEARCHER_TABLE).pretty(), "\n")
-    print("shared tables consistent:", system.all_shared_tables_consistent())
+    print("shared tables consistent:", consistent)
     return 0
 
 
@@ -49,8 +75,12 @@ def _cmd_update(args: argparse.Namespace) -> int:
     trace = system.coordinator.update_shared_entry(
         "researcher", DOCTOR_RESEARCHER_TABLE, ("Ibuprofen",),
         {"mechanism_of_action": "MeA1-revised"})
-    print(trace.pretty(), "\n")
-    print(system.peer("doctor").local_table("D3").pretty())
+    if args.json:
+        _emit_json({"trace": trace.to_dict(),
+                    "doctor_D3": system.peer("doctor").local_table("D3").to_dict()})
+    else:
+        print(trace.pretty(), "\n")
+        print(system.peer("doctor").local_table("D3").pretty())
     return 0 if trace.succeeded else 1
 
 
@@ -58,9 +88,16 @@ def _cmd_cascade(args: argparse.Namespace) -> int:
     system = build_extended_scenario(SystemConfig.private_chain(args.interval))
     trace = system.coordinator.update_shared_entry(
         "researcher", STUDY_TABLE, (188,), {"dosage": "two tablets every 12h"})
-    print(trace.pretty(), "\n")
-    print(system.peer("patient").shared_table(CARE_TABLE).pretty())
-    return 0 if trace.succeeded and CARE_TABLE in trace.cascaded_metadata_ids else 1
+    ok = trace.succeeded and CARE_TABLE in trace.cascaded_metadata_ids
+    if args.json:
+        _emit_json({"trace": trace.to_dict(),
+                    "cascaded": list(trace.cascaded_metadata_ids),
+                    "patient_care_table":
+                        system.peer("patient").shared_table(CARE_TABLE).to_dict()})
+    else:
+        print(trace.pretty(), "\n")
+        print(system.peer("patient").shared_table(CARE_TABLE).pretty())
+    return 0 if ok else 1
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -73,16 +110,31 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     system.coordinator.update_shared_entry(
         "patient", PATIENT_DOCTOR_TABLE, (188,), {"dosage": "one tablet every 8h"})
     trail = system.audit_trail(via_peer=args.via)
-    print(trail.pretty(), "\n")
     check = system.check_contract_specification()
-    print("contract specification check:", "PASSED" if check.passed else "FAILED")
-    return 0 if check.passed and trail.verify_integrity() else 1
+    integrity = trail.verify_integrity()
+    if args.json:
+        _emit_json({
+            "records": [record.to_dict() for record in trail.records()],
+            "permission_changes": trail.permission_changes(),
+            "updates_by_peer": trail.updates_by_peer(),
+            "integrity": integrity,
+            "spec_check_passed": check.passed,
+        })
+    else:
+        print(trail.pretty(), "\n")
+        print("contract specification check:", "PASSED" if check.passed else "FAILED")
+    return 0 if check.passed and integrity else 1
 
 
 def _cmd_throughput(args: argparse.Namespace) -> int:
     system = build_paper_scenario(SystemConfig.private_chain(args.interval))
     events = UpdateStreamGenerator(system, seed=args.seed).stream(args.updates)
     result = measure_throughput(system, events)
+    if args.json:
+        payload = dict(result.to_dict())
+        payload["block_interval"] = args.interval
+        _emit_json(payload)
+        return 0
     print(format_table(
         ("metric", "value"),
         [("block interval (s)", args.interval),
@@ -109,11 +161,96 @@ def _cmd_exposure(args: argparse.Namespace) -> int:
         full_record=baseline.exposure_matrix(),
     )
     counts = report.exposure_counts()
+    if args.json:
+        _emit_json({"exposure_counts": counts,
+                    "unnecessary_attributes": {
+                        role: list(columns)
+                        for role, columns in report.unnecessary_attributes().items()
+                    }})
+        return 0
     print(format_table(
         ("role", "fine-grained attrs", "full-record attrs", "unnecessary"),
         [(role, counts[role]["fine_grained"], counts[role]["full_record"],
           counts[role]["unnecessary"]) for role in sorted(counts)],
         title="Attribute exposure: fine-grained views vs full-record sharing"))
+    return 0
+
+
+def run_gateway_loadtest(tenants: int = 8, duration: float = 30.0, rate: float = 1.0,
+                         read_fraction: float = 0.5, interval: float = 2.0,
+                         batch_size: int = 16, seed: int = 23,
+                         rate_limit: float = 0.0) -> Dict[str, Any]:
+    """Drive open-loop multi-tenant traffic through the gateway; returns metrics.
+
+    The engine behind the ``gateway-loadtest`` subcommand (also importable
+    for scripting).
+    """
+    from repro.gateway import SharingGateway
+    from repro.workloads.topology import TopologySpec, build_topology_system
+    from repro.workloads.traffic import TrafficGenerator, default_tenant_profiles
+
+    system = build_topology_system(TopologySpec(patients=tenants, researchers=0, seed=seed),
+                                   SystemConfig.private_chain(interval))
+    gateway = SharingGateway(system, max_batch_size=batch_size, default_rate=rate_limit)
+    profiles = default_tenant_profiles(system, request_rate=rate,
+                                       read_fraction=read_fraction)
+    clock = system.simulator.clock
+    arrivals = TrafficGenerator(system, seed=seed).open_loop(
+        profiles, duration=duration, start_time=clock.now())
+    sessions = {profile.peer: gateway.open_session(profile.peer) for profile in profiles}
+    start = clock.now()
+    for timed in arrivals:
+        clock.advance_to(timed.arrival_time)
+        gateway.submit(sessions[timed.tenant], timed.request)
+        if gateway.queue_depth >= batch_size:
+            gateway.commit_once()
+    gateway.drain()
+    elapsed = clock.now() - start
+    metrics = gateway.metrics()
+    writes = metrics["batches"]["writes_committed"]
+    return {
+        "tenants": tenants,
+        "arrivals": len(arrivals),
+        "simulated_seconds": elapsed,
+        "write_throughput": (writes / elapsed) if elapsed > 0 else 0.0,
+        "metrics": metrics,
+    }
+
+
+def _cmd_gateway_loadtest(args: argparse.Namespace) -> int:
+    try:
+        result = run_gateway_loadtest(
+            tenants=args.tenants, duration=args.duration, rate=args.rate,
+            read_fraction=args.read_fraction, interval=args.interval,
+            batch_size=args.batch_size, seed=args.seed, rate_limit=args.rate_limit)
+    except ValueError as exc:
+        print(f"gateway-loadtest: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        _emit_json(result)
+        return 0
+    metrics = result["metrics"]
+    rows = [
+        ("tenants", result["tenants"]),
+        ("arrivals", result["arrivals"]),
+        ("simulated seconds", round(result["simulated_seconds"], 2)),
+        ("writes committed", metrics["batches"]["writes_committed"]),
+        ("write throughput (1/s)", round(result["write_throughput"], 4)),
+        ("batches committed", metrics["batches"]["committed"]),
+        ("mean batch size", round(metrics["batches"]["mean_size"], 2)),
+        ("consensus rounds", metrics["batches"]["consensus_rounds"]),
+        ("cache hit rate", round(metrics["cache"]["hit_rate"], 3)),
+        ("max queue depth", metrics["queue"]["max_depth"]),
+    ]
+    print(format_table(("metric", "value"), rows, title="Gateway load test"))
+    tenant_rows = [
+        (tenant, stats["count"], round(stats["mean"], 2), round(stats["p95"], 2))
+        for tenant, stats in metrics["tenants"].items()
+    ]
+    if tenant_rows:
+        print()
+        print(format_table(("tenant", "requests", "mean latency (s)", "p95 (s)"),
+                           tenant_rows, title="Per-tenant latency"))
     return 0
 
 
@@ -124,33 +261,53 @@ def build_parser() -> argparse.ArgumentParser:
                     "Fine-grained Medical Data' (ICDE 2019)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("scenario", help="print the Fig. 1 data distribution") \
-        .set_defaults(handler=_cmd_scenario)
+    def add_command(name: str, help_text: str, handler) -> argparse.ArgumentParser:
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument("--json", action="store_true",
+                         help="emit a machine-readable JSON result")
+        sub.set_defaults(handler=handler)
+        return sub
 
-    update = subparsers.add_parser("update", help="run the Fig. 5 researcher update")
+    add_command("scenario", "print the Fig. 1 data distribution", _cmd_scenario)
+
+    update = add_command("update", "run the Fig. 5 researcher update", _cmd_update)
     update.add_argument("--interval", type=float, default=2.0,
                         help="block interval in simulated seconds")
-    update.set_defaults(handler=_cmd_update)
 
-    cascade = subparsers.add_parser("cascade",
-                                    help="run the steps-6-11 cascading dosage update")
+    cascade = add_command("cascade", "run the steps-6-11 cascading dosage update",
+                          _cmd_cascade)
     cascade.add_argument("--interval", type=float, default=2.0)
-    cascade.set_defaults(handler=_cmd_cascade)
 
-    audit = subparsers.add_parser("audit", help="run operations and print the audit trail")
+    audit = add_command("audit", "run operations and print the audit trail", _cmd_audit)
     audit.add_argument("--via", default="patient",
                        help="peer whose node replica the trail is read from")
-    audit.set_defaults(handler=_cmd_audit)
 
-    throughput = subparsers.add_parser("throughput", help="measure update throughput")
+    throughput = add_command("throughput", "measure update throughput", _cmd_throughput)
     throughput.add_argument("--interval", type=float, default=12.0)
     throughput.add_argument("--updates", type=int, default=6)
     throughput.add_argument("--seed", type=int, default=41)
-    throughput.set_defaults(handler=_cmd_throughput)
 
-    subparsers.add_parser("exposure", help="compare attribute exposure against "
-                                           "full-record sharing") \
-        .set_defaults(handler=_cmd_exposure)
+    add_command("exposure", "compare attribute exposure against full-record sharing",
+                _cmd_exposure)
+
+    loadtest = add_command("gateway-loadtest",
+                           "drive multi-tenant open-loop traffic through the gateway",
+                           _cmd_gateway_loadtest)
+    loadtest.add_argument("--tenants", type=int, default=8,
+                          help="number of patient tenants")
+    loadtest.add_argument("--duration", type=float, default=30.0,
+                          help="traffic duration in simulated seconds")
+    loadtest.add_argument("--rate", type=float, default=1.0,
+                          help="per-tenant requests per simulated second")
+    loadtest.add_argument("--read-fraction", type=float, default=0.5,
+                          help="fraction of requests that are view reads")
+    loadtest.add_argument("--interval", type=float, default=2.0,
+                          help="block interval in simulated seconds")
+    loadtest.add_argument("--batch-size", type=int, default=16,
+                          help="max write requests folded into one batch")
+    loadtest.add_argument("--seed", type=int, default=23)
+    loadtest.add_argument("--rate-limit", type=float, default=0.0,
+                          help="per-tenant token-bucket rate (0 disables throttling)")
     return parser
 
 

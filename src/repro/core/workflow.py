@@ -19,13 +19,16 @@ benchmarks and the examples can print the exact choreography.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.crypto.hashing import hash_payload
-from repro.errors import UpdateRejected, WorkflowError
+from repro.errors import ReproError, UpdateRejected, WorkflowError
 from repro.core.sharing import SharingAgreement
 from repro.relational.diff import TableDiff, diff_tables
 from repro.relational.table import Table
+
+#: Callback fired after a shared table changed: ``(metadata_id, operation, peers)``.
+SharedChangeListener = Callable[[str, str, Tuple[str, str]], None]
 
 
 @dataclass(frozen=True)
@@ -50,6 +53,18 @@ class WorkflowStep:
             "block_number": self.block_number,
             "data": dict(self.data),
         }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "WorkflowStep":
+        return WorkflowStep(
+            index=int(payload["index"]),
+            actor=payload["actor"],
+            action=payload["action"],
+            description=payload["description"],
+            simulated_time=float(payload["simulated_time"]),
+            block_number=payload.get("block_number"),
+            data=dict(payload.get("data", {})),
+        )
 
 
 @dataclass
@@ -90,6 +105,35 @@ class WorkflowTrace:
         self.steps.append(step)
         return step
 
+    def to_dict(self) -> dict:
+        return {
+            "initiator": self.initiator,
+            "metadata_id": self.metadata_id,
+            "operation": self.operation,
+            "steps": [step.to_dict() for step in self.steps],
+            "succeeded": self.succeeded,
+            "error": self.error,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "blocks_created": self.blocks_created,
+            "cascaded_metadata_ids": list(self.cascaded_metadata_ids),
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "WorkflowTrace":
+        return WorkflowTrace(
+            initiator=payload["initiator"],
+            metadata_id=payload["metadata_id"],
+            operation=payload["operation"],
+            steps=[WorkflowStep.from_dict(step) for step in payload.get("steps", ())],
+            succeeded=bool(payload.get("succeeded", False)),
+            error=payload.get("error"),
+            started_at=float(payload.get("started_at", 0.0)),
+            finished_at=float(payload.get("finished_at", 0.0)),
+            blocks_created=int(payload.get("blocks_created", 0)),
+            cascaded_metadata_ids=list(payload.get("cascaded_metadata_ids", ())),
+        )
+
     def pretty(self) -> str:
         """A plain-text rendering of the trace, step by step."""
         lines = [
@@ -108,11 +152,103 @@ class WorkflowTrace:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class EntryEdit:
+    """One entry-level edit of a shared table, batchable with others.
+
+    ``op`` is ``"update"``, ``"create"`` or ``"delete"``.  Updates and deletes
+    identify their row by primary ``key``; updates and creates carry the new
+    ``values``.
+    """
+
+    op: str
+    key: Tuple[Any, ...] = ()
+    values: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.op not in ("update", "create", "delete"):
+            raise ValueError(f"unknown edit op {self.op!r}")
+        object.__setattr__(self, "key", tuple(self.key))
+        object.__setattr__(self, "values", dict(self.values))
+
+    def to_dict(self) -> dict:
+        return {"op": self.op, "key": list(self.key), "values": dict(self.values)}
+
+    @staticmethod
+    def from_dict(payload: dict) -> "EntryEdit":
+        return EntryEdit(op=payload["op"], key=tuple(payload.get("key", ())),
+                         values=dict(payload.get("values", {})))
+
+
+@dataclass(frozen=True)
+class BatchGroup:
+    """A set of compatible edits, by one peer on one shared table, that are
+    folded into a single diff and a single on-chain request."""
+
+    peer: str
+    metadata_id: str
+    edits: Tuple[EntryEdit, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "edits", tuple(self.edits))
+        if not self.edits:
+            raise ValueError("a batch group needs at least one edit")
+
+    @property
+    def operation(self) -> str:
+        """The contract operation the group maps to (homogeneous op, else update)."""
+        ops = {edit.op for edit in self.edits}
+        return self.edits[0].op if len(ops) == 1 else "update"
+
+
+@dataclass
+class BatchCommitResult:
+    """Outcome of committing one batch of groups through shared consensus rounds.
+
+    ``consensus_rounds`` counts the mining rounds the batch itself required
+    (one for every request transaction together, one for every acknowledgement
+    together); cascaded propagations mine their own rounds and account their
+    blocks on the individual traces.
+    """
+
+    traces: List[WorkflowTrace] = field(default_factory=list)
+    blocks_created: int = 0
+    consensus_rounds: int = 0
+    #: Per group (aligned with ``traces``), one entry per edit: None when the
+    #: edit was folded into the group's diff, else why it was dropped.  An
+    #: invalid edit is rejected alone — it never poisons its group mates.
+    edit_errors: List[List[Optional[str]]] = field(default_factory=list)
+
+    @property
+    def accepted(self) -> int:
+        return sum(1 for trace in self.traces if trace.succeeded)
+
+    @property
+    def rejected(self) -> int:
+        return sum(1 for trace in self.traces if not trace.succeeded)
+
+
 class UpdateCoordinator:
     """Runs shared-data operations across the whole system."""
 
     def __init__(self, system: "MedicalDataSharingSystem"):  # noqa: F821 (forward ref)
         self.system = system
+        self._change_listeners: List[SharedChangeListener] = []
+
+    # ------------------------------------------------------------ change hooks
+
+    def subscribe_shared_change(self, listener: SharedChangeListener) -> None:
+        """Register a callback fired after every successful propagation of a
+        shared-table change (including each cascaded Fig. 5 leg).
+
+        The gateway's view cache uses this to invalidate materialised views.
+        """
+        self._change_listeners.append(listener)
+
+    def _notify_change(self, metadata_id: str, operation: str,
+                       peers: Tuple[str, str]) -> None:
+        for listener in self._change_listeners:
+            listener(metadata_id, operation, peers)
 
     # --------------------------------------------------------------- utilities
 
@@ -245,6 +381,246 @@ class UpdateCoordinator:
                      install_initiator_view=True, reflect_initiator_source=True,
                      candidate_view=candidate)
         return trace
+
+    # ------------------------------------------------------- batched commits
+
+    @staticmethod
+    def _apply_edit(candidate: Table, edit: EntryEdit) -> None:
+        if edit.op == "update":
+            candidate.update_by_key(edit.key, edit.values)
+        elif edit.op == "create":
+            candidate.insert(edit.values)
+        else:
+            candidate.delete_by_key(edit.key)
+
+    def update_shared_entries(self, peer_name: str, metadata_id: str,
+                              edits: Sequence[EntryEdit]) -> WorkflowTrace:
+        """Fold several entry-level edits on one shared table into a single
+        protocol run: one diff, one contract request, one acknowledgement.
+
+        This is the single-group form of batched commits — ``k`` edits cost
+        the same two consensus rounds a lone :meth:`update_shared_entry` does.
+        """
+        group = BatchGroup(peer=peer_name, metadata_id=metadata_id, edits=tuple(edits))
+        trace = WorkflowTrace(initiator=peer_name, metadata_id=metadata_id,
+                              operation=group.operation, started_at=self._clock.now())
+        peer = self._peer(peer_name)
+        stored = peer.shared_table(metadata_id)
+        candidate = stored.snapshot()
+        for edit in group.edits:
+            self._apply_edit(candidate, edit)
+        diff = diff_tables(stored, candidate)
+        trace.add_step(peer_name, "local_edit",
+                       f"batch of {len(group.edits)} edit(s) on shared table",
+                       self._clock.now(), rows_changed=len(diff), edits=len(group.edits))
+        if diff.is_empty:
+            trace.succeeded = True
+            trace.finished_at = self._clock.now()
+            return trace
+        self._finish(trace, peer_name, metadata_id, group.operation, diff,
+                     install_initiator_view=True, reflect_initiator_source=True,
+                     candidate_view=candidate)
+        return trace
+
+    def commit_entry_batch(self, groups: Sequence[BatchGroup]) -> BatchCommitResult:
+        """Commit many groups through *shared* consensus rounds (the gateway's
+        batched ledger commit).
+
+        All groups' request transactions are submitted together and mined in
+        one round, and all acknowledgements are mined in a second round — so a
+        batch of N compatible groups costs two rounds instead of 2·N.  Groups
+        must target distinct shared tables (the contract serialises operations
+        per metadata entry through its pending-acknowledgement rule); the
+        write scheduler guarantees this.
+
+        A rejected or failed group never aborts the batch: its trace carries
+        ``succeeded=False`` and the error, mirroring what the sequential path
+        raises.
+        """
+        seen_ids = set()
+        for group in groups:
+            if group.metadata_id in seen_ids:
+                raise WorkflowError(
+                    f"batch contains two groups on shared table {group.metadata_id!r}; "
+                    "same-table groups must be committed in separate batches"
+                )
+            seen_ids.add(group.metadata_id)
+
+        result = BatchCommitResult()
+        method_by_op = {"update": "request_update", "create": "request_create",
+                        "delete": "request_delete"}
+
+        # Phase A: validate every group locally and submit every request
+        # transaction, then mine them all in one consensus round.  Requests
+        # are gossiped as one batch (a single tx-batch flood) after each has
+        # been ingested at its own peer's node for nonce accounting.
+        prepared = []
+        request_submissions: List[Tuple[str, Any]] = []
+        for group in groups:
+            trace = WorkflowTrace(initiator=group.peer, metadata_id=group.metadata_id,
+                                  operation=group.operation, started_at=self._clock.now())
+            result.traces.append(trace)
+            edit_errors: List[Optional[str]] = [None] * len(group.edits)
+            result.edit_errors.append(edit_errors)
+            try:
+                peer = self._peer(group.peer)
+                agreement = peer.agreement(group.metadata_id)
+                stored = peer.shared_table(group.metadata_id)
+                candidate = stored.snapshot()
+            except ReproError as exc:
+                trace.error = str(exc)
+                trace.finished_at = self._clock.now()
+                continue
+            # Apply each edit on its own: an invalid one (missing key,
+            # duplicate insert, constraint violation) is rejected alone and
+            # the group carries on with the rest.
+            applied = 0
+            for index, edit in enumerate(group.edits):
+                try:
+                    self._apply_edit(candidate, edit)
+                    applied += 1
+                except ReproError as exc:
+                    edit_errors[index] = str(exc)
+            diff = diff_tables(stored, candidate)
+            trace.add_step(group.peer, "local_edit",
+                           f"batch of {len(group.edits)} edit(s) on shared table "
+                           f"({applied} applied)", self._clock.now(),
+                           rows_changed=len(diff), edits=len(group.edits),
+                           edits_applied=applied)
+            if applied == 0:
+                trace.error = next(error for error in edit_errors if error)
+                trace.finished_at = self._clock.now()
+                continue
+            if diff.is_empty:
+                trace.succeeded = True
+                trace.finished_at = self._clock.now()
+                continue
+            app = self._app(group.peer)
+            tx = app.build_contract_call(
+                method_by_op[group.operation],
+                {"metadata_id": group.metadata_id,
+                 "changed_attributes": list(self._changed_attributes(diff, agreement)),
+                 "diff_hash": self._diff_hash(diff)},
+            )
+            # Ingest at the submitting peer's own node right away so a peer
+            # initiating several groups keeps its nonces sequential.
+            if not app.node.receive_transaction(tx):
+                trace.error = f"request transaction rejected by {app.node.name!r}'s mempool"
+                trace.finished_at = self._clock.now()
+                continue
+            request_submissions.append((app.node.name, tx))
+            prepared.append((group, trace, agreement, candidate, diff, tx))
+        if not prepared:
+            return result
+        self.system.simulator.submit_transaction_batch(request_submissions)
+        result.blocks_created += self._mine()
+        result.consensus_rounds += 1
+
+        # Phase B: install accepted groups on both sides and submit every
+        # acknowledgement (gossiped as one batch, like the requests), then
+        # mine them all in a second shared round.
+        acknowledged = []
+        ack_submissions: List[Tuple[str, Any]] = []
+        for group, trace, agreement, candidate, diff, tx in prepared:
+            app = self._app(group.peer)
+            counterpart = agreement.counterparty_of(group.peer)
+            installed = False
+            try:
+                receipt = app.node.chain.receipt(tx.tx_hash)
+                trace.add_step(group.peer, "contract_request",
+                               f"send {group.operation} request for attributes "
+                               f"{list(self._changed_attributes(diff, agreement))} "
+                               f"(batched round)",
+                               self._clock.now(), block_number=receipt.block_number,
+                               success=receipt.success, error=receipt.error)
+                if not receipt.success:
+                    trace.error = receipt.error
+                    trace.finished_at = self._clock.now()
+                    continue
+                update_id = int(receipt.return_value["update_id"])
+                counterpart_app = self._app(counterpart)
+                app.manager.replace_shared_table(group.metadata_id, candidate)
+                installed = True
+                app.outgoing_diffs[group.metadata_id] = diff
+                source_diff = app.manager.reflect_shared_table(group.metadata_id)
+                trace.add_step(group.peer, "bx_put",
+                               f"reflect shared-table change into local base table "
+                               f"({len(source_diff)} row change(s))", self._clock.now(),
+                               rows_changed=len(source_diff))
+                notifications = counterpart_app.pop_notifications(group.metadata_id)
+                if not any(n.update_id == update_id for n in notifications):
+                    raise WorkflowError(
+                        f"peer {counterpart!r} did not receive the contract notification "
+                        f"for update {update_id} on {group.metadata_id!r}"
+                    )
+                trace.add_step(counterpart, "notified",
+                               f"received contract notification (update #{update_id})",
+                               self._clock.now(), update_id=update_id)
+                counterpart_app.request_shared_data(group.metadata_id, group.peer,
+                                                    since_update=update_id)
+                transfer = app.serve_shared_data(group.metadata_id, counterpart, mode="diff")
+                counterpart_app.receive_shared_data(group.metadata_id, transfer)
+                trace.add_step(counterpart, "fetch_data",
+                               f"fetched updated shared data ({transfer.kind}, "
+                               f"{transfer.size_bytes} bytes)", self._clock.now(),
+                               transfer_kind=transfer.kind, bytes=transfer.size_bytes)
+                counterpart_diff = counterpart_app.manager.reflect_shared_table(
+                    group.metadata_id)
+                trace.add_step(counterpart, "bx_put",
+                               f"reflect shared-table change into local base table "
+                               f"({len(counterpart_diff)} row change(s))", self._clock.now(),
+                               rows_changed=len(counterpart_diff))
+                ack_tx = counterpart_app.build_contract_call(
+                    "acknowledge_update",
+                    {"metadata_id": group.metadata_id, "update_id": update_id},
+                )
+                counterpart_app.node.receive_transaction(ack_tx)
+                ack_submissions.append((counterpart_app.node.name, ack_tx))
+            except ReproError as exc:
+                trace.error = str(exc)
+                trace.finished_at = self._clock.now()
+                if installed:
+                    # The initiator's shared table was already replaced, so
+                    # cached views of it are stale even though the protocol
+                    # did not complete — listeners must still be told.
+                    self._notify_change(group.metadata_id, group.operation,
+                                        (group.peer, counterpart))
+                continue
+            acknowledged.append((group, trace, counterpart, ack_tx))
+        if not acknowledged:
+            return result
+        self.system.simulator.submit_transaction_batch(ack_submissions)
+        result.blocks_created += self._mine()
+        result.consensus_rounds += 1
+
+        # Phase C: confirm acknowledgements, run the Fig. 5 step-6 cascades
+        # (each cascade mines its own rounds) and fire the change listeners.
+        for group, trace, counterpart, ack_tx in acknowledged:
+            counterpart_app = self._app(counterpart)
+            try:
+                ack_receipt = counterpart_app.node.chain.receipt(ack_tx.tx_hash)
+                trace.add_step(counterpart, "acknowledge",
+                               "acknowledged the update on the smart contract "
+                               "(batched round)",
+                               self._clock.now(), block_number=ack_receipt.block_number,
+                               success=ack_receipt.success)
+                if not ack_receipt.success:
+                    trace.error = (f"acknowledgement by {counterpart!r} failed: "
+                                   f"{ack_receipt.error}")
+                    trace.finished_at = self._clock.now()
+                    continue
+                self._cascade(counterpart, group.metadata_id, trace, depth=0)
+                self._cascade(group.peer, group.metadata_id, trace, depth=0)
+                trace.succeeded = True
+            except ReproError as exc:
+                trace.error = str(exc)
+            finally:
+                trace.finished_at = self._clock.now()
+                # The group's data was installed on both sides in Phase B,
+                # whatever happened to its cascade: listeners always fire.
+                self._notify_change(group.metadata_id, group.operation,
+                                    (group.peer, counterpart))
+        return result
 
     def _finish(self, trace: WorkflowTrace, peer_name: str, metadata_id: str, operation: str,
                 diff: TableDiff, install_initiator_view: bool, reflect_initiator_source: bool,
@@ -383,6 +759,7 @@ class UpdateCoordinator:
             self._cascade(initiator, metadata_id, trace, depth)
 
         trace.succeeded = True
+        self._notify_change(metadata_id, operation, (initiator, counterpart))
 
     def _cascade(self, peer_name: str, metadata_id: str, trace: WorkflowTrace,
                  depth: int) -> None:

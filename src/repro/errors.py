@@ -158,3 +158,19 @@ class SynchronizationError(SharingError):
 
 class WorkflowError(SharingError):
     """The multi-step update workflow could not be completed."""
+
+
+# ---------------------------------------------------------------------------
+# Gateway (the multi-tenant serving layer)
+# ---------------------------------------------------------------------------
+
+class GatewayError(ReproError):
+    """Base class for errors raised by :mod:`repro.gateway`."""
+
+
+class SessionError(GatewayError):
+    """A gateway session is invalid, closed, or not authorised for a request."""
+
+
+class RateLimitExceeded(GatewayError):
+    """A tenant exceeded its per-session request rate (backpressure)."""

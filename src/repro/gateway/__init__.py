@@ -1,0 +1,58 @@
+"""The multi-tenant request-serving layer (the gateway).
+
+The paper's protocols run one operation at a time; this package puts a
+serving tier in front of :class:`~repro.core.system.MedicalDataSharingSystem`
+so many tenants can read and write shared data concurrently:
+
+* :mod:`repro.gateway.session` — authenticated, rate-limited tenant sessions;
+* :mod:`repro.gateway.requests` — the typed request/response wire model;
+* :mod:`repro.gateway.scheduler` — FIFO write queue, batch planning and
+  conflict serialisation;
+* :mod:`repro.gateway.cache` — a read-through shared-view cache invalidated
+  by the Fig. 5 propagation workflow;
+* :mod:`repro.gateway.worker` — a thread pool draining the write queue;
+* :mod:`repro.gateway.gateway` — the facade wiring it all together.
+"""
+
+from repro.gateway.cache import ViewCache
+from repro.gateway.gateway import SharingGateway
+from repro.gateway.requests import (
+    AuditQueryRequest,
+    DeleteEntryRequest,
+    GatewayRequest,
+    GatewayResponse,
+    InsertEntryRequest,
+    ReadViewRequest,
+    UpdateEntryRequest,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_QUEUED,
+    STATUS_REJECTED,
+    STATUS_THROTTLED,
+)
+from repro.gateway.scheduler import BatchPlan, PendingWrite, WriteScheduler
+from repro.gateway.session import GatewaySession, TokenBucket
+from repro.gateway.worker import GatewayWorkerPool
+
+__all__ = [
+    "AuditQueryRequest",
+    "BatchPlan",
+    "DeleteEntryRequest",
+    "GatewayRequest",
+    "GatewayResponse",
+    "GatewaySession",
+    "GatewayWorkerPool",
+    "InsertEntryRequest",
+    "PendingWrite",
+    "ReadViewRequest",
+    "SharingGateway",
+    "TokenBucket",
+    "UpdateEntryRequest",
+    "ViewCache",
+    "WriteScheduler",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_QUEUED",
+    "STATUS_REJECTED",
+    "STATUS_THROTTLED",
+]

@@ -1,0 +1,90 @@
+"""A read-through cache of materialised shared views.
+
+Read traffic dominates a serving layer, and a shared view only changes when
+the Fig. 5 propagation workflow runs.  The cache therefore subscribes to the
+:class:`~repro.core.workflow.UpdateCoordinator`'s shared-change hook: every
+successful propagation — including each cascaded step-6 leg — invalidates the
+cached views of the affected shared table on both peers, so readers never
+observe a stale view after a commit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.relational.table import Table
+
+
+class ViewCache:
+    """Caches ``(peer, metadata_id) → materialised shared view`` snapshots."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._entries: Dict[Tuple[str, str], Table] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # ------------------------------------------------------------------- reads
+
+    def get(self, peer: str, metadata_id: str,
+            loader: Callable[[], Table]) -> Table:
+        """Return the cached view, loading (and caching) it on a miss."""
+        if not self.enabled:
+            return loader()
+        key = (peer, metadata_id)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        view = loader()
+        self._entries[key] = view
+        return view
+
+    def peek(self, peer: str, metadata_id: str) -> Optional[Table]:
+        return self._entries.get((peer, metadata_id))
+
+    # ------------------------------------------------------------ invalidation
+
+    def invalidate(self, metadata_id: str) -> int:
+        """Drop every peer's cached view of ``metadata_id``; returns how many."""
+        stale = [key for key in self._entries if key[1] == metadata_id]
+        for key in stale:
+            del self._entries[key]
+        self.invalidations += len(stale)
+        return len(stale)
+
+    def invalidate_all(self) -> int:
+        count = len(self._entries)
+        self._entries.clear()
+        self.invalidations += count
+        return count
+
+    # -------------------------------------------------------------- change hook
+
+    def on_shared_change(self, metadata_id: str, operation: str,
+                         peers: Tuple[str, str]) -> None:
+        """The :meth:`UpdateCoordinator.subscribe_shared_change` listener."""
+        self.invalidate(metadata_id)
+
+    def statistics(self) -> Dict[str, object]:
+        return {
+            "enabled": self.enabled,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "invalidations": self.invalidations,
+        }

@@ -1,0 +1,317 @@
+"""The gateway facade: sessions in front, batched ledger commits behind.
+
+:class:`SharingGateway` is the serving layer of the reproduction.  Tenants
+open sessions, submit typed requests and get typed responses; behind the
+facade the gateway
+
+* serves reads through the invalidation-correct :class:`ViewCache`;
+* queues writes into the :class:`WriteScheduler`, which folds compatible
+  updates into :class:`~repro.core.workflow.BatchGroup`'s;
+* commits each planned batch through
+  :meth:`~repro.core.workflow.UpdateCoordinator.commit_entry_batch`, i.e. one
+  consensus round for all requests and one for all acknowledgements;
+* tracks serving metrics: queue depth, batch sizes, cache hit rate and
+  per-tenant latency percentiles.
+
+All methods are thread-safe; the worker pool in :mod:`repro.gateway.worker`
+drains the queue from several threads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Dict, List, Optional
+
+from repro.core.system import MedicalDataSharingSystem
+from repro.core.workflow import BatchCommitResult
+from repro.errors import ReproError, SessionError, SharingError
+from repro.gateway.cache import ViewCache
+from repro.gateway.requests import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_QUEUED,
+    STATUS_REJECTED,
+    STATUS_THROTTLED,
+    AuditQueryRequest,
+    GatewayRequest,
+    GatewayResponse,
+    ReadViewRequest,
+)
+from repro.gateway.scheduler import BatchPlan, PendingWrite, WriteScheduler
+from repro.gateway.session import GatewaySession
+from repro.metrics.collectors import LatencyCollector
+
+
+class SharingGateway:
+    """Concurrent multi-tenant request-serving layer over one sharing system."""
+
+    def __init__(self, system: MedicalDataSharingSystem,
+                 max_batch_size: int = 16, max_edits_per_group: int = 8,
+                 cache_enabled: bool = True,
+                 default_rate: float = 0.0, default_burst: float = 8.0):
+        self.system = system
+        self.scheduler = WriteScheduler(max_batch_size=max_batch_size,
+                                        max_edits_per_group=max_edits_per_group)
+        self.cache = ViewCache(enabled=cache_enabled)
+        system.coordinator.subscribe_shared_change(self.cache.on_shared_change)
+        self.default_rate = default_rate
+        self.default_burst = default_burst
+        self._sessions: Dict[str, GatewaySession] = {}
+        self._responses: Dict[str, GatewayResponse] = {}
+        self._latency_by_tenant: Dict[str, LatencyCollector] = {}
+        self._status_counts: Dict[str, int] = {}
+        self._kind_counts: Dict[str, int] = {}
+        self._request_ids = itertools.count(1)
+        self._outstanding_writes = 0
+        self.batch_sizes: List[int] = []
+        self.batch_blocks = 0
+        self.batch_consensus_rounds = 0
+        self.writes_committed = 0
+        self.writes_rejected = 0
+        self._lock = threading.RLock()
+
+    # ---------------------------------------------------------------- sessions
+
+    def open_session(self, peer_name: str, rate: Optional[float] = None,
+                     burst: Optional[float] = None) -> GatewaySession:
+        """Authenticate ``peer_name`` and open a rate-limited session."""
+        with self._lock:
+            session = GatewaySession(
+                self.system, peer_name,
+                rate=self.default_rate if rate is None else rate,
+                burst=self.default_burst if burst is None else burst,
+            )
+            self._sessions[session.session_id] = session
+            return session
+
+    def close_session(self, session: GatewaySession) -> None:
+        with self._lock:
+            session.close()
+            self._sessions.pop(session.session_id, None)
+
+    @property
+    def session_count(self) -> int:
+        return len(self._sessions)
+
+    # ------------------------------------------------------------------ submit
+
+    def _new_response(self, session: GatewaySession, request: GatewayRequest,
+                      status: str, **fields) -> GatewayResponse:
+        now = self.system.simulator.clock.now()
+        response = GatewayResponse(
+            request_id=f"req-{next(self._request_ids)}",
+            tenant=session.peer_name,
+            kind=request.kind,
+            status=status,
+            enqueued_at=now,
+            completed_at=now,
+            **fields,
+        )
+        self._responses[response.request_id] = response
+        self._kind_counts[request.kind] = self._kind_counts.get(request.kind, 0) + 1
+        return response
+
+    def _finalize(self, response: GatewayResponse, session: Optional[GatewaySession],
+                  status: str) -> GatewayResponse:
+        response.status = status
+        response.completed_at = self.system.simulator.clock.now()
+        self._status_counts[status] = self._status_counts.get(status, 0) + 1
+        if session is not None:
+            session.count(status)
+        if status in (STATUS_OK, STATUS_REJECTED, STATUS_ERROR):
+            self._latency_by_tenant.setdefault(
+                response.tenant, LatencyCollector()).record_value(response.latency)
+        return response
+
+    def submit(self, session: GatewaySession, request: GatewayRequest) -> GatewayResponse:
+        """Serve a read immediately; queue a write for the next batch.
+
+        The returned response object is *live*: for queued writes its status
+        flips to a terminal one when the batch containing the write commits.
+        """
+        with self._lock:
+            response = self._new_response(session, request, STATUS_QUEUED)
+            if not session.try_admit():
+                response.error = (
+                    f"tenant {session.peer_name!r} exceeded its request rate; retry later"
+                )
+                return self._finalize(response, session, STATUS_THROTTLED)
+            try:
+                session.authorize(request)
+            except SessionError as exc:
+                response.error = str(exc)
+                return self._finalize(response, session, STATUS_REJECTED)
+            if request.is_write:
+                self.scheduler.enqueue(PendingWrite(
+                    request_id=response.request_id,
+                    tenant=session.peer_name,
+                    peer=session.peer_name,
+                    request=request,
+                    enqueued_at=response.enqueued_at,
+                    session=session,
+                ))
+                self._outstanding_writes += 1
+                session.count(STATUS_QUEUED)
+                return response
+            return self._serve_read(session, request, response)
+
+    def _serve_read(self, session: GatewaySession, request: GatewayRequest,
+                    response: GatewayResponse) -> GatewayResponse:
+        try:
+            if isinstance(request, ReadViewRequest):
+                view = self.cache.get(
+                    session.peer_name, request.metadata_id,
+                    lambda: self.system.coordinator.read_shared_data(
+                        session.peer_name, request.metadata_id),
+                )
+                response.payload = {"metadata_id": request.metadata_id,
+                                    "rows": len(view), "table": view.to_dict()}
+            elif isinstance(request, AuditQueryRequest):
+                trail = self.system.audit_trail(via_peer=session.peer_name)
+                records = trail.records(request.metadata_id)
+                response.payload = {"count": len(records),
+                                    "records": [record.to_dict() for record in records]}
+            else:
+                raise SharingError(f"cannot serve request kind {request.kind!r}")
+        except SharingError as exc:
+            response.error = str(exc)
+            return self._finalize(response, session, STATUS_REJECTED)
+        return self._finalize(response, session, STATUS_OK)
+
+    def result(self, request_id: str) -> Optional[GatewayResponse]:
+        """Look up the (possibly still queued) response for a request id."""
+        return self._responses.get(request_id)
+
+    # ----------------------------------------------------------------- commits
+
+    @property
+    def queue_depth(self) -> int:
+        return self.scheduler.queue_depth
+
+    @property
+    def outstanding_writes(self) -> int:
+        """Writes accepted but not yet resolved by a batch commit."""
+        return self._outstanding_writes
+
+    def commit_once(self) -> Optional[BatchCommitResult]:
+        """Plan and commit one batch; None when the queue is empty.
+
+        A failure inside the commit never strands queued responses: every
+        member of the batch reaches a terminal status either way.
+        """
+        with self._lock:
+            plan = self.scheduler.plan()
+            if plan.is_empty:
+                return None
+            try:
+                result = self.system.coordinator.commit_entry_batch(plan.groups)
+            except ReproError as exc:
+                self._resolve_all_failed(plan, str(exc))
+                raise
+            self.batch_sizes.append(plan.size)
+            self.batch_blocks += result.blocks_created
+            self.batch_consensus_rounds += result.consensus_rounds
+            self._resolve(plan, result)
+            return result
+
+    def drain(self, max_batches: int = 1_000) -> int:
+        """Commit batches until the write queue is empty; returns batch count."""
+        committed = 0
+        while committed < max_batches:
+            if self.commit_once() is None:
+                break
+            committed += 1
+        return committed
+
+    def _resolve(self, plan: BatchPlan, result: BatchCommitResult) -> None:
+        for index, (trace, members) in enumerate(zip(result.traces, plan.members)):
+            group_status = STATUS_OK if trace.succeeded else STATUS_REJECTED
+            edit_errors = (result.edit_errors[index]
+                           if index < len(result.edit_errors) else [])
+            payload = {
+                "operation": trace.operation,
+                "metadata_id": trace.metadata_id,
+                "batched_with": len(members) - 1,
+                "cascaded_metadata_ids": list(trace.cascaded_metadata_ids),
+                "trace": trace.to_dict(),
+            }
+            for position, pending in enumerate(members):
+                response = self._responses[pending.request_id]
+                response.payload = payload
+                edit_error = edit_errors[position] if position < len(edit_errors) else None
+                if edit_error is not None:
+                    # This member's edit was invalid on its own; the rest of
+                    # the group committed (or failed) without it.
+                    status = STATUS_REJECTED
+                    response.error = edit_error
+                else:
+                    status = group_status
+                    if trace.error:
+                        response.error = trace.error
+                self._finalize(response, pending.session, status)
+                self._outstanding_writes -= 1
+                if status == STATUS_OK:
+                    self.writes_committed += 1
+                else:
+                    self.writes_rejected += 1
+        # Defensive coherence: whatever each group's outcome, drop cached
+        # views of every table the batch may have touched (the coordinator's
+        # change listeners cover the normal paths; this covers the rest).
+        for trace in result.traces:
+            self.cache.invalidate(trace.metadata_id)
+            for cascaded in trace.cascaded_metadata_ids:
+                self.cache.invalidate(cascaded)
+
+    def _resolve_all_failed(self, plan: BatchPlan, error: str) -> None:
+        """Terminal-fail every member of a batch whose commit blew up."""
+        for members in plan.members:
+            for pending in members:
+                response = self._responses[pending.request_id]
+                response.error = error
+                self._finalize(response, pending.session, STATUS_ERROR)
+                self._outstanding_writes -= 1
+                self.writes_rejected += 1
+        for group in plan.groups:
+            self.cache.invalidate(group.metadata_id)
+
+    # ----------------------------------------------------------------- metrics
+
+    def metrics(self) -> Dict[str, object]:
+        """Gateway-level serving metrics (all times in simulated seconds)."""
+        with self._lock:
+            batches = len(self.batch_sizes)
+            tenants = {
+                tenant: {
+                    "count": collector.count,
+                    "mean": collector.mean,
+                    "p95": collector.p95,
+                    "p99": collector.p99,
+                }
+                for tenant, collector in sorted(self._latency_by_tenant.items())
+            }
+            return {
+                "requests": {
+                    "total": sum(self._kind_counts.values()),
+                    "by_kind": dict(sorted(self._kind_counts.items())),
+                    "by_status": dict(sorted(self._status_counts.items())),
+                },
+                "queue": {
+                    "depth": self.scheduler.queue_depth,
+                    "max_depth": self.scheduler.max_queue_depth,
+                    "enqueued_total": self.scheduler.enqueued_total,
+                    "outstanding_writes": self._outstanding_writes,
+                },
+                "batches": {
+                    "committed": batches,
+                    "writes_committed": self.writes_committed,
+                    "writes_rejected": self.writes_rejected,
+                    "mean_size": (sum(self.batch_sizes) / batches) if batches else 0.0,
+                    "max_size": max(self.batch_sizes) if self.batch_sizes else 0,
+                    "consensus_rounds": self.batch_consensus_rounds,
+                    "blocks_created": self.batch_blocks,
+                },
+                "cache": self.cache.statistics(),
+                "tenants": tenants,
+                "sessions_open": len(self._sessions),
+            }

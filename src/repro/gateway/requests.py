@@ -1,0 +1,179 @@
+"""The gateway's typed request/response model.
+
+Clients talk to the gateway in terms of small serialisable request objects —
+read a shared view, edit an entry, insert or delete one, query the audit
+trail — and receive :class:`GatewayResponse` objects carrying the outcome,
+the payload and the simulated queueing/service timestamps.  Serialisation is
+load-bearing: requests travel between tenant processes and the gateway, and
+responses embed :class:`~repro.core.workflow.WorkflowTrace` dictionaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+
+class GatewayRequest:
+    """Base class of gateway requests.  Subclasses set ``kind``."""
+
+    kind: str = "abstract"
+
+    #: Kinds that mutate shared data (scheduled and batched); the rest are
+    #: served synchronously from the read path.
+    WRITE_KINDS = ("update-entry", "insert-entry", "delete-entry")
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in self.WRITE_KINDS
+
+    def to_dict(self) -> dict:
+        raise NotImplementedError
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "GatewayRequest":
+        kind = payload["kind"]
+        builders = {
+            "read-view": lambda p: ReadViewRequest(metadata_id=p["metadata_id"]),
+            "update-entry": lambda p: UpdateEntryRequest(
+                metadata_id=p["metadata_id"], key=tuple(p["key"]),
+                updates=dict(p["updates"])),
+            "insert-entry": lambda p: InsertEntryRequest(
+                metadata_id=p["metadata_id"], values=dict(p["values"])),
+            "delete-entry": lambda p: DeleteEntryRequest(
+                metadata_id=p["metadata_id"], key=tuple(p["key"])),
+            "audit-query": lambda p: AuditQueryRequest(
+                metadata_id=p.get("metadata_id")),
+        }
+        if kind not in builders:
+            raise ValueError(f"unknown gateway request kind {kind!r}")
+        return builders[kind](payload)
+
+
+@dataclass(frozen=True)
+class ReadViewRequest(GatewayRequest):
+    """Read the materialised shared view of one agreement."""
+
+    metadata_id: str
+    kind = "read-view"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "metadata_id": self.metadata_id}
+
+
+@dataclass(frozen=True)
+class UpdateEntryRequest(GatewayRequest):
+    """Update one keyed entry of a shared table."""
+
+    metadata_id: str
+    key: Tuple[Any, ...]
+    updates: Dict[str, Any]
+    kind = "update-entry"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "key", tuple(self.key))
+        object.__setattr__(self, "updates", dict(self.updates))
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "metadata_id": self.metadata_id,
+                "key": list(self.key), "updates": dict(self.updates)}
+
+
+@dataclass(frozen=True)
+class InsertEntryRequest(GatewayRequest):
+    """Insert a new entry into a shared table."""
+
+    metadata_id: str
+    values: Dict[str, Any]
+    kind = "insert-entry"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", dict(self.values))
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "metadata_id": self.metadata_id,
+                "values": dict(self.values)}
+
+
+@dataclass(frozen=True)
+class DeleteEntryRequest(GatewayRequest):
+    """Delete one keyed entry from a shared table."""
+
+    metadata_id: str
+    key: Tuple[Any, ...]
+    kind = "delete-entry"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "key", tuple(self.key))
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "metadata_id": self.metadata_id,
+                "key": list(self.key)}
+
+
+@dataclass(frozen=True)
+class AuditQueryRequest(GatewayRequest):
+    """Query the on-chain audit trail (optionally for one shared table)."""
+
+    metadata_id: Optional[str] = None
+    kind = "audit-query"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "metadata_id": self.metadata_id}
+
+
+#: Terminal response statuses.
+STATUS_OK = "ok"
+STATUS_REJECTED = "rejected"       # the contract or local validation refused
+STATUS_THROTTLED = "throttled"     # per-tenant rate limit hit (backpressure)
+STATUS_QUEUED = "queued"           # write accepted into the scheduler queue
+STATUS_ERROR = "error"             # unexpected failure mid-protocol
+
+
+@dataclass
+class GatewayResponse:
+    """The gateway's answer to one request."""
+
+    request_id: str
+    tenant: str
+    kind: str
+    status: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    enqueued_at: float = 0.0
+    completed_at: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @property
+    def latency(self) -> float:
+        """Queueing + service latency in simulated seconds."""
+        return max(0.0, self.completed_at - self.enqueued_at)
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "tenant": self.tenant,
+            "kind": self.kind,
+            "status": self.status,
+            "payload": dict(self.payload),
+            "error": self.error,
+            "enqueued_at": self.enqueued_at,
+            "completed_at": self.completed_at,
+            "latency": self.latency,
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "GatewayResponse":
+        return GatewayResponse(
+            request_id=payload["request_id"],
+            tenant=payload["tenant"],
+            kind=payload["kind"],
+            status=payload["status"],
+            payload=dict(payload.get("payload", {})),
+            error=payload.get("error"),
+            enqueued_at=float(payload.get("enqueued_at", 0.0)),
+            completed_at=float(payload.get("completed_at", 0.0)),
+        )

@@ -1,0 +1,172 @@
+"""The write scheduler: queueing, grouping and conflict detection.
+
+Write requests from every tenant land in one FIFO queue.  When the gateway
+commits, the scheduler plans a batch:
+
+* edits by the same peer on the same shared table are folded into one
+  :class:`~repro.core.workflow.BatchGroup` (one diff, one on-chain request);
+* groups on *different* shared tables ride the same two consensus rounds;
+* conflicts serialise — at most one group per shared table per batch (the
+  contract's pending-acknowledgement rule) and at most one edit per
+  ``(metadata_id, key)`` per batch, so concurrent writes to the same shared
+  key are applied in arrival order across successive batches and no update
+  is lost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.workflow import BatchGroup, EntryEdit
+from repro.gateway.requests import (
+    DeleteEntryRequest,
+    GatewayRequest,
+    InsertEntryRequest,
+    UpdateEntryRequest,
+)
+
+
+@dataclass
+class PendingWrite:
+    """One queued write request, waiting to be planned into a batch."""
+
+    request_id: str
+    tenant: str
+    peer: str
+    request: GatewayRequest
+    enqueued_at: float
+    #: The submitting session (opaque here), so the gateway can attribute the
+    #: terminal status to the right session even after it closed.
+    session: Optional[object] = None
+
+    def to_edit(self) -> EntryEdit:
+        request = self.request
+        if isinstance(request, UpdateEntryRequest):
+            return EntryEdit(op="update", key=request.key, values=request.updates)
+        if isinstance(request, InsertEntryRequest):
+            return EntryEdit(op="create", values=request.values)
+        if isinstance(request, DeleteEntryRequest):
+            return EntryEdit(op="delete", key=request.key)
+        raise ValueError(f"request kind {request.kind!r} is not a write")
+
+    def conflict_key(self) -> Optional[Tuple[str, Tuple]]:
+        """The ``(metadata_id, row key)`` this write contends on, if keyed."""
+        key = getattr(self.request, "key", None)
+        if key is None:
+            return None
+        return (self.request.metadata_id, tuple(key))
+
+
+@dataclass
+class BatchPlan:
+    """A planned batch: the groups to commit plus their member writes."""
+
+    groups: List[BatchGroup] = field(default_factory=list)
+    #: Pending writes per group, aligned with ``groups``.
+    members: List[List[PendingWrite]] = field(default_factory=list)
+    #: How many queued writes were deferred to a later batch by a conflict.
+    deferred: int = 0
+
+    @property
+    def size(self) -> int:
+        """Total write requests folded into this batch."""
+        return sum(len(member) for member in self.members)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.groups
+
+
+class WriteScheduler:
+    """FIFO queue + batch planner for the gateway's write path."""
+
+    def __init__(self, max_batch_size: int = 16, max_edits_per_group: int = 8):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if max_edits_per_group < 1:
+            raise ValueError("max_edits_per_group must be at least 1")
+        self.max_batch_size = max_batch_size
+        self.max_edits_per_group = max_edits_per_group
+        self._queue: Deque[PendingWrite] = deque()
+        self.enqueued_total = 0
+        self.max_queue_depth = 0
+
+    # ---------------------------------------------------------------- queueing
+
+    def enqueue(self, pending: PendingWrite) -> None:
+        self._queue.append(pending)
+        self.enqueued_total += 1
+        self.max_queue_depth = max(self.max_queue_depth, len(self._queue))
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def pending(self) -> Tuple[PendingWrite, ...]:
+        return tuple(self._queue)
+
+    # ---------------------------------------------------------------- planning
+
+    def plan(self, limit: Optional[int] = None) -> BatchPlan:
+        """Dequeue up to ``limit`` compatible writes and group them.
+
+        The queue is scanned oldest-first; a write that conflicts with the
+        batch under construction (same shared table claimed by another peer
+        or another operation kind, same row key already edited, or a full
+        group) stays queued for the next batch — that deferral is exactly
+        what serialises same-key writes.
+        """
+        limit = self.max_batch_size if limit is None else min(limit, self.max_batch_size)
+        plan = BatchPlan()
+        group_index: Dict[Tuple[str, str, str], int] = {}
+        claimed_tables: Dict[str, Tuple[str, str]] = {}
+        claimed_keys = set()
+        kept: List[PendingWrite] = []
+        while self._queue and plan.size < limit:
+            pending = self._queue.popleft()
+            metadata_id = pending.request.metadata_id
+            edit = pending.to_edit()
+            group_key = (pending.peer, metadata_id, edit.op)
+            conflict = pending.conflict_key()
+            claim = claimed_tables.get(metadata_id)
+            if claim is not None and claim != (pending.peer, edit.op):
+                # Another peer (or another operation kind) already owns this
+                # shared table in the batch: serialise to the next batch.  The
+                # deferred write still claims its row key, so younger writes
+                # to the same key cannot overtake it into this batch.
+                plan.deferred += 1
+                kept.append(pending)
+                if conflict is not None:
+                    claimed_keys.add(conflict)
+                continue
+            if conflict is not None and conflict in claimed_keys:
+                # Same-key write: strictly later batch, preserving order.
+                plan.deferred += 1
+                kept.append(pending)
+                continue
+            index = group_index.get(group_key)
+            if index is not None and len(plan.members[index]) >= self.max_edits_per_group:
+                plan.deferred += 1
+                kept.append(pending)
+                if conflict is not None:
+                    claimed_keys.add(conflict)
+                continue
+            if index is None:
+                group_index[group_key] = len(plan.groups)
+                plan.groups.append(BatchGroup(peer=pending.peer, metadata_id=metadata_id,
+                                              edits=(edit,)))
+                plan.members.append([pending])
+                claimed_tables[metadata_id] = (pending.peer, edit.op)
+            else:
+                group = plan.groups[index]
+                plan.groups[index] = BatchGroup(peer=group.peer, metadata_id=group.metadata_id,
+                                                edits=group.edits + (edit,))
+                plan.members[index].append(pending)
+            if conflict is not None:
+                claimed_keys.add(conflict)
+        # Deferred writes go back to the *front*, preserving arrival order.
+        for pending in reversed(kept):
+            self._queue.appendleft(pending)
+        return plan

@@ -1,0 +1,100 @@
+"""A worker pool draining the gateway's write queue.
+
+Workers are real threads multiplexed over the *simulated* clock: each worker
+repeatedly asks the gateway to plan-and-commit one batch.  The gateway's
+internal lock makes a commit atomic, so the pool models the concurrency of a
+serving tier (many drainers, shared queue, safe interleaving) while the
+ledger rounds themselves stay deterministic.
+
+For fully deterministic unit tests prefer :meth:`SharingGateway.drain`; the
+pool exists to serve continuous traffic and to prove the locking is sound
+under genuine thread interleaving.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional
+
+from repro.gateway.gateway import SharingGateway
+
+
+class GatewayWorkerPool:
+    """N worker threads calling :meth:`SharingGateway.commit_once` in a loop."""
+
+    def __init__(self, gateway: SharingGateway, workers: int = 2,
+                 idle_sleep: float = 0.001):
+        if workers < 1:
+            raise ValueError("the pool needs at least one worker")
+        self.gateway = gateway
+        self.worker_count = workers
+        self.idle_sleep = idle_sleep
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self.batches_committed = 0
+        #: Errors raised by commits inside workers (the gateway has already
+        #: terminal-failed the affected responses; recorded here so the
+        #: failure is observable instead of dying with the thread).
+        self.errors: List[str] = []
+        self._counter_lock = threading.Lock()
+
+    # ---------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        if self._threads:
+            raise RuntimeError("worker pool is already running")
+        self._stop.clear()
+        for index in range(self.worker_count):
+            thread = threading.Thread(target=self._run, name=f"gateway-worker-{index}",
+                                      daemon=True)
+            self._threads.append(thread)
+            thread.start()
+
+    def stop(self, wait: bool = True) -> None:
+        self._stop.set()
+        if wait:
+            for thread in self._threads:
+                thread.join()
+        self._threads = []
+
+    def __enter__(self) -> "GatewayWorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return any(thread.is_alive() for thread in self._threads)
+
+    # -------------------------------------------------------------------- work
+
+    def _run(self) -> None:
+        while True:
+            try:
+                result = self.gateway.commit_once()
+            except Exception as exc:  # noqa: BLE001 - a worker must survive
+                with self._counter_lock:
+                    self.errors.append(f"{type(exc).__name__}: {exc}")
+                result = None
+            if result is not None:
+                with self._counter_lock:
+                    self.batches_committed += 1
+                continue
+            if self._stop.is_set():
+                return
+            time.sleep(self.idle_sleep)
+
+    def join_idle(self, timeout: float = 10.0) -> bool:
+        """Block until every accepted write has a terminal response.
+
+        Returns False if ``timeout`` *real* seconds elapse first.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.gateway.outstanding_writes == 0:
+                return True
+            time.sleep(self.idle_sleep)
+        return self.gateway.outstanding_writes == 0

@@ -57,6 +57,24 @@ class Mempool:
     def submit_many(self, txs: Iterable[Transaction]) -> List[str]:
         return [self.submit(tx) for tx in txs]
 
+    def submit_batch(self, txs: Iterable[Transaction]) -> Tuple[List[str], List[Tuple[Transaction, str]]]:
+        """Submit a whole batch, accepting what validates and reporting the rest.
+
+        Unlike :meth:`submit_many`, a bad transaction does not abort the batch
+        — a node ingesting a gossiped ``tx-batch`` message (the gateway's
+        batched ledger commit) carries many independent peers' transactions
+        and needs per-transaction outcomes.  Returns
+        ``(accepted_hashes, [(rejected_tx, reason), ...])``.
+        """
+        accepted: List[str] = []
+        rejected: List[Tuple[Transaction, str]] = []
+        for tx in txs:
+            try:
+                accepted.append(self.submit(tx))
+            except InvalidTransactionError as exc:
+                rejected.append((tx, str(exc)))
+        return accepted, rejected
+
     def peek(self, limit: Optional[int] = None) -> Tuple[Transaction, ...]:
         """The oldest pending transactions, without removing them."""
         if limit is None:

@@ -9,11 +9,13 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.system import MedicalDataSharingSystem
 from repro.core.workflow import WorkflowTrace
-from repro.workloads.updates import UpdateEvent
+
+if TYPE_CHECKING:  # avoid a cycle: workloads → gateway → metrics.collectors
+    from repro.workloads.updates import UpdateEvent
 
 
 @dataclass
@@ -40,13 +42,32 @@ class LatencyCollector:
     def median(self) -> float:
         return statistics.median(self.samples) if self.samples else 0.0
 
-    @property
-    def p95(self) -> float:
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile with linear interpolation between ranks.
+
+        Small sample counts interpolate instead of snapping to an element, so
+        e.g. the p95 of ``[1, 2, ..., 10]`` is 9.55 rather than a raw sample.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile q must be in [0, 100]")
         if not self.samples:
             return 0.0
         ordered = sorted(self.samples)
-        index = min(len(ordered) - 1, int(round(0.95 * (len(ordered) - 1))))
-        return ordered[index]
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        lower = int(rank)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = rank - lower
+        return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
 
     @property
     def maximum(self) -> float:
@@ -58,6 +79,7 @@ class LatencyCollector:
             "mean": self.mean,
             "median": self.median,
             "p95": self.p95,
+            "p99": self.p99,
             "max": self.maximum,
         }
 

@@ -8,7 +8,7 @@ delivery the way a real gossip mesh does.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.ledger.block import Block
 from repro.ledger.transaction import Transaction
@@ -47,6 +47,28 @@ class GossipProtocol:
             self._nodes[origin].receive_transaction(transaction)
         messages = self.transport.broadcast(
             origin, "tx", transaction.to_dict(), exclude=()
+        )
+        self.transport.flush()
+        return len(messages)
+
+    def broadcast_transaction_batch(self, origin: str,
+                                    transactions: Sequence[Transaction]) -> int:
+        """Gossip a whole batch as one ``tx-batch`` message per peer link.
+
+        The gateway's batched commit hands all of a batch's transactions over
+        together: one message per link (instead of one per transaction) means
+        one latency charge per link, and the receiving node ingests the batch
+        through :meth:`BlockchainNode.receive_transactions` /
+        :meth:`~repro.ledger.mempool.Mempool.submit_batch`.
+        """
+        transactions = list(transactions)
+        if not transactions:
+            return 0
+        if origin in self._nodes:
+            self._nodes[origin].receive_transactions(transactions)
+        messages = self.transport.broadcast(
+            origin, "tx-batch",
+            {"transactions": [tx.to_dict() for tx in transactions]},
         )
         self.transport.flush()
         return len(messages)

@@ -9,7 +9,7 @@ conduct the smart contract locally").
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple, Type
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Type
 
 from repro.config import LedgerConfig
 from repro.contracts.base import Contract
@@ -54,6 +54,11 @@ class BlockchainNode:
         if message.kind == "tx":
             transaction = Transaction.from_dict(message.payload)
             self.receive_transaction(transaction)
+        elif message.kind == "tx-batch":
+            self.receive_transactions(
+                Transaction.from_dict(payload)
+                for payload in message.payload.get("transactions", ())
+            )
         elif message.kind == "block":
             block = Block.from_dict(message.payload)
             self.receive_block(block)
@@ -68,6 +73,18 @@ class BlockchainNode:
             return True
         except InvalidTransactionError:
             return False
+
+    def receive_transactions(self, transactions: Iterable[Transaction]) -> int:
+        """Batch entry point for a gossiped ``tx-batch`` message (idempotent).
+
+        Hands the unseen transactions to the mempool's batch submission, so
+        one invalid transaction does not block the rest of the batch.
+        Returns how many were newly accepted.
+        """
+        fresh = [tx for tx in transactions if tx.tx_hash not in self._seen_transactions]
+        self._seen_transactions.update(tx.tx_hash for tx in fresh)
+        accepted, _rejected = self.mempool.submit_batch(fresh)
+        return len(accepted)
 
     def receive_block(self, block: Block) -> bool:
         """Validate and apply a gossiped block to the local chain replica."""

@@ -71,6 +71,24 @@ class NetworkSimulator:
         self.gossip.broadcast_transaction(via_node, transaction)
         return transaction.tx_hash
 
+    def submit_transaction_batch(self, submissions: List[Tuple[str, Transaction]]) -> List[str]:
+        """Submit many signed ``(via node, transaction)`` pairs in one gossip round.
+
+        Each transaction is first ingested at its submitting peer's own node
+        (keeping that peer's nonce accounting exact), then the whole batch is
+        flooded as a single ``tx-batch`` message per link — one latency charge
+        per link instead of one per transaction.  Used by the gateway's
+        batched ledger commits.
+        """
+        if not submissions:
+            return []
+        for via_node, transaction in submissions:
+            self.gossip.node(via_node).receive_transaction(transaction)
+        origin = submissions[0][0]
+        self.gossip.broadcast_transaction_batch(
+            origin, [transaction for _via, transaction in submissions])
+        return [transaction.tx_hash for _via, transaction in submissions]
+
     def mine(self, miner_name: Optional[str] = None) -> List[Block]:
         """Produce blocks from pending transactions and propagate them."""
         return self.gossip.mine_and_propagate(miner_name)

@@ -82,7 +82,6 @@ class Database:
         row = table.insert(values)
         self.wal.append("insert", table_name, {"row": row.to_dict()},
                         self.transactions.current_transaction_id())
-        self._refresh_indexes(table_name)
 
     def insert_many(self, table_name: str, rows: Iterable[Mapping[str, Any]]) -> int:
         """Insert several rows; returns the number inserted."""
@@ -103,7 +102,6 @@ class Database:
              "updates": dict(updates), "row": row.to_dict()},
             self.transactions.current_transaction_id(),
         )
-        self._refresh_indexes(table_name)
 
     def update_where(self, table_name: str, predicate: Predicate,
                      updates: Mapping[str, Any]) -> int:
@@ -115,7 +113,6 @@ class Database:
             {"predicate": predicate.to_dict(), "updates": dict(updates), "count": count},
             self.transactions.current_transaction_id(),
         )
-        self._refresh_indexes(table_name)
         return count
 
     def delete_by_key(self, table_name: str, key: Sequence[Any]) -> None:
@@ -127,7 +124,6 @@ class Database:
             {"key": list(key) if isinstance(key, (list, tuple)) else [key], "row": row.to_dict()},
             self.transactions.current_transaction_id(),
         )
-        self._refresh_indexes(table_name)
 
     def delete_where(self, table_name: str, predicate: Predicate) -> int:
         """Delete matching rows (logged); returns the count."""
@@ -138,7 +134,6 @@ class Database:
             {"predicate": predicate.to_dict(), "count": count},
             self.transactions.current_transaction_id(),
         )
-        self._refresh_indexes(table_name)
         return count
 
     def replace_table(self, table_name: str, rows: Iterable[Mapping[str, Any]]) -> None:
@@ -147,7 +142,6 @@ class Database:
         table.replace_all(rows)
         self.wal.append("replace", table_name, {"rows": len(table)},
                         self.transactions.current_transaction_id())
-        self._refresh_indexes(table_name)
 
     # ------------------------------------------------------------------- reads
 
@@ -183,10 +177,15 @@ class Database:
     # ----------------------------------------------------------------- indexes
 
     def create_index(self, table_name: str, columns: Sequence[str]) -> HashIndex:
-        """Create (or return an existing) hash index on ``columns``."""
+        """Create (or return an existing) hash index on ``columns``.
+
+        The index is attached to the table itself, so equality selections on
+        the indexed columns (``Table.select`` and the query AST's ``Select``
+        over a ``Scan``) use it instead of scanning.
+        """
         key = (table_name, tuple(columns))
         if key not in self._indexes:
-            self._indexes[key] = HashIndex(self.table(table_name), columns)
+            self._indexes[key] = self.table(table_name).add_index(columns)
         return self._indexes[key]
 
     def index(self, table_name: str, columns: Sequence[str]) -> HashIndex:
@@ -195,10 +194,6 @@ class Database:
             raise UnknownTableError(f"no index on {table_name!r}{tuple(columns)!r}")
         return self._indexes[key]
 
-    def _refresh_indexes(self, table_name: str) -> None:
-        for (name, _columns), index in self._indexes.items():
-            if name == table_name:
-                index.rebuild(self.table(table_name))
 
     # ---------------------------------------------------------------- recovery
 

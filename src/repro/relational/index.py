@@ -27,7 +27,21 @@ class HashIndex:
         self.table_name = table.name
         self.columns: Tuple[str, ...] = tuple(columns)
         self._buckets: Dict[Tuple[Any, ...], List[Row]] = {}
+        self._table = table
+        self._stale = False
         self.rebuild(table)
+
+    def mark_stale(self) -> None:
+        """Note that the backing table mutated; the next read rebuilds lazily."""
+        self._stale = True
+
+    @property
+    def is_stale(self) -> bool:
+        return self._stale
+
+    def _refresh_if_stale(self) -> None:
+        if self._stale:
+            self.rebuild(self._table)
 
     def rebuild(self, table: Table) -> None:
         """Rebuild the index from the table's current contents."""
@@ -39,6 +53,8 @@ class HashIndex:
         for row in table:
             key = tuple(row[c] for c in self.columns)
             self._buckets.setdefault(key, []).append(row)
+        self._table = table
+        self._stale = False
 
     def lookup(self, *values: Any) -> List[Row]:
         """Rows whose indexed columns equal ``values``."""
@@ -46,15 +62,18 @@ class HashIndex:
             raise ValueError(
                 f"index on {self.columns} expects {len(self.columns)} values, got {len(values)}"
             )
+        self._refresh_if_stale()
         return list(self._buckets.get(tuple(values), ()))
 
     def contains(self, *values: Any) -> bool:
         return bool(self.lookup(*values))
 
     def __len__(self) -> int:
+        self._refresh_if_stale()
         return sum(len(bucket) for bucket in self._buckets.values())
 
     @property
     def distinct_keys(self) -> int:
         """Number of distinct key tuples currently indexed."""
+        self._refresh_if_stale()
         return len(self._buckets)

@@ -94,6 +94,13 @@ class Select(Query):
     predicate: Predicate = field(default_factory=TruePredicate)
 
     def execute(self, tables: Dict[str, Table]) -> Table:
+        if isinstance(self.child, Scan):
+            # Filter the base table directly instead of a fresh snapshot: an
+            # equality predicate on an indexed column is then answered from
+            # the table's secondary index rather than a full scan.
+            if self.child.table not in tables:
+                raise UnknownTableError(f"unknown table {self.child.table!r}")
+            return tables[self.child.table].where(self.predicate)
         return self.child.execute(tables).where(self.predicate)
 
     def to_dict(self) -> dict:

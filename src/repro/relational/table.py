@@ -18,7 +18,7 @@ from repro.errors import (
     SchemaError,
     UnknownColumnError,
 )
-from repro.relational.predicates import Predicate, TruePredicate
+from repro.relational.predicates import Eq, Predicate, TruePredicate
 from repro.relational.row import Row
 from repro.relational.schema import Schema
 
@@ -33,6 +33,8 @@ class Table:
         self.schema = schema
         self._rows: List[Row] = []
         self._key_index: Dict[Tuple[Any, ...], int] = {}
+        #: columns tuple → secondary hash index, kept fresh lazily on reads.
+        self._secondary_indexes: Dict[Tuple[str, ...], "HashIndex"] = {}  # noqa: F821
         for row in rows:
             self.insert(row)
 
@@ -114,6 +116,38 @@ class Table:
             return None
         return tuple(row[name] for name in self.schema.primary_key)
 
+    # ----------------------------------------------------------------- indexes
+
+    def add_index(self, columns: Sequence[str]) -> "HashIndex":  # noqa: F821
+        """Create (or return) a secondary hash index on ``columns``.
+
+        The index is maintained lazily: mutations mark it stale and the next
+        lookup rebuilds it, so write-heavy phases pay nothing per write.
+        """
+        from repro.relational.index import HashIndex
+
+        key = tuple(columns)
+        if key not in self._secondary_indexes:
+            self._secondary_indexes[key] = HashIndex(self, key)
+        return self._secondary_indexes[key]
+
+    def has_index(self, columns: Sequence[str]) -> bool:
+        return tuple(columns) in self._secondary_indexes
+
+    def index_on(self, columns: Sequence[str]) -> "HashIndex":  # noqa: F821
+        key = tuple(columns)
+        if key not in self._secondary_indexes:
+            raise UnknownColumnError(f"no index on {self.name!r}{key!r}")
+        return self._secondary_indexes[key]
+
+    @property
+    def indexed_columns(self) -> Tuple[Tuple[str, ...], ...]:
+        return tuple(self._secondary_indexes)
+
+    def _touch_indexes(self) -> None:
+        for index in self._secondary_indexes.values():
+            index.mark_stale()
+
     # ------------------------------------------------------------------ writes
 
     def insert(self, values: Mapping[str, Any]) -> Row:
@@ -127,6 +161,7 @@ class Table:
                 )
             self._key_index[key] = len(self._rows)
         self._rows.append(row)
+        self._touch_indexes()
         return row
 
     def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> List[Row]:
@@ -152,6 +187,7 @@ class Table:
             del self._key_index[key_tuple]
             self._key_index[new_key] = position
         self._rows[position] = candidate
+        self._touch_indexes()
         return candidate
 
     def update_where(self, predicate: Predicate, updates: Mapping[str, Any]) -> int:
@@ -173,6 +209,7 @@ class Table:
                 self._key_index[new_key] = position
             self._rows[position] = candidate
             count += 1
+        self._touch_indexes()
         return count
 
     def delete_by_key(self, key: Sequence[Any]) -> Row:
@@ -185,6 +222,7 @@ class Table:
         position = self._key_index.pop(key_tuple)
         removed = self._rows.pop(position)
         self._reindex()
+        self._touch_indexes()
         return removed
 
     def delete_where(self, predicate: Predicate) -> int:
@@ -192,12 +230,14 @@ class Table:
         before = len(self._rows)
         self._rows = [row for row in self._rows if not predicate.evaluate(row)]
         self._reindex()
+        self._touch_indexes()
         return before - len(self._rows)
 
     def clear(self) -> None:
         """Remove every row."""
         self._rows = []
         self._key_index = {}
+        self._touch_indexes()
 
     def replace_all(self, rows: Iterable[Mapping[str, Any]]) -> None:
         """Atomically replace the table contents with ``rows``.
@@ -209,6 +249,7 @@ class Table:
         staged = Table(self.name, self.schema, rows)
         self._rows = list(staged._rows)
         self._key_index = dict(staged._key_index)
+        self._touch_indexes()
 
     def _reindex(self) -> None:
         self._key_index = {}
@@ -233,9 +274,33 @@ class Table:
         return key_tuple in self._key_index
 
     def select(self, predicate: Predicate = None) -> List[Row]:
-        """Return all rows matching ``predicate`` (all rows when omitted)."""
+        """Return all rows matching ``predicate`` (all rows when omitted).
+
+        An equality predicate on an indexed column is answered from the hash
+        index instead of scanning every row.
+        """
         predicate = predicate or TruePredicate()
+        fast = self._index_fast_path(predicate)
+        if fast is not None:
+            return fast
         return [row for row in self._rows if predicate.evaluate(row)]
+
+    def _index_fast_path(self, predicate: Predicate) -> Optional[List[Row]]:
+        """Answer ``Eq`` predicates from a secondary index when one exists.
+
+        Returns None when no index applies (including unhashable values, which
+        fall back to the scan).  Bucket order equals table row order, so the
+        fast path is observably identical to the scan.
+        """
+        if not isinstance(predicate, Eq):
+            return None
+        key = (predicate.column,)
+        if key not in self._secondary_indexes:
+            return None
+        try:
+            return self._secondary_indexes[key].lookup(predicate.value)
+        except TypeError:
+            return None
 
     def first(self, predicate: Predicate = None) -> Optional[Row]:
         """The first row matching ``predicate``, or None."""

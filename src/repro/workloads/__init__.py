@@ -9,6 +9,12 @@ topologies used by the throughput and scaling benchmarks.
 from repro.workloads.generator import MedicalRecordGenerator
 from repro.workloads.updates import UpdateEvent, UpdateStreamGenerator
 from repro.workloads.topology import TopologySpec, build_topology_system
+from repro.workloads.traffic import (
+    TenantProfile,
+    TimedRequest,
+    TrafficGenerator,
+    default_tenant_profiles,
+)
 
 __all__ = [
     "MedicalRecordGenerator",
@@ -16,4 +22,8 @@ __all__ = [
     "UpdateStreamGenerator",
     "TopologySpec",
     "build_topology_system",
+    "TenantProfile",
+    "TimedRequest",
+    "TrafficGenerator",
+    "default_tenant_profiles",
 ]

@@ -39,6 +39,47 @@ class TestCli:
         output = capsys.readouterr().out
         assert "Researcher" in output and "unnecessary" in output
 
+    def test_gateway_loadtest_command(self, capsys):
+        assert main(["gateway-loadtest", "--tenants", "2", "--duration", "5",
+                     "--interval", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "Gateway load test" in output
+        assert "cache hit rate" in output
+
+    def test_json_flag_emits_machine_readable_output(self, capsys):
+        import json
+
+        assert main(["throughput", "--interval", "2", "--updates", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["updates_accepted"] == 2
+        assert payload["throughput"] > 0
+
+        assert main(["gateway-loadtest", "--tenants", "2", "--duration", "5",
+                     "--interval", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tenants"] == 2
+        assert "cache" in payload["metrics"]
+
+        assert main(["update", "--interval", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace"]["succeeded"] is True
+
+        assert main(["scenario", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["consistent"] is True
+
+        assert main(["audit", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["integrity"] is True and payload["spec_check_passed"] is True
+
+        assert main(["cascade", "--interval", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cascaded"]
+
+        assert main(["exposure", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "exposure_counts" in payload
+
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

@@ -1,0 +1,70 @@
+"""Round-trip serialisation of workflow traces and steps.
+
+The gateway embeds traces in its responses, so ``to_dict``/``from_dict``
+must preserve every field exactly.
+"""
+
+from repro.core.scenario import DOCTOR_RESEARCHER_TABLE
+from repro.core.workflow import EntryEdit, WorkflowStep, WorkflowTrace
+
+
+class TestWorkflowStepRoundTrip:
+    def test_round_trip_preserves_all_fields(self):
+        step = WorkflowStep(index=3, actor="doctor", action="bx_put",
+                            description="reflect", simulated_time=12.5,
+                            block_number=7, data={"rows_changed": 2})
+        rebuilt = WorkflowStep.from_dict(step.to_dict())
+        assert rebuilt == step
+        assert rebuilt.to_dict() == step.to_dict()
+
+    def test_none_block_number_survives(self):
+        step = WorkflowStep(index=1, actor="patient", action="local_edit",
+                            description="edit", simulated_time=0.0)
+        rebuilt = WorkflowStep.from_dict(step.to_dict())
+        assert rebuilt.block_number is None
+
+
+class TestWorkflowTraceRoundTrip:
+    def test_synthetic_trace_round_trip(self):
+        trace = WorkflowTrace(initiator="doctor", metadata_id="D13&D31",
+                              operation="update", succeeded=True,
+                              started_at=1.0, finished_at=9.5, blocks_created=2,
+                              cascaded_metadata_ids=["CARE:D13&D31"])
+        trace.add_step("doctor", "local_edit", "edit", 1.0, rows_changed=1)
+        trace.add_step("doctor", "contract_request", "request", 3.0,
+                       block_number=4, success=True)
+        payload = trace.to_dict()
+        rebuilt = WorkflowTrace.from_dict(payload)
+        assert rebuilt.to_dict() == payload
+        assert rebuilt.elapsed == trace.elapsed
+        assert rebuilt.step_count == 2
+        assert rebuilt.steps[1].block_number == 4
+        assert rebuilt.cascaded_metadata_ids == ["CARE:D13&D31"]
+
+    def test_failed_trace_round_trip(self):
+        trace = WorkflowTrace(initiator="patient", metadata_id="D13&D31",
+                              operation="update", succeeded=False,
+                              error="permission denied", started_at=2.0,
+                              finished_at=4.0)
+        rebuilt = WorkflowTrace.from_dict(trace.to_dict())
+        assert not rebuilt.succeeded
+        assert rebuilt.error == "permission denied"
+
+    def test_real_protocol_trace_round_trips(self, fresh_paper_system):
+        trace = fresh_paper_system.coordinator.update_shared_entry(
+            "researcher", DOCTOR_RESEARCHER_TABLE, ("Ibuprofen",),
+            {"mechanism_of_action": "MeA1-v2"})
+        payload = trace.to_dict()
+        rebuilt = WorkflowTrace.from_dict(payload)
+        assert rebuilt.to_dict() == payload
+        assert rebuilt.succeeded
+        assert rebuilt.pretty() == trace.pretty()
+
+
+class TestEntryEditRoundTrip:
+    def test_round_trip_each_op(self):
+        for edit in (EntryEdit(op="update", key=(188,), values={"dosage": "x"}),
+                     EntryEdit(op="create", values={"patient_id": 190}),
+                     EntryEdit(op="delete", key=(189,))):
+            rebuilt = EntryEdit.from_dict(edit.to_dict())
+            assert rebuilt == edit

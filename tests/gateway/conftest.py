@@ -1,0 +1,32 @@
+"""Fixtures for the gateway test package."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.scenario import build_extended_scenario, build_paper_scenario
+from repro.gateway import SharingGateway
+from repro.workloads.topology import TopologySpec, build_topology_system
+
+
+@pytest.fixture
+def paper_gateway():
+    """A gateway over a fresh Fig. 1 system (fast blocks)."""
+    system = build_paper_scenario(SystemConfig.private_chain(1.0))
+    return SharingGateway(system)
+
+
+@pytest.fixture
+def extended_gateway():
+    """A gateway over the CARE/STUDY cascade scenario."""
+    system = build_extended_scenario(SystemConfig.private_chain(1.0))
+    return SharingGateway(system)
+
+
+@pytest.fixture
+def topology_gateway():
+    """A gateway over a 4-patient hub topology (4 independent shared tables)."""
+    system = build_topology_system(TopologySpec(patients=4, researchers=0),
+                                   SystemConfig.private_chain(1.0))
+    return SharingGateway(system, max_batch_size=8)

@@ -1,0 +1,104 @@
+"""The view cache: read-through behaviour and propagation-driven invalidation."""
+
+import pytest
+
+from repro.core.scenario import (
+    CARE_TABLE,
+    PATIENT_DOCTOR_TABLE,
+    STUDY_TABLE,
+)
+from repro.gateway.cache import ViewCache
+from repro.gateway.requests import ReadViewRequest, UpdateEntryRequest
+from repro.relational.schema import Column, DataType, Schema
+from repro.relational.table import Table
+
+
+def _table(name="V", rows=((1, "a"),)):
+    schema = Schema(columns=(Column("id", DataType.INTEGER, nullable=False),
+                             Column("v", DataType.STRING)), primary_key=("id",))
+    return Table(name, schema, [{"id": i, "v": v} for i, v in rows])
+
+
+class TestViewCacheUnit:
+    def test_read_through_and_hit_rate(self):
+        cache = ViewCache()
+        loads = []
+
+        def loader():
+            loads.append(1)
+            return _table()
+
+        first = cache.get("doctor", "T1", loader)
+        second = cache.get("doctor", "T1", loader)
+        assert first is second
+        assert len(loads) == 1
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_entries_are_per_peer(self):
+        cache = ViewCache()
+        cache.get("doctor", "T1", _table)
+        cache.get("patient", "T1", _table)
+        assert cache.misses == 2
+        assert len(cache) == 2
+
+    def test_invalidate_drops_every_peer_view_of_the_table(self):
+        cache = ViewCache()
+        cache.get("doctor", "T1", _table)
+        cache.get("patient", "T1", _table)
+        cache.get("doctor", "T2", _table)
+        assert cache.invalidate("T1") == 2
+        assert len(cache) == 1
+        assert cache.peek("doctor", "T2") is not None
+        assert cache.invalidations == 2
+
+    def test_disabled_cache_always_loads(self):
+        cache = ViewCache(enabled=False)
+        loads = []
+        for _ in range(3):
+            cache.get("doctor", "T1", lambda: loads.append(1) or _table())
+        assert len(loads) == 3
+        assert len(cache) == 0
+
+
+class TestInvalidationThroughWorkflow:
+    def test_update_invalidates_both_peers_views(self, paper_gateway):
+        gateway = paper_gateway
+        doctor = gateway.open_session("doctor")
+        patient = gateway.open_session("patient")
+        read = ReadViewRequest(PATIENT_DOCTOR_TABLE)
+        gateway.submit(doctor, read)
+        gateway.submit(patient, read)
+        assert len(gateway.cache) == 2
+        gateway.submit(doctor, UpdateEntryRequest(
+            PATIENT_DOCTOR_TABLE, (188,), {"dosage": "two tablets every 6h"}))
+        gateway.drain()
+        assert gateway.cache.peek("doctor", PATIENT_DOCTOR_TABLE) is None
+        assert gateway.cache.peek("patient", PATIENT_DOCTOR_TABLE) is None
+        # The next read re-materialises the fresh view.
+        response = gateway.submit(patient, read)
+        rows = response.payload["table"]["rows"]
+        assert rows[0]["dosage"] == "two tablets every 6h"
+
+    def test_cascaded_propagation_invalidates_dependent_views(self, extended_gateway):
+        """A researcher dosage update cascades STUDY → doctor's D3 → CARE
+        (Fig. 5 step 6); the patient's cached CARE view must be dropped."""
+        gateway = extended_gateway
+        researcher = gateway.open_session("researcher")
+        patient = gateway.open_session("patient")
+        gateway.submit(patient, ReadViewRequest(CARE_TABLE))
+        gateway.submit(researcher, ReadViewRequest(STUDY_TABLE))
+        assert gateway.cache.peek("patient", CARE_TABLE) is not None
+        update = gateway.submit(researcher, UpdateEntryRequest(
+            STUDY_TABLE, (188,), {"dosage": "two tablets every 12h"}))
+        gateway.drain()
+        assert update.ok
+        assert CARE_TABLE in update.payload["cascaded_metadata_ids"]
+        # Both the updated table's views and the cascaded table's views are gone.
+        assert gateway.cache.peek("researcher", STUDY_TABLE) is None
+        assert gateway.cache.peek("patient", CARE_TABLE) is None
+        # A fresh read sees the cascaded dosage.
+        response = gateway.submit(patient, ReadViewRequest(CARE_TABLE))
+        by_id = {row["patient_id"]: row for row in response.payload["table"]["rows"]}
+        assert by_id[188]["dosage"] == "two tablets every 12h"
+        assert gateway.cache.invalidations >= 2

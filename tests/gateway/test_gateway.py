@@ -1,0 +1,261 @@
+"""End-to-end gateway behaviour: batching, contention, workers, metrics."""
+
+import pytest
+
+from repro.core.scenario import PATIENT_DOCTOR_TABLE
+from repro.core.workflow import BatchGroup, EntryEdit
+from repro.errors import WorkflowError
+from repro.gateway import GatewayWorkerPool
+from repro.gateway.requests import (
+    AuditQueryRequest,
+    DeleteEntryRequest,
+    ReadViewRequest,
+    UpdateEntryRequest,
+    STATUS_OK,
+    STATUS_QUEUED,
+    STATUS_REJECTED,
+)
+
+
+def _tenant_tables(system):
+    return {f"patient-{mid.split(':')[1]}": mid for mid in system.agreement_ids}
+
+
+class TestWritePath:
+    def test_write_queues_then_commits(self, paper_gateway):
+        gateway = paper_gateway
+        doctor = gateway.open_session("doctor")
+        response = gateway.submit(doctor, UpdateEntryRequest(
+            PATIENT_DOCTOR_TABLE, (188,), {"dosage": "two tablets every 6h"}))
+        assert response.status == STATUS_QUEUED
+        assert gateway.queue_depth == 1
+        result = gateway.commit_once()
+        assert result.accepted == 1
+        assert response.status == STATUS_OK  # the response object is live
+        assert response.latency > 0
+        stored = gateway.system.peer("patient").shared_table(PATIENT_DOCTOR_TABLE)
+        assert stored.get((188,))["dosage"] == "two tablets every 6h"
+
+    def test_unauthorised_write_rejected_before_queueing(self, paper_gateway):
+        gateway = paper_gateway
+        patient = gateway.open_session("patient")
+        response = gateway.submit(patient, UpdateEntryRequest(
+            PATIENT_DOCTOR_TABLE, (188,), {"dosage": "all of it"}))
+        assert response.status == STATUS_REJECTED
+        assert "may not write" in response.error
+        assert gateway.queue_depth == 0
+
+    def test_batch_from_many_tenants_shares_two_consensus_rounds(self, topology_gateway):
+        gateway = topology_gateway
+        system = gateway.system
+        tables = _tenant_tables(system)
+        height_before = system.simulator.nodes[0].chain.height
+        for peer, metadata_id in sorted(tables.items()):
+            session = gateway.open_session(peer)
+            patient_id = int(metadata_id.split(":")[1])
+            gateway.submit(session, UpdateEntryRequest(
+                metadata_id, (patient_id,), {"clinical_data": f"new-{patient_id}"}))
+        result = gateway.commit_once()
+        assert result.accepted == len(tables)
+        assert result.consensus_rounds == 2
+        # 4 independent updates landed in 2 blocks total (requests + acks).
+        assert system.simulator.nodes[0].chain.height == height_before + 2
+        assert system.all_shared_tables_consistent()
+
+    def test_delete_through_gateway(self, paper_gateway):
+        gateway = paper_gateway
+        doctor = gateway.open_session("doctor")
+        response = gateway.submit(doctor, DeleteEntryRequest(PATIENT_DOCTOR_TABLE, (188,)))
+        gateway.drain()
+        assert response.ok
+        system = gateway.system
+        assert not system.peer("patient").shared_table(PATIENT_DOCTOR_TABLE).contains_key(188)
+        assert not system.peer("doctor").local_table("D3").contains_key(188)
+
+
+class TestContention:
+    def test_same_key_writes_from_two_peers_both_apply(self, paper_gateway):
+        """Concurrent same-key writes serialise across batches: neither the
+        doctor's dosage edit nor the patient's clinical-data edit is lost."""
+        gateway = paper_gateway
+        doctor = gateway.open_session("doctor")
+        patient = gateway.open_session("patient")
+        first = gateway.submit(doctor, UpdateEntryRequest(
+            PATIENT_DOCTOR_TABLE, (188,), {"dosage": "two tablets every 6h"}))
+        second = gateway.submit(patient, UpdateEntryRequest(
+            PATIENT_DOCTOR_TABLE, (188,), {"clinical_data": "CliD1-v2"}))
+        batches = gateway.drain()
+        assert batches == 2  # serialised, not merged
+        assert first.ok and second.ok
+        row = gateway.system.peer("doctor").shared_table(PATIENT_DOCTOR_TABLE).get((188,))
+        assert row["dosage"] == "two tablets every 6h"
+        assert row["clinical_data"] == "CliD1-v2"
+        assert gateway.system.all_shared_tables_consistent()
+
+    def test_same_attribute_writes_apply_in_arrival_order(self, paper_gateway):
+        gateway = paper_gateway
+        doctor = gateway.open_session("doctor")
+        first = gateway.submit(doctor, UpdateEntryRequest(
+            PATIENT_DOCTOR_TABLE, (188,), {"dosage": "v1"}))
+        second = gateway.submit(doctor, UpdateEntryRequest(
+            PATIENT_DOCTOR_TABLE, (188,), {"dosage": "v2"}))
+        gateway.drain()
+        assert first.ok and second.ok
+        # Last arrival wins because both committed, in order, as separate rounds.
+        row = gateway.system.peer("patient").shared_table(PATIENT_DOCTOR_TABLE).get((188,))
+        assert row["dosage"] == "v2"
+        history = gateway.system.server_app("doctor").query_contract(
+            "update_history", metadata_id=PATIENT_DOCTOR_TABLE)
+        assert len(history) == 2
+
+    def test_invalid_edit_does_not_poison_its_group(self, paper_gateway):
+        """A bad edit (missing key) folded into a group with a valid edit is
+        rejected alone; the valid group mate still commits."""
+        gateway = paper_gateway
+        doctor = gateway.open_session("doctor")
+        bad = gateway.submit(doctor, UpdateEntryRequest(
+            PATIENT_DOCTOR_TABLE, (99999,), {"dosage": "ghost"}))
+        good = gateway.submit(doctor, UpdateEntryRequest(
+            PATIENT_DOCTOR_TABLE, (188,), {"dosage": "two tablets every 6h"}))
+        gateway.drain()
+        assert bad.status == STATUS_REJECTED
+        assert "99999" in bad.error
+        assert good.ok
+        row = gateway.system.peer("patient").shared_table(PATIENT_DOCTOR_TABLE).get((188,))
+        assert row["dosage"] == "two tablets every 6h"
+        metrics = gateway.metrics()
+        assert metrics["batches"]["writes_committed"] == 1
+        assert metrics["batches"]["writes_rejected"] == 1
+
+    def test_failed_group_still_invalidates_cached_views(self, paper_gateway):
+        """Whatever a group's outcome, cached views of its table are dropped
+        after the commit, so readers can never be served around a failure."""
+        gateway = paper_gateway
+        doctor = gateway.open_session("doctor")
+        gateway.submit(doctor, ReadViewRequest(PATIENT_DOCTOR_TABLE))
+        assert gateway.cache.peek("doctor", PATIENT_DOCTOR_TABLE) is not None
+        response = gateway.submit(doctor, UpdateEntryRequest(
+            PATIENT_DOCTOR_TABLE, (188,), {"clinical_data": "will-be-revoked"}))
+        gateway.system.coordinator.change_permission(
+            "doctor", PATIENT_DOCTOR_TABLE, "clinical_data", ["Patient"])
+        gateway.drain()
+        assert response.status == STATUS_REJECTED
+        assert gateway.cache.peek("doctor", PATIENT_DOCTOR_TABLE) is None
+
+    def test_commit_blowup_terminal_fails_every_member(self, paper_gateway, monkeypatch):
+        """If the coordinator itself raises, queued responses still reach a
+        terminal status instead of hanging at QUEUED forever."""
+        from repro.errors import WorkflowError
+        from repro.gateway.requests import STATUS_ERROR
+
+        gateway = paper_gateway
+        doctor = gateway.open_session("doctor")
+        response = gateway.submit(doctor, UpdateEntryRequest(
+            PATIENT_DOCTOR_TABLE, (188,), {"dosage": "x"}))
+
+        def explode(groups):
+            raise WorkflowError("synthetic commit failure")
+
+        monkeypatch.setattr(gateway.system.coordinator, "commit_entry_batch", explode)
+        with pytest.raises(WorkflowError):
+            gateway.commit_once()
+        assert response.status == STATUS_ERROR
+        assert "synthetic commit failure" in response.error
+        assert gateway.outstanding_writes == 0
+
+    def test_batch_with_duplicate_tables_is_refused_by_coordinator(self, paper_gateway):
+        coordinator = paper_gateway.system.coordinator
+        group = BatchGroup(peer="doctor", metadata_id=PATIENT_DOCTOR_TABLE,
+                           edits=(EntryEdit(op="update", key=(188,),
+                                            values={"dosage": "x"}),))
+        with pytest.raises(WorkflowError):
+            coordinator.commit_entry_batch([group, group])
+
+
+class TestWorkerPool:
+    def test_threaded_workers_drain_the_queue(self, topology_gateway):
+        gateway = topology_gateway
+        tables = _tenant_tables(gateway.system)
+        responses = []
+        sessions = {peer: gateway.open_session(peer) for peer in tables}
+        for peer, metadata_id in sorted(tables.items()):
+            patient_id = int(metadata_id.split(":")[1])
+            for round_index in range(2):
+                responses.append(gateway.submit(sessions[peer], UpdateEntryRequest(
+                    metadata_id, (patient_id,),
+                    {"clinical_data": f"w-{patient_id}-{round_index}"})))
+        with GatewayWorkerPool(gateway, workers=3) as pool:
+            assert pool.join_idle(timeout=30.0)
+        assert pool.batches_committed >= 1
+        assert all(response.ok for response in responses)
+        assert gateway.system.all_shared_tables_consistent()
+
+    def test_pool_lifecycle(self, paper_gateway):
+        pool = GatewayWorkerPool(paper_gateway, workers=1)
+        pool.start()
+        with pytest.raises(RuntimeError):
+            pool.start()
+        pool.stop()
+        assert not pool.running
+
+
+class TestReadsAndMetrics:
+    def test_audit_query(self, paper_gateway):
+        gateway = paper_gateway
+        doctor = gateway.open_session("doctor")
+        gateway.submit(doctor, UpdateEntryRequest(
+            PATIENT_DOCTOR_TABLE, (188,), {"dosage": "two tablets every 6h"}))
+        gateway.drain()
+        response = gateway.submit(doctor, AuditQueryRequest(PATIENT_DOCTOR_TABLE))
+        assert response.ok
+        assert response.payload["count"] == 1
+        assert response.payload["records"][0]["operation"] == "update"
+
+    def test_rejected_writes_do_not_count_as_committed(self, paper_gateway):
+        """A contract-rejected group must not inflate writes_committed (the
+        session-side permission probe is bypassed here by revoking write
+        permission after the request was queued)."""
+        gateway = paper_gateway
+        system = gateway.system
+        doctor = gateway.open_session("doctor")
+        response = gateway.submit(doctor, UpdateEntryRequest(
+            PATIENT_DOCTOR_TABLE, (188,), {"clinical_data": "queued-then-revoked"}))
+        system.coordinator.change_permission(
+            "doctor", PATIENT_DOCTOR_TABLE, "clinical_data", ["Patient"])
+        gateway.drain()
+        assert response.status == STATUS_REJECTED
+        metrics = gateway.metrics()
+        assert metrics["batches"]["writes_committed"] == 0
+        assert metrics["batches"]["writes_rejected"] == 1
+        # The counter landed on the right session even so.
+        assert doctor.counters[STATUS_REJECTED] == 1
+
+    def test_closed_session_still_gets_terminal_counters(self, paper_gateway):
+        gateway = paper_gateway
+        doctor = gateway.open_session("doctor")
+        response = gateway.submit(doctor, UpdateEntryRequest(
+            PATIENT_DOCTOR_TABLE, (188,), {"dosage": "x"}))
+        gateway.close_session(doctor)
+        gateway.drain()
+        assert response.ok
+        assert doctor.counters[STATUS_OK] == 1
+
+    def test_metrics_shape(self, paper_gateway):
+        gateway = paper_gateway
+        doctor = gateway.open_session("doctor")
+        gateway.submit(doctor, ReadViewRequest(PATIENT_DOCTOR_TABLE))
+        gateway.submit(doctor, ReadViewRequest(PATIENT_DOCTOR_TABLE))
+        gateway.submit(doctor, UpdateEntryRequest(
+            PATIENT_DOCTOR_TABLE, (188,), {"dosage": "x"}))
+        gateway.drain()
+        metrics = gateway.metrics()
+        assert metrics["requests"]["total"] == 3
+        assert metrics["requests"]["by_status"][STATUS_OK] == 3
+        assert metrics["batches"]["committed"] == 1
+        assert metrics["batches"]["consensus_rounds"] == 2
+        assert metrics["cache"]["hit_rate"] == 0.5
+        assert metrics["queue"]["depth"] == 0
+        tenant = metrics["tenants"]["doctor"]
+        assert tenant["count"] == 3
+        assert tenant["p95"] >= 0
+        assert tenant["p99"] >= tenant["p95"]

@@ -1,0 +1,66 @@
+"""The typed request/response model and its serialisation."""
+
+import pytest
+
+from repro.gateway.requests import (
+    AuditQueryRequest,
+    DeleteEntryRequest,
+    GatewayRequest,
+    GatewayResponse,
+    InsertEntryRequest,
+    ReadViewRequest,
+    UpdateEntryRequest,
+)
+
+
+class TestRequestRoundTrip:
+    @pytest.mark.parametrize("request_obj", [
+        ReadViewRequest(metadata_id="D13&D31"),
+        UpdateEntryRequest(metadata_id="D13&D31", key=(188,),
+                           updates={"dosage": "two tablets"}),
+        InsertEntryRequest(metadata_id="D13&D31",
+                           values={"patient_id": 190, "dosage": "x"}),
+        DeleteEntryRequest(metadata_id="D13&D31", key=(188,)),
+        AuditQueryRequest(metadata_id="D13&D31"),
+        AuditQueryRequest(),
+    ])
+    def test_to_from_dict_round_trip(self, request_obj):
+        payload = request_obj.to_dict()
+        rebuilt = GatewayRequest.from_dict(payload)
+        assert rebuilt == request_obj
+        assert rebuilt.to_dict() == payload
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            GatewayRequest.from_dict({"kind": "explode"})
+
+    def test_write_classification(self):
+        assert UpdateEntryRequest("m", (1,), {"a": 1}).is_write
+        assert InsertEntryRequest("m", {"a": 1}).is_write
+        assert DeleteEntryRequest("m", (1,)).is_write
+        assert not ReadViewRequest("m").is_write
+        assert not AuditQueryRequest().is_write
+
+    def test_key_and_updates_normalised_to_immutable_shapes(self):
+        request = UpdateEntryRequest(metadata_id="m", key=[1, 2], updates={"a": 1})
+        assert request.key == (1, 2)
+        assert isinstance(request.updates, dict)
+
+
+class TestResponse:
+    def test_round_trip_and_latency(self):
+        response = GatewayResponse(request_id="req-1", tenant="doctor",
+                                   kind="update-entry", status="ok",
+                                   payload={"rows": 1}, enqueued_at=10.0,
+                                   completed_at=16.5)
+        assert response.ok
+        assert response.latency == pytest.approx(6.5)
+        rebuilt = GatewayResponse.from_dict(response.to_dict())
+        assert rebuilt.request_id == "req-1"
+        assert rebuilt.latency == pytest.approx(6.5)
+        assert rebuilt.payload == {"rows": 1}
+
+    def test_latency_never_negative(self):
+        response = GatewayResponse(request_id="r", tenant="t", kind="k",
+                                   status="ok", enqueued_at=5.0, completed_at=4.0)
+        assert response.latency == 0.0

@@ -1,0 +1,145 @@
+"""The write scheduler: grouping, batching limits and conflict serialisation."""
+
+from repro.gateway.requests import (
+    DeleteEntryRequest,
+    InsertEntryRequest,
+    UpdateEntryRequest,
+)
+from repro.gateway.scheduler import PendingWrite, WriteScheduler
+
+
+def _write(request_id, peer, request, enqueued_at=0.0):
+    return PendingWrite(request_id=request_id, tenant=peer, peer=peer,
+                        request=request, enqueued_at=enqueued_at)
+
+
+def _update(metadata_id, key, attribute="clinical_data", value="x"):
+    return UpdateEntryRequest(metadata_id=metadata_id, key=key,
+                              updates={attribute: value})
+
+
+class TestGrouping:
+    def test_same_peer_same_table_edits_fold_into_one_group(self):
+        scheduler = WriteScheduler()
+        for index, key in enumerate([(1,), (2,), (3,)]):
+            scheduler.enqueue(_write(f"r{index}", "doctor", _update("T1", key)))
+        plan = scheduler.plan()
+        assert len(plan.groups) == 1
+        assert len(plan.groups[0].edits) == 3
+        assert plan.size == 3
+        assert scheduler.queue_depth == 0
+
+    def test_different_tables_become_parallel_groups(self):
+        scheduler = WriteScheduler()
+        scheduler.enqueue(_write("r1", "patient-1", _update("T1", (1,))))
+        scheduler.enqueue(_write("r2", "patient-2", _update("T2", (2,))))
+        scheduler.enqueue(_write("r3", "patient-3", _update("T3", (3,))))
+        plan = scheduler.plan()
+        assert len(plan.groups) == 3
+        assert {group.metadata_id for group in plan.groups} == {"T1", "T2", "T3"}
+
+    def test_operations_do_not_mix_within_a_group(self):
+        scheduler = WriteScheduler()
+        scheduler.enqueue(_write("r1", "doctor", _update("T1", (1,))))
+        scheduler.enqueue(_write("r2", "doctor", DeleteEntryRequest("T1", (2,))))
+        plan = scheduler.plan()
+        # The delete on the same table is deferred behind the update batch.
+        assert len(plan.groups) == 1
+        assert plan.groups[0].operation == "update"
+        assert plan.deferred == 1
+        assert scheduler.queue_depth == 1
+        follow_up = scheduler.plan()
+        assert follow_up.groups[0].operation == "delete"
+
+    def test_inserts_group_together(self):
+        scheduler = WriteScheduler()
+        scheduler.enqueue(_write("r1", "doctor", InsertEntryRequest("T1", {"id": 5})))
+        scheduler.enqueue(_write("r2", "doctor", InsertEntryRequest("T1", {"id": 6})))
+        plan = scheduler.plan()
+        assert len(plan.groups) == 1
+        assert plan.groups[0].operation == "create"
+        assert len(plan.groups[0].edits) == 2
+
+
+class TestConflictSerialisation:
+    def test_same_key_writes_serialise_across_batches_in_order(self):
+        scheduler = WriteScheduler()
+        scheduler.enqueue(_write("first", "doctor", _update("T1", (1,), value="v1")))
+        scheduler.enqueue(_write("second", "doctor", _update("T1", (1,), value="v2")))
+        scheduler.enqueue(_write("third", "doctor", _update("T1", (1,), value="v3")))
+        batches = []
+        while scheduler.queue_depth or not batches or not batches[-1].is_empty:
+            plan = scheduler.plan()
+            if plan.is_empty:
+                break
+            batches.append(plan)
+        order = [plan.members[0][0].request_id for plan in batches]
+        assert order == ["first", "second", "third"]
+        assert all(len(plan.groups[0].edits) == 1 for plan in batches)
+
+    def test_two_peers_on_one_table_serialise(self):
+        """The contract accepts one operation per shared table per round
+        (pending acknowledgements), so the planner defers the second peer."""
+        scheduler = WriteScheduler()
+        scheduler.enqueue(_write("r1", "doctor", _update("T1", (1,), "dosage")))
+        scheduler.enqueue(_write("r2", "patient", _update("T1", (2,), "clinical_data")))
+        plan = scheduler.plan()
+        assert len(plan.groups) == 1
+        assert plan.groups[0].peer == "doctor"
+        assert plan.deferred == 1
+        next_plan = scheduler.plan()
+        assert next_plan.groups[0].peer == "patient"
+
+    def test_deferred_write_blocks_younger_same_key_writes(self):
+        """A write deferred by the table claim still owns its row key: a
+        younger write on that key must not overtake it into the batch (it
+        would be overwritten when the older write commits later)."""
+        scheduler = WriteScheduler()
+        scheduler.enqueue(_write("W1", "A", _update("T", (1,))))
+        scheduler.enqueue(_write("W2", "B", _update("T", (2,))))  # deferred (table)
+        scheduler.enqueue(_write("W3", "A", _update("T", (2,))))  # same key as W2
+        first = scheduler.plan()
+        assert [m.request_id for m in first.members[0]] == ["W1"]
+        second = scheduler.plan()
+        assert [m.request_id for m in second.members[0]] == ["W2"]
+        third = scheduler.plan()
+        assert [m.request_id for m in third.members[0]] == ["W3"]
+
+    def test_deferral_does_not_lose_or_reorder_writes(self):
+        scheduler = WriteScheduler()
+        scheduler.enqueue(_write("a", "doctor", _update("T1", (1,))))
+        scheduler.enqueue(_write("b", "patient", _update("T1", (1,))))
+        scheduler.enqueue(_write("c", "doctor", _update("T2", (9,))))
+        plan = scheduler.plan()
+        # T1/doctor and T2/doctor commit; T1/patient waits its turn.
+        assert {group.metadata_id for group in plan.groups} == {"T1", "T2"}
+        assert scheduler.queue_depth == 1
+        assert scheduler.pending()[0].request_id == "b"
+
+
+class TestLimits:
+    def test_max_batch_size_bounds_the_plan(self):
+        scheduler = WriteScheduler(max_batch_size=2)
+        for index in range(5):
+            scheduler.enqueue(_write(f"r{index}", "p", _update("T1", (index,))))
+        plan = scheduler.plan()
+        assert plan.size == 2
+        assert scheduler.queue_depth == 3
+
+    def test_max_edits_per_group_spills_to_next_batch(self):
+        scheduler = WriteScheduler(max_edits_per_group=2)
+        for index in range(3):
+            scheduler.enqueue(_write(f"r{index}", "p", _update("T1", (index,))))
+        plan = scheduler.plan()
+        assert len(plan.groups[0].edits) == 2
+        assert plan.deferred == 1
+
+    def test_queue_metrics(self):
+        scheduler = WriteScheduler()
+        for index in range(4):
+            scheduler.enqueue(_write(f"r{index}", "p", _update("T1", (index,))))
+        assert scheduler.enqueued_total == 4
+        assert scheduler.max_queue_depth == 4
+        scheduler.plan()
+        assert scheduler.queue_depth == 0
+        assert scheduler.max_queue_depth == 4

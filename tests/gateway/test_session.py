@@ -1,0 +1,87 @@
+"""Sessions: authentication, contract-backed authorisation, rate limiting."""
+
+import pytest
+
+from repro.core.scenario import DOCTOR_RESEARCHER_TABLE, PATIENT_DOCTOR_TABLE
+from repro.errors import SessionError, SharingError
+from repro.gateway.requests import (
+    ReadViewRequest,
+    UpdateEntryRequest,
+    STATUS_OK,
+    STATUS_THROTTLED,
+)
+from repro.gateway.session import TokenBucket
+from repro.ledger.clock import SimClock
+
+
+class TestSessionAuth:
+    def test_open_session_requires_known_peer(self, paper_gateway):
+        with pytest.raises(SharingError):
+            paper_gateway.open_session("mallory")
+
+    def test_member_may_read_its_shared_table(self, paper_gateway):
+        session = paper_gateway.open_session("patient")
+        session.authorize(ReadViewRequest(PATIENT_DOCTOR_TABLE))  # no raise
+
+    def test_non_party_read_rejected(self, paper_gateway):
+        session = paper_gateway.open_session("patient")
+        with pytest.raises(SessionError):
+            session.authorize(ReadViewRequest(DOCTOR_RESEARCHER_TABLE))
+
+    def test_write_permission_checked_against_contract(self, paper_gateway):
+        """The Fig. 3 matrix: the patient may write clinical_data but not dosage."""
+        session = paper_gateway.open_session("patient")
+        session.authorize(UpdateEntryRequest(
+            PATIENT_DOCTOR_TABLE, (188,), {"clinical_data": "CliD1-v2"}))
+        with pytest.raises(SessionError):
+            session.authorize(UpdateEntryRequest(
+                PATIENT_DOCTOR_TABLE, (188,), {"dosage": "double"}))
+
+    def test_unknown_attribute_rejected(self, paper_gateway):
+        session = paper_gateway.open_session("doctor")
+        with pytest.raises(SessionError):
+            session.authorize(UpdateEntryRequest(
+                PATIENT_DOCTOR_TABLE, (188,), {"mode_of_action": "x"}))
+
+    def test_closed_session_rejected(self, paper_gateway):
+        session = paper_gateway.open_session("doctor")
+        paper_gateway.close_session(session)
+        with pytest.raises(SessionError):
+            session.authorize(ReadViewRequest(PATIENT_DOCTOR_TABLE))
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle_then_refill(self):
+        clock = SimClock()
+        bucket = TokenBucket(rate=0.1, burst=2.0, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()  # burst spent, no time passed
+        clock.advance(10.0)              # 10 s * 0.1/s = one token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = SimClock()
+        bucket = TokenBucket(rate=100.0, burst=3.0, clock=clock)
+        clock.advance(1_000.0)
+        assert bucket.available == pytest.approx(3.0)
+
+    def test_zero_rate_disables_limiting(self):
+        bucket = TokenBucket(rate=0.0, burst=1.0, clock=SimClock())
+        assert all(bucket.try_acquire() for _ in range(100))
+
+
+class TestGatewayRateLimiting:
+    def test_bursty_tenant_gets_throttled_responses(self, paper_gateway):
+        session = paper_gateway.open_session("patient", rate=0.1, burst=2.0)
+        request = ReadViewRequest(PATIENT_DOCTOR_TABLE)
+        statuses = [paper_gateway.submit(session, request).status for _ in range(4)]
+        assert statuses == [STATUS_OK, STATUS_OK, STATUS_THROTTLED, STATUS_THROTTLED]
+        # Backpressure is per tenant: another session is unaffected.
+        other = paper_gateway.open_session("doctor", rate=0.1, burst=2.0)
+        assert paper_gateway.submit(other, request).status == STATUS_OK
+        # And the throttled tenant recovers once simulated time passes.
+        paper_gateway.system.simulator.clock.advance(10.0)
+        assert paper_gateway.submit(session, request).status == STATUS_OK
+        assert session.counters[STATUS_THROTTLED] == 2

@@ -34,6 +34,20 @@ class TestMempool:
             pool.submit(Transaction(sender=KEY.address, kind="call", nonce=0))
         assert pool.rejected_count == 1
 
+    def test_submit_batch_reports_per_transaction_outcomes(self):
+        pool = Mempool()
+        good_one, good_two = _tx(nonce=0), _tx(nonce=1)
+        unsigned = Transaction(sender=KEY.address, kind="call", nonce=2)
+        pool.submit(good_one)
+        accepted, rejected = pool.submit_batch([good_one, good_two, unsigned])
+        # The duplicate and the unsigned tx are reported; the rest lands.
+        assert accepted == [good_two.tx_hash]
+        assert len(rejected) == 2
+        assert {tx.tx_hash for tx, _reason in rejected} == {good_one.tx_hash,
+                                                            unsigned.tx_hash}
+        assert all(reason for _tx_obj, reason in rejected)
+        assert len(pool) == 2
+
     def test_rejects_duplicates(self):
         pool = Mempool()
         tx = _tx()

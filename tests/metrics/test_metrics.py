@@ -31,9 +31,30 @@ class TestLatencyCollector:
         assert collector.mean == pytest.approx(4.0)
         assert collector.median == pytest.approx(3.0)
         assert collector.maximum == 10.0
-        assert collector.p95 == 10.0
+        # p95 interpolates between ranks: rank 0.95*4 = 3.8 → 4 + 0.8*(10-4).
+        assert collector.p95 == pytest.approx(8.8)
         summary = collector.summary()
         assert summary["count"] == 5.0
+        assert summary["p99"] == pytest.approx(collector.p99)
+
+    def test_percentile_interpolates_small_samples(self):
+        collector = LatencyCollector()
+        for value in range(1, 11):  # 1..10
+            collector.record_value(float(value))
+        assert collector.percentile(50.0) == pytest.approx(5.5)
+        assert collector.p95 == pytest.approx(9.55)
+        assert collector.p99 == pytest.approx(9.91)
+        assert collector.percentile(0.0) == 1.0
+        assert collector.percentile(100.0) == 10.0
+
+    def test_percentile_edge_cases(self):
+        collector = LatencyCollector()
+        assert collector.p99 == 0.0
+        collector.record_value(7.0)
+        assert collector.p95 == 7.0  # a single sample is every percentile
+        assert collector.p99 == 7.0
+        with pytest.raises(ValueError):
+            collector.percentile(101.0)
 
     def test_record_workflow_trace(self, fresh_paper_system):
         collector = LatencyCollector()

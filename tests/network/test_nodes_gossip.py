@@ -46,6 +46,30 @@ class TestGossipAndConsensus:
         for node in simulator.nodes:
             assert len(node.mempool) == 1
 
+    def test_transaction_batch_gossips_to_all_mempools(self):
+        """A tx-batch flood lands every transaction in every replica with one
+        message per link (half the per-tx latency charges of two floods)."""
+        simulator = _simulator()
+        first, second = _deploy_tx(nonce=0), _deploy_tx(nonce=1)
+        hashes = simulator.submit_transaction_batch(
+            [("node-0", first), ("node-1", second)])
+        assert hashes == [first.tx_hash, second.tx_hash]
+        for node in simulator.nodes:
+            assert len(node.mempool) == 2
+        per_tx_messages = 2 * (len(simulator.nodes) - 1)
+        batch_messages = sum(
+            1 for message in simulator.transport.log if message.kind == "tx-batch")
+        assert batch_messages == len(simulator.nodes) - 1 < per_tx_messages
+
+    def test_transaction_batch_skips_invalid_members(self):
+        simulator = _simulator()
+        unsigned = Transaction(sender=KEY.address, kind="deploy", nonce=5,
+                               method="SharedDataContract", timestamp=0.0)
+        simulator.submit_transaction_batch(
+            [("node-0", _deploy_tx()), ("node-0", unsigned)])
+        for node in simulator.nodes:
+            assert len(node.mempool) == 1
+
     def test_mined_block_reaches_every_replica(self):
         simulator = _simulator()
         simulator.submit_and_mine("node-1", _deploy_tx())

@@ -1,0 +1,85 @@
+"""Table-attached secondary indexes and the equality-selection fast path."""
+
+import pytest
+
+from repro.errors import UnknownColumnError
+from repro.relational.predicates import Eq, Gt
+from repro.relational.query import Scan, Select
+
+
+class TestTableIndexes:
+    def test_add_index_is_idempotent(self, people_table):
+        first = people_table.add_index(["city"])
+        second = people_table.add_index(["city"])
+        assert first is second
+        assert people_table.has_index(["city"])
+        assert people_table.indexed_columns == (("city",),)
+
+    def test_index_on_unknown_column_rejected(self, people_table):
+        with pytest.raises(UnknownColumnError):
+            people_table.add_index(["missing"])
+        with pytest.raises(UnknownColumnError):
+            people_table.index_on(["missing"])
+
+    def test_select_uses_index_and_matches_scan(self, people_table):
+        scan_result = people_table.select(Eq("city", "Osaka"))
+        people_table.add_index(["city"])
+        indexed_result = people_table.select(Eq("city", "Osaka"))
+        assert indexed_result == scan_result
+        assert [row["id"] for row in indexed_result] == [2]
+
+    def test_non_equality_predicates_fall_back_to_scan(self, people_table):
+        people_table.add_index(["city"])
+        assert [row["id"] for row in people_table.select(Gt("age", 30))] == [1, 2]
+
+    def test_index_stays_fresh_across_mutations(self, people_table):
+        people_table.add_index(["city"])
+        people_table.insert({"id": 9, "name": "Iku", "city": "Osaka", "age": 51})
+        assert [row["id"] for row in people_table.select(Eq("city", "Osaka"))] == [2, 9]
+        people_table.update_by_key((2,), {"city": "Kyoto"})
+        assert [row["id"] for row in people_table.select(Eq("city", "Osaka"))] == [9]
+        people_table.delete_by_key((9,))
+        assert people_table.select(Eq("city", "Osaka")) == []
+        people_table.replace_all([{"id": 1, "name": "A", "city": "Osaka", "age": 20}])
+        assert [row["id"] for row in people_table.select(Eq("city", "Osaka"))] == [1]
+
+    def test_mutations_only_mark_stale_lazily(self, people_table):
+        index = people_table.add_index(["city"])
+        assert not index.is_stale
+        people_table.insert({"id": 10, "name": "J", "city": "Nara", "age": 30})
+        assert index.is_stale         # no rebuild yet...
+        assert index.contains("Nara")  # ...until the first lookup
+        assert not index.is_stale
+
+
+class TestQueryAstFastPath:
+    def test_select_over_scan_answers_from_index(self, people_table):
+        people_table.add_index(["city"])
+        query = Select(Scan("people"), Eq("city", "Sapporo"))
+        result = query.execute({"people": people_table})
+        assert [row["id"] for row in result] == [1]
+        assert result.schema.column_names == people_table.schema.column_names
+
+    def test_select_over_scan_without_index_matches_indexed_result(self, people_table):
+        query = Select(Scan("people"), Eq("city", "Sapporo"))
+        plain = [r.to_dict() for r in query.execute({"people": people_table})]
+        people_table.add_index(["city"])
+        indexed = [r.to_dict() for r in query.execute({"people": people_table})]
+        assert plain == indexed
+
+
+class TestDatabaseIntegration:
+    def test_database_index_serves_equality_selects(self, people_table):
+        from repro.relational.database import Database
+        from repro.relational.schema import Schema
+
+        db = Database("test")
+        db.create_table("people", people_table.schema,
+                        (row.to_dict() for row in people_table))
+        db.create_index("people", ["city"])
+        assert db.table("people").has_index(["city"])
+        db.insert("people", {"id": 11, "name": "K", "city": "Osaka", "age": 44})
+        rows = db.select("people", Eq("city", "Osaka"))
+        assert [row["id"] for row in rows] == [2, 11]
+        # The Database-level handle is the same lazily-refreshed index object.
+        assert db.index("people", ["city"]).contains("Osaka")
