@@ -15,6 +15,23 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    """``--quick``: run benchmarks on a reduced size grid.
+
+    CI's bench smoke job passes this so the delta-propagation benchmark (and
+    any future grid-based bench) finishes in seconds while still exercising
+    the full code path and its correctness oracles.
+    """
+    parser.addoption("--quick", action="store_true", default=False,
+                     help="run benchmarks on a reduced size grid (CI smoke mode)")
+
+
+@pytest.fixture
+def quick(request) -> bool:
+    """True when the run should use the reduced (CI smoke) size grid."""
+    return bool(request.config.getoption("--quick"))
+
+
 def emit_result(experiment_id: str, text: str) -> None:
     """Print an experiment's result table and persist it under results/."""
     banner = f"\n===== {experiment_id} =====\n{text}\n"

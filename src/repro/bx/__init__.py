@@ -14,16 +14,23 @@ and is *well-behaved* when the GetPut and PutGet round-tripping laws hold:
 The concrete lenses provided are those the paper's views need — projection
 (with key-based or functional-dependency-based alignment), selection, rename,
 and composition — plus executable law checking (:mod:`repro.bx.laws`), a
-declarative view-definition DSL (:mod:`repro.bx.dsl`) and a registry of named
+declarative view-definition DSL (:mod:`repro.bx.dsl`), a registry of named
 BX programs such as ``BX13`` / ``BX23`` / ``BX31`` / ``BX32``
-(:mod:`repro.bx.registry`).
+(:mod:`repro.bx.registry`), and the incremental delta engine
+(:mod:`repro.bx.delta`): every lens also exposes ``get_delta``/``put_delta``
+translating row-level :class:`~repro.relational.diff.TableDiff`\\ s through
+the transformation in O(changed rows), raising
+:class:`~repro.errors.DeltaUnsupported` where only a full recomputation is
+sound.
 """
 
+from repro.errors import DeltaUnsupported
 from repro.bx.lens import Lens, DeletePolicy, InsertPolicy
 from repro.bx.projection import ProjectionLens
 from repro.bx.selection import SelectionLens
 from repro.bx.rename import RenameLens
 from repro.bx.compose import ComposeLens, IdentityLens
+from repro.bx.delta import get_delta, put_delta
 from repro.bx.laws import LawReport, check_get_put, check_put_get, check_well_behaved
 from repro.bx.dsl import ViewSpec, lens_from_spec
 from repro.bx.registry import BXProgram, BXRegistry
@@ -31,7 +38,10 @@ from repro.bx.registry import BXProgram, BXRegistry
 __all__ = [
     "Lens",
     "DeletePolicy",
+    "DeltaUnsupported",
     "InsertPolicy",
+    "get_delta",
+    "put_delta",
     "ProjectionLens",
     "SelectionLens",
     "RenameLens",

@@ -34,6 +34,12 @@ class IdentityLens(Lens):
     def put(self, source: Table, view: Table) -> Table:
         return Table(source.name, source.schema, (row.to_dict() for row in view))
 
+    def get_delta(self, source_schema: Schema, source_diff: "TableDiff") -> "TableDiff":  # noqa: F821
+        return source_diff
+
+    def put_delta(self, source_schema: Schema, view_diff: "TableDiff") -> "TableDiff":  # noqa: F821
+        return view_diff
+
 
 class ComposeLens(Lens):
     """Sequential composition of two lenses (source → mid → view).
@@ -61,6 +67,28 @@ class ComposeLens(Lens):
         mid = self.inner.get(source)
         new_mid = self.outer.put(mid, view)
         return self.inner.put(source, new_mid)
+
+    def get_delta(self, source_schema: Schema, source_diff: "TableDiff") -> "TableDiff":  # noqa: F821
+        """Chain the forward translations through the (unmaterialised) middle.
+
+        The middle table is never built: each stage only needs the schema the
+        previous stage produces.  Raises
+        :class:`~repro.errors.DeltaUnsupported` when either stage does.
+        """
+        from repro.relational.diff import TableDiff
+
+        mid_schema = self.inner.view_schema(source_schema)
+        mid_diff = self.inner.get_delta(source_schema, source_diff)
+        view_diff = self.outer.get_delta(mid_schema, mid_diff)
+        if self.view_name and view_diff.table_name != self.view_name:
+            view_diff = TableDiff(table_name=self.view_name, changes=view_diff.changes)
+        return view_diff
+
+    def put_delta(self, source_schema: Schema, view_diff: "TableDiff") -> "TableDiff":  # noqa: F821
+        """Chain the backward translations: outer first, then inner."""
+        mid_schema = self.inner.view_schema(source_schema)
+        mid_diff = self.outer.put_delta(mid_schema, view_diff)
+        return self.inner.put_delta(source_schema, mid_diff)
 
     def describe(self) -> dict:
         description = super().describe()

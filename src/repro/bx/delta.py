@@ -1,0 +1,274 @@
+"""Incremental (delta) evaluation of lenses and queries.
+
+The paper's update workflow (Fig. 5) transmits only row-level diffs between
+peers, yet the seed reproduction re-ran every ``get``/``put`` over whole
+tables at each propagation leg.  This module is the core of the delta
+engine: it translates a :class:`~repro.relational.diff.TableDiff` *through*
+a transformation, change by change, without materialising any table.
+
+Every lens combinator implements
+
+* ``get_delta(source_schema, source_diff) -> view_diff`` — the forward
+  translation (what the derived view undergoes when the source changes), and
+* ``put_delta(source_schema, view_diff) -> source_diff`` — the backward
+  translation (what the source undergoes when the view changes),
+
+using the helpers below.  When no sound row-level translation exists the
+combinator raises :class:`~repro.errors.DeltaUnsupported` and the caller
+falls back to the full ``get``/``put``.  The fallback conditions are:
+
+* **functional projections** — the view's alignment key is not the source
+  primary key, so one view row summarises many source rows and a single
+  source change can flip a view row's support count;
+* **selection predicates over hidden columns** — ``put_delta`` cannot check
+  the predicate on a view change whose images lack a referenced column
+  (projections hide columns from the images);
+* **joins** — one input row feeds many output rows (multiplicity);
+* **keyless diffs** — positional diffs carry no stable row identity.
+
+The helpers are deliberately table-free: both directions need only the
+source *schema*, which lets :class:`~repro.bx.compose.ComposeLens` chain
+them without materialising the intermediate table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import DeltaUnsupported, PutConflictError, ViewShapeError
+from repro.bx.lens import DeletePolicy, InsertPolicy
+from repro.relational.diff import RowChange, TableDiff
+from repro.relational.predicates import Predicate, columns_referenced
+from repro.relational.schema import Schema
+
+__all__ = [
+    "DeltaUnsupported",
+    "complete_images",
+    "empty_diff",
+    "get_delta",
+    "put_delta",
+    "projection_get_change",
+    "projection_put_change",
+    "renamed_change",
+    "require_keyed_alignment",
+    "selection_get_change",
+    "selection_put_change",
+    "translate_diff",
+]
+
+
+def empty_diff(table_name: str) -> TableDiff:
+    """A diff with no changes."""
+    return TableDiff(table_name=table_name, changes=())
+
+
+def get_delta(lens, source_schema: Schema, source_diff: TableDiff) -> TableDiff:
+    """Translate ``source_diff`` forward through ``lens`` (convenience form)."""
+    return lens.get_delta(source_schema, source_diff)
+
+
+def put_delta(lens, source_schema: Schema, view_diff: TableDiff) -> TableDiff:
+    """Translate ``view_diff`` backward through ``lens`` (convenience form)."""
+    return lens.put_delta(source_schema, view_diff)
+
+
+def require_keyed_alignment(effective_key: Sequence[str], source_schema: Schema,
+                            lens_name: str) -> None:
+    """Reject delta translation unless the view aligns rows by the source key.
+
+    When the alignment key *is* the source primary key, source rows and view
+    rows correspond one-to-one and every change translates row by row.  Any
+    other (functional) alignment folds several source rows into one view row,
+    so support counts matter and only a full recomputation is sound.
+    """
+    if (not source_schema.primary_key
+            or tuple(effective_key) != tuple(source_schema.primary_key)):
+        raise DeltaUnsupported(
+            f"lens {lens_name!r} aligns by {tuple(effective_key)!r}, not the source "
+            f"primary key {tuple(source_schema.primary_key)!r}; a single source change "
+            "can alter a view row's support count, so fall back to the full path"
+        )
+
+
+def _image(values: Optional[Mapping[str, object]], columns: Sequence[str],
+           lens_name: str) -> Dict[str, object]:
+    """Project a change image onto ``columns``, failing the delta when the
+    image does not carry one of them."""
+    if values is None:
+        raise DeltaUnsupported(f"lens {lens_name!r}: change image is missing")
+    try:
+        return {column: values[column] for column in columns}
+    except KeyError as exc:
+        raise DeltaUnsupported(
+            f"lens {lens_name!r}: change image lacks column {exc.args[0]!r}"
+        ) from None
+
+
+# --------------------------------------------------------------------- rename
+
+def renamed_change(change: RowChange, mapping: Mapping[str, str]) -> RowChange:
+    """Rename the columns of one change (key values are unaffected)."""
+    def rename(values: Optional[Mapping[str, object]]) -> Optional[Dict[str, object]]:
+        if values is None:
+            return None
+        return {mapping.get(name, name): value for name, value in values.items()}
+
+    return RowChange(
+        kind=change.kind,
+        key=change.key,
+        before=rename(change.before),
+        after=rename(change.after),
+        changed_columns=tuple(mapping.get(c, c) for c in change.changed_columns),
+    )
+
+
+# ------------------------------------------------------------------ selection
+
+def selection_get_change(change: RowChange, predicate: Predicate) -> Optional[RowChange]:
+    """Translate one source change through a selection's forward direction.
+
+    A row entering the visible set becomes an insert, a row leaving it a
+    delete, and an invisible change disappears entirely.
+    """
+    if change.kind == "insert":
+        return change if predicate.evaluate(change.after or {}) else None
+    if change.kind == "delete":
+        return change if predicate.evaluate(change.before or {}) else None
+    visible_before = predicate.evaluate(change.before or {})
+    visible_after = predicate.evaluate(change.after or {})
+    if visible_before and visible_after:
+        return change
+    if visible_before:
+        return RowChange("delete", change.key, change.before, None)
+    if visible_after:
+        return RowChange("insert", change.key, None, change.after)
+    return None
+
+
+def selection_put_change(change: RowChange, predicate: Predicate,
+                         on_delete: DeletePolicy, on_insert: InsertPolicy,
+                         lens_name: str) -> RowChange:
+    """Translate one view change through a selection's backward direction.
+
+    Mirrors :meth:`SelectionLens.put`: view rows must satisfy the predicate,
+    and the delete/insert policies are enforced per change.  Raises
+    :class:`DeltaUnsupported` when the predicate references a column the
+    change images do not carry (an outer projection hid it).
+    """
+    if change.kind == "delete":
+        if on_delete is DeletePolicy.FORBID:
+            raise PutConflictError(
+                f"view dropped key {change.key!r} but lens {lens_name!r} forbids deletions"
+            )
+        return change
+    if change.kind == "insert" and on_insert is InsertPolicy.FORBID:
+        raise PutConflictError(
+            f"view introduced key {change.key!r} but lens {lens_name!r} forbids insertions"
+        )
+    after = change.after or {}
+    missing = [c for c in columns_referenced(predicate) if c not in after]
+    if missing:
+        raise DeltaUnsupported(
+            f"lens {lens_name!r}: cannot check the selection predicate on a change "
+            f"whose image lacks column(s) {missing}"
+        )
+    if not predicate.evaluate(after):
+        raise ViewShapeError(
+            f"view row with key {change.key!r} violates the selection predicate of "
+            f"{lens_name!r}; such an update cannot be reflected without breaking PutGet"
+        )
+    return change
+
+
+# ----------------------------------------------------------------- projection
+
+def projection_get_change(change: RowChange, columns: Sequence[str],
+                          lens_name: str) -> Optional[RowChange]:
+    """Translate one source change through a keyed projection's forward
+    direction; returns None when no projected column changed."""
+    if change.kind == "insert":
+        return RowChange("insert", change.key, None,
+                         _image(change.after, columns, lens_name))
+    if change.kind == "delete":
+        return RowChange("delete", change.key,
+                         _image(change.before, columns, lens_name), None)
+    projected_changed = tuple(c for c in change.changed_columns if c in columns)
+    if not projected_changed:
+        return None
+    before = _image(change.before, columns, lens_name)
+    after = _image(change.after, columns, lens_name)
+    if before == after:
+        return None
+    return RowChange("update", change.key, before, after, projected_changed)
+
+
+def projection_put_change(change: RowChange, source_schema: Schema,
+                          columns: Sequence[str],
+                          on_delete: DeletePolicy, on_insert: InsertPolicy,
+                          lens_name: str) -> RowChange:
+    """Translate one view change through a keyed projection's backward
+    direction.
+
+    Updates carry only the projected columns (hidden source columns are
+    untouched); inserts fill hidden columns with NULLs, exactly like
+    :meth:`ProjectionLens.put`.
+    """
+    if change.kind == "delete":
+        if on_delete is DeletePolicy.FORBID:
+            raise PutConflictError(
+                f"view dropped key {change.key!r} but lens {lens_name!r} forbids deletions"
+            )
+        return RowChange("delete", change.key,
+                         _image(change.before, columns, lens_name), None)
+    if change.kind == "insert":
+        if on_insert is InsertPolicy.FORBID:
+            raise PutConflictError(
+                f"view introduced key {change.key!r} but lens {lens_name!r} "
+                "forbids insertions"
+            )
+        fresh: Dict[str, object] = {c.name: None for c in source_schema.columns}
+        fresh.update(_image(change.after, columns, lens_name))
+        return RowChange("insert", change.key, None, fresh)
+    return RowChange(
+        "update", change.key,
+        _image(change.before, columns, lens_name),
+        _image(change.after, columns, lens_name),
+        tuple(change.changed_columns),
+    )
+
+
+# ------------------------------------------------------------------ utilities
+
+def translate_diff(diff: TableDiff, table_name: str, translate) -> TableDiff:
+    """Map ``translate`` over every change, dropping None results."""
+    changes: Tuple[RowChange, ...] = tuple(
+        translated
+        for translated in (translate(change) for change in diff.changes)
+        if translated is not None
+    )
+    return TableDiff(table_name=table_name, changes=changes)
+
+
+def complete_images(table, diff: TableDiff) -> TableDiff:
+    """Fill in the hidden-column values of a diff's update/delete images from
+    the (pre-apply) ``table``, via O(1) keyed lookups.
+
+    ``put_delta`` through a projection necessarily produces images restricted
+    to the projected columns.  Completing them against the live source makes
+    the diff self-contained, so dependent lenses (Fig. 5 step 6) can
+    translate it forward without a fallback.
+    """
+    changes = []
+    for change in diff.changes:
+        if change.kind == "insert" or not table.contains_key(change.key):
+            changes.append(change)
+            continue
+        current = table.get(change.key).to_dict()
+        if change.kind == "delete":
+            changes.append(RowChange("delete", change.key, current, None))
+            continue
+        after = dict(current)
+        after.update({c: (change.after or {})[c] for c in change.changed_columns})
+        changes.append(RowChange("update", change.key, current, after,
+                                 change.changed_columns))
+    return TableDiff(table_name=diff.table_name, changes=tuple(changes))

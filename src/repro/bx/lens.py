@@ -61,6 +61,34 @@ class Lens:
         """The schema of the view this lens produces from ``source_schema``."""
         raise NotImplementedError
 
+    # -- incremental (delta) evaluation ---------------------------------------
+
+    def get_delta(self, source_schema: Schema, source_diff: "TableDiff") -> "TableDiff":  # noqa: F821
+        """Translate a source-side diff into the view-side diff ``get`` would
+        cause, without materialising either table.
+
+        Raises :class:`~repro.errors.DeltaUnsupported` when no sound
+        row-level translation exists; callers fall back to the full ``get``.
+        """
+        from repro.errors import DeltaUnsupported
+
+        raise DeltaUnsupported(
+            f"{type(self).__name__} has no incremental get; fall back to full get"
+        )
+
+    def put_delta(self, source_schema: Schema, view_diff: "TableDiff") -> "TableDiff":  # noqa: F821
+        """Translate a view-side diff into the source-side diff ``put`` would
+        cause, without materialising either table.
+
+        Raises :class:`~repro.errors.DeltaUnsupported` when no sound
+        row-level translation exists; callers fall back to the full ``put``.
+        """
+        from repro.errors import DeltaUnsupported
+
+        raise DeltaUnsupported(
+            f"{type(self).__name__} has no incremental put; fall back to full put"
+        )
+
     # -- composition sugar ----------------------------------------------------
 
     def then(self, other: "Lens") -> "Lens":

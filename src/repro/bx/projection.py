@@ -99,6 +99,37 @@ class ProjectionLens(Lens):
         view = Table(self.view_name or f"{source.name}_view", schema, seen.values())
         return named_view(view, self.view_name)
 
+    def get_delta(self, source_schema: Schema, source_diff: "TableDiff") -> "TableDiff":  # noqa: F821
+        """Row-by-row forward translation for *keyed* projections.
+
+        Functional projections (alignment key ≠ source primary key) raise
+        :class:`~repro.errors.DeltaUnsupported`: there a single source change
+        can alter a view row's support count, which only a full ``get`` sees.
+        """
+        from repro.bx import delta
+
+        key = self._effective_key(source_schema)
+        delta.require_keyed_alignment(key, source_schema, self.name)
+        return delta.translate_diff(
+            source_diff,
+            self.view_name or f"{source_diff.table_name}_view",
+            lambda change: delta.projection_get_change(change, self.columns, self.name),
+        )
+
+    def put_delta(self, source_schema: Schema, view_diff: "TableDiff") -> "TableDiff":  # noqa: F821
+        """Row-by-row backward translation for *keyed* projections."""
+        from repro.bx import delta
+
+        key = self._effective_key(source_schema)
+        delta.require_keyed_alignment(key, source_schema, self.name)
+        return delta.translate_diff(
+            view_diff,
+            view_diff.table_name,
+            lambda change: delta.projection_put_change(
+                change, source_schema, self.columns,
+                self.on_delete, self.on_insert, self.name),
+        )
+
     # ------------------------------------------------------------------- put
 
     def put(self, source: Table, view: Table) -> Table:

@@ -33,6 +33,26 @@ class RenameLens(Lens):
         view = source.rename_columns(self.mapping, name=self.view_name or f"{source.name}_ren")
         return named_view(view, self.view_name)
 
+    def get_delta(self, source_schema: Schema, source_diff: "TableDiff") -> "TableDiff":  # noqa: F821
+        """Forward translation: rename the columns of every change image."""
+        from repro.bx import delta
+
+        return delta.translate_diff(
+            source_diff,
+            self.view_name or f"{source_diff.table_name}_ren",
+            lambda change: delta.renamed_change(change, self.mapping),
+        )
+
+    def put_delta(self, source_schema: Schema, view_diff: "TableDiff") -> "TableDiff":  # noqa: F821
+        """Backward translation: rename every change image back."""
+        from repro.bx import delta
+
+        return delta.translate_diff(
+            view_diff,
+            view_diff.table_name,
+            lambda change: delta.renamed_change(change, self.reverse_mapping),
+        )
+
     def put(self, source: Table, view: Table) -> Table:
         expected = set(self.view_schema(source.schema).column_names)
         if set(view.schema.column_names) != expected:

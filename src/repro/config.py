@@ -78,12 +78,28 @@ class NetworkConfig:
 
 @dataclass(frozen=True)
 class SystemConfig:
-    """Top-level configuration assembling every subsystem (Fig. 2)."""
+    """Top-level configuration assembling every subsystem (Fig. 2).
+
+    Attributes
+    ----------
+    delta_propagation:
+        When true (the default) the update workflow pushes row-level
+        ``TableDiff``s through lenses, indexes and caches (O(changed rows)
+        per propagation leg) and only falls back to full ``get``/``put``
+        recomputation where no delta translation exists.  When false, every
+        leg recomputes whole tables (the seed behaviour).
+    delta_verify_interval:
+        Sampled correctness oracle of the delta path: every Nth delta
+        application (the first included) is checked against a full
+        recomputation via ``Table.fingerprint()``.  ``0`` disables checking.
+    """
 
     ledger: LedgerConfig = field(default_factory=LedgerConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
     check_lens_laws: bool = True
     audit_enabled: bool = True
+    delta_propagation: bool = True
+    delta_verify_interval: int = 16
 
     @staticmethod
     def private_chain(block_interval: float = 2.0) -> "SystemConfig":

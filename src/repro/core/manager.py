@@ -20,26 +20,66 @@ from typing import Dict, Optional, Tuple
 
 from repro.bx.laws import check_put_get
 from repro.bx.registry import BXProgram
-from repro.errors import BXError, ConstraintViolation, SynchronizationError
+from repro.errors import (
+    BXError,
+    ConstraintViolation,
+    DeltaUnsupported,
+    RelationalError,
+    SynchronizationError,
+)
 from repro.core.peer import Peer
 from repro.relational.diff import TableDiff, apply_diff, diff_tables
 from repro.relational.table import Table
 
 
 class DatabaseManager:
-    """Executes the BX programs of one peer."""
+    """Executes the BX programs of one peer.
 
-    def __init__(self, peer: Peer, check_laws: bool = True):
+    ``delta_verify_interval`` controls the sampled correctness oracle of the
+    incremental path: every Nth delta application (the first one included)
+    is checked against a full recomputation via ``Table.fingerprint()``; a
+    mismatch raises :class:`~repro.errors.SynchronizationError`.  ``0``
+    disables the check.
+    """
+
+    def __init__(self, peer: Peer, check_laws: bool = True,
+                 delta_verify_interval: int = 16):
         self.peer = peer
         self.check_laws = check_laws
+        self.delta_verify_interval = delta_verify_interval
         self._get_invocations = 0
         self._put_invocations = 0
+        self._delta_get_invocations = 0
+        self._delta_put_invocations = 0
+        self._delta_fallbacks = 0
+        self._delta_verifications = 0
+        self._delta_ops = 0
+        #: Dependent views whose last cascade leg was rejected: their stored
+        #: copy drifted from the base table, so the next dependency check must
+        #: use the exact stored-vs-fresh diff instead of a forward translation
+        #: (which only carries the *new* change and would never heal them).
+        self._unhealed_views: set = set()
 
     # ----------------------------------------------------------------- metrics
 
     @property
     def statistics(self) -> Dict[str, int]:
-        return {"get_invocations": self._get_invocations, "put_invocations": self._put_invocations}
+        return {
+            "get_invocations": self._get_invocations,
+            "put_invocations": self._put_invocations,
+            "delta_get_invocations": self._delta_get_invocations,
+            "delta_put_invocations": self._delta_put_invocations,
+            "delta_fallbacks": self._delta_fallbacks,
+            "delta_verifications": self._delta_verifications,
+        }
+
+    def _delta_verify_due(self) -> bool:
+        """Sampled-verification schedule: the first delta application and then
+        every ``delta_verify_interval``-th one."""
+        due = (self.delta_verify_interval > 0
+               and self._delta_ops % self.delta_verify_interval == 0)
+        self._delta_ops += 1
+        return due
 
     # ----------------------------------------------------------- get direction
 
@@ -122,6 +162,144 @@ class DatabaseManager:
             self.peer.database.replace_table(program.source_table,
                                              (row.to_dict() for row in new_source))
         return diff
+
+    # ------------------------------------------------------------- delta paths
+
+    def reflect_shared_table_delta(self, metadata_id: str, view_diff: TableDiff) -> TableDiff:
+        """Incremental ``put``: translate the shared table's row-level diff
+        into the base table's diff and apply only those rows.
+
+        Falls back to :meth:`reflect_shared_table` when the lens cannot
+        translate the diff (:class:`~repro.errors.DeltaUnsupported`).  On the
+        sampled verification schedule the delta result is checked against the
+        PutGet law on a staged copy *before* the live base table is touched.
+        """
+        program = self.peer.bx_program(metadata_id)
+        agreement = self.peer.agreement(metadata_id)
+        view_name = agreement.view_name_for(self.peer.name)
+        source = self.peer.database.table(program.source_table)
+        if view_diff.is_empty:
+            return TableDiff(table_name=program.source_table, changes=())
+        if metadata_id in self._unhealed_views:
+            # The stored view missed a propagation; only the full put (which
+            # embeds the whole view, the seed semantics) reconverges it.
+            self._delta_fallbacks += 1
+            result = self.reflect_shared_table(metadata_id)
+            self.clear_view_unhealed(metadata_id)
+            return result
+        try:
+            source_diff = program.lens.put_delta(source.schema, view_diff)
+        except DeltaUnsupported:
+            self._delta_fallbacks += 1
+            return self.reflect_shared_table(metadata_id)
+        self._delta_put_invocations += 1
+        # A projection's put_delta only carries the projected columns; filling
+        # the hidden ones from the live source (O(changed rows)) makes the
+        # diff self-contained for the step-6 dependent translations.
+        from repro.bx.delta import complete_images
+        source_diff = complete_images(source, source_diff)
+        try:
+            if self._delta_verify_due():
+                self._verify_put_delta(program, source, source_diff, view_name)
+            if not source_diff.is_empty:
+                self.peer.database.apply_table_diff(program.source_table, source_diff)
+        except (BXError, RelationalError) as exc:
+            raise SynchronizationError(
+                f"cannot reflect shared table {view_name!r} into "
+                f"{program.source_table!r} incrementally: {exc}"
+            ) from exc
+        return source_diff
+
+    def _verify_put_delta(self, program: BXProgram, source: Table,
+                          source_diff: TableDiff, view_name: str) -> None:
+        """Full-recompute oracle for the put direction: applying the delta to
+        a staged copy must regenerate exactly the stored shared table."""
+        self._delta_verifications += 1
+        staged = source.snapshot()
+        staged.apply_diff(source_diff)
+        regenerated = program.get(staged)
+        stored_view = self.peer.database.table(view_name)
+        if regenerated.fingerprint() != stored_view.fingerprint():
+            raise SynchronizationError(
+                f"delta put for {view_name!r} diverged from the full recompute "
+                f"(PutGet violated on the delta path); refusing to install"
+            )
+
+    def refresh_shared_table_delta(self, metadata_id: str, view_diff: TableDiff) -> TableDiff:
+        """Incremental ``get``: install an already-translated view diff into
+        the stored shared table, touching only the changed rows.
+
+        The caller obtained ``view_diff`` from the lens's ``get_delta`` (see
+        :meth:`changed_dependents_delta`); on the sampled verification
+        schedule the patched view is compared against a full ``get`` of the
+        source via ``Table.fingerprint()``.
+        """
+        agreement = self.peer.agreement(metadata_id)
+        view_name = agreement.view_name_for(self.peer.name)
+        if view_diff.is_empty:
+            return view_diff
+        self._delta_get_invocations += 1
+        try:
+            self.peer.database.apply_table_diff(view_name, view_diff)
+        except RelationalError as exc:
+            raise SynchronizationError(
+                f"cannot patch shared table {view_name!r} incrementally: {exc}"
+            ) from exc
+        if self._delta_verify_due():
+            self._delta_verifications += 1
+            regenerated = self.derive_view(metadata_id)
+            stored_view = self.peer.database.table(view_name)
+            if regenerated.fingerprint() != stored_view.fingerprint():
+                # Repair the stored view from the full recompute before
+                # failing loudly, so the divergence does not persist.
+                self.refresh_shared_table(metadata_id)
+                raise SynchronizationError(
+                    f"delta get for {view_name!r} diverged from the full recompute; "
+                    "the stored shared table was repaired from the base table"
+                )
+        return view_diff
+
+    def mark_view_unhealed(self, metadata_id: str) -> None:
+        """Record that ``metadata_id``'s stored view missed a propagation (a
+        rejected cascade leg): dependency checks must diff it exactly until a
+        leg succeeds again."""
+        self._unhealed_views.add(metadata_id)
+
+    def clear_view_unhealed(self, metadata_id: str) -> None:
+        """The stored view was successfully re-synchronised."""
+        self._unhealed_views.discard(metadata_id)
+
+    def changed_dependents_delta(self, metadata_id: str,
+                                 source_diff: TableDiff) -> Dict[str, TableDiff]:
+        """Delta form of :meth:`changed_dependents`: translate the base-table
+        diff through each dependent lens instead of re-running its ``get``.
+
+        Falls back to :meth:`pending_view_diff` per dependent when a lens
+        cannot translate the diff, and for views a rejected cascade leg left
+        behind (:meth:`mark_view_unhealed`) — the forward translation only
+        carries the *new* change, so exact diffing is required to heal them.
+        """
+        if source_diff.is_empty:
+            return {}
+        changed: Dict[str, TableDiff] = {}
+        for other in self.dependent_agreements(metadata_id):
+            program = self.peer.bx_program(other)
+            source = self.peer.database.table(program.source_table)
+            if other in self._unhealed_views:
+                view_diff = self.pending_view_diff(other)
+                if view_diff.is_empty:
+                    # Consistent again (the drift cancelled out); stop diffing.
+                    self.clear_view_unhealed(other)
+            else:
+                try:
+                    view_diff = program.lens.get_delta(source.schema, source_diff)
+                    self._delta_get_invocations += 1
+                except DeltaUnsupported:
+                    self._delta_fallbacks += 1
+                    view_diff = self.pending_view_diff(other)
+            if not view_diff.is_empty:
+                changed[other] = view_diff
+        return changed
 
     # ----------------------------------------------------------- dependencies
 

@@ -60,11 +60,12 @@ class ServerApp:
     """Mediator between one peer and the rest of the system."""
 
     def __init__(self, peer: Peer, node: BlockchainNode, channels: ChannelRegistry,
-                 check_lens_laws: bool = True):
+                 check_lens_laws: bool = True, delta_verify_interval: int = 16):
         self.peer = peer
         self.node = node
         self.channels = channels
-        self.manager = DatabaseManager(peer, check_laws=check_lens_laws)
+        self.manager = DatabaseManager(peer, check_laws=check_lens_laws,
+                                       delta_verify_interval=delta_verify_interval)
         self.contract_address: Optional[str] = None
         self.registry_address: Optional[str] = None
         self._notifications: List[Notification] = []

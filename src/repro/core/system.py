@@ -70,7 +70,8 @@ class MedicalDataSharingSystem:
         peer = Peer(name=name, role=role)
         node = self.simulator.add_node(f"node-{name}", is_miner=is_miner)
         app = ServerApp(peer, node, self.simulator.channels,
-                        check_lens_laws=self.config.check_lens_laws)
+                        check_lens_laws=self.config.check_lens_laws,
+                        delta_verify_interval=self.config.delta_verify_interval)
         if self.contract_address is not None:
             app.contract_address = self.contract_address
             app.registry_address = self.registry_address

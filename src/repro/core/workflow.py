@@ -30,6 +30,11 @@ from repro.relational.table import Table
 #: Callback fired after a shared table changed: ``(metadata_id, operation, peers)``.
 SharedChangeListener = Callable[[str, str, Tuple[str, str]], None]
 
+#: Callback fired with the row-level view diff of the change (None when the
+#: change is not describable as a diff, e.g. a failed half-installed commit):
+#: ``(metadata_id, operation, peers, view_diff)``.
+SharedDiffListener = Callable[[str, str, Tuple[str, str], Optional[TableDiff]], None]
+
 
 @dataclass(frozen=True)
 class WorkflowStep:
@@ -234,6 +239,10 @@ class UpdateCoordinator:
     def __init__(self, system: "MedicalDataSharingSystem"):  # noqa: F821 (forward ref)
         self.system = system
         self._change_listeners: List[SharedChangeListener] = []
+        self._diff_listeners: List[SharedDiffListener] = []
+        #: When true, propagation legs push row-level diffs through lenses,
+        #: indexes and caches instead of recomputing whole tables.
+        self.delta_enabled = bool(getattr(system.config, "delta_propagation", True))
 
     # ------------------------------------------------------------ change hooks
 
@@ -245,10 +254,24 @@ class UpdateCoordinator:
         """
         self._change_listeners.append(listener)
 
+    def subscribe_shared_diff(self, listener: SharedDiffListener) -> None:
+        """Like :meth:`subscribe_shared_change`, but the listener also receives
+        the row-level :class:`TableDiff` the shared table underwent (or None
+        when the change cannot be described as a diff, e.g. a commit that
+        failed after partially installing).
+
+        The gateway's view cache uses this to *patch* cached views row by row
+        instead of dropping them.
+        """
+        self._diff_listeners.append(listener)
+
     def _notify_change(self, metadata_id: str, operation: str,
-                       peers: Tuple[str, str]) -> None:
+                       peers: Tuple[str, str],
+                       view_diff: Optional[TableDiff] = None) -> None:
         for listener in self._change_listeners:
             listener(metadata_id, operation, peers)
+        for listener in self._diff_listeners:
+            listener(metadata_id, operation, peers, view_diff)
 
     # --------------------------------------------------------------- utilities
 
@@ -333,9 +356,15 @@ class UpdateCoordinator:
                               started_at=self._clock.now())
         peer = self._peer(peer_name)
         stored = peer.shared_table(metadata_id)
-        candidate = stored.snapshot()
-        candidate.update_by_key(key, updates)
-        diff = diff_tables(stored, candidate)
+        if self.delta_enabled:
+            # O(changed rows): validate the edit and build its diff directly,
+            # without snapshotting the whole shared table.
+            diff = stored.diff_for_update(key, updates)
+            candidate = None
+        else:
+            candidate = stored.snapshot()
+            candidate.update_by_key(key, updates)
+            diff = diff_tables(stored, candidate)
         trace.add_step(peer_name, "local_edit",
                        f"edit shared entry {tuple(key)!r}: {dict(updates)!r}",
                        self._clock.now(), rows_changed=len(diff))
@@ -355,9 +384,13 @@ class UpdateCoordinator:
                               started_at=self._clock.now())
         peer = self._peer(peer_name)
         stored = peer.shared_table(metadata_id)
-        candidate = stored.snapshot()
-        candidate.insert(values)
-        diff = diff_tables(stored, candidate)
+        if self.delta_enabled:
+            diff = stored.diff_for_insert(values)
+            candidate = None
+        else:
+            candidate = stored.snapshot()
+            candidate.insert(values)
+            diff = diff_tables(stored, candidate)
         trace.add_step(peer_name, "local_edit", f"create shared entry {dict(values)!r}",
                        self._clock.now(), rows_changed=len(diff))
         self._finish(trace, peer_name, metadata_id, "create", diff,
@@ -372,9 +405,13 @@ class UpdateCoordinator:
                               started_at=self._clock.now())
         peer = self._peer(peer_name)
         stored = peer.shared_table(metadata_id)
-        candidate = stored.snapshot()
-        candidate.delete_by_key(key)
-        diff = diff_tables(stored, candidate)
+        if self.delta_enabled:
+            diff = stored.diff_for_delete(key)
+            candidate = None
+        else:
+            candidate = stored.snapshot()
+            candidate.delete_by_key(key)
+            diff = diff_tables(stored, candidate)
         trace.add_step(peer_name, "local_edit", f"delete shared entry {tuple(key)!r}",
                        self._clock.now(), rows_changed=len(diff))
         self._finish(trace, peer_name, metadata_id, "delete", diff,
@@ -417,9 +454,11 @@ class UpdateCoordinator:
             trace.succeeded = True
             trace.finished_at = self._clock.now()
             return trace
+        # In delta mode the diff (not the materialised candidate) is installed,
+        # so the remaining legs stay O(changed rows).
         self._finish(trace, peer_name, metadata_id, group.operation, diff,
                      install_initiator_view=True, reflect_initiator_source=True,
-                     candidate_view=candidate)
+                     candidate_view=None if self.delta_enabled else candidate)
         return trace
 
     def commit_entry_batch(self, groups: Sequence[BatchGroup]) -> BatchCommitResult:
@@ -539,14 +578,18 @@ class UpdateCoordinator:
                     continue
                 update_id = int(receipt.return_value["update_id"])
                 counterpart_app = self._app(counterpart)
-                app.manager.replace_shared_table(group.metadata_id, candidate)
+                if self.delta_enabled:
+                    app.manager.apply_incoming_diff(group.metadata_id, diff)
+                else:
+                    app.manager.replace_shared_table(group.metadata_id, candidate)
                 installed = True
                 app.outgoing_diffs[group.metadata_id] = diff
-                source_diff = app.manager.reflect_shared_table(group.metadata_id)
+                initiator_source_diff = self._reflect(app, group.metadata_id, diff)
                 trace.add_step(group.peer, "bx_put",
                                f"reflect shared-table change into local base table "
-                               f"({len(source_diff)} row change(s))", self._clock.now(),
-                               rows_changed=len(source_diff))
+                               f"({len(initiator_source_diff)} row change(s))",
+                               self._clock.now(),
+                               rows_changed=len(initiator_source_diff))
                 notifications = counterpart_app.pop_notifications(group.metadata_id)
                 if not any(n.update_id == update_id for n in notifications):
                     raise WorkflowError(
@@ -564,8 +607,7 @@ class UpdateCoordinator:
                                f"fetched updated shared data ({transfer.kind}, "
                                f"{transfer.size_bytes} bytes)", self._clock.now(),
                                transfer_kind=transfer.kind, bytes=transfer.size_bytes)
-                counterpart_diff = counterpart_app.manager.reflect_shared_table(
-                    group.metadata_id)
+                counterpart_diff = self._reflect(counterpart_app, group.metadata_id, diff)
                 trace.add_step(counterpart, "bx_put",
                                f"reflect shared-table change into local base table "
                                f"({len(counterpart_diff)} row change(s))", self._clock.now(),
@@ -582,11 +624,14 @@ class UpdateCoordinator:
                 if installed:
                     # The initiator's shared table was already replaced, so
                     # cached views of it are stale even though the protocol
-                    # did not complete — listeners must still be told.
+                    # did not complete — listeners must still be told.  No
+                    # diff is passed: a half-installed change is not safely
+                    # describable as one, so caches drop the views instead.
                     self._notify_change(group.metadata_id, group.operation,
                                         (group.peer, counterpart))
                 continue
-            acknowledged.append((group, trace, counterpart, ack_tx))
+            acknowledged.append((group, trace, counterpart, ack_tx, diff,
+                                 initiator_source_diff, counterpart_diff))
         if not acknowledged:
             return result
         self.system.simulator.submit_transaction_batch(ack_submissions)
@@ -595,7 +640,8 @@ class UpdateCoordinator:
 
         # Phase C: confirm acknowledgements, run the Fig. 5 step-6 cascades
         # (each cascade mines its own rounds) and fire the change listeners.
-        for group, trace, counterpart, ack_tx in acknowledged:
+        for (group, trace, counterpart, ack_tx, diff,
+             initiator_source_diff, counterpart_diff) in acknowledged:
             counterpart_app = self._app(counterpart)
             try:
                 ack_receipt = counterpart_app.node.chain.receipt(ack_tx.tx_hash)
@@ -609,8 +655,10 @@ class UpdateCoordinator:
                                    f"{ack_receipt.error}")
                     trace.finished_at = self._clock.now()
                     continue
-                self._cascade(counterpart, group.metadata_id, trace, depth=0)
-                self._cascade(group.peer, group.metadata_id, trace, depth=0)
+                self._cascade(counterpart, group.metadata_id, trace, depth=0,
+                              source_diff=counterpart_diff)
+                self._cascade(group.peer, group.metadata_id, trace, depth=0,
+                              source_diff=initiator_source_diff)
                 trace.succeeded = True
             except ReproError as exc:
                 trace.error = str(exc)
@@ -618,8 +666,11 @@ class UpdateCoordinator:
                 trace.finished_at = self._clock.now()
                 # The group's data was installed on both sides in Phase B,
                 # whatever happened to its cascade: listeners always fire.
+                # The diff travels along only for fully-successful groups so
+                # caches can patch rather than drop.
                 self._notify_change(group.metadata_id, group.operation,
-                                    (group.peer, counterpart))
+                                    (group.peer, counterpart),
+                                    diff if trace.succeeded else None)
         return result
 
     def _finish(self, trace: WorkflowTrace, peer_name: str, metadata_id: str, operation: str,
@@ -692,19 +743,18 @@ class UpdateCoordinator:
 
         # The contract accepted: install the local changes on the initiator side.
         if install_initiator_view:
-            if candidate_view is not None:
-                app.manager.replace_shared_table(metadata_id, candidate_view)
-            else:
-                app.manager.refresh_shared_table(metadata_id)
+            self._install_initiator_view(app, metadata_id, diff, candidate_view,
+                                         from_get=not reflect_initiator_source)
         app.outgoing_diffs[metadata_id] = diff
         initiator_reflected = False
+        initiator_source_diff: Optional[TableDiff] = None
         if reflect_initiator_source:
-            source_diff = app.manager.reflect_shared_table(metadata_id)
+            initiator_source_diff = self._reflect(app, metadata_id, diff)
             initiator_reflected = True
             trace.add_step(initiator, "bx_put",
                            f"reflect shared-table change into local base table "
-                           f"({len(source_diff)} row change(s))", self._clock.now(),
-                           rows_changed=len(source_diff))
+                           f"({len(initiator_source_diff)} row change(s))", self._clock.now(),
+                           rows_changed=len(initiator_source_diff))
 
         # Step 3: the sharing peer is notified through the contract event.
         notifications = counterpart_app.pop_notifications(metadata_id)
@@ -728,7 +778,7 @@ class UpdateCoordinator:
                        transfer_kind=transfer.kind, bytes=transfer.size_bytes)
 
         # Step 5: the sharing peer reflects the change into its complete data (put).
-        source_diff = counterpart_app.manager.reflect_shared_table(metadata_id)
+        source_diff = self._reflect(counterpart_app, metadata_id, diff)
         trace.add_step(counterpart, "bx_put",
                        f"reflect shared-table change into local base table "
                        f"({len(source_diff)} row change(s))", self._clock.now(),
@@ -754,18 +804,55 @@ class UpdateCoordinator:
         # counterpart) and — when it reflected a direct edit into its own base
         # table — the initiator must check whether other shared pieces derived
         # from the same base table changed, and re-share them.
-        self._cascade(counterpart, metadata_id, trace, depth)
+        self._cascade(counterpart, metadata_id, trace, depth, source_diff=source_diff)
         if initiator_reflected:
-            self._cascade(initiator, metadata_id, trace, depth)
+            self._cascade(initiator, metadata_id, trace, depth,
+                          source_diff=initiator_source_diff)
 
         trace.succeeded = True
-        self._notify_change(metadata_id, operation, (initiator, counterpart))
+        self._notify_change(metadata_id, operation, (initiator, counterpart), diff)
+
+    # ----------------------------------------------------- delta/full dispatch
+
+    def _install_initiator_view(self, app, metadata_id: str, diff: TableDiff,
+                                candidate_view: Optional[Table],
+                                from_get: bool) -> None:
+        """Install the accepted change into the initiator's stored shared table.
+
+        Delta mode patches only the changed rows; ``from_get`` marks diffs
+        computed in the ``get`` direction (propagations and cascade legs),
+        which additionally run the sampled full-``get`` verification.  Full
+        mode keeps the seed behaviour (whole-table replace/refresh).
+        """
+        if candidate_view is not None:
+            app.manager.replace_shared_table(metadata_id, candidate_view)
+        elif self.delta_enabled:
+            if from_get:
+                app.manager.refresh_shared_table_delta(metadata_id, diff)
+            else:
+                app.manager.apply_incoming_diff(metadata_id, diff)
+        else:
+            app.manager.refresh_shared_table(metadata_id)
+
+    def _reflect(self, app, metadata_id: str, view_diff: TableDiff) -> TableDiff:
+        """Run the ``put`` direction: incrementally when enabled, else fully."""
+        if self.delta_enabled:
+            return app.manager.reflect_shared_table_delta(metadata_id, view_diff)
+        return app.manager.reflect_shared_table(metadata_id)
 
     def _cascade(self, peer_name: str, metadata_id: str, trace: WorkflowTrace,
-                 depth: int) -> None:
-        """Check dependent shared views of ``peer_name`` and propagate changes."""
+                 depth: int, source_diff: Optional[TableDiff] = None) -> None:
+        """Check dependent shared views of ``peer_name`` and propagate changes.
+
+        When the base-table diff of the triggering ``put`` is known and delta
+        propagation is on, each dependent lens translates that diff forward
+        (O(changed rows)) instead of re-running its full ``get``.
+        """
         app = self._app(peer_name)
-        dependents = app.manager.changed_dependents(metadata_id)
+        if self.delta_enabled and source_diff is not None:
+            dependents = app.manager.changed_dependents_delta(metadata_id, source_diff)
+        else:
+            dependents = app.manager.changed_dependents(metadata_id)
         trace.add_step(peer_name, "check_dependencies",
                        f"{len(dependents)} dependent shared table(s) affected",
                        self._clock.now(), dependents=sorted(dependents))
@@ -779,8 +866,12 @@ class UpdateCoordinator:
                 self._run_protocol(peer_name, dependent_id, "update", dependent_diff, trace,
                                    install_initiator_view=True, reflect_initiator_source=False,
                                    depth=depth + 1)
+                app.manager.clear_view_unhealed(dependent_id)
             except UpdateRejected as exc:
                 # A rejected cascade leg does not undo the already-accepted
                 # primary update; the peer simply keeps its other shared piece
-                # unchanged and the trace records the refusal.
+                # unchanged and the trace records the refusal.  The dependent
+                # view now lags its base table, so the delta dependency check
+                # must diff it exactly until a leg goes through again.
+                app.manager.mark_view_unhealed(dependent_id)
                 trace.add_step(peer_name, "cascade_rejected", str(exc), self._clock.now())

@@ -48,6 +48,16 @@ class TransactionError(RelationalError):
     """A transaction was used incorrectly (double commit, no active txn, ...)."""
 
 
+class DiffConflictError(RelationalError):
+    """A :class:`~repro.relational.diff.TableDiff` cannot be applied to a table.
+
+    Raised when a diff disagrees with the table it is applied to: an insert
+    for a key that already exists, an update/delete for a key that does not,
+    or an update change whose ``after`` image lacks one of its
+    ``changed_columns``.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Bidirectional transformations
 # ---------------------------------------------------------------------------
@@ -70,6 +80,16 @@ class ViewShapeError(BXError):
 
 class UnknownLensError(BXError):
     """A BX registry lookup failed."""
+
+
+class DeltaUnsupported(BXError):
+    """A diff cannot be translated incrementally through a transformation.
+
+    Raised by ``get_delta``/``put_delta`` when no sound row-level translation
+    exists (e.g. functional projections whose support counts change, join
+    multiplicity, selection predicates over hidden columns).  Callers fall
+    back to the full ``get``/``put`` recomputation.
+    """
 
 
 # ---------------------------------------------------------------------------

@@ -2,16 +2,22 @@
 
 Read traffic dominates a serving layer, and a shared view only changes when
 the Fig. 5 propagation workflow runs.  The cache therefore subscribes to the
-:class:`~repro.core.workflow.UpdateCoordinator`'s shared-change hook: every
-successful propagation — including each cascaded step-6 leg — invalidates the
-cached views of the affected shared table on both peers, so readers never
-observe a stale view after a commit.
+:class:`~repro.core.workflow.UpdateCoordinator`'s shared-change hooks.  When
+the coordinator can describe a change as a row-level
+:class:`~repro.relational.diff.TableDiff` (the delta-propagation path), the
+cached views of the affected shared table are *patched in place* — only the
+touched rows are rewritten, so a single-row commit against a 10k-row view
+costs O(1) cache work and the next read is still a hit.  Only when no diff is
+available (a failed, half-installed commit) are the views dropped wholesale.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.errors import ReproError
+from repro.relational.diff import TableDiff
 from repro.relational.table import Table
 
 
@@ -24,6 +30,8 @@ class ViewCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.patches = 0
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -43,15 +51,16 @@ class ViewCache:
         """Return the cached view, loading (and caching) it on a miss."""
         if not self.enabled:
             return loader()
-        key = (peer, metadata_id)
-        cached = self._entries.get(key)
-        if cached is not None:
-            self.hits += 1
-            return cached
-        self.misses += 1
-        view = loader()
-        self._entries[key] = view
-        return view
+        with self._lock:
+            key = (peer, metadata_id)
+            cached = self._entries.get(key)
+            if cached is not None:
+                self.hits += 1
+                return cached
+            self.misses += 1
+            view = loader()
+            self._entries[key] = view
+            return view
 
     def peek(self, peer: str, metadata_id: str) -> Optional[Table]:
         return self._entries.get((peer, metadata_id))
@@ -60,24 +69,62 @@ class ViewCache:
 
     def invalidate(self, metadata_id: str) -> int:
         """Drop every peer's cached view of ``metadata_id``; returns how many."""
-        stale = [key for key in self._entries if key[1] == metadata_id]
-        for key in stale:
-            del self._entries[key]
-        self.invalidations += len(stale)
-        return len(stale)
+        with self._lock:
+            stale = [key for key in self._entries if key[1] == metadata_id]
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+            return len(stale)
 
     def invalidate_all(self) -> int:
-        count = len(self._entries)
-        self._entries.clear()
-        self.invalidations += count
-        return count
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            self.invalidations += count
+            return count
+
+    # ---------------------------------------------------------------- patching
+
+    def patch(self, metadata_id: str, diff: TableDiff) -> int:
+        """Apply a row-level diff to every cached view of ``metadata_id``.
+
+        Both peers of an agreement store the same shared-table contents, so
+        one view diff patches every peer's cached copy.  An entry the diff
+        does not apply to cleanly (it drifted somehow) is dropped instead, so
+        a patch can never leave a cached view stale.  Returns the number of
+        entries patched.
+        """
+        with self._lock:
+            patched = 0
+            for key in [key for key in self._entries if key[1] == metadata_id]:
+                try:
+                    self._entries[key].apply_diff(diff)
+                except ReproError:
+                    del self._entries[key]
+                    self.invalidations += 1
+                else:
+                    patched += 1
+            self.patches += patched
+            return patched
 
     # -------------------------------------------------------------- change hook
 
     def on_shared_change(self, metadata_id: str, operation: str,
                          peers: Tuple[str, str]) -> None:
-        """The :meth:`UpdateCoordinator.subscribe_shared_change` listener."""
+        """The :meth:`UpdateCoordinator.subscribe_shared_change` listener
+        (diff-less form): drops the affected views."""
         self.invalidate(metadata_id)
+
+    def on_shared_diff(self, metadata_id: str, operation: str,
+                       peers: Tuple[str, str],
+                       diff: Optional[TableDiff] = None) -> None:
+        """The :meth:`UpdateCoordinator.subscribe_shared_diff` listener:
+        patches the affected views row by row, dropping them only when the
+        change carries no diff."""
+        if diff is None:
+            self.invalidate(metadata_id)
+        elif not diff.is_empty:
+            self.patch(metadata_id, diff)
 
     def statistics(self) -> Dict[str, object]:
         return {
@@ -87,4 +134,5 @@ class ViewCache:
             "misses": self.misses,
             "hit_rate": self.hit_rate,
             "invalidations": self.invalidations,
+            "patches": self.patches,
         }

@@ -54,7 +54,10 @@ class SharingGateway:
         self.scheduler = WriteScheduler(max_batch_size=max_batch_size,
                                         max_edits_per_group=max_edits_per_group)
         self.cache = ViewCache(enabled=cache_enabled)
-        system.coordinator.subscribe_shared_change(self.cache.on_shared_change)
+        # The diff-aware hook patches cached views row by row when the
+        # coordinator hands over the change's TableDiff, and drops them only
+        # when it cannot (half-installed failures).
+        system.coordinator.subscribe_shared_diff(self.cache.on_shared_diff)
         self.default_rate = default_rate
         self.default_burst = default_burst
         self._sessions: Dict[str, GatewaySession] = {}
@@ -255,10 +258,12 @@ class SharingGateway:
                     self.writes_committed += 1
                 else:
                     self.writes_rejected += 1
-        # Defensive coherence: whatever each group's outcome, drop cached
-        # views of every table the batch may have touched (the coordinator's
-        # change listeners cover the normal paths; this covers the rest).
+        # Defensive coherence: successful groups were already patched row by
+        # row through the coordinator's diff listener, so only the tables a
+        # *failed* group may have half-touched are dropped wholesale.
         for trace in result.traces:
+            if trace.succeeded:
+                continue
             self.cache.invalidate(trace.metadata_id)
             for cascaded in trace.cascaded_metadata_ids:
                 self.cache.invalidate(cascaded)

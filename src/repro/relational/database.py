@@ -143,6 +143,19 @@ class Database:
         self.wal.append("replace", table_name, {"rows": len(table)},
                         self.transactions.current_transaction_id())
 
+    def apply_table_diff(self, table_name: str, diff: "TableDiff") -> None:  # noqa: F821
+        """Apply a keyed row-level diff to a table in place (logged).
+
+        The delta-propagation path uses this instead of :meth:`replace_table`
+        so only the changed rows are touched and secondary indexes stay fresh
+        without a rebuild.
+        """
+        table = self.table(table_name)
+        table.apply_diff(diff)
+        self.wal.append("apply_diff", table_name,
+                        {"changes": len(diff.changes), **diff.summary()},
+                        self.transactions.current_transaction_id())
+
     # ------------------------------------------------------------------- reads
 
     def query(self, query: Query, name: Optional[str] = None) -> Table:

@@ -169,18 +169,9 @@ def apply_diff(table: Table, diff: TableDiff) -> None:
     """Apply a keyed diff to ``table`` in place.
 
     The sharing peer that receives "updated data" applies the diff to its own
-    copy of the shared table before running the BX ``put``.
+    copy of the shared table before running the BX ``put``.  Delegates to
+    :meth:`Table.apply_diff`, which validates the diff against the current
+    contents (raising :class:`~repro.errors.DiffConflictError` on key
+    mismatches) and maintains every index incrementally.
     """
-    if not table.schema.primary_key:
-        raise SchemaError("apply_diff requires a keyed table")
-    for change in diff.changes:
-        if change.kind == "insert":
-            table.insert(change.after or {})
-        elif change.kind == "delete":
-            table.delete_by_key(change.key)
-        elif change.kind == "update":
-            after = change.after or {}
-            updates = {column: after[column] for column in change.changed_columns}
-            table.update_by_key(change.key, updates)
-        else:  # pragma: no cover - defensive
-            raise ValueError(f"unknown change kind {change.kind!r}")
+    table.apply_diff(diff)

@@ -12,7 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro.errors import SchemaError, UnknownTableError
+from repro.errors import DeltaUnsupported, SchemaError, UnknownTableError
+from repro.relational.diff import TableDiff
 from repro.relational.predicates import Predicate, TruePredicate
 from repro.relational.schema import Schema
 from repro.relational.table import Table
@@ -27,7 +28,26 @@ class Query:
 
     def output_schema(self, tables: Dict[str, Table]) -> Schema:
         """The schema the query produces (without materialising rows)."""
-        return self.execute(tables).schema
+        raise NotImplementedError
+
+    def get_delta(self, tables: Dict[str, Table], diff: TableDiff) -> TableDiff:
+        """Translate a diff of one base table into the diff of this query's
+        result, without re-executing the query.
+
+        Raises :class:`~repro.errors.DeltaUnsupported` when the node cannot
+        translate row-by-row (joins, key-erasing projections); callers fall
+        back to re-executing the query and diffing.
+        """
+        raise DeltaUnsupported(
+            f"{type(self).__name__} has no incremental evaluation"
+        )
+
+    def put_delta(self, tables: Dict[str, Table], view_diff: TableDiff) -> TableDiff:
+        """Translate a diff of this query's result back into a diff of the
+        underlying base table (the update-propagation direction)."""
+        raise DeltaUnsupported(
+            f"{type(self).__name__} has no incremental update translation"
+        )
 
     def to_dict(self) -> dict:
         raise NotImplementedError
@@ -62,6 +82,19 @@ class Scan(Query):
             raise UnknownTableError(f"unknown table {self.table!r}")
         return tables[self.table].snapshot()
 
+    def output_schema(self, tables: Dict[str, Table]) -> Schema:
+        if self.table not in tables:
+            raise UnknownTableError(f"unknown table {self.table!r}")
+        return tables[self.table].schema
+
+    def get_delta(self, tables: Dict[str, Table], diff: TableDiff) -> TableDiff:
+        if diff.table_name != self.table:
+            return TableDiff(table_name=self.table, changes=())
+        return diff
+
+    def put_delta(self, tables: Dict[str, Table], view_diff: TableDiff) -> TableDiff:
+        return TableDiff(table_name=self.table, changes=view_diff.changes)
+
     def to_dict(self) -> dict:
         return {"kind": "scan", "table": self.table}
 
@@ -76,6 +109,44 @@ class Project(Query):
 
     def execute(self, tables: Dict[str, Table]) -> Table:
         return self.child.execute(tables).project(list(self.columns), distinct=self.distinct)
+
+    def output_schema(self, tables: Dict[str, Table]) -> Schema:
+        return self.child.output_schema(tables).project(list(self.columns))
+
+    def get_delta(self, tables: Dict[str, Table], diff: TableDiff) -> TableDiff:
+        from repro.bx.delta import projection_get_change, translate_diff
+
+        child_schema = self.child.output_schema(tables)
+        if not child_schema.primary_key or not all(
+                k in self.columns for k in child_schema.primary_key):
+            raise DeltaUnsupported(
+                "projection drops the child's primary key; duplicate collapse "
+                "depends on support counts only a full re-execution sees"
+            )
+        child_diff = self.child.get_delta(tables, diff)
+        return translate_diff(
+            child_diff, child_diff.table_name,
+            lambda change: projection_get_change(change, self.columns, "project"),
+        )
+
+    def put_delta(self, tables: Dict[str, Table], view_diff: TableDiff) -> TableDiff:
+        from repro.bx.delta import projection_put_change, translate_diff
+        from repro.bx.lens import DeletePolicy, InsertPolicy
+
+        child_schema = self.child.output_schema(tables)
+        if not child_schema.primary_key or not all(
+                k in self.columns for k in child_schema.primary_key):
+            raise DeltaUnsupported(
+                "projection drops the child's primary key; updates cannot be "
+                "aligned to child rows"
+            )
+        child_diff = translate_diff(
+            view_diff, view_diff.table_name,
+            lambda change: projection_put_change(
+                change, child_schema, self.columns,
+                DeletePolicy.DELETE, InsertPolicy.INSERT_WITH_NULLS, "project"),
+        )
+        return self.child.put_delta(tables, child_diff)
 
     def to_dict(self) -> dict:
         return {
@@ -103,6 +174,34 @@ class Select(Query):
             return tables[self.child.table].where(self.predicate)
         return self.child.execute(tables).where(self.predicate)
 
+    def output_schema(self, tables: Dict[str, Table]) -> Schema:
+        return self.child.output_schema(tables)
+
+    def get_delta(self, tables: Dict[str, Table], diff: TableDiff) -> TableDiff:
+        from repro.bx.delta import selection_get_change, translate_diff
+
+        if not self.child.output_schema(tables).primary_key:
+            raise DeltaUnsupported("selection delta requires a keyed child")
+        child_diff = self.child.get_delta(tables, diff)
+        return translate_diff(
+            child_diff, child_diff.table_name,
+            lambda change: selection_get_change(change, self.predicate),
+        )
+
+    def put_delta(self, tables: Dict[str, Table], view_diff: TableDiff) -> TableDiff:
+        from repro.bx.delta import selection_put_change, translate_diff
+        from repro.bx.lens import DeletePolicy, InsertPolicy
+
+        if not self.child.output_schema(tables).primary_key:
+            raise DeltaUnsupported("selection delta requires a keyed child")
+        child_diff = translate_diff(
+            view_diff, view_diff.table_name,
+            lambda change: selection_put_change(
+                change, self.predicate,
+                DeletePolicy.DELETE, InsertPolicy.INSERT_WITH_NULLS, "select"),
+        )
+        return self.child.put_delta(tables, child_diff)
+
     def to_dict(self) -> dict:
         return {
             "kind": "select",
@@ -123,6 +222,28 @@ class Rename(Query):
 
     def execute(self, tables: Dict[str, Table]) -> Table:
         return self.child.execute(tables).rename_columns(self.mapping)
+
+    def output_schema(self, tables: Dict[str, Table]) -> Schema:
+        return self.child.output_schema(tables).rename(self.mapping)
+
+    def get_delta(self, tables: Dict[str, Table], diff: TableDiff) -> TableDiff:
+        from repro.bx.delta import renamed_change, translate_diff
+
+        child_diff = self.child.get_delta(tables, diff)
+        return translate_diff(
+            child_diff, child_diff.table_name,
+            lambda change: renamed_change(change, self.mapping),
+        )
+
+    def put_delta(self, tables: Dict[str, Table], view_diff: TableDiff) -> TableDiff:
+        from repro.bx.delta import renamed_change, translate_diff
+
+        reverse = {v: k for k, v in self.mapping.items()}
+        child_diff = translate_diff(
+            view_diff, view_diff.table_name,
+            lambda change: renamed_change(change, reverse),
+        )
+        return self.child.put_delta(tables, child_diff)
 
     def to_dict(self) -> dict:
         return {"kind": "rename", "child": self.child.to_dict(), "mapping": dict(self.mapping)}
@@ -157,6 +278,20 @@ class Join(Query):
                     combined[column] = match[column]
                 out_rows.append(combined)
         return Table(f"{left.name}_join_{right.name}", merged_schema, out_rows)
+
+    def output_schema(self, tables: Dict[str, Table]) -> Schema:
+        left = self.left.output_schema(tables)
+        right = self.right.output_schema(tables)
+        for column in self.on:
+            if not left.has_column(column) or not right.has_column(column):
+                raise SchemaError(f"join column {column!r} missing from an input")
+        return Schema(columns=left.merge(right).columns, primary_key=())
+
+    def get_delta(self, tables: Dict[str, Table], diff: TableDiff) -> TableDiff:
+        raise DeltaUnsupported(
+            "a join multiplies rows per key; one input change can touch many "
+            "output rows, so fall back to re-executing the join"
+        )
 
     def to_dict(self) -> dict:
         return {

@@ -14,6 +14,7 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optio
 from repro.crypto.hashing import hash_payload
 from repro.errors import (
     ConstraintViolation,
+    DiffConflictError,
     RowNotFoundError,
     SchemaError,
     UnknownColumnError,
@@ -33,7 +34,7 @@ class Table:
         self.schema = schema
         self._rows: List[Row] = []
         self._key_index: Dict[Tuple[Any, ...], int] = {}
-        #: columns tuple → secondary hash index, kept fresh lazily on reads.
+        #: columns tuple → secondary hash index, maintained in place per write.
         self._secondary_indexes: Dict[Tuple[str, ...], "HashIndex"] = {}  # noqa: F821
         for row in rows:
             self.insert(row)
@@ -121,8 +122,9 @@ class Table:
     def add_index(self, columns: Sequence[str]) -> "HashIndex":  # noqa: F821
         """Create (or return) a secondary hash index on ``columns``.
 
-        The index is maintained lazily: mutations mark it stale and the next
-        lookup rebuilds it, so write-heavy phases pay nothing per write.
+        Point writes maintain the index in place (O(changed rows)); only the
+        wholesale ``replace_all``/``clear`` mark it stale for a lazy rebuild
+        on the next lookup.
         """
         from repro.relational.index import HashIndex
 
@@ -148,6 +150,23 @@ class Table:
         for index in self._secondary_indexes.values():
             index.mark_stale()
 
+    def _indexes_note_insert(self, row: Row) -> None:
+        for index in self._secondary_indexes.values():
+            index.note_insert(row)
+
+    def _indexes_note_delete(self, row: Row) -> None:
+        for index in self._secondary_indexes.values():
+            index.note_delete(row)
+
+    def _indexes_note_update(self, old_row: Row, new_row: Row) -> None:
+        for index in self._secondary_indexes.values():
+            index.note_update(old_row, new_row)
+
+    def position_of_key(self, key: Sequence[Any]) -> Optional[int]:
+        """The row position of a primary-key tuple, or None when absent."""
+        key_tuple = tuple(key) if isinstance(key, (list, tuple)) else (key,)
+        return self._key_index.get(key_tuple)
+
     # ------------------------------------------------------------------ writes
 
     def insert(self, values: Mapping[str, Any]) -> Row:
@@ -161,7 +180,7 @@ class Table:
                 )
             self._key_index[key] = len(self._rows)
         self._rows.append(row)
-        self._touch_indexes()
+        self._indexes_note_insert(row)
         return row
 
     def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> List[Row]:
@@ -187,7 +206,7 @@ class Table:
             del self._key_index[key_tuple]
             self._key_index[new_key] = position
         self._rows[position] = candidate
-        self._touch_indexes()
+        self._indexes_note_update(current, candidate)
         return candidate
 
     def update_where(self, predicate: Predicate, updates: Mapping[str, Any]) -> int:
@@ -208,8 +227,8 @@ class Table:
                     del self._key_index[old_key]
                 self._key_index[new_key] = position
             self._rows[position] = candidate
+            self._indexes_note_update(row, candidate)
             count += 1
-        self._touch_indexes()
         return count
 
     def delete_by_key(self, key: Sequence[Any]) -> Row:
@@ -222,16 +241,20 @@ class Table:
         position = self._key_index.pop(key_tuple)
         removed = self._rows.pop(position)
         self._reindex()
-        self._touch_indexes()
+        self._indexes_note_delete(removed)
         return removed
 
     def delete_where(self, predicate: Predicate) -> int:
         """Delete every row matching ``predicate``; returns the number removed."""
-        before = len(self._rows)
-        self._rows = [row for row in self._rows if not predicate.evaluate(row)]
+        kept: List[Row] = []
+        removed: List[Row] = []
+        for row in self._rows:
+            (removed if predicate.evaluate(row) else kept).append(row)
+        self._rows = kept
         self._reindex()
-        self._touch_indexes()
-        return before - len(self._rows)
+        for row in removed:
+            self._indexes_note_delete(row)
+        return len(removed)
 
     def clear(self) -> None:
         """Remove every row."""
@@ -257,6 +280,159 @@ class Table:
             return
         for position, row in enumerate(self._rows):
             self._key_index[self._key_of(row)] = position
+
+    # -------------------------------------------------------------------- diffs
+
+    def apply_diff(self, diff: "TableDiff") -> None:  # noqa: F821
+        """Apply a keyed row-level diff in place, atomically, maintaining
+        every index.
+
+        This is the receiving half of the delta-propagation path: instead of
+        replacing the whole table, only the rows named by ``diff`` are
+        touched, and both the primary-key index and every secondary hash
+        index are updated from the same changes.  The diff applies
+        all-or-nothing: if any change fails, the already-applied prefix is
+        rolled back (matching the seed path, whose whole-table replace never
+        installed on failure).
+
+        Raises :class:`~repro.errors.DiffConflictError` when the diff
+        disagrees with the current contents: an insert for an existing key,
+        an update/delete for a missing key, or an update whose ``after``
+        image lacks one of its ``changed_columns``.
+        """
+        if not self.schema.primary_key:
+            raise SchemaError(f"apply_diff requires a keyed table, {self.name!r} has no key")
+        #: Inverse operations of the applied prefix, newest last.
+        undo: List[Tuple[str, Any, Any]] = []
+        try:
+            for change in diff.changes:
+                self._apply_one_change(change, undo)
+        except Exception:
+            for kind, key, payload in reversed(undo):
+                if kind == "delete":
+                    self.delete_by_key(key)
+                elif kind == "insert":
+                    self.insert(payload)
+                else:
+                    self.update_by_key(key, payload)
+            raise
+
+    def _apply_one_change(self, change: "RowChange",  # noqa: F821
+                          undo: List[Tuple[str, Any, Any]]) -> None:
+        """Apply one diff change, appending its inverse operation to ``undo``."""
+        key_tuple = tuple(change.key)
+        if change.kind == "insert":
+            after = dict(change.after or {})
+            staged = self._validate(after)
+            staged_key = self._key_of(staged)
+            if staged_key in self._key_index:
+                raise DiffConflictError(
+                    f"diff inserts key {staged_key!r} which already exists "
+                    f"in table {self.name!r}"
+                )
+            self.insert(after)
+            undo.append(("delete", staged_key, None))
+        elif change.kind == "delete":
+            if key_tuple not in self._key_index:
+                raise DiffConflictError(
+                    f"diff deletes key {key_tuple!r} which is absent "
+                    f"from table {self.name!r}"
+                )
+            removed = self.delete_by_key(key_tuple)
+            undo.append(("insert", key_tuple, removed.to_dict()))
+        elif change.kind == "update":
+            if key_tuple not in self._key_index:
+                raise DiffConflictError(
+                    f"diff updates key {key_tuple!r} which is absent "
+                    f"from table {self.name!r}"
+                )
+            after = change.after or {}
+            unknown = [c for c in change.changed_columns
+                       if not self.schema.has_column(c)]
+            if unknown:
+                raise UnknownColumnError(
+                    f"diff changes unknown column(s) {unknown} of table {self.name!r}"
+                )
+            missing = [c for c in change.changed_columns if c not in after]
+            if missing:
+                raise DiffConflictError(
+                    f"diff update for key {key_tuple!r} lacks values for "
+                    f"changed column(s) {missing}"
+                )
+            previous = self._rows[self._key_index[key_tuple]]
+            updated = self.update_by_key(
+                key_tuple, {c: after[c] for c in change.changed_columns})
+            undo.append(("update", self._key_of(updated), previous.to_dict()))
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown change kind {change.kind!r}")
+
+    def diff_for_update(self, key: Sequence[Any], updates: Mapping[str, Any]) -> "TableDiff":  # noqa: F821
+        """The :class:`TableDiff` that ``update_by_key(key, updates)`` would
+        cause, computed in O(1) without snapshotting the table.
+
+        Validates exactly like :meth:`update_by_key` (missing key, constraint
+        and key-collision checks) but leaves the table untouched.  A key
+        change is represented as a delete+insert pair, matching
+        :func:`~repro.relational.diff.diff_tables`.
+        """
+        from repro.relational.diff import RowChange, TableDiff
+
+        if not self.schema.primary_key:
+            raise ConstraintViolation(f"table {self.name!r} has no primary key")
+        key_tuple = tuple(key) if isinstance(key, (list, tuple)) else (key,)
+        if key_tuple not in self._key_index:
+            raise RowNotFoundError(f"no row with key {key_tuple!r} in table {self.name!r}")
+        current = self._rows[self._key_index[key_tuple]]
+        candidate = self._validate(current.merged(updates).to_dict())
+        changed = tuple(
+            column for column in self.schema.column_names
+            if current[column] != candidate[column]
+        )
+        if not changed:
+            return TableDiff(table_name=self.name, changes=())
+        new_key = self._key_of(candidate)
+        if new_key != key_tuple:
+            if new_key in self._key_index:
+                raise ConstraintViolation(
+                    f"primary key change collides with existing key {new_key!r}"
+                )
+            return TableDiff(table_name=self.name, changes=(
+                RowChange("delete", key_tuple, current.to_dict(), None),
+                RowChange("insert", new_key, None, candidate.to_dict()),
+            ))
+        return TableDiff(table_name=self.name, changes=(
+            RowChange("update", key_tuple, current.to_dict(), candidate.to_dict(), changed),
+        ))
+
+    def diff_for_insert(self, values: Mapping[str, Any]) -> "TableDiff":  # noqa: F821
+        """The :class:`TableDiff` that ``insert(values)`` would cause (O(1))."""
+        from repro.relational.diff import RowChange, TableDiff
+
+        if not self.schema.primary_key:
+            raise ConstraintViolation(f"table {self.name!r} has no primary key")
+        candidate = self._validate(values)
+        key = self._key_of(candidate)
+        if key in self._key_index:
+            raise ConstraintViolation(
+                f"duplicate primary key {key!r} in table {self.name!r}"
+            )
+        return TableDiff(table_name=self.name, changes=(
+            RowChange("insert", key, None, candidate.to_dict()),
+        ))
+
+    def diff_for_delete(self, key: Sequence[Any]) -> "TableDiff":  # noqa: F821
+        """The :class:`TableDiff` that ``delete_by_key(key)`` would cause (O(1))."""
+        from repro.relational.diff import RowChange, TableDiff
+
+        if not self.schema.primary_key:
+            raise ConstraintViolation(f"table {self.name!r} has no primary key")
+        key_tuple = tuple(key) if isinstance(key, (list, tuple)) else (key,)
+        if key_tuple not in self._key_index:
+            raise RowNotFoundError(f"no row with key {key_tuple!r} in table {self.name!r}")
+        current = self._rows[self._key_index[key_tuple]]
+        return TableDiff(table_name=self.name, changes=(
+            RowChange("delete", key_tuple, current.to_dict(), None),
+        ))
 
     # ------------------------------------------------------------------- reads
 

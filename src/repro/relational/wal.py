@@ -24,7 +24,8 @@ class WalEntry:
     sequence:
         Monotonically increasing sequence number.
     operation:
-        ``"create_table" | "insert" | "update" | "delete" | "replace" | "drop_table"``.
+        ``"create_table" | "insert" | "update" | "delete" | "replace" |
+        "apply_diff" | "drop_table"``.
     table:
         Target table name.
     payload:

@@ -1,0 +1,242 @@
+"""Delta round-trips: ``get_delta``/``put_delta`` agree with full ``get``/``put``.
+
+Property-style tests over seeded random edit sequences: for every lens
+combinator, translating a diff through the lens and applying it must land on
+exactly the table (``Table.fingerprint()``) the full recomputation produces.
+The fallback conditions (functional projections, hidden-column predicates,
+keyless sources) must raise :class:`~repro.errors.DeltaUnsupported` so
+callers can fall back instead of silently diverging.
+"""
+
+import random
+
+import pytest
+
+from repro.bx import (
+    ComposeLens,
+    DeletePolicy,
+    IdentityLens,
+    InsertPolicy,
+    ProjectionLens,
+    RenameLens,
+    SelectionLens,
+)
+from repro.errors import DeltaUnsupported, PutConflictError, ViewShapeError
+from repro.relational.diff import RowChange, TableDiff, diff_tables
+from repro.relational.predicates import Gt, In
+from repro.relational.schema import Column, DataType, Schema
+from repro.relational.table import Table
+
+SOURCE_SCHEMA = Schema(
+    columns=(
+        Column("id", DataType.INTEGER, nullable=False),
+        Column("city", DataType.STRING),
+        Column("age", DataType.INTEGER),
+        Column("score", DataType.FLOAT),
+        Column("note", DataType.STRING),
+    ),
+    primary_key=("id",),
+)
+
+CITIES = ("Sapporo", "Osaka", "Kyoto", "Kobe", "Nara")
+
+
+def _random_row(rng, row_id):
+    return {
+        "id": row_id,
+        "city": rng.choice(CITIES),
+        "age": rng.randint(20, 80),
+        "score": round(rng.uniform(0, 10), 2),
+        "note": f"n{rng.randint(0, 99)}",
+    }
+
+
+def _random_source(rng, rows=12):
+    return Table("S", SOURCE_SCHEMA,
+                 [_random_row(rng, row_id) for row_id in range(1, rows + 1)])
+
+
+def _random_edits(rng, table, count, fresh_ids, value_domains=None):
+    """Apply ``count`` random inserts/updates/deletes to ``table`` in place.
+
+    ``value_domains`` optionally constrains generated values per column (used
+    to keep view edits inside a selection predicate's visible set).
+    """
+    key_columns = table.schema.primary_key
+
+    def value_for(column):
+        if value_domains and column.name in value_domains:
+            return value_domains[column.name](rng)
+        if column.dtype is DataType.INTEGER:
+            return rng.randint(20, 80)
+        if column.dtype is DataType.FLOAT:
+            return round(rng.uniform(0, 10), 2)
+        return f"{column.name[0]}{rng.randint(0, 99)}"
+
+    for _ in range(count):
+        keys = table.keys()
+        op = rng.choice(("insert", "update", "update", "delete"))
+        if op == "insert" or not keys:
+            row_id = next(fresh_ids)
+            values = {c.name: value_for(c) for c in table.schema.columns
+                      if c.name not in key_columns}
+            values[key_columns[0]] = row_id
+            table.insert(values)
+        elif op == "delete":
+            table.delete_by_key(rng.choice(keys))
+        else:
+            key = rng.choice(keys)
+            candidates = [c for c in table.schema.columns if c.name not in key_columns]
+            column = rng.choice(candidates)
+            table.update_by_key(key, {column.name: value_for(column)})
+
+
+def _keyed_lenses():
+    projection = ProjectionLens(["id", "city", "age"], view_name="V")
+    selection = SelectionLens(Gt("age", 30), view_name="V")
+    rename = RenameLens({"city": "town", "age": "years"}, view_name="V")
+    return {
+        "projection": projection,
+        "selection": selection,
+        "rename": rename,
+        "identity": IdentityLens(view_name="V"),
+        "selection;projection": ComposeLens(
+            SelectionLens(Gt("age", 30)), ProjectionLens(["id", "city", "age"]),
+            view_name="V"),
+        "selection;projection;rename": ComposeLens(
+            ComposeLens(SelectionLens(Gt("age", 30)),
+                        ProjectionLens(["id", "city", "age"])),
+            RenameLens({"city": "town", "age": "years"}),
+            view_name="V"),
+    }
+
+
+#: Keeps every generated view-side age/years value inside Gt("age", 30), so
+#: random view edits are legal for the selection-based combinators.
+VIEW_DOMAINS = {
+    "age": lambda rng: rng.randint(31, 90),
+    "years": lambda rng: rng.randint(31, 90),
+}
+
+
+@pytest.mark.parametrize("lens_name", sorted(_keyed_lenses()))
+@pytest.mark.parametrize("seed", range(8))
+class TestDeltaRoundTrips:
+    def test_get_delta_matches_full_get(self, lens_name, seed):
+        rng = random.Random(1000 + seed)
+        lens = _keyed_lenses()[lens_name]
+        source = _random_source(rng)
+        view = lens.get(source)
+
+        updated = source.snapshot()
+        fresh_ids = iter(range(100, 200))
+        _random_edits(rng, updated, count=6, fresh_ids=fresh_ids)
+        source_diff = diff_tables(source, updated)
+
+        view_delta = lens.get_delta(source.schema, source_diff)
+        patched = view.snapshot()
+        patched.apply_diff(view_delta)
+        assert patched.fingerprint() == lens.get(updated).fingerprint()
+
+    def test_put_delta_matches_full_put(self, lens_name, seed):
+        rng = random.Random(2000 + seed)
+        lens = _keyed_lenses()[lens_name]
+        source = _random_source(rng)
+        view = lens.get(source)
+
+        edited = view.snapshot()
+        fresh_ids = iter(range(100, 200))
+        _random_edits(rng, edited, count=5, fresh_ids=fresh_ids,
+                      value_domains=VIEW_DOMAINS)
+        view_diff = diff_tables(view, edited)
+
+        source_delta = lens.put_delta(source.schema, view_diff)
+        patched = source.snapshot()
+        patched.apply_diff(source_delta)
+        assert patched.fingerprint() == lens.put(source, edited).fingerprint()
+
+
+class TestFallbackConditions:
+    def test_functional_projection_get_delta_unsupported(self, people_table):
+        lens = ProjectionLens(["city", "age"], view_key=("city",))
+        diff = TableDiff("people", (RowChange(
+            "update", (1,),
+            {"id": 1, "name": "Aiko", "city": "Sapporo", "age": 34},
+            {"id": 1, "name": "Aiko", "city": "Sapporo", "age": 35},
+            ("age",)),))
+        with pytest.raises(DeltaUnsupported):
+            lens.get_delta(people_table.schema, diff)
+        with pytest.raises(DeltaUnsupported):
+            lens.put_delta(people_table.schema, diff)
+
+    def test_keyless_source_unsupported_for_selection(self):
+        schema = Schema.build(["v"])
+        lens = SelectionLens(Gt("v", "a"))
+        diff = TableDiff("t", ())
+        with pytest.raises(DeltaUnsupported):
+            lens.get_delta(schema, diff)
+
+    def test_hidden_predicate_column_unsupported_in_put(self, people_schema):
+        # The selection filters on "age" but the outer projection hides it, so
+        # the backward delta cannot check the predicate on view changes.
+        lens = ComposeLens(SelectionLens(Gt("age", 30)),
+                           ProjectionLens(["id", "city"]))
+        view_diff = TableDiff("V", (RowChange(
+            "update", (1,), {"id": 1, "city": "Sapporo"},
+            {"id": 1, "city": "Osaka"}, ("city",)),))
+        with pytest.raises(DeltaUnsupported):
+            lens.put_delta(people_schema, view_diff)
+
+    def test_base_lens_has_no_delta(self, people_schema):
+        from repro.bx.lens import Lens
+
+        with pytest.raises(DeltaUnsupported):
+            Lens().get_delta(people_schema, TableDiff("t", ()))
+        with pytest.raises(DeltaUnsupported):
+            Lens().put_delta(people_schema, TableDiff("t", ()))
+
+
+class TestPoliciesAndPredicates:
+    def _update_change(self):
+        return TableDiff("V", (RowChange(
+            "update", (1,),
+            {"id": 1, "city": "Sapporo", "age": 34},
+            {"id": 1, "city": "Sapporo", "age": 20},
+            ("age",)),))
+
+    def test_put_delta_rejects_predicate_violation(self, people_schema):
+        lens = SelectionLens(Gt("age", 30))
+        with pytest.raises(ViewShapeError):
+            lens.put_delta(people_schema, self._update_change())
+
+    def test_put_delta_honours_forbid_delete(self, people_schema):
+        lens = ProjectionLens(["id", "city", "age"], on_delete=DeletePolicy.FORBID)
+        diff = TableDiff("V", (RowChange(
+            "delete", (1,), {"id": 1, "city": "Sapporo", "age": 34}, None),))
+        with pytest.raises(PutConflictError):
+            lens.put_delta(people_schema, diff)
+
+    def test_put_delta_honours_forbid_insert(self, people_schema):
+        lens = ProjectionLens(["id", "city", "age"], on_insert=InsertPolicy.FORBID)
+        diff = TableDiff("V", (RowChange(
+            "insert", (9,), None, {"id": 9, "city": "Kobe", "age": 50}),))
+        with pytest.raises(PutConflictError):
+            lens.put_delta(people_schema, diff)
+
+    def test_get_delta_translates_visibility_transitions(self, people_schema):
+        lens = SelectionLens(Gt("age", 30))
+        before = {"id": 3, "name": "Chie", "city": "Kyoto", "age": 29}
+        after = dict(before, age=31)
+        diff = TableDiff("people", (RowChange("update", (3,), before, after, ("age",)),))
+        translated = lens.get_delta(people_schema, diff)
+        assert [c.kind for c in translated.changes] == ["insert"]
+        reverse = TableDiff("people", (RowChange("update", (3,), after, before, ("age",)),))
+        translated = lens.get_delta(people_schema, reverse)
+        assert [c.kind for c in translated.changes] == ["delete"]
+
+    def test_get_delta_drops_hidden_column_updates(self, people_schema):
+        lens = ProjectionLens(["id", "city"])
+        before = {"id": 1, "name": "Aiko", "city": "Sapporo", "age": 34}
+        diff = TableDiff("people", (RowChange(
+            "update", (1,), before, dict(before, age=35), ("age",)),))
+        assert lens.get_delta(people_schema, diff).is_empty

@@ -1,0 +1,178 @@
+"""The delta-propagation path of the update workflow.
+
+The delta path (``SystemConfig.delta_propagation=True``, the default) must be
+observably identical to the seed's full-recompute path: same traces, same
+cascades, and byte-identical ``Table.fingerprint()`` for every table of every
+peer.  Where a lens cannot translate a diff it must fall back, and the
+sampled full-recompute oracle must catch a diverging delta.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.scenario import (
+    CARE_TABLE,
+    DOCTOR_RESEARCHER_TABLE,
+    PATIENT_DOCTOR_TABLE,
+    STUDY_TABLE,
+    build_extended_scenario,
+    build_paper_scenario,
+)
+from repro.errors import SynchronizationError
+
+
+def _full_config() -> SystemConfig:
+    return replace(SystemConfig.private_chain(), delta_propagation=False)
+
+
+def _all_fingerprints(system):
+    return {
+        (peer.name, table_name): peer.database.table(table_name).fingerprint()
+        for peer in system.peers
+        for table_name in sorted(peer.database.table_names)
+    }
+
+
+def _run_mixed_workload(system):
+    traces = [
+        # Cascading dosage update: STUDY → doctor's D3 → CARE → patient.
+        system.coordinator.update_shared_entry(
+            "researcher", STUDY_TABLE, (188,), {"dosage": "two tablets every 12h"}),
+        # Entry-level create and delete through the CARE lenses.
+        system.coordinator.create_shared_entry(
+            "doctor", CARE_TABLE,
+            {"patient_id": 500, "medication_name": "Aspirin",
+             "clinical_data": "CliD-500", "dosage": "low dose"}),
+        system.coordinator.update_shared_entry(
+            "patient", CARE_TABLE, (500,), {"clinical_data": "CliD-500-v2"}),
+        system.coordinator.delete_shared_entry("doctor", CARE_TABLE, (189,)),
+    ]
+    return traces
+
+
+class TestDeltaEquivalence:
+    def test_delta_and_full_paths_produce_identical_tables(self):
+        delta_system = build_extended_scenario(SystemConfig.private_chain())
+        full_system = build_extended_scenario(_full_config())
+        assert delta_system.coordinator.delta_enabled
+        assert not full_system.coordinator.delta_enabled
+
+        delta_traces = _run_mixed_workload(delta_system)
+        full_traces = _run_mixed_workload(full_system)
+
+        for delta_trace, full_trace in zip(delta_traces, full_traces):
+            assert delta_trace.succeeded and full_trace.succeeded
+            assert delta_trace.cascaded_metadata_ids == full_trace.cascaded_metadata_ids
+        assert _all_fingerprints(delta_system) == _all_fingerprints(full_system)
+
+    def test_delta_path_actually_engages(self):
+        system = build_extended_scenario(SystemConfig.private_chain())
+        system.coordinator.update_shared_entry(
+            "researcher", STUDY_TABLE, (188,), {"dosage": "two tablets every 12h"})
+        stats = system.server_app("doctor").manager.statistics
+        assert stats["delta_put_invocations"] >= 1
+        assert stats["delta_verifications"] >= 1
+        # The doctor absorbed the STUDY change and re-shared CARE without a
+        # single full put on the delta path.
+        assert stats["put_invocations"] == 0
+
+    def test_functional_projection_falls_back_to_full_path(self):
+        system = build_paper_scenario()
+        trace = system.coordinator.update_shared_entry(
+            "researcher", DOCTOR_RESEARCHER_TABLE, ("Ibuprofen",),
+            {"mechanism_of_action": "MeA1-revised"})
+        assert trace.succeeded
+        # The doctor's D32 lens aligns by medication name (functional), so its
+        # put went through the full path; the researcher's keyed D23 did not.
+        doctor = system.server_app("doctor").manager.statistics
+        researcher = system.server_app("researcher").manager.statistics
+        assert doctor["delta_fallbacks"] >= 1
+        assert doctor["put_invocations"] >= 1
+        assert researcher["delta_put_invocations"] == 1
+        assert researcher["put_invocations"] == 0
+        assert system.peer("doctor").local_table("D3").get(188)[
+            "mechanism_of_action"] == "MeA1-revised"
+
+    def test_fallback_reflect_matches_full_result(self):
+        system = build_paper_scenario()
+        manager = system.server_app("doctor").manager
+        stored = system.peer("doctor").shared_table(DOCTOR_RESEARCHER_TABLE)
+        diff = stored.diff_for_update(("Ibuprofen",), {"mechanism_of_action": "X"})
+        manager.apply_incoming_diff(DOCTOR_RESEARCHER_TABLE, diff)
+        manager.reflect_shared_table_delta(DOCTOR_RESEARCHER_TABLE, diff)
+        assert manager.statistics["delta_fallbacks"] >= 1
+        # The functional put updated *every* D3 row of that medication.
+        d3 = system.peer("doctor").local_table("D3")
+        assert d3.get(188)["mechanism_of_action"] == "X"
+
+
+class TestRejectedCascadeHealing:
+    def test_rejected_cascade_leg_heals_on_next_propagation(self):
+        """A rejected cascade leg leaves the dependent view behind its base
+        table.  The forward delta translation only carries *new* changes, so
+        the dependency check must fall back to exact diffing for that view
+        until a leg succeeds — otherwise the missed rows would never reach
+        the other peer."""
+        system = build_extended_scenario(SystemConfig.private_chain())
+        # The doctor (CARE's authority) temporarily loses dosage write
+        # permission, so the CARE cascade leg of a STUDY update is rejected.
+        system.coordinator.change_permission(
+            "doctor", CARE_TABLE, "dosage", ["Patient"])
+        trace = system.coordinator.update_shared_entry(
+            "researcher", STUDY_TABLE, (188,), {"dosage": "missed dose"})
+        assert trace.succeeded
+        assert any(step.action == "cascade_rejected" for step in trace.steps)
+        # The doctor's base table absorbed the change but the patient never
+        # saw it.
+        assert system.peer("doctor").local_table("D3").get(188)["dosage"] == "missed dose"
+        assert system.peer("patient").local_table("D1").get(188)["dosage"] != "missed dose"
+
+        # Permission restored; a later update of a *different* row cascades.
+        system.coordinator.change_permission(
+            "doctor", CARE_TABLE, "dosage", ["Doctor"])
+        trace = system.coordinator.update_shared_entry(
+            "researcher", STUDY_TABLE, (189,), {"dosage": "other dose"})
+        assert trace.succeeded
+        assert CARE_TABLE in trace.cascaded_metadata_ids
+        # The healed cascade carried the missed row 188 along with row 189.
+        patient_d1 = system.peer("patient").local_table("D1")
+        assert patient_d1.get(188)["dosage"] == "missed dose"
+        assert patient_d1.get(189)["dosage"] == "other dose"
+
+
+class TestSampledVerification:
+    def test_refresh_oracle_detects_divergence(self):
+        system = build_paper_scenario()
+        manager = system.server_app("patient").manager
+        manager.delta_verify_interval = 1
+        stored = system.peer("patient").shared_table(PATIENT_DOCTOR_TABLE)
+        # A view diff that corresponds to no base-table change: applying it
+        # desynchronises the stored view, which the full-get oracle catches.
+        bogus = stored.diff_for_update((188,), {"dosage": "not derived from D1"})
+        with pytest.raises(SynchronizationError):
+            manager.refresh_shared_table_delta(PATIENT_DOCTOR_TABLE, bogus)
+
+    def test_verification_interval_is_sampled(self):
+        system = build_extended_scenario(SystemConfig.private_chain())
+        manager = system.server_app("researcher").manager
+        assert manager.delta_verify_interval == 16
+        for round_index in range(3):
+            system.coordinator.update_shared_entry(
+                "researcher", STUDY_TABLE, (188,),
+                {"dosage": f"round-{round_index}"})
+        stats = manager.statistics
+        # Only the first delta application was verified; the rest rode the
+        # O(changed rows) path.
+        assert stats["delta_put_invocations"] == 3
+        assert stats["delta_verifications"] == 1
+
+    def test_interval_zero_disables_verification(self):
+        config = replace(SystemConfig.private_chain(), delta_verify_interval=0)
+        system = build_extended_scenario(config)
+        system.coordinator.update_shared_entry(
+            "researcher", STUDY_TABLE, (188,), {"dosage": "unverified"})
+        stats = system.server_app("researcher").manager.statistics
+        assert stats["delta_put_invocations"] >= 1
+        assert stats["delta_verifications"] == 0

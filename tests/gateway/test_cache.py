@@ -60,9 +60,49 @@ class TestViewCacheUnit:
         assert len(loads) == 3
         assert len(cache) == 0
 
+    def test_patch_rewrites_only_touched_rows(self):
+        from repro.relational.diff import RowChange, TableDiff
 
-class TestInvalidationThroughWorkflow:
-    def test_update_invalidates_both_peers_views(self, paper_gateway):
+        cache = ViewCache()
+        cache.get("doctor", "T1", lambda: _table(rows=((1, "a"), (2, "b"))))
+        cache.get("patient", "T1", lambda: _table(rows=((1, "a"), (2, "b"))))
+        diff = TableDiff("T1", (
+            RowChange("update", (1,), {"id": 1, "v": "a"}, {"id": 1, "v": "a2"}, ("v",)),
+            RowChange("insert", (3,), None, {"id": 3, "v": "c"}),
+        ))
+        assert cache.patch("T1", diff) == 2
+        assert cache.patches == 2
+        for peer in ("doctor", "patient"):
+            patched = cache.peek(peer, "T1")
+            assert patched.get((1,))["v"] == "a2"
+            assert patched.get((3,))["v"] == "c"
+            assert len(patched) == 3
+        assert cache.invalidations == 0
+
+    def test_patch_drops_entries_the_diff_conflicts_with(self):
+        from repro.relational.diff import RowChange, TableDiff
+
+        cache = ViewCache()
+        cache.get("doctor", "T1", lambda: _table(rows=((1, "a"),)))
+        conflicting = TableDiff("T1", (
+            RowChange("delete", (99,), {"id": 99, "v": "?"}, None),))
+        assert cache.patch("T1", conflicting) == 0
+        assert cache.peek("doctor", "T1") is None   # dropped, never stale
+        assert cache.invalidations == 1
+
+    def test_on_shared_diff_without_diff_invalidates(self):
+        cache = ViewCache()
+        cache.get("doctor", "T1", _table)
+        cache.on_shared_diff("T1", "update", ("doctor", "patient"), None)
+        assert cache.peek("doctor", "T1") is None
+        assert cache.invalidations == 1
+
+
+class TestPatchingThroughWorkflow:
+    def test_update_patches_both_peers_views_in_place(self, paper_gateway):
+        """A committed update hands its TableDiff to the cache, which rewrites
+        only the touched rows of both peers' cached views — the entries stay
+        resident and the next read is a warm hit on fresh data."""
         gateway = paper_gateway
         doctor = gateway.open_session("doctor")
         patient = gateway.open_session("patient")
@@ -73,16 +113,22 @@ class TestInvalidationThroughWorkflow:
         gateway.submit(doctor, UpdateEntryRequest(
             PATIENT_DOCTOR_TABLE, (188,), {"dosage": "two tablets every 6h"}))
         gateway.drain()
-        assert gateway.cache.peek("doctor", PATIENT_DOCTOR_TABLE) is None
-        assert gateway.cache.peek("patient", PATIENT_DOCTOR_TABLE) is None
-        # The next read re-materialises the fresh view.
+        for peer in ("doctor", "patient"):
+            cached = gateway.cache.peek(peer, PATIENT_DOCTOR_TABLE)
+            assert cached is not None
+            assert cached.get((188,))["dosage"] == "two tablets every 6h"
+        assert gateway.cache.patches == 2
+        # The next read is a *hit* and still sees the committed value.
+        hits_before = gateway.cache.hits
         response = gateway.submit(patient, read)
+        assert gateway.cache.hits == hits_before + 1
         rows = response.payload["table"]["rows"]
         assert rows[0]["dosage"] == "two tablets every 6h"
 
-    def test_cascaded_propagation_invalidates_dependent_views(self, extended_gateway):
+    def test_cascaded_propagation_patches_dependent_views(self, extended_gateway):
         """A researcher dosage update cascades STUDY → doctor's D3 → CARE
-        (Fig. 5 step 6); the patient's cached CARE view must be dropped."""
+        (Fig. 5 step 6); the patient's cached CARE view is patched with the
+        cascaded diff rather than dropped."""
         gateway = extended_gateway
         researcher = gateway.open_session("researcher")
         patient = gateway.open_session("patient")
@@ -94,11 +140,15 @@ class TestInvalidationThroughWorkflow:
         gateway.drain()
         assert update.ok
         assert CARE_TABLE in update.payload["cascaded_metadata_ids"]
-        # Both the updated table's views and the cascaded table's views are gone.
-        assert gateway.cache.peek("researcher", STUDY_TABLE) is None
-        assert gateway.cache.peek("patient", CARE_TABLE) is None
-        # A fresh read sees the cascaded dosage.
+        # Both the updated table's view and the cascaded table's view were
+        # patched in place and carry the committed dosage.
+        study = gateway.cache.peek("researcher", STUDY_TABLE)
+        assert study is not None and study.get((188,))["dosage"] == "two tablets every 12h"
+        care = gateway.cache.peek("patient", CARE_TABLE)
+        assert care is not None and care.get((188,))["dosage"] == "two tablets every 12h"
+        assert gateway.cache.patches >= 2
+        assert gateway.cache.invalidations == 0
+        # A warm read sees the cascaded dosage without reloading.
         response = gateway.submit(patient, ReadViewRequest(CARE_TABLE))
         by_id = {row["patient_id"]: row for row in response.payload["table"]["rows"]}
         assert by_id[188]["dosage"] == "two tablets every 12h"
-        assert gateway.cache.invalidations >= 2

@@ -1,0 +1,112 @@
+"""Incremental evaluation of the query AST (``get_delta``/``put_delta``).
+
+The same row-level translation that powers the lens stack works over query
+trees: key-preserving Project/Select/Rename chains translate a base-table
+diff into the result diff without re-executing, while joins and key-erasing
+projections refuse (:class:`~repro.errors.DeltaUnsupported`).
+"""
+
+import pytest
+
+from repro.errors import DeltaUnsupported
+from repro.relational.diff import diff_tables
+from repro.relational.predicates import Gt
+from repro.relational.query import Join, Project, Rename, Scan, Select
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def tables(people_table):
+    return {"people": people_table}
+
+
+def _edited(people_table):
+    updated = people_table.snapshot()
+    updated.update_by_key((1,), {"age": 44})          # visible-set entry/exit
+    updated.delete_by_key((2,))
+    updated.insert({"id": 7, "name": "Gen", "city": "Kobe", "age": 61})
+    return updated
+
+
+QUERIES = {
+    "scan": Scan("people"),
+    "select": Select(Scan("people"), Gt("age", 30)),
+    "project": Project(Scan("people"), ("id", "name", "age")),
+    "rename": Rename(Scan("people"), {"city": "town"}),
+    "select-project-rename": Rename(
+        Project(Select(Scan("people"), Gt("age", 30)), ("id", "name", "age")),
+        {"name": "label"}),
+}
+
+
+class TestQueryGetDelta:
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_matches_reexecution(self, name, tables, people_table):
+        query = QUERIES[name]
+        before = query.execute(tables)
+        updated = _edited(people_table)
+        diff = diff_tables(people_table, updated)
+
+        view_delta = query.get_delta(tables, diff)
+        patched = before.snapshot()
+        patched.apply_diff(view_delta)
+        assert patched.fingerprint() == query.execute({"people": updated}).fingerprint()
+
+    def test_unrelated_table_diff_is_empty(self, tables, people_table):
+        updated = _edited(people_table)
+        diff = diff_tables(people_table, updated)
+        other = Table("other", people_table.schema,
+                      (row.to_dict() for row in people_table))
+        unrelated = diff_tables(other, other.snapshot())
+        assert Scan("people").get_delta(tables, unrelated).is_empty
+        renamed = diff_tables(other, Table("other", people_table.schema,
+                                           [r.to_dict() for r in updated]))
+        assert Scan("people").get_delta(tables, renamed).is_empty
+
+    def test_output_schema_without_materialising(self, tables):
+        query = QUERIES["select-project-rename"]
+        assert query.output_schema(tables).column_names == ("id", "label", "age")
+        assert query.output_schema(tables).primary_key == ("id",)
+
+
+class TestQueryPutDelta:
+    def test_translates_view_edit_back_to_base(self, tables, people_table):
+        query = QUERIES["project"]
+        view = query.execute(tables)
+        edited = view.snapshot()
+        edited.update_by_key((3,), {"age": 30})
+        view_diff = diff_tables(view, edited)
+
+        base_diff = query.put_delta(tables, view_diff)
+        people_table.apply_diff(base_diff)
+        assert people_table.get((3,))["age"] == 30
+        assert people_table.get((3,))["city"] == "Kyoto"  # hidden column kept
+        assert query.execute(tables).fingerprint() == edited.fingerprint()
+
+
+class TestQueryDeltaFallbacks:
+    def test_join_is_unsupported(self, tables, people_table):
+        updated = _edited(people_table)
+        diff = diff_tables(people_table, updated)
+        join = Join(Scan("people"), Scan("people"), ("city",))
+        with pytest.raises(DeltaUnsupported):
+            join.get_delta(tables, diff)
+        with pytest.raises(DeltaUnsupported):
+            join.put_delta(tables, diff)
+
+    def test_key_erasing_projection_is_unsupported(self, tables, people_table):
+        updated = _edited(people_table)
+        diff = diff_tables(people_table, updated)
+        query = Project(Scan("people"), ("city", "age"))  # drops the key
+        with pytest.raises(DeltaUnsupported):
+            query.get_delta(tables, diff)
+        with pytest.raises(DeltaUnsupported):
+            query.put_delta(tables, diff)
+
+    def test_keyless_child_selection_is_unsupported(self):
+        schema = Schema.build(["v"])
+        table = Table("t", schema, [{"v": "a"}])
+        diff = diff_tables(table, table.snapshot())
+        with pytest.raises(DeltaUnsupported):
+            Select(Scan("t"), Gt("v", "a")).get_delta({"t": table}, diff)

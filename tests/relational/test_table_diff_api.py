@@ -1,0 +1,170 @@
+"""``Table.apply_diff`` / ``Table.diff_for_*``: the O(changed rows) diff API.
+
+These are the primitives of the delta-propagation engine: applying a diff
+must validate it against the current contents (typed
+:class:`~repro.errors.DiffConflictError` on key mismatches), maintain every
+secondary index in place, and the ``diff_for_*`` constructors must agree
+with the snapshot-and-diff path while validating exactly like the mutating
+operations they describe.
+"""
+
+import pytest
+
+from repro.errors import (
+    ConstraintViolation,
+    DiffConflictError,
+    RowNotFoundError,
+    SchemaError,
+    UnknownColumnError,
+)
+from repro.relational.diff import RowChange, TableDiff, diff_tables
+from repro.relational.predicates import Eq
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+
+class TestApplyDiffValidation:
+    def test_insert_existing_key_conflicts(self, people_table):
+        diff = TableDiff("people", (RowChange(
+            "insert", (1,), None,
+            {"id": 1, "name": "Dup", "city": "Kobe", "age": 1}),))
+        with pytest.raises(DiffConflictError):
+            people_table.apply_diff(diff)
+
+    def test_update_missing_key_conflicts(self, people_table):
+        diff = TableDiff("people", (RowChange(
+            "update", (99,), None, {"id": 99, "age": 50}, ("age",)),))
+        with pytest.raises(DiffConflictError):
+            people_table.apply_diff(diff)
+
+    def test_delete_missing_key_conflicts(self, people_table):
+        diff = TableDiff("people", (RowChange("delete", (99,), None, None),))
+        with pytest.raises(DiffConflictError):
+            people_table.apply_diff(diff)
+
+    def test_update_missing_changed_column_value_conflicts(self, people_table):
+        # ``after`` lacks the value for a column listed in changed_columns —
+        # previously a bare KeyError, now a typed conflict.
+        diff = TableDiff("people", (RowChange(
+            "update", (1,), None, {"id": 1}, ("age",)),))
+        with pytest.raises(DiffConflictError):
+            people_table.apply_diff(diff)
+
+    def test_update_unknown_changed_column_rejected(self, people_table):
+        diff = TableDiff("people", (RowChange(
+            "update", (1,), None, {"id": 1, "missing": "x"}, ("missing",)),))
+        with pytest.raises(UnknownColumnError):
+            people_table.apply_diff(diff)
+
+    def test_keyless_table_rejected(self):
+        table = Table("t", Schema.build(["v"]), [{"v": "a"}])
+        diff = TableDiff("t", (RowChange("insert", (0,), None, {"v": "b"}),))
+        with pytest.raises(SchemaError):
+            table.apply_diff(diff)
+
+    def test_apply_is_atomic_on_mid_diff_conflict(self, people_table):
+        """A conflict on a later change rolls back the already-applied prefix
+        — matching the seed path, whose whole-table replace never installed
+        on failure."""
+        people_table.add_index(["city"])
+        before = people_table.fingerprint()
+        diff = TableDiff("people", (
+            RowChange("update", (1,), None, {"id": 1, "city": "Nagoya"}, ("city",)),
+            RowChange("delete", (3,), None, None),
+            RowChange("insert", (9,), None,
+                      {"id": 9, "name": "Iku", "city": "Nara", "age": 51}),
+            RowChange("delete", (99,), None, None),      # conflicts
+        ))
+        with pytest.raises(DiffConflictError):
+            people_table.apply_diff(diff)
+        assert people_table.fingerprint() == before
+        assert people_table.get((1,))["city"] == "Sapporo"
+        assert people_table.contains_key((3,))
+        assert not people_table.contains_key((9,))
+        # The secondary index followed the rollback too.
+        assert [row["id"] for row in people_table.select(Eq("city", "Sapporo"))] == [1]
+        assert people_table.select(Eq("city", "Nagoya")) == []
+
+    def test_apply_rolls_back_key_changing_update(self, people_table):
+        before = people_table.fingerprint()
+        diff = TableDiff("people", (
+            RowChange("update", (2,), None, {"id": 20}, ("id",)),   # pk move
+            RowChange("insert", (1,), None,
+                      {"id": 1, "name": "Dup", "city": "Kobe", "age": 1}),  # conflicts
+        ))
+        with pytest.raises(DiffConflictError):
+            people_table.apply_diff(diff)
+        assert people_table.fingerprint() == before
+        assert people_table.contains_key((2,)) and not people_table.contains_key((20,))
+
+    def test_apply_reproduces_diff_tables_target(self, people_table):
+        target = people_table.snapshot()
+        target.update_by_key((1,), {"city": "Nagoya"})
+        target.delete_by_key((2,))
+        target.insert({"id": 4, "name": "Dai", "city": "Kobe", "age": 55})
+        diff = diff_tables(people_table, target)
+        replica = people_table.snapshot()
+        replica.apply_diff(diff)
+        assert replica == target
+        assert replica.fingerprint() == target.fingerprint()
+
+
+class TestApplyDiffMaintainsIndexes:
+    def test_secondary_indexes_follow_the_diff(self, people_table):
+        index = people_table.add_index(["city"])
+        diff = TableDiff("people", (
+            RowChange("insert", (4,), None,
+                      {"id": 4, "name": "Dai", "city": "Osaka", "age": 55}),
+            RowChange("update", (1,), None,
+                      {"id": 1, "city": "Osaka"}, ("city",)),
+            RowChange("delete", (2,), None, None),
+        ))
+        people_table.apply_diff(diff)
+        assert not index.is_stale  # maintained in place, not rebuilt
+        assert [row["id"] for row in people_table.select(Eq("city", "Osaka"))] == [1, 4]
+        assert not index.contains("Sapporo")
+
+
+class TestDiffForConstructors:
+    def test_diff_for_update_matches_snapshot_diff(self, people_table):
+        direct = people_table.diff_for_update((2,), {"city": "Tokyo", "age": 42})
+        candidate = people_table.snapshot()
+        candidate.update_by_key((2,), {"city": "Tokyo", "age": 42})
+        via_snapshot = diff_tables(people_table, candidate)
+        assert direct.to_dict()["changes"] == via_snapshot.to_dict()["changes"]
+
+    def test_diff_for_update_noop_is_empty(self, people_table):
+        assert people_table.diff_for_update((2,), {"city": "Osaka"}).is_empty
+
+    def test_diff_for_update_key_change_is_delete_insert(self, people_table):
+        diff = people_table.diff_for_update((2,), {"id": 20})
+        assert [c.kind for c in diff.changes] == ["delete", "insert"]
+        assert diff.changes[0].key == (2,)
+        assert diff.changes[1].key == (20,)
+
+    def test_diff_for_update_validates_like_update_by_key(self, people_table):
+        with pytest.raises(RowNotFoundError):
+            people_table.diff_for_update((99,), {"age": 1})
+        with pytest.raises(ConstraintViolation):
+            people_table.diff_for_update((2,), {"id": 1})  # key collision
+        with pytest.raises(ConstraintViolation):
+            people_table.diff_for_update((2,), {"id": None})  # NOT NULL key
+
+    def test_diff_for_insert_and_delete(self, people_table):
+        insert = people_table.diff_for_insert(
+            {"id": 9, "name": "Iku", "city": "Nara", "age": 51})
+        assert [c.kind for c in insert.changes] == ["insert"]
+        delete = people_table.diff_for_delete((3,))
+        assert [c.kind for c in delete.changes] == ["delete"]
+        assert delete.changes[0].before["name"] == "Chie"
+        with pytest.raises(ConstraintViolation):
+            people_table.diff_for_insert({"id": 1, "name": "Dup"})
+        with pytest.raises(RowNotFoundError):
+            people_table.diff_for_delete((99,))
+
+    def test_constructors_leave_table_untouched(self, people_table):
+        before = people_table.fingerprint()
+        people_table.diff_for_update((1,), {"age": 99})
+        people_table.diff_for_insert({"id": 9, "name": "Iku", "city": "Nara", "age": 51})
+        people_table.diff_for_delete((1,))
+        assert people_table.fingerprint() == before

@@ -43,13 +43,49 @@ class TestTableIndexes:
         people_table.replace_all([{"id": 1, "name": "A", "city": "Osaka", "age": 20}])
         assert [row["id"] for row in people_table.select(Eq("city", "Osaka"))] == [1]
 
-    def test_mutations_only_mark_stale_lazily(self, people_table):
+    def test_point_writes_maintain_index_in_place(self, people_table):
+        """Point writes update the index immediately; there is no staleness
+        window between a write and the next indexed read."""
         index = people_table.add_index(["city"])
         assert not index.is_stale
         people_table.insert({"id": 10, "name": "J", "city": "Nara", "age": 30})
-        assert index.is_stale         # no rebuild yet...
-        assert index.contains("Nara")  # ...until the first lookup
+        assert not index.is_stale      # maintained from the write itself
+        assert index.contains("Nara")
+        people_table.delete_by_key((10,))
         assert not index.is_stale
+        assert not index.contains("Nara")
+
+    def test_replace_all_marks_stale_for_lazy_rebuild(self, people_table):
+        """Wholesale replacement still uses the lazy rebuild path."""
+        index = people_table.add_index(["city"])
+        people_table.replace_all([{"id": 1, "name": "A", "city": "Nara", "age": 20}])
+        assert index.is_stale
+        assert index.contains("Nara")
+        assert not index.is_stale
+
+    def test_interleaved_writes_and_indexed_selects(self, people_table):
+        """Regression: interleaving writes with indexed equality selects must
+        always observe the freshest rows, in table order (no staleness
+        window, no ordering drift when a row moves between buckets)."""
+        people_table.add_index(["city"])
+
+        def osaka_ids():
+            return [row["id"] for row in people_table.select(Eq("city", "Osaka"))]
+
+        people_table.insert({"id": 4, "name": "Dai", "city": "Osaka", "age": 50})
+        assert osaka_ids() == [2, 4]
+        people_table.update_by_key((1,), {"city": "Osaka"})      # moves bucket
+        assert osaka_ids() == [1, 2, 4]                          # table order kept
+        people_table.update_by_key((2,), {"age": 42})            # same bucket
+        assert osaka_ids() == [1, 2, 4]
+        assert people_table.select(Eq("city", "Osaka"))[1]["age"] == 42
+        people_table.delete_by_key((2,))
+        assert osaka_ids() == [1, 4]
+        people_table.update_by_key((4,), {"city": "Kobe"})       # leaves bucket
+        assert osaka_ids() == [1]
+        # Every answer above equals what a fresh scan computes.
+        scan = [row["id"] for row in people_table.rows if row["city"] == "Osaka"]
+        assert osaka_ids() == scan
 
 
 class TestQueryAstFastPath:
