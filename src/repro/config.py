@@ -44,7 +44,18 @@ class ConsensusConfig:
 
 @dataclass(frozen=True)
 class LedgerConfig:
-    """Configuration of the simulated blockchain."""
+    """Configuration of the simulated blockchain.
+
+    Attributes
+    ----------
+    consensus_shards:
+        Number of independent consensus *lanes* the ledger pipeline is
+        sharded into.  Shared tables are routed to lanes by a stable hash of
+        their metadata id; every lane has its own mempool shard and block
+        budget, and lanes with pending work each seal a block in the same
+        simulated block interval.  ``1`` (the default) keeps the single
+        unsharded pipeline — byte-identical to the pre-sharding behaviour.
+    """
 
     consensus: ConsensusConfig = field(default_factory=ConsensusConfig)
     max_transactions_per_block: int = 64
@@ -52,12 +63,15 @@ class LedgerConfig:
     gas_per_transaction: int = 21_000
     gas_per_payload_byte: int = 16
     chain_id: int = 2019
+    consensus_shards: int = 1
 
     def __post_init__(self) -> None:
         if self.max_transactions_per_block <= 0:
             raise ValueError("max_transactions_per_block must be positive")
         if self.gas_limit_per_block <= 0:
             raise ValueError("gas_limit_per_block must be positive")
+        if self.consensus_shards < 1:
+            raise ValueError("consensus_shards must be at least 1")
 
 
 @dataclass(frozen=True)
@@ -101,12 +115,19 @@ class SystemConfig:
     delta_propagation: bool = True
     delta_verify_interval: int = 16
 
+    @property
+    def consensus_shards(self) -> int:
+        """Number of consensus lanes (see :attr:`LedgerConfig.consensus_shards`)."""
+        return self.ledger.consensus_shards
+
     @staticmethod
-    def private_chain(block_interval: float = 2.0) -> "SystemConfig":
+    def private_chain(block_interval: float = 2.0,
+                      consensus_shards: int = 1) -> "SystemConfig":
         """A convenient PoA configuration (the paper's recommended deployment)."""
         return SystemConfig(
             ledger=LedgerConfig(
-                consensus=ConsensusConfig(kind="poa", block_interval=block_interval)
+                consensus=ConsensusConfig(kind="poa", block_interval=block_interval),
+                consensus_shards=consensus_shards,
             )
         )
 

@@ -27,11 +27,35 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.contracts.base import Contract
+from repro.crypto.keys import address_from_public_key
+from repro.crypto.signatures import Signature, verify
+
+
+def fold_attestation_payload(metadata_id: str, diff_hash: str,
+                             changed_attributes: Sequence[str]) -> dict:
+    """The payload a folded-update contributor signs.
+
+    Binding the attributes *and* the merged diff hash means a requester can
+    neither attribute foreign attributes to a peer nor reuse a peer's
+    attestation for a different change.
+    """
+    return {
+        "metadata_id": str(metadata_id),
+        "diff_hash": str(diff_hash),
+        "changed_attributes": [str(attribute) for attribute in changed_attributes],
+    }
 
 
 @dataclass
 class UpdateRecord:
-    """One accepted operation on a shared table (kept on-chain for audit)."""
+    """One accepted operation on a shared table (kept on-chain for audit).
+
+    ``contributions`` is non-empty only for *folded* updates: several sharing
+    peers' edits on disjoint attribute sets committed as one operation.  Each
+    entry is ``{"peer": address, "changed_attributes": [...]}`` — the audit
+    trail and the specification checker verify permissions per contributor,
+    not against the requester alone.
+    """
 
     update_id: int
     metadata_id: str
@@ -43,6 +67,7 @@ class UpdateRecord:
     block_number: int
     timestamp: float
     acknowledged_by: List[str] = field(default_factory=list)
+    contributions: List[dict] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {
@@ -56,6 +81,7 @@ class UpdateRecord:
             "block_number": self.block_number,
             "timestamp": self.timestamp,
             "acknowledged_by": list(self.acknowledged_by),
+            "contributions": [dict(entry) for entry in self.contributions],
         }
 
 
@@ -222,7 +248,8 @@ class SharedDataContract(Contract):
         return entry
 
     def _record_operation(self, entry: MetadataEntry, operation: str,
-                          changed_attributes: Sequence[str], diff_hash: str) -> dict:
+                          changed_attributes: Sequence[str], diff_hash: str,
+                          contributions: Sequence[Mapping[str, Any]] = ()) -> dict:
         role = entry.role_of(self.ctx.caller) or ""
         record = UpdateRecord(
             update_id=self._next_update_id,
@@ -234,6 +261,7 @@ class SharedDataContract(Contract):
             diff_hash=diff_hash,
             block_number=self.ctx.block_number,
             timestamp=self.ctx.timestamp,
+            contributions=[dict(entry_) for entry_ in contributions],
         )
         self._next_update_id += 1
         self.history.append(record)
@@ -249,6 +277,7 @@ class SharedDataContract(Contract):
             changed_attributes=list(changed_attributes),
             diff_hash=diff_hash,
             notify_peers=entry.pending_acks,
+            contributions=[dict(entry_) for entry_ in contributions],
         )
         return record.to_dict()
 
@@ -257,6 +286,101 @@ class SharedDataContract(Contract):
         """Entry-level update request (Fig. 4 / Fig. 5 steps 2-3 and 8-9)."""
         entry = self._authorize_operation(metadata_id, changed_attributes, table_level=False)
         return self._record_operation(entry, "update", changed_attributes, diff_hash)
+
+    def request_folded_update(self, metadata_id: str,
+                              contributions: Sequence[Mapping[str, Any]],
+                              diff_hash: str = "") -> dict:
+        """A cross-peer *folded* update: several sharing peers' edits on
+        disjoint attribute sets commit as one operation (one consensus round
+        pair instead of one per peer).
+
+        ``contributions`` is a sequence of ``{"peer": address,
+        "changed_attributes": [...]}``; every contribution by a peer *other
+        than the caller* must additionally carry that peer's attestation —
+        ``"public_key"`` (hex) and ``"attestation"`` (a signature over
+        :func:`fold_attestation_payload`) — so a requester cannot launder its
+        own edits through another peer's write permission.  Write permission
+        is checked **per contributor** — each peer's role must be allowed to
+        write its own attributes, and the attribute sets of different peers
+        must be pairwise disjoint so no contributor's change can mask
+        another's.  The caller (who submits the merged diff) must itself be
+        a sharing peer; every *other* sharing peer still has to acknowledge
+        before the next operation on this table.
+        """
+        self.require(metadata_id in self.entries, f"unknown metadata entry {metadata_id!r}")
+        entry = self.entries[metadata_id]
+        caller_role = entry.role_of(self.ctx.caller)
+        self.require_permission(
+            caller_role is not None,
+            f"caller {self.ctx.caller} is not a sharing peer of {metadata_id!r}",
+        )
+        self.require(
+            not entry.pending_acks,
+            f"shared data {metadata_id!r} has peers that have not fetched the newest data: "
+            f"{sorted(entry.pending_acks)}",
+        )
+        self.require(bool(contributions), "a folded update needs at least one contribution")
+        seen_attributes: Dict[str, str] = {}
+        union: List[str] = []
+        for contribution in contributions:
+            peer = str(contribution.get("peer", ""))
+            attributes = [str(a) for a in contribution.get("changed_attributes", ())]
+            role = entry.role_of(peer)
+            self.require_permission(
+                role is not None,
+                f"contributor {peer} is not a sharing peer of {metadata_id!r}",
+            )
+            self.require(bool(attributes),
+                         f"contribution by {peer} must name its changed attributes")
+            if peer != self.ctx.caller:
+                # The caller's own authorship is covered by the transaction
+                # signature; every other contribution must be attested by
+                # its author or the caller could write through that peer's
+                # permissions.
+                self.require_permission(
+                    self._attestation_valid(contribution, metadata_id, diff_hash),
+                    f"contribution by {peer} lacks a valid attestation "
+                    f"(folded updates need each non-calling contributor's "
+                    f"signature over its attributes and the diff hash)",
+                )
+            for attribute in attributes:
+                self.require(attribute in entry.write_permission,
+                             f"attribute {attribute!r} is not part of shared table "
+                             f"{metadata_id!r}")
+                previous = seen_attributes.get(attribute)
+                self.require(
+                    previous is None or previous == peer,
+                    f"attribute {attribute!r} is claimed by two contributors of the "
+                    f"folded update (attribute sets must be disjoint)",
+                )
+                seen_attributes[attribute] = peer
+                self.require_permission(
+                    entry.can_write(role, attribute),
+                    f"role {role!r} may not write attribute {attribute!r} of {metadata_id!r}",
+                )
+                if attribute not in union:
+                    union.append(attribute)
+        return self._record_operation(entry, "update", union, diff_hash,
+                                      contributions=contributions)
+
+    @staticmethod
+    def _attestation_valid(contribution: Mapping[str, Any], metadata_id: str,
+                           diff_hash: str) -> bool:
+        """True when a contribution carries its author's valid signature."""
+        public_key = contribution.get("public_key")
+        attestation = contribution.get("attestation")
+        if not public_key or not attestation:
+            return False
+        try:
+            key = int(str(public_key), 16)
+            signature = Signature.from_dict(dict(attestation))
+        except (TypeError, ValueError, KeyError):
+            return False
+        if address_from_public_key(key) != str(contribution.get("peer", "")):
+            return False
+        payload = fold_attestation_payload(
+            metadata_id, diff_hash, contribution.get("changed_attributes", ()))
+        return verify(key, payload, signature)
 
     def request_create(self, metadata_id: str, changed_attributes: Sequence[str] = (),
                        diff_hash: str = "") -> dict:

@@ -15,6 +15,11 @@ Checked properties
 1. **Permission soundness** — every recorded operation was performed by a
    sharing peer whose role was allowed to write each changed attribute at the
    time of the operation (reconstructed by replaying permission changes).
+   For *folded* updates (several peers' edits on disjoint attribute sets
+   committed as one record) permission is checked per contributor, the
+   contributors' attribute sets must be pairwise disjoint and cover the
+   record's changed attributes, and every contribution by a peer other than
+   the requester must carry that peer's valid attestation signature.
 2. **Authority soundness** — every permission change was performed by the
    authority role in force at that time.
 3. **Monotonic metadata time** — ``last_update_time`` never runs backwards.
@@ -100,6 +105,10 @@ class ContractSpecChecker:
                 )
                 continue
             permissions = self._permissions_at(record.metadata_id, record.timestamp)
+            if record.contributions:
+                violations.extend(
+                    self._check_folded_record(record, entry, permissions))
+                continue
             role = record.requester_role
             for attribute in record.changed_attributes:
                 allowed = permissions.get(attribute, [])
@@ -108,6 +117,48 @@ class ContractSpecChecker:
                         f"update {record.update_id}: role {role!r} wrote {attribute!r} "
                         f"but permission at the time was {allowed}"
                     )
+        return violations
+
+    @staticmethod
+    def _check_folded_record(record, entry, permissions: Dict[str, List[str]]) -> List[str]:
+        """Per-contributor permission + disjointness checks of a folded update."""
+        violations: List[str] = []
+        claimed: Dict[str, str] = {}
+        for contribution in record.contributions:
+            peer = contribution.get("peer", "")
+            role = entry.sharing_peers.get(peer)
+            if role is None:
+                violations.append(
+                    f"folded update {record.update_id} carries a contribution by "
+                    f"non-peer {peer}"
+                )
+                continue
+            if peer != record.requester and not SharedDataContract._attestation_valid(
+                    contribution, record.metadata_id, record.diff_hash):
+                violations.append(
+                    f"folded update {record.update_id}: contribution by {peer} "
+                    f"is not attested by that peer"
+                )
+            for attribute in contribution.get("changed_attributes", ()):
+                previous = claimed.get(attribute)
+                if previous is not None and previous != peer:
+                    violations.append(
+                        f"folded update {record.update_id}: attribute {attribute!r} "
+                        f"claimed by two contributors ({previous} and {peer})"
+                    )
+                claimed[attribute] = peer
+                allowed = permissions.get(attribute, [])
+                if role not in allowed:
+                    violations.append(
+                        f"folded update {record.update_id}: role {role!r} wrote "
+                        f"{attribute!r} but permission at the time was {allowed}"
+                    )
+        uncovered = set(record.changed_attributes) - set(claimed)
+        if uncovered:
+            violations.append(
+                f"folded update {record.update_id}: attributes {sorted(uncovered)} "
+                f"are not covered by any contribution"
+            )
         return violations
 
     def check_authority_soundness(self) -> List[str]:

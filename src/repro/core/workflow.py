@@ -187,17 +187,44 @@ class EntryEdit:
 
 @dataclass(frozen=True)
 class BatchGroup:
-    """A set of compatible edits, by one peer on one shared table, that are
-    folded into a single diff and a single on-chain request."""
+    """A set of compatible edits on one shared table, folded into a single
+    diff and a single on-chain request.
+
+    Usually all edits come from ``peer``.  A *cross-peer folded* group also
+    carries edits by the other party of the agreement on **disjoint**
+    attribute sets and distinct rows — ``edit_peers`` records each edit's
+    author, aligned with ``edits``; ``peer`` stays the requester who submits
+    the merged diff on-chain (via ``request_folded_update``).
+    """
 
     peer: str
     metadata_id: str
     edits: Tuple[EntryEdit, ...]
+    #: Author of each edit, aligned with ``edits``; defaults to ``peer``.
+    edit_peers: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "edits", tuple(self.edits))
         if not self.edits:
             raise ValueError("a batch group needs at least one edit")
+        edit_peers = tuple(self.edit_peers) or (self.peer,) * len(self.edits)
+        if len(edit_peers) != len(self.edits):
+            raise ValueError("edit_peers must align with edits")
+        object.__setattr__(self, "edit_peers", edit_peers)
+
+    @property
+    def contributors(self) -> Tuple[str, ...]:
+        """Distinct edit authors, requester first, in first-edit order."""
+        ordered = [self.peer]
+        for peer in self.edit_peers:
+            if peer not in ordered:
+                ordered.append(peer)
+        return tuple(ordered)
+
+    @property
+    def folded(self) -> bool:
+        """True when edits from more than one peer were folded together."""
+        return len(self.contributors) > 1
 
     @property
     def operation(self) -> str:
@@ -312,6 +339,49 @@ class UpdateCoordinator:
         """The shared attributes an operation touches (what permission is checked on)."""
         shared = set(agreement.shared_columns)
         return tuple(column for column in diff.touched_columns if column in shared)
+
+    def _fold_contributions(self, group: BatchGroup, diff: TableDiff,
+                            agreement: SharingAgreement,
+                            edit_errors: Sequence[Optional[str]],
+                            diff_hash: str) -> List[dict]:
+        """Per-contributor ``{"peer": address, "changed_attributes": [...]}``
+        entries of a cross-peer folded group.
+
+        Each contributor's attributes are the columns its *applied* update
+        edits declared, restricted to the columns the merged diff actually
+        touched (a no-op edit contributes nothing, exactly as the diff-based
+        attribute computation of the unfolded path).  The scheduler's fold
+        rule guarantees the declared sets are disjoint between contributors.
+        Contributors other than the requester sign an attestation over their
+        attributes and the merged diff hash — the contract refuses a folded
+        request whose foreign contributions are unattested, so the requester
+        cannot write through another peer's permissions.
+        """
+        from repro.contracts.sharing_contract import fold_attestation_payload
+        from repro.crypto.signatures import sign
+
+        touched = set(diff.touched_columns) & set(agreement.shared_columns)
+        columns_by_peer: Dict[str, List[str]] = {}
+        for index, (edit, author) in enumerate(zip(group.edits, group.edit_peers)):
+            if index < len(edit_errors) and edit_errors[index] is not None:
+                continue
+            collected = columns_by_peer.setdefault(author, [])
+            for column in edit.values:
+                if column in touched and column not in collected:
+                    collected.append(column)
+        contributions = []
+        for peer_name, columns in columns_by_peer.items():
+            if not columns:
+                continue
+            peer = self._peer(peer_name)
+            contribution = {"peer": peer.address, "changed_attributes": columns}
+            if peer_name != group.peer:
+                payload = fold_attestation_payload(group.metadata_id, diff_hash,
+                                                   columns)
+                contribution["public_key"] = hex(peer.keypair.public_key)
+                contribution["attestation"] = sign(peer.keypair, payload).to_dict()
+            contributions.append(contribution)
+        return contributions
 
     # ------------------------------------------------------------ read (Fig. 4)
 
@@ -535,12 +605,23 @@ class UpdateCoordinator:
                 trace.finished_at = self._clock.now()
                 continue
             app = self._app(group.peer)
-            tx = app.build_contract_call(
-                method_by_op[group.operation],
-                {"metadata_id": group.metadata_id,
-                 "changed_attributes": list(self._changed_attributes(diff, agreement)),
-                 "diff_hash": self._diff_hash(diff)},
-            )
+            if group.folded:
+                diff_hash = self._diff_hash(diff)
+                contributions = self._fold_contributions(group, diff, agreement,
+                                                         edit_errors, diff_hash)
+                tx = app.build_contract_call(
+                    "request_folded_update",
+                    {"metadata_id": group.metadata_id,
+                     "contributions": contributions,
+                     "diff_hash": diff_hash},
+                )
+            else:
+                tx = app.build_contract_call(
+                    method_by_op[group.operation],
+                    {"metadata_id": group.metadata_id,
+                     "changed_attributes": list(self._changed_attributes(diff, agreement)),
+                     "diff_hash": self._diff_hash(diff)},
+                )
             # Ingest at the submitting peer's own node right away so a peer
             # initiating several groups keeps its nonces sequential.
             if not app.node.receive_transaction(tx):

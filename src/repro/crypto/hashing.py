@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from collections.abc import Mapping
 from typing import Any
 
 
@@ -26,6 +27,9 @@ def canonical_json(payload: Any) -> str:
 
 def _json_default(value: Any) -> Any:
     """Fallback serialiser for values ``json`` cannot encode natively."""
+    if isinstance(value, Mapping):
+        # Non-dict mappings (e.g. mappingproxy views) serialise as objects.
+        return dict(value)
     if isinstance(value, (set, frozenset)):
         return sorted(value)
     if isinstance(value, bytes):

@@ -49,10 +49,12 @@ class SharingGateway:
     def __init__(self, system: MedicalDataSharingSystem,
                  max_batch_size: int = 16, max_edits_per_group: int = 8,
                  cache_enabled: bool = True,
-                 default_rate: float = 0.0, default_burst: float = 8.0):
+                 default_rate: float = 0.0, default_burst: float = 8.0,
+                 fold_cross_peer: bool = True):
         self.system = system
         self.scheduler = WriteScheduler(max_batch_size=max_batch_size,
-                                        max_edits_per_group=max_edits_per_group)
+                                        max_edits_per_group=max_edits_per_group,
+                                        fold_cross_peer=fold_cross_peer)
         self.cache = ViewCache(enabled=cache_enabled)
         # The diff-aware hook patches cached views row by row when the
         # coordinator hands over the change's TableDiff, and drops them only
@@ -315,8 +317,32 @@ class SharingGateway:
                     "max_size": max(self.batch_sizes) if self.batch_sizes else 0,
                     "consensus_rounds": self.batch_consensus_rounds,
                     "blocks_created": self.batch_blocks,
+                    "folded_writes": self.scheduler.folded_writes_total,
+                    "fold_rounds_saved": self.scheduler.fold_rounds_saved,
                 },
+                "shards": self._shard_metrics(),
                 "cache": self.cache.statistics(),
                 "tenants": tenants,
                 "sessions_open": len(self._sessions),
             }
+
+    def _shard_metrics(self) -> Dict[str, object]:
+        """Per-consensus-shard serving metrics: scheduler queue depth by
+        shard, the miner node's mempool shard depths and lane production
+        counters (single-entry when the pipeline is unsharded)."""
+        router = self.system.simulator.router
+        metrics: Dict[str, object] = {
+            "count": router.num_shards,
+            "queue_depth": self.scheduler.queue_depth_by_shard(router),
+        }
+        for node in self.system.simulator.nodes:
+            if node.miner is None:
+                continue
+            depths = getattr(node.mempool, "shard_depths", None)
+            metrics["mempool_depth"] = (list(depths()) if depths is not None
+                                        else [len(node.mempool)])
+            lanes = node.miner.lane_statistics()
+            if lanes is not None:
+                metrics["lanes"] = lanes
+            break
+        return metrics

@@ -1,4 +1,4 @@
-"""The write scheduler: queueing, grouping and conflict detection.
+"""The write scheduler: queueing, grouping, folding and conflict detection.
 
 Write requests from every tenant land in one FIFO queue.  When the gateway
 commits, the scheduler plans a batch:
@@ -6,18 +6,22 @@ commits, the scheduler plans a batch:
 * edits by the same peer on the same shared table are folded into one
   :class:`~repro.core.workflow.BatchGroup` (one diff, one on-chain request);
 * groups on *different* shared tables ride the same two consensus rounds;
-* conflicts serialise — at most one group per shared table per batch (the
-  contract's pending-acknowledgement rule) and at most one edit per
-  ``(metadata_id, key)`` per batch, so concurrent writes to the same shared
-  key are applied in arrival order across successive batches and no update
-  is lost.
+* **cross-peer folding**: updates by *different* peers on the same shared
+  table join one group when their attribute (column) sets do not overlap and
+  they touch different rows — the merged diff commits through a single
+  ``request_folded_update``, so the cross-peer hot path costs one consensus
+  round pair instead of one per peer (2·N → 2);
+* conflicts serialise — overlapping column sets, mixed operation kinds and
+  same ``(metadata_id, key)`` writes are deferred to later batches, so
+  concurrent writes to the same shared key are applied in arrival order and
+  no update is lost.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.workflow import BatchGroup, EntryEdit
 from repro.gateway.requests import (
@@ -58,6 +62,27 @@ class PendingWrite:
             return None
         return (self.request.metadata_id, tuple(key))
 
+    def column_set(self) -> Optional[FrozenSet[str]]:
+        """The attributes this write declares, or None for "all of them".
+
+        Updates name their columns exactly; creates and deletes touch the
+        whole row, so they overlap with everything (None) and never take part
+        in cross-peer folding.
+        """
+        request = self.request
+        if isinstance(request, UpdateEntryRequest):
+            return frozenset(request.updates)
+        return None
+
+
+@dataclass
+class _GroupState:
+    """Planner-internal bookkeeping for one group under construction."""
+
+    operation: str
+    #: Contributor -> union of declared column sets (None = whole row).
+    columns_by_peer: Dict[str, Optional[set]] = field(default_factory=dict)
+
 
 @dataclass
 class BatchPlan:
@@ -68,6 +93,8 @@ class BatchPlan:
     members: List[List[PendingWrite]] = field(default_factory=list)
     #: How many queued writes were deferred to a later batch by a conflict.
     deferred: int = 0
+    #: Writes that joined a group requested by a *different* peer.
+    folded_writes: int = 0
 
     @property
     def size(self) -> int:
@@ -80,18 +107,32 @@ class BatchPlan:
 
 
 class WriteScheduler:
-    """FIFO queue + batch planner for the gateway's write path."""
+    """FIFO queue + batch planner for the gateway's write path.
 
-    def __init__(self, max_batch_size: int = 16, max_edits_per_group: int = 8):
+    ``fold_cross_peer`` enables the cross-peer merge rule; with it off every
+    shared table is owned by a single peer per batch (the pre-folding
+    behaviour) and writes by a second peer always wait for the next batch.
+    """
+
+    def __init__(self, max_batch_size: int = 16, max_edits_per_group: int = 8,
+                 fold_cross_peer: bool = True):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be at least 1")
         if max_edits_per_group < 1:
             raise ValueError("max_edits_per_group must be at least 1")
         self.max_batch_size = max_batch_size
         self.max_edits_per_group = max_edits_per_group
+        self.fold_cross_peer = fold_cross_peer
         self._queue: Deque[PendingWrite] = deque()
         self.enqueued_total = 0
         self.max_queue_depth = 0
+        #: Cross-peer folds over this scheduler's lifetime.
+        self.folded_writes_total = 0
+        #: Estimated consensus rounds saved by folding: every time a peer's
+        #: writes join a batch group another peer requested (instead of
+        #: waiting for their own batch), the two rounds that batch would have
+        #: cost are saved.
+        self.fold_rounds_saved = 0
 
     # ---------------------------------------------------------------- queueing
 
@@ -107,66 +148,128 @@ class WriteScheduler:
     def pending(self) -> Tuple[PendingWrite, ...]:
         return tuple(self._queue)
 
+    def queue_depth_by_shard(self, router) -> Dict[int, int]:
+        """Queued writes per consensus shard (``router`` maps metadata ids).
+
+        Empty shards are included so dashboards see the full lane picture.
+        """
+        depths = {shard: 0 for shard in range(router.num_shards)}
+        for pending in self._queue:
+            depths[router.shard_of(pending.request.metadata_id)] += 1
+        return depths
+
     # ---------------------------------------------------------------- planning
 
     def plan(self, limit: Optional[int] = None) -> BatchPlan:
         """Dequeue up to ``limit`` compatible writes and group them.
 
         The queue is scanned oldest-first; a write that conflicts with the
-        batch under construction (same shared table claimed by another peer
-        or another operation kind, same row key already edited, or a full
-        group) stays queued for the next batch — that deferral is exactly
-        what serialises same-key writes.
+        batch under construction (overlapping columns with another peer on
+        the same shared table, another operation kind, same row key already
+        edited, or a full group) stays queued for the next batch — that
+        deferral is exactly what serialises same-key writes.
         """
         limit = self.max_batch_size if limit is None else min(limit, self.max_batch_size)
         plan = BatchPlan()
-        group_index: Dict[Tuple[str, str, str], int] = {}
-        claimed_tables: Dict[str, Tuple[str, str]] = {}
+        group_of_table: Dict[str, int] = {}
+        states: List[_GroupState] = []
         claimed_keys = set()
+        #: (peer, metadata_id) pairs with a write already deferred in this
+        #: scan: later writes by that peer on that table must defer too, so a
+        #: tenant's writes on one shared table commit in submission order.
+        deferred_peer_tables = set()
         kept: List[PendingWrite] = []
         while self._queue and plan.size < limit:
             pending = self._queue.popleft()
             metadata_id = pending.request.metadata_id
             edit = pending.to_edit()
-            group_key = (pending.peer, metadata_id, edit.op)
             conflict = pending.conflict_key()
-            claim = claimed_tables.get(metadata_id)
-            if claim is not None and claim != (pending.peer, edit.op):
-                # Another peer (or another operation kind) already owns this
-                # shared table in the batch: serialise to the next batch.  The
-                # deferred write still claims its row key, so younger writes
-                # to the same key cannot overtake it into this batch.
-                plan.deferred += 1
-                kept.append(pending)
-                if conflict is not None:
-                    claimed_keys.add(conflict)
-                continue
+            columns = pending.column_set()
             if conflict is not None and conflict in claimed_keys:
                 # Same-key write: strictly later batch, preserving order.
                 plan.deferred += 1
                 kept.append(pending)
+                deferred_peer_tables.add((pending.peer, metadata_id))
                 continue
-            index = group_index.get(group_key)
-            if index is not None and len(plan.members[index]) >= self.max_edits_per_group:
+            if (pending.peer, metadata_id) in deferred_peer_tables:
+                # An earlier write by this peer on this table was deferred:
+                # folding this one in would let it overtake on-chain.
                 plan.deferred += 1
                 kept.append(pending)
                 if conflict is not None:
                     claimed_keys.add(conflict)
                 continue
+            index = group_of_table.get(metadata_id)
             if index is None:
-                group_index[group_key] = len(plan.groups)
+                group_of_table[metadata_id] = len(plan.groups)
                 plan.groups.append(BatchGroup(peer=pending.peer, metadata_id=metadata_id,
                                               edits=(edit,)))
                 plan.members.append([pending])
-                claimed_tables[metadata_id] = (pending.peer, edit.op)
-            else:
+                states.append(_GroupState(
+                    operation=edit.op,
+                    columns_by_peer={pending.peer: None if columns is None
+                                     else set(columns)}))
+            elif self._can_join(states[index], plan.groups[index], pending, edit, columns):
                 group = plan.groups[index]
-                plan.groups[index] = BatchGroup(peer=group.peer, metadata_id=group.metadata_id,
-                                                edits=group.edits + (edit,))
+                state = states[index]
+                cross_peer = pending.peer != group.peer
+                plan.groups[index] = BatchGroup(
+                    peer=group.peer, metadata_id=group.metadata_id,
+                    edits=group.edits + (edit,),
+                    edit_peers=group.edit_peers + (pending.peer,))
                 plan.members[index].append(pending)
+                existing = state.columns_by_peer.get(pending.peer)
+                if columns is None:
+                    state.columns_by_peer[pending.peer] = None
+                elif existing is None and pending.peer in state.columns_by_peer:
+                    pass  # already "whole row"
+                else:
+                    state.columns_by_peer.setdefault(pending.peer, set()).update(columns)
+                if cross_peer:
+                    plan.folded_writes += 1
+                    self.folded_writes_total += 1
+                    if pending.peer not in group.edit_peers:
+                        # First write by this peer to ride another peer's
+                        # group: its own batch (two rounds) is saved.
+                        self.fold_rounds_saved += 2
+            else:
+                # Conflicting write: serialise to the next batch.  It still
+                # claims its row key, so younger writes to the same key
+                # cannot overtake it into this batch.
+                plan.deferred += 1
+                kept.append(pending)
+                deferred_peer_tables.add((pending.peer, metadata_id))
+                if conflict is not None:
+                    claimed_keys.add(conflict)
+                continue
             if conflict is not None:
                 claimed_keys.add(conflict)
         # Deferred writes go back to the *front*, preserving arrival order.
         for pending in reversed(kept):
             self._queue.appendleft(pending)
         return plan
+
+    def _can_join(self, state: _GroupState, group: BatchGroup,
+                  pending: PendingWrite, edit: EntryEdit,
+                  columns: Optional[FrozenSet[str]]) -> bool:
+        """Whether a write may join the batch group already claiming its table."""
+        if len(group.edits) >= self.max_edits_per_group:
+            return False
+        if edit.op != state.operation:
+            return False  # operations do not mix within a group
+        cross_peer = pending.peer != group.peer or group.folded
+        if pending.peer not in state.columns_by_peer:
+            # A new contributor: only the cross-peer fold rule admits it.
+            if not self.fold_cross_peer or edit.op != "update":
+                return False
+        if cross_peer or len(state.columns_by_peer) > 1:
+            # Any group spanning peers needs pairwise-disjoint column sets:
+            # creates/deletes (whole-row, columns None) never qualify.
+            if columns is None:
+                return False
+            for peer, peer_columns in state.columns_by_peer.items():
+                if peer == pending.peer:
+                    continue
+                if peer_columns is None or peer_columns & columns:
+                    return False
+        return True

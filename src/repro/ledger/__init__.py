@@ -23,6 +23,9 @@ external Ethereum/Fabric dependency:
 * :mod:`repro.ledger.events` — event logs emitted by contracts.
 * :mod:`repro.ledger.miner` — the block producer enforcing the paper's
   one-update-per-shared-table-per-block rule.
+* :mod:`repro.ledger.sharding` / :mod:`repro.ledger.lanes` — per-shard
+  mempools and the lane scheduler that seals one block per shard inside one
+  simulated block interval (``LedgerConfig.consensus_shards``).
 """
 
 from repro.ledger.clock import SimClock
@@ -34,7 +37,9 @@ from repro.ledger.consensus import ConsensusEngine, ProofOfAuthority, ProofOfWor
 from repro.ledger.state import WorldState, Account
 from repro.ledger.events import EventLog, LogEntry
 from repro.ledger.chain import Blockchain
+from repro.ledger.lanes import HeldClock, LaneScheduler
 from repro.ledger.miner import Miner
+from repro.ledger.sharding import ShardedMempool, ShardRouter
 from repro.ledger.light_client import InclusionProof, LightClient, build_inclusion_proof
 from repro.ledger.archive import export_chain, import_chain, verify_archive
 
@@ -56,7 +61,11 @@ __all__ = [
     "EventLog",
     "LogEntry",
     "Blockchain",
+    "HeldClock",
+    "LaneScheduler",
     "Miner",
+    "ShardRouter",
+    "ShardedMempool",
     "InclusionProof",
     "LightClient",
     "build_inclusion_proof",

@@ -4,11 +4,19 @@ Transactions submitted by peers wait here until a miner includes them in a
 block.  The pool keeps arrival order (the paper's contracts "dispose of the
 updates according to received requests in chronological order") and rejects
 duplicates and invalid signatures up front.
+
+Internally the pool is one insertion-ordered dict keyed by transaction hash,
+so duplicate detection, lookup and post-block :meth:`Mempool.remove` are all
+O(1) per transaction while iteration still follows arrival order.  Every
+accepted transaction also gets a monotonically increasing *arrival sequence
+number*; the miner's per-lane selection cursors (:mod:`repro.ledger.miner`)
+and the sharded pool (:mod:`repro.ledger.sharding`) order by it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import InvalidTransactionError
 from repro.ledger.transaction import Transaction
@@ -17,9 +25,18 @@ from repro.ledger.transaction import Transaction
 class Mempool:
     """An ordered pool of pending transactions."""
 
-    def __init__(self, require_signatures: bool = True):
-        self._pending: List[Transaction] = []
-        self._hashes: Dict[str, Transaction] = {}
+    #: How many consensus lanes this pool feeds (sharded subclasses override).
+    num_shards = 1
+
+    def __init__(self, require_signatures: bool = True,
+                 sequence: Optional[Iterator[int]] = None):
+        #: hash -> transaction, in arrival order (dicts preserve insertion).
+        self._pending: Dict[str, Transaction] = {}
+        #: hash -> arrival sequence number.
+        self._seq_of: Dict[str, int] = {}
+        #: Shared with sibling shard pools under a ShardedMempool so arrival
+        #: order is globally consistent across shards.
+        self._sequence = sequence if sequence is not None else itertools.count()
         self.require_signatures = require_signatures
         self._rejected_count = 0
 
@@ -27,12 +44,20 @@ class Mempool:
         return len(self._pending)
 
     def __contains__(self, tx_hash: object) -> bool:
-        return tx_hash in self._hashes
+        return tx_hash in self._pending
 
     @property
     def rejected_count(self) -> int:
         """How many submissions were rejected (duplicates or bad signatures)."""
         return self._rejected_count
+
+    def get(self, tx_hash: str) -> Optional[Transaction]:
+        """The pending transaction with ``tx_hash``, or None."""
+        return self._pending.get(tx_hash)
+
+    def sequence_of(self, tx_hash: str) -> Optional[int]:
+        """The arrival sequence number of a pending transaction, or None."""
+        return self._seq_of.get(tx_hash)
 
     def submit(self, tx: Transaction) -> str:
         """Add a transaction to the pool; returns its hash.
@@ -47,11 +72,11 @@ class Mempool:
                 f"transaction from {tx.sender} has a missing or invalid signature"
             )
         tx_hash = tx.tx_hash
-        if tx_hash in self._hashes:
+        if tx_hash in self._pending:
             self._rejected_count += 1
             raise InvalidTransactionError(f"duplicate transaction {tx_hash[:12]}")
-        self._pending.append(tx)
-        self._hashes[tx_hash] = tx
+        self._pending[tx_hash] = tx
+        self._seq_of[tx_hash] = next(self._sequence)
         return tx_hash
 
     def submit_many(self, txs: Iterable[Transaction]) -> List[str]:
@@ -78,24 +103,43 @@ class Mempool:
     def peek(self, limit: Optional[int] = None) -> Tuple[Transaction, ...]:
         """The oldest pending transactions, without removing them."""
         if limit is None:
-            return tuple(self._pending)
-        return tuple(self._pending[:limit])
+            return tuple(self._pending.values())
+        return tuple(itertools.islice(self._pending.values(), limit))
+
+    def iter_entries(self, after: int = -1,
+                     shard: Optional[int] = None) -> Iterator[Tuple[int, Transaction]]:
+        """Lazily yield ``(arrival_seq, tx)`` in arrival order, skipping
+        entries at or before sequence number ``after``.
+
+        The miner's per-lane cursor iterates this instead of materialising
+        the whole pool with :meth:`peek`; ``shard`` is accepted for interface
+        parity with :class:`~repro.ledger.sharding.ShardedMempool` (a plain
+        pool is its own single shard).
+        """
+        for tx_hash, tx in self._pending.items():
+            seq = self._seq_of[tx_hash]
+            if seq > after:
+                yield seq, tx
 
     def remove(self, tx_hashes: Iterable[str]) -> int:
-        """Remove the given transactions (after block inclusion); returns count removed."""
-        to_remove = set(tx_hashes)
-        before = len(self._pending)
-        self._pending = [tx for tx in self._pending if tx.tx_hash not in to_remove]
-        for tx_hash in to_remove:
-            self._hashes.pop(tx_hash, None)
-        return before - len(self._pending)
+        """Remove the given transactions (after block inclusion); returns count removed.
+
+        O(removed): each hash is popped from the ordered dict directly instead
+        of rebuilding the pending list.
+        """
+        removed = 0
+        for tx_hash in tx_hashes:
+            if self._pending.pop(tx_hash, None) is not None:
+                removed += 1
+            self._seq_of.pop(tx_hash, None)
+        return removed
 
     def clear(self) -> None:
-        self._pending = []
-        self._hashes = {}
+        self._pending = {}
+        self._seq_of = {}
 
     def pending_for_sender(self, sender: str) -> Tuple[Transaction, ...]:
-        return tuple(tx for tx in self._pending if tx.sender == sender)
+        return tuple(tx for tx in self._pending.values() if tx.sender == sender)
 
     def next_nonce(self, sender: str, confirmed_nonce: int) -> int:
         """The next nonce a sender should use given its confirmed account nonce."""

@@ -8,6 +8,7 @@ block is applied.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
@@ -15,6 +16,53 @@ from repro.crypto.hashing import hash_payload
 from repro.crypto.keys import KeyPair
 from repro.crypto.signatures import Signature, sign, verify
 from repro.errors import InvalidTransactionError
+
+
+class FrozenDict(dict):
+    """A dict whose mutating methods raise.
+
+    Used to deep-freeze a signed transaction's ``args``/``payload``: unlike
+    ``MappingProxyType`` it survives ``copy.deepcopy`` (contract storage
+    snapshots) and serialises with ``json`` natively.
+    """
+
+    def _blocked(self, *args: Any, **kwargs: Any) -> None:
+        raise InvalidTransactionError(
+            "transaction args/payload are frozen after signing")
+
+    __setitem__ = _blocked
+    __delitem__ = _blocked
+    pop = _blocked
+    popitem = _blocked
+    clear = _blocked
+    update = _blocked
+    setdefault = _blocked
+
+    # deepcopy/pickle rebuild dicts item by item through __setitem__, which
+    # is blocked — provide explicit reconstruction instead.
+    def __copy__(self) -> "FrozenDict":
+        return FrozenDict(self)
+
+    def __deepcopy__(self, memo: Dict[int, Any]) -> "FrozenDict":
+        import copy
+
+        return FrozenDict(
+            (key, copy.deepcopy(value, memo)) for key, value in self.items())
+
+    def __reduce__(self):
+        return (FrozenDict, (dict(self),))
+
+
+def _deep_freeze(value: Any) -> Any:
+    """Recursively convert mappings to :class:`FrozenDict` and sequences to
+    tuples, so no reachable part of a signed transaction is mutable."""
+    if isinstance(value, Mapping):
+        return FrozenDict((key, _deep_freeze(item)) for key, item in value.items())
+    if isinstance(value, (list, tuple)):
+        return tuple(_deep_freeze(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return frozenset(value)
+    return value
 
 
 @dataclass
@@ -62,6 +110,25 @@ class Transaction:
             raise InvalidTransactionError(f"unknown transaction kind {self.kind!r}")
         if self.nonce < 0:
             raise InvalidTransactionError("nonce must be non-negative")
+        if self.signature is not None:
+            # A signed transaction is frozen: its fields are covered by the
+            # signature (and by the cached hash), so args/payload are
+            # deep-frozen and field assignment raises from here on.
+            object.__setattr__(self, "args", _deep_freeze(self.args))
+            object.__setattr__(self, "payload", _deep_freeze(self.payload))
+            self.__dict__["_frozen"] = True
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if self.__dict__.get("_frozen"):
+            raise InvalidTransactionError(
+                f"transaction is frozen after signing; cannot assign {name!r}"
+            )
+        object.__setattr__(self, name, value)
+
+    @property
+    def is_frozen(self) -> bool:
+        """True once the transaction carries a signature (fields immutable)."""
+        return bool(self.__dict__.get("_frozen"))
 
     # ------------------------------------------------------------------ identity
 
@@ -73,18 +140,30 @@ class Transaction:
             "nonce": self.nonce,
             "contract": self.contract,
             "method": self.method,
-            "args": self.args,
-            "payload": self.payload,
+            "args": dict(self.args),
+            "payload": dict(self.payload),
             "timestamp": self.timestamp,
         }
 
     @property
     def tx_hash(self) -> str:
-        """The transaction hash (includes the signature when present)."""
+        """The transaction hash (includes the signature when present).
+
+        Computed once and cached: the mempool, the miner, block building and
+        receipt lookup all re-read the hash, and a signed transaction is
+        frozen (see ``__post_init__``) so the cache can never go stale.
+        Unsigned transactions stay mutable, so only signed ones cache.
+        """
+        cached = self.__dict__.get("_cached_tx_hash")
+        if cached is not None:
+            return cached
         body = self.signing_payload()
         if self.signature is not None:
             body["signature"] = self.signature.to_dict()
-        return hash_payload(body)
+        digest = hash_payload(body)
+        if self.is_frozen:
+            self.__dict__["_cached_tx_hash"] = digest
+        return digest
 
     # ------------------------------------------------------------------ signing
 

@@ -11,17 +11,29 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.ledger.block import Block
+from repro.ledger.sharding import ShardRouter
 from repro.ledger.transaction import Transaction
 from repro.network.node import BlockchainNode
 from repro.network.transport import SimTransport
 
 
 class GossipProtocol:
-    """Floods transactions and blocks to all registered nodes."""
+    """Floods transactions and blocks to all registered nodes.
 
-    def __init__(self, transport: SimTransport):
+    With a sharded ledger pipeline (``router.num_shards > 1``) transaction
+    batches are flooded on per-shard *topics*: one ``tx-batch`` message per
+    shard per link, so a node (or, in a real deployment, a lane worker) can
+    subscribe to just the shards it produces blocks for.  Message counts per
+    topic are tracked in :attr:`topic_messages`.
+    """
+
+    def __init__(self, transport: SimTransport, router: Optional[ShardRouter] = None):
         self.transport = transport
+        self.router = router
         self._nodes: Dict[str, BlockchainNode] = {}
+        #: topic name -> gossip messages sent on it (``tx-batch`` when
+        #: unsharded, ``tx-batch/shard-<n>`` per lane when sharded).
+        self.topic_messages: Dict[str, int] = {}
 
     def register_node(self, node: BlockchainNode) -> None:
         """Attach a node to the gossip mesh."""
@@ -66,12 +78,40 @@ class GossipProtocol:
             return 0
         if origin in self._nodes:
             self._nodes[origin].receive_transactions(transactions)
+        if self.router is not None and self.router.num_shards > 1:
+            return self._broadcast_sharded_batch(origin, transactions)
         messages = self.transport.broadcast(
             origin, "tx-batch",
             {"transactions": [tx.to_dict() for tx in transactions]},
         )
+        self.topic_messages["tx-batch"] = (
+            self.topic_messages.get("tx-batch", 0) + len(messages))
         self.transport.flush()
         return len(messages)
+
+    def _broadcast_sharded_batch(self, origin: str,
+                                 transactions: Sequence[Transaction]) -> int:
+        """Flood a batch split into per-shard topic messages.
+
+        Receivers route each transaction through their own (identical)
+        :class:`~repro.ledger.sharding.ShardRouter`; the ``shard`` field in
+        the payload is the topic marker a selective subscriber keys on.
+        """
+        by_shard: Dict[int, List[Transaction]] = {}
+        for tx in transactions:
+            by_shard.setdefault(self.router.shard_of_transaction(tx), []).append(tx)
+        total = 0
+        for shard in sorted(by_shard):
+            messages = self.transport.broadcast(
+                origin, "tx-batch",
+                {"shard": shard,
+                 "transactions": [tx.to_dict() for tx in by_shard[shard]]},
+            )
+            topic = f"tx-batch/shard-{shard}"
+            self.topic_messages[topic] = self.topic_messages.get(topic, 0) + len(messages)
+            total += len(messages)
+        self.transport.flush()
+        return total
 
     def broadcast_block(self, origin: str, block: Block) -> int:
         """Gossip a sealed block from ``origin`` to every other node."""
@@ -82,18 +122,24 @@ class GossipProtocol:
     # ------------------------------------------------------------------ mining
 
     def mine_and_propagate(self, miner_name: Optional[str] = None) -> List[Block]:
-        """Have a miner drain its mempool and gossip every block it seals."""
+        """Have a miner drain its mempool and gossip every block it seals.
+
+        Draining proceeds interval by interval: a sharded miner seals one
+        block per lane with pending work inside each simulated block
+        interval, an unsharded miner exactly one (the seed behaviour).
+        """
         miners = [self._nodes[miner_name]] if miner_name else list(self.miner_nodes)
         mined: List[Block] = []
         for node in miners:
             if node.miner is None:
                 continue
             while True:
-                block = node.miner.mine_block()
-                if block is None:
+                blocks = node.miner.mine_interval()
+                if not blocks:
                     break
-                mined.append(block)
-                self.broadcast_block(node.name, block)
+                for block in blocks:
+                    mined.append(block)
+                    self.broadcast_block(node.name, block)
         return mined
 
     # ------------------------------------------------------------------ checks

@@ -21,6 +21,7 @@ from repro.ledger.clock import SimClock
 from repro.ledger.events import LogEntry
 from repro.ledger.mempool import Mempool
 from repro.ledger.miner import Miner
+from repro.ledger.sharding import ShardedMempool, ShardRouter
 from repro.ledger.transaction import Transaction
 from repro.network.message import Message
 
@@ -30,14 +31,21 @@ class BlockchainNode:
 
     def __init__(self, name: str, clock: SimClock, config: LedgerConfig = LedgerConfig(),
                  contract_classes: Tuple[Type[Contract], ...] = (),
-                 is_miner: bool = False):
+                 is_miner: bool = False, router: Optional[ShardRouter] = None):
         self.name = name
         self.clock = clock
         self.runtime = ContractRuntime()
         for contract_class in contract_classes:
             self.runtime.register_contract_class(contract_class)
         self.chain = Blockchain(config, executor=self.runtime)
-        self.mempool = Mempool()
+        # consensus_shards == 1 keeps the plain single pool: the unsharded
+        # pipeline stays byte-identical to the pre-sharding behaviour.  The
+        # router is normally the simulator's shared instance so every node,
+        # the gossip topics and the gateway metrics agree on lane routing.
+        self.mempool = (
+            ShardedMempool(router or ShardRouter(config.consensus_shards))
+            if config.consensus_shards > 1 else Mempool()
+        )
         self.is_miner = is_miner
         self.miner: Optional[Miner] = (
             Miner(self.chain, self.mempool, clock, proposer=name) if is_miner else None

@@ -14,6 +14,7 @@ from repro.config import LedgerConfig, NetworkConfig
 from repro.contracts.base import Contract
 from repro.ledger.block import Block
 from repro.ledger.clock import SimClock
+from repro.ledger.sharding import ShardRouter
 from repro.ledger.transaction import Transaction
 from repro.network.channels import ChannelRegistry
 from repro.network.gossip import GossipProtocol
@@ -32,7 +33,11 @@ class NetworkSimulator:
         self.network_config = network_config
         self.contract_classes = tuple(contract_classes)
         self.transport = SimTransport(self.clock, network_config)
-        self.gossip = GossipProtocol(self.transport)
+        #: Shared routing of metadata ids to consensus lanes; the gossip
+        #: layer uses it for per-shard tx-batch topics and the gateway for
+        #: per-shard queue-depth metrics.
+        self.router = ShardRouter(ledger_config.consensus_shards)
+        self.gossip = GossipProtocol(self.transport, router=self.router)
         self.channels = ChannelRegistry(self.clock, latency=network_config.base_latency)
 
     # -------------------------------------------------------------------- nodes
@@ -51,6 +56,7 @@ class NetworkSimulator:
             config=self.ledger_config,
             contract_classes=self.contract_classes,
             is_miner=is_miner,
+            router=self.router,
         )
         if existing and existing[0].chain.height > 0:
             node.sync_with(existing[0])

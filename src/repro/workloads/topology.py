@@ -24,12 +24,18 @@ from repro.workloads.generator import MedicalRecordGenerator
 
 @dataclass(frozen=True)
 class TopologySpec:
-    """Shape of a generated sharing network."""
+    """Shape of a generated sharing network.
+
+    ``first_patient_id`` sets the base of the sequential patient-id range;
+    benchmarks that exercise consensus sharding pick a base whose metadata
+    ids spread evenly over the shard hash.
+    """
 
     patients: int = 5
     researchers: int = 1
     distinct_medications: int = 8
     seed: int = 42
+    first_patient_id: int = 188
 
     def __post_init__(self) -> None:
         if self.patients < 1:
@@ -38,6 +44,8 @@ class TopologySpec:
             raise ValueError("researchers must be non-negative")
         if self.distinct_medications < 1:
             raise ValueError("distinct_medications must be at least 1")
+        if self.first_patient_id < 0:
+            raise ValueError("first_patient_id must be non-negative")
 
 
 def _patient_agreement(patient_name: str, patient_id: int, metadata_id: str) -> SharingAgreement:
@@ -85,7 +93,8 @@ def build_topology_system(spec: TopologySpec = TopologySpec(),
                           config: Optional[SystemConfig] = None) -> MedicalDataSharingSystem:
     """Build a doctor-centred topology with ``spec.patients`` patients and
     ``spec.researchers`` researchers, sharing established and contracts live."""
-    generator = MedicalRecordGenerator(seed=spec.seed)
+    generator = MedicalRecordGenerator(seed=spec.seed,
+                                       first_patient_id=spec.first_patient_id)
     # One full record per patient peer (patient_id keys D1/D3), with the
     # medication variety bounded so several patients share each medication —
     # that is what makes the D23/D32 functional view non-trivial.

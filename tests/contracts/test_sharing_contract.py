@@ -3,7 +3,9 @@
 import pytest
 
 from repro.contracts.base import CallContext
-from repro.contracts.sharing_contract import SharedDataContract
+from repro.contracts.sharing_contract import SharedDataContract, fold_attestation_payload
+from repro.crypto.keys import generate_keypair
+from repro.crypto.signatures import sign
 from repro.errors import ContractRevert, PermissionDenied
 
 DOCTOR = "0xd0c" + "0" * 37
@@ -216,6 +218,122 @@ class TestCreateDelete:
         assert record["operation"] == "delete"
         assert set(record["changed_attributes"]) == {"medication_name", "dosage",
                                                      "clinical_data"}
+
+
+class TestFoldedUpdates:
+    """request_folded_update: cross-peer edits on disjoint attribute sets,
+    each non-calling contribution attested by its author's signature."""
+
+    DOC_KP = generate_keypair(seed=71)
+    PAT_KP = generate_keypair(seed=72)
+
+    @pytest.fixture
+    def fold_contract(self):
+        contract = SharedDataContract()
+        call(contract, self.DOC_KP.address, "register_shared_table",
+             metadata_id="FOLD",
+             sharing_peers={self.DOC_KP.address: "Doctor",
+                            self.PAT_KP.address: "Patient"},
+             write_permission={"medication_name": ["Doctor"],
+                               "dosage": ["Doctor"],
+                               "clinical_data": ["Patient", "Doctor"]},
+             authority_role="Doctor")
+        return contract
+
+    def _attested(self, keypair, attributes, diff_hash="fold-1",
+                  metadata_id="FOLD"):
+        payload = fold_attestation_payload(metadata_id, diff_hash, attributes)
+        return {"peer": keypair.address, "changed_attributes": list(attributes),
+                "public_key": hex(keypair.public_key),
+                "attestation": sign(keypair, payload).to_dict()}
+
+    def test_folded_update_checks_permission_per_contributor(self, fold_contract):
+        result, events = call(
+            fold_contract, self.DOC_KP.address, "request_folded_update",
+            metadata_id="FOLD",
+            contributions=[{"peer": self.DOC_KP.address,
+                            "changed_attributes": ["dosage"]},
+                           self._attested(self.PAT_KP, ["clinical_data"])],
+            diff_hash="fold-1")
+        assert result["operation"] == "update"
+        assert result["changed_attributes"] == ["dosage", "clinical_data"]
+        assert result["contributions"][1]["peer"] == self.PAT_KP.address
+        assert events[0].name == "SharedDataChanged"
+        # The non-calling contributor still has to acknowledge.
+        assert fold_contract.entries["FOLD"].pending_acks == [self.PAT_KP.address]
+
+    def test_unattested_foreign_contribution_rejected(self, fold_contract):
+        """A caller cannot write through another peer's permissions: a
+        contribution attributed to a different peer without that peer's
+        signature reverts (this is the permission-laundering exploit)."""
+        with pytest.raises(PermissionDenied):
+            call(fold_contract, self.PAT_KP.address, "request_folded_update",
+                 metadata_id="FOLD",
+                 contributions=[{"peer": self.DOC_KP.address,
+                                 "changed_attributes": ["dosage"]}],
+                 diff_hash="evil")
+
+    def test_forged_attestation_rejected(self, fold_contract):
+        # Signed by the patient but claiming the doctor as author.
+        forged = self._attested(self.PAT_KP, ["dosage"], diff_hash="evil")
+        forged["peer"] = self.DOC_KP.address
+        with pytest.raises(PermissionDenied):
+            call(fold_contract, self.PAT_KP.address, "request_folded_update",
+                 metadata_id="FOLD", contributions=[forged], diff_hash="evil")
+
+    def test_attestation_bound_to_diff_hash(self, fold_contract):
+        # A valid attestation for one diff cannot authorise another.
+        stale = self._attested(self.PAT_KP, ["clinical_data"], diff_hash="old")
+        with pytest.raises(PermissionDenied):
+            call(fold_contract, self.DOC_KP.address, "request_folded_update",
+                 metadata_id="FOLD", contributions=[stale], diff_hash="new")
+
+    def test_contributor_without_permission_rejected(self, fold_contract):
+        # The patient's role may not write "dosage": the fold reverts even
+        # with a genuine patient attestation.
+        with pytest.raises(PermissionDenied):
+            call(fold_contract, self.DOC_KP.address, "request_folded_update",
+                 metadata_id="FOLD",
+                 contributions=[self._attested(self.PAT_KP, ["dosage"])],
+                 diff_hash="fold-1")
+
+    def test_overlapping_contributions_rejected(self, fold_contract):
+        with pytest.raises(ContractRevert):
+            call(fold_contract, self.DOC_KP.address, "request_folded_update",
+                 metadata_id="FOLD",
+                 contributions=[
+                     {"peer": self.DOC_KP.address,
+                      "changed_attributes": ["clinical_data"]},
+                     self._attested(self.PAT_KP, ["clinical_data"])],
+                 diff_hash="fold-1")
+
+    def test_non_peer_contributor_rejected(self, fold_contract):
+        with pytest.raises(PermissionDenied):
+            call(fold_contract, self.DOC_KP.address, "request_folded_update",
+                 metadata_id="FOLD",
+                 contributions=[{"peer": OUTSIDER,
+                                 "changed_attributes": ["dosage"]}])
+
+    def test_caller_must_be_sharing_peer(self, fold_contract):
+        with pytest.raises(PermissionDenied):
+            call(fold_contract, OUTSIDER, "request_folded_update",
+                 metadata_id="FOLD",
+                 contributions=[{"peer": self.DOC_KP.address,
+                                 "changed_attributes": ["dosage"]}])
+
+    def test_folded_update_respects_pending_acks(self, fold_contract):
+        call(fold_contract, self.DOC_KP.address, "request_update",
+             metadata_id="FOLD", changed_attributes=["dosage"])
+        with pytest.raises(ContractRevert):
+            call(fold_contract, self.DOC_KP.address, "request_folded_update",
+                 metadata_id="FOLD",
+                 contributions=[self._attested(self.PAT_KP, ["clinical_data"])],
+                 diff_hash="fold-1")
+
+    def test_empty_contributions_rejected(self, fold_contract):
+        with pytest.raises(ContractRevert):
+            call(fold_contract, self.DOC_KP.address, "request_folded_update",
+                 metadata_id="FOLD", contributions=[])
 
 
 class TestPermissionAdmin:

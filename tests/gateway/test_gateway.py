@@ -2,10 +2,11 @@
 
 import pytest
 
+from repro.config import SystemConfig
 from repro.core.scenario import PATIENT_DOCTOR_TABLE
 from repro.core.workflow import BatchGroup, EntryEdit
 from repro.errors import WorkflowError
-from repro.gateway import GatewayWorkerPool
+from repro.gateway import GatewayWorkerPool, SharingGateway
 from repro.gateway.requests import (
     AuditQueryRequest,
     DeleteEntryRequest,
@@ -71,6 +72,64 @@ class TestWritePath:
         system = gateway.system
         assert not system.peer("patient").shared_table(PATIENT_DOCTOR_TABLE).contains_key(188)
         assert not system.peer("doctor").local_table("D3").contains_key(188)
+
+
+class TestCrossPeerFoldEndToEnd:
+    def test_disjoint_cross_peer_writes_share_one_round_pair(self, extended_gateway):
+        """Doctor (dosage, row 188) and patient (clinical_data, row 189) fold
+        into one group: one request_folded_update + one ack instead of two
+        full round pairs, and both edits land on both peers."""
+        from repro.core.scenario import CARE_TABLE
+
+        gateway = extended_gateway
+        system = gateway.system
+        doctor = gateway.open_session("doctor")
+        patient = gateway.open_session("patient")
+        doc_response = gateway.submit(doctor, UpdateEntryRequest(
+            CARE_TABLE, (188,), {"dosage": "two tablets every 6h"}))
+        pat_response = gateway.submit(patient, UpdateEntryRequest(
+            CARE_TABLE, (189,), {"clinical_data": "patient-reported"}))
+        result = gateway.commit_once()
+        assert result.consensus_rounds == 2  # cascades mine their own rounds
+        assert doc_response.ok and pat_response.ok
+        for peer in ("doctor", "patient"):
+            stored = system.peer(peer).shared_table(CARE_TABLE)
+            assert stored.get((188,))["dosage"] == "two tablets every 6h"
+            assert stored.get((189,))["clinical_data"] == "patient-reported"
+        assert system.all_shared_tables_consistent()
+        # The fold is visible on-chain (per-contributor record) and sound.
+        contract = system.simulator.nodes[0].contract_at(system.contract_address)
+        folded = [record for record in contract.history if record.contributions]
+        assert len(folded) == 1
+        assert len(folded[0].contributions) == 2
+        assert system.check_contract_specification().passed
+        metrics = gateway.metrics()
+        assert metrics["batches"]["folded_writes"] == 1
+        assert metrics["batches"]["fold_rounds_saved"] == 2
+
+    def test_fold_disabled_keeps_two_round_pairs(self):
+        from repro.core.scenario import CARE_TABLE, build_extended_scenario
+
+        system = build_extended_scenario(SystemConfig.private_chain(1.0))
+        gateway = SharingGateway(system, fold_cross_peer=False)
+        doctor = gateway.open_session("doctor")
+        patient = gateway.open_session("patient")
+        gateway.submit(doctor, UpdateEntryRequest(
+            CARE_TABLE, (188,), {"dosage": "two tablets every 6h"}))
+        gateway.submit(patient, UpdateEntryRequest(
+            CARE_TABLE, (189,), {"clinical_data": "patient-reported"}))
+        batches = gateway.drain()
+        assert batches == 2
+        assert gateway.batch_consensus_rounds == 4
+        assert gateway.metrics()["batches"]["folded_writes"] == 0
+        assert system.all_shared_tables_consistent()
+
+    def test_shard_metrics_reported(self, paper_gateway):
+        metrics = paper_gateway.metrics()
+        assert metrics["shards"]["count"] == 1
+        assert metrics["shards"]["queue_depth"] == {0: 0}
+        assert metrics["shards"]["mempool_depth"] == [0]
+        assert "lanes" not in metrics["shards"]
 
 
 class TestContention:

@@ -77,16 +77,32 @@ class TestConflictSerialisation:
         assert order == ["first", "second", "third"]
         assert all(len(plan.groups[0].edits) == 1 for plan in batches)
 
-    def test_two_peers_on_one_table_serialise(self):
-        """The contract accepts one operation per shared table per round
-        (pending acknowledgements), so the planner defers the second peer."""
+    def test_two_peers_with_overlapping_columns_serialise(self):
+        """Overlapping attribute sets cannot fold: the second peer's write on
+        the same column waits for the next batch (no lost updates)."""
         scheduler = WriteScheduler()
+        scheduler.enqueue(_write("r1", "doctor", _update("T1", (1,), "clinical_data")))
+        scheduler.enqueue(_write("r2", "patient", _update("T1", (2,), "clinical_data")))
+        plan = scheduler.plan()
+        assert len(plan.groups) == 1
+        assert plan.groups[0].peer == "doctor"
+        assert not plan.groups[0].folded
+        assert plan.deferred == 1
+        next_plan = scheduler.plan()
+        assert next_plan.groups[0].peer == "patient"
+
+    def test_two_peers_on_one_table_serialise_with_folding_disabled(self):
+        """With the fold rule off, a shared table is owned by one peer per
+        batch even when the attribute sets are disjoint (the pre-folding
+        behaviour)."""
+        scheduler = WriteScheduler(fold_cross_peer=False)
         scheduler.enqueue(_write("r1", "doctor", _update("T1", (1,), "dosage")))
         scheduler.enqueue(_write("r2", "patient", _update("T1", (2,), "clinical_data")))
         plan = scheduler.plan()
         assert len(plan.groups) == 1
         assert plan.groups[0].peer == "doctor"
         assert plan.deferred == 1
+        assert scheduler.folded_writes_total == 0
         next_plan = scheduler.plan()
         assert next_plan.groups[0].peer == "patient"
 
@@ -115,6 +131,117 @@ class TestConflictSerialisation:
         assert {group.metadata_id for group in plan.groups} == {"T1", "T2"}
         assert scheduler.queue_depth == 1
         assert scheduler.pending()[0].request_id == "b"
+
+
+class TestCrossPeerFolding:
+    """The cross-peer merge rule: disjoint column sets on distinct rows fold
+    into one group; anything that could lose an update still serialises."""
+
+    def test_disjoint_columns_different_peers_fold_into_one_group(self):
+        scheduler = WriteScheduler()
+        scheduler.enqueue(_write("r1", "doctor", _update("T1", (1,), "dosage")))
+        scheduler.enqueue(_write("r2", "patient", _update("T1", (2,), "clinical_data")))
+        plan = scheduler.plan()
+        assert len(plan.groups) == 1
+        group = plan.groups[0]
+        assert group.folded
+        assert group.peer == "doctor"  # requester = first arrival
+        assert group.edit_peers == ("doctor", "patient")
+        assert group.contributors == ("doctor", "patient")
+        assert plan.deferred == 0
+        assert plan.folded_writes == 1
+        assert scheduler.folded_writes_total == 1
+        assert scheduler.fold_rounds_saved == 2
+
+    def test_overlapping_columns_still_serialise(self):
+        scheduler = WriteScheduler()
+        scheduler.enqueue(_write("r1", "doctor", _update("T1", (1,), "dosage")))
+        scheduler.enqueue(_write("r2", "patient",
+                                 UpdateEntryRequest(metadata_id="T1", key=(2,),
+                                                    updates={"dosage": "x",
+                                                             "clinical_data": "y"})))
+        plan = scheduler.plan()
+        assert len(plan.groups) == 1
+        assert not plan.groups[0].folded
+        assert plan.deferred == 1
+        assert scheduler.folded_writes_total == 0
+
+    def test_same_conflict_key_still_serialises_across_batches(self):
+        """Two peers editing the same row never share a batch, whatever the
+        columns — the second write would silently win otherwise."""
+        scheduler = WriteScheduler()
+        scheduler.enqueue(_write("r1", "doctor", _update("T1", (1,), "dosage")))
+        scheduler.enqueue(_write("r2", "patient", _update("T1", (1,), "clinical_data")))
+        plan = scheduler.plan()
+        assert len(plan.groups) == 1
+        assert not plan.groups[0].folded
+        assert plan.deferred == 1
+        follow_up = scheduler.plan()
+        assert follow_up.groups[0].peer == "patient"
+
+    def test_folded_peer_keeps_adding_disjoint_edits(self):
+        """Once folded in, a contributor's further writes on its own columns
+        and fresh rows join the same group (no extra rounds-saved credit)."""
+        scheduler = WriteScheduler()
+        scheduler.enqueue(_write("r1", "doctor", _update("T1", (1,), "dosage")))
+        scheduler.enqueue(_write("r2", "patient", _update("T1", (2,), "clinical_data")))
+        scheduler.enqueue(_write("r3", "patient", _update("T1", (3,), "clinical_data")))
+        plan = scheduler.plan()
+        assert len(plan.groups) == 1
+        assert plan.groups[0].edit_peers == ("doctor", "patient", "patient")
+        assert plan.folded_writes == 2
+        assert scheduler.fold_rounds_saved == 2  # one extra contributor, once
+
+    def test_creates_and_deletes_never_fold_across_peers(self):
+        scheduler = WriteScheduler()
+        scheduler.enqueue(_write("r1", "doctor", _update("T1", (1,), "dosage")))
+        scheduler.enqueue(_write("r2", "patient", InsertEntryRequest("T1", {"id": 9})))
+        scheduler.enqueue(_write("r3", "patient", DeleteEntryRequest("T1", (2,))))
+        plan = scheduler.plan()
+        assert len(plan.groups) == 1
+        assert not plan.groups[0].folded
+        assert plan.deferred == 2
+
+    def test_fold_never_reorders_a_tenants_writes_on_one_table(self):
+        """Once a peer has a deferred write on a table, its later writes on
+        that table defer too — folding must not let a tenant's newer write
+        overtake its older one on-chain."""
+        scheduler = WriteScheduler()
+        scheduler.enqueue(_write("W1", "doctor", _update("T1", (1,), "dosage")))
+        # W2 overlaps the doctor's column -> deferred.
+        scheduler.enqueue(_write("W2", "patient", _update("T1", (2,), "dosage")))
+        # W3 would fold (disjoint column), but W2 must commit first.
+        scheduler.enqueue(_write("W3", "patient", _update("T1", (3,), "clinical_data")))
+        first = scheduler.plan()
+        assert [m.request_id for m in first.members[0]] == ["W1"]
+        assert first.deferred == 2
+        second = scheduler.plan()
+        assert [m.request_id for members in second.members for m in members] == ["W2", "W3"]
+
+    def test_cross_column_claim_after_fold_stays_disjoint(self):
+        """A second doctor write on a column the patient already claimed in
+        the folded group must defer."""
+        scheduler = WriteScheduler()
+        scheduler.enqueue(_write("r1", "doctor", _update("T1", (1,), "dosage")))
+        scheduler.enqueue(_write("r2", "patient", _update("T1", (2,), "clinical_data")))
+        scheduler.enqueue(_write("r3", "doctor", _update("T1", (3,), "clinical_data")))
+        plan = scheduler.plan()
+        assert plan.groups[0].edit_peers == ("doctor", "patient")
+        assert plan.deferred == 1
+
+    def test_queue_depth_by_shard(self):
+        from repro.ledger.sharding import ShardRouter
+
+        scheduler = WriteScheduler()
+        router = ShardRouter(4)
+        tables = ["T1", "T2", "T3"]
+        for index, table in enumerate(tables):
+            scheduler.enqueue(_write(f"r{index}", "doctor", _update(table, (1,))))
+        depths = scheduler.queue_depth_by_shard(router)
+        assert set(depths) == {0, 1, 2, 3}
+        assert sum(depths.values()) == 3
+        for table in tables:
+            assert depths[router.shard_of(table)] >= 1
 
 
 class TestLimits:

@@ -87,8 +87,9 @@ class TestValidation:
         block = miner.mine_block()
         # Craft a copy of the block with a stripped signature.
         from repro.ledger.block import Block
-        bad_tx = Transaction.from_dict(block.transactions[0].to_dict())
-        bad_tx.signature = None
+        payload = block.transactions[0].to_dict()
+        payload["signature"] = None
+        bad_tx = Transaction.from_dict(payload)
         bad = Block.from_dict(block.to_dict())
         with pytest.raises(InvalidBlockError):
             chain2, _, _, _ = _setup()
@@ -176,6 +177,36 @@ class TestMiner:
     def test_empty_mempool_produces_no_block(self):
         _, _, _, miner = _setup()
         assert miner.mine_block() is None
+
+    def test_mining_many_blocks_is_linear_in_pool_size(self):
+        """The per-lane selection cursor must not rescan the whole pool per
+        block: draining N conflict-free transactions across many blocks looks
+        at each transaction exactly once (no deferrals, no rescans)."""
+        chain, mempool, _, miner = _setup(max_txs=8)
+        total = 200
+        mempool.submit_many([_tx(i, metadata_id=f"T{i}") for i in range(total)])
+        blocks = miner.mine_until_empty(max_blocks=total)
+        assert sum(len(b.transactions) for b in blocks) == total
+        # Each selection overshoots by at most one transaction per full block
+        # (the candidate that did not fit), so the scan count is linear in the
+        # pool size — the seed behaviour was quadratic (peek() per block).
+        assert miner.txs_scanned <= total + len(blocks)
+
+    def test_cursor_reconsiders_deferred_transactions(self):
+        """Transactions deferred by the serialisation rule are rescanned in
+        arrival order on the next block, exactly as the full rescan did."""
+        chain, mempool, _, miner = _setup()
+        mempool.submit(_tx(0, metadata_id="HOT"))
+        mempool.submit(_tx(1, metadata_id="HOT"))
+        mempool.submit(_tx(2, metadata_id="HOT"))
+        order = []
+        for _ in range(3):
+            block = miner.mine_block()
+            order.extend(tx.nonce for tx in block.transactions)
+        assert order == [0, 1, 2]
+        assert len(mempool) == 0
+        # 3 + 2 + 1 scans: each deferred transaction is revisited per block.
+        assert miner.txs_scanned == 6
 
     def test_mine_until_empty(self):
         chain, mempool, _, miner = _setup()

@@ -92,8 +92,9 @@ class TestLightClient:
         proof = build_inclusion_proof(chain, tx.tx_hash)
         from repro.ledger.transaction import Transaction
 
-        tampered = Transaction.from_dict(tx.to_dict())
-        tampered.args = dict(tampered.args, diff_hash="forged")
+        payload = tx.to_dict()
+        payload["args"] = dict(payload["args"], diff_hash="forged")
+        tampered = Transaction.from_dict(payload)
         assert not client.verify_operation(proof, tampered)
 
     def test_rejects_wrong_metadata_expectation(self, system_with_update):

@@ -89,6 +89,33 @@ class TestMempool:
         pool.clear()
         assert len(pool) == 0
 
+    def test_remove_keeps_arrival_order_of_the_rest(self):
+        """Regression for the ordered-dict bookkeeping: removing an arbitrary
+        subset (as every mined block does) preserves arrival-order iteration
+        for the survivors and is O(removed), not O(pending * removed)."""
+        pool = Mempool()
+        txs = [_tx(nonce=i) for i in range(10)]
+        pool.submit_many(txs)
+        pool.remove([txs[i].tx_hash for i in (0, 3, 4, 9)])
+        assert [t.nonce for t in pool.peek()] == [1, 2, 5, 6, 7, 8]
+        # Removing unknown hashes is a no-op, not an error.
+        assert pool.remove(["f" * 64]) == 0
+        # Later submissions continue the arrival order.
+        late = _tx(nonce=10)
+        pool.submit(late)
+        assert [t.nonce for t in pool.peek()][-1] == 10
+
+    def test_iter_entries_resumes_after_sequence(self):
+        pool = Mempool()
+        txs = [_tx(nonce=i) for i in range(5)]
+        pool.submit_many(txs)
+        entries = list(pool.iter_entries())
+        assert [t.nonce for _s, t in entries] == [0, 1, 2, 3, 4]
+        cutoff = entries[2][0]
+        assert [t.nonce for _s, t in pool.iter_entries(after=cutoff)] == [3, 4]
+        assert pool.get(txs[1].tx_hash) is txs[1]
+        assert pool.sequence_of(txs[1].tx_hash) == entries[1][0]
+
 
 def _header(number=1, parent="00" * 32, proposer="authority-1"):
     return BlockHeader(number=number, parent_hash=parent, merkle_root="",

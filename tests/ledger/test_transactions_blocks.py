@@ -74,13 +74,46 @@ class TestTransaction:
 
     def test_tampered_args_break_signature(self):
         tx = _signed_tx()
-        tx.args["metadata_id"] = "SOMETHING ELSE"
-        assert not tx.verify_signature()
+        payload = tx.to_dict()
+        payload["args"]["metadata_id"] = "SOMETHING ELSE"
+        assert not Transaction.from_dict(payload).verify_signature()
 
     def test_signature_from_other_key_rejected(self):
         tx = _signed_tx()
-        tx.sender_public_key = BOB.public_key
-        assert not tx.verify_signature()
+        payload = tx.to_dict()
+        payload["sender_public_key"] = hex(BOB.public_key)
+        assert not Transaction.from_dict(payload).verify_signature()
+
+    def test_signed_transaction_is_frozen(self):
+        """A signed transaction cannot be mutated in place: field assignment
+        raises and args/payload are read-only, so the cached hash can never
+        go stale."""
+        tx = _signed_tx()
+        assert tx.is_frozen
+        with pytest.raises(InvalidTransactionError):
+            tx.nonce = 99
+        with pytest.raises(InvalidTransactionError):
+            tx.signature = None
+        with pytest.raises(InvalidTransactionError):
+            tx.args["metadata_id"] = "SOMETHING ELSE"
+        # The freeze is deep: nested containers are immutable too, so the
+        # cached hash cannot silently go stale through an inner list/dict.
+        nested = _signed_tx(args={"metadata_id": "x",
+                                  "changed_attributes": ["a", "b"],
+                                  "contributions": [{"peer": "0xp"}]})
+        assert isinstance(nested.args["changed_attributes"], tuple)
+        with pytest.raises(InvalidTransactionError):
+            nested.args["contributions"][0]["peer"] = "0xforged"
+        # An unsigned transaction stays mutable (it has no signature to cover).
+        unsigned = Transaction(sender=ALICE.address, kind="call", nonce=0)
+        assert not unsigned.is_frozen
+        unsigned.nonce = 1
+
+    def test_tx_hash_is_cached_after_first_computation(self):
+        tx = _signed_tx()
+        first = tx.tx_hash
+        assert tx.__dict__["_cached_tx_hash"] == first
+        assert tx.tx_hash is first
 
     def test_hash_changes_with_content(self):
         assert _signed_tx(nonce=0).tx_hash != _signed_tx(nonce=1).tx_hash
