@@ -179,19 +179,31 @@ def _cmd_exposure(args: argparse.Namespace) -> int:
 def run_gateway_loadtest(tenants: int = 8, duration: float = 30.0, rate: float = 1.0,
                          read_fraction: float = 0.5, interval: float = 2.0,
                          batch_size: int = 16, seed: int = 23,
-                         rate_limit: float = 0.0) -> Dict[str, Any]:
+                         rate_limit: float = 0.0, transport: str = "sync",
+                         max_delay: float = 1.0,
+                         max_queue_depth: Optional[int] = None) -> Dict[str, Any]:
     """Drive open-loop multi-tenant traffic through the gateway; returns metrics.
 
     The engine behind the ``gateway-loadtest`` subcommand (also importable
-    for scripting).
+    for scripting).  ``transport`` selects the synchronous front end (the
+    driver commits when the queue is deep, draining between arrivals) or the
+    asyncio one (arrivals admitted open-loop while the commit pump seals
+    batches on queue-depth/deadline triggers).  ``max_queue_depth`` enables
+    gateway-wide load shedding on either transport.
     """
-    from repro.gateway import SharingGateway
-    from repro.workloads.topology import TopologySpec, build_topology_system
-    from repro.workloads.traffic import TrafficGenerator, default_tenant_profiles
+    import asyncio
 
+    from repro.gateway import AsyncSharingGateway, SharingGateway
+    from repro.workloads.topology import TopologySpec, build_topology_system
+    from repro.workloads.traffic import (TrafficGenerator, default_tenant_profiles,
+                                         replay_open_loop)
+
+    if transport not in ("sync", "async"):
+        raise ValueError(f"unknown transport {transport!r}: use 'sync' or 'async'")
     system = build_topology_system(TopologySpec(patients=tenants, researchers=0, seed=seed),
                                    SystemConfig.private_chain(interval))
-    gateway = SharingGateway(system, max_batch_size=batch_size, default_rate=rate_limit)
+    gateway = SharingGateway(system, max_batch_size=batch_size, default_rate=rate_limit,
+                             max_queue_depth=max_queue_depth)
     profiles = default_tenant_profiles(system, request_rate=rate,
                                        read_fraction=read_fraction)
     clock = system.simulator.clock
@@ -199,17 +211,41 @@ def run_gateway_loadtest(tenants: int = 8, duration: float = 30.0, rate: float =
         profiles, duration=duration, start_time=clock.now())
     sessions = {profile.peer: gateway.open_session(profile.peer) for profile in profiles}
     start = clock.now()
-    for timed in arrivals:
-        clock.advance_to(timed.arrival_time)
-        gateway.submit(sessions[timed.tenant], timed.request)
-        if gateway.queue_depth >= batch_size:
-            gateway.commit_once()
-    gateway.drain()
+    async_stats: Optional[Dict[str, Any]] = None
+    if transport == "async":
+        async def drive() -> Dict[str, Any]:
+            async with AsyncSharingGateway(gateway, seal_depth=batch_size,
+                                           max_delay=max_delay) as front:
+                futures = await replay_open_loop(
+                    arrivals,
+                    lambda timed: front.submit_nowait(sessions[timed.tenant],
+                                                      timed.request),
+                    clock)
+                await front.drain()
+                await asyncio.gather(*futures)
+                return front.statistics()
+
+        async_stats = asyncio.run(drive())
+    else:
+        # With shedding on, the queue can never reach batch_size if the
+        # capacity is smaller — commit at whichever threshold is lower, or
+        # everything past the capacity would shed until the final drain.
+        commit_depth = (batch_size if max_queue_depth is None
+                        else min(batch_size, max_queue_depth))
+        for timed in arrivals:
+            clock.advance_to(timed.arrival_time)
+            gateway.submit(sessions[timed.tenant], timed.request)
+            if gateway.queue_depth >= commit_depth:
+                gateway.commit_once()
+        gateway.drain()
     elapsed = clock.now() - start
     metrics = gateway.metrics()
+    if async_stats is not None:
+        metrics["async_transport"] = async_stats
     writes = metrics["batches"]["writes_committed"]
     return {
         "tenants": tenants,
+        "transport": transport,
         "arrivals": len(arrivals),
         "simulated_seconds": elapsed,
         "write_throughput": (writes / elapsed) if elapsed > 0 else 0.0,
@@ -222,7 +258,9 @@ def _cmd_gateway_loadtest(args: argparse.Namespace) -> int:
         result = run_gateway_loadtest(
             tenants=args.tenants, duration=args.duration, rate=args.rate,
             read_fraction=args.read_fraction, interval=args.interval,
-            batch_size=args.batch_size, seed=args.seed, rate_limit=args.rate_limit)
+            batch_size=args.batch_size, seed=args.seed, rate_limit=args.rate_limit,
+            transport=args.transport, max_delay=args.max_delay,
+            max_queue_depth=args.max_queue_depth)
     except ValueError as exc:
         print(f"gateway-loadtest: {exc}", file=sys.stderr)
         return 2
@@ -232,6 +270,7 @@ def _cmd_gateway_loadtest(args: argparse.Namespace) -> int:
     metrics = result["metrics"]
     rows = [
         ("tenants", result["tenants"]),
+        ("transport", result["transport"]),
         ("arrivals", result["arrivals"]),
         ("simulated seconds", round(result["simulated_seconds"], 2)),
         ("writes committed", metrics["batches"]["writes_committed"]),
@@ -241,7 +280,14 @@ def _cmd_gateway_loadtest(args: argparse.Namespace) -> int:
         ("consensus rounds", metrics["batches"]["consensus_rounds"]),
         ("cache hit rate", round(metrics["cache"]["hit_rate"], 3)),
         ("max queue depth", metrics["queue"]["max_depth"]),
+        ("shed requests", metrics["queue"]["shed_requests"]),
+        ("admitted during commit", metrics["transport"]["admitted_during_commit"]),
     ]
+    if "async_transport" in metrics:
+        sealed = metrics["async_transport"]["sealed_by"]
+        rows.append(("pump seals (depth/deadline/idle/flush)",
+                     "/".join(str(sealed[k])
+                              for k in ("depth", "deadline", "idle", "flush"))))
     print(format_table(("metric", "value"), rows, title="Gateway load test"))
     tenant_rows = [
         (tenant, stats["count"], round(stats["mean"], 2), round(stats["p95"], 2))
@@ -308,6 +354,15 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--seed", type=int, default=23)
     loadtest.add_argument("--rate-limit", type=float, default=0.0,
                           help="per-tenant token-bucket rate (0 disables throttling)")
+    loadtest.add_argument("--transport", choices=("sync", "async"), default="sync",
+                          help="serving front end: synchronous driver or the "
+                               "asyncio commit-pump transport")
+    loadtest.add_argument("--max-delay", type=float, default=1.0,
+                          help="async transport: seal a batch once its oldest "
+                               "write waited this many simulated seconds")
+    loadtest.add_argument("--max-queue-depth", type=int, default=None,
+                          help="shed writes (typed 'shed' response) while the "
+                               "queue holds this many (default: no shedding)")
     return parser
 
 

@@ -11,9 +11,13 @@ so many tenants can read and write shared data concurrently:
 * :mod:`repro.gateway.cache` — a read-through shared-view cache invalidated
   by the Fig. 5 propagation workflow;
 * :mod:`repro.gateway.worker` — a thread pool draining the write queue;
+* :mod:`repro.gateway.aio` — the asyncio transport: awaitable responses and
+  a commit pump sealing batches on queue-depth/deadline triggers, so
+  open-loop arrivals interleave with in-flight consensus rounds;
 * :mod:`repro.gateway.gateway` — the facade wiring it all together.
 """
 
+from repro.gateway.aio import AsyncSharingGateway
 from repro.gateway.cache import ViewCache
 from repro.gateway.gateway import SharingGateway
 from repro.gateway.requests import (
@@ -28,13 +32,16 @@ from repro.gateway.requests import (
     STATUS_OK,
     STATUS_QUEUED,
     STATUS_REJECTED,
+    STATUS_SHED,
     STATUS_THROTTLED,
+    TERMINAL_STATUSES,
 )
 from repro.gateway.scheduler import BatchPlan, PendingWrite, WriteScheduler
 from repro.gateway.session import GatewaySession, TokenBucket
 from repro.gateway.worker import GatewayWorkerPool
 
 __all__ = [
+    "AsyncSharingGateway",
     "AuditQueryRequest",
     "BatchPlan",
     "DeleteEntryRequest",
@@ -54,5 +61,7 @@ __all__ = [
     "STATUS_OK",
     "STATUS_QUEUED",
     "STATUS_REJECTED",
+    "STATUS_SHED",
     "STATUS_THROTTLED",
+    "TERMINAL_STATUSES",
 ]

@@ -31,6 +31,13 @@ class ViewCache:
         self.misses = 0
         self.invalidations = 0
         self.patches = 0
+        #: Per shared table, a counter bumped by every patch/invalidation.
+        #: A miss loads *outside* the cache lock (so loading never nests the
+        #: cache lock inside the gateway's commit lock); the loaded view is
+        #: only installed if no change landed in between — otherwise it could
+        #: be stale and caching it would serve stale reads forever.
+        self._generations: Dict[str, int] = {}
+        self.stale_loads_discarded = 0
         self._lock = threading.RLock()
 
     def __len__(self) -> int:
@@ -48,18 +55,37 @@ class ViewCache:
 
     def get(self, peer: str, metadata_id: str,
             loader: Callable[[], Table]) -> Table:
-        """Return the cached view, loading (and caching) it on a miss."""
+        """Return the cached view, loading (and caching) it on a miss.
+
+        The loader runs *without* the cache lock held: the gateway's loader
+        acquires the commit lock (a read-through load must not observe a
+        half-installed batch), and an in-flight commit's diff hook takes the
+        cache lock — holding the cache lock across the load would deadlock.
+        The load is installed only if no patch/invalidation of the same
+        shared table happened meanwhile (generation guard); a superseded load
+        is still returned to the caller (it is fresh — it was materialised
+        after the intervening commit finished) but not cached.
+        """
         if not self.enabled:
             return loader()
+        key = (peer, metadata_id)
         with self._lock:
-            key = (peer, metadata_id)
             cached = self._entries.get(key)
             if cached is not None:
                 self.hits += 1
                 return cached
             self.misses += 1
-            view = loader()
-            self._entries[key] = view
+            # setdefault (not get): the table must be known to the
+            # generation map while the load is in flight, so a concurrent
+            # invalidate_all() bumps it and the superseded load is discarded
+            # even if the table had no cached entry yet.
+            generation = self._generations.setdefault(metadata_id, 0)
+        view = loader()
+        with self._lock:
+            if self._generations.get(metadata_id, 0) == generation:
+                self._entries[key] = view
+            else:
+                self.stale_loads_discarded += 1
             return view
 
     def peek(self, peer: str, metadata_id: str) -> Optional[Table]:
@@ -70,6 +96,7 @@ class ViewCache:
     def invalidate(self, metadata_id: str) -> int:
         """Drop every peer's cached view of ``metadata_id``; returns how many."""
         with self._lock:
+            self._bump(metadata_id)
             stale = [key for key in self._entries if key[1] == metadata_id]
             for key in stale:
                 del self._entries[key]
@@ -78,10 +105,19 @@ class ViewCache:
 
     def invalidate_all(self) -> int:
         with self._lock:
+            # Every *known* table, not just those with live entries: a miss
+            # registers its table before loading, so in-flight loads are
+            # superseded by this flush too.
+            for metadata_id in list(self._generations):
+                self._bump(metadata_id)
             count = len(self._entries)
             self._entries.clear()
             self.invalidations += count
             return count
+
+    def _bump(self, metadata_id: str) -> None:
+        """Advance ``metadata_id``'s generation (caller holds the lock)."""
+        self._generations[metadata_id] = self._generations.get(metadata_id, 0) + 1
 
     # ---------------------------------------------------------------- patching
 
@@ -93,16 +129,24 @@ class ViewCache:
         does not apply to cleanly (it drifted somehow) is dropped instead, so
         a patch can never leave a cached view stale.  Returns the number of
         entries patched.
+
+        Patching is copy-on-write: a reader that already fetched the entry
+        keeps serialising a consistent pre-commit snapshot while the swapped
+        copy serves later reads — commits run while reads are in flight, so
+        mutating the shared ``Table`` in place would tear those reads.
         """
         with self._lock:
+            self._bump(metadata_id)
             patched = 0
             for key in [key for key in self._entries if key[1] == metadata_id]:
                 try:
-                    self._entries[key].apply_diff(diff)
+                    patched_view = self._entries[key].snapshot()
+                    patched_view.apply_diff(diff)
                 except ReproError:
                     del self._entries[key]
                     self.invalidations += 1
                 else:
+                    self._entries[key] = patched_view
                     patched += 1
             self.patches += patched
             return patched
@@ -135,4 +179,5 @@ class ViewCache:
             "hit_rate": self.hit_rate,
             "invalidations": self.invalidations,
             "patches": self.patches,
+            "stale_loads_discarded": self.stale_loads_discarded,
         }

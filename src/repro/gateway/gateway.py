@@ -10,18 +10,35 @@ facade the gateway
 * commits each planned batch through
   :meth:`~repro.core.workflow.UpdateCoordinator.commit_entry_batch`, i.e. one
   consensus round for all requests and one for all acknowledgements;
-* tracks serving metrics: queue depth, batch sizes, cache hit rate and
+* sheds writes with a typed ``shed`` response when the queue is at capacity
+  (``max_queue_depth`` admission control);
+* tracks serving metrics: queue depth, batch sizes, cache hit rate,
+  interleaving (requests admitted while a commit round was in flight) and
   per-tenant latency percentiles.
 
-All methods are thread-safe; the worker pool in :mod:`repro.gateway.worker`
-drains the queue from several threads.
+All methods are thread-safe.  Two locks split the serving path so admission
+can overlap a commit round:
+
+* ``_lock`` guards admission state (sessions, responses, counters, the write
+  queue) and is only held for quick bookkeeping;
+* ``_commit_lock`` serialises batch commits and read-through view loads; it
+  is held across the consensus rounds, during which ``_lock`` is *released*
+  — so new arrivals are admitted (and reads served from cache) while a batch
+  is mining.
+
+Lock order is always ``_commit_lock`` → ``_lock`` (or either alone); the
+cache lock is never held while acquiring either (see
+:meth:`ViewCache.get`'s generation guard).  The worker pool in
+:mod:`repro.gateway.worker` and the asyncio transport in
+:mod:`repro.gateway.aio` both drain the same queue through
+:meth:`commit_once`.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.system import MedicalDataSharingSystem
 from repro.core.workflow import BatchCommitResult
@@ -32,6 +49,7 @@ from repro.gateway.requests import (
     STATUS_OK,
     STATUS_QUEUED,
     STATUS_REJECTED,
+    STATUS_SHED,
     STATUS_THROTTLED,
     AuditQueryRequest,
     GatewayRequest,
@@ -40,7 +58,7 @@ from repro.gateway.requests import (
 )
 from repro.gateway.scheduler import BatchPlan, PendingWrite, WriteScheduler
 from repro.gateway.session import GatewaySession
-from repro.metrics.collectors import LatencyCollector
+from repro.metrics.collectors import LatencyCollector, PeakGauge
 
 
 class SharingGateway:
@@ -50,11 +68,13 @@ class SharingGateway:
                  max_batch_size: int = 16, max_edits_per_group: int = 8,
                  cache_enabled: bool = True,
                  default_rate: float = 0.0, default_burst: float = 8.0,
-                 fold_cross_peer: bool = True):
+                 fold_cross_peer: bool = True,
+                 max_queue_depth: Optional[int] = None):
         self.system = system
         self.scheduler = WriteScheduler(max_batch_size=max_batch_size,
                                         max_edits_per_group=max_edits_per_group,
-                                        fold_cross_peer=fold_cross_peer)
+                                        fold_cross_peer=fold_cross_peer,
+                                        max_queue_depth=max_queue_depth)
         self.cache = ViewCache(enabled=cache_enabled)
         # The diff-aware hook patches cached views row by row when the
         # coordinator hands over the change's TableDiff, and drops them only
@@ -68,13 +88,27 @@ class SharingGateway:
         self._status_counts: Dict[str, int] = {}
         self._kind_counts: Dict[str, int] = {}
         self._request_ids = itertools.count(1)
-        self._outstanding_writes = 0
+        self._outstanding = PeakGauge()
         self.batch_sizes: List[int] = []
         self.batch_blocks = 0
         self.batch_consensus_rounds = 0
         self.writes_committed = 0
         self.writes_rejected = 0
+        self.shed_requests = 0
+        #: Requests (reads and writes) admitted while a batch commit's
+        #: consensus rounds were in flight — the open-loop interleaving the
+        #: async transport exists to produce.
+        self.admitted_during_commit = 0
+        self._commits_in_flight = PeakGauge()
+        #: Callbacks fired when a response reaches a terminal status, and
+        #: when a write is enqueued.  Listeners run under the admission lock:
+        #: they must be cheap, thread-safe and must not call back into the
+        #: gateway (the async transport resolves futures, the worker pool
+        #: wakes idle workers).
+        self._terminal_listeners: List[Callable[[GatewayResponse], None]] = []
+        self._enqueue_listeners: List[Callable[[int], None]] = []
         self._lock = threading.RLock()
+        self._commit_lock = threading.RLock()
 
     # ---------------------------------------------------------------- sessions
 
@@ -99,6 +133,27 @@ class SharingGateway:
     def session_count(self) -> int:
         return len(self._sessions)
 
+    # --------------------------------------------------------------- listeners
+
+    def subscribe_terminal(self, listener: Callable[[GatewayResponse], None]) -> None:
+        """Register a callback fired whenever a response turns terminal.
+
+        Listeners may run under the admission lock and on whichever thread
+        finalised the response (an executor thread for batch commits): they
+        must be cheap, thread-safe, and must not call back into the gateway.
+        The async transport resolves its response futures through this hook;
+        the worker pool's ``join_idle`` waits on it instead of sleeping.
+        """
+        with self._lock:
+            self._terminal_listeners.append(listener)
+
+    def subscribe_enqueue(self, listener: Callable[[int], None]) -> None:
+        """Register a callback fired with the queue depth after every write
+        is enqueued (same constraints as :meth:`subscribe_terminal`).  Used
+        to wake idle drainers without sleep-polling."""
+        with self._lock:
+            self._enqueue_listeners.append(listener)
+
     # ------------------------------------------------------------------ submit
 
     def _new_response(self, session: GatewaySession, request: GatewayRequest,
@@ -119,14 +174,18 @@ class SharingGateway:
 
     def _finalize(self, response: GatewayResponse, session: Optional[GatewaySession],
                   status: str) -> GatewayResponse:
-        response.status = status
-        response.completed_at = self.system.simulator.clock.now()
-        self._status_counts[status] = self._status_counts.get(status, 0) + 1
-        if session is not None:
-            session.count(status)
-        if status in (STATUS_OK, STATUS_REJECTED, STATUS_ERROR):
-            self._latency_by_tenant.setdefault(
-                response.tenant, LatencyCollector()).record_value(response.latency)
+        with self._lock:
+            response.status = status
+            response.completed_at = self.system.simulator.clock.now()
+            self._status_counts[status] = self._status_counts.get(status, 0) + 1
+            if session is not None:
+                session.count(status)
+            if status in (STATUS_OK, STATUS_REJECTED, STATUS_ERROR):
+                self._latency_by_tenant.setdefault(
+                    response.tenant, LatencyCollector()).record_value(response.latency)
+            listeners = tuple(self._terminal_listeners)
+        for listener in listeners:
+            listener(response)
         return response
 
     def submit(self, session: GatewaySession, request: GatewayRequest) -> GatewayResponse:
@@ -135,19 +194,47 @@ class SharingGateway:
         The returned response object is *live*: for queued writes its status
         flips to a terminal one when the batch containing the write commits.
         """
+        response, read_pending = self._admit(session, request)
+        if read_pending:
+            return self._serve_read(session, request, response)
+        return response
+
+    def _admit(self, session: GatewaySession,
+               request: GatewayRequest) -> "tuple[GatewayResponse, bool]":
+        """Admission control under the state lock only (never blocks on an
+        in-flight commit): rate limit, authorisation, load shedding, then
+        either enqueue the write or hand the read back for serving.
+
+        Returns ``(response, read_pending)``; when ``read_pending`` is true
+        the caller must still run :meth:`_serve_read` (outside the lock).
+        The async transport calls this directly so admission never blocks
+        the event loop behind a mining commit.
+        """
         with self._lock:
             response = self._new_response(session, request, STATUS_QUEUED)
+            if self._commits_in_flight.value > 0:
+                self.admitted_during_commit += 1
             if not session.try_admit():
                 response.error = (
                     f"tenant {session.peer_name!r} exceeded its request rate; retry later"
                 )
-                return self._finalize(response, session, STATUS_THROTTLED)
+                self._finalize(response, session, STATUS_THROTTLED)
+                return response, False
             try:
                 session.authorize(request)
             except SessionError as exc:
                 response.error = str(exc)
-                return self._finalize(response, session, STATUS_REJECTED)
+                self._finalize(response, session, STATUS_REJECTED)
+                return response, False
             if request.is_write:
+                if self.scheduler.at_capacity:
+                    self.shed_requests += 1
+                    response.error = (
+                        f"gateway write queue is at capacity "
+                        f"({self.scheduler.queue_capacity}); request shed — retry later"
+                    )
+                    self._finalize(response, session, STATUS_SHED)
+                    return response, False
                 self.scheduler.enqueue(PendingWrite(
                     request_id=response.request_id,
                     tenant=session.peer_name,
@@ -156,10 +243,26 @@ class SharingGateway:
                     enqueued_at=response.enqueued_at,
                     session=session,
                 ))
-                self._outstanding_writes += 1
+                self._outstanding.increment()
                 session.count(STATUS_QUEUED)
-                return response
-            return self._serve_read(session, request, response)
+                depth = self.scheduler.queue_depth
+                listeners = tuple(self._enqueue_listeners)
+            else:
+                return response, True
+        for listener in listeners:
+            listener(depth)
+        return response, False
+
+    def _load_view(self, peer_name: str, metadata_id: str):
+        """Materialise a shared view for the cache, serialised with commits.
+
+        A read-through load must not observe a half-installed batch, so it
+        waits for any in-flight commit; cache *hits* stay lock-free against
+        commits (the diff hook patches entries atomically under the cache
+        lock).
+        """
+        with self._commit_lock:
+            return self.system.coordinator.read_shared_data(peer_name, metadata_id)
 
     def _serve_read(self, session: GatewaySession, request: GatewayRequest,
                     response: GatewayResponse) -> GatewayResponse:
@@ -167,14 +270,14 @@ class SharingGateway:
             if isinstance(request, ReadViewRequest):
                 view = self.cache.get(
                     session.peer_name, request.metadata_id,
-                    lambda: self.system.coordinator.read_shared_data(
-                        session.peer_name, request.metadata_id),
+                    lambda: self._load_view(session.peer_name, request.metadata_id),
                 )
                 response.payload = {"metadata_id": request.metadata_id,
                                     "rows": len(view), "table": view.to_dict()}
             elif isinstance(request, AuditQueryRequest):
-                trail = self.system.audit_trail(via_peer=session.peer_name)
-                records = trail.records(request.metadata_id)
+                with self._commit_lock:
+                    trail = self.system.audit_trail(via_peer=session.peer_name)
+                    records = trail.records(request.metadata_id)
                 response.payload = {"count": len(records),
                                     "records": [record.to_dict() for record in records]}
             else:
@@ -197,27 +300,42 @@ class SharingGateway:
     @property
     def outstanding_writes(self) -> int:
         """Writes accepted but not yet resolved by a batch commit."""
-        return self._outstanding_writes
+        return self._outstanding.value
+
+    @property
+    def commits_in_flight(self) -> int:
+        """Batch commits currently running their consensus rounds (0 or 1)."""
+        return self._commits_in_flight.value
 
     def commit_once(self) -> Optional[BatchCommitResult]:
         """Plan and commit one batch; None when the queue is empty.
 
         A failure inside the commit never strands queued responses: every
         member of the batch reaches a terminal status either way.
+
+        The commit lock (not the admission lock) is held across the
+        consensus rounds, so new requests keep being admitted — and queued
+        for the *next* batch — while this one is mining.
         """
-        with self._lock:
-            plan = self.scheduler.plan()
-            if plan.is_empty:
-                return None
+        with self._commit_lock:
+            with self._lock:
+                plan = self.scheduler.plan()
+                if plan.is_empty:
+                    return None
+                self._commits_in_flight.increment()
             try:
                 result = self.system.coordinator.commit_entry_batch(plan.groups)
             except ReproError as exc:
-                self._resolve_all_failed(plan, str(exc))
+                with self._lock:
+                    self._resolve_all_failed(plan, str(exc))
                 raise
-            self.batch_sizes.append(plan.size)
-            self.batch_blocks += result.blocks_created
-            self.batch_consensus_rounds += result.consensus_rounds
-            self._resolve(plan, result)
+            finally:
+                self._commits_in_flight.decrement()
+            with self._lock:
+                self.batch_sizes.append(plan.size)
+                self.batch_blocks += result.blocks_created
+                self.batch_consensus_rounds += result.consensus_rounds
+                self._resolve(plan, result)
             return result
 
     def drain(self, max_batches: int = 1_000) -> int:
@@ -254,8 +372,11 @@ class SharingGateway:
                     status = group_status
                     if trace.error:
                         response.error = trace.error
+                # Gauge before listeners: anything woken by the terminal
+                # hook (the async drain, join_idle) must already observe the
+                # decremented outstanding count or it can re-sleep forever.
+                self._outstanding.decrement()
                 self._finalize(response, pending.session, status)
-                self._outstanding_writes -= 1
                 if status == STATUS_OK:
                     self.writes_committed += 1
                 else:
@@ -276,8 +397,8 @@ class SharingGateway:
             for pending in members:
                 response = self._responses[pending.request_id]
                 response.error = error
+                self._outstanding.decrement()  # gauge before terminal listeners
                 self._finalize(response, pending.session, STATUS_ERROR)
-                self._outstanding_writes -= 1
                 self.writes_rejected += 1
         for group in plan.groups:
             self.cache.invalidate(group.metadata_id)
@@ -307,7 +428,15 @@ class SharingGateway:
                     "depth": self.scheduler.queue_depth,
                     "max_depth": self.scheduler.max_queue_depth,
                     "enqueued_total": self.scheduler.enqueued_total,
-                    "outstanding_writes": self._outstanding_writes,
+                    "outstanding_writes": self._outstanding.value,
+                    "capacity": self.scheduler.queue_capacity,
+                    "shed_requests": self.shed_requests,
+                },
+                "transport": {
+                    "commits_in_flight": self._commits_in_flight.value,
+                    "commits_in_flight_peak": self._commits_in_flight.peak,
+                    "admitted_during_commit": self.admitted_during_commit,
+                    "outstanding_writes_peak": self._outstanding.peak,
                 },
                 "batches": {
                     "committed": batches,

@@ -128,6 +128,11 @@ STATUS_REJECTED = "rejected"       # the contract or local validation refused
 STATUS_THROTTLED = "throttled"     # per-tenant rate limit hit (backpressure)
 STATUS_QUEUED = "queued"           # write accepted into the scheduler queue
 STATUS_ERROR = "error"             # unexpected failure mid-protocol
+STATUS_SHED = "shed"               # gateway-wide load shedding (queue full)
+
+#: Statuses a response can end in; ``queued`` is the only transient one.
+TERMINAL_STATUSES = (STATUS_OK, STATUS_REJECTED, STATUS_THROTTLED,
+                     STATUS_ERROR, STATUS_SHED)
 
 
 @dataclass
@@ -146,6 +151,16 @@ class GatewayResponse:
     @property
     def ok(self) -> bool:
         return self.status == STATUS_OK
+
+    @property
+    def terminal(self) -> bool:
+        """True once the response reached a final status (not ``queued``)."""
+        return self.status in TERMINAL_STATUSES
+
+    @property
+    def shed(self) -> bool:
+        """True when the gateway shed this request under overload."""
+        return self.status == STATUS_SHED
 
     @property
     def latency(self) -> float:

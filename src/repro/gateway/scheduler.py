@@ -115,14 +115,22 @@ class WriteScheduler:
     """
 
     def __init__(self, max_batch_size: int = 16, max_edits_per_group: int = 8,
-                 fold_cross_peer: bool = True):
+                 fold_cross_peer: bool = True,
+                 max_queue_depth: Optional[int] = None):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be at least 1")
         if max_edits_per_group < 1:
             raise ValueError("max_edits_per_group must be at least 1")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1 (or None)")
         self.max_batch_size = max_batch_size
         self.max_edits_per_group = max_edits_per_group
         self.fold_cross_peer = fold_cross_peer
+        #: Queue capacity for admission control: a write arriving while the
+        #: queue holds this many is *shed* (typed terminal response) instead
+        #: of queued.  None disables shedding (the pre-admission-control
+        #: behaviour).
+        self.queue_capacity = max_queue_depth
         self._queue: Deque[PendingWrite] = deque()
         self.enqueued_total = 0
         self.max_queue_depth = 0
@@ -144,6 +152,28 @@ class WriteScheduler:
     @property
     def queue_depth(self) -> int:
         return len(self._queue)
+
+    @property
+    def at_capacity(self) -> bool:
+        """True when the next write should be shed instead of queued."""
+        return (self.queue_capacity is not None
+                and len(self._queue) >= self.queue_capacity)
+
+    @property
+    def oldest_enqueued_at(self) -> Optional[float]:
+        """Simulated enqueue time of the oldest queued write (None if empty).
+
+        The async transport's commit pump uses this for its deadline trigger:
+        a batch is sealed once the head of the queue has waited ``max_delay``
+        simulated seconds, even if the depth trigger has not fired.  The pump
+        reads this from the event loop while a commit plans on an executor
+        thread, so an emptied-underneath-us queue is answered with None, not
+        an IndexError.
+        """
+        try:
+            return self._queue[0].enqueued_at
+        except IndexError:
+            return None
 
     def pending(self) -> Tuple[PendingWrite, ...]:
         return tuple(self._queue)

@@ -104,6 +104,22 @@ class GatewaySession:
     def count(self, status: str) -> None:
         self.counters[status] = self.counters.get(status, 0) + 1
 
+    def statistics(self) -> Dict[str, object]:
+        """A snapshot of this session's serving state: per-status request
+        counters, the remaining rate-limit budget and lifecycle fields.
+        Surfaced per tenant by load tests and the admission-control tests."""
+        return {
+            "session_id": self.session_id,
+            "tenant": self.peer_name,
+            "role": self.role,
+            "opened_at": self.opened_at,
+            "closed": self.closed,
+            "counters": dict(self.counters),
+            "rate": self.limiter.rate,
+            "burst": self.limiter.burst,
+            "tokens_available": self.limiter.available,
+        }
+
     # ------------------------------------------------------------ authorisation
 
     def authorize(self, request: GatewayRequest) -> None:

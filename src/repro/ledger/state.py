@@ -8,6 +8,7 @@ the post-state, and lets tests detect divergence between nodes.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
@@ -38,6 +39,13 @@ class WorldState:
     def __init__(self) -> None:
         self._accounts: Dict[str, Account] = {}
         self._contracts: Dict[str, Any] = {}
+        #: Serialises contract execution (including read-only static calls,
+        #: which snapshot-and-restore storage) and state-root hashing on this
+        #: replica.  The gateway admits requests while a commit mines, so a
+        #: session's permission probe can hit a node whose replica is
+        #: applying a block on another thread; each call is microseconds, so
+        #: the lock serialises access without serialising the transports.
+        self.execution_lock = threading.RLock()
 
     # ---------------------------------------------------------------- accounts
 
@@ -84,26 +92,28 @@ class WorldState:
 
     def state_root(self) -> str:
         """A hash committing to accounts and contract storage."""
-        contracts = {}
-        for address, contract in self._contracts.items():
-            snapshot = contract.storage_snapshot() if hasattr(contract, "storage_snapshot") else {}
-            contracts[address] = snapshot
-        payload = {
-            "accounts": {a: acct.to_dict() for a, acct in self._accounts.items()},
-            "contracts": contracts,
-        }
-        return hash_payload(payload)
+        with self.execution_lock:
+            contracts = {}
+            for address, contract in self._contracts.items():
+                snapshot = contract.storage_snapshot() if hasattr(contract, "storage_snapshot") else {}
+                contracts[address] = snapshot
+            payload = {
+                "accounts": {a: acct.to_dict() for a, acct in self._accounts.items()},
+                "contracts": contracts,
+            }
+            return hash_payload(payload)
 
     def storage_bytes(self) -> int:
         """Approximate serialised size of the state (per-node storage pressure)."""
         from repro.crypto.hashing import canonical_json
 
-        contracts = {}
-        for address, contract in self._contracts.items():
-            snapshot = contract.storage_snapshot() if hasattr(contract, "storage_snapshot") else {}
-            contracts[address] = snapshot
-        payload = {
-            "accounts": {a: acct.to_dict() for a, acct in self._accounts.items()},
-            "contracts": contracts,
-        }
-        return len(canonical_json(payload).encode("utf-8"))
+        with self.execution_lock:
+            contracts = {}
+            for address, contract in self._contracts.items():
+                snapshot = contract.storage_snapshot() if hasattr(contract, "storage_snapshot") else {}
+                contracts[address] = snapshot
+            payload = {
+                "accounts": {a: acct.to_dict() for a, acct in self._accounts.items()},
+                "contracts": contracts,
+            }
+            return len(canonical_json(payload).encode("utf-8"))

@@ -8,6 +8,7 @@ independent of the host machine.
 from __future__ import annotations
 
 import statistics
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -82,6 +83,51 @@ class LatencyCollector:
             "p99": self.p99,
             "max": self.maximum,
         }
+
+
+class PeakGauge:
+    """A thread-safe gauge tracking a current value and its high-water mark.
+
+    The gateway uses it for in-flight commit rounds and outstanding writes —
+    quantities that rise and fall as admission interleaves with commits, where
+    the *peak* is what proves the interleaving actually happened.
+    """
+
+    def __init__(self, value: int = 0):
+        self._value = value
+        self._peak = value
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def peak(self) -> int:
+        return self._peak
+
+    def increment(self, amount: int = 1) -> int:
+        with self._lock:
+            self._value += amount
+            if self._value > self._peak:
+                self._peak = self._value
+            return self._value
+
+    def decrement(self, amount: int = 1) -> int:
+        with self._lock:
+            self._value -= amount
+            return self._value
+
+    def record(self, value: int) -> int:
+        """Set the current value outright (still tracking the peak)."""
+        with self._lock:
+            self._value = value
+            if value > self._peak:
+                self._peak = value
+            return self._value
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"current": self._value, "peak": self._peak}
 
 
 @dataclass(frozen=True)

@@ -46,6 +46,35 @@ class TestCli:
         assert "Gateway load test" in output
         assert "cache hit rate" in output
 
+    def test_gateway_loadtest_async_transport(self, capsys):
+        import json
+
+        assert main(["gateway-loadtest", "--tenants", "2", "--duration", "5",
+                     "--interval", "1", "--transport", "async", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["transport"] == "async"
+        stats = payload["metrics"]["async_transport"]
+        assert stats["transport"] == "async"
+        assert stats["commits"] >= 1
+        assert stats["pending_futures"] == 0
+        # Every accepted write resolved before the loadtest returned.
+        assert payload["metrics"]["queue"]["outstanding_writes"] == 0
+
+    def test_gateway_loadtest_async_pretty_output(self, capsys):
+        assert main(["gateway-loadtest", "--tenants", "2", "--duration", "4",
+                     "--interval", "1", "--transport", "async"]) == 0
+        output = capsys.readouterr().out
+        assert "pump seals (depth/deadline/idle/flush)" in output
+        assert "admitted during commit" in output
+
+    def test_gateway_loadtest_rejects_unknown_transport(self):
+        from repro.cli import run_gateway_loadtest
+
+        import pytest
+
+        with pytest.raises(ValueError):
+            run_gateway_loadtest(tenants=2, duration=2, transport="carrier-pigeon")
+
     def test_json_flag_emits_machine_readable_output(self, capsys):
         import json
 

@@ -152,3 +152,84 @@ class TestPatchingThroughWorkflow:
         response = gateway.submit(patient, ReadViewRequest(CARE_TABLE))
         by_id = {row["patient_id"]: row for row in response.payload["table"]["rows"]}
         assert by_id[188]["dosage"] == "two tablets every 12h"
+
+
+class TestGenerationGuard:
+    """The miss path loads outside the cache lock; a load superseded by a
+    patch/invalidation must not be installed (it could be stale)."""
+
+    def test_plain_miss_installs(self):
+        cache = ViewCache()
+        view = cache.get("p", "m", _table)
+        assert cache.peek("p", "m") is view
+        assert cache.stale_loads_discarded == 0
+
+    def test_load_superseded_by_invalidation_is_not_cached(self):
+        cache = ViewCache()
+
+        def loader():
+            # A commit completes between the miss and the install.
+            cache.invalidate("m")
+            return _table()
+
+        view = cache.get("p", "m", loader)
+        assert view is not None          # the caller still gets the view ...
+        assert cache.peek("p", "m") is None  # ... but it is not cached
+        assert cache.stale_loads_discarded == 1
+
+    def test_load_superseded_by_patch_is_not_cached(self):
+        cache = ViewCache()
+        from repro.relational.diff import diff_tables
+
+        before = _table(rows=((1, "a"),))
+        after = _table(rows=((1, "b"),))
+        diff = diff_tables(before, after)
+
+        def loader():
+            cache.patch("m", diff)  # no entries yet, but the generation bumps
+            return _table()
+
+        cache.get("p", "m", loader)
+        assert cache.peek("p", "m") is None
+        assert cache.stale_loads_discarded == 1
+
+    def test_unrelated_table_change_does_not_discard(self):
+        cache = ViewCache()
+
+        def loader():
+            cache.invalidate("other")
+            return _table()
+
+        cache.get("p", "m", loader)
+        assert cache.peek("p", "m") is not None
+        assert cache.stale_loads_discarded == 0
+
+    def test_patch_is_copy_on_write(self):
+        from repro.relational.diff import diff_tables
+
+        cache = ViewCache()
+        held = cache.get("p", "m", lambda: _table(rows=((1, "a"),)))
+        diff = diff_tables(_table(rows=((1, "a"),)), _table(rows=((1, "b"),)))
+        assert cache.patch("m", diff) == 1
+        # The reader's reference still shows the pre-patch snapshot; the
+        # cache serves the patched copy.
+        assert held.get((1,))["v"] == "a"
+        assert cache.peek("p", "m").get((1,))["v"] == "b"
+
+    def test_statistics_include_stale_loads(self):
+        cache = ViewCache()
+        assert "stale_loads_discarded" in cache.statistics()
+
+    def test_flush_supersedes_in_flight_load_of_uncached_table(self):
+        """invalidate_all() must also discard a miss load that was in flight
+        for a table with no cached entry yet — otherwise a pre-flush view
+        would be installed and served forever."""
+        cache = ViewCache()
+
+        def loader():
+            cache.invalidate_all()  # the flush lands mid-load
+            return _table()
+
+        cache.get("p", "never-cached", loader)
+        assert cache.peek("p", "never-cached") is None
+        assert cache.stale_loads_discarded == 1

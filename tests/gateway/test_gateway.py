@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import SystemConfig
-from repro.core.scenario import PATIENT_DOCTOR_TABLE
+from repro.core.scenario import DOCTOR_RESEARCHER_TABLE, PATIENT_DOCTOR_TABLE
 from repro.core.workflow import BatchGroup, EntryEdit
 from repro.errors import WorkflowError
 from repro.gateway import GatewayWorkerPool, SharingGateway
@@ -318,3 +318,86 @@ class TestReadsAndMetrics:
         assert tenant["count"] == 3
         assert tenant["p95"] >= 0
         assert tenant["p99"] >= tenant["p95"]
+
+
+class TestServingHooks:
+    """The terminal/enqueue hooks and the interleave metrics added for the
+    async transport and the event-driven worker pool."""
+
+    def test_terminal_listener_fires_for_every_terminal_status(self, paper_gateway):
+        gateway = paper_gateway
+        seen = []
+        gateway.subscribe_terminal(lambda response: seen.append(
+            (response.request_id, response.status)))
+        researcher = gateway.open_session("researcher")
+        patient = gateway.open_session("patient", rate=0.001, burst=1.0)
+        ok_read = gateway.submit(researcher, ReadViewRequest(DOCTOR_RESEARCHER_TABLE))
+        throttled = gateway.submit(patient, ReadViewRequest(PATIENT_DOCTOR_TABLE))
+        throttled2 = gateway.submit(patient, ReadViewRequest(PATIENT_DOCTOR_TABLE))
+        queued = gateway.submit(researcher, UpdateEntryRequest(
+            DOCTOR_RESEARCHER_TABLE, ("Ibuprofen",),
+            {"mechanism_of_action": "MeA1-hooked"}))
+        statuses = dict(seen)
+        assert statuses[ok_read.request_id] == "ok"
+        assert "throttled" in (statuses.get(throttled.request_id),
+                               statuses.get(throttled2.request_id))
+        assert queued.request_id not in statuses  # not terminal yet
+        gateway.drain()
+        statuses = dict(seen)
+        assert statuses[queued.request_id] == "ok"
+
+    def test_enqueue_listener_reports_queue_depth(self, paper_gateway):
+        gateway = paper_gateway
+        depths = []
+        gateway.subscribe_enqueue(depths.append)
+        researcher = gateway.open_session("researcher")
+        for index in range(3):
+            gateway.submit(researcher, UpdateEntryRequest(
+                DOCTOR_RESEARCHER_TABLE, ("Ibuprofen",),
+                {"mechanism_of_action": f"MeA1-{index}"}))
+        assert depths == [1, 2, 3]
+        # Reads do not enqueue.
+        gateway.submit(researcher, ReadViewRequest(DOCTOR_RESEARCHER_TABLE))
+        assert depths == [1, 2, 3]
+        gateway.drain()
+
+    def test_transport_metrics_quiesce(self, paper_gateway):
+        gateway = paper_gateway
+        researcher = gateway.open_session("researcher")
+        gateway.submit(researcher, UpdateEntryRequest(
+            DOCTOR_RESEARCHER_TABLE, ("Ibuprofen",),
+            {"mechanism_of_action": "MeA1-metrics"}))
+        gateway.drain()
+        transport = gateway.metrics()["transport"]
+        assert transport["commits_in_flight"] == 0
+        assert transport["commits_in_flight_peak"] == 1
+        assert transport["outstanding_writes_peak"] >= 1
+        assert gateway.metrics()["queue"]["outstanding_writes"] == 0
+
+    def test_session_statistics_snapshot(self, paper_gateway):
+        gateway = paper_gateway
+        researcher = gateway.open_session("researcher", rate=2.0, burst=4.0)
+        gateway.submit(researcher, ReadViewRequest(DOCTOR_RESEARCHER_TABLE))
+        stats = researcher.statistics()
+        assert stats["tenant"] == "researcher"
+        assert stats["role"] == "Researcher"
+        assert stats["counters"]["ok"] == 1
+        assert stats["rate"] == 2.0 and stats["burst"] == 4.0
+        assert 0 <= stats["tokens_available"] <= 4.0
+        assert stats["closed"] is False
+
+    def test_join_idle_wakes_on_terminal_not_polling(self, topology_gateway):
+        gateway = topology_gateway
+        tables = {f"patient-{mid.split(':')[1]}": mid
+                  for mid in gateway.system.agreement_ids}
+        sessions = {peer: gateway.open_session(peer) for peer in tables}
+        with GatewayWorkerPool(gateway, workers=2) as pool:
+            for peer, metadata_id in sorted(tables.items()):
+                patient_id = int(metadata_id.split(":")[1])
+                gateway.submit(sessions[peer], UpdateEntryRequest(
+                    metadata_id, (patient_id,), {"clinical_data": "evented"}))
+            assert pool.join_idle(timeout=30.0)
+            assert gateway.outstanding_writes == 0
+        # Idle pool with an empty queue parks on the enqueue event and still
+        # shuts down cleanly (stop() wakes it) — reaching here proves it.
+        assert not pool.running

@@ -20,6 +20,8 @@ must flow STUDY → D3 → CARE → patient.
 
 import pytest
 
+pytestmark = [pytest.mark.integration]
+
 from repro.config import SystemConfig
 from repro.core.scenario import CARE_TABLE as CARE
 from repro.core.scenario import STUDY_TABLE as STUDY

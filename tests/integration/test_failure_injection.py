@@ -7,6 +7,8 @@ newest data, ill-behaved synchronisation, and network message loss.
 
 import pytest
 
+pytestmark = [pytest.mark.integration]
+
 from repro.config import NetworkConfig, SystemConfig
 from repro.core.scenario import (
     DOCTOR_RESEARCHER_TABLE,

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = [pytest.mark.integration, pytest.mark.slow]
+
 from repro.config import SystemConfig
 from repro.core.scenario import build_extended_scenario, build_paper_scenario
 from repro.metrics.collectors import measure_throughput

@@ -131,3 +131,54 @@ class TestReporting:
         text = format_series({1: 10.0, 12: 2.5}, x_label="interval", y_label="throughput")
         assert "interval" in text
         assert "12" in text and "2.500" in text
+
+
+class TestPeakGauge:
+    def test_tracks_value_and_peak(self):
+        from repro.metrics.collectors import PeakGauge
+
+        gauge = PeakGauge()
+        assert gauge.value == 0 and gauge.peak == 0
+        gauge.increment()
+        gauge.increment(2)
+        assert gauge.value == 3 and gauge.peak == 3
+        gauge.decrement()
+        assert gauge.value == 2 and gauge.peak == 3
+
+    def test_record_sets_value_outright(self):
+        from repro.metrics.collectors import PeakGauge
+
+        gauge = PeakGauge(5)
+        gauge.record(2)
+        assert gauge.value == 2 and gauge.peak == 5
+        gauge.record(9)
+        assert gauge.peak == 9
+
+    def test_to_dict(self):
+        from repro.metrics.collectors import PeakGauge
+
+        gauge = PeakGauge()
+        gauge.increment()
+        assert gauge.to_dict() == {"current": 1, "peak": 1}
+
+    def test_thread_safe_under_contention(self):
+        import threading
+
+        from repro.metrics.collectors import PeakGauge
+
+        gauge = PeakGauge()
+        barrier = threading.Barrier(4)
+
+        def hammer():
+            barrier.wait(timeout=10)
+            for _ in range(2_000):
+                gauge.increment()
+                gauge.decrement()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert gauge.value == 0
+        assert 1 <= gauge.peak <= 4
