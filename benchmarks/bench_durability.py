@@ -1,0 +1,257 @@
+"""E15 — durability: fsync-policy overhead and crash-free recovery fidelity.
+
+The durable WAL backend (:mod:`repro.relational.durability`) mirrors every
+database mutation to append-only JSONL segments.  What does that durability
+cost?  This experiment seeds a table (untimed) and then drives an identical
+keyed-update stream — the gateway's hot path — through four configurations:
+
+* **memory** — the seed in-memory WAL (no disk at all), the baseline;
+* **never** — JSONL appends flushed to the OS, no explicit fsync;
+* **batch** — one fsync per simulated commit batch (the gateway's default:
+  ``sync()`` at commit boundaries);
+* **always** — fsync per appended entry (maximal durability).
+
+and reports ops/s plus the overhead ratio over the in-memory baseline.  Each
+durable run then proves itself: ``recover(state_dir)`` must rebuild a
+database whose table fingerprints are byte-identical to the live one, once
+from the raw WAL and once after a mid-workload ``Database.checkpoint``.
+
+Acceptance gate: the **batch** policy's overhead is ≤2× the in-memory
+baseline (the ISSUE's bound for making durability the default posture).
+
+Runnable two ways::
+
+    python -m pytest benchmarks/bench_durability.py           # asserts ≤2×
+    python -m pytest benchmarks/bench_durability.py --quick   # CI smoke
+    python benchmarks/bench_durability.py --json              # prints JSON
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import shutil
+import tempfile
+import time
+from typing import Any, Dict, Optional
+
+from repro.relational import Column, DataType, Database, Schema
+from repro.relational.durability import (
+    FSYNC_ALWAYS,
+    FSYNC_BATCH,
+    FSYNC_NEVER,
+    open_durable_database,
+    recover,
+)
+
+FULL_OPS = 6_000
+QUICK_OPS = 1_500
+#: Rows seeded (untimed) before the measured update stream.
+TABLE_ROWS = 2_000
+#: The batched policy's commit boundary: one fsync per this many operations
+#: (the gateway syncs once per committed *batch*; under sustained open-loop
+#: load a batch carries the whole arrival backlog, so boundaries are far
+#: apart in operation count — the crash-recovery tests exercise tight
+#: boundaries separately).
+SYNC_INTERVAL = 1_000
+#: Acceptance gate: batched-fsync durability costs at most 2× in-memory.
+MAX_BATCH_OVERHEAD = 2.0
+
+#: A representative medical-record schema (the paper's D3-style table: a
+#: handful of clinical attributes per keyed row), not a toy 2-column one —
+#: fsync-policy overhead is only meaningful against realistic row widths.
+SCHEMA = Schema(
+    [
+        Column("patient_id", DataType.INTEGER),
+        Column("name", DataType.STRING),
+        Column("disease", DataType.STRING),
+        Column("symptom", DataType.STRING),
+        Column("drug_name", DataType.STRING),
+        Column("dosage", DataType.STRING),
+        Column("mechanism_of_action", DataType.STRING),
+        Column("side_effects", DataType.STRING),
+    ],
+    primary_key=("patient_id",),
+)
+
+
+def _seed_row(i: int) -> dict:
+    return {
+        "patient_id": i,
+        "name": f"patient-{i}",
+        "disease": f"disease-{i % 23}",
+        "symptom": f"symptom-{i % 31}",
+        "drug_name": f"drug-{i % 47}",
+        "dosage": f"{(i % 4) + 1} tablets every {6 + (i % 3) * 2}h",
+        "mechanism_of_action": f"MeA-{i % 53}",
+        "side_effects": f"effect-{i % 29}",
+    }
+
+
+def _run_workload(database: Database, operations: int, sync_interval: Optional[int],
+                  checkpoint_dir: Optional[str] = None) -> float:
+    """Seed a table, then time an ``operations``-long keyed-update stream.
+
+    The timed region is the system's hot path — the shared-entry updates the
+    gateway commits all day — not the one-off table seeding.  ``sync_interval``
+    simulates commit boundaries for the batched policy.  ``checkpoint_dir``
+    takes one checkpoint between seeding and the update stream so recovery
+    also exercises the snapshot + WAL-tail path; the checkpoint itself is a
+    background maintenance action and is excluded from the timing.
+    """
+    database.create_table("records", SCHEMA)
+    for i in range(TABLE_ROWS):
+        database.insert("records", _seed_row(i))
+    database.wal.sync()
+    if checkpoint_dir is not None:
+        database.checkpoint(checkpoint_dir)
+    # Collect leftovers of earlier runs (seeding, the previous policy's
+    # recovery pass) and keep the collector out of the timed region — GC
+    # pauses triggered by *prior* allocations would land on whichever
+    # policy happens to run next.
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        for i in range(operations):
+            database.update_by_key(
+                "records", (i % TABLE_ROWS,),
+                {"dosage": f"{(i % 5) + 1} tablets every {4 + (i % 5) * 2}h"})
+            if sync_interval and (i + 1) % sync_interval == 0:
+                database.wal.sync()
+        database.wal.sync()
+        return time.perf_counter() - started
+    finally:
+        gc.enable()
+
+
+def _policy_run_once(policy: Optional[str], operations: int,
+                     with_checkpoint: bool) -> Dict[str, Any]:
+    state_dir = None
+    try:
+        if policy is None:
+            database = Database("bench")
+        else:
+            state_dir = tempfile.mkdtemp(prefix="bench-durability-")
+            database = open_durable_database("bench", state_dir, fsync_policy=policy)
+        sync_interval = SYNC_INTERVAL if policy == FSYNC_BATCH else None
+        elapsed = _run_workload(
+            database, operations, sync_interval,
+            checkpoint_dir=state_dir if with_checkpoint else None)
+        result: Dict[str, Any] = {
+            "policy": policy or "memory",
+            "operations": operations,
+            "seconds": elapsed,
+            "ops_per_second": operations / elapsed if elapsed else 0.0,
+        }
+        if state_dir is not None:
+            backend = database.wal.backend
+            result["wal_bytes"] = backend.wal_bytes()
+            result["wal_segments"] = backend.statistics()["segments"]
+            result["fsyncs"] = backend.statistics()["syncs"]
+            database.wal.close()
+            recovered = recover(state_dir)
+            result["recovery_seconds"] = recovered.recovery_seconds
+            result["entries_replayed"] = recovered.entries_replayed
+            result["checkpoint_sequence"] = recovered.checkpoint_sequence
+            result["fingerprint_identical"] = (
+                recovered.database.table("records").fingerprint()
+                == database.table("records").fingerprint())
+        return result
+    finally:
+        if state_dir is not None:
+            shutil.rmtree(state_dir, ignore_errors=True)
+
+
+def run_durability_comparison(operations: int = FULL_OPS,
+                              rounds: int = 3) -> Dict[str, Any]:
+    """All four policies over the identical workload; returns JSON-able rows.
+
+    The gated policies are timed in ``rounds`` *interleaved* best-of-N
+    rounds: wall-clock on a shared runner has slow windows (CPU steal,
+    storage-latency spikes), and interleaving makes a bad window hit every
+    policy rather than just one, while the per-policy minimum discards it.
+    The ungated ``always`` run is timed once.
+    """
+    gated = (("memory", None, False),
+             # Durable runs alternate raw-WAL replay and checkpoint + tail
+             # recovery.
+             ("never", FSYNC_NEVER, False),
+             ("batch", FSYNC_BATCH, True))
+    policies: Dict[str, Dict[str, Any]] = {}
+    ratios: Dict[str, list] = {"never": [], "batch": []}
+    for _ in range(max(1, rounds)):
+        round_seconds: Dict[str, float] = {}
+        for name, policy, with_checkpoint in gated:
+            run = _policy_run_once(policy, operations, with_checkpoint)
+            round_seconds[name] = run["seconds"]
+            if name not in policies or run["seconds"] < policies[name]["seconds"]:
+                policies[name] = run
+        # Overhead is judged per round, against the baseline timed adjacent
+        # to it: machine-speed drift (CPU steal on shared runners) hits both
+        # sides of a pair, so the paired ratio measures the policy, not the
+        # weather.  The minimum across rounds discards spiked pairs.
+        for name in ratios:
+            ratios[name].append(round_seconds[name] / round_seconds["memory"]
+                                if round_seconds["memory"] else 0.0)
+    policies["always"] = _policy_run_once(FSYNC_ALWAYS, operations,
+                                          with_checkpoint=False)
+    memory = policies["memory"]
+    never, batch, always = policies["never"], policies["batch"], policies["always"]
+    never["overhead_vs_memory"] = min(ratios["never"])
+    batch["overhead_vs_memory"] = min(ratios["batch"])
+    always["overhead_vs_memory"] = (always["seconds"] / memory["seconds"]
+                                    if memory["seconds"] else 0.0)
+    return {
+        "experiment": "E15_durability",
+        "workload": (f"{operations} keyed updates over a {TABLE_ROWS}-row table "
+                     f"(seeding untimed), sync every {SYNC_INTERVAL} ops "
+                     f"under 'batch'"),
+        "operations": operations,
+        "policies": policies,
+        "batch_overhead": batch["overhead_vs_memory"],
+        "recovery_identical": all(
+            policies[name]["fingerprint_identical"]
+            for name in ("never", "batch", "always")),
+    }
+
+
+def test_durability_overhead_and_recovery(emit, quick):
+    """The batched fsync policy must stay within 2× of the in-memory WAL,
+    and every durable run must recover byte-identical table fingerprints
+    (including the checkpoint + WAL-tail path)."""
+    operations = QUICK_OPS if quick else FULL_OPS
+    result = run_durability_comparison(operations)
+    emit("E15_durability", json.dumps(result, indent=2, sort_keys=True))
+    assert result["recovery_identical"], "recovered fingerprints diverged"
+    assert result["batch_overhead"] <= MAX_BATCH_OVERHEAD, (
+        f"batched fsync overhead {result['batch_overhead']:.2f}x exceeds "
+        f"{MAX_BATCH_OVERHEAD}x")
+    # The checkpointed run replays only the WAL tail past the checkpoint
+    # (the update stream), not the seeded table.
+    batch = result["policies"]["batch"]
+    assert batch["checkpoint_sequence"] >= TABLE_ROWS
+    assert batch["entries_replayed"] <= result["operations"]
+    # The raw-WAL runs replay everything from empty.
+    assert result["policies"]["never"]["entries_replayed"] > result["operations"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--operations", type=int, default=FULL_OPS)
+    parser.add_argument("--quick", action="store_true",
+                        help="use the reduced CI smoke workload")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full JSON result (default)")
+    args = parser.parse_args()
+    operations = QUICK_OPS if args.quick else args.operations
+    result = run_durability_comparison(operations)
+    print(json.dumps(result, indent=2, sort_keys=True))
+    ok = (result["recovery_identical"]
+          and result["batch_overhead"] <= MAX_BATCH_OVERHEAD)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -181,7 +181,10 @@ def run_gateway_loadtest(tenants: int = 8, duration: float = 30.0, rate: float =
                          batch_size: int = 16, seed: int = 23,
                          rate_limit: float = 0.0, transport: str = "sync",
                          max_delay: float = 1.0,
-                         max_queue_depth: Optional[int] = None) -> Dict[str, Any]:
+                         max_queue_depth: Optional[int] = None,
+                         state_dir: Optional[str] = None,
+                         fsync_policy: Optional[str] = None,
+                         max_responses: Optional[int] = None) -> Dict[str, Any]:
     """Drive open-loop multi-tenant traffic through the gateway; returns metrics.
 
     The engine behind the ``gateway-loadtest`` subcommand (also importable
@@ -189,7 +192,10 @@ def run_gateway_loadtest(tenants: int = 8, duration: float = 30.0, rate: float =
     driver commits when the queue is deep, draining between arrivals) or the
     asyncio one (arrivals admitted open-loop while the commit pump seals
     batches on queue-depth/deadline triggers).  ``max_queue_depth`` enables
-    gateway-wide load shedding on either transport.
+    gateway-wide load shedding on either transport.  ``state_dir`` journals
+    terminal responses to an on-disk WAL (``fsync_policy`` trades durability
+    for latency; ``max_responses`` caps the in-memory response store, with
+    journaled responses evicted, not lost).
     """
     import asyncio
 
@@ -203,7 +209,8 @@ def run_gateway_loadtest(tenants: int = 8, duration: float = 30.0, rate: float =
     system = build_topology_system(TopologySpec(patients=tenants, researchers=0, seed=seed),
                                    SystemConfig.private_chain(interval))
     gateway = SharingGateway(system, max_batch_size=batch_size, default_rate=rate_limit,
-                             max_queue_depth=max_queue_depth)
+                             max_queue_depth=max_queue_depth, state_dir=state_dir,
+                             fsync_policy=fsync_policy, max_responses=max_responses)
     profiles = default_tenant_profiles(system, request_rate=rate,
                                        read_fraction=read_fraction)
     clock = system.simulator.clock
@@ -238,6 +245,7 @@ def run_gateway_loadtest(tenants: int = 8, duration: float = 30.0, rate: float =
             if gateway.queue_depth >= commit_depth:
                 gateway.commit_once()
         gateway.drain()
+    gateway.close()
     elapsed = clock.now() - start
     metrics = gateway.metrics()
     if async_stats is not None:
@@ -260,7 +268,8 @@ def _cmd_gateway_loadtest(args: argparse.Namespace) -> int:
             read_fraction=args.read_fraction, interval=args.interval,
             batch_size=args.batch_size, seed=args.seed, rate_limit=args.rate_limit,
             transport=args.transport, max_delay=args.max_delay,
-            max_queue_depth=args.max_queue_depth)
+            max_queue_depth=args.max_queue_depth, state_dir=args.state_dir,
+            fsync_policy=args.fsync_policy, max_responses=args.max_responses)
     except ValueError as exc:
         print(f"gateway-loadtest: {exc}", file=sys.stderr)
         return 2
@@ -283,6 +292,13 @@ def _cmd_gateway_loadtest(args: argparse.Namespace) -> int:
         ("shed requests", metrics["queue"]["shed_requests"]),
         ("admitted during commit", metrics["transport"]["admitted_during_commit"]),
     ]
+    durability = metrics.get("durability", {})
+    if durability.get("enabled"):
+        rows.extend([
+            ("journaled responses", durability["responses_journaled"]),
+            ("journal WAL bytes", durability["wal_bytes"]),
+            ("responses evicted", durability["responses_evicted"]),
+        ])
     if "async_transport" in metrics:
         sealed = metrics["async_transport"]["sealed_by"]
         rows.append(("pump seals (depth/deadline/idle/flush)",
@@ -297,6 +313,40 @@ def _cmd_gateway_loadtest(args: argparse.Namespace) -> int:
         print()
         print(format_table(("tenant", "requests", "mean latency (s)", "p95 (s)"),
                            tenant_rows, title="Per-tenant latency"))
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Recover a durable database state directory and report how it went."""
+    from repro.errors import RelationalError
+    from repro.relational.durability import recover
+
+    try:
+        result = recover(args.state_dir, fsync_policy=args.fsync_policy)
+    except RelationalError as exc:
+        print(f"recover: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        _emit_json(result.to_dict())
+        return 0
+    database = result.database
+    print(format_table(
+        ("metric", "value"),
+        [("database", database.name),
+         ("tables", len(database.table_names)),
+         ("total rows", sum(len(database.table(name)) for name in database.table_names)),
+         ("views", len(database.view_names)),
+         ("checkpoint sequence", result.checkpoint_sequence),
+         ("snapshot loaded", result.snapshot_loaded),
+         ("entries replayed", result.entries_replayed),
+         ("torn entries dropped", result.torn_entries_dropped),
+         ("WAL bytes", result.wal_bytes),
+         ("checkpoints taken", result.checkpoint_count),
+         ("recovery time (s)", round(result.recovery_seconds, 4))],
+        title=f"Recovered {database.name!r} from {args.state_dir}"))
+    for name in database.table_names:
+        print()
+        print(database.table(name).pretty(max_rows=5))
     return 0
 
 
@@ -363,6 +413,26 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--max-queue-depth", type=int, default=None,
                           help="shed writes (typed 'shed' response) while the "
                                "queue holds this many (default: no shedding)")
+    loadtest.add_argument("--state-dir", default=None,
+                          help="journal terminal responses to an on-disk WAL "
+                               "under this directory (default: in-memory only)")
+    loadtest.add_argument("--fsync-policy", choices=("always", "batch", "never"),
+                          default=None,
+                          help="WAL fsync policy: per append, per committed "
+                               "batch (default), or never")
+    loadtest.add_argument("--max-responses", type=int, default=None,
+                          help="cap the in-memory response store; journaled "
+                               "responses are evicted, not lost")
+
+    recover_cmd = add_command(
+        "recover", "rebuild a durable database from its state directory",
+        _cmd_recover)
+    recover_cmd.add_argument("state_dir",
+                             help="state directory written by Database.checkpoint / "
+                                  "a durable WAL backend")
+    recover_cmd.add_argument("--fsync-policy", choices=("always", "batch", "never"),
+                             default="batch",
+                             help="fsync policy for the re-attached WAL backend")
     return parser
 
 

@@ -8,6 +8,49 @@ simulated clock (:class:`repro.ledger.clock.SimClock`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
+
+#: Valid WAL fsync policies (mirrors :mod:`repro.relational.durability`).
+_FSYNC_POLICIES = ("always", "batch", "never")
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Configuration of the on-disk durability subsystem.
+
+    Attributes
+    ----------
+    state_dir:
+        Directory where the gateway journals terminal responses (and where
+        peers may checkpoint their databases).  ``None`` (the default) keeps
+        everything in memory — the seed behaviour.
+    fsync_policy:
+        ``"always"`` fsyncs the WAL per append, ``"batch"`` fsyncs at commit
+        boundaries (the default — one fsync per committed batch), ``"never"``
+        flushes to the OS and lets it schedule the write.
+    segment_max_bytes:
+        WAL segment rotation threshold; smaller segments mean finer-grained
+        truncation at checkpoints, at the cost of more files.
+    response_retention:
+        Cap on terminal responses the gateway keeps in memory; journaled
+        responses evicted under the cap remain answerable from the WAL.
+        ``None`` disables eviction.
+    """
+
+    state_dir: Optional[str] = None
+    fsync_policy: str = "batch"
+    segment_max_bytes: int = 1_000_000
+    response_retention: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.fsync_policy not in _FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {self.fsync_policy!r}; "
+                f"use one of {_FSYNC_POLICIES}")
+        if self.segment_max_bytes <= 0:
+            raise ValueError("segment_max_bytes must be positive")
+        if self.response_retention is not None and self.response_retention < 1:
+            raise ValueError("response_retention must be at least 1 (or None)")
 
 
 @dataclass(frozen=True)
@@ -110,6 +153,7 @@ class SystemConfig:
 
     ledger: LedgerConfig = field(default_factory=LedgerConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
+    durability: DurabilityConfig = field(default_factory=DurabilityConfig)
     check_lens_laws: bool = True
     audit_enabled: bool = True
     delta_propagation: bool = True

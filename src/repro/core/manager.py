@@ -123,8 +123,10 @@ class DatabaseManager:
         view_name = agreement.view_name_for(self.peer.name)
         table = self.peer.database.table(view_name)
         apply_diff(table, diff)
-        self.peer.database.wal.append("replace", view_name,
-                                      {"rows": len(table), "reason": "incoming_diff"})
+        self.peer.database.wal.append(
+            "apply_diff", view_name,
+            {"changes": len(diff.changes), **diff.summary(),
+             "diff": diff.to_dict(), "reason": "incoming_diff"})
 
     def replace_shared_table(self, metadata_id: str, snapshot: Table) -> None:
         """Replace the stored shared table with a full snapshot from the peer."""

@@ -58,6 +58,26 @@ class DiffConflictError(RelationalError):
     """
 
 
+class WalTruncatedError(RelationalError):
+    """A WAL read asked for entries below the recorded checkpoint sequence.
+
+    After :meth:`~repro.relational.wal.WriteAheadLog.truncate` the discarded
+    prefix is only recoverable from the checkpoint snapshot; silently
+    returning an incomplete tail would make "replay from empty" look complete
+    when it is not.
+    """
+
+
+class WalCorruptionError(RelationalError):
+    """An on-disk WAL segment is damaged beyond the torn tail a crash can
+    legitimately leave (undecodable or out-of-order entries mid-stream)."""
+
+
+class RecoveryError(RelationalError):
+    """A durable-state directory could not be recovered (missing snapshot,
+    unreplayable entry, manifest/WAL disagreement)."""
+
+
 # ---------------------------------------------------------------------------
 # Bidirectional transformations
 # ---------------------------------------------------------------------------

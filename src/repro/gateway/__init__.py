@@ -19,7 +19,7 @@ so many tenants can read and write shared data concurrently:
 
 from repro.gateway.aio import AsyncSharingGateway
 from repro.gateway.cache import ViewCache
-from repro.gateway.gateway import SharingGateway
+from repro.gateway.gateway import ResponseJournal, SharingGateway
 from repro.gateway.requests import (
     AuditQueryRequest,
     DeleteEntryRequest,
@@ -52,6 +52,7 @@ __all__ = [
     "InsertEntryRequest",
     "PendingWrite",
     "ReadViewRequest",
+    "ResponseJournal",
     "SharingGateway",
     "TokenBucket",
     "UpdateEntryRequest",

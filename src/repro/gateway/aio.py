@@ -112,7 +112,9 @@ class AsyncSharingGateway:
 
     async def stop(self, flush: bool = True) -> None:
         """Stop the pump; with ``flush`` (default) first drain queued writes
-        so every accepted request leaves with a terminal response."""
+        so every accepted request leaves with a terminal response.  A durable
+        response journal (gateway ``state_dir``) is fsynced on the way out so
+        a clean shutdown never leaves terminal responses buffered."""
         if flush:
             await self.drain()
         self._stopping = True
@@ -121,6 +123,7 @@ class AsyncSharingGateway:
         if self._pump_task is not None:
             await self._pump_task
             self._pump_task = None
+        self.gateway.flush_journal()
 
     async def __aenter__(self) -> "AsyncSharingGateway":
         return await self.start()

@@ -12,6 +12,10 @@ facade the gateway
   consensus round for all requests and one for all acknowledgements;
 * sheds writes with a typed ``shed`` response when the queue is at capacity
   (``max_queue_depth`` admission control);
+* journals terminal responses to an on-disk WAL when ``state_dir`` is set
+  (before terminal listeners fire), so a restarted gateway answers old
+  ``get_response`` lookups and the in-memory response store can be capped
+  (``max_responses``) with journaled entries evicted, not lost;
 * tracks serving metrics: queue depth, batch sizes, cache hit rate,
   interleaving (requests admitted while a commit round was in flight) and
   per-tenant latency percentiles.
@@ -37,12 +41,15 @@ cache lock is never held while acquiring either (see
 from __future__ import annotations
 
 import itertools
+import json
+import pathlib
 import threading
-from typing import Callable, Dict, List, Optional
+import time
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.system import MedicalDataSharingSystem
 from repro.core.workflow import BatchCommitResult
-from repro.errors import ReproError, SessionError, SharingError
+from repro.errors import ReproError, SessionError, SharingError, WalCorruptionError
 from repro.gateway.cache import ViewCache
 from repro.gateway.requests import (
     STATUS_ERROR,
@@ -59,6 +66,112 @@ from repro.gateway.requests import (
 from repro.gateway.scheduler import BatchPlan, PendingWrite, WriteScheduler
 from repro.gateway.session import GatewaySession
 from repro.metrics.collectors import LatencyCollector, PeakGauge
+from repro.relational.durability import JsonlWalBackend
+from repro.relational.wal import WalEntry
+
+
+class ResponseJournal:
+    """A durable journal of terminal gateway responses.
+
+    One JSONL WAL (see :class:`~repro.relational.durability.JsonlWalBackend`)
+    holding every response that reached a terminal status, so a restarted
+    gateway can answer ``get_response(request_id)`` for requests that were
+    terminal before the crash — and so in-memory responses can be evicted
+    under a retention cap without losing answerability.
+
+    Appends are ordered under one lock (the backend refuses out-of-order
+    sequences on read), so concurrent finalisations from the event loop and
+    executor threads interleave safely.
+    """
+
+    TABLE = "responses"
+
+    def __init__(self, directory: Union[str, pathlib.Path],
+                 fsync_policy: str = "batch", segment_max_bytes: int = 1_000_000):
+        self.backend = JsonlWalBackend(directory, fsync_policy=fsync_policy,
+                                       segment_max_bytes=segment_max_bytes)
+        self._lock = threading.Lock()
+        #: request_id → (segment_path, offset, length) of its latest
+        #: journaled response — lookups seek straight to the line instead of
+        #: rescanning the whole journal (which only ever grows).  ~100 bytes
+        #: per id, vs. keeping whole responses in memory.
+        self._locations: Dict[str, Tuple[pathlib.Path, int, int]] = {}
+        started = time.perf_counter()
+        highest_request = 0
+        last_sequence = 0
+        # One pass over the segment bytes builds the location index and
+        # finds the tail sequence (torn tails were amputated when the
+        # backend opened, so every remaining line must decode).
+        segments = self.backend.segment_paths()
+        for segment_index, segment in enumerate(segments):
+            lines = segment.read_bytes().split(b"\n")
+            offset = 0
+            for line_index, raw in enumerate(lines):
+                if not raw:
+                    offset += 1
+                    continue
+                try:
+                    record = json.loads(raw.decode("utf-8"))
+                    response_payload = record["payload"]
+                    last_sequence = max(last_sequence, int(record["sequence"]))
+                except (ValueError, KeyError, UnicodeDecodeError) as exc:
+                    if (segment_index == len(segments) - 1
+                            and line_index == len(lines) - 1):
+                        break  # a concurrent writer's torn flush; ignore
+                    raise WalCorruptionError(
+                        f"undecodable response-journal entry at "
+                        f"{segment.name}:{line_index + 1}") from exc
+                request_id = response_payload.get("request_id", "")
+                self._locations[request_id] = (segment, offset, len(raw))
+                highest_request = max(highest_request, _request_number(request_id))
+                offset += len(raw) + 1
+        self.recovered_responses = len(self._locations)
+        self.highest_request_number = highest_request
+        self._next_sequence = last_sequence + 1
+        self.recovery_seconds = time.perf_counter() - started
+
+    def record(self, response: GatewayResponse) -> None:
+        """Append one terminal response (ordered, crash-safe, indexed)."""
+        with self._lock:
+            entry = WalEntry(self._next_sequence, "response", self.TABLE,
+                             response.to_dict())
+            self._next_sequence += 1
+            self._locations[response.request_id] = self.backend.append(entry)
+
+    def sync(self) -> None:
+        self.backend.sync()
+
+    def close(self) -> None:
+        self.backend.close()
+
+    def lookup(self, request_id: str) -> Optional[GatewayResponse]:
+        """The journaled terminal response for ``request_id``, by seek."""
+        location = self._locations.get(request_id)
+        if location is None:
+            return None
+        path, offset, length = location
+        self.backend.flush()  # a batched append may still be buffered
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                record = json.loads(handle.read(length).decode("utf-8"))
+        except (OSError, ValueError):
+            return None  # segment vanished or tail lost to a crash
+        return GatewayResponse.from_dict(record["payload"])
+
+    def statistics(self) -> Dict[str, object]:
+        stats = self.backend.statistics()
+        stats["recovered_responses"] = self.recovered_responses
+        stats["recovery_seconds"] = self.recovery_seconds
+        return stats
+
+
+def _request_number(request_id: str) -> int:
+    """The numeric part of a ``req-N`` id (0 when unparseable)."""
+    try:
+        return int(request_id.rsplit("-", 1)[-1])
+    except (ValueError, IndexError):
+        return 0
 
 
 class SharingGateway:
@@ -69,7 +182,10 @@ class SharingGateway:
                  cache_enabled: bool = True,
                  default_rate: float = 0.0, default_burst: float = 8.0,
                  fold_cross_peer: bool = True,
-                 max_queue_depth: Optional[int] = None):
+                 max_queue_depth: Optional[int] = None,
+                 state_dir: Optional[Union[str, pathlib.Path]] = None,
+                 fsync_policy: Optional[str] = None,
+                 max_responses: Optional[int] = None):
         self.system = system
         self.scheduler = WriteScheduler(max_batch_size=max_batch_size,
                                         max_edits_per_group=max_edits_per_group,
@@ -109,6 +225,31 @@ class SharingGateway:
         self._enqueue_listeners: List[Callable[[int], None]] = []
         self._lock = threading.RLock()
         self._commit_lock = threading.RLock()
+        # Durability: terminal responses are journaled to an on-disk WAL
+        # (before terminal listeners fire), so a restarted gateway answers
+        # old request-id lookups and in-memory responses can be evicted
+        # under the retention cap without losing answerability.
+        durability = system.config.durability
+        if state_dir is None:
+            state_dir = durability.state_dir
+        self.state_dir = pathlib.Path(state_dir) if state_dir is not None else None
+        self.fsync_policy = fsync_policy or durability.fsync_policy
+        self.max_responses = (durability.response_retention
+                              if max_responses is None else max_responses)
+        if self.max_responses is not None and self.max_responses < 1:
+            raise ValueError("max_responses must be at least 1 (or None)")
+        self.responses_evicted = 0
+        self.responses_journaled = 0
+        self._journaled_ids: set = set()
+        self.journal: Optional[ResponseJournal] = None
+        if self.state_dir is not None:
+            self.journal = ResponseJournal(
+                self.state_dir / "responses", fsync_policy=self.fsync_policy,
+                segment_max_bytes=durability.segment_max_bytes)
+            # Continue request ids past the recovered journal so a restarted
+            # gateway never reissues an id that is already answerable.
+            self._request_ids = itertools.count(
+                self.journal.highest_request_number + 1)
 
     # ---------------------------------------------------------------- sessions
 
@@ -170,7 +311,36 @@ class SharingGateway:
         )
         self._responses[response.request_id] = response
         self._kind_counts[request.kind] = self._kind_counts.get(request.kind, 0) + 1
+        if (self.max_responses is not None
+                and len(self._responses) > self.max_responses):
+            self._evict_responses_locked()
         return response
+
+    def _evict_responses_locked(self) -> None:
+        """Drop the oldest evictable responses until the cap is respected.
+
+        Only *terminal* responses are evictable (queued ones are still owned
+        by the scheduler), and with a journal attached only ones already
+        journaled — an evicted id then stays answerable via
+        :meth:`get_response`'s WAL fallback.  Without a journal the cap is a
+        plain memory bound: evicted ids return None.
+        """
+        excess = len(self._responses) - self.max_responses
+        if excess <= 0:
+            return
+        evicted = []
+        for request_id, response in self._responses.items():
+            if len(evicted) >= excess:
+                break
+            if not response.terminal:
+                continue
+            if self.journal is not None and request_id not in self._journaled_ids:
+                continue
+            evicted.append(request_id)
+        for request_id in evicted:
+            del self._responses[request_id]
+            self._journaled_ids.discard(request_id)
+        self.responses_evicted += len(evicted)
 
     def _finalize(self, response: GatewayResponse, session: Optional[GatewaySession],
                   status: str) -> GatewayResponse:
@@ -184,6 +354,18 @@ class SharingGateway:
                 self._latency_by_tenant.setdefault(
                     response.tenant, LatencyCollector()).record_value(response.latency)
             listeners = tuple(self._terminal_listeners)
+        # Journal happens-before the terminal listeners (matching the lock
+        # order of the async transport): by the time anything a listener
+        # wakes runs, the response is appended to the WAL — durable
+        # immediately under the ``always`` policy, at the next commit
+        # boundary (``journal.sync()`` in commit_once / flush_journal) under
+        # ``batch``.  The append is outside the admission lock so an
+        # fsync-per-append policy never stalls admission.
+        if self.journal is not None:
+            self.journal.record(response)
+            with self._lock:
+                self.responses_journaled += 1
+                self._journaled_ids.add(response.request_id)
         for listener in listeners:
             listener(response)
         return response
@@ -210,6 +392,12 @@ class SharingGateway:
         The async transport calls this directly so admission never blocks
         the event loop behind a mining commit.
         """
+        # Admission-time terminal statuses are finalized *after* the lock
+        # block: _finalize journals to the durable WAL (an fsync under the
+        # 'always' policy), which must never run inside the admission
+        # critical section — _lock is re-entrant, so calling _finalize here
+        # would hold it across the disk write.
+        terminal_status = None
         with self._lock:
             response = self._new_response(session, request, STATUS_QUEUED)
             if self._commits_in_flight.value > 0:
@@ -218,37 +406,39 @@ class SharingGateway:
                 response.error = (
                     f"tenant {session.peer_name!r} exceeded its request rate; retry later"
                 )
-                self._finalize(response, session, STATUS_THROTTLED)
-                return response, False
-            try:
-                session.authorize(request)
-            except SessionError as exc:
-                response.error = str(exc)
-                self._finalize(response, session, STATUS_REJECTED)
-                return response, False
-            if request.is_write:
+                terminal_status = STATUS_THROTTLED
+            else:
+                try:
+                    session.authorize(request)
+                except SessionError as exc:
+                    response.error = str(exc)
+                    terminal_status = STATUS_REJECTED
+            if terminal_status is None:
+                if not request.is_write:
+                    return response, True
                 if self.scheduler.at_capacity:
                     self.shed_requests += 1
                     response.error = (
                         f"gateway write queue is at capacity "
                         f"({self.scheduler.queue_capacity}); request shed — retry later"
                     )
-                    self._finalize(response, session, STATUS_SHED)
-                    return response, False
-                self.scheduler.enqueue(PendingWrite(
-                    request_id=response.request_id,
-                    tenant=session.peer_name,
-                    peer=session.peer_name,
-                    request=request,
-                    enqueued_at=response.enqueued_at,
-                    session=session,
-                ))
-                self._outstanding.increment()
-                session.count(STATUS_QUEUED)
-                depth = self.scheduler.queue_depth
-                listeners = tuple(self._enqueue_listeners)
-            else:
-                return response, True
+                    terminal_status = STATUS_SHED
+                else:
+                    self.scheduler.enqueue(PendingWrite(
+                        request_id=response.request_id,
+                        tenant=session.peer_name,
+                        peer=session.peer_name,
+                        request=request,
+                        enqueued_at=response.enqueued_at,
+                        session=session,
+                    ))
+                    self._outstanding.increment()
+                    session.count(STATUS_QUEUED)
+                    depth = self.scheduler.queue_depth
+                    listeners = tuple(self._enqueue_listeners)
+        if terminal_status is not None:
+            self._finalize(response, session, terminal_status)
+            return response, False
         for listener in listeners:
             listener(depth)
         return response, False
@@ -288,8 +478,27 @@ class SharingGateway:
         return self._finalize(response, session, STATUS_OK)
 
     def result(self, request_id: str) -> Optional[GatewayResponse]:
-        """Look up the (possibly still queued) response for a request id."""
-        return self._responses.get(request_id)
+        """Look up the (possibly still queued) response for a request id.
+
+        Alias of :meth:`get_response` — evicted and pre-restart ids are
+        answered from the durable journal, not silently forgotten.
+        """
+        return self.get_response(request_id)
+
+    def get_response(self, request_id: str) -> Optional[GatewayResponse]:
+        """The response for a request id, falling back to the durable journal.
+
+        In-memory responses (including still-queued ones) win; a miss — an
+        evicted response, or a lookup on a gateway freshly recovered from
+        ``state_dir`` — is answered from the on-disk WAL when one is
+        attached.  Returns None only when the id was never journaled.
+        """
+        response = self._responses.get(request_id)
+        if response is not None:
+            return response
+        if self.journal is not None:
+            return self.journal.lookup(request_id)
+        return None
 
     # ----------------------------------------------------------------- commits
 
@@ -336,6 +545,10 @@ class SharingGateway:
                 self.batch_blocks += result.blocks_created
                 self.batch_consensus_rounds += result.consensus_rounds
                 self._resolve(plan, result)
+            # The batched fsync policy's commit boundary: one sync makes the
+            # whole batch's terminal responses durable.
+            if self.journal is not None:
+                self.journal.sync()
             return result
 
     def drain(self, max_batches: int = 1_000) -> int:
@@ -345,7 +558,20 @@ class SharingGateway:
             if self.commit_once() is None:
                 break
             committed += 1
+        self.flush_journal()
         return committed
+
+    def flush_journal(self) -> None:
+        """Force journaled responses to stable storage (a commit boundary for
+        terminal responses finalised outside a batch, e.g. reads and sheds)."""
+        if self.journal is not None:
+            self.journal.sync()
+
+    def close(self) -> None:
+        """Flush and close the durable journal (no-op without ``state_dir``)."""
+        if self.journal is not None:
+            self.journal.sync()
+            self.journal.close()
 
     def _resolve(self, plan: BatchPlan, result: BatchCommitResult) -> None:
         for index, (trace, members) in enumerate(zip(result.traces, plan.members)):
@@ -451,9 +677,33 @@ class SharingGateway:
                 },
                 "shards": self._shard_metrics(),
                 "cache": self.cache.statistics(),
+                "durability": self._durability_metrics(),
                 "tenants": tenants,
                 "sessions_open": len(self._sessions),
             }
+
+    def _durability_metrics(self) -> Dict[str, object]:
+        """Response-journal health: WAL bytes, journaled/evicted counts,
+        recovery cost of the last restart."""
+        metrics: Dict[str, object] = {
+            "enabled": self.journal is not None,
+            "responses_in_memory": len(self._responses),
+            "responses_evicted": self.responses_evicted,
+            "max_responses": self.max_responses,
+        }
+        if self.journal is not None:
+            journal = self.journal.statistics()
+            metrics.update({
+                "state_dir": str(self.state_dir),
+                "fsync_policy": self.fsync_policy,
+                "responses_journaled": self.responses_journaled,
+                "wal_bytes": journal["wal_bytes"],
+                "wal_segments": journal["segments"],
+                "journal_syncs": journal["syncs"],
+                "recovered_responses": journal["recovered_responses"],
+                "recovery_seconds": journal["recovery_seconds"],
+            })
+        return metrics
 
     def _shard_metrics(self) -> Dict[str, object]:
         """Per-consensus-shard serving metrics: scheduler queue depth by

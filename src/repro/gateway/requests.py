@@ -10,6 +10,7 @@ responses embed :class:`~repro.core.workflow.WorkflowTrace` dictionaries.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
@@ -192,3 +193,15 @@ class GatewayResponse:
             enqueued_at=float(payload.get("enqueued_at", 0.0)),
             completed_at=float(payload.get("completed_at", 0.0)),
         )
+
+    def canonical(self) -> str:
+        """A canonical JSON form of the response, for equality across a
+        serialisation boundary.
+
+        A response recovered from the durable journal went through JSON,
+        which turns payload tuples into lists; comparing ``canonical()``
+        strings asks "are these the same response?" without tripping over
+        that representational difference.  Used by the crash-recovery parity
+        oracle.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, default=str)

@@ -13,6 +13,8 @@ local base table.  This subpackage provides that substrate:
 * :mod:`repro.relational.index` — secondary hash indexes.
 * :mod:`repro.relational.diff` — row-level deltas between table states.
 * :mod:`repro.relational.wal` — a write-ahead log of applied operations.
+* :mod:`repro.relational.durability` — on-disk WAL segments, checkpoints
+  and crash recovery.
 * :mod:`repro.relational.transactions` — snapshot transactions with rollback.
 * :mod:`repro.relational.database` — a named collection of tables and views.
 """
@@ -43,7 +45,23 @@ from repro.relational.diff import RowChange, TableDiff, diff_tables
 from repro.relational.wal import WriteAheadLog, WalEntry
 from repro.relational.transactions import TransactionManager
 from repro.relational.database import Database
-from repro.relational.persistence import load_database, save_database, databases_identical
+from repro.relational.persistence import (
+    atomic_write_text,
+    databases_identical,
+    load_database,
+    save_database,
+)
+from repro.relational.durability import (
+    FSYNC_ALWAYS,
+    FSYNC_BATCH,
+    FSYNC_NEVER,
+    CheckpointResult,
+    JsonlWalBackend,
+    RecoveryResult,
+    checkpoint_database,
+    open_durable_database,
+    recover,
+)
 
 __all__ = [
     "Column",
@@ -83,4 +101,14 @@ __all__ = [
     "save_database",
     "load_database",
     "databases_identical",
+    "atomic_write_text",
+    "FSYNC_ALWAYS",
+    "FSYNC_BATCH",
+    "FSYNC_NEVER",
+    "JsonlWalBackend",
+    "CheckpointResult",
+    "RecoveryResult",
+    "checkpoint_database",
+    "open_durable_database",
+    "recover",
 ]

@@ -24,15 +24,38 @@ from repro.relational.wal import WriteAheadLog
 
 
 class Database:
-    """An in-memory multi-table database with logged mutations."""
+    """An in-memory multi-table database with logged mutations.
 
-    def __init__(self, name: str):
+    Every mutation appends a *replayable* WAL entry (the payload carries
+    enough data to re-apply the operation on a recovered copy).  Passing a
+    ``wal_backend`` (see :mod:`repro.relational.durability`) mirrors the log
+    to disk so the database survives a process crash.
+    """
+
+    def __init__(self, name: str, wal_backend: Optional[object] = None):
         self.name = name
         self._tables: Dict[str, Table] = {}
         self._views: Dict[str, Query] = {}
         self._indexes: Dict[Tuple[str, Tuple[str, ...]], HashIndex] = {}
-        self.wal = WriteAheadLog()
-        self.transactions = TransactionManager(self._tables)
+        self.wal = WriteAheadLog(backend=wal_backend)
+        self.transactions = TransactionManager(self._tables,
+                                               on_restore=self._log_rollback_restore)
+
+    def _log_rollback_restore(self, table_name: str, table: Table) -> None:
+        """Journal a transaction rollback's table restore as a replayable
+        ``replace`` — without it, replaying the log would reproduce the
+        rolled-back writes."""
+        self.wal.append("replace", table_name,
+                        {"rows": len(table), "reason": "rollback",
+                         **self._rows_payload(table)})
+
+    def _rows_payload(self, table: Table) -> Dict[str, Any]:
+        """``{"row_data": [...]}`` for replay when the WAL is durable, else
+        empty — a purely in-memory log must not retain an O(table) copy per
+        wholesale operation (the seed kept these entries O(1))."""
+        if not self.wal.durable:
+            return {}
+        return {"row_data": [row.to_dict() for row in table]}
 
     # ----------------------------------------------------------------- tables
 
@@ -44,7 +67,9 @@ class Database:
         table = Table(name, schema, rows)
         self._tables[name] = table
         self.transactions.register_table(name, table)
-        self.wal.append("create_table", name, {"schema": schema.to_dict(), "rows": len(table)},
+        self.wal.append("create_table", name,
+                        {"schema": schema.to_dict(), "rows": len(table),
+                         **self._rows_payload(table)},
                         self.transactions.current_transaction_id())
         return table
 
@@ -95,11 +120,13 @@ class Database:
                       updates: Mapping[str, Any]) -> None:
         """Update one keyed row (logged)."""
         table = self.table(table_name)
-        row = table.update_by_key(key, updates)
+        table.update_by_key(key, updates)
+        # The entry records the operation, not its effect: key + updates is
+        # what replay re-applies, and the hot append path stays lean.
         self.wal.append(
             "update", table_name,
             {"key": list(key) if isinstance(key, (list, tuple)) else [key],
-             "updates": dict(updates), "row": row.to_dict()},
+             "updates": dict(updates)},
             self.transactions.current_transaction_id(),
         )
 
@@ -118,10 +145,10 @@ class Database:
     def delete_by_key(self, table_name: str, key: Sequence[Any]) -> None:
         """Delete one keyed row (logged)."""
         table = self.table(table_name)
-        row = table.delete_by_key(key)
+        table.delete_by_key(key)
         self.wal.append(
             "delete", table_name,
-            {"key": list(key) if isinstance(key, (list, tuple)) else [key], "row": row.to_dict()},
+            {"key": list(key) if isinstance(key, (list, tuple)) else [key]},
             self.transactions.current_transaction_id(),
         )
 
@@ -140,7 +167,8 @@ class Database:
         """Atomically replace a table's contents (used by BX ``put``; logged)."""
         table = self.table(table_name)
         table.replace_all(rows)
-        self.wal.append("replace", table_name, {"rows": len(table)},
+        self.wal.append("replace", table_name,
+                        {"rows": len(table), **self._rows_payload(table)},
                         self.transactions.current_transaction_id())
 
     def apply_table_diff(self, table_name: str, diff: "TableDiff") -> None:  # noqa: F821
@@ -153,7 +181,8 @@ class Database:
         table = self.table(table_name)
         table.apply_diff(diff)
         self.wal.append("apply_diff", table_name,
-                        {"changes": len(diff.changes), **diff.summary()},
+                        {"changes": len(diff.changes), **diff.summary(),
+                         "diff": diff.to_dict()},
                         self.transactions.current_transaction_id())
 
     # ------------------------------------------------------------------- reads
@@ -169,8 +198,11 @@ class Database:
     # ------------------------------------------------------------------- views
 
     def register_view(self, name: str, definition: Query) -> None:
-        """Register a named view definition (not materialised)."""
+        """Register a named view definition (not materialised; logged so a
+        recovered database keeps views registered since the last checkpoint)."""
         self._views[name] = definition
+        self.wal.append("register_view", name, {"query": definition.to_dict()},
+                        self.transactions.current_transaction_id())
 
     def view(self, name: str) -> Table:
         """Materialise a registered view."""
@@ -199,6 +231,9 @@ class Database:
         key = (table_name, tuple(columns))
         if key not in self._indexes:
             self._indexes[key] = self.table(table_name).add_index(columns)
+            self.wal.append("create_index", table_name,
+                            {"columns": list(columns)},
+                            self.transactions.current_transaction_id())
         return self._indexes[key]
 
     def index(self, table_name: str, columns: Sequence[str]) -> HashIndex:
@@ -209,6 +244,14 @@ class Database:
 
 
     # ---------------------------------------------------------------- recovery
+
+    def checkpoint(self, state_dir) -> "CheckpointResult":  # noqa: F821
+        """Atomically snapshot this database into ``state_dir`` and truncate
+        the WAL, recording the checkpoint sequence (see
+        :func:`repro.relational.durability.checkpoint_database`)."""
+        from repro.relational.durability import checkpoint_database
+
+        return checkpoint_database(self, state_dir)
 
     def storage_bytes(self) -> int:
         """An approximate storage footprint (serialised size of all tables)."""

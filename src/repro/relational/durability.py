@@ -1,0 +1,602 @@
+"""On-disk durability for a peer's database: WAL segments, checkpoints, recovery.
+
+The paper's deployment model keeps each peer's data in its local database;
+that only makes sense if the data survives a process restart.  This module
+provides the durable substrate:
+
+* :class:`JsonlWalBackend` — an append-only, segmented JSONL mirror of a
+  :class:`~repro.relational.wal.WriteAheadLog`.  Each entry is one JSON line;
+  segments rotate at a size threshold; an ``fsync_policy`` knob trades
+  durability for latency (``always`` fsyncs per append, ``batch`` fsyncs on
+  explicit commit boundaries, ``never`` leaves flushing to the OS).
+* :func:`checkpoint_database` — an atomic snapshot (temp file +
+  ``os.replace`` via :func:`~repro.relational.persistence.save_database`)
+  plus WAL truncation that records the checkpoint sequence in a manifest.
+* :func:`recover` — loads the latest snapshot and replays the WAL entries
+  past the checkpoint to rebuild byte-identical state, tolerating the torn
+  tail a crash can leave (and only that).
+* :func:`open_durable_database` — create-or-recover convenience entry point.
+
+A crash can interrupt this machinery at any byte offset; the invariants that
+make recovery sound:
+
+1. appends go to exactly one (the newest) segment, so a torn write can only
+   damage the final line of the final segment;
+2. the snapshot and the manifest are each installed with ``os.replace``, so
+   readers see either the old or the new checkpoint, never a torn one;
+3. segments are deleted only *after* the manifest records the checkpoint
+   that supersedes them, so a crash mid-checkpoint leaves a recoverable
+   (old-checkpoint + longer-WAL) state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import RecoveryError, WalCorruptionError
+from repro.relational.database import Database
+from repro.relational.diff import TableDiff
+from repro.relational.persistence import (
+    atomic_write_text,
+    load_database,
+    save_database,
+)
+from repro.relational.predicates import Predicate
+from repro.relational.query import Query
+from repro.relational.schema import Schema
+from repro.relational.wal import WalEntry, WriteAheadLog
+
+PathLike = Union[str, pathlib.Path]
+
+#: fsync once per appended entry — maximal durability, maximal latency.
+FSYNC_ALWAYS = "always"
+#: fsync on explicit :meth:`JsonlWalBackend.sync` calls (commit boundaries).
+FSYNC_BATCH = "batch"
+#: never fsync explicitly; flush to the OS and let it schedule the write.
+FSYNC_NEVER = "never"
+
+FSYNC_POLICIES = (FSYNC_ALWAYS, FSYNC_BATCH, FSYNC_NEVER)
+
+#: Manifest file name inside a state directory.
+MANIFEST_NAME = "checkpoint.json"
+#: Sub-directory holding the WAL segments.
+WAL_DIR_NAME = "wal"
+#: Segment file pattern: ``wal-<first sequence, 16 digits>.jsonl``.
+SEGMENT_PREFIX = "wal-"
+SEGMENT_SUFFIX = ".jsonl"
+
+MANIFEST_VERSION = 1
+
+#: One shared encoder for the append hot path — ``json.dumps`` with custom
+#: keyword arguments builds a fresh ``JSONEncoder`` per call, a measurable
+#: tax on a path that rides every logged mutation.
+_ENTRY_ENCODER = json.JSONEncoder(separators=(",", ":"), default=str)
+
+#: JSON-escaped-and-encoded operation/table names, cached — both repeat
+#: endlessly (a handful of operations, a few table names per database), so
+#: the envelope of each WAL line can be assembled from pre-encoded pieces
+#: and only the payload goes through the JSON encoder.
+_NAME_CACHE: Dict[str, bytes] = {}
+
+
+def _encoded_name(name: str) -> bytes:
+    cached = _NAME_CACHE.get(name)
+    if cached is None:
+        if len(_NAME_CACHE) > 4096:  # defensive bound; names are few
+            _NAME_CACHE.clear()
+        cached = _NAME_CACHE[name] = json.dumps(name).encode("utf-8")
+    return cached
+
+
+def _validate_policy(fsync_policy: str) -> str:
+    if fsync_policy not in FSYNC_POLICIES:
+        raise ValueError(
+            f"unknown fsync policy {fsync_policy!r}; use one of {FSYNC_POLICIES}")
+    return fsync_policy
+
+
+class JsonlWalBackend:
+    """Append-only JSONL mirror of a WAL, segmented and crash-tolerant.
+
+    Thread-safe: the gateway journals terminal responses from both the event
+    loop and executor threads.
+    """
+
+    def __init__(self, directory: PathLike, fsync_policy: str = FSYNC_BATCH,
+                 segment_max_bytes: int = 1_000_000):
+        if segment_max_bytes <= 0:
+            raise ValueError("segment_max_bytes must be positive")
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync_policy = _validate_policy(fsync_policy)
+        self.segment_max_bytes = segment_max_bytes
+        self._lock = threading.Lock()
+        self._handle = None
+        self._current: Optional[pathlib.Path] = None
+        self._current_bytes = 0
+        self.appends = 0
+        self.syncs = 0
+        self.rotations = 0
+        #: Torn final lines amputated when this backend (re)opened the
+        #: directory — a restarted writer must never append onto a partial
+        #: line, or the concatenated garbage swallows the new entry (or
+        #: poisons the stream with mid-file corruption).
+        self.torn_lines_repaired = 0
+        segments = self.segment_paths()
+        if segments:
+            self._current = segments[-1]
+            self._repair_torn_tail(self._current)
+            self._current_bytes = self._current.stat().st_size
+
+    def _repair_torn_tail(self, segment: pathlib.Path) -> None:
+        """Truncate ``segment`` back to its last complete line.
+
+        JSON lines contain no raw newlines (the encoder escapes them), so a
+        file not ending in ``\\n`` ends in a torn write; everything after
+        the last newline is the torn tail a crash left.
+        """
+        data = segment.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return
+        keep = data.rfind(b"\n") + 1  # 0 when the whole segment is one torn line
+        with open(segment, "r+b") as handle:
+            handle.truncate(keep)
+        self.torn_lines_repaired += 1
+
+    # ------------------------------------------------------------------ layout
+
+    def _segment_name(self, first_sequence: int) -> str:
+        return f"{SEGMENT_PREFIX}{first_sequence:016d}{SEGMENT_SUFFIX}"
+
+    def segment_paths(self) -> List[pathlib.Path]:
+        """All segment files, ordered by their first sequence number."""
+        return sorted(self.directory.glob(f"{SEGMENT_PREFIX}*{SEGMENT_SUFFIX}"))
+
+    def wal_bytes(self) -> int:
+        """Total size of all segment files on disk."""
+        return sum(path.stat().st_size for path in self.segment_paths())
+
+    def statistics(self) -> Dict[str, Any]:
+        return {
+            "directory": str(self.directory),
+            "fsync_policy": self.fsync_policy,
+            "segments": len(self.segment_paths()),
+            "wal_bytes": self.wal_bytes(),
+            "appends": self.appends,
+            "syncs": self.syncs,
+            "rotations": self.rotations,
+        }
+
+    # ----------------------------------------------------------------- appends
+
+    def append(self, entry: WalEntry) -> Tuple[pathlib.Path, int, int]:
+        """Append one entry as a JSON line (rotating segments as needed).
+
+        Returns the entry's location ``(segment_path, offset, length)`` so
+        callers that need random access later (the gateway's response
+        journal) can index it instead of rescanning the log.
+        """
+        # The line's envelope is assembled from pre-encoded pieces and only
+        # the payload runs through the JSON encoder (null transaction ids
+        # omitted): this path rides every logged database mutation, so each
+        # avoidable microsecond shows up directly in the fsync-policy
+        # overhead bench.  The result is a plain JSON object line, identical
+        # to what ``json.dumps(entry.to_dict())`` would produce.
+        tail = (b"}\n" if entry.transaction_id is None
+                else b',"transaction_id":%d}\n' % entry.transaction_id)
+        data = (b'{"sequence":%d,"operation":%s,"table":%s,"payload":%s'
+                % (entry.sequence, _encoded_name(entry.operation),
+                   _encoded_name(entry.table),
+                   _ENTRY_ENCODER.encode(entry.payload).encode("utf-8"))) + tail
+        with self._lock:
+            if (self._current is not None
+                    and self._current_bytes >= self.segment_max_bytes):
+                self._close_handle()
+                self._current = None
+                self.rotations += 1
+            if self._handle is None:
+                if self._current is None:
+                    self._current = self.directory / self._segment_name(entry.sequence)
+                self._handle = open(self._current, "ab")
+                self._current_bytes = self._current.stat().st_size
+            location = (self._current, self._current_bytes, len(data))
+            self._handle.write(data)
+            # Only the per-append policy pays a syscall here; ``batch`` and
+            # ``never`` leave the line in the userspace buffer until the next
+            # commit boundary (sync/rotation/close) or read flushes it.
+            if self.fsync_policy == FSYNC_ALWAYS:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                self.syncs += 1
+            self._current_bytes += len(data)
+            self.appends += 1
+            return location
+
+    def flush(self) -> None:
+        """Push buffered appends to the OS (no fsync) so readers see them."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+
+    def sync(self) -> None:
+        """Flush and fsync the active segment (a commit boundary).
+
+        Under ``never`` the buffer is still flushed to the OS (so other
+        readers observe the entries) but the fsync is skipped.
+        """
+        with self._lock:
+            if self._handle is None:
+                return
+            self._handle.flush()
+            if self.fsync_policy != FSYNC_NEVER:
+                os.fsync(self._handle.fileno())
+                self.syncs += 1
+
+    def _close_handle(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            if self.fsync_policy != FSYNC_NEVER:
+                os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._close_handle()
+
+    # ------------------------------------------------------------------- reads
+
+    def read_entries(self, since: int = 0) -> Tuple[List[WalEntry], int]:
+        """All decodable entries with sequence > ``since``, in order.
+
+        Returns ``(entries, torn_lines_dropped)``.  A crash can tear at most
+        the final line of the final segment, so exactly that line may fail to
+        decode and is dropped; an undecodable or out-of-order line anywhere
+        else raises :class:`~repro.errors.WalCorruptionError`.
+        """
+        entries: List[WalEntry] = []
+        torn = 0
+        # Buffered appends (batch/never policies) must be visible to the
+        # read — a journaled-then-evicted response is answerable even
+        # before the next fsync boundary.
+        self.flush()
+        segments = self.segment_paths()
+        last_sequence = since
+        for segment_index, segment in enumerate(segments):
+            lines = segment.read_bytes().split(b"\n")
+            if lines and lines[-1] == b"":
+                lines.pop()
+            for line_index, raw in enumerate(lines):
+                is_final_line = (segment_index == len(segments) - 1
+                                 and line_index == len(lines) - 1)
+                try:
+                    entry = WalEntry.from_dict(json.loads(raw.decode("utf-8")))
+                except (ValueError, KeyError, UnicodeDecodeError) as exc:
+                    if is_final_line:
+                        torn += 1
+                        break
+                    raise WalCorruptionError(
+                        f"undecodable WAL entry at {segment.name}:{line_index + 1}"
+                    ) from exc
+                if entries and entry.sequence <= last_sequence:
+                    raise WalCorruptionError(
+                        f"out-of-order WAL entry {entry.sequence} after "
+                        f"{last_sequence} at {segment.name}:{line_index + 1}"
+                    )
+                last_sequence = entry.sequence
+                if entry.sequence > since:
+                    entries.append(entry)
+        return entries, torn
+
+    # --------------------------------------------------------------- truncation
+
+    def truncate(self, checkpoint_sequence: int) -> int:
+        """Delete segments holding only entries ≤ ``checkpoint_sequence``.
+
+        Returns the number of segments removed.  Called after the manifest
+        already records the checkpoint, so losing these files is safe; a
+        segment straddling the boundary is kept whole (recovery skips the
+        already-checkpointed prefix by sequence).
+        """
+        removed = 0
+        with self._lock:
+            self._close_handle()
+            segments = self.segment_paths()
+            for index, segment in enumerate(segments):
+                if index + 1 < len(segments):
+                    # All entries here precede the next segment's first
+                    # sequence, readable from its file name.
+                    next_first = int(segments[index + 1].name[
+                        len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)])
+                    fully_covered = next_first - 1 <= checkpoint_sequence
+                else:
+                    last = self._last_sequence_in(segment)
+                    fully_covered = last is not None and last <= checkpoint_sequence
+                if fully_covered:
+                    segment.unlink()
+                    removed += 1
+                else:
+                    break
+            remaining = self.segment_paths()
+            self._current = remaining[-1] if remaining else None
+            self._current_bytes = (self._current.stat().st_size
+                                   if self._current is not None else 0)
+        return removed
+
+    @staticmethod
+    def _last_sequence_in(segment: pathlib.Path) -> Optional[int]:
+        last: Optional[int] = None
+        for raw in segment.read_bytes().split(b"\n"):
+            if not raw:
+                continue
+            try:
+                last = int(json.loads(raw.decode("utf-8"))["sequence"])
+            except (ValueError, KeyError, UnicodeDecodeError):
+                break  # torn tail; entries before it still count
+        return last
+
+
+# ---------------------------------------------------------------------------
+# Manifest
+# ---------------------------------------------------------------------------
+
+
+def _manifest_path(state_dir: pathlib.Path) -> pathlib.Path:
+    return state_dir / MANIFEST_NAME
+
+
+def read_manifest(state_dir: PathLike) -> Optional[Dict[str, Any]]:
+    """The checkpoint manifest of a state directory, or None when absent."""
+    path = _manifest_path(pathlib.Path(state_dir))
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise RecoveryError(f"unreadable manifest at {path}") from exc
+    if payload.get("manifest_version") != MANIFEST_VERSION:
+        raise RecoveryError(
+            f"unsupported manifest version {payload.get('manifest_version')!r}")
+    return payload
+
+
+def _write_manifest(state_dir: pathlib.Path, payload: Dict[str, Any]) -> None:
+    payload = dict(payload, manifest_version=MANIFEST_VERSION)
+    atomic_write_text(_manifest_path(state_dir),
+                      json.dumps(payload, indent=2, sort_keys=True))
+
+
+# ---------------------------------------------------------------------------
+# Checkpointing
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CheckpointResult:
+    """What one checkpoint did."""
+
+    checkpoint_sequence: int
+    snapshot_path: pathlib.Path
+    segments_removed: int
+    checkpoint_count: int
+    wal_bytes: int
+
+    def to_dict(self) -> dict:
+        return {
+            "checkpoint_sequence": self.checkpoint_sequence,
+            "snapshot_path": str(self.snapshot_path),
+            "segments_removed": self.segments_removed,
+            "checkpoint_count": self.checkpoint_count,
+            "wal_bytes": self.wal_bytes,
+        }
+
+
+def checkpoint_database(database: Database, state_dir: PathLike) -> CheckpointResult:
+    """Atomically snapshot ``database`` into ``state_dir`` and truncate its WAL.
+
+    The snapshot lands via temp-file + ``os.replace`` (a crash mid-write
+    never corrupts the previous snapshot), the manifest records the
+    checkpoint sequence, and only then are fully-covered WAL segments
+    deleted.  Recovery = the manifest's snapshot + the WAL entries past its
+    ``checkpoint_sequence``.
+    """
+    state_path = pathlib.Path(state_dir)
+    state_path.mkdir(parents=True, exist_ok=True)
+    sequence = database.wal.last_sequence
+    previous = read_manifest(state_path) or {}
+    database.wal.sync()  # entries being truncated must be durable first
+    snapshot_name = f"snapshot-{sequence:016d}.json"
+    save_database(database, state_path / snapshot_name)
+    _write_manifest(state_path, {
+        "name": database.name,
+        "checkpoint_sequence": sequence,
+        "snapshot": snapshot_name,
+        "checkpoints": int(previous.get("checkpoints", 0)) + 1,
+    })
+    # The manifest now supersedes older snapshots and covered segments.
+    for stale in state_path.glob("snapshot-*.json"):
+        if stale.name != snapshot_name:
+            stale.unlink()
+    backend = database.wal.backend
+    segments_before = len(backend.segment_paths()) if backend is not None else 0
+    database.wal.truncate(sequence)  # a backend also drops covered segments
+    segments_after = len(backend.segment_paths()) if backend is not None else 0
+    return CheckpointResult(
+        checkpoint_sequence=sequence,
+        snapshot_path=state_path / snapshot_name,
+        segments_removed=segments_before - segments_after,
+        checkpoint_count=int(previous.get("checkpoints", 0)) + 1,
+        wal_bytes=backend.wal_bytes() if backend is not None else 0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Recovery
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RecoveryResult:
+    """A recovered database plus how the recovery went."""
+
+    database: Database
+    checkpoint_sequence: int
+    snapshot_loaded: bool
+    entries_replayed: int
+    torn_entries_dropped: int
+    recovery_seconds: float
+    wal_bytes: int
+    checkpoint_count: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.database.name,
+            "tables": {name: len(self.database.table(name))
+                       for name in sorted(self.database.table_names)},
+            "views": sorted(self.database.view_names),
+            "checkpoint_sequence": self.checkpoint_sequence,
+            "snapshot_loaded": self.snapshot_loaded,
+            "entries_replayed": self.entries_replayed,
+            "torn_entries_dropped": self.torn_entries_dropped,
+            "recovery_seconds": self.recovery_seconds,
+            "wal_bytes": self.wal_bytes,
+            "checkpoint_count": self.checkpoint_count,
+        }
+
+
+def replay_entry(database: Database, entry: WalEntry) -> None:
+    """Re-apply one logged operation to ``database`` (without re-logging it)."""
+    payload = entry.payload
+    operation = entry.operation
+    if operation == "create_table":
+        database.create_table(entry.table, Schema.from_dict(payload["schema"]),
+                              payload.get("row_data", ()))
+    elif operation == "drop_table":
+        database.drop_table(entry.table)
+    elif operation == "insert":
+        database.insert(entry.table, payload["row"])
+    elif operation == "update":
+        if "key" in payload:
+            database.update_by_key(entry.table, payload["key"], payload["updates"])
+        else:
+            database.update_where(entry.table,
+                                  Predicate.from_dict(payload["predicate"]),
+                                  payload["updates"])
+    elif operation == "delete":
+        if "key" in payload:
+            database.delete_by_key(entry.table, payload["key"])
+        else:
+            database.delete_where(entry.table,
+                                  Predicate.from_dict(payload["predicate"]))
+    elif operation == "replace":
+        if "row_data" not in payload:
+            raise RecoveryError(
+                f"replace entry {entry.sequence} for table {entry.table!r} "
+                f"carries no row data (written by a pre-durability build?)")
+        database.replace_table(entry.table, payload["row_data"])
+    elif operation == "apply_diff":
+        if "diff" not in payload:
+            raise RecoveryError(
+                f"apply_diff entry {entry.sequence} for table {entry.table!r} "
+                f"carries no diff payload")
+        database.apply_table_diff(entry.table, TableDiff.from_dict(payload["diff"]))
+    elif operation == "create_index":
+        database.create_index(entry.table, payload["columns"])
+    elif operation == "register_view":
+        database.register_view(entry.table, Query.from_dict(payload["query"]))
+    else:
+        raise RecoveryError(
+            f"cannot replay unknown WAL operation {operation!r} "
+            f"(sequence {entry.sequence})")
+
+
+def recover(state_dir: PathLike, fsync_policy: str = FSYNC_BATCH,
+            segment_max_bytes: int = 1_000_000) -> RecoveryResult:
+    """Rebuild a database from a durable state directory.
+
+    Loads the manifest's snapshot (if any), replays every WAL entry past the
+    checkpoint sequence, and re-attaches a live backend so the recovered
+    database keeps journaling where the crashed process stopped.  The torn
+    tail a crash can leave (one partial final line) is dropped; real
+    corruption raises.
+    """
+    started = time.perf_counter()
+    state_path = pathlib.Path(state_dir)
+    if not state_path.exists():
+        raise RecoveryError(f"no state directory at {state_path}")
+    manifest = read_manifest(state_path)
+    if manifest is None:
+        raise RecoveryError(
+            f"no manifest at {_manifest_path(state_path)}; not a durable "
+            f"state directory")
+    checkpoint_sequence = int(manifest.get("checkpoint_sequence", 0))
+    snapshot_name = manifest.get("snapshot")
+    snapshot_loaded = False
+    if snapshot_name:
+        snapshot_path = state_path / snapshot_name
+        if not snapshot_path.exists():
+            raise RecoveryError(f"manifest names missing snapshot {snapshot_path}")
+        database = load_database(snapshot_path)
+        snapshot_loaded = True
+    else:
+        database = Database(manifest.get("name", state_path.name))
+    backend = JsonlWalBackend(state_path / WAL_DIR_NAME, fsync_policy=fsync_policy,
+                              segment_max_bytes=segment_max_bytes)
+    entries, torn = backend.read_entries(since=checkpoint_sequence)
+    torn += backend.torn_lines_repaired  # amputated at open, before the read
+    with database.wal.suspended():
+        for entry in entries:
+            try:
+                replay_entry(database, entry)
+            except RecoveryError:
+                raise
+            except Exception as exc:
+                raise RecoveryError(
+                    f"replaying WAL entry {entry.sequence} "
+                    f"({entry.operation} on {entry.table!r}) failed: {exc}"
+                ) from exc
+    database.wal.restore(entries, checkpoint_sequence)
+    database.wal.attach_backend(backend)
+    return RecoveryResult(
+        database=database,
+        checkpoint_sequence=checkpoint_sequence,
+        snapshot_loaded=snapshot_loaded,
+        entries_replayed=len(entries),
+        torn_entries_dropped=torn,
+        recovery_seconds=time.perf_counter() - started,
+        wal_bytes=backend.wal_bytes(),
+        checkpoint_count=int(manifest.get("checkpoints", 0)),
+    )
+
+
+def open_durable_database(name: str, state_dir: PathLike,
+                          fsync_policy: str = FSYNC_BATCH,
+                          segment_max_bytes: int = 1_000_000) -> Database:
+    """Create a new durable database in ``state_dir``, or recover the one
+    already there (matching names enforced)."""
+    state_path = pathlib.Path(state_dir)
+    if read_manifest(state_path) is not None:
+        result = recover(state_path, fsync_policy=fsync_policy,
+                         segment_max_bytes=segment_max_bytes)
+        if result.database.name != name:
+            raise RecoveryError(
+                f"state directory {state_path} holds database "
+                f"{result.database.name!r}, not {name!r}")
+        return result.database
+    state_path.mkdir(parents=True, exist_ok=True)
+    backend = JsonlWalBackend(state_path / WAL_DIR_NAME, fsync_policy=fsync_policy,
+                              segment_max_bytes=segment_max_bytes)
+    database = Database(name, wal_backend=backend)
+    _write_manifest(state_path, {
+        "name": name,
+        "checkpoint_sequence": 0,
+        "snapshot": None,
+        "checkpoints": 0,
+    })
+    return database

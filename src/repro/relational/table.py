@@ -556,19 +556,27 @@ class Table:
     # ------------------------------------------------------------ serialisation
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "name": self.name,
             "schema": self.schema.to_dict(),
             "rows": [row.to_dict() for row in self._rows],
         }
+        if self._secondary_indexes:
+            # Persist the column sets (not the buckets — those rebuild) so a
+            # reloaded table keeps its Eq fast path.
+            payload["indexes"] = [list(columns) for columns in self._secondary_indexes]
+        return payload
 
     @staticmethod
     def from_dict(payload: dict) -> "Table":
-        return Table(
+        table = Table(
             name=payload["name"],
             schema=Schema.from_dict(payload["schema"]),
             rows=payload.get("rows", ()),
         )
+        for columns in payload.get("indexes", ()):
+            table.add_index(columns)
+        return table
 
     def pretty(self, max_rows: int = 20) -> str:
         """A plain-text rendering of the table, used by examples and reports."""

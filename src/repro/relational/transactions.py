@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.errors import TransactionError
 from repro.relational.table import Table
@@ -32,12 +32,17 @@ class TransactionManager:
     nested ``begin`` rejected explicitly.
     """
 
-    def __init__(self, tables: Dict[str, Table]):
+    def __init__(self, tables: Dict[str, Table],
+                 on_restore: Optional[Callable[[str, Table], None]] = None):
         self._tables = tables
         self._counter = itertools.count(1)
         self._current: Optional[_TransactionRecord] = None
         self._committed = 0
         self._rolled_back = 0
+        #: Called with ``(name, table)`` after a rollback restored a table
+        #: whose contents had actually changed — the database journals the
+        #: restore so WAL replay reproduces the rolled-back state.
+        self._on_restore = on_restore
 
     @property
     def in_transaction(self) -> bool:
@@ -72,11 +77,16 @@ class TransactionManager:
         if not self.in_transaction:
             raise TransactionError("no active transaction to roll back")
         record = self._current
+        # Deactivate before restoring so the journalled restores carry no
+        # transaction id (they happen *after* the transaction, logically).
+        self._current = None
         for name, snapshot in record.snapshots.items():
             if name in self._tables:
+                changed = self._tables[name] != snapshot
                 self._tables[name].replace_all(row.to_dict() for row in snapshot)
+                if changed and self._on_restore is not None:
+                    self._on_restore(name, self._tables[name])
         record.active = False
-        self._current = None
         self._rolled_back += 1
         return record.transaction_id
 

@@ -3,16 +3,27 @@
 Every mutating operation executed through a :class:`~repro.relational.database.Database`
 is appended to a WAL entry.  The log serves three purposes in the reproduction:
 
-* recovery — a database can be rebuilt by replaying the log from empty;
+* recovery — a database can be rebuilt by replaying the log from empty (or,
+  after a checkpoint, from the checkpoint snapshot plus the entries since);
 * local audit — the peer-side complement to the on-chain audit trail;
 * benchmarking — operation counts per experiment are read from the log.
+
+The log itself is in-memory; attaching a *backend* (see
+:class:`repro.relational.durability.JsonlWalBackend`) mirrors every appended
+entry to disk so the log survives a process crash.  Checkpointing truncates
+the in-memory prefix but records the ``checkpoint_sequence`` at which it was
+cut, so a reader asking for entries below it gets a typed
+:class:`~repro.errors.WalTruncatedError` instead of a silently incomplete
+tail.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+import contextlib
+from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import WalTruncatedError
 
 
 @dataclass(frozen=True)
@@ -25,7 +36,8 @@ class WalEntry:
         Monotonically increasing sequence number.
     operation:
         ``"create_table" | "insert" | "update" | "delete" | "replace" |
-        "apply_diff" | "drop_table"``.
+        "apply_diff" | "drop_table" | "create_index" | "register_view" |
+        "response"``.
     table:
         Target table name.
     payload:
@@ -49,26 +61,111 @@ class WalEntry:
             "transaction_id": self.transaction_id,
         }
 
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "WalEntry":
+        return WalEntry(
+            sequence=int(payload["sequence"]),
+            operation=payload["operation"],
+            table=payload["table"],
+            payload=dict(payload.get("payload", {})),
+            transaction_id=payload.get("transaction_id"),
+        )
+
 
 class WriteAheadLog:
-    """An append-only, in-memory operation log."""
+    """An append-only operation log, optionally mirrored to a disk backend.
 
-    def __init__(self) -> None:
+    ``backend`` is any object with ``append(entry)``, ``sync()``,
+    ``truncate(checkpoint_sequence)`` and ``close()`` — in practice a
+    :class:`~repro.relational.durability.JsonlWalBackend`.  Without one the
+    log is purely in-memory (the seed behaviour).
+    """
+
+    def __init__(self, backend: Optional["WalBackend"] = None) -> None:  # noqa: F821
         self._entries: List[WalEntry] = []
-        self._counter = itertools.count(1)
+        self._next_sequence = 1
+        self._checkpoint_sequence = 0
+        self._backend = backend
+
+    @property
+    def backend(self) -> Optional["WalBackend"]:  # noqa: F821
+        return self._backend
+
+    def attach_backend(self, backend: "WalBackend") -> None:  # noqa: F821
+        """Mirror future appends to ``backend`` (used after recovery)."""
+        self._backend = backend
+
+    @property
+    def durable(self) -> bool:
+        """True when entries are mirrored to a disk backend."""
+        return self._backend is not None
+
+    @property
+    def checkpoint_sequence(self) -> int:
+        """The sequence number up to (and including) which the log was
+        truncated by the last checkpoint; ``0`` when never truncated."""
+        return self._checkpoint_sequence
+
+    @property
+    def last_sequence(self) -> int:
+        """The sequence number of the most recently appended entry (or of the
+        checkpoint cut, when everything since was truncated)."""
+        return self._next_sequence - 1
 
     def append(self, operation: str, table: str, payload: Mapping[str, Any],
                transaction_id: Optional[int] = None) -> WalEntry:
-        """Append one entry and return it."""
+        """Append one entry (mirroring it to the backend) and return it."""
         entry = WalEntry(
-            sequence=next(self._counter),
+            sequence=self._next_sequence,
             operation=operation,
             table=table,
             payload=dict(payload),
             transaction_id=transaction_id,
         )
+        self._next_sequence += 1
         self._entries.append(entry)
+        if self._backend is not None:
+            self._backend.append(entry)
         return entry
+
+    def sync(self) -> None:
+        """Force buffered backend writes to stable storage (fsync)."""
+        if self._backend is not None:
+            self._backend.sync()
+
+    def close(self) -> None:
+        if self._backend is not None:
+            self._backend.close()
+
+    @contextlib.contextmanager
+    def suspended(self) -> Iterator[None]:
+        """Silence the log: appends inside the context are dropped entirely.
+
+        Recovery replays operations through the normal ``Database`` methods;
+        those appends would duplicate entries that already exist on disk, so
+        the replay loop runs inside this context and the recovered log state
+        is restored afterwards via :meth:`restore`.
+        """
+        original_append = self.append
+
+        def _dropped(operation: str, table: str, payload: Mapping[str, Any],
+                     transaction_id: Optional[int] = None) -> WalEntry:
+            return WalEntry(0, operation, table, dict(payload), transaction_id)
+
+        self.append = _dropped  # type: ignore[method-assign]
+        try:
+            yield
+        finally:
+            self.append = original_append  # type: ignore[method-assign]
+
+    def restore(self, entries: List[WalEntry], checkpoint_sequence: int) -> None:
+        """Install recovered log state: the surviving on-disk entries and the
+        checkpoint sequence they follow.  The next append continues after the
+        highest sequence seen."""
+        self._entries = list(entries)
+        self._checkpoint_sequence = checkpoint_sequence
+        top = max((entry.sequence for entry in entries), default=checkpoint_sequence)
+        self._next_sequence = max(top, checkpoint_sequence) + 1
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -85,7 +182,18 @@ class WriteAheadLog:
         return tuple(entry for entry in self._entries if entry.table == table)
 
     def entries_since(self, sequence: int) -> Tuple[WalEntry, ...]:
-        """All entries with a sequence number strictly greater than ``sequence``."""
+        """All entries with a sequence number strictly greater than ``sequence``.
+
+        Raises :class:`~repro.errors.WalTruncatedError` when ``sequence`` lies
+        below the recorded checkpoint: the truncated prefix is gone, so the
+        returned tail would silently miss operations.
+        """
+        if sequence < self._checkpoint_sequence:
+            raise WalTruncatedError(
+                f"entries since {sequence} were truncated at checkpoint "
+                f"sequence {self._checkpoint_sequence}; replay from the "
+                f"checkpoint snapshot instead"
+            )
         return tuple(entry for entry in self._entries if entry.sequence > sequence)
 
     def operation_counts(self) -> Dict[str, int]:
@@ -95,6 +203,25 @@ class WriteAheadLog:
             counts[entry.operation] = counts.get(entry.operation, 0) + 1
         return counts
 
-    def truncate(self) -> None:
-        """Discard all entries (used after checkpointing in tests)."""
-        self._entries = []
+    def truncate(self, checkpoint_sequence: Optional[int] = None) -> int:
+        """Discard entries up to ``checkpoint_sequence`` (default: all of
+        them), recording where the cut happened.
+
+        Returns the recorded checkpoint sequence.  Used after a checkpoint
+        snapshot has captured the truncated prefix; a durable backend drops
+        the segment files that hold only truncated entries.
+        """
+        if checkpoint_sequence is None:
+            checkpoint_sequence = self.last_sequence
+        if checkpoint_sequence < self._checkpoint_sequence:
+            raise WalTruncatedError(
+                f"cannot move the checkpoint backwards "
+                f"({checkpoint_sequence} < {self._checkpoint_sequence})"
+            )
+        self._entries = [entry for entry in self._entries
+                         if entry.sequence > checkpoint_sequence]
+        self._checkpoint_sequence = checkpoint_sequence
+        self._next_sequence = max(self._next_sequence, checkpoint_sequence + 1)
+        if self._backend is not None:
+            self._backend.truncate(checkpoint_sequence)
+        return checkpoint_sequence

@@ -1,0 +1,353 @@
+"""Crash-simulation recovery tests: kill at arbitrary WAL offsets, recover,
+fingerprint-compare against an uncrashed oracle.
+
+Three layers of oracle:
+
+* **Relational** — a scripted operation sequence runs on a durable database;
+  "crashes" are simulated by truncating the on-disk WAL at arbitrary byte
+  offsets (and at segment boundaries, and around checkpoints).  Recovery
+  must rebuild exactly the state an in-memory oracle reaches after the
+  surviving prefix of complete entries — byte-identical table fingerprints.
+* **Gateway responses** — open-loop-ish traffic through a ``state_dir``
+  gateway; the process "dies" (the object is abandoned, never closed) and a
+  freshly constructed gateway must answer ``get_response`` identically for
+  every response that was terminal (and, under the batched policy, synced)
+  before the crash.
+* **Full peer state** — every peer database gets a durable WAL backend and
+  an initial checkpoint; after the crash each is recovered from disk and
+  must fingerprint-match the uncrashed system's tables.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.scenario import DOCTOR_RESEARCHER_TABLE, build_paper_scenario
+from repro.gateway import SharingGateway
+from repro.gateway.requests import ReadViewRequest, UpdateEntryRequest
+from repro.relational import Column, DataType, Database, Schema
+from repro.relational.durability import (
+    JsonlWalBackend,
+    WAL_DIR_NAME,
+    checkpoint_database,
+    open_durable_database,
+    recover,
+)
+
+pytestmark = pytest.mark.integration
+
+SCHEMA = Schema(
+    [Column("id", DataType.INTEGER, nullable=False),
+     Column("name", DataType.STRING),
+     Column("score", DataType.INTEGER)],
+    primary_key=("id",),
+)
+
+
+def _script():
+    """A deterministic op sequence, one WAL entry per op (so entry counts
+    map 1:1 to script prefixes)."""
+    from repro.relational.predicates import Gt, Lt
+    from repro.relational.query import Scan, Select
+
+    ops = [lambda db: db.create_table("t", SCHEMA)]
+    for i in range(12):
+        ops.append(lambda db, i=i: db.insert(
+            "t", {"id": i, "name": f"row-{i}", "score": i * 3}))
+    ops.append(lambda db: db.create_index("t", ["name"]))
+    for i in range(6):
+        ops.append(lambda db, i=i: db.update_by_key(
+            "t", (i,), {"score": 100 + i}))
+    ops.append(lambda db: db.delete_by_key("t", (11,)))
+    ops.append(lambda db: db.update_where("t", Gt("score", 99), {"name": "hot"}))
+    ops.append(lambda db: db.delete_where("t", Lt("id", 2)))
+    ops.append(lambda db: db.register_view("top", Select(Scan("t"), Gt("score", 50))))
+    ops.append(lambda db: db.replace_table(
+        "t", [{"id": 90 + i, "name": f"fresh-{i}", "score": i} for i in range(5)]))
+    for i in range(4):
+        ops.append(lambda db, i=i: db.insert(
+            "t", {"id": 50 + i, "name": f"late-{i}", "score": i}))
+    return ops
+
+
+def _oracle_state(n_ops):
+    """The database an uncrashed run reaches after the first ``n_ops``."""
+    database = Database("peer")
+    for op in _script()[:n_ops]:
+        op(database)
+    return database
+
+
+def _same_state(first: Database, second: Database) -> bool:
+    if set(first.table_names) != set(second.table_names):
+        return False
+    for name in first.table_names:
+        if first.table(name).fingerprint() != second.table(name).fingerprint():
+            return False
+        if set(first.table(name).indexed_columns) != set(
+                second.table(name).indexed_columns):
+            return False
+    return {v: first.view_definition(v).to_dict() for v in first.view_names} == \
+           {v: second.view_definition(v).to_dict() for v in second.view_names}
+
+
+def _run_durable(state_dir, segment_max_bytes=1_000_000, checkpoint_after=None):
+    database = open_durable_database("peer", state_dir,
+                                     segment_max_bytes=segment_max_bytes)
+    for index, op in enumerate(_script()):
+        op(database)
+        if checkpoint_after is not None and index + 1 == checkpoint_after:
+            database.checkpoint(state_dir)
+    database.wal.sync()
+    database.wal.close()
+    return database
+
+
+class TestCrashAtArbitraryWalOffsets:
+    def test_every_truncation_point_recovers_a_consistent_prefix(self, tmp_path):
+        """Truncate the final WAL segment at every byte offset (stride-
+        sampled) — recovery must always equal the oracle at the surviving
+        complete-entry prefix, dropping at most the torn tail."""
+        origin = tmp_path / "origin"
+        live = _run_durable(origin)
+        total_ops = len(_script())
+        segment = sorted((origin / WAL_DIR_NAME).glob("wal-*.jsonl"))[-1]
+        size = segment.stat().st_size
+        tested = 0
+        for offset in list(range(0, size, max(1, size // 23))) + [size]:
+            crashed = tmp_path / f"crash-{offset}"
+            shutil.copytree(origin, crashed)
+            target = sorted((crashed / WAL_DIR_NAME).glob("wal-*.jsonl"))[-1]
+            with open(target, "r+b") as handle:
+                handle.truncate(offset)
+            result = recover(crashed)
+            assert result.torn_entries_dropped <= 1
+            oracle = _oracle_state(result.entries_replayed)
+            assert _same_state(result.database, oracle), (
+                f"divergence after crash at WAL offset {offset}")
+            tested += 1
+        assert tested > 10
+        # The uncrashed end state matches the full oracle too.
+        assert _same_state(live, _oracle_state(total_ops))
+
+    def test_crash_at_segment_boundaries(self, tmp_path):
+        """With forced rotation, dropping whole trailing segments must
+        recover the prefix that remains."""
+        origin = tmp_path / "origin"
+        _run_durable(origin, segment_max_bytes=400)
+        segments = sorted((origin / WAL_DIR_NAME).glob("wal-*.jsonl"))
+        assert len(segments) >= 3, "rotation did not happen; shrink the threshold"
+        for keep in range(1, len(segments)):
+            crashed = tmp_path / f"crash-seg-{keep}"
+            shutil.copytree(origin, crashed)
+            for stale in sorted((crashed / WAL_DIR_NAME).glob("wal-*.jsonl"))[keep:]:
+                stale.unlink()
+            result = recover(crashed)
+            assert _same_state(result.database,
+                               _oracle_state(result.entries_replayed))
+
+
+class TestCrashAroundCheckpoint:
+    CHECKPOINT_AFTER = 16
+
+    def test_crash_before_checkpoint(self, tmp_path):
+        origin = tmp_path / "origin"
+        _run_durable(origin)  # never checkpointed
+        result = recover(origin)
+        assert not result.snapshot_loaded
+        assert _same_state(result.database, _oracle_state(len(_script())))
+
+    def test_crash_inside_checkpoint_snapshot_written_manifest_not(self, tmp_path):
+        """Snapshot file landed but the manifest replace never happened: the
+        old manifest still governs, the WAL is intact, recovery is the full
+        replay — the stray snapshot is ignored."""
+        origin = tmp_path / "origin"
+        _run_durable(origin)
+        stray = origin / "snapshot-9999999999999999.json"
+        stray.write_text("{\"torn\": true}", encoding="utf-8")
+        (origin / ".snapshot-x.json.tmp.123").write_text("torn", encoding="utf-8")
+        result = recover(origin)
+        assert not result.snapshot_loaded
+        assert _same_state(result.database, _oracle_state(len(_script())))
+
+    def test_crash_inside_checkpoint_before_segment_deletion(self, tmp_path):
+        """Manifest replaced but the covered segments survived the crash:
+        recovery must skip the already-checkpointed prefix by sequence, not
+        replay it twice."""
+        origin = tmp_path / "origin"
+        pre = tmp_path / "pre"
+        database = open_durable_database("peer", origin, segment_max_bytes=400)
+        script = _script()
+        for op in script[:self.CHECKPOINT_AFTER]:
+            op(database)
+        database.wal.sync()
+        shutil.copytree(origin, pre)  # segments as they were pre-checkpoint
+        database.checkpoint(origin)
+        for op in script[self.CHECKPOINT_AFTER:]:
+            op(database)
+        database.wal.sync()
+        database.wal.close()
+        # Resurrect the deleted (covered) segments next to the kept ones.
+        for old in sorted((pre / WAL_DIR_NAME).glob("wal-*.jsonl")):
+            target = origin / WAL_DIR_NAME / old.name
+            if not target.exists():
+                shutil.copy(old, target)
+        result = recover(origin)
+        assert result.snapshot_loaded
+        assert _same_state(result.database, _oracle_state(len(script)))
+
+    def test_crash_after_checkpoint(self, tmp_path):
+        origin = tmp_path / "origin"
+        _run_durable(origin, checkpoint_after=self.CHECKPOINT_AFTER)
+        result = recover(origin)
+        assert result.snapshot_loaded
+        assert result.checkpoint_sequence == self.CHECKPOINT_AFTER
+        assert _same_state(result.database, _oracle_state(len(_script())))
+
+    def test_crash_with_torn_tail_after_checkpoint(self, tmp_path):
+        origin = tmp_path / "origin"
+        _run_durable(origin, checkpoint_after=self.CHECKPOINT_AFTER)
+        segment = sorted((origin / WAL_DIR_NAME).glob("wal-*.jsonl"))[-1]
+        with open(segment, "ab") as handle:
+            handle.write(b'{"sequence": 999, "operation":')
+        result = recover(origin)
+        assert result.torn_entries_dropped == 1
+        assert _same_state(result.database, _oracle_state(len(_script())))
+
+
+class TestEmptyWalRecovery:
+    def test_fresh_state_dir_recovers_empty(self, tmp_path):
+        open_durable_database("peer", tmp_path)
+        result = recover(tmp_path)
+        assert result.entries_replayed == 0
+        assert result.database.table_names == ()
+        assert result.database.name == "peer"
+
+    def test_checkpoint_with_empty_tail(self, tmp_path):
+        database = open_durable_database("peer", tmp_path)
+        database.create_table("t", SCHEMA, [{"id": 1, "name": "a", "score": 1}])
+        database.checkpoint(tmp_path)
+        database.wal.close()
+        result = recover(tmp_path)
+        assert result.snapshot_loaded
+        assert result.entries_replayed == 0
+        assert _same_state(result.database, database)
+
+
+def _update(i):
+    return UpdateEntryRequest(metadata_id=DOCTOR_RESEARCHER_TABLE,
+                              key=("Ibuprofen",),
+                              updates={"mechanism_of_action": f"MeA-{i}"})
+
+
+def _read():
+    return ReadViewRequest(metadata_id=DOCTOR_RESEARCHER_TABLE)
+
+
+class TestGatewayCrashRecovery:
+    def _drive(self, gateway, rounds=4):
+        """Mixed traffic; returns every response that reached terminal."""
+        session = gateway.open_session("researcher")
+        responses = []
+        for i in range(rounds):
+            responses.append(gateway.submit(session, _read()))
+            responses.append(gateway.submit(session, _update(i)))
+            gateway.commit_once()
+        return [r for r in responses if r.terminal]
+
+    def test_always_policy_crash_answers_every_terminal(self, tmp_path):
+        gateway = SharingGateway(
+            build_paper_scenario(SystemConfig.private_chain(1.0)),
+            state_dir=tmp_path, fsync_policy="always")
+        terminals = self._drive(gateway)
+        assert terminals
+        # Crash: the gateway object is abandoned — no close(), no flush.
+        restarted = SharingGateway(
+            build_paper_scenario(SystemConfig.private_chain(1.0)),
+            state_dir=tmp_path)
+        for response in terminals:
+            recovered = restarted.get_response(response.request_id)
+            assert recovered is not None, response.request_id
+            assert recovered.canonical() == response.canonical()
+
+    def test_batch_policy_crash_answers_synced_terminals(self, tmp_path):
+        """Under the batched policy the durable horizon is the last commit
+        boundary: everything terminal at that point must survive; responses
+        finalised after it may be lost but never corrupted."""
+        gateway = SharingGateway(
+            build_paper_scenario(SystemConfig.private_chain(1.0)),
+            state_dir=tmp_path, fsync_policy="batch")
+        synced_terminals = self._drive(gateway)  # commit_once syncs each round
+        # Past the last sync: finalised but possibly still buffered.
+        session = gateway.open_session("researcher")
+        unsynced = [gateway.submit(session, _read()) for _ in range(3)]
+        restarted = SharingGateway(
+            build_paper_scenario(SystemConfig.private_chain(1.0)),
+            state_dir=tmp_path)
+        for response in synced_terminals:
+            recovered = restarted.get_response(response.request_id)
+            assert recovered is not None, response.request_id
+            assert recovered.canonical() == response.canonical()
+        for response in unsynced:
+            recovered = restarted.get_response(response.request_id)
+            assert recovered is None or recovered.canonical() == response.canonical()
+
+    def test_torn_journal_tail_tolerated(self, tmp_path):
+        gateway = SharingGateway(
+            build_paper_scenario(SystemConfig.private_chain(1.0)),
+            state_dir=tmp_path, fsync_policy="always")
+        terminals = self._drive(gateway, rounds=2)
+        journal_dir = tmp_path / "responses"
+        segment = sorted(journal_dir.glob("wal-*.jsonl"))[-1]
+        with open(segment, "ab") as handle:
+            handle.write(b'{"sequence": 424242, "operation": "resp')
+        restarted = SharingGateway(
+            build_paper_scenario(SystemConfig.private_chain(1.0)),
+            state_dir=tmp_path)
+        for response in terminals:
+            recovered = restarted.get_response(response.request_id)
+            assert recovered is not None
+            assert recovered.canonical() == response.canonical()
+
+
+class TestFullPeerStateCrashRecovery:
+    def test_peer_databases_recover_byte_identical(self, tmp_path):
+        """The whole deployment story: every peer database journals to disk
+        (initial checkpoint covers pre-attach state), the gateway journals
+        responses; after a crash both recover byte-identical."""
+        system = build_paper_scenario(SystemConfig.private_chain(1.0))
+        peer_dirs = {}
+        for peer in system.peers:
+            peer_dir = tmp_path / "peers" / peer.name
+            backend = JsonlWalBackend(peer_dir / WAL_DIR_NAME,
+                                      fsync_policy="always")
+            peer.database.wal.attach_backend(backend)
+            checkpoint_database(peer.database, peer_dir)
+            peer_dirs[peer.name] = peer_dir
+        gateway = SharingGateway(system, state_dir=tmp_path / "gateway",
+                                 fsync_policy="always")
+        session = gateway.open_session("researcher")
+        terminals = []
+        for i in range(3):
+            terminals.append(gateway.submit(session, _update(i)))
+            gateway.commit_once()
+        assert all(r.terminal for r in terminals)
+        # Crash.  Recover every peer database from disk and compare against
+        # the uncrashed (live) system, table by table.
+        for peer in system.peers:
+            recovered = recover(peer_dirs[peer.name])
+            live = peer.database
+            assert set(recovered.database.table_names) == set(live.table_names)
+            for name in live.table_names:
+                assert (recovered.database.table(name).fingerprint()
+                        == live.table(name).fingerprint()), (
+                    f"peer {peer.name} table {name} diverged after recovery")
+        restarted = SharingGateway(
+            build_paper_scenario(SystemConfig.private_chain(1.0)),
+            state_dir=tmp_path / "gateway")
+        for response in terminals:
+            assert (restarted.get_response(response.request_id).canonical()
+                    == response.canonical())

@@ -64,6 +64,91 @@ class TestRoundTrip:
         assert set(restored.table_names) == set(doctor_db.table_names)
 
 
+class TestAtomicWrites:
+    def test_failure_mid_write_leaves_previous_copy(self, populated_db, tmp_path,
+                                                    monkeypatch):
+        """A crash mid-write (simulated as fsync blowing up while the temp
+        file is being written) must leave the previous snapshot intact — the
+        in-place write it replaces corrupted the only copy."""
+        import os
+
+        path = save_database(populated_db, tmp_path / "db.json")
+        before = path.read_text(encoding="utf-8")
+        populated_db.update_by_key("people", (1,), {"age": 99})
+
+        def explode(_fd):
+            raise OSError("simulated crash mid-write")
+
+        monkeypatch.setattr(os, "fsync", explode)
+        with pytest.raises(OSError):
+            save_database(populated_db, tmp_path / "db.json")
+        assert path.read_text(encoding="utf-8") == before
+        load_database(path)  # still a complete, parseable snapshot
+
+    def test_failed_replace_leaves_previous_copy(self, populated_db, tmp_path,
+                                                 monkeypatch):
+        import os
+
+        path = save_database(populated_db, tmp_path / "db.json")
+        before = path.read_text(encoding="utf-8")
+
+        def explode(_src, _dst):
+            raise OSError("simulated crash during rename")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError):
+            save_database(populated_db, tmp_path / "db.json")
+        assert path.read_text(encoding="utf-8") == before
+
+    def test_no_temp_files_left_behind(self, populated_db, tmp_path):
+        save_database(populated_db, tmp_path / "db.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["db.json"]
+
+
+class TestIndexRoundTrip:
+    def test_index_columns_survive_save_load(self, populated_db, tmp_path):
+        populated_db.create_index("people", ["city"])
+        populated_db.create_index("people", ["city", "age"])
+        path = save_database(populated_db, tmp_path / "db.json")
+        restored = load_database(path)
+        assert set(restored.table("people").indexed_columns) == {
+            ("city",), ("city", "age")}
+        # The restored index answers lookups (the Eq fast path is live).
+        assert restored.table("people").index_on(("city",)).lookup("Osaka")
+
+    def test_restored_index_registered_with_database(self, populated_db, tmp_path):
+        populated_db.create_index("people", ["city"])
+        path = save_database(populated_db, tmp_path / "db.json")
+        restored = load_database(path)
+        assert restored.index("people", ("city",)) is not None
+
+    def test_unindexed_table_round_trips_without_index_key(self, populated_db,
+                                                           tmp_path):
+        path = save_database(populated_db, tmp_path / "db.json")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert "indexes" not in payload["tables"][0]
+
+
+class TestViewsInIdentityCheck:
+    def test_lost_view_detected(self, populated_db, tmp_path):
+        path = save_database(populated_db, tmp_path / "db.json")
+        restored = load_database(path)
+        restored._views.pop("adults")
+        assert not databases_identical(populated_db, restored)
+
+    def test_changed_view_definition_detected(self, populated_db, tmp_path):
+        from repro.relational.query import Scan
+
+        path = save_database(populated_db, tmp_path / "db.json")
+        restored = load_database(path)
+        restored.register_view("adults", Select(Scan("people"), Gt("age", 99)))
+        assert not databases_identical(populated_db, restored)
+
+    def test_identical_views_pass(self, populated_db, tmp_path):
+        path = save_database(populated_db, tmp_path / "db.json")
+        assert databases_identical(populated_db, load_database(path))
+
+
 class TestErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(RelationalError):
