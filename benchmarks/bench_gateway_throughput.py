@@ -13,21 +13,28 @@ experiment drives the same multi-tenant write workload through
   :meth:`~repro.core.workflow.UpdateCoordinator.commit_entry_batch`,
 
 and reports accepted-writes-per-simulated-second for both, the speedup, the
-read cache hit rate and each tenant's latency p95.  Runnable two ways::
+read cache hit rate and each tenant's latency p95.  It also gates the
+observability layer: the same batched workload with a pipeline tracer
+attached must keep ≥95% of the tracer-off simulated throughput (tracing
+never advances the simulated clock, so the ratio should be exactly 1.0 —
+wall-clock overhead is reported but informational).  Runnable two ways::
 
     python -m pytest benchmarks/bench_gateway_throughput.py   # asserts ≥3×
     python benchmarks/bench_gateway_throughput.py             # prints JSON
+    python benchmarks/bench_gateway_throughput.py --quick     # CI smoke + gates
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import time
 from typing import Dict, List
 
 from repro.config import SystemConfig
 from repro.core.system import MedicalDataSharingSystem
 from repro.gateway import ReadViewRequest, SharingGateway, UpdateEntryRequest
+from repro.obs import Tracer
 from repro.workloads.topology import TopologySpec, build_topology_system
 
 DEFAULT_TENANTS = 8
@@ -131,6 +138,72 @@ def run_gateway_throughput_comparison(tenants: int = DEFAULT_TENANTS,
     }
 
 
+def _run_batched_workload(tenants: int, rounds: int, interval: float,
+                          trace: bool) -> Dict[str, object]:
+    """One batched-gateway run of the shared write workload, timed both on
+    the simulated clock and the wall clock; ``trace`` attaches a pipeline
+    tracer (the thing whose cost is being measured)."""
+    system = _build(tenants, interval)
+    tracer = Tracer(system.simulator.clock) if trace else None
+    gateway = SharingGateway(system, max_batch_size=tenants, tracer=tracer)
+    tables = _tenant_tables(system)
+    sessions = {peer: gateway.open_session(peer) for peer in tables}
+    events = _write_events(tables, rounds)
+    start_sim = system.simulator.clock.now()
+    start_wall = time.perf_counter()
+    for round_index in range(rounds):
+        for event in events:
+            if event["round"] != round_index:
+                continue
+            response = gateway.submit(
+                sessions[event["peer"]],
+                UpdateEntryRequest(metadata_id=event["metadata_id"],
+                                   key=event["key"], updates=event["updates"]))
+            assert response.status is not None
+        gateway.drain()
+    wall_seconds = time.perf_counter() - start_wall
+    sim_seconds = system.simulator.clock.now() - start_sim
+    assert system.all_shared_tables_consistent()
+    return {
+        "writes": len(events),
+        "sim_seconds": sim_seconds,
+        "wall_seconds": wall_seconds,
+        "spans_recorded": len(tracer) if tracer is not None else 0,
+    }
+
+
+def run_tracing_overhead_check(tenants: int = DEFAULT_TENANTS,
+                               rounds: int = DEFAULT_ROUNDS,
+                               interval: float = DEFAULT_INTERVAL) -> Dict[str, object]:
+    """Identical workload, tracer off vs on; gate on simulated throughput.
+
+    The tracer must be zero-cost on the simulated timeline (it only reads
+    the clock), so ``sim_ratio`` — traced throughput over untraced — is the
+    ≤5% overhead gate (``>= 0.95``).  Wall-clock numbers are included for
+    the curious but host-dependent, so nothing asserts on them.
+    """
+    off = _run_batched_workload(tenants, rounds, interval, trace=False)
+    on = _run_batched_workload(tenants, rounds, interval, trace=True)
+    throughput_off = off["writes"] / off["sim_seconds"]
+    throughput_on = on["writes"] / on["sim_seconds"]
+    sim_ratio = throughput_on / throughput_off
+    wall_overhead = ((on["wall_seconds"] - off["wall_seconds"])
+                     / off["wall_seconds"]) if off["wall_seconds"] > 0 else 0.0
+    return {
+        "tenants": tenants,
+        "rounds": rounds,
+        "writes": off["writes"],
+        "sim_throughput_off": throughput_off,
+        "sim_throughput_on": throughput_on,
+        "sim_ratio": sim_ratio,
+        "wall_seconds_off": off["wall_seconds"],
+        "wall_seconds_on": on["wall_seconds"],
+        "wall_overhead": wall_overhead,
+        "spans_recorded": on["spans_recorded"],
+        "within_bound": sim_ratio >= 0.95,
+    }
+
+
 def test_gateway_batched_throughput_vs_sequential(emit):
     """Batched commits must be ≥3× the sequential baseline at 8 tenants."""
     result = run_gateway_throughput_comparison()
@@ -161,12 +234,36 @@ def test_gateway_batch_size_scaling(emit):
     assert throughputs[-1] > throughputs[0]
 
 
+def test_tracing_overhead_within_bound(emit):
+    """Tracing the whole pipeline must keep ≥95% of simulated throughput."""
+    result = run_tracing_overhead_check(rounds=1)
+    emit("E12_tracing_overhead", json.dumps(result, indent=2, sort_keys=True))
+    # The traced run actually traced something ...
+    assert result["spans_recorded"] > 0
+    # ... and cost (at most) 5% of simulated throughput.  The tracer never
+    # advances the simulated clock, so the ratio should be exactly 1.0.
+    assert result["sim_ratio"] >= 0.95
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tenants", type=int, default=DEFAULT_TENANTS)
     parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS)
     parser.add_argument("--interval", type=float, default=DEFAULT_INTERVAL)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: one-round comparison plus the "
+                             "tracing-overhead gate, combined JSON")
     args = parser.parse_args()
+    if args.quick:
+        comparison = run_gateway_throughput_comparison(
+            tenants=args.tenants, rounds=1, interval=args.interval)
+        overhead = run_tracing_overhead_check(
+            tenants=args.tenants, rounds=1, interval=args.interval)
+        print(json.dumps({"throughput": comparison,
+                          "tracing_overhead": overhead},
+                         indent=2, sort_keys=True))
+        return 0 if (comparison["speedup"] >= 3.0
+                     and overhead["within_bound"]) else 1
     result = run_gateway_throughput_comparison(
         tenants=args.tenants, rounds=args.rounds, interval=args.interval)
     print(json.dumps(result, indent=2, sort_keys=True))

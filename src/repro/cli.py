@@ -9,6 +9,8 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro.cli throughput --interval 12 --updates 6
     python -m repro.cli exposure                # fine-grained vs full-record exposure
     python -m repro.cli gateway-loadtest --tenants 8 --duration 30
+    python -m repro.cli trace                   # per-stage self-time + critical path
+    python -m repro.cli metrics                 # unified metrics-registry snapshot
 
 Every command is deterministic; latencies are simulated seconds.  Every
 command also accepts ``--json`` to emit a machine-readable result instead of
@@ -184,7 +186,10 @@ def run_gateway_loadtest(tenants: int = 8, duration: float = 30.0, rate: float =
                          max_queue_depth: Optional[int] = None,
                          state_dir: Optional[str] = None,
                          fsync_policy: Optional[str] = None,
-                         max_responses: Optional[int] = None) -> Dict[str, Any]:
+                         max_responses: Optional[int] = None,
+                         trace: bool = False,
+                         trace_out: Optional[str] = None,
+                         registry: bool = False) -> Dict[str, Any]:
     """Drive open-loop multi-tenant traffic through the gateway; returns metrics.
 
     The engine behind the ``gateway-loadtest`` subcommand (also importable
@@ -196,10 +201,17 @@ def run_gateway_loadtest(tenants: int = 8, duration: float = 30.0, rate: float =
     terminal responses to an on-disk WAL (``fsync_policy`` trades durability
     for latency; ``max_responses`` caps the in-memory response store, with
     journaled responses evicted, not lost).
+
+    ``trace``/``trace_out`` attach a :class:`~repro.obs.Tracer` over the
+    whole pipeline: the result gains a ``trace`` key (the
+    :class:`~repro.obs.TraceAnalyzer` aggregation) and, with ``trace_out``,
+    the raw spans are exported as WAL-envelope JSONL.  ``registry`` adds the
+    gateway's unified :meth:`MetricsRegistry.snapshot` under ``registry``.
     """
     import asyncio
 
     from repro.gateway import AsyncSharingGateway, SharingGateway
+    from repro.obs import Tracer, TraceAnalyzer, write_trace_jsonl
     from repro.workloads.topology import TopologySpec, build_topology_system
     from repro.workloads.traffic import (TrafficGenerator, default_tenant_profiles,
                                          replay_open_loop)
@@ -208,9 +220,11 @@ def run_gateway_loadtest(tenants: int = 8, duration: float = 30.0, rate: float =
         raise ValueError(f"unknown transport {transport!r}: use 'sync' or 'async'")
     system = build_topology_system(TopologySpec(patients=tenants, researchers=0, seed=seed),
                                    SystemConfig.private_chain(interval))
+    tracer = Tracer(system.simulator.clock) if (trace or trace_out) else None
     gateway = SharingGateway(system, max_batch_size=batch_size, default_rate=rate_limit,
                              max_queue_depth=max_queue_depth, state_dir=state_dir,
-                             fsync_policy=fsync_policy, max_responses=max_responses)
+                             fsync_policy=fsync_policy, max_responses=max_responses,
+                             tracer=tracer)
     profiles = default_tenant_profiles(system, request_rate=rate,
                                        read_fraction=read_fraction)
     clock = system.simulator.clock
@@ -251,7 +265,7 @@ def run_gateway_loadtest(tenants: int = 8, duration: float = 30.0, rate: float =
     if async_stats is not None:
         metrics["async_transport"] = async_stats
     writes = metrics["batches"]["writes_committed"]
-    return {
+    result = {
         "tenants": tenants,
         "transport": transport,
         "arrivals": len(arrivals),
@@ -259,6 +273,16 @@ def run_gateway_loadtest(tenants: int = 8, duration: float = 30.0, rate: float =
         "write_throughput": (writes / elapsed) if elapsed > 0 else 0.0,
         "metrics": metrics,
     }
+    if tracer is not None:
+        result["trace"] = TraceAnalyzer.from_tracer(tracer).to_dict()
+        result["trace"]["tracer"] = tracer.statistics()
+        if trace_out:
+            result["trace"]["exported_spans"] = write_trace_jsonl(
+                tracer.spans(), trace_out)
+            result["trace"]["export_path"] = str(trace_out)
+    if registry:
+        result["registry"] = gateway.registry.snapshot()
+    return result
 
 
 def _cmd_gateway_loadtest(args: argparse.Namespace) -> int:
@@ -269,7 +293,8 @@ def _cmd_gateway_loadtest(args: argparse.Namespace) -> int:
             batch_size=args.batch_size, seed=args.seed, rate_limit=args.rate_limit,
             transport=args.transport, max_delay=args.max_delay,
             max_queue_depth=args.max_queue_depth, state_dir=args.state_dir,
-            fsync_policy=args.fsync_policy, max_responses=args.max_responses)
+            fsync_policy=args.fsync_policy, max_responses=args.max_responses,
+            trace=args.trace, trace_out=args.trace_out)
     except ValueError as exc:
         print(f"gateway-loadtest: {exc}", file=sys.stderr)
         return 2
@@ -313,6 +338,92 @@ def _cmd_gateway_loadtest(args: argparse.Namespace) -> int:
         print()
         print(format_table(("tenant", "requests", "mean latency (s)", "p95 (s)"),
                            tenant_rows, title="Per-tenant latency"))
+    if "trace" in result:
+        print()
+        print(_format_stage_table(result["trace"]))
+        if "export_path" in result["trace"]:
+            print(f"\nexported {result['trace']['exported_spans']} spans to "
+                  f"{result['trace']['export_path']}")
+    return 0
+
+
+def _format_stage_table(trace: Dict[str, Any]) -> str:
+    """Render a TraceAnalyzer ``to_dict`` stage breakdown as a table."""
+    rows = []
+    for stage, data in trace["stages"].items():
+        names = ", ".join(sorted(data["spans"])) or "-"
+        rows.append((stage, data["count"], round(data["sim_self"], 4),
+                     round(data["wall_self"] * 1000.0, 3), names))
+    return format_table(
+        ("stage", "spans", "sim self (s)", "wall self (ms)", "span names"),
+        rows, title=f"Pipeline stage self-time ({trace['spans']} spans)")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Trace a gateway load test end to end and report where time goes."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-trace-") as state_dir:
+        # A durable state_dir makes the WAL stage observable too, so the
+        # report covers all five pipeline stages.
+        result = run_gateway_loadtest(
+            tenants=args.tenants, duration=args.duration, seed=args.seed,
+            interval=args.interval, trace=True, trace_out=args.out,
+            state_dir=state_dir)
+    trace = result["trace"]
+    if args.json:
+        _emit_json(trace)
+        return 0
+    print(_format_stage_table(trace))
+    lanes = trace["stages"]["consensus"].get("lanes", {})
+    if lanes:
+        print()
+        print(format_table(
+            ("shard", "mines", "sim self (s)"),
+            [(shard, lane["count"], round(lane["sim_self"], 4))
+             for shard, lane in lanes.items()],
+            title="Consensus lanes"))
+    path = trace["critical_path"]
+    if path:
+        print()
+        print(format_table(
+            ("depth", "span", "trace id", "sim elapsed (s)"),
+            [(depth, step["name"], step["trace_id"] or "-",
+              round(step["sim_elapsed"], 4))
+             for depth, step in enumerate(path)],
+            title="Critical path (longest simulated root-to-leaf chain)"))
+    if args.out:
+        print(f"\nexported {trace['exported_spans']} spans to {args.out}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run a gateway load test and print the unified registry snapshot."""
+    result = run_gateway_loadtest(tenants=args.tenants, duration=args.duration,
+                                  seed=args.seed, interval=args.interval,
+                                  registry=True)
+    snapshot = result["registry"]
+    if args.json:
+        _emit_json(snapshot)
+        return 0
+    counter_rows = [(key, value) for key, value in snapshot["counters"].items()]
+    if counter_rows:
+        print(format_table(("counter", "value"), counter_rows,
+                           title="Counters"))
+    gauge_rows = [(key, round(value, 4) if isinstance(value, float) else value)
+                  for key, value in snapshot["gauges"].items()]
+    if gauge_rows:
+        print()
+        print(format_table(("gauge", "value"), gauge_rows, title="Gauges"))
+    histogram_rows = [
+        (key, int(data["summary"]["count"]), round(data["summary"]["p50"], 3),
+         round(data["summary"]["p95"], 3), round(data["summary"]["max"], 3))
+        for key, data in snapshot["histograms"].items()
+    ]
+    if histogram_rows:
+        print()
+        print(format_table(("histogram", "count", "p50 (s)", "p95 (s)", "max (s)"),
+                           histogram_rows, title="Histograms"))
     return 0
 
 
@@ -423,6 +534,36 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--max-responses", type=int, default=None,
                           help="cap the in-memory response store; journaled "
                                "responses are evicted, not lost")
+    loadtest.add_argument("--trace", action="store_true",
+                          help="trace the pipeline and report per-stage "
+                               "self-time with the results")
+    loadtest.add_argument("--trace-out", default=None, metavar="PATH",
+                          help="export the recorded spans as WAL-envelope "
+                               "JSONL to PATH (implies tracing)")
+
+    trace_cmd = add_command(
+        "trace", "trace a gateway load test: per-stage self-time, lanes, "
+                 "critical path", _cmd_trace)
+    trace_cmd.add_argument("--tenants", type=int, default=4,
+                           help="number of patient tenants")
+    trace_cmd.add_argument("--duration", type=float, default=10.0,
+                           help="traffic duration in simulated seconds")
+    trace_cmd.add_argument("--interval", type=float, default=2.0,
+                           help="block interval in simulated seconds")
+    trace_cmd.add_argument("--seed", type=int, default=23)
+    trace_cmd.add_argument("--out", default=None, metavar="PATH",
+                           help="also export the spans as JSONL to PATH")
+
+    metrics_cmd = add_command(
+        "metrics", "run a gateway load test and print the unified metrics "
+                   "registry snapshot", _cmd_metrics)
+    metrics_cmd.add_argument("--tenants", type=int, default=4,
+                             help="number of patient tenants")
+    metrics_cmd.add_argument("--duration", type=float, default=10.0,
+                             help="traffic duration in simulated seconds")
+    metrics_cmd.add_argument("--interval", type=float, default=2.0,
+                             help="block interval in simulated seconds")
+    metrics_cmd.add_argument("--seed", type=int, default=23)
 
     recover_cmd = add_command(
         "recover", "rebuild a durable database from its state directory",

@@ -33,11 +33,15 @@ def _seed_from_name(name: str) -> int:
 class Peer:
     """One stakeholder in the medical-data sharing network."""
 
-    def __init__(self, name: str, role: str, key_seed: Optional[int] = None):
+    def __init__(self, name: str, role: str, key_seed: Optional[int] = None,
+                 database: Optional[Database] = None):
         self.name = name
         self.role = role
         self.keypair: KeyPair = generate_keypair(seed=key_seed or _seed_from_name(name))
-        self.database = Database(name=f"{name}_db")
+        # A pre-built database (e.g. a durable one recovered from disk by the
+        # system) may be injected; the default stays purely in-memory.
+        self.database = (database if database is not None
+                         else Database(name=f"{name}_db"))
         self.bx = BXRegistry()
         self.agreements: Dict[str, SharingAgreement] = {}
         #: metadata_id → BX program name for this peer's side of the agreement.

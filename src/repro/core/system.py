@@ -26,6 +26,7 @@ Typical use::
 
 from __future__ import annotations
 
+import pathlib
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.config import SystemConfig
@@ -39,6 +40,7 @@ from repro.core.server_app import ServerApp
 from repro.core.sharing import SharingAgreement
 from repro.core.workflow import UpdateCoordinator
 from repro.network.simulator import NetworkSimulator
+from repro.obs.tracer import NULL_TRACER
 from repro.relational.table import Table
 
 
@@ -58,17 +60,60 @@ class MedicalDataSharingSystem:
         self.contract_address: Optional[str] = None
         self.registry_address: Optional[str] = None
         self.coordinator = UpdateCoordinator(self)
+        self.tracer = NULL_TRACER
+
+    # ----------------------------------------------------------- observability
+
+    def attach_tracer(self, tracer) -> None:
+        """Thread one tracer through the whole pipeline: the coordinator's
+        consensus/delta spans, every miner's lane spans and every durable
+        peer database's WAL spans."""
+        self.tracer = tracer
+        self.coordinator.tracer = tracer
+        for node in self.simulator.nodes:
+            if node.miner is not None:
+                node.miner.tracer = tracer
+        for peer in self._peers.values():
+            backend = peer.database.wal.backend
+            if backend is not None:
+                backend.tracer = tracer
 
     # -------------------------------------------------------------------- peers
 
+    def _open_peer_database(self, name: str):
+        """Create-or-recover ``name``'s durable database under the configured
+        ``durability.state_dir`` (None when durability is off)."""
+        durability = self.config.durability
+        if durability.state_dir is None:
+            return None
+        from repro.relational.durability import open_durable_database
+        peer_dir = pathlib.Path(durability.state_dir) / "peers" / name
+        with self.tracer.span("durability.recover", peer=name) as span:
+            database = open_durable_database(
+                f"{name}_db", peer_dir,
+                fsync_policy=durability.fsync_policy,
+                segment_max_bytes=durability.segment_max_bytes)
+            span.annotate(tables=len(database.table_names))
+        backend = database.wal.backend
+        if backend is not None:
+            backend.tracer = self.tracer
+        return database
+
     def add_peer(self, name: str, role: str, is_miner: Optional[bool] = None) -> Peer:
-        """Create a peer, its blockchain node and its server app."""
+        """Create a peer, its blockchain node and its server app.
+
+        With ``config.durability.state_dir`` set, the peer's database is
+        durable automatically: created under ``<state_dir>/peers/<name>`` on
+        first use and recovered from its checkpoint + WAL on later runs.
+        """
         if name in self._peers:
             raise SharingError(f"peer {name!r} already exists")
         if is_miner is None:
             is_miner = not self._peers  # the first peer's node produces blocks
-        peer = Peer(name=name, role=role)
+        peer = Peer(name=name, role=role, database=self._open_peer_database(name))
         node = self.simulator.add_node(f"node-{name}", is_miner=is_miner)
+        if node.miner is not None:
+            node.miner.tracer = self.tracer
         app = ServerApp(peer, node, self.simulator.channels,
                         check_lens_laws=self.config.check_lens_laws,
                         delta_verify_interval=self.config.delta_verify_interval)
@@ -78,6 +123,16 @@ class MedicalDataSharingSystem:
         self._peers[name] = peer
         self._apps[name] = app
         return peer
+
+    def sync_durability(self) -> int:
+        """Fsync every durable peer database's WAL (a commit boundary for the
+        ``batch`` policy); returns how many databases were synced."""
+        synced = 0
+        for peer in self._peers.values():
+            if peer.database.wal.durable:
+                peer.database.wal.sync()
+                synced += 1
+        return synced
 
     def peer(self, name: str) -> Peer:
         if name not in self._peers:

@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.crypto.hashing import hash_payload
 from repro.errors import ReproError, UpdateRejected, WorkflowError
 from repro.core.sharing import SharingAgreement
+from repro.obs.tracer import NULL_TRACER
 from repro.relational.diff import TableDiff, diff_tables
 from repro.relational.table import Table
 
@@ -270,6 +271,9 @@ class UpdateCoordinator:
         #: When true, propagation legs push row-level diffs through lenses,
         #: indexes and caches instead of recomputing whole tables.
         self.delta_enabled = bool(getattr(system.config, "delta_propagation", True))
+        #: Set by :meth:`MedicalDataSharingSystem.attach_tracer`; spans cover
+        #: consensus rounds and every delta-propagation leg.
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------ change hooks
 
@@ -325,8 +329,11 @@ class UpdateCoordinator:
         """
         app = self._app(peer_name)
         tx = app.build_contract_call(method, args)
-        self.system.simulator.submit_transaction(app.node.name, tx)
-        blocks = self._mine()
+        with self.tracer.span("consensus.round", phase="sequential",
+                              method=method) as span:
+            self.system.simulator.submit_transaction(app.node.name, tx)
+            blocks = self._mine()
+            span.annotate(blocks=blocks)
         receipt = app.node.chain.receipt(tx.tx_hash)
         return receipt, blocks
 
@@ -632,8 +639,12 @@ class UpdateCoordinator:
             prepared.append((group, trace, agreement, candidate, diff, tx))
         if not prepared:
             return result
-        self.system.simulator.submit_transaction_batch(request_submissions)
-        result.blocks_created += self._mine()
+        with self.tracer.span("consensus.round", phase="requests",
+                              groups=len(prepared)) as span:
+            self.system.simulator.submit_transaction_batch(request_submissions)
+            blocks = self._mine()
+            span.annotate(blocks=blocks)
+        result.blocks_created += blocks
         result.consensus_rounds += 1
 
         # Phase B: install accepted groups on both sides and submit every
@@ -715,8 +726,12 @@ class UpdateCoordinator:
                                  initiator_source_diff, counterpart_diff))
         if not acknowledged:
             return result
-        self.system.simulator.submit_transaction_batch(ack_submissions)
-        result.blocks_created += self._mine()
+        with self.tracer.span("consensus.round", phase="acks",
+                              groups=len(acknowledged)) as span:
+            self.system.simulator.submit_transaction_batch(ack_submissions)
+            blocks = self._mine()
+            span.annotate(blocks=blocks)
+        result.blocks_created += blocks
         result.consensus_rounds += 1
 
         # Phase C: confirm acknowledgements, run the Fig. 5 step-6 cascades
@@ -917,9 +932,16 @@ class UpdateCoordinator:
 
     def _reflect(self, app, metadata_id: str, view_diff: TableDiff) -> TableDiff:
         """Run the ``put`` direction: incrementally when enabled, else fully."""
-        if self.delta_enabled:
-            return app.manager.reflect_shared_table_delta(metadata_id, view_diff)
-        return app.manager.reflect_shared_table(metadata_id)
+        with self.tracer.span("delta.leg", peer=app.peer.name,
+                              metadata_id=metadata_id,
+                              delta=self.delta_enabled) as span:
+            if self.delta_enabled:
+                result = app.manager.reflect_shared_table_delta(metadata_id,
+                                                                view_diff)
+            else:
+                result = app.manager.reflect_shared_table(metadata_id)
+            span.annotate(rows=len(result))
+            return result
 
     def _cascade(self, peer_name: str, metadata_id: str, trace: WorkflowTrace,
                  depth: int, source_diff: Optional[TableDiff] = None) -> None:
@@ -943,16 +965,24 @@ class UpdateCoordinator:
                            f"regenerate dependent shared view {dependent_id!r} "
                            f"({len(dependent_diff)} row change(s))", self._clock.now(),
                            rows_changed=len(dependent_diff))
-            try:
-                self._run_protocol(peer_name, dependent_id, "update", dependent_diff, trace,
-                                   install_initiator_view=True, reflect_initiator_source=False,
-                                   depth=depth + 1)
-                app.manager.clear_view_unhealed(dependent_id)
-            except UpdateRejected as exc:
-                # A rejected cascade leg does not undo the already-accepted
-                # primary update; the peer simply keeps its other shared piece
-                # unchanged and the trace records the refusal.  The dependent
-                # view now lags its base table, so the delta dependency check
-                # must diff it exactly until a leg goes through again.
-                app.manager.mark_view_unhealed(dependent_id)
-                trace.add_step(peer_name, "cascade_rejected", str(exc), self._clock.now())
+            with self.tracer.span("cascade.leg", peer=peer_name,
+                                  metadata_id=dependent_id, depth=depth,
+                                  rows=len(dependent_diff)) as span:
+                try:
+                    self._run_protocol(peer_name, dependent_id, "update",
+                                       dependent_diff, trace,
+                                       install_initiator_view=True,
+                                       reflect_initiator_source=False,
+                                       depth=depth + 1)
+                    app.manager.clear_view_unhealed(dependent_id)
+                except UpdateRejected as exc:
+                    # A rejected cascade leg does not undo the already-accepted
+                    # primary update; the peer simply keeps its other shared
+                    # piece unchanged and the trace records the refusal.  The
+                    # dependent view now lags its base table, so the delta
+                    # dependency check must diff it exactly until a leg goes
+                    # through again.
+                    app.manager.mark_view_unhealed(dependent_id)
+                    span.annotate(rejected=True)
+                    trace.add_step(peer_name, "cascade_rejected", str(exc),
+                                   self._clock.now())

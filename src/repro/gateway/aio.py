@@ -27,6 +27,7 @@ under the async transport.
 from __future__ import annotations
 
 import asyncio
+import functools
 from typing import Dict, List, Optional, Union
 
 from repro.core.system import MedicalDataSharingSystem
@@ -264,7 +265,9 @@ class AsyncSharingGateway:
         member before re-raising, so the pump only notes the error.
         """
         try:
-            result = await loop.run_in_executor(None, self.gateway.commit_once)
+            result = await loop.run_in_executor(
+                None, functools.partial(self.gateway.commit_once,
+                                        trigger=trigger))
         except Exception as exc:  # noqa: BLE001 - the pump must survive
             self.commit_errors.append(f"{type(exc).__name__}: {exc}")
             self.sealed_by[trigger] += 1

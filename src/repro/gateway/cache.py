@@ -17,6 +17,7 @@ import threading
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.obs.tracer import NULL_TRACER
 from repro.relational.diff import TableDiff
 from repro.relational.table import Table
 
@@ -26,6 +27,7 @@ class ViewCache:
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
+        self.tracer = NULL_TRACER
         self._entries: Dict[Tuple[str, str], Table] = {}
         self.hits = 0
         self.misses = 0
@@ -69,24 +71,28 @@ class ViewCache:
         if not self.enabled:
             return loader()
         key = (peer, metadata_id)
-        with self._lock:
-            cached = self._entries.get(key)
-            if cached is not None:
-                self.hits += 1
-                return cached
-            self.misses += 1
-            # setdefault (not get): the table must be known to the
-            # generation map while the load is in flight, so a concurrent
-            # invalidate_all() bumps it and the superseded load is discarded
-            # even if the table had no cached entry yet.
-            generation = self._generations.setdefault(metadata_id, 0)
-        view = loader()
-        with self._lock:
-            if self._generations.get(metadata_id, 0) == generation:
-                self._entries[key] = view
-            else:
-                self.stale_loads_discarded += 1
-            return view
+        with self.tracer.span("cache.get", peer=peer,
+                              metadata_id=metadata_id) as span:
+            with self._lock:
+                cached = self._entries.get(key)
+                if cached is not None:
+                    self.hits += 1
+                    span.annotate(hit=True)
+                    return cached
+                self.misses += 1
+                # setdefault (not get): the table must be known to the
+                # generation map while the load is in flight, so a concurrent
+                # invalidate_all() bumps it and the superseded load is
+                # discarded even if the table had no cached entry yet.
+                generation = self._generations.setdefault(metadata_id, 0)
+            span.annotate(hit=False)
+            view = loader()
+            with self._lock:
+                if self._generations.get(metadata_id, 0) == generation:
+                    self._entries[key] = view
+                else:
+                    self.stale_loads_discarded += 1
+                return view
 
     def peek(self, peer: str, metadata_id: str) -> Optional[Table]:
         return self._entries.get((peer, metadata_id))
@@ -135,21 +141,24 @@ class ViewCache:
         copy serves later reads — commits run while reads are in flight, so
         mutating the shared ``Table`` in place would tear those reads.
         """
-        with self._lock:
-            self._bump(metadata_id)
-            patched = 0
-            for key in [key for key in self._entries if key[1] == metadata_id]:
-                try:
-                    patched_view = self._entries[key].snapshot()
-                    patched_view.apply_diff(diff)
-                except ReproError:
-                    del self._entries[key]
-                    self.invalidations += 1
-                else:
-                    self._entries[key] = patched_view
-                    patched += 1
-            self.patches += patched
-            return patched
+        with self.tracer.span("cache.patch", metadata_id=metadata_id) as span:
+            with self._lock:
+                self._bump(metadata_id)
+                patched = 0
+                for key in [key for key in self._entries
+                            if key[1] == metadata_id]:
+                    try:
+                        patched_view = self._entries[key].snapshot()
+                        patched_view.apply_diff(diff)
+                    except ReproError:
+                        del self._entries[key]
+                        self.invalidations += 1
+                    else:
+                        self._entries[key] = patched_view
+                        patched += 1
+                self.patches += patched
+                span.annotate(patched=patched)
+                return patched
 
     # -------------------------------------------------------------- change hook
 
@@ -169,6 +178,17 @@ class ViewCache:
             self.invalidate(metadata_id)
         elif not diff.is_empty:
             self.patch(metadata_id, diff)
+
+    def register_metrics(self, registry) -> None:
+        """Expose the cache's live statistics as registry gauges."""
+        registry.gauge("cache_entries", fn=lambda: len(self._entries))
+        registry.gauge("cache_hits", fn=lambda: self.hits)
+        registry.gauge("cache_misses", fn=lambda: self.misses)
+        registry.gauge("cache_hit_rate", fn=lambda: self.hit_rate)
+        registry.gauge("cache_invalidations", fn=lambda: self.invalidations)
+        registry.gauge("cache_patches", fn=lambda: self.patches)
+        registry.gauge("cache_stale_loads_discarded",
+                       fn=lambda: self.stale_loads_discarded)
 
     def statistics(self) -> Dict[str, object]:
         return {

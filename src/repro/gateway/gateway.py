@@ -66,6 +66,8 @@ from repro.gateway.requests import (
 from repro.gateway.scheduler import BatchPlan, PendingWrite, WriteScheduler
 from repro.gateway.session import GatewaySession
 from repro.metrics.collectors import LatencyCollector, PeakGauge
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.relational.durability import JsonlWalBackend
 from repro.relational.wal import WalEntry
 
@@ -185,13 +187,23 @@ class SharingGateway:
                  max_queue_depth: Optional[int] = None,
                  state_dir: Optional[Union[str, pathlib.Path]] = None,
                  fsync_policy: Optional[str] = None,
-                 max_responses: Optional[int] = None):
+                 max_responses: Optional[int] = None,
+                 tracer: Optional[Tracer] = None,
+                 registry: Optional[MetricsRegistry] = None):
         self.system = system
+        # Tracing defaults to the shared no-op tracer; passing a real one
+        # also attaches it downstream (coordinator, miners, peer WALs) so a
+        # request's spans link across the whole pipeline.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if tracer is not None:
+            system.attach_tracer(tracer)
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.scheduler = WriteScheduler(max_batch_size=max_batch_size,
                                         max_edits_per_group=max_edits_per_group,
                                         fold_cross_peer=fold_cross_peer,
                                         max_queue_depth=max_queue_depth)
         self.cache = ViewCache(enabled=cache_enabled)
+        self.cache.tracer = self.tracer
         # The diff-aware hook patches cached views row by row when the
         # coordinator hands over the change's TableDiff, and drops them only
         # when it cannot (half-installed failures).
@@ -204,17 +216,23 @@ class SharingGateway:
         self._status_counts: Dict[str, int] = {}
         self._kind_counts: Dict[str, int] = {}
         self._request_ids = itertools.count(1)
+        self._batch_ids = itertools.count(1)
         self._outstanding = PeakGauge()
         self.batch_sizes: List[int] = []
-        self.batch_blocks = 0
-        self.batch_consensus_rounds = 0
-        self.writes_committed = 0
-        self.writes_rejected = 0
-        self.shed_requests = 0
+        # Serving counters live in the unified registry; the attributes the
+        # rest of the codebase reads (``gateway.writes_committed``, ...) are
+        # read-only properties over these instruments.
+        self._batch_blocks = self.registry.counter("gateway_batch_blocks")
+        self._batch_consensus_rounds = self.registry.counter(
+            "gateway_batch_consensus_rounds")
+        self._writes_committed = self.registry.counter("gateway_writes_committed")
+        self._writes_rejected = self.registry.counter("gateway_writes_rejected")
+        self._shed_requests = self.registry.counter("gateway_shed_requests")
         #: Requests (reads and writes) admitted while a batch commit's
         #: consensus rounds were in flight — the open-loop interleaving the
         #: async transport exists to produce.
-        self.admitted_during_commit = 0
+        self._admitted_during_commit = self.registry.counter(
+            "gateway_admitted_during_commit")
         self._commits_in_flight = PeakGauge()
         #: Callbacks fired when a response reaches a terminal status, and
         #: when a write is enqueued.  Listeners run under the admission lock:
@@ -238,18 +256,83 @@ class SharingGateway:
                               if max_responses is None else max_responses)
         if self.max_responses is not None and self.max_responses < 1:
             raise ValueError("max_responses must be at least 1 (or None)")
-        self.responses_evicted = 0
-        self.responses_journaled = 0
+        self._responses_evicted = self.registry.counter("gateway_responses_evicted")
+        self._responses_journaled = self.registry.counter(
+            "gateway_responses_journaled")
         self._journaled_ids: set = set()
         self.journal: Optional[ResponseJournal] = None
         if self.state_dir is not None:
             self.journal = ResponseJournal(
                 self.state_dir / "responses", fsync_policy=self.fsync_policy,
                 segment_max_bytes=durability.segment_max_bytes)
+            self.journal.backend.tracer = self.tracer
             # Continue request ids past the recovered journal so a restarted
             # gateway never reissues an id that is already answerable.
             self._request_ids = itertools.count(
                 self.journal.highest_request_number + 1)
+        self._register_gauges()
+
+    def _register_gauges(self) -> None:
+        """Expose live serving state through the unified registry."""
+        reg = self.registry
+        reg.gauge("gateway_queue_depth", fn=lambda: self.scheduler.queue_depth)
+        reg.gauge("gateway_enqueued_total",
+                  fn=lambda: self.scheduler.enqueued_total)
+        reg.gauge("gateway_outstanding_writes",
+                  fn=lambda: self._outstanding.value)
+        reg.gauge("gateway_outstanding_writes_peak",
+                  fn=lambda: self._outstanding.peak)
+        reg.gauge("gateway_commits_in_flight",
+                  fn=lambda: self._commits_in_flight.value)
+        reg.gauge("gateway_commits_in_flight_peak",
+                  fn=lambda: self._commits_in_flight.peak)
+        reg.gauge("gateway_sessions_open", fn=lambda: len(self._sessions))
+        reg.gauge("gateway_batches_committed", fn=lambda: len(self.batch_sizes))
+        reg.gauge("gateway_folded_writes",
+                  fn=lambda: self.scheduler.folded_writes_total)
+        reg.gauge("gateway_fold_rounds_saved",
+                  fn=lambda: self.scheduler.fold_rounds_saved)
+        self.cache.register_metrics(reg)
+        if self.journal is not None:
+            backend = self.journal.backend
+            reg.gauge("journal_wal_bytes", fn=backend.wal_bytes)
+            reg.gauge("journal_appends", fn=lambda: backend.appends)
+            reg.gauge("journal_syncs", fn=lambda: backend.syncs)
+
+    # Compatibility views over the registry counters: external readers (and
+    # the metrics() tree) keep their familiar integer attributes.
+
+    @property
+    def batch_blocks(self) -> int:
+        return self._batch_blocks.value
+
+    @property
+    def batch_consensus_rounds(self) -> int:
+        return self._batch_consensus_rounds.value
+
+    @property
+    def writes_committed(self) -> int:
+        return self._writes_committed.value
+
+    @property
+    def writes_rejected(self) -> int:
+        return self._writes_rejected.value
+
+    @property
+    def shed_requests(self) -> int:
+        return self._shed_requests.value
+
+    @property
+    def admitted_during_commit(self) -> int:
+        return self._admitted_during_commit.value
+
+    @property
+    def responses_evicted(self) -> int:
+        return self._responses_evicted.value
+
+    @property
+    def responses_journaled(self) -> int:
+        return self._responses_journaled.value
 
     # ---------------------------------------------------------------- sessions
 
@@ -340,7 +423,8 @@ class SharingGateway:
         for request_id in evicted:
             del self._responses[request_id]
             self._journaled_ids.discard(request_id)
-        self.responses_evicted += len(evicted)
+        if evicted:
+            self._responses_evicted.inc(len(evicted))
 
     def _finalize(self, response: GatewayResponse, session: Optional[GatewaySession],
                   status: str) -> GatewayResponse:
@@ -351,8 +435,14 @@ class SharingGateway:
             if session is not None:
                 session.count(status)
             if status in (STATUS_OK, STATUS_REJECTED, STATUS_ERROR):
-                self._latency_by_tenant.setdefault(
-                    response.tenant, LatencyCollector()).record_value(response.latency)
+                collector = self._latency_by_tenant.get(response.tenant)
+                if collector is None:
+                    collector = LatencyCollector()
+                    self._latency_by_tenant[response.tenant] = collector
+                    self.registry.histogram("gateway_request_latency",
+                                            collector=collector,
+                                            tenant=response.tenant)
+                collector.record_value(response.latency)
             listeners = tuple(self._terminal_listeners)
         # Journal happens-before the terminal listeners (matching the lock
         # order of the async transport): by the time anything a listener
@@ -363,8 +453,8 @@ class SharingGateway:
         # fsync-per-append policy never stalls admission.
         if self.journal is not None:
             self.journal.record(response)
+            self._responses_journaled.inc()
             with self._lock:
-                self.responses_journaled += 1
                 self._journaled_ids.add(response.request_id)
         for listener in listeners:
             listener(response)
@@ -398,47 +488,56 @@ class SharingGateway:
         # critical section — _lock is re-entrant, so calling _finalize here
         # would hold it across the disk write.
         terminal_status = None
-        with self._lock:
-            response = self._new_response(session, request, STATUS_QUEUED)
-            if self._commits_in_flight.value > 0:
-                self.admitted_during_commit += 1
-            if not session.try_admit():
-                response.error = (
-                    f"tenant {session.peer_name!r} exceeded its request rate; retry later"
-                )
-                terminal_status = STATUS_THROTTLED
-            else:
-                try:
-                    session.authorize(request)
-                except SessionError as exc:
-                    response.error = str(exc)
-                    terminal_status = STATUS_REJECTED
-            if terminal_status is None:
-                if not request.is_write:
-                    return response, True
-                if self.scheduler.at_capacity:
-                    self.shed_requests += 1
+        with self.tracer.span("gateway.admit", kind=request.kind,
+                              tenant=session.peer_name) as span:
+            with self._lock:
+                response = self._new_response(session, request, STATUS_QUEUED)
+                # The response's request id doubles as the trace id linking
+                # every span this request produces across the pipeline.
+                request.assign_trace_id(response.request_id)
+                response.trace_id = response.request_id
+                span.set_trace_id(response.request_id)
+                span.annotate(request_id=response.request_id)
+                if self._commits_in_flight.value > 0:
+                    self._admitted_during_commit.inc()
+                if not session.try_admit():
                     response.error = (
-                        f"gateway write queue is at capacity "
-                        f"({self.scheduler.queue_capacity}); request shed — retry later"
+                        f"tenant {session.peer_name!r} exceeded its request rate; retry later"
                     )
-                    terminal_status = STATUS_SHED
+                    terminal_status = STATUS_THROTTLED
                 else:
-                    self.scheduler.enqueue(PendingWrite(
-                        request_id=response.request_id,
-                        tenant=session.peer_name,
-                        peer=session.peer_name,
-                        request=request,
-                        enqueued_at=response.enqueued_at,
-                        session=session,
-                    ))
-                    self._outstanding.increment()
-                    session.count(STATUS_QUEUED)
-                    depth = self.scheduler.queue_depth
-                    listeners = tuple(self._enqueue_listeners)
-        if terminal_status is not None:
-            self._finalize(response, session, terminal_status)
-            return response, False
+                    try:
+                        session.authorize(request)
+                    except SessionError as exc:
+                        response.error = str(exc)
+                        terminal_status = STATUS_REJECTED
+                if terminal_status is None:
+                    if not request.is_write:
+                        return response, True
+                    if self.scheduler.at_capacity:
+                        self._shed_requests.inc()
+                        response.error = (
+                            f"gateway write queue is at capacity "
+                            f"({self.scheduler.queue_capacity}); request shed — retry later"
+                        )
+                        terminal_status = STATUS_SHED
+                    else:
+                        self.scheduler.enqueue(PendingWrite(
+                            request_id=response.request_id,
+                            tenant=session.peer_name,
+                            peer=session.peer_name,
+                            request=request,
+                            enqueued_at=response.enqueued_at,
+                            session=session,
+                        ))
+                        self._outstanding.increment()
+                        session.count(STATUS_QUEUED)
+                        depth = self.scheduler.queue_depth
+                        listeners = tuple(self._enqueue_listeners)
+            if terminal_status is not None:
+                span.annotate(status=terminal_status)
+                self._finalize(response, session, terminal_status)
+                return response, False
         for listener in listeners:
             listener(depth)
         return response, False
@@ -456,26 +555,30 @@ class SharingGateway:
 
     def _serve_read(self, session: GatewaySession, request: GatewayRequest,
                     response: GatewayResponse) -> GatewayResponse:
-        try:
-            if isinstance(request, ReadViewRequest):
-                view = self.cache.get(
-                    session.peer_name, request.metadata_id,
-                    lambda: self._load_view(session.peer_name, request.metadata_id),
-                )
-                response.payload = {"metadata_id": request.metadata_id,
-                                    "rows": len(view), "table": view.to_dict()}
-            elif isinstance(request, AuditQueryRequest):
-                with self._commit_lock:
-                    trail = self.system.audit_trail(via_peer=session.peer_name)
-                    records = trail.records(request.metadata_id)
-                response.payload = {"count": len(records),
-                                    "records": [record.to_dict() for record in records]}
-            else:
-                raise SharingError(f"cannot serve request kind {request.kind!r}")
-        except SharingError as exc:
-            response.error = str(exc)
-            return self._finalize(response, session, STATUS_REJECTED)
-        return self._finalize(response, session, STATUS_OK)
+        with self.tracer.span("gateway.read", trace_id=response.trace_id,
+                              kind=request.kind, tenant=session.peer_name):
+            try:
+                if isinstance(request, ReadViewRequest):
+                    view = self.cache.get(
+                        session.peer_name, request.metadata_id,
+                        lambda: self._load_view(session.peer_name,
+                                                request.metadata_id),
+                    )
+                    response.payload = {"metadata_id": request.metadata_id,
+                                        "rows": len(view), "table": view.to_dict()}
+                elif isinstance(request, AuditQueryRequest):
+                    with self._commit_lock:
+                        trail = self.system.audit_trail(via_peer=session.peer_name)
+                        records = trail.records(request.metadata_id)
+                    response.payload = {"count": len(records),
+                                        "records": [record.to_dict()
+                                                    for record in records]}
+                else:
+                    raise SharingError(f"cannot serve request kind {request.kind!r}")
+            except SharingError as exc:
+                response.error = str(exc)
+                return self._finalize(response, session, STATUS_REJECTED)
+            return self._finalize(response, session, STATUS_OK)
 
     def result(self, request_id: str) -> Optional[GatewayResponse]:
         """Look up the (possibly still queued) response for a request id.
@@ -516,7 +619,7 @@ class SharingGateway:
         """Batch commits currently running their consensus rounds (0 or 1)."""
         return self._commits_in_flight.value
 
-    def commit_once(self) -> Optional[BatchCommitResult]:
+    def commit_once(self, trigger: Optional[str] = None) -> Optional[BatchCommitResult]:
         """Plan and commit one batch; None when the queue is empty.
 
         A failure inside the commit never strands queued responses: every
@@ -525,31 +628,49 @@ class SharingGateway:
         The commit lock (not the admission lock) is held across the
         consensus rounds, so new requests keep being admitted — and queued
         for the *next* batch — while this one is mining.
+
+        ``trigger`` labels the commit's trace span with what sealed the
+        batch (the async pump's depth/deadline/idle/flush, or "worker").
         """
         with self._commit_lock:
-            with self._lock:
-                plan = self.scheduler.plan()
-                if plan.is_empty:
-                    return None
-                self._commits_in_flight.increment()
-            try:
-                result = self.system.coordinator.commit_entry_batch(plan.groups)
-            except ReproError as exc:
+            with self.tracer.span("gateway.commit") as span:
+                if trigger is not None:
+                    span.annotate(trigger=trigger)
                 with self._lock:
-                    self._resolve_all_failed(plan, str(exc))
-                raise
-            finally:
-                self._commits_in_flight.decrement()
-            with self._lock:
-                self.batch_sizes.append(plan.size)
-                self.batch_blocks += result.blocks_created
-                self.batch_consensus_rounds += result.consensus_rounds
-                self._resolve(plan, result)
-            # The batched fsync policy's commit boundary: one sync makes the
-            # whole batch's terminal responses durable.
-            if self.journal is not None:
-                self.journal.sync()
-            return result
+                    with self.tracer.span("scheduler.plan") as plan_span:
+                        plan = self.scheduler.plan()
+                        plan_span.annotate(groups=len(plan.groups),
+                                           size=plan.size)
+                    if plan.is_empty:
+                        span.annotate(empty=True)
+                        return None
+                    self._commits_in_flight.increment()
+                    # Batches get their own trace id; the member request ids
+                    # stitch each write's admission trace to the batch's
+                    # consensus/delta/WAL spans.
+                    batch_id = f"batch-{next(self._batch_ids)}"
+                    span.set_trace_id(batch_id)
+                    span.annotate(batch=batch_id, requests=[
+                        pending.request_id for members in plan.members
+                        for pending in members])
+                try:
+                    result = self.system.coordinator.commit_entry_batch(plan.groups)
+                except ReproError as exc:
+                    with self._lock:
+                        self._resolve_all_failed(plan, str(exc))
+                    raise
+                finally:
+                    self._commits_in_flight.decrement()
+                with self._lock:
+                    self.batch_sizes.append(plan.size)
+                    self._batch_blocks.inc(result.blocks_created)
+                    self._batch_consensus_rounds.inc(result.consensus_rounds)
+                    self._resolve(plan, result)
+                # The batched fsync policy's commit boundary: one sync makes
+                # the whole batch's terminal responses durable.
+                if self.journal is not None:
+                    self.journal.sync()
+                return result
 
     def drain(self, max_batches: int = 1_000) -> int:
         """Commit batches until the write queue is empty; returns batch count."""
@@ -604,9 +725,9 @@ class SharingGateway:
                 self._outstanding.decrement()
                 self._finalize(response, pending.session, status)
                 if status == STATUS_OK:
-                    self.writes_committed += 1
+                    self._writes_committed.inc()
                 else:
-                    self.writes_rejected += 1
+                    self._writes_rejected.inc()
         # Defensive coherence: successful groups were already patched row by
         # row through the coordinator's diff listener, so only the tables a
         # *failed* group may have half-touched are dropped wholesale.
@@ -625,7 +746,7 @@ class SharingGateway:
                 response.error = error
                 self._outstanding.decrement()  # gauge before terminal listeners
                 self._finalize(response, pending.session, STATUS_ERROR)
-                self.writes_rejected += 1
+                self._writes_rejected.inc()
         for group in plan.groups:
             self.cache.invalidate(group.metadata_id)
 

@@ -20,6 +20,10 @@ class GatewayRequest:
 
     kind: str = "abstract"
 
+    #: Set by the gateway at admission (the response's ``request_id``); links
+    #: every span the request produces into one trace.
+    trace_id: Optional[str] = None
+
     #: Kinds that mutate shared data (scheduled and batched); the rest are
     #: served synchronously from the read path.
     WRITE_KINDS = ("update-entry", "insert-entry", "delete-entry")
@@ -27,6 +31,16 @@ class GatewayRequest:
     @property
     def is_write(self) -> bool:
         return self.kind in self.WRITE_KINDS
+
+    def assign_trace_id(self, trace_id: str) -> None:
+        # Subclasses are frozen dataclasses; the trace id is gateway-internal
+        # bookkeeping, not part of the request's identity.
+        object.__setattr__(self, "trace_id", trace_id)
+
+    def _with_trace(self, payload: dict) -> dict:
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+        return payload
 
     def to_dict(self) -> dict:
         raise NotImplementedError
@@ -48,7 +62,10 @@ class GatewayRequest:
         }
         if kind not in builders:
             raise ValueError(f"unknown gateway request kind {kind!r}")
-        return builders[kind](payload)
+        request = builders[kind](payload)
+        if payload.get("trace_id") is not None:
+            request.assign_trace_id(payload["trace_id"])
+        return request
 
 
 @dataclass(frozen=True)
@@ -59,7 +76,8 @@ class ReadViewRequest(GatewayRequest):
     kind = "read-view"
 
     def to_dict(self) -> dict:
-        return {"kind": self.kind, "metadata_id": self.metadata_id}
+        return self._with_trace({"kind": self.kind,
+                                 "metadata_id": self.metadata_id})
 
 
 @dataclass(frozen=True)
@@ -76,8 +94,10 @@ class UpdateEntryRequest(GatewayRequest):
         object.__setattr__(self, "updates", dict(self.updates))
 
     def to_dict(self) -> dict:
-        return {"kind": self.kind, "metadata_id": self.metadata_id,
-                "key": list(self.key), "updates": dict(self.updates)}
+        return self._with_trace({"kind": self.kind,
+                                 "metadata_id": self.metadata_id,
+                                 "key": list(self.key),
+                                 "updates": dict(self.updates)})
 
 
 @dataclass(frozen=True)
@@ -92,8 +112,9 @@ class InsertEntryRequest(GatewayRequest):
         object.__setattr__(self, "values", dict(self.values))
 
     def to_dict(self) -> dict:
-        return {"kind": self.kind, "metadata_id": self.metadata_id,
-                "values": dict(self.values)}
+        return self._with_trace({"kind": self.kind,
+                                 "metadata_id": self.metadata_id,
+                                 "values": dict(self.values)})
 
 
 @dataclass(frozen=True)
@@ -108,8 +129,9 @@ class DeleteEntryRequest(GatewayRequest):
         object.__setattr__(self, "key", tuple(self.key))
 
     def to_dict(self) -> dict:
-        return {"kind": self.kind, "metadata_id": self.metadata_id,
-                "key": list(self.key)}
+        return self._with_trace({"kind": self.kind,
+                                 "metadata_id": self.metadata_id,
+                                 "key": list(self.key)})
 
 
 @dataclass(frozen=True)
@@ -120,7 +142,8 @@ class AuditQueryRequest(GatewayRequest):
     kind = "audit-query"
 
     def to_dict(self) -> dict:
-        return {"kind": self.kind, "metadata_id": self.metadata_id}
+        return self._with_trace({"kind": self.kind,
+                                 "metadata_id": self.metadata_id})
 
 
 #: Terminal response statuses.
@@ -148,6 +171,7 @@ class GatewayResponse:
     error: Optional[str] = None
     enqueued_at: float = 0.0
     completed_at: float = 0.0
+    trace_id: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -179,6 +203,7 @@ class GatewayResponse:
             "enqueued_at": self.enqueued_at,
             "completed_at": self.completed_at,
             "latency": self.latency,
+            "trace_id": self.trace_id,
         }
 
     @staticmethod
@@ -192,6 +217,7 @@ class GatewayResponse:
             error=payload.get("error"),
             enqueued_at=float(payload.get("enqueued_at", 0.0)),
             completed_at=float(payload.get("completed_at", 0.0)),
+            trace_id=payload.get("trace_id"),
         )
 
     def canonical(self) -> str:

@@ -97,7 +97,7 @@ class GatewayWorkerPool:
     def _run(self) -> None:
         while True:
             try:
-                result = self.gateway.commit_once()
+                result = self.gateway.commit_once(trigger="worker")
             except Exception as exc:  # noqa: BLE001 - a worker must survive
                 with self._counter_lock:
                     self.errors.append(f"{type(exc).__name__}: {exc}")

@@ -68,7 +68,10 @@ class LaneScheduler:
         for offset in range(self.num_lanes):
             lane = (start + offset) % self.num_lanes
             seal_clock = self.miner.clock if not blocks else HeldClock(self.miner.clock)
-            block = self.miner.mine_block(shard=lane, seal_clock=seal_clock)
+            with self.miner.tracer.span("lane.mine", shard=lane) as span:
+                block = self.miner.mine_block(shard=lane, seal_clock=seal_clock)
+                span.annotate(transactions=(len(block.transactions)
+                                            if block is not None else 0))
             if block is None:
                 continue
             blocks.append(block)

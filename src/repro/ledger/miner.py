@@ -31,6 +31,7 @@ from repro.ledger.gas import GasSchedule
 from repro.ledger.lanes import LaneScheduler
 from repro.ledger.mempool import Mempool
 from repro.ledger.transaction import Transaction, TransactionReceipt
+from repro.obs.tracer import NULL_TRACER
 
 #: Returns the "shared data key" a transaction contends on, or None when the
 #: transaction is not an update request on shared data.
@@ -91,6 +92,9 @@ class Miner:
         self.lanes: Optional[LaneScheduler] = (
             LaneScheduler(self, num_shards) if num_shards > 1 else None
         )
+        #: Set by :meth:`MedicalDataSharingSystem.attach_tracer`; every lane's
+        #: block production is wrapped in a ``lane.mine`` span.
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------ block packing
 
@@ -191,7 +195,10 @@ class Miner:
         """
         if self.lanes is not None:
             return self.lanes.mine_interval()
-        block = self.mine_block()
+        with self.tracer.span("lane.mine", shard=0) as span:
+            block = self.mine_block()
+            span.annotate(
+                transactions=len(block.transactions) if block is not None else 0)
         return [block] if block is not None else []
 
     def mine_until_empty(self, max_blocks: int = 1_000) -> List[Block]:

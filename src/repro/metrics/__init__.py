@@ -1,8 +1,10 @@
 """Metric collection and reporting for the benchmark harness."""
 
 from repro.metrics.collectors import (
+    HISTOGRAM_BUCKET_BOUNDS,
     ExposureReport,
     LatencyCollector,
+    PeakGauge,
     StorageComparison,
     ThroughputResult,
     exposure_report,
@@ -11,7 +13,9 @@ from repro.metrics.collectors import (
 from repro.metrics.reporting import format_table, format_series
 
 __all__ = [
+    "HISTOGRAM_BUCKET_BOUNDS",
     "LatencyCollector",
+    "PeakGauge",
     "ThroughputResult",
     "ExposureReport",
     "StorageComparison",

@@ -7,6 +7,7 @@ independent of the host machine.
 
 from __future__ import annotations
 
+import bisect
 import statistics
 import threading
 from dataclasses import dataclass, field
@@ -17,6 +18,12 @@ from repro.core.workflow import WorkflowTrace
 
 if TYPE_CHECKING:  # avoid a cycle: workloads → gateway → metrics.collectors
     from repro.workloads.updates import UpdateEvent
+
+#: Fixed log-scale histogram bucket upper bounds (simulated seconds):
+#: 1 ms doubling up to ~37 h.  Fixed bounds keep distributions from
+#: different runs (and different collectors in one registry) comparable.
+HISTOGRAM_BUCKET_BOUNDS: Tuple[float, ...] = tuple(
+    0.001 * (2 ** i) for i in range(28))
 
 
 @dataclass
@@ -63,6 +70,10 @@ class LatencyCollector:
         return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
 
     @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
     def p95(self) -> float:
         return self.percentile(95.0)
 
@@ -74,11 +85,34 @@ class LatencyCollector:
     def maximum(self) -> float:
         return max(self.samples) if self.samples else 0.0
 
+    def histogram_buckets(self) -> Dict[str, int]:
+        """Sample counts per fixed log-scale bucket (upper-bound keyed).
+
+        A sample lands in the first bucket whose bound is >= its value;
+        samples beyond the last bound count under ``"+inf"``.  Empty buckets
+        are omitted, so the dict stays small however wide the bounds range.
+        """
+        counts: Dict[str, int] = {}
+        overflow = 0
+        for value in self.samples:
+            index = bisect.bisect_left(HISTOGRAM_BUCKET_BOUNDS, value)
+            if index >= len(HISTOGRAM_BUCKET_BOUNDS):
+                overflow += 1
+                continue
+            key = repr(HISTOGRAM_BUCKET_BOUNDS[index])
+            counts[key] = counts.get(key, 0) + 1
+        buckets = {key: counts[key]
+                   for key in sorted(counts, key=float)}
+        if overflow:
+            buckets["+inf"] = overflow
+        return buckets
+
     def summary(self) -> Dict[str, float]:
         return {
             "count": float(self.count),
             "mean": self.mean,
             "median": self.median,
+            "p50": self.p50,
             "p95": self.p95,
             "p99": self.p99,
             "max": self.maximum,

@@ -1,0 +1,95 @@
+"""Trace export/import as JSONL in the WAL envelope encoding.
+
+Each exported line is a :class:`~repro.relational.wal.WalEntry` rendered
+exactly as :class:`~repro.relational.durability.JsonlWalBackend` would write
+it — ``{"sequence":N,"operation":"span","table":"trace","payload":{...}}`` —
+so the same tooling (and the same corruption checks) read traces and WALs
+alike.  Payloads are sorted-key, compact JSON over the deterministic span
+fields only; two identically-seeded runs therefore export byte-identical
+files.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Iterable, Iterator, List, Union
+
+from repro.errors import WalCorruptionError
+from repro.relational.wal import WalEntry
+
+TRACE_OPERATION = "span"
+TRACE_TABLE = "trace"
+
+_ENCODER = json.JSONEncoder(separators=(",", ":"), sort_keys=True, default=str)
+
+
+def _span_payload(span: Any, include_wall: bool) -> Dict[str, Any]:
+    if hasattr(span, "to_dict"):
+        return span.to_dict(include_wall=include_wall)
+    return dict(span)
+
+
+def trace_entries(spans: Iterable[Any],
+                  include_wall: bool = False) -> Iterator[WalEntry]:
+    """Spans as :class:`WalEntry` objects, ordered by span id."""
+    payloads = [_span_payload(span, include_wall) for span in spans]
+    payloads.sort(key=lambda payload: payload["span_id"])
+    for sequence, payload in enumerate(payloads, start=1):
+        yield WalEntry(sequence=sequence, operation=TRACE_OPERATION,
+                       table=TRACE_TABLE, payload=payload)
+
+
+def write_trace_jsonl(spans: Iterable[Any],
+                      path: Union[str, pathlib.Path],
+                      include_wall: bool = False) -> int:
+    """Write spans to ``path`` as WAL-envelope JSONL; returns the line count.
+
+    With ``include_wall`` false (the default) only deterministic fields are
+    exported, so the file is byte-identical across identically-seeded runs.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for entry in trace_entries(spans, include_wall=include_wall):
+            handle.write('{"sequence":%d,"operation":"%s","table":"%s",'
+                         '"payload":%s}\n'
+                         % (entry.sequence, TRACE_OPERATION, TRACE_TABLE,
+                            _ENCODER.encode(entry.payload)))
+            count += 1
+    return count
+
+
+def read_trace_jsonl(path: Union[str, pathlib.Path]) -> List[Dict[str, Any]]:
+    """Read span payloads back from a trace file, validating the envelope.
+
+    Raises :class:`~repro.errors.WalCorruptionError` on malformed JSON, a
+    wrong operation/table, or a sequence gap — the same failure modes the
+    WAL reader guards against.
+    """
+    path = pathlib.Path(path)
+    payloads: List[Dict[str, Any]] = []
+    expected = 1
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise WalCorruptionError(
+                    f"{path}:{line_number}: malformed trace line: {exc}") from exc
+            if record.get("operation") != TRACE_OPERATION \
+                    or record.get("table") != TRACE_TABLE:
+                raise WalCorruptionError(
+                    f"{path}:{line_number}: not a trace entry "
+                    f"(operation={record.get('operation')!r}, "
+                    f"table={record.get('table')!r})")
+            if record.get("sequence") != expected:
+                raise WalCorruptionError(
+                    f"{path}:{line_number}: sequence gap — expected "
+                    f"{expected}, found {record.get('sequence')!r}")
+            expected += 1
+            payloads.append(record["payload"])
+    return payloads

@@ -1,0 +1,169 @@
+"""A unified metrics registry: named counters, gauges and histograms.
+
+Subsystems register instruments under a name plus optional labels
+(``registry.counter("gateway_writes_committed")``,
+``registry.histogram("gateway_request_latency", tenant="doctor")``); one
+:meth:`MetricsRegistry.snapshot` then renders every instrument in a single
+deterministic tree.  Existing collectors plug in rather than being replaced:
+a :class:`Histogram` wraps the familiar
+:class:`~repro.metrics.collectors.LatencyCollector`, and a :class:`Gauge`
+can read its value from a callback (e.g. ``lambda: queue_depth``), so the
+hand-assembled ``metrics()`` trees keep working as compatibility views over
+the same state.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def render_key(name: str, labels: LabelKey) -> str:
+    """A stable, prometheus-style key: ``name{label="value",...}``."""
+    if not labels:
+        return name
+    rendered = ",".join(f'{key}="{value}"' for key, value in labels)
+    return f"{name}{{{rendered}}}"
+
+
+class Counter:
+    """A monotonically increasing, thread-safe count."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> int:
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge instead")
+        with self._lock:
+            self._value += amount
+            return self._value
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value: either set directly or read from a callback."""
+
+    __slots__ = ("_fn", "_value", "_lock")
+
+    def __init__(self, fn: Optional[Callable[[], Any]] = None) -> None:
+        self._fn = fn
+        self._value: Any = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: Any) -> None:
+        if self._fn is not None:
+            raise ValueError("cannot set a callback-backed gauge")
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> Any:
+        if self._fn is not None:
+            return self._fn()
+        return self._value
+
+
+class Histogram:
+    """A latency distribution backed by a ``LatencyCollector``.
+
+    An existing collector may be passed in so code that already records into
+    one (the gateway's per-tenant latencies) shows up in the registry without
+    double-recording.
+    """
+
+    __slots__ = ("collector",)
+
+    def __init__(self, collector: Optional[Any] = None) -> None:
+        if collector is None:
+            # Imported lazily: collectors.py imports core.system, which pulls
+            # in the ledger (and thus this package) during package init.
+            from repro.metrics.collectors import LatencyCollector
+            collector = LatencyCollector()
+        self.collector = collector
+
+    def observe(self, value: float) -> None:
+        self.collector.record_value(value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "summary": self.collector.summary(),
+            "buckets": self.collector.histogram_buckets(),
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create instruments keyed by ``(name, labels)``.
+
+    Re-registering the same name+labels returns the existing instrument;
+    asking for the same key as a different kind raises ``ValueError`` so two
+    subsystems cannot silently shadow each other.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelKey], Tuple[str, Any]] = {}
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _label_key(labels: Mapping[str, Any]) -> LabelKey:
+        return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+    def _get_or_create(self, kind: str, name: str, labels: Mapping[str, Any],
+                       factory: Callable[[], Any]) -> Any:
+        key = (name, self._label_key(labels))
+        with self._lock:
+            existing = self._instruments.get(key)
+            if existing is not None:
+                existing_kind, instrument = existing
+                if existing_kind != kind:
+                    raise ValueError(
+                        f"{render_key(*key)} already registered as "
+                        f"{existing_kind}, not {kind}")
+                return instrument
+            instrument = factory()
+            self._instruments[key] = (kind, instrument)
+            return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get_or_create("counter", name, labels, Counter)
+
+    def gauge(self, name: str, fn: Optional[Callable[[], Any]] = None,
+              **labels: Any) -> Gauge:
+        return self._get_or_create("gauge", name, labels, lambda: Gauge(fn))
+
+    def histogram(self, name: str, collector: Optional[Any] = None,
+                  **labels: Any) -> Histogram:
+        return self._get_or_create("histogram", name, labels,
+                                   lambda: Histogram(collector))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._instruments)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Every instrument's current value, deterministically ordered."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        snapshot: Dict[str, Dict[str, Any]] = {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        for (name, labels), (kind, instrument) in items:
+            key = render_key(name, labels)
+            if kind == "counter":
+                snapshot["counters"][key] = instrument.value
+            elif kind == "gauge":
+                snapshot["gauges"][key] = instrument.value
+            else:
+                snapshot["histograms"][key] = instrument.to_dict()
+        return snapshot

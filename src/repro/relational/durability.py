@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.errors import RecoveryError, WalCorruptionError
+from repro.obs.tracer import NULL_TRACER
 from repro.relational.database import Database
 from repro.relational.diff import TableDiff
 from repro.relational.persistence import (
@@ -123,6 +124,9 @@ class JsonlWalBackend:
         self.appends = 0
         self.syncs = 0
         self.rotations = 0
+        #: Swapped for a real tracer by the gateway / system; ``wal.append``
+        #: and ``wal.fsync`` spans account the durability stage's time.
+        self.tracer = NULL_TRACER
         #: Torn final lines amputated when this backend (re)opened the
         #: directory — a restarted writer must never append onto a partial
         #: line, or the concatenated garbage swallows the new entry (or
@@ -194,7 +198,8 @@ class JsonlWalBackend:
                 % (entry.sequence, _encoded_name(entry.operation),
                    _encoded_name(entry.table),
                    _ENTRY_ENCODER.encode(entry.payload).encode("utf-8"))) + tail
-        with self._lock:
+        with self.tracer.span("wal.append", table=entry.table,
+                              bytes=len(data)), self._lock:
             if (self._current is not None
                     and self._current_bytes >= self.segment_max_bytes):
                 self._close_handle()
@@ -211,8 +216,9 @@ class JsonlWalBackend:
             # ``never`` leave the line in the userspace buffer until the next
             # commit boundary (sync/rotation/close) or read flushes it.
             if self.fsync_policy == FSYNC_ALWAYS:
-                self._handle.flush()
-                os.fsync(self._handle.fileno())
+                with self.tracer.span("wal.fsync", policy=self.fsync_policy):
+                    self._handle.flush()
+                    os.fsync(self._handle.fileno())
                 self.syncs += 1
             self._current_bytes += len(data)
             self.appends += 1
@@ -230,7 +236,7 @@ class JsonlWalBackend:
         Under ``never`` the buffer is still flushed to the OS (so other
         readers observe the entries) but the fsync is skipped.
         """
-        with self._lock:
+        with self.tracer.span("wal.fsync", policy=self.fsync_policy), self._lock:
             if self._handle is None:
                 return
             self._handle.flush()

@@ -1,0 +1,107 @@
+"""Durable peer databases wired through ``config.durability.state_dir``.
+
+With a state dir configured, :meth:`MedicalDataSharingSystem.add_peer`
+create-or-recovers each peer's database under ``<state_dir>/peers/<name>``
+— no manual backend attachment — and the recovery leg is visible as a
+``durability.recover`` span when a tracer is attached first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DurabilityConfig, SystemConfig
+from repro.core.system import MedicalDataSharingSystem
+from repro.obs import Tracer
+from repro.relational import Column, DataType, Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [Column("id", DataType.INTEGER, nullable=False),
+         Column("value", DataType.STRING)],
+        primary_key=("id",),
+    )
+
+
+def _config(tmp_path) -> SystemConfig:
+    return SystemConfig(durability=DurabilityConfig(state_dir=str(tmp_path)))
+
+
+class TestDurablePeerDatabases:
+    def test_default_config_keeps_peer_databases_in_memory(self):
+        system = MedicalDataSharingSystem()
+        peer = system.add_peer("doctor", "Doctor")
+        assert not peer.database.wal.durable
+
+    def test_state_dir_makes_peer_databases_durable(self, tmp_path, schema):
+        system = MedicalDataSharingSystem(_config(tmp_path))
+        peer = system.add_peer("doctor", "Doctor")
+        assert peer.database.wal.durable
+        assert peer.database.name == "doctor_db"
+        peer.database.create_table("notes", schema, [{"id": 1, "value": "a"}])
+        assert system.sync_durability() == 1
+        peer_dir = tmp_path / "peers" / "doctor"
+        assert peer_dir.is_dir()
+        assert any(peer_dir.iterdir()), "no durable state written"
+
+    def test_sync_durability_counts_only_durable_peers(self, tmp_path):
+        system = MedicalDataSharingSystem(_config(tmp_path))
+        system.add_peer("doctor", "Doctor")
+        system.add_peer("patient", "Patient")
+        assert system.sync_durability() == 2
+        assert MedicalDataSharingSystem().sync_durability() == 0
+
+    def test_rows_survive_a_system_rebuild(self, tmp_path, schema):
+        config = _config(tmp_path)
+        first = MedicalDataSharingSystem(config)
+        doctor = first.add_peer("doctor", "Doctor")
+        doctor.database.create_table("notes", schema, [{"id": 1, "value": "a"}])
+        doctor.database.insert("notes", {"id": 2, "value": "b"})
+        first.sync_durability()
+
+        rebuilt = MedicalDataSharingSystem(config)
+        recovered = rebuilt.add_peer("doctor", "Doctor")
+        table = recovered.database.table("notes")
+        assert len(table) == 2
+        assert table.get((2,))["value"] == "b"
+
+    def test_peers_recover_independently(self, tmp_path, schema):
+        config = _config(tmp_path)
+        first = MedicalDataSharingSystem(config)
+        first.add_peer("doctor", "Doctor").database.create_table(
+            "notes", schema, [{"id": 1, "value": "doc"}])
+        first.add_peer("patient", "Patient").database.create_table(
+            "vitals", schema, [{"id": 1, "value": "pat"}])
+        first.sync_durability()
+
+        rebuilt = MedicalDataSharingSystem(config)
+        doctor = rebuilt.add_peer("doctor", "Doctor")
+        patient = rebuilt.add_peer("patient", "Patient")
+        assert doctor.database.table_names == ("notes",)
+        assert patient.database.table_names == ("vitals",)
+
+    def test_recovery_emits_a_span_when_traced(self, tmp_path, schema):
+        config = _config(tmp_path)
+        first = MedicalDataSharingSystem(config)
+        first.add_peer("doctor", "Doctor").database.create_table(
+            "notes", schema, [{"id": 1, "value": "a"}])
+        first.sync_durability()
+
+        rebuilt = MedicalDataSharingSystem(config)
+        tracer = Tracer(rebuilt.simulator.clock)
+        rebuilt.attach_tracer(tracer)
+        peer = rebuilt.add_peer("doctor", "Doctor")
+        recover_spans = [span for span in tracer.spans()
+                         if span.name == "durability.recover"]
+        assert len(recover_spans) == 1
+        (span,) = recover_spans
+        assert span.attrs["peer"] == "doctor"
+        assert span.attrs["tables"] == 1
+        # The recovered backend keeps tracing WAL work afterwards.
+        assert peer.database.wal.backend.tracer is tracer
+        peer.database.insert("notes", {"id": 2, "value": "b"})
+        rebuilt.sync_durability()
+        names = {span.name for span in tracer.spans()}
+        assert "wal.append" in names and "wal.fsync" in names

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.scenario import DOCTOR_RESEARCHER_TABLE
 from repro.metrics.collectors import (
+    HISTOGRAM_BUCKET_BOUNDS,
     ExposureReport,
     LatencyCollector,
     StorageComparison,
@@ -55,6 +56,42 @@ class TestLatencyCollector:
         assert collector.p99 == 7.0
         with pytest.raises(ValueError):
             collector.percentile(101.0)
+
+    def test_p50_matches_median_and_appears_in_summary(self):
+        collector = LatencyCollector()
+        for value in (1.0, 2.0, 3.0, 4.0, 10.0):
+            collector.record_value(value)
+        assert collector.p50 == pytest.approx(collector.median)
+        summary = collector.summary()
+        assert summary["p50"] == pytest.approx(3.0)
+
+    def test_histogram_buckets_are_fixed_log_scale(self):
+        # Bounds double from 1 ms; fixed across collectors and runs.
+        assert HISTOGRAM_BUCKET_BOUNDS[0] == pytest.approx(0.001)
+        ratios = [b / a for a, b in zip(HISTOGRAM_BUCKET_BOUNDS,
+                                        HISTOGRAM_BUCKET_BOUNDS[1:])]
+        assert all(ratio == pytest.approx(2.0) for ratio in ratios)
+
+    def test_histogram_buckets_count_samples_by_upper_bound(self):
+        collector = LatencyCollector()
+        # 0.001 lands exactly on the first bound; 0.0015 needs the second.
+        for value in (0.001, 0.0015, 0.0015, 1e9):
+            collector.record_value(value)
+        buckets = collector.histogram_buckets()
+        assert buckets[repr(0.001)] == 1
+        assert buckets[repr(0.002)] == 2
+        # Samples beyond the last bound overflow into "+inf", listed last.
+        assert buckets["+inf"] == 1
+        assert list(buckets)[-1] == "+inf"
+        assert sum(buckets.values()) == collector.count
+
+    def test_histogram_buckets_omit_empty_buckets(self):
+        collector = LatencyCollector()
+        collector.record_value(0.5)
+        buckets = collector.histogram_buckets()
+        assert len(buckets) == 1
+        assert collector.histogram_buckets() == buckets  # stable
+        assert LatencyCollector().histogram_buckets() == {}
 
     def test_record_workflow_trace(self, fresh_paper_system):
         collector = LatencyCollector()

@@ -1,0 +1,89 @@
+"""CLI surface of the observability layer: repro trace / metrics /
+gateway-loadtest --trace[-out]."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestTraceCommand:
+    def test_trace_prints_stage_and_critical_path_tables(self, capsys):
+        assert main(["trace", "--tenants", "2", "--duration", "6",
+                     "--interval", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "Pipeline stage self-time" in output
+        for stage in ("admission", "seal_commit", "consensus", "delta", "wal"):
+            assert stage in output
+        assert "Critical path" in output
+
+    def test_trace_json_reports_all_five_stages_with_self_time(self, capsys):
+        assert main(["trace", "--tenants", "2", "--duration", "6",
+                     "--interval", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["stages"]) == {"admission", "seal_commit",
+                                          "consensus", "delta", "wal"}
+        for stage, data in payload["stages"].items():
+            assert data["count"] > 0, f"stage {stage} recorded no spans"
+            assert "sim_self" in data and "wall_self" in data
+        assert payload["spans"] > 0
+        assert payload["critical_path"]
+        assert payload["tracer"]["spans_dropped"] == 0
+
+    def test_trace_out_exports_jsonl(self, capsys, tmp_path):
+        out = tmp_path / "spans.jsonl"
+        assert main(["trace", "--tenants", "2", "--duration", "6",
+                     "--interval", "1", "--out", str(out)]) == 0
+        assert out.exists()
+        lines = out.read_text().splitlines()
+        assert lines
+        first = json.loads(lines[0])
+        assert first["operation"] == "span" and first["table"] == "trace"
+
+
+class TestMetricsCommand:
+    def test_metrics_prints_counters_gauges_histograms(self, capsys):
+        assert main(["metrics", "--tenants", "2", "--duration", "6",
+                     "--interval", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "Counters" in output and "Gauges" in output
+        assert "gateway_writes_committed" in output
+        assert "gateway_queue_depth" in output
+        assert "gateway_request_latency" in output
+
+    def test_metrics_json_emits_the_registry_snapshot(self, capsys):
+        assert main(["metrics", "--tenants", "2", "--duration", "6",
+                     "--interval", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"counters", "gauges", "histograms"}
+        assert payload["counters"]["gateway_writes_committed"] > 0
+        assert payload["gauges"]["gateway_queue_depth"] == 0
+        # Per-tenant latency histograms registered by the gateway, with the
+        # fixed log-scale buckets and the p50 satellite in every summary.
+        for data in payload["histograms"].values():
+            assert "p50" in data["summary"]
+            assert sum(data["buckets"].values()) == int(data["summary"]["count"])
+
+
+class TestLoadtestTraceFlags:
+    def test_trace_flag_appends_stage_table(self, capsys):
+        assert main(["gateway-loadtest", "--tenants", "2", "--duration", "5",
+                     "--interval", "1", "--trace"]) == 0
+        output = capsys.readouterr().out
+        assert "Gateway load test" in output
+        assert "Pipeline stage self-time" in output
+
+    def test_trace_out_implies_tracing_and_exports(self, capsys, tmp_path):
+        out = tmp_path / "spans.jsonl"
+        assert main(["gateway-loadtest", "--tenants", "2", "--duration", "5",
+                     "--interval", "1", "--trace-out", str(out), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace"]["exported_spans"] > 0
+        assert len(out.read_text().splitlines()) == payload["trace"]["exported_spans"]
+
+    def test_untraced_loadtest_reports_no_trace(self, capsys):
+        assert main(["gateway-loadtest", "--tenants", "2", "--duration", "5",
+                     "--interval", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "trace" not in payload

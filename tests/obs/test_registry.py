@@ -1,0 +1,115 @@
+"""Unit tests for the unified metrics registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.collectors import LatencyCollector
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, render_key
+
+
+class TestRenderKey:
+    def test_bare_name_without_labels(self):
+        assert render_key("hits", ()) == "hits"
+
+    def test_labels_render_prometheus_style(self):
+        key = render_key("latency", (("tenant", "doctor"), ("zone", "a")))
+        assert key == 'latency{tenant="doctor",zone="a"}'
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_settable_gauge(self):
+        gauge = Gauge()
+        gauge.set(7)
+        assert gauge.value == 7
+
+    def test_callback_gauge_reads_live_state(self):
+        state = {"depth": 1}
+        gauge = Gauge(fn=lambda: state["depth"])
+        assert gauge.value == 1
+        state["depth"] = 9
+        assert gauge.value == 9
+
+    def test_setting_callback_gauge_rejected(self):
+        gauge = Gauge(fn=lambda: 0)
+        with pytest.raises(ValueError):
+            gauge.set(3)
+
+
+class TestHistogram:
+    def test_wraps_existing_collector_without_double_recording(self):
+        collector = LatencyCollector()
+        collector.record_value(1.0)
+        histogram = Histogram(collector)
+        histogram.observe(3.0)
+        assert collector.count == 2
+        payload = histogram.to_dict()
+        assert payload["summary"]["count"] == 2.0
+        assert sum(payload["buckets"].values()) == 2
+
+    def test_creates_collector_when_none_given(self):
+        histogram = Histogram()
+        histogram.observe(0.5)
+        assert histogram.collector.count == 1
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("writes")
+        first.inc()
+        assert registry.counter("writes") is first
+        assert registry.counter("writes").value == 1
+
+    def test_labels_distinguish_instruments_order_independently(self):
+        registry = MetricsRegistry()
+        a = registry.counter("latency", tenant="doctor", zone="a")
+        same = registry.counter("latency", zone="a", tenant="doctor")
+        other = registry.counter("latency", tenant="patient", zone="a")
+        assert a is same
+        assert a is not other
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("writes")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            registry.gauge("writes")
+
+    def test_len_counts_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.gauge("b")
+        registry.histogram("c", tenant="x")
+        assert len(registry) == 3
+
+    def test_snapshot_renders_every_kind_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("writes").inc(2)
+        registry.gauge("depth", fn=lambda: 4)
+        registry.histogram("latency", tenant="doctor").observe(1.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"writes": 2}
+        assert snapshot["gauges"] == {"depth": 4}
+        (key,) = snapshot["histograms"]
+        assert key == 'latency{tenant="doctor"}'
+        assert snapshot["histograms"][key]["summary"]["count"] == 1.0
+
+    def test_snapshot_ordering_is_deterministic(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a", z="1")
+        registry.counter("a", y="1")
+        assert list(registry.snapshot()["counters"]) == [
+            'a{y="1"}', 'a{z="1"}', "b"]

@@ -1,0 +1,141 @@
+"""Trace determinism and export integrity.
+
+Two identically-seeded gateway load tests must export byte-identical span
+trees (the export holds only simulated-clock fields), every per-request
+trace id must resolve to a complete span tree, and the JSONL reader must
+reject the same corruption a WAL reader would.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import run_gateway_loadtest
+from repro.errors import WalCorruptionError
+from repro.obs import (
+    PIPELINE_STAGES,
+    TraceAnalyzer,
+    Tracer,
+    read_trace_jsonl,
+    trace_entries,
+    write_trace_jsonl,
+)
+
+
+def _traced_loadtest(tmp_path, tag):
+    """One deterministic traced load test with a durable state dir, so all
+    five pipeline stages (including WAL appends/fsyncs) produce spans."""
+    out = tmp_path / f"trace-{tag}.jsonl"
+    result = run_gateway_loadtest(
+        tenants=3, duration=8.0, seed=23, interval=1.0,
+        state_dir=str(tmp_path / f"state-{tag}"),
+        trace=True, trace_out=str(out))
+    return result, out
+
+
+class TestDeterministicExport:
+    def test_identical_seeds_export_byte_identical_traces(self, tmp_path):
+        _, first = _traced_loadtest(tmp_path, "a")
+        _, second = _traced_loadtest(tmp_path, "b")
+        first_bytes = first.read_bytes()
+        assert first_bytes
+        assert first_bytes == second.read_bytes()
+
+    def test_different_seed_changes_the_trace(self, tmp_path):
+        _, first = _traced_loadtest(tmp_path, "a")
+        other = tmp_path / "trace-other.jsonl"
+        run_gateway_loadtest(tenants=3, duration=8.0, seed=24, interval=1.0,
+                             state_dir=str(tmp_path / "state-other"),
+                             trace=True, trace_out=str(other))
+        assert first.read_bytes() != other.read_bytes()
+
+    def test_all_five_pipeline_stages_report_spans(self, tmp_path):
+        _, path = _traced_loadtest(tmp_path, "a")
+        analyzer = TraceAnalyzer.from_jsonl(path)
+        stages = analyzer.pipeline_stages()
+        assert set(stages) == set(PIPELINE_STAGES)
+        for stage, data in stages.items():
+            assert data["count"] > 0, f"stage {stage} recorded no spans"
+        # The sharded-lane breakdown is present for the consensus stage.
+        assert stages["consensus"]["lanes"]
+
+    def test_loadtest_result_embeds_the_same_aggregation(self, tmp_path):
+        result, path = _traced_loadtest(tmp_path, "a")
+        analyzer = TraceAnalyzer.from_jsonl(path)
+        assert result["trace"]["spans"] == len(analyzer.spans)
+        assert result["trace"]["exported_spans"] == len(analyzer.spans)
+
+
+class TestRequestTrees:
+    def test_request_trace_ids_resolve_to_complete_span_trees(self, tmp_path):
+        _, path = _traced_loadtest(tmp_path, "a")
+        analyzer = TraceAnalyzer.from_jsonl(path)
+        commits = [span for span in analyzer.spans
+                   if span["name"] == "gateway.commit"
+                   and span["attrs"].get("requests")]
+        assert commits, "no committed batch recorded a member-request list"
+        request_id = commits[0]["attrs"]["requests"][0]
+        tree = analyzer.request_tree(request_id)
+        names = {span["name"] for span in tree}
+        # The tree spans admission AND the batch that committed the write,
+        # including its consensus and propagation children.
+        assert "gateway.admit" in names
+        assert "gateway.commit" in names
+        assert "consensus.round" in names
+        assert "scheduler.plan" in names
+        admits = [span for span in tree if span["name"] == "gateway.admit"]
+        assert any(span["trace_id"] == request_id for span in admits)
+
+    def test_every_admitted_write_has_a_trace_id(self, tmp_path):
+        _, path = _traced_loadtest(tmp_path, "a")
+        for span in TraceAnalyzer.from_jsonl(path).spans:
+            if span["name"] == "gateway.admit":
+                assert span["trace_id"] is not None
+                assert span["trace_id"] == span["attrs"]["request_id"]
+
+
+class TestExportEnvelope:
+    def _spans(self):
+        tracer = Tracer()
+        with tracer.span("outer", trace_id="req-1"):
+            with tracer.span("inner"):
+                pass
+        return tracer.spans()
+
+    def test_round_trip_preserves_payloads(self, tmp_path):
+        spans = self._spans()
+        path = tmp_path / "trace.jsonl"
+        assert write_trace_jsonl(spans, path) == 2
+        payloads = read_trace_jsonl(path)
+        assert payloads == [span.to_dict() for span in
+                            sorted(spans, key=lambda s: s.span_id)]
+
+    def test_entries_are_sequenced_in_span_id_order(self):
+        entries = list(trace_entries(reversed(self._spans())))
+        assert [entry.sequence for entry in entries] == [1, 2]
+        assert [entry.payload["span_id"] for entry in entries] == [1, 2]
+        assert all(entry.operation == "span" and entry.table == "trace"
+                   for entry in entries)
+
+    def test_sequence_gap_detected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(self._spans(), path)
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text(lines[1])  # drop the first entry: sequence starts at 2
+        with pytest.raises(WalCorruptionError, match="sequence gap"):
+            read_trace_jsonl(path)
+
+    def test_foreign_envelope_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps({"sequence": 1, "operation": "insert",
+                                    "table": "t", "payload": {}}) + "\n")
+        with pytest.raises(WalCorruptionError, match="not a trace entry"):
+            read_trace_jsonl(path)
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"sequence": 1, "operation": "span"')
+        with pytest.raises(WalCorruptionError, match="malformed"):
+            read_trace_jsonl(path)

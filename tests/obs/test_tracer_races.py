@@ -1,0 +1,157 @@
+"""Tracer thread-safety under the worker-pool barrier-race harness.
+
+The same commit/read interleaving the gateway race tests hammer, with a
+tracer attached: worker threads finish commit spans while reader threads
+finish cache/read spans concurrently.  Afterwards the recorded span set must
+be structurally sound — unique ids, resolvable parent links, children
+contained in their parents on the simulated timeline.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.gateway import (
+    GatewayWorkerPool,
+    ReadViewRequest,
+    STATUS_OK,
+    SharingGateway,
+    UpdateEntryRequest,
+)
+from repro.obs import Tracer
+from repro.workloads.topology import TopologySpec, build_topology_system
+
+pytestmark = [pytest.mark.slow]
+
+ROUNDS = 10
+READERS = 3
+
+
+def build_system(patients=2):
+    return build_topology_system(TopologySpec(patients=patients, researchers=0),
+                                 SystemConfig.private_chain(1.0))
+
+
+def tenant_tables(system):
+    return {f"patient-{mid.split(':')[1]}": mid for mid in system.agreement_ids}
+
+
+class TestTracerUnderRaces:
+    def test_concurrent_spans_stay_structurally_sound(self):
+        system = build_system(patients=2)
+        tracer = Tracer(system.simulator.clock)
+        gateway = SharingGateway(system, max_batch_size=4, tracer=tracer)
+        tables = tenant_tables(system)
+        doctor = gateway.open_session("doctor")
+        reader_sessions = [gateway.open_session("doctor") for _ in range(READERS)]
+        barrier = threading.Barrier(READERS + 1)
+        writes_done = threading.Event()
+        reader_errors = []
+
+        def read_loop(session):
+            try:
+                barrier.wait(timeout=30)
+                while True:
+                    for metadata_id in tables.values():
+                        response = gateway.submit(session,
+                                                  ReadViewRequest(metadata_id))
+                        assert response.status == STATUS_OK
+                    if writes_done.is_set() and gateway.outstanding_writes == 0:
+                        return
+            except Exception as exc:  # noqa: BLE001 - surfaced in the assert
+                reader_errors.append(f"{type(exc).__name__}: {exc}")
+
+        readers = [threading.Thread(target=read_loop, args=(session,),
+                                    daemon=True)
+                   for session in reader_sessions]
+        responses = []
+        with GatewayWorkerPool(gateway, workers=2) as pool:
+            for thread in readers:
+                thread.start()
+            barrier.wait(timeout=30)
+            for round_index in range(ROUNDS):
+                tag = f"race-{round_index}"
+                for metadata_id in sorted(tables.values()):
+                    patient_id = int(metadata_id.split(":")[1])
+                    responses.append(gateway.submit(doctor, UpdateEntryRequest(
+                        metadata_id=metadata_id, key=(patient_id,),
+                        updates={"clinical_data": tag, "dosage": tag})))
+            assert pool.join_idle(timeout=60.0)
+            writes_done.set()
+            for thread in readers:
+                thread.join(timeout=30)
+            assert not any(thread.is_alive() for thread in readers)
+            assert not pool.errors, pool.errors
+        assert not reader_errors, reader_errors
+        assert all(response.status == STATUS_OK for response in responses)
+
+        spans = tracer.spans()
+        assert spans
+        ids = [span.span_id for span in spans]
+        assert len(ids) == len(set(ids)), "concurrent spans reused an id"
+        by_id = {span.span_id: span for span in spans}
+        for span in spans:
+            assert span.sim_end >= span.sim_start
+            assert span.wall_elapsed >= 0.0
+            if span.parent_id is not None:
+                parent = by_id.get(span.parent_id)
+                assert parent is not None, (
+                    f"span {span.span_id} links to unrecorded parent "
+                    f"{span.parent_id}")
+                # A child is contained in its parent on the simulated
+                # timeline (per-thread stacks make this invariant exact).
+                assert parent.sim_start <= span.sim_start
+                assert span.sim_end <= parent.sim_end
+
+        # Every admitted write got its own trace id, and every committed
+        # batch stitched its member request ids onto the commit span.
+        admit_ids = {span.trace_id for span in spans
+                     if span.name == "gateway.admit"}
+        assert None not in admit_ids
+        batch_members = set()
+        for span in spans:
+            if span.name == "gateway.commit":
+                batch_members.update(span.attrs.get("requests", ()))
+        committed = {response.request_id for response in responses
+                     if response.status == STATUS_OK}
+        assert committed <= batch_members
+
+    def test_tracer_survives_raw_thread_hammering(self):
+        """Direct stress: many threads opening nested spans concurrently."""
+        tracer = Tracer()
+        spans_per_thread = 200
+        threads = 8
+        barrier = threading.Barrier(threads)
+        errors = []
+
+        def hammer(worker):
+            try:
+                barrier.wait(timeout=30)
+                for index in range(spans_per_thread):
+                    with tracer.span("outer", worker=worker):
+                        with tracer.span("inner", worker=worker, index=index):
+                            pass
+            except Exception as exc:  # noqa: BLE001 - surfaced in the assert
+                errors.append(f"{type(exc).__name__}: {exc}")
+
+        workers = [threading.Thread(target=hammer, args=(n,)) for n in range(threads)]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join(timeout=60)
+        assert not errors, errors
+        spans = tracer.spans()
+        assert len(spans) == threads * spans_per_thread * 2
+        ids = [span.span_id for span in spans]
+        assert len(ids) == len(set(ids))
+        by_id = {span.span_id: span for span in spans}
+        for span in spans:
+            if span.name == "inner":
+                parent = by_id[span.parent_id]
+                # Per-thread stacks: the parent is an outer span opened by
+                # the same worker, never one from another thread.
+                assert parent.name == "outer"
+                assert parent.attrs["worker"] == span.attrs["worker"]
