@@ -1,0 +1,225 @@
+"""E16 — chaos soak: fault-injection convergence and latency-aware shedding.
+
+Two gates, both over the seeded deterministic fault machinery in
+:mod:`repro.chaos`:
+
+**Convergence.**  :func:`repro.cli.run_chaos_soak` drives the identical
+multi-tenant update workload twice — once fault-free (the oracle), once under
+the default soak plan (message drops, WAL append/fsync errors, slow and
+failing consensus rounds, one patient-node crash/restart window) with
+retries, circuit breakers and parked-message replay switched on.  The
+faulted run must end with **byte-identical relational state fingerprints**
+(:meth:`MedicalDataSharingSystem.state_fingerprints` — block timestamps
+deliberately excluded, since retry backoffs legitimately stretch the faulted
+clock), converged chain lengths, every admitted request terminal, and every
+shared table consistent across its subscribers.
+
+**Overload.**  A driver admits writes faster than batches clear them (one
+commit per ``COMMIT_EVERY`` arrivals against batches of ``BATCH_SIZE``), so
+backlog genuinely accumulates.  With queue-depth-only shedding the backlog
+runs to capacity and committed-write p99 grows with the run; with a
+commit-latency target the :class:`~repro.gateway.LatencyShedder` (windowed
+p99 + predicted queueing delay) sheds at admission instead.  The gate: the
+latency-driven run keeps committed-write p99 within ``P99_BOUND_FACTOR`` ×
+target while the depth-only run blows through it.
+
+Runnable two ways::
+
+    python -m pytest benchmarks/bench_chaos_soak.py           # full gates
+    python -m pytest benchmarks/bench_chaos_soak.py --quick   # CI smoke
+    python benchmarks/bench_chaos_soak.py --json              # prints JSON
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Any, Dict, Optional
+
+from repro.cli import run_chaos_soak
+from repro.config import SystemConfig
+from repro.gateway import SharingGateway, UpdateEntryRequest
+from repro.workloads.topology import TopologySpec, build_topology_system
+from repro.workloads.updates import UpdateStreamGenerator
+
+# Convergence gate sizes (soak rounds; one write per tenant per round).
+FULL_ROUNDS = 12
+QUICK_ROUNDS = 6
+SOAK_TENANTS = 4
+SOAK_SEED = 23
+
+# Overload gate: arrivals paced ARRIVAL_GAP sim-seconds apart, one commit per
+# COMMIT_EVERY arrivals against batches of BATCH_SIZE — each cycle adds
+# (COMMIT_EVERY - BATCH_SIZE) writes of backlog, a sustained overload.
+FULL_ARRIVALS = 480
+QUICK_ARRIVALS = 240
+OVERLOAD_TENANTS = 6
+ARRIVAL_GAP = 0.2
+COMMIT_EVERY = 16
+BATCH_SIZE = 8
+QUEUE_CAPACITY = 256
+#: Commit-latency p99 target (simulated seconds) for the latency-driven run.
+LATENCY_TARGET = 8.0
+#: Acceptance gate: the latency-driven run's committed-write p99 stays within
+#: this multiple of the target; the depth-only run must exceed it.
+P99_BOUND_FACTOR = 3.0
+
+
+def _max_committed_p99(metrics: Dict[str, Any]) -> float:
+    """Worst per-tenant p99 over committed writes (the workload is
+    write-only, so tenant latency collectors see no read samples)."""
+    return max((stats["p99"] for stats in metrics["tenants"].values()
+                if stats["count"]), default=0.0)
+
+
+def _overload_run(latency_target: Optional[float], arrivals: int,
+                  seed: int = SOAK_SEED) -> Dict[str, Any]:
+    """One overload run; ``latency_target=None`` is the depth-only baseline.
+
+    Arrival pacing uses relative ``clock.advance`` (not ``advance_to`` over a
+    precomputed trace): batch mining advances the shared simulated clock, so
+    absolute arrival times would collapse into the past and queueing delay
+    would vanish from the measurement.
+    """
+    system = build_topology_system(
+        TopologySpec(patients=OVERLOAD_TENANTS, researchers=0, seed=seed),
+        SystemConfig.private_chain(1.0))
+    gateway = SharingGateway(system, max_batch_size=BATCH_SIZE,
+                             max_queue_depth=QUEUE_CAPACITY,
+                             latency_target=latency_target)
+    updates = UpdateStreamGenerator(system, seed=seed)
+    names = sorted(peer.name for peer in system.peers if peer.role == "Patient")
+    sessions = {name: gateway.open_session(name) for name in names}
+    clock = system.simulator.clock
+    for index in range(arrivals):
+        clock.advance(ARRIVAL_GAP)
+        name = names[index % len(names)]
+        metadata_id = system.peer(name).agreement_ids[0]
+        event = updates.event_for(metadata_id, peer=name)
+        gateway.submit(sessions[name], UpdateEntryRequest(
+            metadata_id=metadata_id, key=event.key, updates=event.updates))
+        if (index + 1) % COMMIT_EVERY == 0:
+            gateway.commit_once()
+    gateway.drain()
+    gateway.close()
+    metrics = gateway.metrics()
+    statuses = metrics["requests"]["by_status"]
+    return {
+        "latency_target": latency_target,
+        "arrivals": arrivals,
+        "committed_p99": _max_committed_p99(metrics),
+        "writes_committed": metrics["batches"]["writes_committed"],
+        "shed_by_reason": metrics["resilience"]["shed_by_reason"],
+        "statuses": statuses,
+        "all_terminal": statuses.get("queued", 0) == 0,
+    }
+
+
+def run_chaos_bench(rounds: int = FULL_ROUNDS, arrivals: int = FULL_ARRIVALS,
+                    events_out: Optional[str] = None) -> Dict[str, Any]:
+    """Both gates; returns a JSON-able result with an overall ``ok``."""
+    oracle = run_chaos_soak(tenants=SOAK_TENANTS, rounds=rounds,
+                            seed=SOAK_SEED, inject=False)
+    faulted = run_chaos_soak(tenants=SOAK_TENANTS, rounds=rounds,
+                             seed=SOAK_SEED, inject=True,
+                             events_out=events_out)
+    fingerprints_identical = (
+        json.dumps(oracle["fingerprints"], sort_keys=True).encode()
+        == json.dumps(faulted["fingerprints"], sort_keys=True).encode())
+    chains_converged = (
+        len(set(faulted["chain_lengths"].values())) == 1
+        and faulted["chain_lengths"] == oracle["chain_lengths"])
+    convergence = {
+        "rounds": rounds,
+        "fingerprints_identical": fingerprints_identical,
+        "chains_converged": chains_converged,
+        "all_terminal": oracle["all_terminal"] and faulted["all_terminal"],
+        "shared_tables_consistent": faulted["shared_tables_consistent"],
+        "fault_events": faulted["fault_events"],
+        "events_by_kind": faulted["events_by_kind"],
+        "messages_retransmitted": faulted["transport"]["retransmits"],
+        "messages_lost": faulted["transport"]["lost"],
+        "oracle_statuses": oracle["statuses"],
+        "faulted_statuses": faulted["statuses"],
+    }
+    convergence["ok"] = (fingerprints_identical and chains_converged
+                         and convergence["all_terminal"]
+                         and convergence["shared_tables_consistent"]
+                         and faulted["fault_events"] > 0)
+
+    depth_only = _overload_run(None, arrivals)
+    latency_aware = _overload_run(LATENCY_TARGET, arrivals)
+    bound = P99_BOUND_FACTOR * LATENCY_TARGET
+    overload = {
+        "arrivals": arrivals,
+        "latency_target": LATENCY_TARGET,
+        "p99_bound": bound,
+        "depth_only": depth_only,
+        "latency_aware": latency_aware,
+        "ok": (latency_aware["committed_p99"] <= bound
+               and depth_only["committed_p99"] > bound
+               and latency_aware["writes_committed"] > 0
+               and depth_only["all_terminal"]
+               and latency_aware["all_terminal"]),
+    }
+    result: Dict[str, Any] = {
+        "experiment": "E16_chaos_soak",
+        "convergence": convergence,
+        "overload": overload,
+        "ok": convergence["ok"] and overload["ok"],
+    }
+    if events_out is not None:
+        result["events_path"] = str(events_out)
+        result["events_written"] = faulted.get("events_written")
+    return result
+
+
+def test_chaos_soak_convergence_and_shedding(emit, quick):
+    """Faulted soak must converge byte-identically to the fault-free oracle,
+    and the latency-driven shedder must hold committed-write p99 within the
+    bound under an overload that blows past it with depth-only shedding."""
+    rounds = QUICK_ROUNDS if quick else FULL_ROUNDS
+    arrivals = QUICK_ARRIVALS if quick else FULL_ARRIVALS
+    result = run_chaos_bench(rounds=rounds, arrivals=arrivals)
+    emit("E16_chaos_soak", json.dumps(result, indent=2, sort_keys=True))
+    convergence = result["convergence"]
+    assert convergence["fingerprints_identical"], (
+        "faulted run's relational state diverged from the fault-free oracle")
+    assert convergence["chains_converged"], "chain lengths diverged"
+    assert convergence["all_terminal"], "a submitted request never turned terminal"
+    assert convergence["shared_tables_consistent"]
+    assert convergence["fault_events"] > 0, "no fault ever fired"
+    assert convergence["messages_lost"] == 0, (
+        "a dropped message was never retransmitted (silent loss)")
+    overload = result["overload"]
+    bound = overload["p99_bound"]
+    assert overload["latency_aware"]["committed_p99"] <= bound, (
+        f"latency-aware p99 {overload['latency_aware']['committed_p99']:.1f}s "
+        f"exceeds the {bound:.0f}s bound")
+    assert overload["depth_only"]["committed_p99"] > bound, (
+        "depth-only shedding unexpectedly held the bound — the workload is "
+        "not an overload; raise the arrival pressure")
+    assert overload["latency_aware"]["writes_committed"] > 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=FULL_ROUNDS)
+    parser.add_argument("--arrivals", type=int, default=FULL_ARRIVALS)
+    parser.add_argument("--quick", action="store_true",
+                        help="use the reduced CI smoke workload")
+    parser.add_argument("--events-out", default=None,
+                        help="write the faulted run's fault events as JSONL")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full JSON result (default)")
+    args = parser.parse_args()
+    rounds = QUICK_ROUNDS if args.quick else args.rounds
+    arrivals = QUICK_ARRIVALS if args.quick else args.arrivals
+    result = run_chaos_bench(rounds=rounds, arrivals=arrivals,
+                             events_out=args.events_out)
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0 if result["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""Deterministic chaos engineering for the sharing pipeline.
+
+* :mod:`repro.chaos.faults` — seeded fault plans + the injector threaded
+  through transport, WAL, consensus and contract execution;
+* :mod:`repro.chaos.retry` — typed retries with deterministic backoff on
+  the sim clock;
+* :mod:`repro.chaos.breaker` — per-peer / per-lane circuit breakers.
+
+Attach a plan to a running system with
+:meth:`repro.core.system.MedicalDataSharingSystem.attach_chaos`.
+"""
+
+from repro.chaos.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    NULL_INJECTOR,
+    NullFaultInjector,
+)
+from repro.chaos.retry import Retrier, RetryPolicy
+from repro.chaos.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerBoard,
+    CircuitBreaker,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "NULL_INJECTOR",
+    "NullFaultInjector",
+    "Retrier",
+    "RetryPolicy",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "STATE_CLOSED",
+    "STATE_OPEN",
+    "STATE_HALF_OPEN",
+]

@@ -1,0 +1,135 @@
+"""Typed retries with exponential backoff and deterministic jitter.
+
+A :class:`RetryPolicy` is pure data: which exception types are retryable,
+how many attempts, and the backoff curve.  A :class:`Retrier` binds a policy
+to the shared :class:`~repro.ledger.clock.SimClock` and a seeded RNG — each
+backoff *advances simulated time* instead of sleeping, so retry schedules
+are deterministic, visible in traces, and costless in wall-clock terms.
+
+Retryable by default: :class:`~repro.errors.TransientFault` (injected
+transient consensus failures) and :class:`OSError` (disk faults, including
+:class:`~repro.errors.InjectedDiskError`).  Everything else is terminal and
+re-raised on first occurrence.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from repro.errors import TransientFault
+from repro.obs.tracer import NULL_TRACER
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff curve + the typed retryable/terminal split.
+
+    ``backoff(attempt)`` for attempt ``n`` (1-based) is
+    ``min(max_delay, base_delay * multiplier**(n-1))`` scaled by a
+    deterministic jitter factor in ``[1, 1+jitter]`` drawn from the caller's
+    seeded RNG.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    retryable: Tuple[Type[BaseException], ...] = (TransientFault, OSError)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    @classmethod
+    def from_config(cls, resilience) -> "RetryPolicy":
+        """Build from a :class:`repro.config.ResilienceConfig`."""
+        return cls(max_attempts=resilience.retry_max_attempts,
+                   base_delay=resilience.retry_base_delay,
+                   multiplier=resilience.retry_multiplier,
+                   max_delay=resilience.retry_max_delay,
+                   jitter=resilience.retry_jitter)
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        return isinstance(exc, self.retryable)
+
+    def backoff(self, attempt: int,
+                rng: Optional[random.Random] = None) -> float:
+        delay = min(self.max_delay,
+                    self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
+
+
+class Retrier:
+    """A policy bound to the sim clock: ``call(fn)`` with deterministic
+    backoff between attempts.
+
+    The retry timeline (``(time, label, attempt, backoff)`` tuples) is kept
+    for determinism assertions, every backoff is emitted as a
+    ``chaos.retry`` span, and counters land in the registry when one is
+    attached.
+    """
+
+    def __init__(self, policy: RetryPolicy, clock, seed: int = 11,
+                 name: str = "retry", tracer=NULL_TRACER,
+                 registry=None) -> None:
+        self.policy = policy
+        self.clock = clock
+        self.name = name
+        self.tracer = tracer
+        self._rng = random.Random(seed)
+        self.attempts = 0
+        self.retries = 0
+        self.exhausted = 0
+        self.timeline: List[Tuple[float, str, int, float]] = []
+        self._retry_counter = None
+        self._exhausted_counter = None
+        if registry is not None:
+            self._retry_counter = registry.counter("chaos_retries", scope=name)
+            self._exhausted_counter = registry.counter(
+                "chaos_retries_exhausted", scope=name)
+
+    def call(self, fn: Callable[[], Any], label: str = "") -> Any:
+        """Run ``fn`` under the policy; re-raise terminal (or exhausted)
+        failures unchanged."""
+        attempt = 1
+        while True:
+            self.attempts += 1
+            try:
+                return fn()
+            except BaseException as exc:  # noqa: BLE001 — typed filter below
+                if not self.policy.is_retryable(exc):
+                    raise
+                if attempt >= self.policy.max_attempts:
+                    self.exhausted += 1
+                    if self._exhausted_counter is not None:
+                        self._exhausted_counter.inc()
+                    raise
+                backoff = self.policy.backoff(attempt, self._rng)
+                with self.tracer.span("chaos.retry", scope=self.name,
+                                      label=label, attempt=attempt,
+                                      backoff=round(backoff, 9),
+                                      error=str(exc)):
+                    pass
+                self.clock.advance(backoff)
+                self.retries += 1
+                if self._retry_counter is not None:
+                    self._retry_counter.inc()
+                self.timeline.append(
+                    (round(self.clock.now(), 9), label, attempt,
+                     round(backoff, 9)))
+                attempt += 1
+
+    def statistics(self) -> Dict[str, Any]:
+        return {"name": self.name, "attempts": self.attempts,
+                "retries": self.retries, "exhausted": self.exhausted}

@@ -9,6 +9,7 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro.cli throughput --interval 12 --updates 6
     python -m repro.cli exposure                # fine-grained vs full-record exposure
     python -m repro.cli gateway-loadtest --tenants 8 --duration 30
+    python -m repro.cli chaos-soak              # fault plan vs fault-free oracle
     python -m repro.cli trace                   # per-stage self-time + critical path
     python -m repro.cli metrics                 # unified metrics-registry snapshot
 
@@ -35,6 +36,7 @@ from repro.core.scenario import (
     build_extended_scenario,
     build_paper_scenario,
 )
+from repro.errors import ChaosError
 from repro.metrics.collectors import exposure_report, measure_throughput
 from repro.metrics.reporting import format_table
 from repro.workloads.updates import UpdateStreamGenerator
@@ -189,7 +191,10 @@ def run_gateway_loadtest(tenants: int = 8, duration: float = 30.0, rate: float =
                          max_responses: Optional[int] = None,
                          trace: bool = False,
                          trace_out: Optional[str] = None,
-                         registry: bool = False) -> Dict[str, Any]:
+                         registry: bool = False,
+                         latency_target: Optional[float] = None,
+                         chaos: Optional[Any] = None,
+                         chaos_events_out: Optional[str] = None) -> Dict[str, Any]:
     """Drive open-loop multi-tenant traffic through the gateway; returns metrics.
 
     The engine behind the ``gateway-loadtest`` subcommand (also importable
@@ -207,6 +212,14 @@ def run_gateway_loadtest(tenants: int = 8, duration: float = 30.0, rate: float =
     :class:`~repro.obs.TraceAnalyzer` aggregation) and, with ``trace_out``,
     the raw spans are exported as WAL-envelope JSONL.  ``registry`` adds the
     gateway's unified :meth:`MetricsRegistry.snapshot` under ``registry``.
+
+    ``latency_target`` enables commit-latency-driven admission shedding (the
+    p99 bound in simulated seconds).  ``chaos`` attaches a seeded fault plan
+    — a :class:`~repro.chaos.FaultPlan`, its dict form, or a path to its
+    JSON — together with the configured retry policy, so injected drops,
+    disk errors and slow rounds are survived; the result then gains a
+    ``chaos`` section and ``chaos_events_out`` exports the fault-event
+    JSONL.
     """
     import asyncio
 
@@ -221,10 +234,19 @@ def run_gateway_loadtest(tenants: int = 8, duration: float = 30.0, rate: float =
     system = build_topology_system(TopologySpec(patients=tenants, researchers=0, seed=seed),
                                    SystemConfig.private_chain(interval))
     tracer = Tracer(system.simulator.clock) if (trace or trace_out) else None
+    injector = None
+    if chaos is not None:
+        from repro.chaos import FaultInjector, RetryPolicy
+        from repro.obs.tracer import NULL_TRACER
+        injector = FaultInjector(_coerce_fault_plan(chaos), system.simulator.clock,
+                                 tracer=tracer if tracer is not None else NULL_TRACER)
+        system.attach_chaos(injector,
+                            retry_policy=RetryPolicy.from_config(
+                                system.config.resilience))
     gateway = SharingGateway(system, max_batch_size=batch_size, default_rate=rate_limit,
                              max_queue_depth=max_queue_depth, state_dir=state_dir,
                              fsync_policy=fsync_policy, max_responses=max_responses,
-                             tracer=tracer)
+                             tracer=tracer, latency_target=latency_target)
     profiles = default_tenant_profiles(system, request_rate=rate,
                                        read_fraction=read_fraction)
     clock = system.simulator.clock
@@ -282,7 +304,248 @@ def run_gateway_loadtest(tenants: int = 8, duration: float = 30.0, rate: float =
             result["trace"]["export_path"] = str(trace_out)
     if registry:
         result["registry"] = gateway.registry.snapshot()
+    if injector is not None:
+        result["chaos"] = {
+            "fault_events": len(injector.events),
+            "events_by_kind": injector.events_by_kind(),
+            "transport": dict(system.simulator.transport.statistics),
+        }
+        if chaos_events_out:
+            result["chaos"]["events_path"] = str(chaos_events_out)
+            result["chaos"]["events_written"] = injector.write_events(
+                chaos_events_out)
     return result
+
+
+def _coerce_fault_plan(plan: Any):
+    """Accept a FaultPlan, its dict form, or a path to its JSON file."""
+    from repro.chaos import FaultPlan
+
+    if isinstance(plan, FaultPlan):
+        return plan
+    if isinstance(plan, dict):
+        return FaultPlan.from_dict(plan)
+    return FaultPlan.load(plan)
+
+
+def default_soak_plan(tenants: int = 4, rounds: int = 12, interval: float = 1.0,
+                      seed: int = 7, first_patient_id: int = 188):
+    """The chaos-soak's default fault plan: background message drops, WAL
+    fsync errors, slow/failing consensus rounds, and one patient-node
+    crash/restart window.
+
+    The crash window is placed far past the pre-crash phase's possible clock
+    span (retry backoffs and injected delays stretch the faulted run's
+    clock), so :func:`run_chaos_soak` can align both the oracle and the
+    faulted run to the window edges deterministically.
+    """
+    from repro.chaos import FaultPlan, FaultSpec
+
+    span = max(120.0, 60.0 * interval * rounds)
+    return FaultPlan(seed=seed, specs=(
+        FaultSpec(kind="transport.drop", probability=0.08, max_fires=6),
+        FaultSpec(kind="wal.append", probability=0.08, max_fires=3),
+        FaultSpec(kind="wal.fsync", probability=0.20, max_fires=3),
+        FaultSpec(kind="consensus.slow", probability=0.10, param=0.5,
+                  max_fires=5),
+        FaultSpec(kind="consensus.fail", probability=0.15, max_fires=2),
+        FaultSpec(kind="peer.crash", target=f"node-patient-{first_patient_id}",
+                  start=span, end=2.0 * span),
+    ))
+
+
+def run_chaos_soak(tenants: int = 4, rounds: int = 12, seed: int = 23,
+                   interval: float = 1.0, plan: Optional[Any] = None,
+                   inject: bool = True, retry: bool = True,
+                   state_dir: Optional[str] = None,
+                   events_out: Optional[str] = None) -> Dict[str, Any]:
+    """One deterministic chaos-soak run; returns final-state fingerprints.
+
+    Drives ``rounds`` rounds of writes (one per patient tenant per round)
+    through a sync gateway over a ``tenants``-patient topology.  With
+    ``inject`` the fault plan is attached (drops, fsync errors, slow rounds,
+    one peer crash/restart window); without it the *same workload* runs
+    fault-free — the oracle.  Submission shaping is identical either way:
+    tenants whose node a ``peer.crash`` spec targets sit out the middle
+    third of the rounds, and the clock is aligned to the crash window's
+    edges between phases, so the window can only ever be open while its
+    victims are silent.  The self-healing layer (retries, retransmissions,
+    parked-replay) must then make the faulted run's final relational state
+    *byte-identical* to the oracle's — compare the ``fingerprints``.
+    """
+    import tempfile
+
+    from repro.chaos import FaultInjector, RetryPolicy
+    from repro.errors import ChaosError
+    from repro.gateway import SharingGateway, UpdateEntryRequest
+    from repro.workloads.topology import TopologySpec, build_topology_system
+    from repro.workloads.updates import UpdateStreamGenerator
+
+    if rounds < 3:
+        raise ValueError("a chaos soak needs at least 3 rounds")
+    if state_dir is None:
+        # A durable response journal by default, so wal.append / wal.fsync
+        # faults have a WAL on the serving path to land on.
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+            return run_chaos_soak(tenants=tenants, rounds=rounds, seed=seed,
+                                  interval=interval, plan=plan, inject=inject,
+                                  retry=retry, state_dir=tmp,
+                                  events_out=events_out)
+    fault_plan = (default_soak_plan(tenants=tenants, rounds=rounds,
+                                    interval=interval)
+                  if plan is None else _coerce_fault_plan(plan))
+    crash_specs = [spec for spec in fault_plan.specs
+                   if spec.kind == "peer.crash"]
+    if any(spec.end is None for spec in crash_specs):
+        raise ChaosError("peer.crash specs in a soak plan need a closed "
+                         "[start, end) window, or parked messages never replay")
+    crash_start = min((spec.start for spec in crash_specs), default=None)
+    crash_end = max((spec.end for spec in crash_specs), default=None)
+    victim_peers = {spec.target[len("node-"):] for spec in crash_specs
+                    if spec.target and spec.target.startswith("node-")}
+
+    system = build_topology_system(
+        TopologySpec(patients=tenants, researchers=0, seed=seed),
+        SystemConfig.private_chain(interval))
+    clock = system.simulator.clock
+    injector = None
+    if inject:
+        injector = FaultInjector(fault_plan, clock)
+        policy = (RetryPolicy.from_config(system.config.resilience)
+                  if retry else None)
+        system.attach_chaos(injector, retry_policy=policy)
+    gateway = SharingGateway(system, max_batch_size=max(16, tenants),
+                             state_dir=state_dir)
+    tenant_names = sorted(peer.name for peer in system.peers
+                          if peer.role == "Patient")
+    if not victim_peers <= set(tenant_names):
+        raise ChaosError(f"peer.crash targets {sorted(victim_peers)} are not "
+                         f"patient tenants of this topology — crashing a hub "
+                         f"peer stalls every agreement")
+    sessions = {name: gateway.open_session(name) for name in tenant_names}
+    updates = UpdateStreamGenerator(system, seed=seed)
+
+    # Round phases: victims write in [0, crash_from) and [crash_to, rounds),
+    # and sit out the middle — the only rounds the crash window may span.
+    crash_from = rounds // 3
+    crash_to = rounds - rounds // 3
+    responses = []
+
+    def run_round(round_index: int) -> None:
+        for name in tenant_names:
+            if crash_from <= round_index < crash_to and name in victim_peers:
+                continue
+            metadata_id = system.peer(name).agreement_ids[0]
+            event = updates.event_for(metadata_id, peer=name)
+            request = UpdateEntryRequest(metadata_id=metadata_id,
+                                         key=event.key, updates=event.updates)
+            responses.append(gateway.submit(sessions[name], request))
+        gateway.commit_once()
+        clock.advance(interval)
+
+    window_overrun = False
+    for round_index in range(rounds):
+        if round_index == crash_from and crash_start is not None:
+            # Align both runs to the window's opening edge.  The margin in
+            # the plan makes this an advance; a custom plan with a window
+            # inside the pre-crash span is reported, not silently diverged.
+            window_overrun = window_overrun or clock.now() > crash_start
+            clock.advance_to(crash_start)
+        if round_index == crash_to and crash_end is not None:
+            clock.advance_to(crash_end)
+            # The window is now closed: release and deliver parked messages
+            # so the restarted replica replays the blocks it missed, in
+            # order, before its tenant writes again.
+            system.simulator.transport.flush()
+        run_round(round_index)
+    if crash_end is not None:
+        clock.advance_to(crash_end)
+        system.simulator.transport.flush()
+    gateway.drain()
+    gateway.close()
+
+    statuses: Dict[str, int] = {}
+    for response in responses:
+        statuses[response.status] = statuses.get(response.status, 0) + 1
+    result: Dict[str, Any] = {
+        "inject": inject,
+        "tenants": tenants,
+        "rounds": rounds,
+        "seed": seed,
+        "plan_seed": fault_plan.seed,
+        "submitted": len(responses),
+        "statuses": dict(sorted(statuses.items())),
+        "all_terminal": all(response.terminal for response in responses),
+        "window_overrun": window_overrun,
+        "fingerprints": system.state_fingerprints(),
+        "shared_tables_consistent": system.all_shared_tables_consistent(),
+        "chain_lengths": {node.name: len(node.chain)
+                          for node in system.simulator.nodes},
+        "transport": dict(system.simulator.transport.statistics),
+        "simulated_seconds": clock.now(),
+        "fault_events": 0,
+        "events_by_kind": {},
+    }
+    if injector is not None:
+        result["fault_events"] = len(injector.events)
+        result["events_by_kind"] = injector.events_by_kind()
+        if events_out:
+            result["events_path"] = str(events_out)
+            result["events_written"] = injector.write_events(events_out)
+    return result
+
+
+def _cmd_chaos_soak(args: argparse.Namespace) -> int:
+    """Run the faulted soak against its fault-free oracle and compare."""
+    plan = args.plan  # a path, or None for the default plan
+    common = dict(tenants=args.tenants, rounds=args.rounds, seed=args.seed,
+                  interval=args.interval, plan=plan)
+    try:
+        oracle = run_chaos_soak(inject=False, **common)
+        faulted = run_chaos_soak(inject=True, events_out=args.events_out,
+                                 **common)
+    except (ValueError, ChaosError, OSError) as exc:
+        print(f"chaos-soak: {exc}", file=sys.stderr)
+        return 2
+    oracle_bytes = json.dumps(oracle["fingerprints"], sort_keys=True).encode()
+    faulted_bytes = json.dumps(faulted["fingerprints"], sort_keys=True).encode()
+    converged = oracle_bytes == faulted_bytes
+    chains_converged = (len(set(faulted["chain_lengths"].values())) == 1
+                        and faulted["chain_lengths"] == oracle["chain_lengths"])
+    ok = (converged and chains_converged and faulted["all_terminal"]
+          and oracle["all_terminal"] and faulted["shared_tables_consistent"])
+    if args.json:
+        _emit_json({
+            "converged": converged,
+            "chains_converged": chains_converged,
+            "ok": ok,
+            "oracle": {k: oracle[k] for k in
+                       ("submitted", "statuses", "all_terminal",
+                        "simulated_seconds")},
+            "faulted": {k: faulted[k] for k in
+                        ("submitted", "statuses", "all_terminal",
+                         "fault_events", "events_by_kind", "transport",
+                         "simulated_seconds", "window_overrun")},
+        })
+        return 0 if ok else 1
+    transport = faulted["transport"]
+    print(format_table(
+        ("metric", "value"),
+        [("tenants / rounds", f"{args.tenants} / {args.rounds}"),
+         ("writes submitted (each run)", faulted["submitted"]),
+         ("fault events injected", faulted["fault_events"]),
+         ("faults by kind", ", ".join(f"{kind}={count}" for kind, count in
+                                      sorted(faulted["events_by_kind"].items()))
+          or "-"),
+         ("messages dropped then retransmitted", transport["retransmits"]),
+         ("messages lost for good", transport["lost"]),
+         ("all responses terminal", faulted["all_terminal"]),
+         ("chain lengths converged", chains_converged),
+         ("fingerprints byte-identical", converged)],
+        title="Chaos soak vs fault-free oracle"))
+    if not ok:
+        print("chaos-soak: faulted run DIVERGED from the oracle", file=sys.stderr)
+    return 0 if ok else 1
 
 
 def _cmd_gateway_loadtest(args: argparse.Namespace) -> int:
@@ -294,8 +557,10 @@ def _cmd_gateway_loadtest(args: argparse.Namespace) -> int:
             transport=args.transport, max_delay=args.max_delay,
             max_queue_depth=args.max_queue_depth, state_dir=args.state_dir,
             fsync_policy=args.fsync_policy, max_responses=args.max_responses,
-            trace=args.trace, trace_out=args.trace_out)
-    except ValueError as exc:
+            trace=args.trace, trace_out=args.trace_out,
+            latency_target=args.latency_target, chaos=args.chaos,
+            chaos_events_out=args.chaos_events_out)
+    except (ValueError, ChaosError, OSError) as exc:
         print(f"gateway-loadtest: {exc}", file=sys.stderr)
         return 2
     if args.json:
@@ -329,6 +594,22 @@ def _cmd_gateway_loadtest(args: argparse.Namespace) -> int:
         rows.append(("pump seals (depth/deadline/idle/flush)",
                      "/".join(str(sealed[k])
                               for k in ("depth", "deadline", "idle", "flush"))))
+    resilience = metrics.get("resilience", {})
+    if resilience.get("latency_target") is not None:
+        shedder = resilience["shedder"]
+        rows.extend([
+            ("latency target p99 (s)", resilience["latency_target"]),
+            ("windowed p99 (s)", (round(shedder["p99"], 3)
+                                  if shedder["p99"] is not None else "-")),
+            ("shed by reason", ", ".join(
+                f"{reason}={count}" for reason, count in
+                resilience["shed_by_reason"].items() if count) or "-"),
+        ])
+    if "chaos" in result:
+        chaos = result["chaos"]
+        rows.append(("fault events injected", chaos["fault_events"]))
+        rows.append(("messages retransmitted",
+                     chaos["transport"]["retransmits"]))
     print(format_table(("metric", "value"), rows, title="Gateway load test"))
     tenant_rows = [
         (tenant, stats["count"], round(stats["mean"], 2), round(stats["p95"], 2))
@@ -540,6 +821,33 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--trace-out", default=None, metavar="PATH",
                           help="export the recorded spans as WAL-envelope "
                                "JSONL to PATH (implies tracing)")
+    loadtest.add_argument("--latency-target", type=float, default=None,
+                          help="shed writes while the committed-write p99 "
+                               "(or predicted queueing delay) exceeds this "
+                               "many simulated seconds")
+    loadtest.add_argument("--chaos", default=None, metavar="PLAN",
+                          help="attach a seeded fault plan (path to its "
+                               "JSON) plus the configured retry policy")
+    loadtest.add_argument("--chaos-events-out", default=None, metavar="PATH",
+                          help="export the injected fault events as JSONL")
+
+    soak = add_command(
+        "chaos-soak", "run a seeded fault plan against its fault-free "
+                      "oracle and verify byte-identical final state",
+        _cmd_chaos_soak)
+    soak.add_argument("--tenants", type=int, default=4,
+                      help="number of patient tenants")
+    soak.add_argument("--rounds", type=int, default=12,
+                      help="write rounds (one write per tenant per round)")
+    soak.add_argument("--seed", type=int, default=23)
+    soak.add_argument("--interval", type=float, default=1.0,
+                      help="block interval in simulated seconds")
+    soak.add_argument("--plan", default=None, metavar="PLAN",
+                      help="fault plan JSON path (default: the built-in "
+                           "drops + fsync errors + crash window + slow "
+                           "rounds plan)")
+    soak.add_argument("--events-out", default=None, metavar="PATH",
+                      help="export the faulted run's fault events as JSONL")
 
     trace_cmd = add_command(
         "trace", "trace a gateway load test: per-stage self-time, lanes, "

@@ -134,6 +134,81 @@ class NetworkConfig:
 
 
 @dataclass(frozen=True)
+class ResilienceConfig:
+    """Configuration of the self-healing policies (retries, breakers,
+    latency-aware admission, degraded reads).
+
+    Attributes
+    ----------
+    retry_max_attempts / retry_base_delay / retry_multiplier / retry_max_delay /
+    retry_jitter:
+        The exponential-backoff :class:`~repro.chaos.RetryPolicy` applied to
+        consensus rounds, gossip retransmissions and WAL appends when chaos
+        wiring is attached.  Jitter is a deterministic fraction drawn from a
+        seeded RNG, all delays are simulated seconds.
+    breaker_failure_threshold / breaker_reset_timeout:
+        Per-peer / per-lane circuit breakers: consecutive *infrastructure*
+        failures (commit blow-ups, not contract rejections) before a breaker
+        opens, and the simulated seconds before an open breaker admits a
+        half-open probe.
+    latency_target_p99:
+        Commit-latency admission target in simulated seconds.  When set, the
+        gateway sheds writes while the sliding-window p99 — or the predicted
+        queueing delay at the current depth — exceeds the target.  ``None``
+        (default) keeps queue-depth-only shedding.
+    latency_window / latency_min_samples:
+        Sliding window (simulated seconds) and minimum sample count before
+        the p99 estimate participates in shed decisions.
+    fair_queueing:
+        When true, a tenant holding at least its fair share of the bounded
+        write queue (capacity / active queued tenants) is shed before the
+        queue is full, so one hot tenant cannot starve the fleet.
+    degraded_reads / max_staleness:
+        When degraded reads are enabled and the commit path is unhealthy
+        (commit breaker open, or p99 over target), ``ReadViewRequest``s are
+        answered from the ``ViewCache`` without touching the commit lock,
+        marked ``degraded`` with their staleness; entries older than
+        ``max_staleness`` simulated seconds are never served degraded.
+    """
+
+    retry_max_attempts: int = 4
+    retry_base_delay: float = 0.05
+    retry_multiplier: float = 2.0
+    retry_max_delay: float = 2.0
+    retry_jitter: float = 0.5
+    breaker_failure_threshold: int = 3
+    breaker_reset_timeout: float = 10.0
+    latency_target_p99: Optional[float] = None
+    latency_window: float = 30.0
+    latency_min_samples: int = 5
+    fair_queueing: bool = True
+    degraded_reads: bool = False
+    max_staleness: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.retry_max_attempts < 1:
+            raise ValueError("retry_max_attempts must be at least 1")
+        if self.retry_base_delay < 0 or self.retry_max_delay < 0:
+            raise ValueError("retry delays must be non-negative")
+        if self.retry_multiplier < 1.0:
+            raise ValueError("retry_multiplier must be >= 1")
+        if not 0.0 <= self.retry_jitter <= 1.0:
+            raise ValueError("retry_jitter must be in [0, 1]")
+        if self.breaker_failure_threshold < 1:
+            raise ValueError("breaker_failure_threshold must be at least 1")
+        if self.breaker_reset_timeout <= 0:
+            raise ValueError("breaker_reset_timeout must be positive")
+        if self.latency_target_p99 is not None and self.latency_target_p99 <= 0:
+            raise ValueError("latency_target_p99 must be positive (or None)")
+        if self.latency_window <= 0:
+            raise ValueError("latency_window must be positive")
+        if self.latency_min_samples < 1:
+            raise ValueError("latency_min_samples must be at least 1")
+        if self.max_staleness <= 0:
+            raise ValueError("max_staleness must be positive")
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Top-level configuration assembling every subsystem (Fig. 2).
 
@@ -154,6 +229,7 @@ class SystemConfig:
     ledger: LedgerConfig = field(default_factory=LedgerConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
     durability: DurabilityConfig = field(default_factory=DurabilityConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     check_lens_laws: bool = True
     audit_enabled: bool = True
     delta_propagation: bool = True

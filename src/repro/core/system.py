@@ -39,6 +39,7 @@ from repro.core.peer import Peer
 from repro.core.server_app import ServerApp
 from repro.core.sharing import SharingAgreement
 from repro.core.workflow import UpdateCoordinator
+from repro.chaos import NULL_INJECTOR
 from repro.network.simulator import NetworkSimulator
 from repro.obs.tracer import NULL_TRACER
 from repro.relational.table import Table
@@ -61,6 +62,8 @@ class MedicalDataSharingSystem:
         self.registry_address: Optional[str] = None
         self.coordinator = UpdateCoordinator(self)
         self.tracer = NULL_TRACER
+        self.injector = NULL_INJECTOR
+        self.retry_policy = None
 
     # ----------------------------------------------------------- observability
 
@@ -77,6 +80,48 @@ class MedicalDataSharingSystem:
             backend = peer.database.wal.backend
             if backend is not None:
                 backend.tracer = tracer
+
+    # ------------------------------------------------------------------- chaos
+
+    def attach_chaos(self, injector, retry_policy=None,
+                     registry=None) -> None:
+        """Thread one fault injector (and optionally a retry policy) through
+        the pipeline: the transport's drop/delay/crash probes, the
+        coordinator's commit/consensus/contract probes, and every durable
+        peer WAL's append/fsync probes.
+
+        Transport fault targets are node addresses (``node-<peer>``); WAL
+        fault targets are peer names.  With a retry policy, consensus rounds,
+        dropped gossip messages and WAL appends/fsyncs self-heal with
+        deterministic backoff (each wired retrier gets its own seed derived
+        from the injector's, so retry jitter is replayable).
+        """
+        from repro.chaos import Retrier
+        self.injector = injector
+        self.retry_policy = retry_policy
+        clock = self.simulator.clock
+        self.simulator.transport.configure_chaos(injector=injector,
+                                                 retry_policy=retry_policy)
+        self.coordinator.injector = injector
+        if retry_policy is not None:
+            self.coordinator.retrier = Retrier(
+                retry_policy, clock, seed=injector.seed + 101,
+                name="consensus", tracer=self.tracer, registry=registry)
+        for index, name in enumerate(sorted(self._peers)):
+            self._wire_peer_chaos(name, index, registry)
+
+    def _wire_peer_chaos(self, name: str, index: int, registry=None) -> None:
+        backend = self._peers[name].database.wal.backend
+        if backend is None:
+            return
+        backend.injector = self.injector
+        backend.fault_target = name
+        if self.retry_policy is not None:
+            from repro.chaos import Retrier
+            backend.retrier = Retrier(
+                self.retry_policy, self.simulator.clock,
+                seed=self.injector.seed + 211 + index,
+                name=f"wal:{name}", tracer=self.tracer, registry=registry)
 
     # -------------------------------------------------------------------- peers
 
@@ -122,6 +167,8 @@ class MedicalDataSharingSystem:
             app.registry_address = self.registry_address
         self._peers[name] = peer
         self._apps[name] = app
+        if self.injector is not NULL_INJECTOR:
+            self._wire_peer_chaos(name, len(self._peers) - 1)
         return peer
 
     def sync_durability(self) -> int:
@@ -272,6 +319,23 @@ class MedicalDataSharingSystem:
 
     def all_shared_tables_consistent(self) -> bool:
         return all(self.shared_tables_consistent(mid) for mid in self._agreements)
+
+    def state_fingerprints(self) -> Dict[str, Dict[str, str]]:
+        """Content fingerprints of every peer's every table, sorted.
+
+        The chaos-soak convergence check: a faulted run (drops, fsync
+        errors, crashes, slow rounds) must end with *exactly* these
+        fingerprints matching a fault-free oracle's — retries and
+        retransmissions may change timings, never data.  Deliberately
+        excludes block/transaction timestamps (injected delays stretch the
+        sim clock), so the comparison is over the relational outcome the
+        paper's protocols guarantee.
+        """
+        return {
+            name: {table: peer.database.table(table).fingerprint()
+                   for table in sorted(peer.database.table_names)}
+            for name, peer in sorted(self._peers.items())
+        }
 
     def views_consistent_with_sources(self) -> bool:
         """True when every stored shared table equals a fresh ``get`` of its source."""

@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.crypto.hashing import hash_payload
 from repro.errors import ReproError, UpdateRejected, WorkflowError
 from repro.core.sharing import SharingAgreement
+from repro.chaos import NULL_INJECTOR
 from repro.obs.tracer import NULL_TRACER
 from repro.relational.diff import TableDiff, diff_tables
 from repro.relational.table import Table
@@ -274,6 +275,13 @@ class UpdateCoordinator:
         #: Set by :meth:`MedicalDataSharingSystem.attach_tracer`; spans cover
         #: consensus rounds and every delta-propagation leg.
         self.tracer = NULL_TRACER
+        #: Chaos hooks, set by :meth:`MedicalDataSharingSystem.attach_chaos`:
+        #: the injector can fail a whole batch (``commit.fail``), one group's
+        #: contract step (``contract.fail``), or a mining round
+        #: (``consensus.fail`` / ``consensus.slow``); the optional retrier
+        #: re-runs failed mining rounds with deterministic backoff.
+        self.injector = NULL_INJECTOR
+        self.retrier = None
 
     # ------------------------------------------------------------ change hooks
 
@@ -317,9 +325,23 @@ class UpdateCoordinator:
         return self.system.server_app(name)
 
     def _mine(self) -> int:
-        """Mine pending transactions; returns how many blocks were produced."""
-        blocks = self.system.simulator.mine()
-        return len(blocks)
+        """Mine pending transactions; returns how many blocks were produced.
+
+        Fault probes run *before* the mining step, so a retried round never
+        double-mines: an injected ``consensus.fail`` (a transient fault) is
+        absorbed by the retrier when one is attached, and ``consensus.slow``
+        stretches the round by advancing the sim clock.
+        """
+        def one_round() -> int:
+            self.injector.maybe_fail("consensus.fail")
+            slow = self.injector.delay("consensus.slow")
+            if slow > 0:
+                self._clock.advance(slow)
+            return len(self.system.simulator.mine())
+
+        if self.retrier is not None:
+            return self.retrier.call(one_round, label="consensus.round")
+        return one_round()
 
     def _submit_and_mine(self, peer_name: str, method: str, args: Mapping[str, Any]):
         """Submit a signed contract call from ``peer_name`` and mine it.
@@ -553,6 +575,7 @@ class UpdateCoordinator:
         ``succeeded=False`` and the error, mirroring what the sequential path
         raises.
         """
+        self.injector.maybe_fail("commit.fail")
         seen_ids = set()
         for group in groups:
             if group.metadata_id in seen_ids:
@@ -579,6 +602,7 @@ class UpdateCoordinator:
             edit_errors: List[Optional[str]] = [None] * len(group.edits)
             result.edit_errors.append(edit_errors)
             try:
+                self.injector.maybe_fail("contract.fail", group.metadata_id)
                 peer = self._peer(group.peer)
                 agreement = peer.agreement(group.metadata_id)
                 stored = peer.shared_table(group.metadata_id)

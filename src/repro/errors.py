@@ -214,3 +214,39 @@ class SessionError(GatewayError):
 
 class RateLimitExceeded(GatewayError):
     """A tenant exceeded its per-session request rate (backpressure)."""
+
+
+class CircuitOpenError(GatewayError):
+    """A circuit breaker refused the request without attempting the work."""
+
+
+# ---------------------------------------------------------------------------
+# Chaos (deterministic fault injection)
+# ---------------------------------------------------------------------------
+
+class ChaosError(ReproError):
+    """Base class for errors raised by :mod:`repro.chaos` itself (a malformed
+    fault plan, an unknown fault kind, ...)."""
+
+
+class InjectedFault(ReproError):
+    """A fault deliberately raised by a :class:`~repro.chaos.FaultInjector`.
+
+    Terminal by default: retry machinery treats it like any other
+    :class:`ReproError` unless it is one of the retryable subclasses below.
+    """
+
+
+class TransientFault(InjectedFault):
+    """An injected fault that models a *transient* condition (a consensus
+    round that would succeed if retried).  Retryable under the default
+    :class:`~repro.chaos.RetryPolicy`."""
+
+
+class InjectedDiskError(InjectedFault, OSError):
+    """An injected storage-layer ``OSError`` (WAL append or fsync failure).
+
+    Inherits :class:`OSError` so code that guards real disk failures treats
+    it identically, and :class:`InjectedFault` (hence :class:`ReproError`)
+    so the pipeline's existing error boundaries contain it.
+    """

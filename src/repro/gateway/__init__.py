@@ -10,6 +10,9 @@ so many tenants can read and write shared data concurrently:
   conflict serialisation;
 * :mod:`repro.gateway.cache` — a read-through shared-view cache invalidated
   by the Fig. 5 propagation workflow;
+* :mod:`repro.gateway.admission` — latency-aware admission control: the
+  sliding-window p99 / predicted-delay :class:`LatencyShedder` and the
+  per-tenant fair-queueing check;
 * :mod:`repro.gateway.worker` — a thread pool draining the write queue;
 * :mod:`repro.gateway.aio` — the asyncio transport: awaitable responses and
   a commit pump sealing batches on queue-depth/deadline triggers, so
@@ -17,6 +20,7 @@ so many tenants can read and write shared data concurrently:
 * :mod:`repro.gateway.gateway` — the facade wiring it all together.
 """
 
+from repro.gateway.admission import LatencyShedder, fair_share_exceeded
 from repro.gateway.aio import AsyncSharingGateway
 from repro.gateway.cache import ViewCache
 from repro.gateway.gateway import ResponseJournal, SharingGateway
@@ -50,6 +54,7 @@ __all__ = [
     "GatewaySession",
     "GatewayWorkerPool",
     "InsertEntryRequest",
+    "LatencyShedder",
     "PendingWrite",
     "ReadViewRequest",
     "ResponseJournal",
@@ -58,6 +63,7 @@ __all__ = [
     "UpdateEntryRequest",
     "ViewCache",
     "WriteScheduler",
+    "fair_share_exceeded",
     "STATUS_ERROR",
     "STATUS_OK",
     "STATUS_QUEUED",

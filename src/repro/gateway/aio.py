@@ -308,6 +308,8 @@ class AsyncSharingGateway:
             "pending_futures_peak": self._in_flight.peak,
             "reads_in_flight": self._reads_in_flight.value,
             "reads_in_flight_peak": self._reads_in_flight.peak,
+            "commit_path_unhealthy": self.gateway.commit_path_unhealthy(),
+            "breaker_states": self.gateway.breakers.states(),
         }
 
     def metrics(self) -> Dict[str, object]:

@@ -28,7 +28,13 @@ class ViewCache:
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self.tracer = NULL_TRACER
+        #: Set by the gateway so entries carry install timestamps (simulated
+        #: seconds); without a clock, staleness reads as 0.0.
+        self.clock = None
         self._entries: Dict[Tuple[str, str], Table] = {}
+        #: Simulated install/patch time per entry, for the degraded-read
+        #: path's bounded-staleness guarantee.
+        self._installed_at: Dict[Tuple[str, str], float] = {}
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -90,12 +96,27 @@ class ViewCache:
             with self._lock:
                 if self._generations.get(metadata_id, 0) == generation:
                     self._entries[key] = view
+                    self._installed_at[key] = self._now()
                 else:
                     self.stale_loads_discarded += 1
                 return view
 
+    def _now(self) -> float:
+        return self.clock.now() if self.clock is not None else 0.0
+
     def peek(self, peer: str, metadata_id: str) -> Optional[Table]:
         return self._entries.get((peer, metadata_id))
+
+    def peek_entry(self, peer: str,
+                   metadata_id: str) -> Optional[Tuple[Table, float]]:
+        """The cached view *and its age* in simulated seconds, without
+        counting a hit or triggering a load (the degraded-read path)."""
+        with self._lock:
+            key = (peer, metadata_id)
+            view = self._entries.get(key)
+            if view is None:
+                return None
+            return view, self._now() - self._installed_at.get(key, 0.0)
 
     # ------------------------------------------------------------ invalidation
 
@@ -106,6 +127,7 @@ class ViewCache:
             stale = [key for key in self._entries if key[1] == metadata_id]
             for key in stale:
                 del self._entries[key]
+                self._installed_at.pop(key, None)
             self.invalidations += len(stale)
             return len(stale)
 
@@ -118,6 +140,7 @@ class ViewCache:
                 self._bump(metadata_id)
             count = len(self._entries)
             self._entries.clear()
+            self._installed_at.clear()
             self.invalidations += count
             return count
 
@@ -152,9 +175,11 @@ class ViewCache:
                         patched_view.apply_diff(diff)
                     except ReproError:
                         del self._entries[key]
+                        self._installed_at.pop(key, None)
                         self.invalidations += 1
                     else:
                         self._entries[key] = patched_view
+                        self._installed_at[key] = self._now()
                         patched += 1
                 self.patches += patched
                 span.annotate(patched=patched)

@@ -11,7 +11,13 @@ facade the gateway
   :meth:`~repro.core.workflow.UpdateCoordinator.commit_entry_batch`, i.e. one
   consensus round for all requests and one for all acknowledgements;
 * sheds writes with a typed ``shed`` response when the queue is at capacity
-  (``max_queue_depth`` admission control);
+  (``max_queue_depth``), when the commit-latency target is blown (windowed
+  p99 or predicted queueing delay — :class:`LatencyShedder`), when a tenant
+  exceeds its fair share of a bounded queue, or when a circuit breaker on
+  the commit path / tenant / consensus lane is open (:class:`BreakerBoard`);
+* optionally serves ``read_view`` requests *degraded* — straight from the
+  cache with an explicit bounded-staleness marker — while the commit path
+  is unhealthy (``resilience.degraded_reads``);
 * journals terminal responses to an on-disk WAL when ``state_dir`` is set
   (before terminal listeners fire), so a restarted gateway answers old
   ``get_response`` lookups and the in-memory response store can be capped
@@ -47,9 +53,11 @@ import threading
 import time
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from repro.chaos import NULL_INJECTOR, STATE_CLOSED, BreakerBoard, Retrier
 from repro.core.system import MedicalDataSharingSystem
 from repro.core.workflow import BatchCommitResult
 from repro.errors import ReproError, SessionError, SharingError, WalCorruptionError
+from repro.gateway.admission import LatencyShedder, fair_share_exceeded
 from repro.gateway.cache import ViewCache
 from repro.gateway.requests import (
     STATUS_ERROR,
@@ -189,7 +197,9 @@ class SharingGateway:
                  fsync_policy: Optional[str] = None,
                  max_responses: Optional[int] = None,
                  tracer: Optional[Tracer] = None,
-                 registry: Optional[MetricsRegistry] = None):
+                 registry: Optional[MetricsRegistry] = None,
+                 latency_target: Optional[float] = None,
+                 degraded_reads: Optional[bool] = None):
         self.system = system
         # Tracing defaults to the shared no-op tracer; passing a real one
         # also attaches it downstream (coordinator, miners, peer WALs) so a
@@ -208,6 +218,28 @@ class SharingGateway:
         # coordinator hands over the change's TableDiff, and drops them only
         # when it cannot (half-installed failures).
         system.coordinator.subscribe_shared_diff(self.cache.on_shared_diff)
+        # Resilience: commit-latency-driven admission shedding, per-tenant /
+        # per-lane / commit-path circuit breakers, fair queueing and (opt-in)
+        # bounded-staleness degraded reads.  Defaults come from
+        # ``SystemConfig.resilience``; ``latency_target`` / ``degraded_reads``
+        # are per-gateway overrides.
+        resilience = system.config.resilience
+        self.resilience = resilience
+        clock = system.simulator.clock
+        self.cache.clock = clock
+        self.latency_target = (resilience.latency_target_p99
+                               if latency_target is None else latency_target)
+        self.shedder = LatencyShedder(clock, self.latency_target,
+                                      window=resilience.latency_window,
+                                      min_samples=resilience.latency_min_samples)
+        self.breakers = BreakerBoard(
+            clock, failure_threshold=resilience.breaker_failure_threshold,
+            reset_timeout=resilience.breaker_reset_timeout,
+            tracer=self.tracer, registry=self.registry)
+        self.fair_queueing = resilience.fair_queueing
+        self.degraded_reads = (resilience.degraded_reads
+                               if degraded_reads is None else degraded_reads)
+        self.max_staleness = resilience.max_staleness
         self.default_rate = default_rate
         self.default_burst = default_burst
         self._sessions: Dict[str, GatewaySession] = {}
@@ -228,6 +260,14 @@ class SharingGateway:
         self._writes_committed = self.registry.counter("gateway_writes_committed")
         self._writes_rejected = self.registry.counter("gateway_writes_rejected")
         self._shed_requests = self.registry.counter("gateway_shed_requests")
+        #: Shed decisions by cause, so overload diagnoses name the mechanism
+        #: (queue capacity vs. latency target vs. fairness vs. open breaker).
+        self._shed_by_reason = {
+            reason: self.registry.counter("gateway_shed_by_reason",
+                                          reason=reason)
+            for reason in ("capacity", "latency", "fair_share", "breaker")}
+        self._degraded_reads_served = self.registry.counter(
+            "gateway_degraded_reads")
         #: Requests (reads and writes) admitted while a batch commit's
         #: consensus rounds were in flight — the open-loop interleaving the
         #: async transport exists to produce.
@@ -270,7 +310,25 @@ class SharingGateway:
             # gateway never reissues an id that is already answerable.
             self._request_ids = itertools.count(
                 self.journal.highest_request_number + 1)
+            self._wire_journal_chaos()
         self._register_gauges()
+
+    def _wire_journal_chaos(self) -> None:
+        """Give the response journal the system's fault injector and retry
+        policy (no-op unless chaos was attached before the gateway was
+        built), so ``wal.append``/``wal.fsync`` faults reach the journal's
+        WAL exactly like the peer WALs — and are survived the same way."""
+        injector = self.system.injector
+        if injector is NULL_INJECTOR:
+            return
+        backend = self.journal.backend
+        backend.injector = injector
+        backend.fault_target = "journal"
+        if self.system.retry_policy is not None:
+            backend.retrier = Retrier(
+                self.system.retry_policy, self.system.simulator.clock,
+                seed=injector.seed + 307, name="wal:journal",
+                tracer=self.tracer, registry=self.registry)
 
     def _register_gauges(self) -> None:
         """Expose live serving state through the unified registry."""
@@ -325,6 +383,10 @@ class SharingGateway:
     @property
     def admitted_during_commit(self) -> int:
         return self._admitted_during_commit.value
+
+    @property
+    def degraded_reads_served(self) -> int:
+        return self._degraded_reads_served.value
 
     @property
     def responses_evicted(self) -> int:
@@ -514,12 +576,13 @@ class SharingGateway:
                 if terminal_status is None:
                     if not request.is_write:
                         return response, True
-                    if self.scheduler.at_capacity:
+                    shed = self._shed_reason_locked(session.peer_name, request)
+                    if shed is not None:
+                        reason, detail = shed
                         self._shed_requests.inc()
-                        response.error = (
-                            f"gateway write queue is at capacity "
-                            f"({self.scheduler.queue_capacity}); request shed — retry later"
-                        )
+                        self._shed_by_reason[reason].inc()
+                        span.annotate(shed_reason=reason)
+                        response.error = f"{detail}; request shed — retry later"
                         terminal_status = STATUS_SHED
                     else:
                         self.scheduler.enqueue(PendingWrite(
@@ -542,6 +605,40 @@ class SharingGateway:
             listener(depth)
         return response, False
 
+    def _shed_reason_locked(self, tenant: str,
+                            request: GatewayRequest) -> Optional[Tuple[str, str]]:
+        """Why this write must be shed, as ``(reason, detail)`` — or None to
+        admit.  Checked under the admission lock, cheapest-first:
+
+        1. an open circuit breaker on the commit path, this tenant, or the
+           write's consensus lane (a half-open breaker admits its probes);
+        2. queue capacity (the PR 4 depth bound);
+        3. the commit-latency target — windowed p99 over target, or the
+           predicted queueing delay at the current depth over target;
+        4. fair queueing — this tenant already holds its fair share of a
+           bounded queue.
+        """
+        lane = self.system.simulator.router.shard_of(request.metadata_id)
+        for name in ("commit", f"tenant:{tenant}", f"lane:{lane}"):
+            # peek, not get: breakers materialise on first outcome record,
+            # and a breaker that never saw traffic cannot reject anything.
+            breaker = self.breakers.peek(name)
+            if breaker is not None and not breaker.allow():
+                return ("breaker",
+                        f"circuit breaker {name!r} is {breaker.state} after "
+                        f"repeated commit failures")
+        if self.scheduler.at_capacity:
+            return ("capacity", f"gateway write queue is at capacity "
+                    f"({self.scheduler.queue_capacity})")
+        decision = self.shedder.decision(self.scheduler.queue_depth)
+        if decision is not None:
+            return ("latency", decision)
+        if self.fair_queueing:
+            fair = fair_share_exceeded(self.scheduler, tenant)
+            if fair is not None:
+                return ("fair_share", fair)
+        return None
+
     def _load_view(self, peer_name: str, metadata_id: str):
         """Materialise a shared view for the cache, serialised with commits.
 
@@ -556,9 +653,21 @@ class SharingGateway:
     def _serve_read(self, session: GatewaySession, request: GatewayRequest,
                     response: GatewayResponse) -> GatewayResponse:
         with self.tracer.span("gateway.read", trace_id=response.trace_id,
-                              kind=request.kind, tenant=session.peer_name):
+                              kind=request.kind, tenant=session.peer_name) as span:
             try:
                 if isinstance(request, ReadViewRequest):
+                    stale = self._degraded_view(session.peer_name,
+                                                request.metadata_id)
+                    if stale is not None:
+                        view, age = stale
+                        span.annotate(degraded=True, staleness=age)
+                        response.payload = {
+                            "metadata_id": request.metadata_id,
+                            "rows": len(view), "table": view.to_dict(),
+                            "degraded": True, "staleness": age,
+                        }
+                        self._degraded_reads_served.inc()
+                        return self._finalize(response, session, STATUS_OK)
                     view = self.cache.get(
                         session.peer_name, request.metadata_id,
                         lambda: self._load_view(session.peer_name,
@@ -579,6 +688,35 @@ class SharingGateway:
                 response.error = str(exc)
                 return self._finalize(response, session, STATUS_REJECTED)
             return self._finalize(response, session, STATUS_OK)
+
+    def commit_path_unhealthy(self) -> bool:
+        """Whether the commit path is currently degraded: the ``commit``
+        breaker is not closed, or the windowed p99 is over target."""
+        commit = self.breakers.peek("commit")
+        if commit is not None and commit.state != STATE_CLOSED:
+            return True
+        return not self.shedder.healthy
+
+    def _degraded_view(self, peer: str,
+                       metadata_id: str) -> Optional[Tuple]:
+        """A ``(view, age)`` pair for the degraded-read path, or None to take
+        the normal read-through path.
+
+        Degraded reads (when enabled) serve straight from the cache while
+        the commit path is unhealthy — never touching the commit lock a
+        failing or crawling batch may be holding — and mark the response
+        with its bounded staleness.  A missing or over-age entry falls back
+        to the normal path rather than failing the read.
+        """
+        if not self.degraded_reads or not self.commit_path_unhealthy():
+            return None
+        entry = self.cache.peek_entry(peer, metadata_id)
+        if entry is None:
+            return None
+        view, age = entry
+        if age > self.max_staleness:
+            return None
+        return view, age
 
     def result(self, request_id: str) -> Optional[GatewayResponse]:
         """Look up the (possibly still queued) response for a request id.
@@ -653,6 +791,7 @@ class SharingGateway:
                     span.annotate(batch=batch_id, requests=[
                         pending.request_id for members in plan.members
                         for pending in members])
+                commit_started = self.system.simulator.clock.now()
                 try:
                     result = self.system.coordinator.commit_entry_batch(plan.groups)
                 except ReproError as exc:
@@ -662,6 +801,12 @@ class SharingGateway:
                 finally:
                     self._commits_in_flight.decrement()
                 with self._lock:
+                    # Feed the shedder's service-time estimator with this
+                    # batch's simulated commit cost per write — the signal
+                    # behind its predicted-queueing-delay decision.
+                    self.shedder.record_service(
+                        self.system.simulator.clock.now() - commit_started,
+                        plan.size)
                     self.batch_sizes.append(plan.size)
                     self._batch_blocks.inc(result.blocks_created)
                     self._batch_consensus_rounds.inc(result.consensus_rounds)
@@ -694,7 +839,24 @@ class SharingGateway:
             self.journal.sync()
             self.journal.close()
 
+    def _record_commit_outcome(self, plan: BatchPlan, ok: bool) -> None:
+        """Feed one batch's fate to the commit-path circuit breakers.
+
+        Contract-level rejections count as *successes* here: the
+        infrastructure committed the batch and produced a verdict; only
+        commit blow-ups (every member ``STATUS_ERROR``) open breakers.
+        """
+        router = self.system.simulator.router
+        self.breakers.record("commit", ok)
+        for tenant in sorted({pending.tenant for members in plan.members
+                              for pending in members}):
+            self.breakers.record(f"tenant:{tenant}", ok)
+        for lane in sorted({router.shard_of(group.metadata_id)
+                            for group in plan.groups}):
+            self.breakers.record(f"lane:{lane}", ok)
+
     def _resolve(self, plan: BatchPlan, result: BatchCommitResult) -> None:
+        self._record_commit_outcome(plan, ok=True)
         for index, (trace, members) in enumerate(zip(result.traces, plan.members)):
             group_status = STATUS_OK if trace.succeeded else STATUS_REJECTED
             edit_errors = (result.edit_errors[index]
@@ -726,6 +888,7 @@ class SharingGateway:
                 self._finalize(response, pending.session, status)
                 if status == STATUS_OK:
                     self._writes_committed.inc()
+                    self.shedder.record_latency(response.latency)
                 else:
                     self._writes_rejected.inc()
         # Defensive coherence: successful groups were already patched row by
@@ -740,6 +903,7 @@ class SharingGateway:
 
     def _resolve_all_failed(self, plan: BatchPlan, error: str) -> None:
         """Terminal-fail every member of a batch whose commit blew up."""
+        self._record_commit_outcome(plan, ok=False)
         for members in plan.members:
             for pending in members:
                 response = self._responses[pending.request_id]
@@ -797,6 +961,19 @@ class SharingGateway:
                     "fold_rounds_saved": self.scheduler.fold_rounds_saved,
                 },
                 "shards": self._shard_metrics(),
+                "resilience": {
+                    "latency_target": self.latency_target,
+                    "shedder": self.shedder.statistics(),
+                    "breakers": self.breakers.statistics(),
+                    "fair_queueing": self.fair_queueing,
+                    "queued_by_tenant": self.scheduler.queued_by_tenant(),
+                    "shed_by_reason": {
+                        reason: counter.value
+                        for reason, counter in sorted(self._shed_by_reason.items())},
+                    "degraded_reads_enabled": self.degraded_reads,
+                    "degraded_reads_served": self.degraded_reads_served,
+                    "chaos_events": len(self.system.injector.events),
+                },
                 "cache": self.cache.statistics(),
                 "durability": self._durability_metrics(),
                 "tenants": tenants,

@@ -132,6 +132,8 @@ class WriteScheduler:
         #: behaviour).
         self.queue_capacity = max_queue_depth
         self._queue: Deque[PendingWrite] = deque()
+        #: Live queued-write count per tenant, for fair-queueing admission.
+        self._tenant_counts: Dict[str, int] = {}
         self.enqueued_total = 0
         self.max_queue_depth = 0
         #: Cross-peer folds over this scheduler's lifetime.
@@ -146,12 +148,33 @@ class WriteScheduler:
 
     def enqueue(self, pending: PendingWrite) -> None:
         self._queue.append(pending)
+        self._tenant_counts[pending.tenant] = (
+            self._tenant_counts.get(pending.tenant, 0) + 1)
         self.enqueued_total += 1
         self.max_queue_depth = max(self.max_queue_depth, len(self._queue))
+
+    def _count_down(self, pending: PendingWrite) -> None:
+        remaining = self._tenant_counts.get(pending.tenant, 0) - 1
+        if remaining > 0:
+            self._tenant_counts[pending.tenant] = remaining
+        else:
+            self._tenant_counts.pop(pending.tenant, None)
 
     @property
     def queue_depth(self) -> int:
         return len(self._queue)
+
+    def queued_for(self, tenant: str) -> int:
+        """Writes this tenant currently holds in the queue."""
+        return self._tenant_counts.get(tenant, 0)
+
+    @property
+    def active_tenants(self) -> int:
+        """Distinct tenants with at least one queued write."""
+        return len(self._tenant_counts)
+
+    def queued_by_tenant(self) -> Dict[str, int]:
+        return dict(sorted(self._tenant_counts.items()))
 
     @property
     def at_capacity(self) -> bool:
@@ -211,6 +234,7 @@ class WriteScheduler:
         kept: List[PendingWrite] = []
         while self._queue and plan.size < limit:
             pending = self._queue.popleft()
+            self._count_down(pending)
             metadata_id = pending.request.metadata_id
             edit = pending.to_edit()
             conflict = pending.conflict_key()
@@ -277,6 +301,8 @@ class WriteScheduler:
         # Deferred writes go back to the *front*, preserving arrival order.
         for pending in reversed(kept):
             self._queue.appendleft(pending)
+            self._tenant_counts[pending.tenant] = (
+                self._tenant_counts.get(pending.tenant, 0) + 1)
         return plan
 
     def _can_join(self, state: _GroupState, group: BatchGroup,

@@ -26,6 +26,9 @@ class Message:
         Simulated timestamps filled by the transport.
     dropped:
         True when the transport decided to drop the message.
+    attempt:
+        Delivery attempt number; a retransmission of a dropped message is a
+        fresh envelope with ``attempt`` bumped.
     """
 
     sender: str
@@ -35,6 +38,7 @@ class Message:
     sent_at: float = 0.0
     delivered_at: Optional[float] = None
     dropped: bool = False
+    attempt: int = 1
     message_id: int = field(default_factory=lambda: next(_MESSAGE_COUNTER))
 
     @property
@@ -60,4 +64,5 @@ class Message:
             "sent_at": self.sent_at,
             "delivered_at": self.delivered_at,
             "dropped": self.dropped,
+            "attempt": self.attempt,
         }

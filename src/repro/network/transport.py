@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro.chaos import NULL_INJECTOR, RetryPolicy
 from repro.config import NetworkConfig
 from repro.errors import UnknownPeerError
 from repro.ledger.clock import SimClock
@@ -22,7 +23,20 @@ MessageHandler = Callable[[Message], None]
 
 
 class SimTransport:
-    """Delivers messages between registered peers with simulated latency."""
+    """Delivers messages between registered peers with simulated latency.
+
+    Chaos hooks (all default-off):
+
+    * a :class:`~repro.chaos.FaultInjector` can drop messages
+      (``transport.drop``), add latency (``transport.delay``) and open
+      ``peer.crash`` windows during which a peer's *inbound* messages are
+      parked in per-recipient FIFO order and replayed — reliably and in
+      order, modelling restart catch-up — once the window closes;
+    * a :class:`~repro.chaos.RetryPolicy` turns the silent-loss drop path
+      into retransmission: a dropped message is re-enqueued as a fresh
+      envelope with a deterministic backoff until the policy's attempt
+      budget is spent.
+    """
 
     def __init__(self, clock: SimClock, config: NetworkConfig = NetworkConfig()):
         self.clock = clock
@@ -33,6 +47,20 @@ class SimTransport:
         self._log: List[Message] = []
         self._delivered_count = 0
         self._dropped_count = 0
+        self.injector = NULL_INJECTOR
+        self.retry_policy: Optional[RetryPolicy] = None
+        self._retry_rng = random.Random(config.seed + 0x5EED)
+        self._parked: Dict[str, List[Message]] = {}
+        self._retransmit_count = 0
+        self._lost_count = 0
+
+    def configure_chaos(self, injector=None,
+                        retry_policy: Optional[RetryPolicy] = None) -> None:
+        """Attach a fault injector and/or retransmission policy."""
+        if injector is not None:
+            self.injector = injector
+        if retry_policy is not None:
+            self.retry_policy = retry_policy
 
     # ------------------------------------------------------------- registration
 
@@ -86,26 +114,95 @@ class SimTransport:
 
         Delivery of one message may enqueue new ones (a handler replying);
         those are delivered too, so a call to ``flush`` runs the network to
-        quiescence.
+        quiescence.  Messages to a peer inside a ``peer.crash`` window are
+        parked rather than delivered; they do not count as delivered until a
+        later flush finds the window closed and replays them in order.
         """
         delivered = 0
-        while self._queue:
-            message = self._queue.pop(0)
-            if self.config.drop_rate > 0 and self._rng.random() < self.config.drop_rate:
-                message.dropped = True
-                self._dropped_count += 1
-                continue
-            latency = self._latency_for(message)
-            if advance_clock:
-                self.clock.advance(latency)
-            message.delivered_at = self.clock.now()
-            handler = self._handlers.get(message.recipient)
-            if handler is None:
-                raise UnknownPeerError(f"recipient {message.recipient!r} vanished")
-            handler(message)
-            delivered += 1
-            self._delivered_count += 1
+        while True:
+            if not self._queue and not self._release_parked():
+                break
+            while self._queue:
+                message = self._queue.pop(0)
+                if (message.attempt > 0
+                        and self.injector.active("peer.crash",
+                                                 message.recipient)):
+                    # The recipient's replica is offline: park the message
+                    # for in-order replay when the crash window closes.
+                    self._parked.setdefault(message.recipient, []).append(message)
+                    continue
+                if message.attempt > 0 and self._should_drop(message):
+                    message.dropped = True
+                    self._dropped_count += 1
+                    self._retransmit(message, advance_clock)
+                    continue
+                latency = self._latency_for(message)
+                if message.attempt > 0:
+                    latency += self.injector.delay("transport.delay",
+                                                   message.recipient)
+                if advance_clock:
+                    self.clock.advance(latency)
+                message.delivered_at = self.clock.now()
+                handler = self._handlers.get(message.recipient)
+                if handler is None:
+                    raise UnknownPeerError(f"recipient {message.recipient!r} vanished")
+                handler(message)
+                delivered += 1
+                self._delivered_count += 1
         return delivered
+
+    def _should_drop(self, message: Message) -> bool:
+        if (self.config.drop_rate > 0
+                and self._rng.random() < self.config.drop_rate):
+            return True
+        return self.injector.should("transport.drop", message.recipient)
+
+    def _retransmit(self, message: Message, advance_clock: bool) -> None:
+        """Re-enqueue a dropped message as a fresh attempt (or give up).
+
+        Without a retry policy this is the seed's silent-loss behaviour.
+        The backoff advances the sim clock, so retransmission schedules are
+        deterministic and visible in delivery timestamps.
+        """
+        policy = self.retry_policy
+        if policy is None or message.attempt >= policy.max_attempts:
+            if policy is not None:
+                self._lost_count += 1
+            return
+        backoff = policy.backoff(message.attempt, self._retry_rng)
+        if advance_clock:
+            self.clock.advance(backoff)
+        clone = Message(
+            sender=message.sender,
+            recipient=message.recipient,
+            kind=message.kind,
+            payload=dict(message.payload),
+            sent_at=self.clock.now(),
+            attempt=message.attempt + 1,
+        )
+        self._queue.append(clone)
+        self._log.append(clone)
+        self._retransmit_count += 1
+
+    def _release_parked(self) -> bool:
+        """Replay parked messages for peers whose crash window has closed.
+
+        Replayed messages are marked ``attempt=0``: restart catch-up is a
+        reliable, in-order channel (like ``BlockchainNode.sync_with``), so
+        they skip the drop/delay/crash probes — a replayed block that
+        dropped behind its successor would be rejected as out of order and
+        lost for good.
+        """
+        released = False
+        for recipient in list(self._parked):
+            if self.injector.active("peer.crash", recipient):
+                continue
+            replay = self._parked.pop(recipient)
+            for message in replay:
+                message.attempt = 0
+            self._queue = replay + self._queue
+            released = bool(replay) or released
+        return released
 
     # --------------------------------------------------------------------- log
 
@@ -121,6 +218,9 @@ class SimTransport:
             "delivered": self._delivered_count,
             "dropped": self._dropped_count,
             "pending": len(self._queue),
+            "retransmits": self._retransmit_count,
+            "lost": self._lost_count,
+            "parked": sum(len(v) for v in self._parked.values()),
         }
 
     def messages_seen_by(self, peer: str) -> Tuple[Message, ...]:

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.errors import RecoveryError, WalCorruptionError
+from repro.chaos import NULL_INJECTOR
 from repro.obs.tracer import NULL_TRACER
 from repro.relational.database import Database
 from repro.relational.diff import TableDiff
@@ -127,6 +128,13 @@ class JsonlWalBackend:
         #: Swapped for a real tracer by the gateway / system; ``wal.append``
         #: and ``wal.fsync`` spans account the durability stage's time.
         self.tracer = NULL_TRACER
+        #: Chaos hooks (no-ops by default): ``wal.append`` / ``wal.fsync``
+        #: faults are probed *before* any bytes are written, so a retry
+        #: never duplicates an entry; the optional retrier absorbs injected
+        #: (and real) transient ``OSError``s with deterministic backoff.
+        self.injector = NULL_INJECTOR
+        self.retrier = None
+        self.fault_target = self.directory.name
         #: Torn final lines amputated when this backend (re)opened the
         #: directory — a restarted writer must never append onto a partial
         #: line, or the concatenated garbage swallows the new entry (or
@@ -200,29 +208,42 @@ class JsonlWalBackend:
                    _ENTRY_ENCODER.encode(entry.payload).encode("utf-8"))) + tail
         with self.tracer.span("wal.append", table=entry.table,
                               bytes=len(data)), self._lock:
-            if (self._current is not None
-                    and self._current_bytes >= self.segment_max_bytes):
-                self._close_handle()
-                self._current = None
-                self.rotations += 1
-            if self._handle is None:
-                if self._current is None:
-                    self._current = self.directory / self._segment_name(entry.sequence)
-                self._handle = open(self._current, "ab")
-                self._current_bytes = self._current.stat().st_size
-            location = (self._current, self._current_bytes, len(data))
-            self._handle.write(data)
-            # Only the per-append policy pays a syscall here; ``batch`` and
-            # ``never`` leave the line in the userspace buffer until the next
-            # commit boundary (sync/rotation/close) or read flushes it.
-            if self.fsync_policy == FSYNC_ALWAYS:
-                with self.tracer.span("wal.fsync", policy=self.fsync_policy):
-                    self._handle.flush()
-                    os.fsync(self._handle.fileno())
-                self.syncs += 1
-            self._current_bytes += len(data)
-            self.appends += 1
-            return location
+            if self.retrier is not None:
+                return self.retrier.call(
+                    lambda: self._append_locked(entry, data),
+                    label="wal.append")
+            return self._append_locked(entry, data)
+
+    def _append_locked(self, entry: WalEntry,
+                       data: bytes) -> Tuple[pathlib.Path, int, int]:
+        # Fault probes come first: an injected disk error leaves no bytes
+        # behind, so the retrier can safely re-run this whole body.
+        self.injector.maybe_fail("wal.append", self.fault_target)
+        if self.fsync_policy == FSYNC_ALWAYS:
+            self.injector.maybe_fail("wal.fsync", self.fault_target)
+        if (self._current is not None
+                and self._current_bytes >= self.segment_max_bytes):
+            self._close_handle()
+            self._current = None
+            self.rotations += 1
+        if self._handle is None:
+            if self._current is None:
+                self._current = self.directory / self._segment_name(entry.sequence)
+            self._handle = open(self._current, "ab")
+            self._current_bytes = self._current.stat().st_size
+        location = (self._current, self._current_bytes, len(data))
+        self._handle.write(data)
+        # Only the per-append policy pays a syscall here; ``batch`` and
+        # ``never`` leave the line in the userspace buffer until the next
+        # commit boundary (sync/rotation/close) or read flushes it.
+        if self.fsync_policy == FSYNC_ALWAYS:
+            with self.tracer.span("wal.fsync", policy=self.fsync_policy):
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            self.syncs += 1
+        self._current_bytes += len(data)
+        self.appends += 1
+        return location
 
     def flush(self) -> None:
         """Push buffered appends to the OS (no fsync) so readers see them."""
@@ -239,10 +260,19 @@ class JsonlWalBackend:
         with self.tracer.span("wal.fsync", policy=self.fsync_policy), self._lock:
             if self._handle is None:
                 return
-            self._handle.flush()
-            if self.fsync_policy != FSYNC_NEVER:
-                os.fsync(self._handle.fileno())
-                self.syncs += 1
+            if self.retrier is not None:
+                self.retrier.call(self._sync_locked, label="wal.fsync")
+            else:
+                self._sync_locked()
+
+    def _sync_locked(self) -> None:
+        # Probe-then-act keeps the body idempotent under retries: re-running
+        # the flush/fsync pair after an injected failure is harmless.
+        self.injector.maybe_fail("wal.fsync", self.fault_target)
+        self._handle.flush()
+        if self.fsync_policy != FSYNC_NEVER:
+            os.fsync(self._handle.fileno())
+            self.syncs += 1
 
     def _close_handle(self) -> None:
         if self._handle is not None:

@@ -1,0 +1,144 @@
+"""Circuit breakers on the sim clock: state machine, probe budget, typed
+guard, timestamped transitions, and the lazy board with registry gauges."""
+
+import pytest
+
+from repro.chaos import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerBoard,
+    CircuitBreaker,
+)
+from repro.errors import CircuitOpenError
+from repro.ledger.clock import SimClock
+
+
+def tripped(clock, threshold=3, **kwargs):
+    breaker = CircuitBreaker("dep", clock, failure_threshold=threshold, **kwargs)
+    for _ in range(threshold):
+        breaker.record_failure()
+    return breaker
+
+
+class TestStateMachine:
+    @pytest.mark.parametrize("bad", [
+        dict(failure_threshold=0),
+        dict(reset_timeout=0.0),
+        dict(half_open_probes=0),
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            CircuitBreaker("dep", SimClock(), **bad)
+
+    def test_trips_only_on_consecutive_failures(self):
+        breaker = CircuitBreaker("dep", SimClock(), failure_threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        breaker.record_success()  # resets the streak
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == STATE_CLOSED
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+
+    def test_open_rejects_until_reset_timeout(self):
+        clock = SimClock()
+        breaker = tripped(clock, reset_timeout=10.0)
+        assert not breaker.allow()
+        assert breaker.rejections == 1
+        clock.advance(9.999)
+        assert not breaker.allow()
+        clock.advance(0.001)
+        assert breaker.state == STATE_HALF_OPEN  # expired window reads half-open
+        assert breaker.allow()  # the probe
+
+    def test_half_open_probe_budget(self):
+        clock = SimClock()
+        breaker = tripped(clock, reset_timeout=1.0, half_open_probes=2)
+        clock.advance(1.0)
+        assert breaker.allow() and breaker.allow()  # two probes
+        assert not breaker.allow()  # budget spent, probes not reported back
+
+    def test_probe_success_closes(self):
+        clock = SimClock()
+        breaker = tripped(clock, reset_timeout=1.0)
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens(self):
+        clock = SimClock()
+        breaker = tripped(clock, reset_timeout=1.0)
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        assert not breaker.allow()
+        # The re-opened window restarts the reset timer from now.
+        clock.advance(1.0)
+        assert breaker.allow()
+
+    def test_guard_raises_typed_error(self):
+        clock = SimClock()
+        breaker = tripped(clock)
+        with pytest.raises(CircuitOpenError, match="'dep'"):
+            breaker.guard()
+        breaker2 = CircuitBreaker("ok", clock)
+        breaker2.guard()  # closed: no raise
+
+    def test_transitions_are_timestamped(self):
+        clock = SimClock()
+        breaker = tripped(clock, reset_timeout=2.0)
+        clock.advance(2.0)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.transitions == [
+            (0.0, STATE_CLOSED, STATE_OPEN),
+            (2.0, STATE_OPEN, STATE_HALF_OPEN),
+            (2.0, STATE_HALF_OPEN, STATE_CLOSED),
+        ]
+
+    def test_statistics(self):
+        breaker = tripped(SimClock())
+        breaker.allow()
+        stats = breaker.statistics()
+        assert stats["state"] == STATE_OPEN
+        assert stats["rejections"] == 1
+        assert stats["transitions"] == 1
+
+
+class TestBreakerBoard:
+    def test_lazy_get_and_peek(self):
+        board = BreakerBoard(SimClock())
+        assert board.peek("tenant:alice") is None
+        breaker = board.get("tenant:alice")
+        assert board.peek("tenant:alice") is breaker
+        assert board.get("tenant:alice") is breaker
+
+    def test_record_and_states(self):
+        board = BreakerBoard(SimClock(), failure_threshold=2)
+        board.record("lane:0", True)
+        for _ in range(2):
+            board.record("lane:1", False)
+        assert board.states() == {"lane:0": STATE_CLOSED, "lane:1": STATE_OPEN}
+        assert not board.allow("lane:1")
+        assert board.allow("lane:0")
+
+    def test_registry_gauges_track_state_codes(self):
+        from repro.obs import MetricsRegistry
+        registry = MetricsRegistry()
+        board = BreakerBoard(SimClock(), failure_threshold=1, registry=registry)
+        board.record("commit", False)
+        board.record("lane:0", True)
+        gauges = registry.snapshot()["gauges"]
+        assert gauges['circuit_breaker_state{breaker="commit"}'] == 1
+        assert gauges['circuit_breaker_state{breaker="lane:0"}'] == 0
+
+    def test_board_statistics(self):
+        board = BreakerBoard(SimClock(), failure_threshold=1)
+        board.record("commit", False)
+        stats = board.statistics()
+        assert stats["commit"]["state"] == STATE_OPEN

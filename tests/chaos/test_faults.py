@@ -1,0 +1,219 @@
+"""Fault plans and the seeded injector: validation, windows, budgets,
+probability determinism, typed raises, and the event log."""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    NULL_INJECTOR,
+)
+from repro.errors import (
+    ChaosError,
+    InjectedDiskError,
+    InjectedFault,
+    TransientFault,
+)
+from repro.ledger.clock import SimClock
+
+
+class TestFaultSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ChaosError, match="unknown fault kind"):
+            FaultSpec(kind="transport.meteor")
+
+    @pytest.mark.parametrize("bad", [
+        dict(kind="transport.drop", start=-1.0),
+        dict(kind="transport.drop", start=5.0, end=5.0),
+        dict(kind="transport.drop", probability=0.0),
+        dict(kind="transport.drop", probability=1.5),
+        dict(kind="consensus.slow", param=-0.1),
+        dict(kind="transport.drop", max_fires=0),
+    ])
+    def test_bad_fields_rejected(self, bad):
+        with pytest.raises(ChaosError):
+            FaultSpec(**bad)
+
+    def test_every_documented_kind_constructs(self):
+        for kind in FAULT_KINDS:
+            assert FaultSpec(kind=kind).kind == kind
+
+    def test_window_semantics_are_half_open(self):
+        spec = FaultSpec(kind="peer.crash", start=10.0, end=20.0)
+        assert not spec.in_window(9.999)
+        assert spec.in_window(10.0)
+        assert spec.in_window(19.999)
+        assert not spec.in_window(20.0)
+
+    def test_target_matching(self):
+        spec = FaultSpec(kind="transport.drop", target="node-a")
+        assert spec.matches("transport.drop", "node-a", 0.0)
+        assert not spec.matches("transport.drop", "node-b", 0.0)
+        wildcard = FaultSpec(kind="transport.drop")
+        assert wildcard.matches("transport.drop", "node-b", 0.0)
+
+
+class TestFaultPlanSerialisation:
+    def plan(self):
+        return FaultPlan(seed=42, specs=(
+            FaultSpec(kind="transport.drop", probability=0.25, max_fires=3),
+            FaultSpec(kind="peer.crash", target="node-a", start=10.0, end=20.0),
+            FaultSpec(kind="consensus.slow", param=0.5),
+        ))
+
+    def test_dict_round_trip(self):
+        plan = self.plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_json_round_trip(self):
+        plan = self.plan()
+        assert FaultPlan.loads(plan.dumps()) == plan
+
+    def test_file_round_trip(self, tmp_path):
+        plan = self.plan()
+        path = tmp_path / "plan.json"
+        path.write_text(plan.dumps(), encoding="utf-8")
+        assert FaultPlan.load(path) == plan
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ChaosError, match="unknown fault plan fields"):
+            FaultPlan.from_dict({"seed": 1, "faults": [], "bogus": True})
+        with pytest.raises(ChaosError, match="unknown fault spec fields"):
+            FaultPlan.from_dict({"faults": [{"kind": "transport.drop",
+                                             "blast_radius": 9}]})
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ChaosError, match="malformed fault plan JSON"):
+            FaultPlan.loads("{not json")
+
+
+class TestInjectorProbes:
+    def test_should_respects_window_and_target(self):
+        clock = SimClock()
+        injector = FaultInjector(FaultPlan(specs=(
+            FaultSpec(kind="transport.drop", target="node-a",
+                      start=5.0, end=10.0),)), clock)
+        assert not injector.should("transport.drop", "node-a")  # before window
+        clock.advance_to(5.0)
+        assert not injector.should("transport.drop", "node-b")  # wrong target
+        assert injector.should("transport.drop", "node-a")
+        clock.advance_to(10.0)
+        assert not injector.should("transport.drop", "node-a")  # window closed
+
+    def test_max_fires_disarms_the_spec(self):
+        injector = FaultInjector(FaultPlan(specs=(
+            FaultSpec(kind="transport.drop", max_fires=2),)), SimClock())
+        fired = [injector.should("transport.drop") for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+
+    def test_probability_stream_is_seed_deterministic(self):
+        def outcomes(seed):
+            injector = FaultInjector(FaultPlan(seed=seed, specs=(
+                FaultSpec(kind="transport.drop", probability=0.5),)), SimClock())
+            return [injector.should("transport.drop") for _ in range(64)]
+
+        assert outcomes(7) == outcomes(7)
+        assert outcomes(7) != outcomes(8)
+        assert any(outcomes(7)) and not all(outcomes(7))
+
+    def test_delay_returns_param_and_zero_when_unmatched(self):
+        injector = FaultInjector(FaultPlan(specs=(
+            FaultSpec(kind="consensus.slow", param=0.75),)), SimClock())
+        assert injector.delay("consensus.slow") == 0.75
+        assert injector.delay("transport.delay") == 0.0
+
+    @pytest.mark.parametrize("kind,exc_type", [
+        ("wal.append", InjectedDiskError),
+        ("wal.fsync", InjectedDiskError),
+        ("consensus.fail", TransientFault),
+        ("commit.fail", InjectedFault),
+        ("contract.fail", InjectedFault),
+    ])
+    def test_maybe_fail_raises_the_typed_exception(self, kind, exc_type):
+        injector = FaultInjector(FaultPlan(specs=(FaultSpec(kind=kind),)),
+                                 SimClock())
+        with pytest.raises(exc_type, match="injected"):
+            injector.maybe_fail(kind)
+
+    def test_disk_faults_are_oserrors(self):
+        # The WAL path (and the retry policy) treat disk faults as OSError.
+        injector = FaultInjector(FaultPlan(specs=(
+            FaultSpec(kind="wal.fsync"),)), SimClock())
+        with pytest.raises(OSError):
+            injector.maybe_fail("wal.fsync")
+
+    def test_active_consumes_no_randomness_or_budget(self):
+        clock = SimClock()
+        injector = FaultInjector(FaultPlan(specs=(
+            FaultSpec(kind="peer.crash", target="node-a", start=0.0, end=10.0,
+                      max_fires=1),
+            FaultSpec(kind="transport.drop", probability=0.5),)), clock)
+        # Polling the window many times must not perturb the drop stream.
+        baseline = FaultInjector(FaultPlan(specs=(
+            FaultSpec(kind="transport.drop", probability=0.5),)), SimClock())
+        for _ in range(50):
+            assert injector.active("peer.crash", "node-a")
+        drops = [injector.should("transport.drop") for _ in range(32)]
+        expected = [baseline.should("transport.drop") for _ in range(32)]
+        assert drops == expected
+        clock.advance_to(10.0)
+        assert not injector.active("peer.crash", "node-a")
+
+
+class TestEventLog:
+    def test_events_record_every_fire_with_outcomes(self):
+        clock = SimClock()
+        injector = FaultInjector(FaultPlan(specs=(
+            FaultSpec(kind="transport.drop", target="node-a", max_fires=1),
+            FaultSpec(kind="consensus.slow", param=0.5, max_fires=1),
+            FaultSpec(kind="consensus.fail", max_fires=1),
+            FaultSpec(kind="peer.crash", target="node-a", end=5.0),)), clock)
+        assert injector.should("transport.drop", "node-a")
+        clock.advance(1.0)
+        assert injector.delay("consensus.slow") == 0.5
+        with pytest.raises(TransientFault):
+            injector.maybe_fail("consensus.fail")
+        assert injector.active("peer.crash", "node-a")
+        outcomes = [event["outcome"] for event in injector.events]
+        assert outcomes == ["fired", "delayed", "raised", "window-open"]
+        assert [event["seq"] for event in injector.events] == [1, 2, 3, 4]
+        assert injector.events[0]["target"] == "node-a"
+        assert injector.events[1]["time"] == 1.0
+        assert injector.events_by_kind() == {
+            "consensus.fail": 1, "consensus.slow": 1,
+            "peer.crash": 1, "transport.drop": 1}
+
+    def test_window_open_edge_is_logged_once(self):
+        injector = FaultInjector(FaultPlan(specs=(
+            FaultSpec(kind="peer.crash", target="node-a", end=5.0),)),
+            SimClock())
+        for _ in range(10):
+            injector.active("peer.crash", "node-a")
+        assert len(injector.events) == 1
+
+    def test_write_events_exports_jsonl(self, tmp_path):
+        injector = FaultInjector(FaultPlan(specs=(
+            FaultSpec(kind="transport.drop", max_fires=3),)), SimClock())
+        for _ in range(3):
+            injector.should("transport.drop")
+        path = tmp_path / "artifacts" / "events.jsonl"
+        assert injector.write_events(path) == 3
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 3
+        for seq, line in enumerate(lines, start=1):
+            event = json.loads(line)
+            assert event["seq"] == seq
+            assert event["kind"] == "transport.drop"
+
+
+class TestNullInjector:
+    def test_null_injector_is_inert(self):
+        assert not NULL_INJECTOR.should("transport.drop", "anywhere")
+        assert NULL_INJECTOR.delay("consensus.slow") == 0.0
+        NULL_INJECTOR.maybe_fail("commit.fail")  # never raises
+        assert not NULL_INJECTOR.active("peer.crash", "node-a")
+        assert NULL_INJECTOR.events == ()

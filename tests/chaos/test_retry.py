@@ -1,0 +1,147 @@
+"""Retry policy and the sim-clock retrier: backoff curve, typed
+retryable/terminal split, exhaustion, and deterministic timelines."""
+
+import pytest
+
+from repro.chaos import Retrier, RetryPolicy
+from repro.config import ResilienceConfig
+from repro.errors import CircuitOpenError, InjectedDiskError, TransientFault
+from repro.ledger.clock import SimClock
+
+
+class TestRetryPolicy:
+    @pytest.mark.parametrize("bad", [
+        dict(max_attempts=0),
+        dict(base_delay=-0.1),
+        dict(max_delay=-1.0),
+        dict(multiplier=0.5),
+        dict(jitter=1.5),
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            RetryPolicy(**bad)
+
+    def test_backoff_curve_without_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5,
+                             jitter=0.0)
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.4)
+        assert policy.backoff(4) == pytest.approx(0.5)  # capped
+        assert policy.backoff(9) == pytest.approx(0.5)
+
+    def test_jitter_scales_within_bounds_deterministically(self):
+        import random
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, max_delay=1.0,
+                             jitter=0.5)
+        draws = [policy.backoff(1, random.Random(3)) for _ in range(5)]
+        assert all(draw == draws[0] for draw in draws)  # same seed, same draw
+        assert 1.0 <= draws[0] <= 1.5
+
+    def test_typed_retryable_split(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable(TransientFault("x"))
+        assert policy.is_retryable(OSError("disk"))
+        assert policy.is_retryable(InjectedDiskError("disk"))  # is an OSError
+        assert not policy.is_retryable(ValueError("x"))
+        # Breaker rejections must never be retried into an open breaker.
+        assert not policy.is_retryable(CircuitOpenError("open"))
+
+    def test_from_config_uses_resilience_fields(self):
+        resilience = ResilienceConfig(retry_max_attempts=7,
+                                      retry_base_delay=0.01,
+                                      retry_multiplier=3.0,
+                                      retry_max_delay=9.0,
+                                      retry_jitter=0.25)
+        policy = RetryPolicy.from_config(resilience)
+        assert policy.max_attempts == 7
+        assert policy.base_delay == 0.01
+        assert policy.multiplier == 3.0
+        assert policy.max_delay == 9.0
+        assert policy.jitter == 0.25
+
+
+class FlakyCall:
+    """Fails with ``exc`` the first ``failures`` times, then returns a tag."""
+
+    def __init__(self, failures, exc=TransientFault):
+        self.failures = failures
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc(f"injected failure {self.calls}")
+        return "landed"
+
+
+class TestRetrier:
+    def test_success_passes_straight_through(self):
+        clock = SimClock()
+        retrier = Retrier(RetryPolicy(), clock)
+        assert retrier.call(lambda: "value") == "value"
+        assert retrier.retries == 0
+        assert clock.now() == 0.0
+
+    def test_transient_failures_are_absorbed_with_clock_backoff(self):
+        clock = SimClock()
+        retrier = Retrier(RetryPolicy(max_attempts=4), clock, seed=11)
+        flaky = FlakyCall(failures=2)
+        assert retrier.call(flaky, label="consensus.round") == "landed"
+        assert flaky.calls == 3
+        assert retrier.retries == 2
+        assert clock.now() > 0.0  # backoffs advanced simulated time
+        assert [entry[1] for entry in retrier.timeline] == ["consensus.round"] * 2
+        assert [entry[2] for entry in retrier.timeline] == [1, 2]
+
+    def test_disk_errors_are_retryable(self):
+        retrier = Retrier(RetryPolicy(), SimClock())
+        flaky = FlakyCall(failures=1, exc=InjectedDiskError)
+        assert retrier.call(flaky) == "landed"
+
+    def test_terminal_errors_re_raise_immediately(self):
+        retrier = Retrier(RetryPolicy(), SimClock())
+        flaky = FlakyCall(failures=5, exc=ValueError)
+        with pytest.raises(ValueError):
+            retrier.call(flaky)
+        assert flaky.calls == 1
+        assert retrier.retries == 0
+
+    def test_exhaustion_re_raises_the_last_failure(self):
+        retrier = Retrier(RetryPolicy(max_attempts=3), SimClock())
+        flaky = FlakyCall(failures=99)
+        with pytest.raises(TransientFault, match="injected failure 3"):
+            retrier.call(flaky)
+        assert flaky.calls == 3
+        assert retrier.retries == 2
+        assert retrier.exhausted == 1
+
+    def test_identical_seeds_yield_identical_timelines(self):
+        def timeline(seed):
+            clock = SimClock()
+            retrier = Retrier(RetryPolicy(max_attempts=5), clock, seed=seed)
+            with pytest.raises(TransientFault):
+                retrier.call(FlakyCall(failures=99), label="round")
+            return tuple(retrier.timeline), clock.now()
+
+        assert timeline(11) == timeline(11)
+        assert timeline(11) != timeline(12)  # jitter differs with the seed
+
+    def test_statistics(self):
+        retrier = Retrier(RetryPolicy(max_attempts=4), SimClock(), name="wal:a")
+        retrier.call(FlakyCall(failures=2))
+        stats = retrier.statistics()
+        assert stats == {"name": "wal:a", "attempts": 3, "retries": 2,
+                         "exhausted": 0}
+
+    def test_registry_counters(self):
+        from repro.obs import MetricsRegistry
+        registry = MetricsRegistry()
+        retrier = Retrier(RetryPolicy(max_attempts=2), SimClock(),
+                          name="consensus", registry=registry)
+        with pytest.raises(TransientFault):
+            retrier.call(FlakyCall(failures=99))
+        counters = registry.snapshot()["counters"]
+        assert counters['chaos_retries{scope="consensus"}'] == 1
+        assert counters['chaos_retries_exhausted{scope="consensus"}'] == 1

@@ -1,0 +1,195 @@
+"""Transport-level chaos: drops become retransmissions (no silent loss),
+crash windows park-and-replay in order, and a seeded drop schedule on the
+full pipeline still commits every submitted transaction."""
+
+import pytest
+
+from repro.chaos import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+)
+from repro.config import NetworkConfig, SystemConfig
+from repro.ledger.clock import SimClock
+from repro.network.transport import SimTransport
+from repro.workloads.topology import TopologySpec, build_topology_system
+from repro.workloads.updates import UpdateStreamGenerator
+
+
+def make_transport(clock=None, plan=None, retry=True):
+    clock = clock or SimClock()
+    transport = SimTransport(clock, NetworkConfig(base_latency=0.1,
+                                                  latency_jitter=0.0, seed=1))
+    if plan is not None:
+        transport.configure_chaos(
+            injector=FaultInjector(plan, clock),
+            retry_policy=RetryPolicy(jitter=0.0) if retry else None)
+    return transport, clock
+
+
+class TestRetransmission:
+    def test_dropped_message_is_retransmitted_not_lost(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="transport.drop", target="bob", max_fires=1),))
+        transport, _ = make_transport(plan=plan)
+        received = []
+        transport.register("alice", received.append)
+        transport.register("bob", received.append)
+        transport.send("alice", "bob", "ping", {"n": 1})
+        transport.flush()
+        assert [message.payload["n"] for message in received] == [1]
+        stats = transport.statistics
+        assert stats["dropped"] == 1
+        assert stats["retransmits"] == 1
+        assert stats["lost"] == 0
+
+    def test_without_retry_policy_drops_stay_silent(self):
+        # The seed's behaviour, kept for ablation: no policy, no retransmit.
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="transport.drop", target="bob", max_fires=1),))
+        transport, _ = make_transport(plan=plan, retry=False)
+        received = []
+        transport.register("alice", received.append)
+        transport.register("bob", received.append)
+        transport.send("alice", "bob", "ping")
+        transport.flush()
+        assert received == []
+        stats = transport.statistics
+        assert stats["dropped"] == 1
+        assert stats["retransmits"] == 0
+
+    def test_attempt_budget_exhaustion_loses_the_message(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="transport.drop", target="bob"),))  # always drops
+        transport, _ = make_transport(plan=plan)
+        received = []
+        transport.register("alice", received.append)
+        transport.register("bob", received.append)
+        transport.send("alice", "bob", "ping")
+        transport.flush()
+        assert received == []
+        stats = transport.statistics
+        assert stats["lost"] == 1
+        # max_attempts=4: the original send plus three retransmissions.
+        assert stats["retransmits"] == 3
+
+    def test_retransmission_backoff_advances_the_clock(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="transport.drop", target="bob", max_fires=1),))
+        transport, clock = make_transport(plan=plan)
+        transport.register("alice", lambda m: None)
+        transport.register("bob", lambda m: None)
+        transport.send("alice", "bob", "ping")
+        transport.flush()
+        # The drop fires before any delivery latency is paid; the clock then
+        # carries the retransmission backoff plus the redelivery latency.
+        assert clock.now() == pytest.approx(0.05 + 0.1)
+
+
+class TestCrashWindows:
+    def plan(self):
+        return FaultPlan(specs=(
+            FaultSpec(kind="peer.crash", target="bob", start=0.0, end=50.0),))
+
+    def test_messages_park_during_window_and_replay_in_order(self):
+        transport, clock = make_transport(plan=self.plan())
+        received = []
+        transport.register("alice", received.append)
+        transport.register("bob", received.append)
+        for n in range(3):
+            transport.send("alice", "bob", "seq", {"n": n})
+        transport.flush()
+        assert received == []
+        assert transport.statistics["parked"] == 3
+        clock.advance_to(50.0)
+        transport.flush()
+        assert [message.payload["n"] for message in received] == [0, 1, 2]
+        assert transport.statistics["parked"] == 0
+
+    def test_replayed_messages_skip_fault_probes(self):
+        # Replay models restart catch-up from a reliable log: a drop spec
+        # armed at replay time must not touch the parked backlog.
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="peer.crash", target="bob", start=0.0, end=10.0),
+            FaultSpec(kind="transport.drop", target="bob", start=10.0),))
+        transport, clock = make_transport(plan=plan)
+        received = []
+        transport.register("alice", received.append)
+        transport.register("bob", received.append)
+        transport.send("alice", "bob", "seq", {"n": 0})
+        transport.flush()
+        assert transport.statistics["parked"] == 1
+        clock.advance_to(10.0)
+        transport.flush()
+        assert [message.payload["n"] for message in received] == [0]
+        assert transport.statistics["lost"] == 0
+
+    def test_other_recipients_deliver_during_the_window(self):
+        transport, _ = make_transport(plan=self.plan())
+        received = {"bob": [], "carol": []}
+        transport.register("alice", lambda m: None)
+        transport.register("bob", received["bob"].append)
+        transport.register("carol", received["carol"].append)
+        transport.send("alice", "bob", "ping")
+        transport.send("alice", "carol", "ping")
+        transport.flush()
+        assert received["bob"] == []
+        assert len(received["carol"]) == 1
+
+
+class TestNoSilentLossEndToEnd:
+    def test_seeded_drop_schedule_still_commits_every_transaction(self):
+        """The satellite regression: with retransmission wired, a background
+        drop schedule loses nothing — every submitted update commits on
+        every replica and the relational outcome matches a drop-free run."""
+
+        from repro.gateway import SharingGateway, UpdateEntryRequest
+
+        def run(drops):
+            system = build_topology_system(
+                TopologySpec(patients=3, researchers=0, seed=5),
+                SystemConfig.private_chain(1.0))
+            if drops:
+                plan = FaultPlan(seed=13, specs=(
+                    FaultSpec(kind="transport.drop", probability=0.15,
+                              max_fires=20),))
+                system.attach_chaos(FaultInjector(plan, system.simulator.clock),
+                                    retry_policy=RetryPolicy())
+            gateway = SharingGateway(system, max_batch_size=8)
+            updates = UpdateStreamGenerator(system, seed=5)
+            names = sorted(peer.name for peer in system.peers
+                           if peer.role == "Patient")
+            sessions = {name: gateway.open_session(name) for name in names}
+            responses = []
+            for _round in range(6):
+                for name in names:
+                    metadata_id = system.peer(name).agreement_ids[0]
+                    event = updates.event_for(metadata_id, peer=name)
+                    responses.append(gateway.submit(
+                        sessions[name],
+                        UpdateEntryRequest(metadata_id=metadata_id,
+                                           key=event.key,
+                                           updates=event.updates)))
+                gateway.commit_once()
+                system.simulator.clock.advance(1.0)
+            gateway.drain()
+            system.simulator.transport.flush()
+            gateway.close()
+            return system, responses
+
+        faulted, responses = run(drops=True)
+        oracle, _ = run(drops=False)
+        assert all(response.ok for response in responses)
+        stats = faulted.simulator.transport.statistics
+        assert stats["dropped"] > 0, "the drop schedule never fired"
+        assert stats["retransmits"] > 0
+        assert stats["lost"] == 0, "a dropped message was silently lost"
+        # Every submitted transaction is on every replica's chain.
+        lengths = {node.name: len(node.chain)
+                   for node in faulted.simulator.nodes}
+        assert len(set(lengths.values())) == 1
+        assert lengths == {node.name: len(node.chain)
+                           for node in oracle.simulator.nodes}
+        assert faulted.all_shared_tables_consistent()
+        assert faulted.state_fingerprints() == oracle.state_fingerprints()

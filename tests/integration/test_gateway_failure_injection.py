@@ -1,7 +1,10 @@
 """Failure injection on the serving path: blown-up commits must not strand
 responses, corrupt the view cache, or kill the drainers.
 
-The contracts under test:
+Faults are injected through the public :mod:`repro.chaos` API — a seeded
+:class:`FaultPlan` attached with :meth:`MedicalDataSharingSystem.attach_chaos`
+— not by monkeypatching coordinator internals, so these tests exercise the
+exact injection points chaos soaks use.  The contracts under test:
 
 * a commit that raises mid-batch leaves **every** queued request in a
   terminal (``error``) response state — nothing stays ``queued`` forever;
@@ -9,15 +12,17 @@ The contracts under test:
   a failed commit are dropped wholesale and the next read repopulates them
   from the installed tables;
 * the :class:`GatewayWorkerPool` and the async commit pump both survive the
-  failure, record it observably, and keep serving subsequent commits.
+  failure, record it observably, and keep serving subsequent commits;
+* the same transient faults are *absorbed* once a retry policy is attached.
 """
 
 import asyncio
 
 import pytest
 
+from repro.chaos import FaultInjector, FaultPlan, FaultSpec, RetryPolicy
 from repro.config import SystemConfig
-from repro.errors import ReproError, WorkflowError
+from repro.errors import InjectedFault, TransientFault
 from repro.gateway import (
     AsyncSharingGateway,
     GatewayWorkerPool,
@@ -47,36 +52,25 @@ def update_for(metadata_id, tag):
                               updates={"clinical_data": tag})
 
 
-class FailOnce:
-    """Wraps ``commit_entry_batch`` to blow up on its first ``fail_times``
-    calls, before any on-chain side effect, then pass through."""
-
-    def __init__(self, coordinator, fail_times=1,
-                 error="injected: consensus backend unavailable"):
-        self.original = coordinator.commit_entry_batch
-        self.remaining = fail_times
-        self.error = error
-        self.calls = 0
-
-    def __call__(self, groups):
-        self.calls += 1
-        if self.remaining > 0:
-            self.remaining -= 1
-            raise WorkflowError(self.error)
-        return self.original(groups)
+def inject(system, *specs, retry=False):
+    """Attach a fault plan built from ``specs``; returns the injector."""
+    injector = FaultInjector(FaultPlan(specs=tuple(specs)),
+                             system.simulator.clock)
+    system.attach_chaos(injector,
+                        retry_policy=RetryPolicy(jitter=0.0) if retry else None)
+    return injector
 
 
 class TestSyncCommitBlowup:
-    def test_every_queued_request_terminal_after_blowup(self, monkeypatch):
+    def test_every_queued_request_terminal_after_blowup(self):
         system = build_system(patients=3)
         tables = tenant_tables(system)
         gateway = SharingGateway(system)
         sessions = {peer: gateway.open_session(peer) for peer in tables}
         responses = [gateway.submit(sessions[peer], update_for(metadata_id, "boom"))
                      for peer, metadata_id in sorted(tables.items())]
-        injector = FailOnce(system.coordinator)
-        monkeypatch.setattr(system.coordinator, "commit_entry_batch", injector)
-        with pytest.raises(WorkflowError):
+        injector = inject(system, FaultSpec(kind="commit.fail", max_fires=1))
+        with pytest.raises(InjectedFault):
             gateway.commit_once()
         # No response is left queued; each carries the injected error.
         assert all(response.status == STATUS_ERROR for response in responses)
@@ -85,8 +79,9 @@ class TestSyncCommitBlowup:
         assert gateway.outstanding_writes == 0
         assert gateway.queue_depth == 0
         assert gateway.writes_rejected == len(responses)
+        assert injector.events_by_kind() == {"commit.fail": 1}
 
-    def test_cache_has_no_half_patched_entries_after_blowup(self, monkeypatch):
+    def test_cache_has_no_half_patched_entries_after_blowup(self):
         system = build_system(patients=2)
         tables = tenant_tables(system)
         gateway = SharingGateway(system)
@@ -97,9 +92,8 @@ class TestSyncCommitBlowup:
         assert len(gateway.cache) == len(tables)
         for peer, metadata_id in sorted(tables.items()):
             gateway.submit(sessions[peer], update_for(metadata_id, "never-lands"))
-        injector = FailOnce(system.coordinator)
-        monkeypatch.setattr(system.coordinator, "commit_entry_batch", injector)
-        with pytest.raises(WorkflowError):
+        inject(system, FaultSpec(kind="commit.fail", max_fires=1))
+        with pytest.raises(InjectedFault):
             gateway.commit_once()
         # The planned tables' views were dropped wholesale, not patched.
         for peer, metadata_id in tables.items():
@@ -112,39 +106,51 @@ class TestSyncCommitBlowup:
             assert all(row["clinical_data"] != "never-lands"
                        for row in table["rows"])
 
-    def test_mid_protocol_failure_still_resolves_every_member(self, monkeypatch):
-        """A failure *after* the request round (the ack round never mines)
-        must still leave every member terminal and the drainer alive."""
+    def test_mid_protocol_failure_still_resolves_every_member(self):
+        """A consensus failure *after* the request round (the ack round never
+        mines) must still leave every member terminal."""
         system = build_system(patients=2)
         tables = tenant_tables(system)
         gateway = SharingGateway(system)
         sessions = {peer: gateway.open_session(peer) for peer in tables}
         responses = [gateway.submit(sessions[peer], update_for(metadata_id, "mid"))
                      for peer, metadata_id in sorted(tables.items())]
-        original_mine = system.coordinator._mine
-        calls = {"count": 0}
-
-        def failing_mine():
-            calls["count"] += 1
-            if calls["count"] == 2:  # requests mined, acks blow up
-                raise ReproError("injected: miner crashed mid-batch")
-            return original_mine()
-
-        monkeypatch.setattr(system.coordinator, "_mine", failing_mine)
-        with pytest.raises(ReproError):
+        # The first mining round probes at the commit's start time; arming
+        # the spec just past it makes the *second* round (the acks) blow up.
+        inject(system, FaultSpec(kind="consensus.fail",
+                                 start=system.simulator.clock.now() + 0.5,
+                                 max_fires=1))
+        with pytest.raises(TransientFault):
             gateway.commit_once()
         assert all(response.status == STATUS_ERROR for response in responses)
         assert gateway.outstanding_writes == 0
 
-
-class TestWorkerPoolSurvival:
-    def test_pool_records_error_and_keeps_draining(self, monkeypatch):
+    def test_retry_policy_absorbs_transient_consensus_failures(self):
+        """The same fault plan self-heals once a retry policy is attached:
+        the round is retried with backoff and the batch commits."""
         system = build_system(patients=2)
         tables = tenant_tables(system)
         gateway = SharingGateway(system)
         sessions = {peer: gateway.open_session(peer) for peer in tables}
-        injector = FailOnce(system.coordinator)
-        monkeypatch.setattr(system.coordinator, "commit_entry_batch", injector)
+        responses = [gateway.submit(sessions[peer], update_for(metadata_id, "heal"))
+                     for peer, metadata_id in sorted(tables.items())]
+        inject(system, FaultSpec(kind="consensus.fail", max_fires=2),
+               retry=True)
+        gateway.commit_once()  # no raise: the retrier absorbed both faults
+        assert all(response.status == STATUS_OK for response in responses)
+        retrier = system.coordinator.retrier
+        assert retrier.retries >= 2
+        assert retrier.exhausted == 0
+        assert system.all_shared_tables_consistent()
+
+
+class TestWorkerPoolSurvival:
+    def test_pool_records_error_and_keeps_draining(self):
+        system = build_system(patients=2)
+        tables = tenant_tables(system)
+        gateway = SharingGateway(system)
+        sessions = {peer: gateway.open_session(peer) for peer in tables}
+        injector = inject(system, FaultSpec(kind="commit.fail", max_fires=1))
         (peer_a, table_a), (peer_b, table_b) = sorted(tables.items())
         with GatewayWorkerPool(gateway, workers=2) as pool:
             doomed = gateway.submit(sessions[peer_a], update_for(table_a, "doomed"))
@@ -153,11 +159,12 @@ class TestWorkerPoolSurvival:
             assert pool.errors and "injected" in pool.errors[0]
             assert doomed.status == STATUS_ERROR
             assert pool.running
-            # And the pool still commits follow-up work.
+            # And the pool still commits follow-up work (the fire budget is
+            # spent, so the next batch sails through).
             survivor = gateway.submit(sessions[peer_b], update_for(table_b, "ok"))
             assert pool.join_idle(timeout=30.0)
             assert survivor.status == STATUS_OK
-        assert injector.calls >= 2
+        assert injector.events_by_kind() == {"commit.fail": 1}
         patient_id = int(table_b.split(":")[1])
         view = system.peer(peer_b).shared_table(table_b)
         assert view.get((patient_id,))["clinical_data"] == "ok"
@@ -169,8 +176,7 @@ class TestCommitPumpSurvival:
             system = build_system(patients=2)
             tables = tenant_tables(system)
             gateway = SharingGateway(system)
-            injector = FailOnce(system.coordinator)
-            system.coordinator.commit_entry_batch = injector
+            inject(system, FaultSpec(kind="commit.fail", max_fires=1))
             (peer_a, table_a), (peer_b, table_b) = sorted(tables.items())
             async with AsyncSharingGateway(gateway, seal_depth=1) as front:
                 session_a = front.open_session(peer_a)
@@ -201,8 +207,7 @@ class TestCommitPumpSurvival:
             system = build_system(patients=2)
             tables = tenant_tables(system)
             gateway = SharingGateway(system)
-            injector = FailOnce(system.coordinator, fail_times=10)
-            system.coordinator.commit_entry_batch = injector
+            inject(system, FaultSpec(kind="commit.fail", max_fires=10))
             async with AsyncSharingGateway(gateway, seal_depth=50,
                                            idle_timeout=5.0) as front:
                 futures = []
