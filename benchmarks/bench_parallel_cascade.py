@@ -1,0 +1,264 @@
+"""E17 — parallel cascades + join deltas: fan-out propagation over lanes.
+
+The seed runs every cascade leg sequentially: a change that fans out to N
+dependent views pays 2·N consensus rounds (one request round and one
+acknowledgement round per leg), even when the legs target independent
+shared tables on independent consensus lanes.  The parallel cascade path
+(``SystemConfig.parallel_cascades``) commits all legs of one cascade
+through *shared* request/ack rounds and runs their ledger-free middles on
+executor threads grouped by consensus lane — 2 rounds per cascade instead
+of 2·N — while merging deterministically so the post-state is byte-identical
+to the sequential oracle.
+
+The workload is cascade-heavy by construction (see
+:func:`repro.workloads.topology.build_join_topology_system`): a hospital
+shares the doctor's whole D3 keyed by patient id, and the doctor's
+per-patient views are **join-backed** (σ_patient(D3) ⋈ medications,
+enriched with the guideline column).  Each round the hospital batch-updates
+``mechanism_of_action`` for every patient on a medication — one multi-row
+diff, one cascade, one leg per affected patient view, each leg translated
+by the keyed-join delta rules — and a few patients write ``clinical_data``
+back through the join's backward direction.
+
+Three configurations run the identical workload:
+
+* **parallel + delta** — the measured pipeline;
+* **sequential + delta** — ``parallel_cascades=False``, the oracle the
+  speedup gate compares against (simulated seconds);
+* **parallel + full** — ``delta_propagation=False``, every leg recomputed
+  by full get/put (the delta-vs-full A/B: same fingerprints, zero delta
+  translations).
+
+Gates: ≥2× simulated-time speedup of parallel over sequential, byte-identical
+``Table.fingerprint()`` for every peer table across all three runs, and zero
+``DeltaUnsupported`` fallbacks in the delta runs (the keyed-join steady state
+never falls back to full recomputation).
+
+Runnable two ways::
+
+    python -m pytest benchmarks/bench_parallel_cascade.py           # asserts ≥2×
+    python -m pytest benchmarks/bench_parallel_cascade.py --quick   # CI smoke
+    python benchmarks/bench_parallel_cascade.py --json              # prints JSON
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Dict
+
+from repro.config import ConsensusConfig, LedgerConfig, NetworkConfig, SystemConfig
+from repro.core.system import MedicalDataSharingSystem
+from repro.gateway import SharingGateway, UpdateEntryRequest
+from repro.workloads.topology import (
+    HOSPITAL_TABLE_ID,
+    TopologySpec,
+    build_join_topology_system,
+    patients_by_medication,
+)
+
+DEFAULT_PATIENTS = 12
+DEFAULT_MEDICATIONS = 3
+#: 5 shards = 4 *data* lanes + the reserved control lane 0; the per-patient
+#: metadata ids spread the cascade legs over the data lanes.
+DEFAULT_SHARDS = 5
+FULL_ROUNDS = 2
+QUICK_ROUNDS = 1
+BLOCK_INTERVAL = 2.0
+#: Patient-id base whose medication groups spread their legs over several
+#: data lanes of the 5-shard hash (a representative placement).
+FIRST_PATIENT_ID = 1_008
+#: The acceptance gate: parallel cascades must commit the same fan-out
+#: workload in at most half the simulated time of the sequential oracle.
+TARGET_SPEEDUP = 2.0
+
+
+def _config(shards: int, parallel: bool, delta: bool) -> SystemConfig:
+    return SystemConfig(
+        ledger=LedgerConfig(
+            consensus=ConsensusConfig(kind="poa", block_interval=BLOCK_INTERVAL),
+            max_transactions_per_block=16,
+            consensus_shards=shards,
+        ),
+        # Near-zero transport latency isolates consensus rounds: the simulated
+        # clock then measures block intervals, not gossip hops.
+        network=NetworkConfig(base_latency=0.002, latency_jitter=0.001),
+        parallel_cascades=parallel,
+        delta_propagation=delta,
+    )
+
+
+def _build(patients: int, medications: int, shards: int,
+           parallel: bool, delta: bool) -> MedicalDataSharingSystem:
+    return build_join_topology_system(
+        TopologySpec(patients=patients, researchers=0,
+                     distinct_medications=medications,
+                     first_patient_id=FIRST_PATIENT_ID),
+        _config(shards, parallel, delta),
+    )
+
+
+def _fingerprints(system: MedicalDataSharingSystem) -> Dict[str, str]:
+    return {
+        f"{peer.name}:{table_name}": peer.database.table(table_name).fingerprint()
+        for peer in system.peers
+        for table_name in sorted(peer.database.table_names)
+    }
+
+
+def _manager_totals(system: MedicalDataSharingSystem) -> Dict[str, int]:
+    totals: Dict[str, int] = {}
+    for name in system.peer_names:
+        for key, value in system.server_app(name).manager.statistics.items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+def _run_workload(system: MedicalDataSharingSystem, rounds: int) -> Dict[str, object]:
+    """The fan-out workload: per-medication hospital batches (each one
+    cascade with one leg per patient on that medication) plus per-round
+    patient ``clinical_data`` write-backs through the join's put direction."""
+    gateway = SharingGateway(system, max_batch_size=32)
+    hospital = gateway.open_session("hospital")
+    groups = patients_by_medication(system)
+    patient_sessions = {
+        patient_id: gateway.open_session(f"patient-{patient_id}")
+        for patient_ids in groups.values() for patient_id in patient_ids
+    }
+    responses = []
+    start = system.simulator.clock.now()
+    wall_start = time.perf_counter()
+    for round_index in range(rounds):
+        for medication, patient_ids in groups.items():
+            # One batched hospital update per medication: k same-table edits
+            # fold into one multi-row diff and one k-leg cascade.
+            for patient_id in patient_ids:
+                responses.append(gateway.submit(hospital, UpdateEntryRequest(
+                    metadata_id=HOSPITAL_TABLE_ID, key=(patient_id,),
+                    updates={"mechanism_of_action":
+                             f"MeA-{medication}-r{round_index}"})))
+            gateway.drain()
+        # Patient write-backs: the first patient of every medication group
+        # edits clinical_data, reflected at the doctor through the join
+        # lens's backward delta (read-only enrichment columns untouched).
+        for medication, patient_ids in groups.items():
+            patient_id = patient_ids[0]
+            responses.append(gateway.submit(
+                patient_sessions[patient_id],
+                UpdateEntryRequest(metadata_id=f"D13&D31:{patient_id}",
+                                   key=(patient_id,),
+                                   updates={"clinical_data":
+                                            f"CliD-{patient_id}-r{round_index}"})))
+        gateway.drain()
+    elapsed = system.simulator.clock.now() - start
+    wall_seconds = time.perf_counter() - wall_start
+    assert all(response.ok for response in responses)
+    assert system.all_shared_tables_consistent()
+    metrics = gateway.metrics()
+    totals = _manager_totals(system)
+    return {
+        "writes": len(responses),
+        "cascade_legs": sum(len(ids) for ids in groups.values()) * rounds,
+        "simulated_seconds": elapsed,
+        "wall_seconds": wall_seconds,
+        "throughput": len(responses) / elapsed,
+        "consensus_rounds": metrics["batches"]["consensus_rounds"],
+        "delta_get_invocations": totals["delta_get_invocations"],
+        "delta_put_invocations": totals["delta_put_invocations"],
+        "full_put_invocations": totals["put_invocations"],
+        "delta_fallbacks": totals["delta_fallbacks"],
+        "shards": metrics["shards"],
+    }
+
+
+def run_parallel_cascade_comparison(patients: int = DEFAULT_PATIENTS,
+                                    medications: int = DEFAULT_MEDICATIONS,
+                                    shards: int = DEFAULT_SHARDS,
+                                    rounds: int = FULL_ROUNDS) -> Dict[str, object]:
+    """Parallel vs sequential cascades and delta vs full recompute over the
+    identical fan-out workload; returns a JSON-able result."""
+    parallel_system = _build(patients, medications, shards, parallel=True, delta=True)
+    parallel = _run_workload(parallel_system, rounds)
+    parallel_prints = _fingerprints(parallel_system)
+
+    sequential_system = _build(patients, medications, shards, parallel=False, delta=True)
+    sequential = _run_workload(sequential_system, rounds)
+    sequential_prints = _fingerprints(sequential_system)
+    assert parallel_prints == sequential_prints, (
+        "parallel cascades diverged from the sequential oracle: "
+        f"{[k for k in sequential_prints if sequential_prints[k] != parallel_prints.get(k)]}"
+    )
+
+    full_system = _build(patients, medications, shards, parallel=True, delta=False)
+    full = _run_workload(full_system, rounds)
+    assert _fingerprints(full_system) == parallel_prints, (
+        "delta propagation diverged from the full-recompute oracle")
+
+    groups = patients_by_medication(parallel_system)
+    return {
+        "experiment": "E17_parallel_cascade",
+        "workload": (f"{patients} patients / {medications} medications x "
+                     f"{rounds} round(s): per-medication hospital fan-out "
+                     "batches + patient write-backs over join-backed views"),
+        "patients": patients,
+        "medications": {m: len(ids) for m, ids in groups.items()},
+        "shards": shards,
+        "rounds": rounds,
+        "block_interval": BLOCK_INTERVAL,
+        "parallel": parallel,
+        "sequential": sequential,
+        "full_recompute": full,
+        "speedup": sequential["simulated_seconds"] / parallel["simulated_seconds"],
+        "intervals_cut": (sequential["shards"]["lanes"]["intervals"]
+                          - parallel["shards"]["lanes"]["intervals"]),
+        "fingerprints_identical": True,
+        "delta_fallbacks": parallel["delta_fallbacks"] + sequential["delta_fallbacks"],
+    }
+
+
+def test_parallel_cascade_speedup_and_fingerprints(emit, quick):
+    """Parallel cascades must commit the fan-out workload ≥2× faster (in
+    simulated seconds) than the sequential oracle with byte-identical
+    post-state fingerprints on every peer, zero ``DeltaUnsupported``
+    fallbacks in the keyed-join steady state, and the full-recompute run
+    (delta off) must agree too."""
+    rounds = QUICK_ROUNDS if quick else FULL_ROUNDS
+    result = run_parallel_cascade_comparison(rounds=rounds)
+    emit("E17_parallel_cascade", json.dumps(result, indent=2, sort_keys=True))
+    assert result["fingerprints_identical"]
+    assert result["speedup"] >= TARGET_SPEEDUP
+    # The keyed-join steady state never falls back to full recomputation.
+    assert result["delta_fallbacks"] == 0
+    # The deltas did the propagation work in the delta runs ...
+    assert result["parallel"]["delta_get_invocations"] > 0
+    assert result["parallel"]["delta_put_invocations"] > 0
+    # ... and the full-recompute run did none (it full-put every leg).
+    assert result["full_recompute"]["delta_put_invocations"] == 0
+    assert result["full_recompute"]["full_put_invocations"] > 0
+    # Fewer mining intervals is *where* the simulated time went: the legs'
+    # request/ack rounds collapsed into shared intervals across lanes.
+    assert result["intervals_cut"] > 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--patients", type=int, default=DEFAULT_PATIENTS)
+    parser.add_argument("--medications", type=int, default=DEFAULT_MEDICATIONS)
+    parser.add_argument("--shards", type=int, default=DEFAULT_SHARDS)
+    parser.add_argument("--rounds", type=int, default=FULL_ROUNDS)
+    parser.add_argument("--quick", action="store_true",
+                        help="use the reduced CI smoke round count")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full JSON result (default)")
+    args = parser.parse_args()
+    rounds = QUICK_ROUNDS if args.quick else args.rounds
+    result = run_parallel_cascade_comparison(
+        patients=args.patients, medications=args.medications,
+        shards=args.shards, rounds=rounds)
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0 if result["speedup"] >= TARGET_SPEEDUP else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

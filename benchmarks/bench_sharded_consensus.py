@@ -13,7 +13,8 @@ tenants, each committing to its own shared table through the gateway, with a
 per-block budget of 2 transactions so block space is the bottleneck) through
 
 * the **1-shard baseline** — exactly the seed pipeline; and
-* the **4-shard lanes** — the same workload, tables spread over 4 lanes,
+* the **5-shard lanes** — the same workload, tables spread over the 4 data
+  lanes (lane 0 is reserved for control traffic),
 
 and reports commit throughput in writes per simulated second.  Correctness
 oracles: every peer's every table must have a byte-identical
@@ -46,7 +47,8 @@ from repro.gateway import SharingGateway, UpdateEntryRequest
 from repro.workloads.topology import TopologySpec, build_topology_system
 
 DEFAULT_TENANTS = 8
-DEFAULT_SHARDS = 4
+#: 5 shards = 4 *data* lanes + the reserved control lane 0.
+DEFAULT_SHARDS = 5
 FULL_ROUNDS = 3
 QUICK_ROUNDS = 1
 BLOCK_INTERVAL = 2.0
@@ -54,9 +56,10 @@ BLOCK_INTERVAL = 2.0
 #: parallelise (the paper's single-chain budget).
 MAX_TXS_PER_BLOCK = 2
 #: Patient-id base whose 8 sequential metadata ids spread 2/2/2/2 over the
-#: 4-shard hash (a representative, not adversarial, table placement).
+#: 4 data lanes of the 5-shard hash (a representative, not adversarial,
+#: table placement).
 FIRST_PATIENT_ID = 1_008
-#: The acceptance gate: ≥2× commit throughput at 4 shards / 8 tenants.
+#: The acceptance gate: ≥2× commit throughput at 4 data lanes / 8 tenants.
 TARGET_SPEEDUP = 2.0
 
 
@@ -215,7 +218,7 @@ def run_sharded_consensus_comparison(tenants: int = DEFAULT_TENANTS,
 
 
 def test_sharded_consensus_throughput_and_fingerprints(emit, quick):
-    """4 consensus lanes must give ≥2× commit throughput over the 1-shard
+    """4 data lanes must give ≥2× commit throughput over the 1-shard
     baseline at 8 tenants, with identical post-state fingerprints on every
     peer and an unchanged 1-shard block sequence; cross-peer folding must cut
     consensus rounds without changing the post-state."""

@@ -30,6 +30,7 @@ from repro.bx.projection import ProjectionLens
 from repro.bx.selection import SelectionLens
 from repro.bx.rename import RenameLens
 from repro.bx.compose import ComposeLens, IdentityLens
+from repro.bx.join import JoinLens
 from repro.bx.delta import get_delta, put_delta
 from repro.bx.laws import LawReport, check_get_put, check_put_get, check_well_behaved
 from repro.bx.dsl import ViewSpec, lens_from_spec
@@ -42,6 +43,7 @@ __all__ = [
     "InsertPolicy",
     "get_delta",
     "put_delta",
+    "JoinLens",
     "ProjectionLens",
     "SelectionLens",
     "RenameLens",

@@ -23,7 +23,11 @@ falls back to the full ``get``/``put``.  The fallback conditions are:
 * **selection predicates over hidden columns** — ``put_delta`` cannot check
   the predicate on a view change whose images lack a referenced column
   (projections hide columns from the images);
-* **joins** — one input row feeds many output rows (multiplicity);
+* **non-keyed joins** — when the join columns do not pin down the reference
+  side's primary key, one input row feeds many output rows (multiplicity)
+  and no row-level translation exists.  *Keyed* equi-joins (reference
+  primary key ⊆ join columns) translate row by row via
+  :func:`join_get_change` / :func:`join_put_change`;
 * **keyless diffs** — positional diffs carry no stable row identity.
 
 The helpers are deliberately table-free: both directions need only the
@@ -46,6 +50,8 @@ __all__ = [
     "complete_images",
     "empty_diff",
     "get_delta",
+    "join_get_change",
+    "join_put_change",
     "put_delta",
     "projection_get_change",
     "projection_put_change",
@@ -235,6 +241,133 @@ def projection_put_change(change: RowChange, source_schema: Schema,
         _image(change.after, columns, lens_name),
         tuple(change.changed_columns),
     )
+
+
+# ----------------------------------------------------------------------- join
+
+def _join_enriched(values: Optional[Mapping[str, object]],
+                   enrich_columns: Sequence[str],
+                   match: Mapping[str, object],
+                   lens_name: str) -> Dict[str, object]:
+    """One source image plus the enrichment columns of its matched
+    reference row."""
+    if values is None:
+        raise DeltaUnsupported(f"lens {lens_name!r}: change image is missing")
+    enriched = dict(values)
+    for column in enrich_columns:
+        enriched[column] = match[column]
+    return enriched
+
+
+def join_get_change(change: RowChange, enrich_columns: Sequence[str],
+                    lookup, lens_name: str) -> Optional[RowChange]:
+    """Translate one keyed source change through an enriching equi-join's
+    forward direction.
+
+    ``lookup`` maps a source-row image to its matched reference row, or
+    ``None`` when the join hides the row (no reference match); it raises
+    :class:`DeltaUnsupported` when the image does not carry a join column.
+    Because the reference side is unchanged during the translation (a
+    reference-table diff is rejected upstream), the four selection-style
+    cases apply: a row gaining a match becomes an insert, one losing its
+    match a delete, and an unmatched change disappears.
+    """
+    if change.kind == "insert":
+        match = lookup(_require_image(change.after, lens_name))
+        if match is None:
+            return None
+        return RowChange("insert", change.key, None,
+                         _join_enriched(change.after, enrich_columns, match, lens_name))
+    if change.kind == "delete":
+        match = lookup(_require_image(change.before, lens_name))
+        if match is None:
+            return None
+        return RowChange("delete", change.key,
+                         _join_enriched(change.before, enrich_columns, match, lens_name),
+                         None)
+    before_match = lookup(_require_image(change.before, lens_name))
+    after_match = lookup(_require_image(change.after, lens_name))
+    if before_match is not None and after_match is not None:
+        before = _join_enriched(change.before, enrich_columns, before_match, lens_name)
+        after = _join_enriched(change.after, enrich_columns, after_match, lens_name)
+        if before == after:
+            return None
+        changed = tuple(change.changed_columns) + tuple(
+            c for c in enrich_columns
+            if c not in change.changed_columns and before[c] != after[c])
+        return RowChange("update", change.key, before, after, changed)
+    if before_match is not None:
+        return RowChange(
+            "delete", change.key,
+            _join_enriched(change.before, enrich_columns, before_match, lens_name),
+            None)
+    if after_match is not None:
+        return RowChange(
+            "insert", change.key, None,
+            _join_enriched(change.after, enrich_columns, after_match, lens_name))
+    return None
+
+
+def join_put_change(change: RowChange, source_columns: Sequence[str],
+                    enrich_columns: Sequence[str], lookup,
+                    on_delete: DeletePolicy, on_insert: InsertPolicy,
+                    lens_name: str) -> Optional[RowChange]:
+    """Translate one view change through an enriching equi-join's backward
+    direction.
+
+    The enrichment columns are read-only: a surviving view row must still
+    join a reference row, and any enrichment value it carries must agree
+    with that row (stale reference data cannot be written back through the
+    view).  Deletions and insertions honour the lens policies; an update
+    touching only enrichment columns translates to nothing.
+    """
+    source_set = set(source_columns)
+    if change.kind == "delete":
+        if on_delete is DeletePolicy.FORBID:
+            raise PutConflictError(
+                f"view dropped key {change.key!r} but lens {lens_name!r} forbids deletions"
+            )
+        before = _require_image(change.before, lens_name)
+        return RowChange("delete", change.key,
+                         {c: v for c, v in before.items() if c in source_set}, None)
+    after = _require_image(change.after, lens_name)
+    match = lookup(after)
+    if match is None:
+        raise ViewShapeError(
+            f"view row with key {change.key!r} joins no reference row under lens "
+            f"{lens_name!r}; such an update cannot be reflected without breaking PutGet"
+        )
+    for column in enrich_columns:
+        if column in after and after[column] is not None and after[column] != match[column]:
+            raise ViewShapeError(
+                f"view row with key {change.key!r} rewrites read-only join column "
+                f"{column!r} of lens {lens_name!r} (reference says {match[column]!r}, "
+                f"view says {after[column]!r})"
+            )
+    if change.kind == "insert":
+        if on_insert is InsertPolicy.FORBID:
+            raise PutConflictError(
+                f"view introduced key {change.key!r} but lens {lens_name!r} "
+                "forbids insertions"
+            )
+        return RowChange("insert", change.key, None,
+                         _image(after, source_columns, lens_name))
+    changed = tuple(c for c in change.changed_columns if c in source_set)
+    if not changed:
+        return None
+    before_full = _require_image(change.before, lens_name)
+    before = {c: v for c, v in before_full.items() if c in source_set}
+    after_source = {c: v for c, v in after.items() if c in source_set}
+    if before == after_source:
+        return None
+    return RowChange("update", change.key, before, after_source, changed)
+
+
+def _require_image(values: Optional[Mapping[str, object]],
+                   lens_name: str) -> Mapping[str, object]:
+    if values is None:
+        raise DeltaUnsupported(f"lens {lens_name!r}: change image is missing")
+    return values
 
 
 # ------------------------------------------------------------------ utilities

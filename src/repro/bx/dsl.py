@@ -42,6 +42,13 @@ class ViewSpec:
     rename:
         Optional column renaming applied after projection
         (source column name → shared column name).
+    join_table / join_on / join_columns:
+        Optional keyed equi-join with a reference table, applied between the
+        selection and the projection: rows of the (filtered) source are
+        enriched with ``join_columns`` of the ``join_table`` row whose
+        primary key the ``join_on`` columns pin down (see
+        :class:`~repro.bx.join.JoinLens`).  ``columns`` may then project
+        enrichment columns alongside source columns.
     on_delete / on_insert:
         Policies for view-side deletions/insertions.
     """
@@ -52,6 +59,9 @@ class ViewSpec:
     view_key: Tuple[str, ...] = ()
     where: Optional[Predicate] = None
     rename: Dict[str, str] = field(default_factory=dict)
+    join_table: Optional[str] = None
+    join_on: Tuple[str, ...] = ()
+    join_columns: Tuple[str, ...] = ()
     on_delete: DeletePolicy = DeletePolicy.DELETE
     on_insert: InsertPolicy = InsertPolicy.INSERT_WITH_NULLS
 
@@ -61,6 +71,12 @@ class ViewSpec:
         object.__setattr__(self, "columns", tuple(self.columns))
         object.__setattr__(self, "view_key", tuple(self.view_key))
         object.__setattr__(self, "rename", dict(self.rename))
+        object.__setattr__(self, "join_on", tuple(self.join_on))
+        object.__setattr__(self, "join_columns", tuple(self.join_columns))
+        if self.join_table is not None and (not self.join_on or not self.join_columns):
+            raise AgreementError(
+                "a join spec needs both join_on and join_columns"
+            )
 
     @property
     def shared_columns(self) -> Tuple[str, ...]:
@@ -68,7 +84,7 @@ class ViewSpec:
         return tuple(self.rename.get(c, c) for c in self.columns)
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "source_table": self.source_table,
             "view_name": self.view_name,
             "columns": list(self.columns),
@@ -78,6 +94,11 @@ class ViewSpec:
             "on_delete": self.on_delete.value,
             "on_insert": self.on_insert.value,
         }
+        if self.join_table is not None:
+            payload["join_table"] = self.join_table
+            payload["join_on"] = list(self.join_on)
+            payload["join_columns"] = list(self.join_columns)
+        return payload
 
     @staticmethod
     def from_dict(payload: dict) -> "ViewSpec":
@@ -88,33 +109,51 @@ class ViewSpec:
             view_key=tuple(payload.get("view_key", ())),
             where=Predicate.from_dict(payload["where"]) if payload.get("where") else None,
             rename=dict(payload.get("rename", {})),
+            join_table=payload.get("join_table"),
+            join_on=tuple(payload.get("join_on", ())),
+            join_columns=tuple(payload.get("join_columns", ())),
             on_delete=DeletePolicy(payload.get("on_delete", "delete")),
             on_insert=InsertPolicy(payload.get("on_insert", "insert_with_nulls")),
         )
 
 
-def lens_from_spec(spec: ViewSpec) -> Lens:
+def lens_from_spec(spec: ViewSpec, resolve_table=None) -> Lens:
     """Build the concrete lens a :class:`ViewSpec` describes.
 
-    Layering (innermost first): selection (if any) → projection → rename (if
-    any).  The composed lens carries the spec's view name so produced tables
-    are named correctly.
+    Layering (innermost first): selection (if any) → join (if any) →
+    projection → rename (if any).  The composed lens carries the spec's view
+    name so produced tables are named correctly.  ``resolve_table`` (table
+    name → live :class:`~repro.relational.table.Table`) is only needed for
+    join specs; it binds the lens to the provider's database.
     """
+    inner_name = spec.view_name if not spec.rename else None
     projection = ProjectionLens(
         columns=spec.columns,
         view_key=spec.view_key or None,
-        view_name=spec.view_name if not spec.rename else None,
+        view_name=inner_name,
         on_delete=spec.on_delete,
         on_insert=spec.on_insert,
     )
     lens: Lens = projection
+    if spec.join_table is not None:
+        from repro.bx.join import JoinLens
+
+        join = JoinLens(
+            table=spec.join_table,
+            on=spec.join_on,
+            columns=spec.join_columns,
+            resolve_table=resolve_table,
+            on_delete=spec.on_delete,
+            on_insert=spec.on_insert,
+        )
+        lens = ComposeLens(join, projection, view_name=inner_name)
     if spec.where is not None:
         selection = SelectionLens(
             spec.where,
             on_delete=spec.on_delete,
             on_insert=spec.on_insert,
         )
-        lens = ComposeLens(selection, projection, view_name=spec.view_name if not spec.rename else None)
+        lens = ComposeLens(selection, lens, view_name=inner_name)
     if spec.rename:
         rename = RenameLens(spec.rename, view_name=spec.view_name)
         lens = ComposeLens(lens, rename, view_name=spec.view_name)

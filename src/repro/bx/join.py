@@ -1,0 +1,289 @@
+"""Enriching equi-join lenses over keyed sources.
+
+The richest views in the paper's scenarios pull *reference data* into a
+shared view: a doctor's per-patient view enriched with the pharmacology
+columns of a medications table, a billing view enriched with insurer
+metadata.  :class:`JoinLens` models exactly that shape — an inner equi-join
+of a keyed source table with a *reference* table whose primary key is
+pinned down by the join columns — which is the case where a join stays
+bidirectional **and** delta-translatable:
+
+* every source row matches **at most one** reference row (reference primary
+  key ⊆ join columns), so the view keeps the source's primary key and rows
+  correspond one-to-one;
+* unmatched source rows are hidden, selection-style, and survive ``put``
+  untouched;
+* the enrichment columns are read-only through the view: ``put`` rejects a
+  view row whose enrichment values disagree with the reference row it
+  joins.
+
+The reference side is treated as static reference data during delta
+translation (a reference-table diff is never routed through the source's
+lens), matching the read-mostly terminology/medication tables the
+workloads model.  Non-keyed joins keep raising
+:class:`~repro.errors.DeltaUnsupported` in the query layer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import DeltaUnsupported, PutConflictError, SchemaError, ViewShapeError
+from repro.bx.lens import DeletePolicy, InsertPolicy, Lens, named_view
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+ResolveTable = Callable[[str], Table]
+
+
+class JoinLens(Lens):
+    """Inner equi-join of a keyed source with a reference table.
+
+    Parameters
+    ----------
+    table:
+        Name of the reference table, resolved through ``resolve_table`` at
+        use time (the lens never snapshots it).
+    on:
+        The join columns.  Must exist on both sides and must contain the
+        reference table's entire primary key — that is what makes the join
+        *keyed* (≤1 match per source row) and hence delta-translatable.
+    columns:
+        The enrichment columns appended to the view from the matched
+        reference row.  Must not collide with source columns.
+    resolve_table:
+        Callable mapping a table name to the live :class:`Table` (typically
+        ``Database.table``).
+    """
+
+    def __init__(
+        self,
+        table: str,
+        on: Sequence[str],
+        columns: Sequence[str],
+        resolve_table: Optional[ResolveTable] = None,
+        view_name: Optional[str] = None,
+        on_delete: DeletePolicy = DeletePolicy.DELETE,
+        on_insert: InsertPolicy = InsertPolicy.INSERT_WITH_NULLS,
+    ):
+        if not on:
+            raise SchemaError("a join lens needs at least one join column")
+        if not columns:
+            raise SchemaError("a join lens needs at least one enrichment column")
+        overlap = set(on) & set(columns)
+        if overlap:
+            raise SchemaError(
+                f"enrichment columns {sorted(overlap)} are join columns; "
+                "join columns already live on the source side"
+            )
+        self.table = table
+        self.on: Tuple[str, ...] = tuple(on)
+        self.columns: Tuple[str, ...] = tuple(columns)
+        self.resolve_table = resolve_table
+        self.view_name = view_name
+        self.on_delete = on_delete
+        self.on_insert = on_insert
+        self.name = view_name or f"join({table} on " + ",".join(self.on) + ")"
+
+    # --------------------------------------------------------------- plumbing
+
+    def _reference(self) -> Table:
+        if self.resolve_table is None:
+            raise SchemaError(
+                f"join lens {self.name!r} has no resolve_table; bind it to a "
+                "database before use"
+            )
+        reference = self.resolve_table(self.table)
+        key = reference.schema.primary_key
+        if not key or not all(k in self.on for k in key):
+            raise SchemaError(
+                f"join lens {self.name!r} requires the reference primary key "
+                f"{tuple(key)!r} to be contained in the join columns {self.on!r}; "
+                "otherwise one source row matches many reference rows"
+            )
+        for column in self.columns:
+            if not reference.schema.has_column(column):
+                raise SchemaError(
+                    f"join lens {self.name!r}: reference table {self.table!r} "
+                    f"has no column {column!r}"
+                )
+        return reference
+
+    def _match(self, reference: Table, image: Mapping[str, object]) -> Optional[Dict[str, object]]:
+        """The reference row ``image`` joins, or None when it joins nothing.
+
+        Raises ``KeyError`` when ``image`` lacks a join column (callers
+        translate that into the right error for their direction).
+        """
+        key = tuple(image[k] for k in reference.schema.primary_key)
+        if any(v is None for v in key) or not reference.contains_key(key):
+            return None
+        candidate = reference.get(key).to_dict()
+        for column in self.on:
+            if candidate.get(column, image[column]) != image[column]:
+                return None
+        return candidate
+
+    def _delta_lookup(self, reference: Table):
+        def lookup(image: Mapping[str, object]) -> Optional[Dict[str, object]]:
+            try:
+                return self._match(reference, image)
+            except KeyError as exc:
+                raise DeltaUnsupported(
+                    f"lens {self.name!r}: change image lacks join column {exc.args[0]!r}"
+                ) from None
+        return lookup
+
+    # -------------------------------------------------------------------- get
+
+    def view_schema(self, source_schema: Schema) -> Schema:
+        reference = self._reference()
+        for column in self.on:
+            if not source_schema.has_column(column):
+                raise SchemaError(
+                    f"join lens {self.name!r}: source has no join column {column!r}"
+                )
+        for column in self.columns:
+            if source_schema.has_column(column):
+                raise SchemaError(
+                    f"join lens {self.name!r}: enrichment column {column!r} "
+                    "collides with a source column"
+                )
+        columns = tuple(source_schema.columns) + tuple(
+            reference.schema.column(c) for c in self.columns)
+        return Schema(columns=columns, primary_key=source_schema.primary_key)
+
+    def get(self, source: Table) -> Table:
+        reference = self._reference()
+        schema = self.view_schema(source.schema)
+        rows = []
+        for row in source:
+            match = self._match(reference, row.to_dict())
+            if match is None:
+                continue  # the inner join hides unmatched source rows
+            combined = row.to_dict()
+            for column in self.columns:
+                combined[column] = match[column]
+            rows.append(combined)
+        view = Table(self.view_name or f"{source.name}_join", schema, rows)
+        return named_view(view, self.view_name)
+
+    def get_delta(self, source_schema: Schema, source_diff: "TableDiff") -> "TableDiff":  # noqa: F821
+        from repro.bx import delta
+
+        if not source_schema.primary_key:
+            raise DeltaUnsupported(
+                f"lens {self.name!r}: join delta requires a keyed source"
+            )
+        lookup = self._delta_lookup(self._reference())
+        return delta.translate_diff(
+            source_diff,
+            self.view_name or f"{source_diff.table_name}_join",
+            lambda change: delta.join_get_change(change, self.columns, lookup, self.name),
+        )
+
+    # -------------------------------------------------------------------- put
+
+    def put(self, source: Table, view: Table) -> Table:
+        reference = self._reference()
+        self._check_view_shape(source, view)
+        key = source.schema.primary_key
+        if not key:
+            raise SchemaError(f"join lens {self.name!r} requires a keyed source")
+        source_columns = source.schema.column_names
+        value_columns = [c for c in source_columns if c not in key]
+
+        view_by_key: Dict[Tuple, Dict] = {}
+        for row in view:
+            marker = tuple(row[k] for k in key)
+            if marker in view_by_key:
+                raise ViewShapeError(
+                    f"view {view.name!r} has conflicting rows for key {marker!r}"
+                )
+            image = row.to_dict()
+            match = self._match(reference, image)
+            if match is None:
+                raise ViewShapeError(
+                    f"view row with key {marker!r} joins no {self.table!r} row "
+                    f"under lens {self.name!r}"
+                )
+            for column in self.columns:
+                if image[column] is not None and image[column] != match[column]:
+                    raise ViewShapeError(
+                        f"view row with key {marker!r} rewrites read-only join "
+                        f"column {column!r} of lens {self.name!r}"
+                    )
+            view_by_key[marker] = image
+
+        new_rows = []
+        matched_keys = set()
+        for row in source:
+            marker = tuple(row[k] for k in key)
+            if marker in view_by_key:
+                matched_keys.add(marker)
+                updates = {c: view_by_key[marker][c] for c in value_columns}
+                new_rows.append(row.merged(updates).to_dict())
+                continue
+            if self._match(reference, row.to_dict()) is None:
+                # Hidden by the join — the view never saw it; keep it.
+                new_rows.append(row.to_dict())
+                continue
+            if self.on_delete is DeletePolicy.DELETE:
+                continue
+            raise PutConflictError(
+                f"view {view.name!r} dropped key {marker!r} but the lens forbids deletions"
+            )
+
+        for marker, image in view_by_key.items():
+            if marker in matched_keys:
+                continue
+            if self.on_insert is InsertPolicy.FORBID:
+                raise PutConflictError(
+                    f"view {view.name!r} introduced key {marker!r} but the lens "
+                    "forbids insertions"
+                )
+            new_rows.append({c: image[c] for c in source_columns})
+
+        return Table(source.name, source.schema, new_rows)
+
+    def put_delta(self, source_schema: Schema, view_diff: "TableDiff") -> "TableDiff":  # noqa: F821
+        from repro.bx import delta
+
+        if not source_schema.primary_key:
+            raise DeltaUnsupported(
+                f"lens {self.name!r}: join delta requires a keyed source"
+            )
+        lookup = self._delta_lookup(self._reference())
+        source_columns = source_schema.column_names
+        return delta.translate_diff(
+            view_diff,
+            view_diff.table_name,
+            lambda change: delta.join_put_change(
+                change, source_columns, self.columns, lookup,
+                self.on_delete, self.on_insert, self.name),
+        )
+
+    # ---------------------------------------------------------------- helpers
+
+    def _check_view_shape(self, source: Table, view: Table) -> None:
+        expected = set(source.schema.column_names) | set(self.columns)
+        view_columns = set(view.schema.column_names)
+        if view_columns != expected:
+            raise ViewShapeError(
+                f"view {view.name!r} has columns {sorted(view_columns)}, "
+                f"lens expects {sorted(expected)}"
+            )
+
+    def describe(self) -> dict:
+        description = super().describe()
+        description.update(
+            {
+                "table": self.table,
+                "on": list(self.on),
+                "columns": list(self.columns),
+                "view_name": self.view_name,
+                "on_delete": self.on_delete.value,
+                "on_insert": self.on_insert.value,
+            }
+        )
+        return description

@@ -60,13 +60,18 @@ class BXRegistry:
         self._by_view[view_name] = name
         return program
 
-    def register_spec(self, name: str, spec: ViewSpec) -> BXProgram:
-        """Register a BX program built from a declarative :class:`ViewSpec`."""
+    def register_spec(self, name: str, spec: ViewSpec,
+                      resolve_table=None) -> BXProgram:
+        """Register a BX program built from a declarative :class:`ViewSpec`.
+
+        ``resolve_table`` binds join specs to the provider's live database
+        (see :func:`~repro.bx.dsl.lens_from_spec`).
+        """
         return self.register(
             name=name,
             source_table=spec.source_table,
             view_name=spec.view_name,
-            lens=lens_from_spec(spec),
+            lens=lens_from_spec(spec, resolve_table=resolve_table),
             spec=spec,
         )
 

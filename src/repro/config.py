@@ -35,12 +35,29 @@ class DurabilityConfig:
         Cap on terminal responses the gateway keeps in memory; journaled
         responses evicted under the cap remain answerable from the WAL.
         ``None`` disables eviction.
+    checkpoint_wal_bytes:
+        Background-checkpoint trigger: when a durable peer's WAL exceeds
+        this many bytes at a commit boundary, the gateway checkpoints that
+        peer's database (snapshot + WAL truncation) inline with the commit.
+        ``None`` (the default) disables the size trigger.
+    checkpoint_interval:
+        Background-checkpoint trigger in *simulated* seconds: durable peers
+        are checkpointed at the first commit boundary at least this long
+        after their previous checkpoint.  ``None`` disables the time trigger.
+    journal_compact_bytes:
+        Response-journal compaction trigger: when the journal's segment
+        bytes exceed this threshold at a commit boundary, fully-superseded
+        closed segments (every line re-recorded in a later segment) are
+        removed.  ``None`` disables compaction.
     """
 
     state_dir: Optional[str] = None
     fsync_policy: str = "batch"
     segment_max_bytes: int = 1_000_000
     response_retention: Optional[int] = None
+    checkpoint_wal_bytes: Optional[int] = None
+    checkpoint_interval: Optional[float] = None
+    journal_compact_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.fsync_policy not in _FSYNC_POLICIES:
@@ -51,6 +68,12 @@ class DurabilityConfig:
             raise ValueError("segment_max_bytes must be positive")
         if self.response_retention is not None and self.response_retention < 1:
             raise ValueError("response_retention must be at least 1 (or None)")
+        if self.checkpoint_wal_bytes is not None and self.checkpoint_wal_bytes <= 0:
+            raise ValueError("checkpoint_wal_bytes must be positive (or None)")
+        if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive (or None)")
+        if self.journal_compact_bytes is not None and self.journal_compact_bytes <= 0:
+            raise ValueError("journal_compact_bytes must be positive (or None)")
 
 
 @dataclass(frozen=True)
@@ -224,6 +247,13 @@ class SystemConfig:
         Sampled correctness oracle of the delta path: every Nth delta
         application (the first included) is checked against a full
         recomputation via ``Table.fingerprint()``.  ``0`` disables checking.
+    parallel_cascades:
+        When true (the default) Fig. 5 cascade legs targeting *different*
+        consensus lanes inside one propagation are batched into shared
+        request/acknowledgement rounds and their counterpart-side work runs
+        concurrently on executor threads, merged deterministically.  Only
+        takes effect with ``consensus_shards > 1`` — single-lane systems
+        keep the sequential path byte-identical to the seed.
     """
 
     ledger: LedgerConfig = field(default_factory=LedgerConfig)
@@ -234,6 +264,7 @@ class SystemConfig:
     audit_enabled: bool = True
     delta_propagation: bool = True
     delta_verify_interval: int = 16
+    parallel_cascades: bool = True
 
     @property
     def consensus_shards(self) -> int:

@@ -261,6 +261,12 @@ class DatabaseManager:
                 )
         return view_diff
 
+    @property
+    def unhealed_views(self) -> frozenset:
+        """Metadata ids whose stored views missed a propagation (a rejected
+        cascade leg) and still await exact-diff healing."""
+        return frozenset(self._unhealed_views)
+
     def mark_view_unhealed(self, metadata_id: str) -> None:
         """Record that ``metadata_id``'s stored view missed a propagation (a
         rejected cascade leg): dependency checks must diff it exactly until a

@@ -93,8 +93,16 @@ class Peer:
                 f"peer {self.name!r} has no local table {spec.source_table!r} "
                 f"required by agreement {agreement.metadata_id!r}"
             )
+        if spec.join_table is not None and not self.database.has_table(spec.join_table):
+            raise AgreementError(
+                f"peer {self.name!r} has no local reference table {spec.join_table!r} "
+                f"required by agreement {agreement.metadata_id!r}"
+            )
         bx_name = f"BX-{spec.view_name}"
-        program = self.bx.register_spec(bx_name, spec)
+        # Join specs resolve their reference table against this peer's live
+        # database at every get/put, so reference edits are always current.
+        program = self.bx.register_spec(bx_name, spec,
+                                        resolve_table=self.database.table)
         self.agreements[agreement.metadata_id] = agreement
         self._bx_name_by_agreement[agreement.metadata_id] = bx_name
         if materialize:

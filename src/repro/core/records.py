@@ -60,7 +60,7 @@ def _columns(names: Sequence[str], not_null: Sequence[str] = ()) -> Tuple[Column
     return tuple(
         Column(
             name=name,
-            dtype=_COLUMN_TYPES[name],
+            dtype=_COLUMN_TYPES.get(name, DataType.STRING),
             nullable=name not in not_null_set,
             description=COLUMN_TO_ATTRIBUTE.get(name, ""),
         )

@@ -18,6 +18,7 @@ benchmarks and the examples can print the exact choreography.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -272,6 +273,12 @@ class UpdateCoordinator:
         #: When true, propagation legs push row-level diffs through lenses,
         #: indexes and caches instead of recomputing whole tables.
         self.delta_enabled = bool(getattr(system.config, "delta_propagation", True))
+        #: When true and the ledger has more than one consensus lane, the
+        #: legs of one cascade commit through *shared* request/ack rounds and
+        #: their ledger-free middles run on executor threads grouped by lane
+        #: (see :meth:`_cascade_parallel`).  Single-lane systems always take
+        #: the sequential path, byte-identical to the seed.
+        self.parallel_enabled = bool(getattr(system.config, "parallel_cascades", True))
         #: Set by :meth:`MedicalDataSharingSystem.attach_tracer`; spans cover
         #: consensus rounds and every delta-propagation leg.
         self.tracer = NULL_TRACER
@@ -974,6 +981,11 @@ class UpdateCoordinator:
         When the base-table diff of the triggering ``put`` is known and delta
         propagation is on, each dependent lens translates that diff forward
         (O(changed rows)) instead of re-running its full ``get``.
+
+        With more than one consensus lane and more than one affected
+        dependent, the legs commit through the batched parallel path
+        (:meth:`_cascade_parallel`); single-lane systems always take the
+        sequential loop below, byte-identical to the seed behaviour.
         """
         app = self._app(peer_name)
         if self.delta_enabled and source_diff is not None:
@@ -983,7 +995,12 @@ class UpdateCoordinator:
         trace.add_step(peer_name, "check_dependencies",
                        f"{len(dependents)} dependent shared table(s) affected",
                        self._clock.now(), dependents=sorted(dependents))
-        for dependent_id, dependent_diff in sorted(dependents.items()):
+        legs = sorted(dependents.items())
+        router = self.system.simulator.router
+        if self.parallel_enabled and router.num_shards > 1 and len(legs) > 1:
+            self._cascade_parallel(peer_name, trace, depth, legs)
+            return
+        for dependent_id, dependent_diff in legs:
             trace.cascaded_metadata_ids.append(dependent_id)
             trace.add_step(peer_name, "bx_get",
                            f"regenerate dependent shared view {dependent_id!r} "
@@ -991,6 +1008,7 @@ class UpdateCoordinator:
                            rows_changed=len(dependent_diff))
             with self.tracer.span("cascade.leg", peer=peer_name,
                                   metadata_id=dependent_id, depth=depth,
+                                  lane=router.shard_of(dependent_id),
                                   rows=len(dependent_diff)) as span:
                 try:
                     self._run_protocol(peer_name, dependent_id, "update",
@@ -1010,3 +1028,224 @@ class UpdateCoordinator:
                     span.annotate(rejected=True)
                     trace.add_step(peer_name, "cascade_rejected", str(exc),
                                    self._clock.now())
+
+    def _cascade_parallel(self, peer_name: str, trace: WorkflowTrace, depth: int,
+                          legs: Sequence[Tuple[str, TableDiff]]) -> None:
+        """Propagate one peer's cascade legs through *shared* consensus rounds,
+        running different-lane counterpart work on executor threads.
+
+        The sequential loop above costs two mining rounds per leg; here every
+        leg's request transaction mines in one shared round and every
+        acknowledgement in a second (the :meth:`commit_entry_batch` shape),
+        and the ledger-free middle of each leg — notification, data transfer,
+        counterpart ``put`` — runs concurrently, one executor task per
+        consensus lane.  Legs sharing a counterpart peer coalesce into one
+        task: a peer's database manager is single-threaded by design.
+
+        All cross-leg mutable state — the trace, view installs, receipts,
+        nested cascades, change listeners — is touched only in the serial
+        phases, in sorted leg order; worker threads buffer their trace steps
+        for a deterministic ordered merge.  Simulated-clock advances are
+        additive and commutative, so resulting table states and fingerprints
+        are byte-identical to the sequential path.  A rejected leg leaves
+        exactly the sequential bookkeeping (failed trace fields, an
+        unhealed-view mark, a ``cascade_rejected`` step) without aborting the
+        batch.
+        """
+        if depth + 1 > 8:
+            raise WorkflowError("propagation cascade exceeded the supported depth")
+        app = self._app(peer_name)
+        peer = self._peer(peer_name)
+        router = self.system.simulator.router
+
+        # Phase A (serial, sorted): record each leg, build + locally ingest
+        # its request transaction (keeping the initiator's nonces sequential)
+        # and pre-resolve the pairwise data channel — registry creation is
+        # not thread-safe, transfers on existing channels are.  Then one
+        # shared consensus round mines every request.
+        prepared: List[Dict[str, Any]] = []
+        request_submissions: List[Tuple[str, Any]] = []
+        for dependent_id, diff in legs:
+            trace.cascaded_metadata_ids.append(dependent_id)
+            trace.add_step(peer_name, "bx_get",
+                           f"regenerate dependent shared view {dependent_id!r} "
+                           f"({len(diff)} row change(s))", self._clock.now(),
+                           rows_changed=len(diff))
+            agreement = peer.agreement(dependent_id)
+            counterpart = agreement.counterparty_of(peer_name)
+            app.channel_to(counterpart)
+            changed = self._changed_attributes(diff, agreement)
+            tx = app.build_contract_call(
+                "request_update",
+                {"metadata_id": dependent_id,
+                 "changed_attributes": list(changed),
+                 "diff_hash": self._diff_hash(diff)},
+            )
+            if not app.node.receive_transaction(tx):
+                raise WorkflowError(
+                    f"cascade request for {dependent_id!r} rejected by "
+                    f"{app.node.name!r}'s mempool"
+                )
+            request_submissions.append((app.node.name, tx))
+            prepared.append({
+                "dependent_id": dependent_id,
+                "diff": diff,
+                "changed": changed,
+                "counterpart": counterpart,
+                "lane": router.shard_of(dependent_id),
+                "tx": tx,
+            })
+        with self.tracer.span("consensus.round", phase="cascade_requests",
+                              legs=len(prepared), depth=depth) as span:
+            self.system.simulator.submit_transaction_batch(request_submissions)
+            blocks = self._mine()
+            span.annotate(blocks=blocks)
+        trace.blocks_created += blocks
+
+        # Phase B (serial, sorted): read each receipt; install accepted legs
+        # on the initiator side, leave rejected ones with the sequential
+        # path's bookkeeping.
+        active: List[Dict[str, Any]] = []
+        for leg in prepared:
+            dependent_id = leg["dependent_id"]
+            diff = leg["diff"]
+            receipt = app.node.chain.receipt(leg["tx"].tx_hash)
+            trace.add_step(peer_name, "contract_request",
+                           f"send update request for attributes {list(leg['changed'])}",
+                           self._clock.now(), block_number=receipt.block_number,
+                           success=receipt.success, error=receipt.error)
+            if not receipt.success:
+                trace.succeeded = False
+                trace.error = receipt.error
+                with self.tracer.span("cascade.leg", peer=peer_name,
+                                      metadata_id=dependent_id, depth=depth,
+                                      lane=leg["lane"], rows=len(diff)) as span:
+                    span.annotate(rejected=True)
+                app.manager.mark_view_unhealed(dependent_id)
+                trace.add_step(
+                    peer_name, "cascade_rejected",
+                    f"update on {dependent_id!r} by {peer_name} rejected: "
+                    f"{receipt.error}",
+                    self._clock.now())
+                continue
+            leg["update_id"] = int(receipt.return_value["update_id"])
+            self._install_initiator_view(app, dependent_id, diff, None,
+                                         from_get=True)
+            app.outgoing_diffs[dependent_id] = diff
+            active.append(leg)
+        if not active:
+            return
+
+        # Phase B2 (concurrent): the ledger-free middle of each accepted leg.
+        # Worker threads never touch the trace — steps buffer per leg and
+        # merge serially below, so step order stays deterministic whatever
+        # the thread interleaving.
+        def run_legs(group: Sequence[Dict[str, Any]]) -> None:
+            for leg in group:
+                dependent_id = leg["dependent_id"]
+                diff = leg["diff"]
+                counterpart = leg["counterpart"]
+                counterpart_app = self._app(counterpart)
+                update_id = leg["update_id"]
+                steps: List[Tuple[str, str, str, Dict[str, Any]]] = []
+                with self.tracer.span("cascade.leg", peer=peer_name,
+                                      metadata_id=dependent_id, depth=depth,
+                                      lane=leg["lane"], rows=len(diff)):
+                    notifications = counterpart_app.pop_notifications(dependent_id)
+                    if not any(n.update_id == update_id for n in notifications):
+                        raise WorkflowError(
+                            f"peer {counterpart!r} did not receive the contract "
+                            f"notification for update {update_id} on {dependent_id!r}"
+                        )
+                    steps.append((counterpart, "notified",
+                                  f"received contract notification "
+                                  f"(update #{update_id})",
+                                  {"update_id": update_id}))
+                    counterpart_app.request_shared_data(dependent_id, peer_name,
+                                                        since_update=update_id)
+                    transfer = app.serve_shared_data(dependent_id, counterpart,
+                                                     mode="diff")
+                    counterpart_app.receive_shared_data(dependent_id, transfer)
+                    steps.append((counterpart, "fetch_data",
+                                  f"fetched updated shared data ({transfer.kind}, "
+                                  f"{transfer.size_bytes} bytes)",
+                                  {"transfer_kind": transfer.kind,
+                                   "bytes": transfer.size_bytes}))
+                    counterpart_diff = self._reflect(counterpart_app,
+                                                     dependent_id, diff)
+                    steps.append((counterpart, "bx_put",
+                                  f"reflect shared-table change into local base "
+                                  f"table ({len(counterpart_diff)} row change(s))",
+                                  {"rows_changed": len(counterpart_diff)}))
+                    ack_tx = counterpart_app.build_contract_call(
+                        "acknowledge_update",
+                        {"metadata_id": dependent_id, "update_id": update_id},
+                    )
+                    counterpart_app.node.receive_transaction(ack_tx)
+                leg["steps"] = steps
+                leg["counterpart_diff"] = counterpart_diff
+                leg["ack_tx"] = ack_tx
+
+        groups: Dict[Any, List[Dict[str, Any]]] = {}
+        group_of_counterpart: Dict[str, Any] = {}
+        for leg in active:
+            key = group_of_counterpart.setdefault(leg["counterpart"],
+                                                  ("lane", leg["lane"]))
+            groups.setdefault(key, []).append(leg)
+        errors: List[BaseException] = []
+        if len(groups) == 1:
+            try:
+                run_legs(active)
+            except Exception as exc:  # noqa: BLE001 — re-raised after the merge
+                errors.append(exc)
+        else:
+            with ThreadPoolExecutor(max_workers=len(groups)) as pool:
+                futures = [pool.submit(run_legs, group)
+                           for group in groups.values()]
+                for future in futures:
+                    exc = future.exception()
+                    if exc is not None:
+                        errors.append(exc)
+        # Deterministic ordered merge: buffered steps land on the trace in
+        # sorted leg order, stamped at the post-barrier simulated time (the
+        # clock only ever advances by summed, commutative increments).
+        merged_at = self._clock.now()
+        for leg in active:
+            for actor, action, description, data in leg.get("steps", ()):
+                trace.add_step(actor, action, description, merged_at, **data)
+        if errors:
+            raise errors[0]
+
+        # Phase B3 (serial): one shared consensus round for every
+        # acknowledgement.
+        ack_submissions = [(self._app(leg["counterpart"]).node.name, leg["ack_tx"])
+                           for leg in active]
+        with self.tracer.span("consensus.round", phase="cascade_acks",
+                              legs=len(active), depth=depth) as span:
+            self.system.simulator.submit_transaction_batch(ack_submissions)
+            blocks = self._mine()
+            span.annotate(blocks=blocks)
+        trace.blocks_created += blocks
+
+        # Phase C (serial, sorted): confirm acknowledgements, recurse into
+        # each counterpart's own cascade (which may batch again), fire the
+        # change listeners and heal the view bookkeeping.
+        for leg in active:
+            dependent_id = leg["dependent_id"]
+            counterpart = leg["counterpart"]
+            counterpart_app = self._app(counterpart)
+            ack_receipt = counterpart_app.node.chain.receipt(leg["ack_tx"].tx_hash)
+            trace.add_step(counterpart, "acknowledge",
+                           "acknowledged the update on the smart contract",
+                           self._clock.now(), block_number=ack_receipt.block_number,
+                           success=ack_receipt.success)
+            if not ack_receipt.success:
+                raise WorkflowError(
+                    f"acknowledgement by {counterpart!r} failed: {ack_receipt.error}"
+                )
+            self._cascade(counterpart, dependent_id, trace, depth + 1,
+                          source_diff=leg["counterpart_diff"])
+            trace.succeeded = True
+            self._notify_change(dependent_id, "update", (peer_name, counterpart),
+                                leg["diff"])
+            app.manager.clear_view_unhealed(dependent_id)

@@ -76,7 +76,7 @@ from repro.gateway.session import GatewaySession
 from repro.metrics.collectors import LatencyCollector, PeakGauge
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.relational.durability import JsonlWalBackend
+from repro.relational.durability import JsonlWalBackend, checkpoint_database
 from repro.relational.wal import WalEntry
 
 
@@ -153,6 +153,55 @@ class ResponseJournal:
 
     def close(self) -> None:
         self.backend.close()
+
+    def compact(self, keep: Optional[int] = None) -> Dict[str, int]:
+        """Fold the journal down to the latest response per request id.
+
+        The journal only ever appends, so torn lines, superseded rewrites
+        and — under a retention cap — responses older than the newest
+        ``keep`` ids accumulate as dead weight that every restart re-scans.
+        Compaction rewrites the kept responses (chronological order,
+        sequences continuing past the current tail) into one fresh segment
+        and drops everything else; the location index is rebuilt so lookups
+        keep seeking.  Crash-safe via the backend's atomic segment swap.
+        """
+        with self._lock:
+            self.backend.flush()
+            bytes_before = self.backend.wal_bytes()
+            segment_order = {path: index for index, path
+                             in enumerate(self.backend.segment_paths())}
+            ordered = sorted(
+                self._locations.items(),
+                key=lambda item: (segment_order.get(item[1][0], -1), item[1][1]))
+            if keep is not None:
+                ordered = ordered[-keep:]
+            payloads = []
+            for request_id, (path, offset, length) in ordered:
+                try:
+                    with open(path, "rb") as handle:
+                        handle.seek(offset)
+                        record = json.loads(handle.read(length).decode("utf-8"))
+                    payloads.append((request_id, record["payload"]))
+                except (OSError, ValueError, KeyError):
+                    continue  # segment vanished or line torn; drop the id
+            first_sequence = self._next_sequence
+            lines = []
+            for index, (_request_id, payload) in enumerate(payloads):
+                lines.append(json.dumps(
+                    {"sequence": first_sequence + index, "operation": "response",
+                     "table": self.TABLE, "payload": payload},
+                    separators=(",", ":"), default=str).encode("utf-8") + b"\n")
+            self._next_sequence = first_sequence + len(payloads)
+            target = self.backend.replace_segments(lines, first_sequence)
+            self._locations = {}
+            offset = 0
+            for (request_id, _payload), line in zip(payloads, lines):
+                self._locations[request_id] = (target, offset, len(line) - 1)
+                offset += len(line)
+            return {
+                "responses_kept": len(payloads),
+                "bytes_reclaimed": max(0, bytes_before - self.backend.wal_bytes()),
+            }
 
     def lookup(self, request_id: str) -> Optional[GatewayResponse]:
         """The journaled terminal response for ``request_id``, by seek."""
@@ -311,6 +360,21 @@ class SharingGateway:
             self._request_ids = itertools.count(
                 self.journal.highest_request_number + 1)
             self._wire_journal_chaos()
+        #: Background durability maintenance (run inline at commit
+        #: boundaries — deterministic, no real background threads): WAL-size
+        #: and sim-time triggered peer-database checkpoints, and response-
+        #: journal compaction past a byte threshold.
+        self.checkpoint_wal_bytes = durability.checkpoint_wal_bytes
+        self.checkpoint_interval = durability.checkpoint_interval
+        self.journal_compact_bytes = durability.journal_compact_bytes
+        self._checkpoints = self.registry.counter("gateway_checkpoints")
+        self._checkpoint_segments_removed = self.registry.counter(
+            "gateway_checkpoint_segments_removed")
+        self._journal_compactions = self.registry.counter(
+            "gateway_journal_compactions")
+        self._journal_bytes_reclaimed = self.registry.counter(
+            "gateway_journal_bytes_reclaimed")
+        self._last_checkpoint_at: Dict[str, float] = {}
         self._register_gauges()
 
     def _wire_journal_chaos(self) -> None:
@@ -815,7 +879,56 @@ class SharingGateway:
                 # the whole batch's terminal responses durable.
                 if self.journal is not None:
                     self.journal.sync()
+                self._run_durability_maintenance()
                 return result
+
+    def _run_durability_maintenance(self) -> None:
+        """Checkpoint durable peer databases and compact the response journal
+        when their triggers fire (see :class:`~repro.config.DurabilityConfig`).
+
+        Runs inline at every commit boundary under the commit lock, so
+        maintenance is deterministic against the simulated clock: a peer is
+        checkpointed when its WAL outgrew ``checkpoint_wal_bytes`` or at the
+        first boundary at least ``checkpoint_interval`` simulated seconds
+        after its previous checkpoint; the journal is folded to the latest
+        response per request id (the newest ``max_responses`` under a
+        retention cap) when it outgrew ``journal_compact_bytes``.
+        """
+        durability = self.system.config.durability
+        if durability.state_dir is not None and (
+                self.checkpoint_wal_bytes is not None
+                or self.checkpoint_interval is not None):
+            now = self.system.simulator.clock.now()
+            for name in self.system.peer_names:
+                database = self.system.peer(name).database
+                if not database.wal.durable:
+                    continue
+                backend = database.wal.backend
+                last = self._last_checkpoint_at.setdefault(name, now)
+                due_bytes = (self.checkpoint_wal_bytes is not None
+                             and backend.wal_bytes() > self.checkpoint_wal_bytes)
+                due_time = (self.checkpoint_interval is not None
+                            and now - last >= self.checkpoint_interval)
+                if not (due_bytes or due_time):
+                    continue
+                peer_dir = pathlib.Path(durability.state_dir) / "peers" / name
+                with self.tracer.span(
+                        "durability.checkpoint", peer=name,
+                        trigger="wal_bytes" if due_bytes else "interval") as span:
+                    result = checkpoint_database(database, peer_dir)
+                    span.annotate(sequence=result.checkpoint_sequence,
+                                  segments_removed=result.segments_removed)
+                self._checkpoints.inc()
+                self._checkpoint_segments_removed.inc(result.segments_removed)
+                self._last_checkpoint_at[name] = now
+        if (self.journal is not None
+                and self.journal_compact_bytes is not None
+                and self.journal.backend.wal_bytes() > self.journal_compact_bytes):
+            with self.tracer.span("durability.compact_journal") as span:
+                stats = self.journal.compact(keep=self.max_responses)
+                span.annotate(**stats)
+            self._journal_compactions.inc()
+            self._journal_bytes_reclaimed.inc(stats["bytes_reclaimed"])
 
     def drain(self, max_batches: int = 1_000) -> int:
         """Commit batches until the write queue is empty; returns batch count."""
@@ -988,6 +1101,10 @@ class SharingGateway:
             "responses_in_memory": len(self._responses),
             "responses_evicted": self.responses_evicted,
             "max_responses": self.max_responses,
+            "checkpoints": self._checkpoints.value,
+            "checkpoint_segments_removed": self._checkpoint_segments_removed.value,
+            "journal_compactions": self._journal_compactions.value,
+            "journal_bytes_reclaimed": self._journal_bytes_reclaimed.value,
         }
         if self.journal is not None:
             journal = self.journal.statistics()

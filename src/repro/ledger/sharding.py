@@ -7,7 +7,9 @@ pipeline can be sharded by metadata id:
 
 * :class:`ShardRouter` — a stable hash of the metadata/table id picks the
   shard.  Transactions that do not target a shared table (deploys, transfers,
-  registry calls) ride shard 0, the *control lane*.
+  registry calls) ride shard 0, the *control lane*; with more than one shard
+  that lane is reserved for them and shared tables hash over lanes
+  ``1..N-1``, so control traffic never queues behind table commits.
 * :class:`ShardedMempool` — one ordered pool per shard behind the existing
   :class:`~repro.ledger.mempool.Mempool` API.  Arrival order stays globally
   consistent (a shared sequence counter), so ``peek()`` still returns the
@@ -41,11 +43,16 @@ class ShardRouter:
 
         A stable content hash (not Python's randomised ``hash``) so every
         node, the gossip layer and the benchmarks agree on the routing across
-        processes and runs.
+        processes and runs.  With more than one shard, lane 0 is *reserved*
+        for control traffic (deploys, transfers, registry calls): shared
+        tables hash over lanes ``1..N-1`` only, so a burst of table commits
+        can never queue behind — or delay — control transactions.  The
+        single-shard pipeline keeps everything on lane 0, byte-identical to
+        the unsharded seed.
         """
         if self.num_shards == 1:
             return 0
-        return int(hash_payload(str(metadata_id))[:8], 16) % self.num_shards
+        return 1 + int(hash_payload(str(metadata_id))[:8], 16) % (self.num_shards - 1)
 
     def shard_of_transaction(self, tx: Transaction) -> int:
         """Route a transaction by the shared table it touches.

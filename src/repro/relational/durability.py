@@ -365,6 +365,41 @@ class JsonlWalBackend:
                                    if self._current is not None else 0)
         return removed
 
+    def replace_segments(self, lines: List[bytes],
+                         first_sequence: int) -> pathlib.Path:
+        """Atomically replace every segment with one new segment holding
+        ``lines`` (already encoded, newline-terminated).
+
+        The compaction primitive of the gateway's response journal.
+        Crash-safe ordering: the new segment lands complete (temp file +
+        ``os.replace``) *before* the old segments are unlinked, so a crash
+        anywhere in between leaves either the old segments or the old
+        segments plus the finished new one — never a torn rewrite.
+        ``first_sequence`` must exceed every sequence already on disk so the
+        new segment sorts (and reads) after the survivors of a partial
+        crash.
+        """
+        with self._lock:
+            self._close_handle()
+            old = self.segment_paths()
+            target = self.directory / self._segment_name(first_sequence)
+            tmp = target.with_suffix(target.suffix + ".tmp")
+            with open(tmp, "wb") as handle:
+                for line in lines:
+                    handle.write(line)
+                handle.flush()
+                if self.fsync_policy != FSYNC_NEVER:
+                    os.fsync(handle.fileno())
+                    self.syncs += 1
+            os.replace(tmp, target)
+            for segment in old:
+                if segment != target:
+                    segment.unlink()
+            self.rotations += 1
+            self._current = target
+            self._current_bytes = target.stat().st_size
+            return target
+
     @staticmethod
     def _last_sequence_in(segment: pathlib.Path) -> Optional[int]:
         last: Optional[int] = None

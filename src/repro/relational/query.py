@@ -251,11 +251,30 @@ class Rename(Query):
 
 @dataclass(frozen=True)
 class Join(Query):
-    """Natural equi-join of two child queries on the given columns."""
+    """Natural equi-join of two child queries on the given columns.
+
+    Two shapes exist, decided from the children's schemas:
+
+    * **Keyed join** — the left child is keyed and the right child's primary
+      key is contained in ``on``.  Every left row then matches at most one
+      right row, the result keeps the left primary key, and diffs translate
+      row by row (``get_delta``/``put_delta``) when the right child is a
+      base-table scan.
+    * **Non-keyed join** — anything else.  The result is keyless (a join can
+      multiply rows per key) and delta translation raises
+      :class:`~repro.errors.DeltaUnsupported`.
+    """
 
     left: Query
     right: Query
     on: Tuple[str, ...]
+
+    def _keyed_primary_key(self, left: Schema, right: Schema) -> Tuple[str, ...]:
+        """The result's primary key, or () when the join is not keyed."""
+        if (left.primary_key and right.primary_key
+                and all(k in self.on for k in right.primary_key)):
+            return left.primary_key
+        return ()
 
     def execute(self, tables: Dict[str, Table]) -> Table:
         left = self.left.execute(tables)
@@ -263,8 +282,9 @@ class Join(Query):
         for column in self.on:
             if not left.schema.has_column(column) or not right.schema.has_column(column):
                 raise SchemaError(f"join column {column!r} missing from an input")
-        # A join can multiply rows per left key, so the result is keyless.
-        merged_schema = Schema(columns=left.schema.merge(right.schema).columns, primary_key=())
+        primary_key = self._keyed_primary_key(left.schema, right.schema)
+        merged_schema = Schema(columns=left.schema.merge(right.schema).columns,
+                               primary_key=primary_key)
         right_extra = [c for c in right.schema.column_names if c not in left.schema.column_names]
         index: Dict[Tuple, list] = {}
         for row in right:
@@ -285,13 +305,77 @@ class Join(Query):
         for column in self.on:
             if not left.has_column(column) or not right.has_column(column):
                 raise SchemaError(f"join column {column!r} missing from an input")
-        return Schema(columns=left.merge(right).columns, primary_key=())
+        return Schema(columns=left.merge(right).columns,
+                      primary_key=self._keyed_primary_key(left, right))
+
+    # -- keyed-join delta plumbing --------------------------------------------
+
+    def _delta_reference(self, tables: Dict[str, Table]):
+        """(reference table, enrichment columns, lookup) for the keyed delta
+        path, or a :class:`DeltaUnsupported` explaining why there is none."""
+        from repro.bx.delta import DeltaUnsupported as _Unsupported
+
+        left = self.left.output_schema(tables)
+        right = self.right.output_schema(tables)
+        if not self._keyed_primary_key(left, right):
+            raise DeltaUnsupported(
+                "a non-keyed join multiplies rows per key; one input change can "
+                "touch many output rows, so fall back to re-executing the join"
+            )
+        if not isinstance(self.right, Scan):
+            raise DeltaUnsupported(
+                "keyed-join delta needs a base-table reference side (a scan); "
+                "a derived right child would have to be re-executed per change"
+            )
+        if self.right.table not in tables:
+            raise UnknownTableError(f"unknown table {self.right.table!r}")
+        reference = tables[self.right.table]
+        right_extra = tuple(c for c in right.column_names if c not in left.column_names)
+
+        def lookup(image):
+            try:
+                key = tuple(image[k] for k in reference.schema.primary_key)
+            except KeyError as exc:
+                raise _Unsupported(
+                    f"join: change image lacks join column {exc.args[0]!r}"
+                ) from None
+            if any(v is None for v in key) or not reference.contains_key(key):
+                return None
+            candidate = reference.get(key).to_dict()
+            for column in self.on:
+                if column in image and candidate.get(column, image[column]) != image[column]:
+                    return None
+            return candidate
+
+        return reference, right_extra, lookup
 
     def get_delta(self, tables: Dict[str, Table], diff: TableDiff) -> TableDiff:
-        raise DeltaUnsupported(
-            "a join multiplies rows per key; one input change can touch many "
-            "output rows, so fall back to re-executing the join"
+        from repro.bx.delta import join_get_change, translate_diff
+
+        reference, right_extra, lookup = self._delta_reference(tables)
+        if diff.table_name == self.right.table:
+            raise DeltaUnsupported(
+                "the diff changes the join's reference side; re-execute the join"
+            )
+        child_diff = self.left.get_delta(tables, diff)
+        return translate_diff(
+            child_diff, child_diff.table_name,
+            lambda change: join_get_change(change, right_extra, lookup, "join"),
         )
+
+    def put_delta(self, tables: Dict[str, Table], view_diff: TableDiff) -> TableDiff:
+        from repro.bx.delta import join_put_change, translate_diff
+        from repro.bx.lens import DeletePolicy, InsertPolicy
+
+        _, right_extra, lookup = self._delta_reference(tables)
+        left_columns = self.left.output_schema(tables).column_names
+        child_diff = translate_diff(
+            view_diff, view_diff.table_name,
+            lambda change: join_put_change(
+                change, left_columns, right_extra, lookup,
+                DeletePolicy.DELETE, InsertPolicy.INSERT_WITH_NULLS, "join"),
+        )
+        return self.left.put_delta(tables, child_diff)
 
     def to_dict(self) -> dict:
         return {

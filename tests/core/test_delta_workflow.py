@@ -11,7 +11,7 @@ from dataclasses import replace
 
 import pytest
 
-from repro.config import SystemConfig
+from repro.config import ConsensusConfig, LedgerConfig, NetworkConfig, SystemConfig
 from repro.core.scenario import (
     CARE_TABLE,
     DOCTOR_RESEARCHER_TABLE,
@@ -20,7 +20,14 @@ from repro.core.scenario import (
     build_extended_scenario,
     build_paper_scenario,
 )
+from repro.core.workflow import BatchGroup, EntryEdit
 from repro.errors import SynchronizationError
+from repro.workloads.topology import (
+    HOSPITAL_TABLE_ID,
+    TopologySpec,
+    build_join_topology_system,
+    patients_by_medication,
+)
 
 
 def _full_config() -> SystemConfig:
@@ -140,6 +147,97 @@ class TestRejectedCascadeHealing:
         patient_d1 = system.peer("patient").local_table("D1")
         assert patient_d1.get(188)["dosage"] == "missed dose"
         assert patient_d1.get(189)["dosage"] == "other dose"
+
+
+class TestParallelRejectedLegBookkeeping:
+    """A rejected leg of a *parallel* multi-leg cascade must leave exactly the
+    sequential path's unhealed-view bookkeeping — the deterministic merge may
+    not swallow the rejection — and heal identically on the next propagation."""
+
+    @staticmethod
+    def _fanout_config(parallel: bool) -> SystemConfig:
+        return SystemConfig(
+            ledger=LedgerConfig(
+                consensus=ConsensusConfig(kind="poa", block_interval=1.0),
+                max_transactions_per_block=16,
+                consensus_shards=5,
+            ),
+            network=NetworkConfig(base_latency=0.002, latency_jitter=0.001),
+            parallel_cascades=parallel,
+        )
+
+    def _run_scenario(self, parallel: bool) -> dict:
+        system = build_join_topology_system(
+            TopologySpec(patients=12, researchers=0, distinct_medications=3,
+                         first_patient_id=1008),
+            self._fanout_config(parallel))
+        groups = patients_by_medication(system)
+        # The largest medication group keeps the cascade multi-leg even after
+        # one leg is rejected, so the parallel merge is actually exercised.
+        medication, patient_ids = max(groups.items(), key=lambda kv: len(kv[1]))
+        victim = patient_ids[0]
+        victim_table = f"D13&D31:{victim}"
+        coordinator = system.coordinator
+        doctor_manager = system.server_app("doctor").manager
+
+        def fan_out(value: str):
+            result = coordinator.commit_entry_batch([BatchGroup(
+                peer="hospital", metadata_id=HOSPITAL_TABLE_ID,
+                edits=tuple(EntryEdit(op="update", key=(pid,),
+                                      values={"mechanism_of_action": value})
+                            for pid in patient_ids))])
+            return result.traces[0]
+
+        # Revoke the doctor's write on the victim agreement: that one cascade
+        # leg of the hospital fan-out is rejected on-chain.
+        coordinator.change_permission("doctor", victim_table,
+                                      "mechanism_of_action", ["Patient"])
+        missed_value = f"MeA-{medication}-missed"
+        trace = fan_out(missed_value)
+        assert trace.succeeded
+        rejected = [step for step in trace.steps
+                    if step.action == "cascade_rejected"]
+        assert len(rejected) == 1
+        # Every other leg landed at its patient; the victim missed the change.
+        for pid in patient_ids:
+            reflected = system.peer(f"patient-{pid}").local_table("D1").get(
+                pid)["mechanism_of_action"]
+            if pid == victim:
+                assert reflected != missed_value
+            else:
+                assert reflected == missed_value
+        # The rejected leg left the unhealed-view bookkeeping behind: the
+        # stored view trails its base table until a leg succeeds again.
+        unhealed_after_rejection = set(doctor_manager.unhealed_views)
+        assert victim_table in unhealed_after_rejection
+        assert not doctor_manager.pending_view_diff(victim_table).is_empty
+
+        # Permission restored; the next fan-out heals the victim exactly as
+        # the sequential path does (the exact diff carries the missed row).
+        coordinator.change_permission("doctor", victim_table,
+                                      "mechanism_of_action", ["Doctor"])
+        healed_value = f"MeA-{medication}-healed"
+        healed_trace = fan_out(healed_value)
+        assert healed_trace.succeeded
+        assert not any(step.action == "cascade_rejected"
+                       for step in healed_trace.steps)
+        assert victim_table not in doctor_manager.unhealed_views
+        assert doctor_manager.pending_view_diff(victim_table).is_empty
+        assert system.peer(f"patient-{victim}").local_table("D1").get(
+            victim)["mechanism_of_action"] == healed_value
+        assert system.all_shared_tables_consistent()
+        return {
+            "unhealed": unhealed_after_rejection,
+            "rejected_legs": len(rejected),
+            "fingerprints": _all_fingerprints(system),
+        }
+
+    def test_parallel_merge_matches_sequential_bookkeeping(self):
+        parallel = self._run_scenario(parallel=True)
+        sequential = self._run_scenario(parallel=False)
+        assert parallel["rejected_legs"] == sequential["rejected_legs"] == 1
+        assert parallel["unhealed"] == sequential["unhealed"]
+        assert parallel["fingerprints"] == sequential["fingerprints"]
 
 
 class TestSampledVerification:

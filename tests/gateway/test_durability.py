@@ -135,6 +135,104 @@ class TestRetentionCap:
             SharingGateway(_fresh_system(), max_responses=0)
 
 
+def _durable_config(tmp_path, **durability_kwargs):
+    return SystemConfig(
+        ledger=SystemConfig.private_chain(1.0).ledger,
+        durability=DurabilityConfig(state_dir=str(tmp_path / "state"),
+                                    **durability_kwargs))
+
+
+class TestBackgroundMaintenance:
+    """WAL-size / sim-time triggered checkpoints and response-journal
+    compaction, run inline at the gateway's commit boundaries."""
+
+    def test_wal_size_trigger_checkpoints_peer_databases(self, tmp_path):
+        config = _durable_config(tmp_path, checkpoint_wal_bytes=256)
+        gateway = SharingGateway(build_paper_scenario(config))
+        session = gateway.open_session("researcher")
+        for i in range(4):
+            gateway.submit(session, _update(i))
+            gateway.drain()
+        durability = gateway.metrics()["durability"]
+        assert durability["checkpoints"] >= 1
+        # Checkpointing truncated the covered WAL prefix.
+        assert durability["checkpoint_segments_removed"] >= 1
+
+    def test_interval_trigger_checkpoints_on_sim_time(self, tmp_path):
+        # block_interval=1.0 advances the simulated clock past 0.5s per
+        # drain, so the second commit boundary is due even with a WAL far
+        # below any byte threshold.
+        config = _durable_config(tmp_path, checkpoint_interval=0.5)
+        gateway = SharingGateway(build_paper_scenario(config))
+        session = gateway.open_session("researcher")
+        gateway.submit(session, _update(1))
+        gateway.drain()  # first boundary: baselines the per-peer timer
+        gateway.submit(session, _update(2))
+        gateway.drain()  # second boundary: >= 0.5 sim-seconds later
+        assert gateway.metrics()["durability"]["checkpoints"] >= 1
+
+    def test_crash_window_after_checkpoint_recovers_exactly(self, tmp_path):
+        """Writes committed *after* the last checkpoint live only in the WAL
+        tail; a crash-restart must replay them on top of the snapshot."""
+        config = _durable_config(tmp_path, checkpoint_wal_bytes=256)
+        gateway = SharingGateway(build_paper_scenario(config))
+        session = gateway.open_session("researcher")
+        for i in range(4):
+            gateway.submit(session, _update(i))
+            gateway.drain()
+        assert gateway.metrics()["durability"]["checkpoints"] >= 1
+        # The crash window: one more committed write, no checkpoint after
+        # (the fresh post-truncate WAL is far below the byte threshold).
+        final = gateway.submit(session, _update("final"))
+        gateway.drain()
+        assert final.ok
+        gateway.system.sync_durability()
+        # Crash: abandon the gateway/system, recover each peer from disk
+        # alone (checkpoint snapshot + WAL-tail replay).
+        from repro.relational.durability import recover
+        for peer in gateway.system.peers:
+            peer_dir = tmp_path / "state" / "peers" / peer.name
+            recovered = recover(peer_dir).database
+            assert set(recovered.table_names) == set(peer.database.table_names)
+            for name in sorted(peer.database.table_names):
+                assert (recovered.table(name).fingerprint()
+                        == peer.database.table(name).fingerprint()), (
+                    f"peer {peer.name} table {name} diverged after recovery")
+
+    def test_journal_compaction_triggers_and_keeps_answerability(self, tmp_path):
+        config = _durable_config(tmp_path, journal_compact_bytes=512)
+        gateway = SharingGateway(build_paper_scenario(config), max_responses=4)
+        session = gateway.open_session("researcher")
+        responses = []
+        for i in range(8):
+            responses.append(gateway.submit(session, _read()))
+            responses.append(gateway.submit(session, _update(i)))
+            gateway.drain()
+        durability = gateway.metrics()["durability"]
+        assert durability["journal_compactions"] >= 1
+        assert durability["journal_bytes_reclaimed"] > 0
+        # The newest ``max_responses`` responses survive compaction — across
+        # a crash-restart too (the journal recovers independently of the
+        # peer databases).
+        restarted = SharingGateway(_fresh_system(),
+                                   state_dir=tmp_path / "state",
+                                   max_responses=4)
+        for response in responses[-4:]:
+            recovered = restarted.get_response(response.request_id)
+            assert recovered is not None
+            assert recovered.canonical() == response.canonical()
+
+    def test_maintenance_disabled_by_default(self, tmp_path):
+        gateway = SharingGateway(_fresh_system(), state_dir=tmp_path)
+        session = gateway.open_session("researcher")
+        gateway.submit(session, _update(1))
+        gateway.drain()
+        durability = gateway.metrics()["durability"]
+        assert durability["checkpoints"] == 0
+        assert durability["journal_compactions"] == 0
+        assert durability["journal_bytes_reclaimed"] == 0
+
+
 class TestRestartRecovery:
     def test_recovered_gateway_answers_old_request_ids(self, tmp_path):
         gateway = SharingGateway(_fresh_system(), state_dir=tmp_path)

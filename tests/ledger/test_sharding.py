@@ -67,18 +67,47 @@ class TestShardRouter:
             ShardRouter(0)
 
 
+class TestControlLaneReservation:
+    """With more than one shard, lane 0 is reserved for control traffic and
+    shared tables hash over lanes ``1..N-1`` only."""
+
+    def test_tables_never_route_to_the_control_lane(self):
+        for shards in (2, 3, 4, 8):
+            router = ShardRouter(shards)
+            lanes = {router.shard_of(f"D13&D31:{i}") for i in range(200)}
+            assert 0 not in lanes
+            assert lanes <= set(range(1, shards))
+
+    def test_two_shards_put_every_table_on_lane_one(self):
+        router = ShardRouter(2)
+        assert all(router.shard_of(f"T{i}") == 1 for i in range(50))
+
+    def test_control_and_table_traffic_never_share_a_lane(self):
+        router = ShardRouter(4)
+        assert router.shard_of_transaction(_transfer(0)) == 0
+        assert router.shard_of_transaction(_tx(0, metadata_id="T1")) >= 1
+
+    def test_single_shard_keeps_everything_on_lane_zero(self):
+        router = ShardRouter(1)
+        assert router.shard_of("T1") == 0
+        assert router.shard_of_transaction(_transfer(0)) == 0
+
+
 def _spread_ids(router):
-    """One metadata id per shard of ``router`` (found by probing the hash)."""
+    """One metadata id per *data* lane of ``router`` (found by probing the
+    hash).  Lane 0 is reserved for control traffic when ``num_shards > 1``,
+    so tables can only ever land on lanes ``1..N-1``."""
+    data_lanes = 1 if router.num_shards == 1 else router.num_shards - 1
     ids, seen = [], set()
     index = 0
-    while len(seen) < router.num_shards and index < 10_000:
+    while len(seen) < data_lanes and index < 10_000:
         metadata_id = f"SPREAD-{index}"
         shard = router.shard_of(metadata_id)
         if shard not in seen:
             seen.add(shard)
             ids.append(metadata_id)
         index += 1
-    assert len(seen) == router.num_shards
+    assert len(seen) == data_lanes
     return ids
 
 
@@ -118,7 +147,8 @@ class TestShardedMempool:
             pool.submit(_tx(nonce, metadata_id=metadata_id))
         depths = pool.shard_depths()
         assert sum(depths) == len(ids)
-        assert all(depth >= 1 for depth in depths)
+        assert depths[0] == 0  # the control lane holds no table traffic
+        assert all(depth >= 1 for depth in depths[1:])
         for shard in range(4):
             for _seq, tx in pool.iter_entries(shard=shard):
                 assert router.shard_of_transaction(tx) == shard
@@ -154,6 +184,7 @@ class TestLaneScheduler:
         ids = _spread_ids(router)
         for nonce, metadata_id in enumerate(ids):
             pool.submit(_tx(nonce, metadata_id=metadata_id))
+        pool.submit(_transfer(0, keypair=OTHER))  # control lane 0
         blocks = miner.mine_interval()
         assert len(blocks) == 4  # one per lane with pending work
         assert clock.now() == pytest.approx(2.0)
@@ -180,7 +211,8 @@ class TestLaneScheduler:
         stats = miner.lane_statistics()
         assert stats["lanes"] == 4
         assert stats["intervals"] == 1
-        assert sum(stats["blocks_per_lane"]) == 4
+        assert stats["blocks_per_lane"][0] == 0  # reserved control lane idle
+        assert sum(stats["blocks_per_lane"]) == len(ids)
         assert sum(stats["transactions_per_lane"]) == len(ids)
 
     def test_unsharded_miner_reports_no_lanes(self):

@@ -12,8 +12,24 @@ from repro.errors import DeltaUnsupported
 from repro.relational.diff import diff_tables
 from repro.relational.predicates import Gt
 from repro.relational.query import Join, Project, Rename, Scan, Select
-from repro.relational.schema import Schema
+from repro.relational.schema import Column, DataType, Schema
 from repro.relational.table import Table
+
+CITY_SCHEMA = Schema(
+    columns=(Column("city", DataType.STRING, nullable=False),
+             Column("region", DataType.STRING)),
+    primary_key=("city",),
+)
+
+
+@pytest.fixture
+def cities_table():
+    return Table("cities", CITY_SCHEMA, [
+        {"city": "Sapporo", "region": "Hokkaido"},
+        {"city": "Osaka", "region": "Kansai"},
+        {"city": "Kyoto", "region": "Kansai"},
+        {"city": "Kobe", "region": "Kansai"},
+    ])
 
 
 @pytest.fixture
@@ -83,6 +99,72 @@ class TestQueryPutDelta:
         assert people_table.get((3,))["age"] == 30
         assert people_table.get((3,))["city"] == "Kyoto"  # hidden column kept
         assert query.execute(tables).fingerprint() == edited.fingerprint()
+
+
+class TestKeyedJoinDelta:
+    """A join whose reference side's primary key is contained in ``on`` keeps
+    the left key and translates diffs row by row instead of re-executing."""
+
+    def _join(self):
+        return Join(Scan("people"), Scan("cities"), ("city",))
+
+    def _tables(self, people_table, cities_table):
+        return {"people": people_table, "cities": cities_table}
+
+    def test_output_is_keyed(self, people_table, cities_table):
+        tables = self._tables(people_table, cities_table)
+        schema = self._join().output_schema(tables)
+        assert schema.primary_key == ("id",)
+        assert "region" in schema.column_names
+
+    def test_get_delta_matches_reexecution(self, people_table, cities_table):
+        tables = self._tables(people_table, cities_table)
+        join = self._join()
+        before = join.execute(tables)
+        updated = _edited(people_table)
+        # One more transition: Chie moves to a city the reference does not
+        # know, so her row leaves the join's visible set.
+        updated.update_by_key((3,), {"city": "Nara"})
+        diff = diff_tables(people_table, updated)
+
+        view_delta = join.get_delta(tables, diff)
+        patched = before.snapshot()
+        patched.apply_diff(view_delta)
+        reexecuted = join.execute({"people": updated, "cities": cities_table})
+        assert patched.fingerprint() == reexecuted.fingerprint()
+
+    def test_put_delta_translates_view_edit_back(self, people_table, cities_table):
+        tables = self._tables(people_table, cities_table)
+        join = self._join()
+        view = join.execute(tables)
+        edited = view.snapshot()
+        edited.update_by_key((3,), {"age": 30})
+        edited.delete_by_key((2,))
+        view_diff = diff_tables(view, edited)
+
+        base_diff = join.put_delta(tables, view_diff)
+        people_table.apply_diff(base_diff)
+        assert people_table.get((3,))["age"] == 30
+        assert not people_table.contains_key((2,))
+        assert (join.execute(tables).fingerprint() == edited.fingerprint())
+
+    def test_reference_side_diff_falls_back(self, people_table, cities_table):
+        tables = self._tables(people_table, cities_table)
+        changed = cities_table.snapshot()
+        changed.update_by_key(("Osaka",), {"region": "Kinki"})
+        diff = diff_tables(cities_table, changed)
+        with pytest.raises(DeltaUnsupported):
+            self._join().get_delta(tables, diff)
+
+    def test_derived_reference_side_falls_back(self, people_table, cities_table):
+        tables = self._tables(people_table, cities_table)
+        join = Join(Scan("people"),
+                    Select(Scan("cities"), Gt("city", "A")), ("city",))
+        diff = diff_tables(people_table, _edited(people_table))
+        with pytest.raises(DeltaUnsupported):
+            join.get_delta(tables, diff)
+        with pytest.raises(DeltaUnsupported):
+            join.put_delta(tables, diff)
 
 
 class TestQueryDeltaFallbacks:

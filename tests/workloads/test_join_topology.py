@@ -1,0 +1,115 @@
+"""The join-backed fan-out topology (hospital → doctor → patients).
+
+:func:`repro.workloads.topology.build_join_topology_system` wires the
+cascade-heavy workload behind benchmark E17: the hospital shares the
+doctor's whole D3 keyed by patient id, and every doctor↔patient agreement
+derives its doctor side through a keyed join with the ``medications``
+reference table.  These tests pin the topology's shape and run the
+full-recompute fingerprint oracle on *every* delta application
+(``delta_verify_interval=1``), so a keyed-join translation that diverged
+from its lens's full ``get``/``put`` would fail loudly here.
+"""
+
+from dataclasses import replace
+
+from repro.config import ConsensusConfig, LedgerConfig, NetworkConfig, SystemConfig
+from repro.core.workflow import BatchGroup, EntryEdit
+from repro.workloads.topology import (
+    HOSPITAL_TABLE_ID,
+    JOIN_REFERENCE_TABLE,
+    TopologySpec,
+    build_join_topology_system,
+    guideline_for,
+    patients_by_medication,
+)
+
+SPEC = TopologySpec(patients=8, researchers=0, distinct_medications=3,
+                    first_patient_id=1008)
+
+
+def _config(**overrides) -> SystemConfig:
+    config = SystemConfig(
+        ledger=LedgerConfig(
+            consensus=ConsensusConfig(kind="poa", block_interval=1.0),
+            max_transactions_per_block=16,
+            consensus_shards=5,
+        ),
+        network=NetworkConfig(base_latency=0.002, latency_jitter=0.001),
+        parallel_cascades=True,
+    )
+    return replace(config, **overrides) if overrides else config
+
+
+class TestJoinTopologyShape:
+    def test_doctor_views_are_join_enriched(self):
+        system = build_join_topology_system(SPEC, _config())
+        doctor = system.peer("doctor")
+        assert JOIN_REFERENCE_TABLE in doctor.database.table_names
+        d3 = doctor.local_table("D3")
+        for patient_id in range(SPEC.first_patient_id,
+                                SPEC.first_patient_id + SPEC.patients):
+            view = doctor.shared_table(f"D13&D31:{patient_id}")
+            row = view.get((patient_id,))
+            # The guideline column is pulled from the reference table by the
+            # join lens, keyed on the patient's medication.
+            assert row["guideline"] == guideline_for(
+                d3.get((patient_id,))["medication_name"])
+
+    def test_hospital_shares_whole_doctor_table(self):
+        system = build_join_topology_system(SPEC, _config())
+        shared = system.peer("hospital").shared_table(HOSPITAL_TABLE_ID)
+        assert len(shared) == SPEC.patients
+        assert set(shared.schema.column_names) == {
+            "patient_id", "medication_name", "mechanism_of_action"}
+
+    def test_patients_by_medication_partitions_everyone(self):
+        system = build_join_topology_system(SPEC, _config())
+        groups = patients_by_medication(system)
+        flattened = sorted(pid for ids in groups.values() for pid in ids)
+        assert flattened == list(range(SPEC.first_patient_id,
+                                       SPEC.first_patient_id + SPEC.patients))
+        assert len(groups) <= SPEC.distinct_medications
+
+
+class TestJoinDeltaFullRecomputeOracle:
+    def test_every_join_leg_passes_the_sampled_oracle(self):
+        """Verify every delta application against the full-recompute
+        fingerprint oracle: hospital fan-out batches exercise the join's
+        forward (``get_delta``) direction at every patient, and patient
+        ``clinical_data`` write-backs exercise the backward (``put_delta``)
+        direction through the join lens — with zero fallbacks."""
+        system = build_join_topology_system(
+            SPEC, _config(delta_verify_interval=1))
+        coordinator = system.coordinator
+        groups = patients_by_medication(system)
+
+        for round_index in range(2):
+            for medication, patient_ids in groups.items():
+                trace = coordinator.commit_entry_batch([BatchGroup(
+                    peer="hospital", metadata_id=HOSPITAL_TABLE_ID,
+                    edits=tuple(EntryEdit(
+                        op="update", key=(pid,),
+                        values={"mechanism_of_action":
+                                f"MeA-{medication}-r{round_index}"})
+                        for pid in patient_ids))]).traces[0]
+                assert trace.succeeded
+            for patient_ids in groups.values():
+                pid = patient_ids[0]
+                trace = coordinator.update_shared_entry(
+                    f"patient-{pid}", f"D13&D31:{pid}", (pid,),
+                    {"clinical_data": f"CliD-{pid}-r{round_index}"})
+                assert trace.succeeded
+
+        verifications = fallbacks = delta_puts = delta_gets = 0
+        for name in system.peer_names:
+            stats = system.server_app(name).manager.statistics
+            verifications += stats["delta_verifications"]
+            fallbacks += stats["delta_fallbacks"]
+            delta_puts += stats["delta_put_invocations"]
+            delta_gets += stats["delta_get_invocations"]
+        # The join legs ran on the delta path and each application was
+        # checked against the full recompute — none diverged, none fell back.
+        assert delta_puts > 0 and delta_gets > 0
+        assert verifications > 0
+        assert fallbacks == 0
+        assert system.all_shared_tables_consistent()
