@@ -1,0 +1,288 @@
+"""E18 — WAL-shipping read replicas: read scaling at flat commit latency.
+
+The serving question behind the ROADMAP's "millions of readers" item: does
+fanning ``ReadViewRequest``\\ s across N WAL-replaying followers scale read
+throughput while the writer's commit path stays untouched?  The experiment
+runs the *same* deterministic write-plus-read-burst workload against fleets
+of 1 and 4 replicas and gates:
+
+* **read scaling** — simulated read throughput (burst size over burst
+  makespan on the replicas' deterministic service lanes) improves ≥2× from
+  1 to 4 replicas;
+* **flat primary** — the writers' mean committed latency (simulated
+  seconds) moves less than ±10% between the two fleets: replication work
+  rides the commit boundary, it never sits on the commit path;
+* **bounded measured staleness** — every replica-served answer carries a
+  staleness that matches the simulated-time oracle
+  ``(primary's last commit time − replica's replayed-through time)`` and
+  never exceeds the configured bound;
+* **byte-identical convergence** — at quiesce (drain force-ships the tail)
+  every replica's per-peer table fingerprints equal the primary's;
+* **pre-warm** — after the first commit ships, replica caches never take a
+  read-through miss for the tables the commits touch, and a replica-less
+  control gateway serves post-commit reads for both agreement peers
+  entirely from pre-warmed entries (zero misses).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import (  # noqa: E402
+    ConsensusConfig,
+    DurabilityConfig,
+    LedgerConfig,
+    ReplicationConfig,
+    SystemConfig,
+)
+from repro.gateway import ReadViewRequest, SharingGateway, UpdateEntryRequest  # noqa: E402
+from repro.workloads.topology import TopologySpec, build_topology_system  # noqa: E402
+
+FULL_ROUNDS = 40
+QUICK_ROUNDS = 8
+READS_PER_ROUND = 24
+PATIENTS = 4
+BLOCK_INTERVAL = 1.0
+SHIP_INTERVAL = 2.0
+MAX_LAG = 30.0
+READ_SERVICE_TIME = 0.002
+MIN_READ_SCALING = 2.0
+MAX_COMMIT_DRIFT = 0.10
+
+
+def _build(state_dir: str, replicas: int) -> SharingGateway:
+    config = SystemConfig(
+        ledger=LedgerConfig(
+            consensus=ConsensusConfig(kind="poa",
+                                      block_interval=BLOCK_INTERVAL)),
+        durability=DurabilityConfig(state_dir=state_dir),
+        replication=ReplicationConfig(replicas=replicas,
+                                      ship_interval=SHIP_INTERVAL,
+                                      max_lag=MAX_LAG,
+                                      read_service_time=READ_SERVICE_TIME),
+    )
+    system = build_topology_system(
+        TopologySpec(patients=PATIENTS, researchers=0), config)
+    return SharingGateway(system)
+
+
+def _run_fleet(replicas: int, rounds: int) -> dict:
+    """One deterministic write+read workload against a fleet of ``replicas``."""
+    with tempfile.TemporaryDirectory(prefix=f"e18-{replicas}r-") as state_dir:
+        gateway = _build(state_dir, replicas)
+        system = gateway.system
+        clock = system.simulator.clock
+        patients = sorted(n for n in system.peer_names
+                          if n.startswith("patient"))
+        sessions = {name: gateway.open_session(name) for name in patients}
+        doctor = gateway.open_session("doctor")
+        mids = {name: system.peer(name).agreement_ids[0] for name in patients}
+
+        staleness_violations = 0
+        oracle_mismatches = 0
+        replica_answers = 0
+        burst_makespans: list = []
+        total_reads = 0
+        last_commit_at = 0.0
+
+        for round_number in range(rounds):
+            for name in patients:
+                metadata_id = mids[name]
+                patient_id = int(metadata_id.split(":")[1])
+                gateway.submit(sessions[name], UpdateEntryRequest(
+                    metadata_id=metadata_id, key=(patient_id,),
+                    updates={"clinical_data": f"r{round_number}-{name}"}))
+            gateway.commit_once()
+            last_commit_at = clock.now()  # the staleness oracle's reference
+
+            burst_start = clock.now()
+            burst_done = burst_start
+            for read_number in range(READS_PER_ROUND):
+                name = patients[read_number % len(patients)]
+                session = doctor if read_number % 2 else sessions[name]
+                response = gateway.submit(
+                    session, ReadViewRequest(metadata_id=mids[name]))
+                assert response.status == "ok", response.error
+                total_reads += 1
+                if "replica" in response.payload:
+                    replica_answers += 1
+                    staleness = response.payload["staleness"]
+                    if staleness > MAX_LAG:
+                        staleness_violations += 1
+                    serving = next(r for r in gateway.shipper.replicas
+                                   if r.name == response.payload["replica"])
+                    expected = max(0.0,
+                                   last_commit_at - serving.replayed_through)
+                    if abs(staleness - expected) > 1e-9:
+                        oracle_mismatches += 1
+                    # The service-lane latency is queue wait + service time
+                    # measured from the burst's issue instant, so the burst
+                    # completes when the last lane frees up.
+                    burst_done = max(burst_done,
+                                     burst_start + response.payload["latency"])
+            if burst_done > burst_start:
+                burst_makespans.append(burst_done - burst_start)
+
+        gateway.drain()  # quiesce: force-ship so the fleet converges
+        primary_fp = system.state_fingerprints()
+        fingerprints_identical = all(
+            replica.fingerprints() == primary_fp
+            for replica in gateway.shipper.replicas)
+        replica_cache_misses = sum(replica.cache.misses
+                                   for replica in gateway.shipper.replicas)
+        replica_cache_hits = sum(replica.cache.hits
+                                 for replica in gateway.shipper.replicas)
+
+        metrics = gateway.metrics()
+        tenants = metrics["tenants"]
+        commit_latencies = [stats["mean"] for tenant, stats
+                            in sorted(tenants.items()) if tenant in patients]
+        mean_commit_latency = (sum(commit_latencies) / len(commit_latencies)
+                               if commit_latencies else 0.0)
+        read_throughput = (total_reads / sum(burst_makespans)
+                           if burst_makespans and sum(burst_makespans) > 0
+                           else 0.0)
+        return {
+            "replicas": replicas,
+            "rounds": rounds,
+            "reads": total_reads,
+            "replica_answers": replica_answers,
+            "primary_fallbacks": metrics["replication"]["primary_fallbacks"],
+            "read_throughput_per_sim_second": read_throughput,
+            "mean_commit_latency": mean_commit_latency,
+            "staleness_violations": staleness_violations,
+            "oracle_mismatches": oracle_mismatches,
+            "max_replica_lag_at_quiesce": max(
+                (replica.lag(last_commit_at)
+                 for replica in gateway.shipper.replicas), default=0.0),
+            "fingerprints_identical": fingerprints_identical,
+            "replica_cache_misses": replica_cache_misses,
+            "replica_cache_hits": replica_cache_hits,
+            "shipments": gateway.shipper.shipments,
+            "entries_shipped": gateway.shipper.entries_shipped,
+        }
+
+
+def _run_prewarm_control(rounds: int) -> dict:
+    """Replica-less control: the primary cache alone must serve post-commit
+    reads for both peers of every touched agreement with zero misses."""
+    with tempfile.TemporaryDirectory(prefix="e18-prewarm-") as state_dir:
+        gateway = _build(state_dir, replicas=0)
+        system = gateway.system
+        patients = sorted(n for n in system.peer_names
+                          if n.startswith("patient"))
+        sessions = {name: gateway.open_session(name) for name in patients}
+        doctor = gateway.open_session("doctor")
+        mids = {name: system.peer(name).agreement_ids[0] for name in patients}
+        for round_number in range(max(2, rounds // 4)):
+            for name in patients:
+                metadata_id = mids[name]
+                patient_id = int(metadata_id.split(":")[1])
+                gateway.submit(sessions[name], UpdateEntryRequest(
+                    metadata_id=metadata_id, key=(patient_id,),
+                    updates={"clinical_data": f"p{round_number}-{name}"}))
+            gateway.drain()
+            misses_before = gateway.cache.misses
+            for name in patients:  # both peers of every touched agreement
+                gateway.submit(sessions[name],
+                               ReadViewRequest(metadata_id=mids[name]))
+                gateway.submit(doctor,
+                               ReadViewRequest(metadata_id=mids[name]))
+            read_through_misses = gateway.cache.misses - misses_before
+        return {
+            "prewarms": gateway.cache.prewarms,
+            "post_commit_read_through_misses": read_through_misses,
+            "hits": gateway.cache.hits,
+        }
+
+
+def run_replica_scaling(rounds: int) -> dict:
+    single = _run_fleet(1, rounds)
+    fleet = _run_fleet(4, rounds)
+    prewarm = _run_prewarm_control(rounds)
+    scaling = (fleet["read_throughput_per_sim_second"]
+               / single["read_throughput_per_sim_second"]
+               if single["read_throughput_per_sim_second"] else 0.0)
+    drift = (abs(fleet["mean_commit_latency"] - single["mean_commit_latency"])
+             / single["mean_commit_latency"]
+             if single["mean_commit_latency"] else 0.0)
+    return {
+        "experiment": "E18_read_replicas",
+        "workload": (f"{rounds} rounds × {PATIENTS} writes + "
+                     f"{READS_PER_ROUND} reads, ship every {SHIP_INTERVAL}s, "
+                     f"service {READ_SERVICE_TIME}s/read"),
+        "single": single,
+        "fleet": fleet,
+        "prewarm_control": prewarm,
+        "read_scaling": scaling,
+        "commit_latency_drift": drift,
+        "gates": {
+            "read_scaling_min": MIN_READ_SCALING,
+            "commit_latency_drift_max": MAX_COMMIT_DRIFT,
+        },
+    }
+
+
+def _gates_pass(result: dict) -> bool:
+    single, fleet = result["single"], result["fleet"]
+    return (result["read_scaling"] >= MIN_READ_SCALING
+            and result["commit_latency_drift"] <= MAX_COMMIT_DRIFT
+            and single["staleness_violations"] == 0
+            and fleet["staleness_violations"] == 0
+            and single["oracle_mismatches"] == 0
+            and fleet["oracle_mismatches"] == 0
+            and single["fingerprints_identical"]
+            and fleet["fingerprints_identical"]
+            and fleet["replica_cache_misses"] == 0
+            and result["prewarm_control"]["post_commit_read_through_misses"] == 0)
+
+
+def test_read_replicas(emit, quick):
+    """Read throughput must scale ≥2× from 1 to 4 replicas with the primary
+    commit latency flat (±10%), every replica answer's measured staleness
+    within the bound (sim-time oracle), replica fingerprints byte-identical
+    at quiesce, and pre-warm eliminating read-through misses."""
+    rounds = QUICK_ROUNDS if quick else FULL_ROUNDS
+    result = run_replica_scaling(rounds)
+    emit("E18_read_replicas", json.dumps(result, indent=2, sort_keys=True))
+    assert result["read_scaling"] >= MIN_READ_SCALING, (
+        f"read throughput scaled {result['read_scaling']:.2f}x < "
+        f"{MIN_READ_SCALING}x from 1 to 4 replicas")
+    assert result["commit_latency_drift"] <= MAX_COMMIT_DRIFT, (
+        f"primary commit latency drifted "
+        f"{result['commit_latency_drift'] * 100:.1f}% > "
+        f"{MAX_COMMIT_DRIFT * 100:.0f}%")
+    for label in ("single", "fleet"):
+        run = result[label]
+        assert run["staleness_violations"] == 0, label
+        assert run["oracle_mismatches"] == 0, label
+        assert run["fingerprints_identical"], label
+        assert run["replica_answers"] > 0, label
+    assert result["fleet"]["replica_cache_misses"] == 0, (
+        "replica caches took read-through misses despite pre-warm")
+    assert result["prewarm_control"]["post_commit_read_through_misses"] == 0, (
+        "primary cache took read-through misses for freshly committed tables")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=FULL_ROUNDS)
+    parser.add_argument("--quick", action="store_true",
+                        help="use the reduced CI smoke workload")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full JSON result (default)")
+    args = parser.parse_args()
+    rounds = QUICK_ROUNDS if args.quick else args.rounds
+    result = run_replica_scaling(rounds)
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0 if _gates_pass(result) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

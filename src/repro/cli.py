@@ -194,7 +194,10 @@ def run_gateway_loadtest(tenants: int = 8, duration: float = 30.0, rate: float =
                          registry: bool = False,
                          latency_target: Optional[float] = None,
                          chaos: Optional[Any] = None,
-                         chaos_events_out: Optional[str] = None) -> Dict[str, Any]:
+                         chaos_events_out: Optional[str] = None,
+                         replicas: int = 0,
+                         replica_ship_interval: float = 0.0,
+                         replica_max_lag: float = 30.0) -> Dict[str, Any]:
     """Drive open-loop multi-tenant traffic through the gateway; returns metrics.
 
     The engine behind the ``gateway-loadtest`` subcommand (also importable
@@ -220,9 +223,18 @@ def run_gateway_loadtest(tenants: int = 8, duration: float = 30.0, rate: float =
     disk errors and slow rounds are survived; the result then gains a
     ``chaos`` section and ``chaos_events_out`` exports the fault-event
     JSONL.
+
+    ``replicas`` attaches that many WAL-shipping read replicas behind the
+    gateway's bounded-staleness router: view reads fan out across the fleet
+    (``replica_ship_interval`` throttles shipments and so creates measurable
+    staleness; ``replica_max_lag`` is the routing cutoff) while writes stay
+    on the primary.  Replicas need durable peers, so without ``state_dir``
+    a temporary one backs the run.
     """
     import asyncio
+    import dataclasses
 
+    from repro.config import DurabilityConfig, ReplicationConfig
     from repro.gateway import AsyncSharingGateway, SharingGateway
     from repro.obs import Tracer, TraceAnalyzer, write_trace_jsonl
     from repro.workloads.topology import TopologySpec, build_topology_system
@@ -231,8 +243,31 @@ def run_gateway_loadtest(tenants: int = 8, duration: float = 30.0, rate: float =
 
     if transport not in ("sync", "async"):
         raise ValueError(f"unknown transport {transport!r}: use 'sync' or 'async'")
+    if replicas > 0 and state_dir is None:
+        import tempfile
+        with tempfile.TemporaryDirectory(prefix="repro-replicas-") as tmp:
+            return run_gateway_loadtest(
+                tenants=tenants, duration=duration, rate=rate,
+                read_fraction=read_fraction, interval=interval,
+                batch_size=batch_size, seed=seed, rate_limit=rate_limit,
+                transport=transport, max_delay=max_delay,
+                max_queue_depth=max_queue_depth, state_dir=tmp,
+                fsync_policy=fsync_policy, max_responses=max_responses,
+                trace=trace, trace_out=trace_out, registry=registry,
+                latency_target=latency_target, chaos=chaos,
+                chaos_events_out=chaos_events_out, replicas=replicas,
+                replica_ship_interval=replica_ship_interval,
+                replica_max_lag=replica_max_lag)
+    config = SystemConfig.private_chain(interval)
+    if replicas > 0:
+        config = dataclasses.replace(
+            config,
+            durability=DurabilityConfig(state_dir=state_dir),
+            replication=ReplicationConfig(replicas=replicas,
+                                          ship_interval=replica_ship_interval,
+                                          max_lag=replica_max_lag))
     system = build_topology_system(TopologySpec(patients=tenants, researchers=0, seed=seed),
-                                   SystemConfig.private_chain(interval))
+                                   config)
     tracer = Tracer(system.simulator.clock) if (trace or trace_out) else None
     injector = None
     if chaos is not None:
@@ -559,7 +594,9 @@ def _cmd_gateway_loadtest(args: argparse.Namespace) -> int:
             fsync_policy=args.fsync_policy, max_responses=args.max_responses,
             trace=args.trace, trace_out=args.trace_out,
             latency_target=args.latency_target, chaos=args.chaos,
-            chaos_events_out=args.chaos_events_out)
+            chaos_events_out=args.chaos_events_out, replicas=args.replicas,
+            replica_ship_interval=args.replica_ship_interval,
+            replica_max_lag=args.replica_max_lag)
     except (ValueError, ChaosError, OSError) as exc:
         print(f"gateway-loadtest: {exc}", file=sys.stderr)
         return 2
@@ -588,6 +625,17 @@ def _cmd_gateway_loadtest(args: argparse.Namespace) -> int:
             ("journaled responses", durability["responses_journaled"]),
             ("journal WAL bytes", durability["wal_bytes"]),
             ("responses evicted", durability["responses_evicted"]),
+        ])
+    replication = metrics.get("replication", {})
+    if replication.get("enabled"):
+        rows.extend([
+            ("read replicas", len(replication["replicas"])),
+            ("replica-served reads", replication["replica_reads"]),
+            ("primary fallbacks", replication["primary_fallbacks"]),
+            ("max replica lag (s)", round(max(
+                replication["lags"].values(), default=0.0), 3)),
+            ("WAL shipments", replication["shipper"]["shipments"]),
+            ("cache pre-warms", replication["cache_prewarms"]),
         ])
     if "async_transport" in metrics:
         sealed = metrics["async_transport"]["sealed_by"]
@@ -830,6 +878,19 @@ def build_parser() -> argparse.ArgumentParser:
                                "JSON) plus the configured retry policy")
     loadtest.add_argument("--chaos-events-out", default=None, metavar="PATH",
                           help="export the injected fault events as JSONL")
+    loadtest.add_argument("--replicas", type=int, default=0,
+                          help="attach this many WAL-shipping read replicas "
+                               "and fan view reads across them at bounded "
+                               "staleness (0 disables replication)")
+    loadtest.add_argument("--replica-ship-interval", type=float, default=0.0,
+                          metavar="SECONDS",
+                          help="simulated seconds between WAL shipments "
+                               "(0 ships every commit; larger values create "
+                               "measurable replica staleness)")
+    loadtest.add_argument("--replica-max-lag", type=float, default=30.0,
+                          metavar="SECONDS",
+                          help="bounded-staleness routing cutoff: replicas "
+                               "lagging more than this fall back to the primary")
 
     soak = add_command(
         "chaos-soak", "run a seeded fault plan against its fault-free "

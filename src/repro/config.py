@@ -232,6 +232,54 @@ class ResilienceConfig:
 
 
 @dataclass(frozen=True)
+class ReplicationConfig:
+    """Configuration of WAL-shipping read replicas.
+
+    Attributes
+    ----------
+    replicas:
+        Number of read-only follower replicas fed from the primary peers'
+        JSONL WAL segments.  ``0`` (the default) disables replication and
+        keeps the single-writer behaviour byte-identical to the seed.
+        Requires ``durability.state_dir`` — replicas bootstrap from the
+        checkpoint manifest and replay the shipped WAL tail.
+    ship_interval:
+        Simulated seconds between WAL shipments.  Shipping happens at commit
+        boundaries, but a shipment is only published once the interval has
+        elapsed since the previous one — this is the knob that creates
+        (measurable) replica staleness.  ``0.0`` ships every commit.
+    max_lag:
+        Bounded-staleness routing cutoff in simulated seconds: a replica
+        whose replayed-through timestamp trails the primary's last commit by
+        more than this is skipped and the read falls back to the primary.
+    read_service_time:
+        Simulated seconds a replica spends serving one read (its service
+        lane models a single-threaded follower), used to spread read load
+        deterministically across the fleet.
+    prewarm_cache:
+        When true (the default), each commit's ``TableDiff`` pre-warms the
+        replicas' view caches during replay, so a freshly replayed commit
+        is immediately servable without a read-through miss.
+    """
+
+    replicas: int = 0
+    ship_interval: float = 0.0
+    max_lag: float = 30.0
+    read_service_time: float = 0.002
+    prewarm_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.replicas < 0:
+            raise ValueError("replicas must be non-negative")
+        if self.ship_interval < 0:
+            raise ValueError("ship_interval must be non-negative")
+        if self.max_lag <= 0:
+            raise ValueError("max_lag must be positive")
+        if self.read_service_time < 0:
+            raise ValueError("read_service_time must be non-negative")
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Top-level configuration assembling every subsystem (Fig. 2).
 
@@ -260,6 +308,7 @@ class SystemConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     durability: DurabilityConfig = field(default_factory=DurabilityConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    replication: ReplicationConfig = field(default_factory=ReplicationConfig)
     check_lens_laws: bool = True
     audit_enabled: bool = True
     delta_propagation: bool = True

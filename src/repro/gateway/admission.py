@@ -53,6 +53,7 @@ class LatencyShedder:
         self._lock = threading.Lock()
         self.shed_p99 = 0
         self.shed_predicted = 0
+        self.shed_cold_start = 0
 
     # ------------------------------------------------------------- recording
 
@@ -121,6 +122,19 @@ class LatencyShedder:
             self.shed_p99 += 1
             return (f"commit-latency p99 {p99:.3f}s exceeds the "
                     f"{self.target:.3f}s target")
+        if p99 is None:
+            # Cold start: below min_samples the p99 estimate is withheld
+            # (None — an empty/thin window must not read as "0.0 s, fast").
+            # But unanimous early evidence still counts: if *every* latency
+            # observed so far blows the target, shed now instead of waving
+            # writes through until the estimator warms up.
+            with self._lock:
+                self._trim_locked()
+                observed = [latency for _, latency in self._latencies]
+            if observed and min(observed) > self.target:
+                self.shed_cold_start += 1
+                return (f"cold start: all {len(observed)} committed writes "
+                        f"in the window exceed the {self.target:.3f}s target")
         predicted = self.predicted_delay(queue_depth)
         if predicted is not None and predicted > self.target:
             self.shed_predicted += 1
@@ -144,6 +158,7 @@ class LatencyShedder:
             "mean_service": self.mean_service,
             "shed_p99": self.shed_p99,
             "shed_predicted": self.shed_predicted,
+            "shed_cold_start": self.shed_cold_start,
         }
 
 

@@ -29,16 +29,20 @@ class ViewCache:
         self.enabled = enabled
         self.tracer = NULL_TRACER
         #: Set by the gateway so entries carry install timestamps (simulated
-        #: seconds); without a clock, staleness reads as 0.0.
+        #: seconds).  Without a clock, install times — and therefore entry
+        #: ages — are *unknown* (``None``), never 0.0: an unknown age must
+        #: fail a bounded-staleness cutoff, not trivially pass it.
         self.clock = None
         self._entries: Dict[Tuple[str, str], Table] = {}
-        #: Simulated install/patch time per entry, for the degraded-read
-        #: path's bounded-staleness guarantee.
-        self._installed_at: Dict[Tuple[str, str], float] = {}
+        #: Simulated install/patch time per entry (``None`` when no clock
+        #: was attached at install time), for the degraded-read path's
+        #: bounded-staleness guarantee.
+        self._installed_at: Dict[Tuple[str, str], Optional[float]] = {}
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
         self.patches = 0
+        self.prewarms = 0
         #: Per shared table, a counter bumped by every patch/invalidation.
         #: A miss loads *outside* the cache lock (so loading never nests the
         #: cache lock inside the gateway's commit lock); the loaded view is
@@ -101,22 +105,32 @@ class ViewCache:
                     self.stale_loads_discarded += 1
                 return view
 
-    def _now(self) -> float:
-        return self.clock.now() if self.clock is not None else 0.0
+    def _now(self) -> Optional[float]:
+        return self.clock.now() if self.clock is not None else None
 
     def peek(self, peer: str, metadata_id: str) -> Optional[Table]:
         return self._entries.get((peer, metadata_id))
 
     def peek_entry(self, peer: str,
-                   metadata_id: str) -> Optional[Tuple[Table, float]]:
+                   metadata_id: str) -> Optional[Tuple[Table, Optional[float]]]:
         """The cached view *and its age* in simulated seconds, without
-        counting a hit or triggering a load (the degraded-read path)."""
+        counting a hit or triggering a load (the degraded-read path).
+
+        The age is ``None`` when it cannot be measured — no clock was
+        attached when the entry was installed, or none is attached now.
+        Callers enforcing a staleness bound must treat ``None`` as *over*
+        the bound (unknown age is not fresh age).
+        """
         with self._lock:
             key = (peer, metadata_id)
             view = self._entries.get(key)
             if view is None:
                 return None
-            return view, self._now() - self._installed_at.get(key, 0.0)
+            now = self._now()
+            installed = self._installed_at.get(key)
+            if now is None or installed is None:
+                return view, None
+            return view, now - installed
 
     # ------------------------------------------------------------ invalidation
 
@@ -185,6 +199,28 @@ class ViewCache:
                 span.annotate(patched=patched)
                 return patched
 
+    # -------------------------------------------------------------- pre-warming
+
+    def prewarm(self, peer: str, metadata_id: str, view: Table) -> bool:
+        """Install a freshly materialised view ahead of any read.
+
+        The diff-driven pre-warm path: at a commit boundary the gateway (or
+        a replica's replayer) materialises the just-changed shared views and
+        installs them here, so the next read is a hit instead of a
+        read-through miss.  Bumps the table's generation — an in-flight
+        read-through load of the same table raced the commit and must not
+        overwrite the fresher pre-warmed copy.  Returns whether the entry
+        was installed (a disabled cache ignores pre-warms).
+        """
+        if not self.enabled:
+            return False
+        with self._lock:
+            self._bump(metadata_id)
+            self._entries[(peer, metadata_id)] = view
+            self._installed_at[(peer, metadata_id)] = self._now()
+            self.prewarms += 1
+            return True
+
     # -------------------------------------------------------------- change hook
 
     def on_shared_change(self, metadata_id: str, operation: str,
@@ -212,6 +248,7 @@ class ViewCache:
         registry.gauge("cache_hit_rate", fn=lambda: self.hit_rate)
         registry.gauge("cache_invalidations", fn=lambda: self.invalidations)
         registry.gauge("cache_patches", fn=lambda: self.patches)
+        registry.gauge("cache_prewarms", fn=lambda: self.prewarms)
         registry.gauge("cache_stale_loads_discarded",
                        fn=lambda: self.stale_loads_discarded)
 
@@ -224,5 +261,6 @@ class ViewCache:
             "hit_rate": self.hit_rate,
             "invalidations": self.invalidations,
             "patches": self.patches,
+            "prewarms": self.prewarms,
             "stale_loads_discarded": self.stale_loads_discarded,
         }

@@ -56,7 +56,13 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 from repro.chaos import NULL_INJECTOR, STATE_CLOSED, BreakerBoard, Retrier
 from repro.core.system import MedicalDataSharingSystem
 from repro.core.workflow import BatchCommitResult
-from repro.errors import ReproError, SessionError, SharingError, WalCorruptionError
+from repro.errors import (
+    GatewayError,
+    ReproError,
+    SessionError,
+    SharingError,
+    WalCorruptionError,
+)
 from repro.gateway.admission import LatencyShedder, fair_share_exceeded
 from repro.gateway.cache import ViewCache
 from repro.gateway.requests import (
@@ -77,6 +83,11 @@ from repro.metrics.collectors import LatencyCollector, PeakGauge
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.relational.durability import JsonlWalBackend, checkpoint_database
+from repro.relational.replication import (
+    ReadReplica,
+    ReplicaRouter,
+    SegmentShipper,
+)
 from repro.relational.wal import WalEntry
 
 
@@ -263,10 +274,15 @@ class SharingGateway:
                                         max_queue_depth=max_queue_depth)
         self.cache = ViewCache(enabled=cache_enabled)
         self.cache.tracer = self.tracer
+        #: Diff-driven cache pre-warming: when a commit's TableDiff names a
+        #: view no reader has pulled yet, materialise and install it at the
+        #: commit boundary instead of waiting for the next read-through miss.
+        self.prewarm_cache = system.config.replication.prewarm_cache
         # The diff-aware hook patches cached views row by row when the
-        # coordinator hands over the change's TableDiff, and drops them only
-        # when it cannot (half-installed failures).
-        system.coordinator.subscribe_shared_diff(self.cache.on_shared_diff)
+        # coordinator hands over the change's TableDiff (and pre-warms the
+        # untouched ones), dropping views only when it cannot patch them
+        # (half-installed failures).
+        system.coordinator.subscribe_shared_diff(self._on_shared_diff)
         # Resilience: commit-latency-driven admission shedding, per-tenant /
         # per-lane / commit-path circuit breakers, fair queueing and (opt-in)
         # bounded-staleness degraded reads.  Defaults come from
@@ -275,6 +291,14 @@ class SharingGateway:
         resilience = system.config.resilience
         self.resilience = resilience
         clock = system.simulator.clock
+        if clock is None:
+            # The degraded-read path's bounded-staleness guarantee measures
+            # entry ages on the simulated clock; without one, every age is
+            # unknown and degraded reads would always refuse.  Fail loudly
+            # at construction instead of silently never serving degraded.
+            raise GatewayError(
+                "the system's simulator carries no clock; the gateway's "
+                "cache cannot measure view staleness without one")
         self.cache.clock = clock
         self.latency_target = (resilience.latency_target_p99
                                if latency_target is None else latency_target)
@@ -375,6 +399,40 @@ class SharingGateway:
         self._journal_bytes_reclaimed = self.registry.counter(
             "gateway_journal_bytes_reclaimed")
         self._last_checkpoint_at: Dict[str, float] = {}
+        #: WAL-shipping read replicas: N followers replaying the durable
+        #: peers' WALs continuously, a router fanning ``ReadViewRequest``s
+        #: across them at bounded measured staleness, writes staying on the
+        #: primary.  ``replication.replicas == 0`` (the default) keeps the
+        #: single-writer behaviour byte-identical.
+        replication = system.config.replication
+        self.shipper: Optional[SegmentShipper] = None
+        self.replica_router: Optional[ReplicaRouter] = None
+        self._replica_reads_served = self.registry.counter("gateway_replica_reads")
+        if replication.replicas > 0:
+            if system.config.durability.state_dir is None:
+                raise GatewayError(
+                    "read replicas require durable peers: set "
+                    "durability.state_dir (replicas bootstrap from the "
+                    "checkpoint manifest and replay shipped WAL segments)")
+            self.shipper = SegmentShipper(
+                system, clock, ship_interval=replication.ship_interval,
+                tracer=self.tracer, registry=self.registry)
+            system.coordinator.subscribe_shared_diff(self.shipper.on_shared_diff)
+
+            def _view_name_for(peer: str, metadata_id: str) -> str:
+                return system.peer(peer).agreement(metadata_id).view_name_for(peer)
+
+            for index in range(replication.replicas):
+                replica_cache = ViewCache(enabled=cache_enabled)
+                replica_cache.tracer = self.tracer
+                self.shipper.attach(ReadReplica(
+                    f"replica-{index}", clock, _view_name_for,
+                    read_service_time=replication.read_service_time,
+                    tracer=self.tracer,
+                    cache=replica_cache if replication.prewarm_cache else None))
+            self.replica_router = ReplicaRouter(
+                self.shipper, clock, max_lag=replication.max_lag,
+                registry=self.registry)
         self._register_gauges()
 
     def _wire_journal_chaos(self) -> None:
@@ -714,12 +772,58 @@ class SharingGateway:
         with self._commit_lock:
             return self.system.coordinator.read_shared_data(peer_name, metadata_id)
 
+    def _on_shared_diff(self, metadata_id: str, operation: str,
+                        peers: Tuple[str, ...], diff=None) -> None:
+        """The coordinator's diff listener: patch cached views in place,
+        then pre-warm the views the commit touched but no reader has pulled
+        yet, so a fresh commit is immediately servable without a
+        read-through miss.
+
+        Fires from inside the commit (possibly on a cascade executor thread
+        under parallel cascades), so the pre-warm load reads the
+        just-committed table directly — it must NOT take ``_commit_lock``,
+        which the committing thread already holds.  A failed commit carries
+        no diff; nothing half-installed is ever pre-warmed.
+        """
+        self.cache.on_shared_diff(metadata_id, operation, peers, diff)
+        if (not self.prewarm_cache or not self.cache.enabled
+                or diff is None or diff.is_empty):
+            return
+        for peer in peers:
+            if self.cache.peek(peer, metadata_id) is not None:
+                continue  # present entries were just patched in place
+            try:
+                view = self.system.coordinator.read_shared_data(peer, metadata_id)
+            except ReproError:
+                continue
+            self.cache.prewarm(peer, metadata_id, view)
+
     def _serve_read(self, session: GatewaySession, request: GatewayRequest,
                     response: GatewayResponse) -> GatewayResponse:
         with self.tracer.span("gateway.read", trace_id=response.trace_id,
                               kind=request.kind, tenant=session.peer_name) as span:
             try:
                 if isinstance(request, ReadViewRequest):
+                    # Replica fan-out first: a follower within its staleness
+                    # bound serves the read without touching the primary's
+                    # locks at all; writes (and replica-ineligible reads)
+                    # stay on the primary.
+                    if self.replica_router is not None:
+                        routed = self.replica_router.route(session.peer_name,
+                                                           request.metadata_id)
+                        if routed is not None:
+                            span.annotate(replica=routed.replica,
+                                          staleness=routed.staleness)
+                            self._replica_reads_served.inc()
+                            response.payload = {
+                                "metadata_id": request.metadata_id,
+                                "rows": len(routed.view),
+                                "table": routed.view.to_dict(),
+                                "replica": routed.replica,
+                                "staleness": routed.staleness,
+                                "latency": routed.latency,
+                            }
+                            return self._finalize(response, session, STATUS_OK)
                     stale = self._degraded_view(session.peer_name,
                                                 request.metadata_id)
                     if stale is not None:
@@ -778,7 +882,10 @@ class SharingGateway:
         if entry is None:
             return None
         view, age = entry
-        if age > self.max_staleness:
+        if age is None or age > self.max_staleness:
+            # An unmeasurable age (entry installed before a clock was
+            # attached) is *unknown*, not zero: it must fail the bounded-
+            # staleness cutoff, never pass it.
             return None
         return view, age
 
@@ -880,6 +987,15 @@ class SharingGateway:
                 if self.journal is not None:
                     self.journal.sync()
                 self._run_durability_maintenance()
+                # Ship the batch's WAL tail to the replica fleet (throttled
+                # by ship_interval — skipped shipments are what replica
+                # staleness measures).  After maintenance: a checkpoint that
+                # truncated segments is visible to the shipper's covering
+                # check before it reads the tail.
+                if self.shipper is not None:
+                    self.replica_router.record_commit(
+                        self.system.simulator.clock.now())
+                    self.shipper.ship()
                 return result
 
     def _run_durability_maintenance(self) -> None:
@@ -938,6 +1054,10 @@ class SharingGateway:
                 break
             committed += 1
         self.flush_journal()
+        # Quiesce the fleet: an unconditional final shipment converges every
+        # replica to the primary's exact state (the fingerprint oracle).
+        if self.shipper is not None:
+            self.shipper.ship(force=True)
         return committed
 
     def flush_journal(self) -> None:
@@ -1088,10 +1208,24 @@ class SharingGateway:
                     "chaos_events": len(self.system.injector.events),
                 },
                 "cache": self.cache.statistics(),
+                "replication": self._replication_metrics(),
                 "durability": self._durability_metrics(),
                 "tenants": tenants,
                 "sessions_open": len(self._sessions),
             }
+
+    def _replication_metrics(self) -> Dict[str, object]:
+        """Replica-fleet health: shipments, per-replica lag, routed reads."""
+        if self.replica_router is None:
+            return {"enabled": False,
+                    "prewarm_cache": self.prewarm_cache,
+                    "cache_prewarms": self.cache.prewarms}
+        metrics = {"enabled": True,
+                   "prewarm_cache": self.prewarm_cache,
+                   "cache_prewarms": self.cache.prewarms,
+                   "reads_served": self._replica_reads_served.value}
+        metrics.update(self.replica_router.statistics())
+        return metrics
 
     def _durability_metrics(self) -> Dict[str, object]:
         """Response-journal health: WAL bytes, journaled/evicted counts,

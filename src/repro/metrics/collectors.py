@@ -50,16 +50,23 @@ class LatencyCollector:
     def median(self) -> float:
         return statistics.median(self.samples) if self.samples else 0.0
 
-    def percentile(self, q: float) -> float:
+    def percentile(self, q: float, default: Optional[float] = 0.0) -> Optional[float]:
         """The ``q``-th percentile with linear interpolation between ranks.
 
         Small sample counts interpolate instead of snapping to an element, so
         e.g. the p95 of ``[1, 2, ..., 10]`` is 9.55 rather than a raw sample.
+
+        With no samples, returns ``default`` (0.0 for report-friendly
+        summaries).  Callers making *decisions* on the value — admission
+        control comparing a percentile against a target — must pass
+        ``default=None`` and treat it as "no evidence", not as "fast":
+        reading an empty window as 0.0 latency would wave every write
+        through exactly when nothing has been measured yet.
         """
         if not 0.0 <= q <= 100.0:
             raise ValueError("percentile q must be in [0, 100]")
         if not self.samples:
-            return 0.0
+            return default
         ordered = sorted(self.samples)
         if len(ordered) == 1:
             return ordered[0]

@@ -15,6 +15,8 @@ local base table.  This subpackage provides that substrate:
 * :mod:`repro.relational.wal` — a write-ahead log of applied operations.
 * :mod:`repro.relational.durability` — on-disk WAL segments, checkpoints
   and crash recovery.
+* :mod:`repro.relational.replication` — WAL-shipping read replicas with
+  bounded, measured staleness.
 * :mod:`repro.relational.transactions` — snapshot transactions with rollback.
 * :mod:`repro.relational.database` — a named collection of tables and views.
 """
@@ -61,6 +63,15 @@ from repro.relational.durability import (
     checkpoint_database,
     open_durable_database,
     recover,
+)
+from repro.relational.replication import (
+    DiffNotice,
+    ReadReplica,
+    ReplicaRouter,
+    ReplicationError,
+    RoutedRead,
+    SegmentShipper,
+    ShippedBatch,
 )
 
 __all__ = [
@@ -111,4 +122,11 @@ __all__ = [
     "checkpoint_database",
     "open_durable_database",
     "recover",
+    "DiffNotice",
+    "ReadReplica",
+    "ReplicaRouter",
+    "ReplicationError",
+    "RoutedRead",
+    "SegmentShipper",
+    "ShippedBatch",
 ]

@@ -288,6 +288,38 @@ class JsonlWalBackend:
 
     # ------------------------------------------------------------------- reads
 
+    @staticmethod
+    def _segment_first_sequence(segment: pathlib.Path) -> int:
+        """The first sequence a segment holds, read from its file name."""
+        return int(segment.name[len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)])
+
+    def first_sequence(self) -> Optional[int]:
+        """The first sequence still retained on disk (``None`` when empty)."""
+        with self._lock:
+            segments = self.segment_paths()
+            if not segments:
+                return None
+            return self._segment_first_sequence(segments[0])
+
+    def covers(self, since: int) -> bool:
+        """Whether ``read_entries(since=since)`` would see *every* entry
+        past ``since`` that was ever appended.
+
+        ``False`` means a checkpoint truncated segments the cursor still
+        needed: entries in ``(since, checkpoint]`` are gone from the WAL,
+        so a tail read from ``since`` would be silently incomplete.  A
+        shipping reader (replica cursor) must then re-bootstrap from the
+        checkpoint manifest instead of replaying the tail.  An empty WAL
+        trivially covers any cursor — there is nothing retained to miss;
+        whether the *checkpoint* superseded the cursor is the manifest's
+        call, not the backend's.
+        """
+        with self._lock:
+            segments = self.segment_paths()
+            if not segments:
+                return True
+            return self._segment_first_sequence(segments[0]) <= since + 1
+
     def read_entries(self, since: int = 0) -> Tuple[List[WalEntry], int]:
         """All decodable entries with sequence > ``since``, in order.
 
@@ -295,6 +327,10 @@ class JsonlWalBackend:
         the final line of the final segment, so exactly that line may fail to
         decode and is dropped; an undecodable or out-of-order line anywhere
         else raises :class:`~repro.errors.WalCorruptionError`.
+
+        Callers resuming from a cursor (``since > 0``) must check
+        :meth:`covers` first: if truncation already removed entries past the
+        cursor, the tail returned here is *incomplete*, not erroneous.
         """
         entries: List[WalEntry] = []
         torn = 0
@@ -303,8 +339,18 @@ class JsonlWalBackend:
         # before the next fsync boundary.
         self.flush()
         segments = self.segment_paths()
+        # Skip whole segments that cannot hold entries past ``since``: every
+        # entry in a non-final segment precedes its successor's first
+        # sequence (same covering rule as truncation), so continuous
+        # shipping stays O(new data) instead of re-decoding the full WAL.
+        start = 0
+        for index in range(len(segments) - 1):
+            if self._segment_first_sequence(segments[index + 1]) - 1 <= since:
+                start = index + 1
+            else:
+                break
         last_sequence = since
-        for segment_index, segment in enumerate(segments):
+        for segment_index, segment in enumerate(segments[start:], start):
             lines = segment.read_bytes().split(b"\n")
             if lines and lines[-1] == b"":
                 lines.pop()
@@ -347,9 +393,16 @@ class JsonlWalBackend:
             for index, segment in enumerate(segments):
                 if index + 1 < len(segments):
                     # All entries here precede the next segment's first
-                    # sequence, readable from its file name.
-                    next_first = int(segments[index + 1].name[
-                        len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)])
+                    # sequence, readable from its file name.  Sequences are
+                    # contiguous, so this segment's last entry *is*
+                    # ``next_first - 1``: a checkpoint landing exactly on a
+                    # segment's last entry covers it exactly (deleted), and
+                    # the surviving successor starts at checkpoint + 1 — a
+                    # replayer resuming from ``since == checkpoint`` still
+                    # sees every later entry.  Cursors *behind* the
+                    # checkpoint lose their tail here; they must detect that
+                    # via ``covers()`` and re-bootstrap from the manifest.
+                    next_first = self._segment_first_sequence(segments[index + 1])
                     fully_covered = next_first - 1 <= checkpoint_sequence
                 else:
                     last = self._last_sequence_in(segment)

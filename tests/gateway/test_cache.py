@@ -233,3 +233,65 @@ class TestGenerationGuard:
         cache.get("p", "never-cached", loader)
         assert cache.peek("p", "never-cached") is None
         assert cache.stale_loads_discarded == 1
+
+
+class TestStalenessSemantics:
+    """Regression: a clock-less cache must report entry ages as *unknown*
+    (None), never 0.0 — an unknown age has to fail a bounded-staleness
+    cutoff, not trivially pass it."""
+
+    def test_age_unknown_without_clock(self):
+        cache = ViewCache()  # no clock attached
+        cache.get("p", "m", _table)
+        view, age = cache.peek_entry("p", "m")
+        assert view is not None
+        assert age is None
+
+    def test_age_unknown_when_installed_before_clock(self):
+        from repro.ledger.clock import SimClock
+
+        cache = ViewCache()
+        cache.get("p", "m", _table)  # installed clock-less
+        cache.clock = SimClock(100.0)
+        _, age = cache.peek_entry("p", "m")
+        assert age is None  # install time was never measured
+
+    def test_age_measured_with_clock(self):
+        from repro.ledger.clock import SimClock
+
+        cache = ViewCache()
+        clock = SimClock()
+        cache.clock = clock
+        cache.get("p", "m", _table)
+        clock.advance(3.5)
+        _, age = cache.peek_entry("p", "m")
+        assert age == pytest.approx(3.5)
+
+
+class TestPrewarm:
+    def test_prewarm_installs_and_counts(self):
+        cache = ViewCache()
+        assert cache.prewarm("p", "m", _table())
+        assert cache.peek("p", "m") is not None
+        assert cache.prewarms == 1
+        assert cache.statistics()["prewarms"] == 1
+        assert cache.misses == 0  # never counted as read traffic
+
+    def test_prewarm_supersedes_in_flight_load(self):
+        """A read-through load racing the commit's pre-warm must not
+        overwrite the fresher pre-warmed copy."""
+        cache = ViewCache()
+        fresh = _table(rows=((1, "fresh"),))
+
+        def loader():
+            cache.prewarm("p", "m", fresh)  # the commit lands mid-load
+            return _table(rows=((1, "stale"),))
+
+        cache.get("p", "m", loader)
+        assert cache.peek("p", "m").get((1,))["v"] == "fresh"
+        assert cache.stale_loads_discarded == 1
+
+    def test_disabled_cache_ignores_prewarm(self):
+        cache = ViewCache(enabled=False)
+        assert not cache.prewarm("p", "m", _table())
+        assert cache.prewarms == 0

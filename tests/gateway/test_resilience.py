@@ -303,3 +303,86 @@ class TestDegradedReads:
         self.prime(gateway, session, metadata_id)
         response = gateway.submit(session, ReadViewRequest(metadata_id))
         assert "degraded" not in response.payload
+
+
+class TestColdStartShedding:
+    """Regression: an empty/thin latency window must read as "no evidence"
+    (None), never as a 0.0-second p99 — and unanimous over-target early
+    evidence sheds instead of waving writes through until min_samples."""
+
+    def test_empty_window_is_no_evidence(self):
+        from repro.metrics.collectors import LatencyCollector
+
+        collector = LatencyCollector()
+        assert collector.percentile(99.0) == 0.0  # report-friendly default
+        assert collector.percentile(99.0, default=None) is None  # decisions
+        shedder = LatencyShedder(SimClock(), 2.0, min_samples=5)
+        assert shedder.p99 is None
+        assert shedder.decision(0) is None  # nothing measured: admit
+
+    def test_unanimous_slow_cold_start_sheds(self):
+        shedder = LatencyShedder(SimClock(), 1.0, min_samples=5)
+        for _ in range(3):  # below min_samples — p99 still withheld
+            shedder.record_latency(10.0)
+        assert shedder.p99 is None
+        assert shedder.healthy  # degraded-read gating is unchanged
+        reason = shedder.decision(0)
+        assert reason is not None and "cold start" in reason
+        assert shedder.shed_cold_start == 1
+        assert shedder.statistics()["shed_cold_start"] == 1
+
+    def test_mixed_cold_start_admits(self):
+        shedder = LatencyShedder(SimClock(), 1.0, min_samples=5)
+        shedder.record_latency(10.0)
+        shedder.record_latency(0.5)  # one fast write: not unanimous
+        assert shedder.decision(0) is None
+        assert shedder.shed_cold_start == 0
+
+    def test_warm_window_uses_p99_not_cold_start(self):
+        shedder = LatencyShedder(SimClock(), 1.0, min_samples=2)
+        shedder.record_latency(10.0)
+        shedder.record_latency(10.0)
+        reason = shedder.decision(0)
+        assert reason is not None and "p99" in reason
+        assert shedder.shed_cold_start == 0
+
+
+class TestStalenessWiring:
+    """Regression for the clock-default bug: entries installed without a
+    clock have *unknown* age and must never be served degraded."""
+
+    def test_unknown_age_refuses_degraded_read(self):
+        gateway, system = build_gateway(degraded_reads=True)
+        tables = tenant_tables(system)
+        peer, metadata_id = sorted(tables.items())[0]
+        session = gateway.open_session(peer)
+        # Simulate a pre-fix entry: installed while no clock was attached.
+        gateway.cache.clock = None
+        response = gateway.submit(session, ReadViewRequest(metadata_id))
+        assert response.status == STATUS_OK
+        gateway.cache.clock = system.simulator.clock
+        view, age = gateway.cache.peek_entry(peer, metadata_id)
+        assert age is None
+        for _ in range(3):
+            gateway.breakers.record("commit", False)
+        assert gateway.commit_path_unhealthy()
+        system.simulator.clock.advance(2.0)
+        response = gateway.submit(session, ReadViewRequest(metadata_id))
+        # Unknown age fails the staleness cutoff: the read takes the normal
+        # path instead of being served degraded at an unbounded age.
+        assert "degraded" not in response.payload
+        assert gateway.degraded_reads_served == 0
+
+    def test_gateway_asserts_clock_wiring(self):
+        from repro.errors import GatewayError
+
+        system = build_topology_system(
+            TopologySpec(patients=2, researchers=0),
+            SystemConfig.private_chain(1.0))
+        system.simulator.clock = None
+        with pytest.raises(GatewayError):
+            SharingGateway(system)
+
+    def test_cache_clock_is_wired(self):
+        gateway, system = build_gateway()
+        assert gateway.cache.clock is system.simulator.clock
