@@ -197,7 +197,9 @@ def run_gateway_loadtest(tenants: int = 8, duration: float = 30.0, rate: float =
                          chaos_events_out: Optional[str] = None,
                          replicas: int = 0,
                          replica_ship_interval: float = 0.0,
-                         replica_max_lag: float = 30.0) -> Dict[str, Any]:
+                         replica_max_lag: float = 30.0,
+                         wire_codec: Optional[str] = None,
+                         include_fingerprints: bool = False) -> Dict[str, Any]:
     """Drive open-loop multi-tenant traffic through the gateway; returns metrics.
 
     The engine behind the ``gateway-loadtest`` subcommand (also importable
@@ -230,6 +232,15 @@ def run_gateway_loadtest(tenants: int = 8, duration: float = 30.0, rate: float =
     staleness; ``replica_max_lag`` is the routing cutoff) while writes stay
     on the primary.  Replicas need durable peers, so without ``state_dir``
     a temporary one backs the run.
+
+    ``wire_codec`` attaches a :mod:`repro.runtime` codec to the network
+    transport's delivery boundary, round-tripping every gossiped payload
+    through encode/decode (the in-process rehearsal of a real wire; adds
+    ``wire_messages``/``wire_bytes`` to the transport stats).
+    ``include_fingerprints`` adds the system's per-peer per-table state
+    fingerprints to the result — the oracle the gateway-fleet bench uses
+    to prove loopback placement is byte-identical to this single-process
+    run.
     """
     import asyncio
     import dataclasses
@@ -257,7 +268,8 @@ def run_gateway_loadtest(tenants: int = 8, duration: float = 30.0, rate: float =
                 latency_target=latency_target, chaos=chaos,
                 chaos_events_out=chaos_events_out, replicas=replicas,
                 replica_ship_interval=replica_ship_interval,
-                replica_max_lag=replica_max_lag)
+                replica_max_lag=replica_max_lag, wire_codec=wire_codec,
+                include_fingerprints=include_fingerprints)
     config = SystemConfig.private_chain(interval)
     if replicas > 0:
         config = dataclasses.replace(
@@ -268,6 +280,8 @@ def run_gateway_loadtest(tenants: int = 8, duration: float = 30.0, rate: float =
                                           max_lag=replica_max_lag))
     system = build_topology_system(TopologySpec(patients=tenants, researchers=0, seed=seed),
                                    config)
+    if wire_codec is not None:
+        system.simulator.transport.configure_wire_codec(wire_codec)
     tracer = Tracer(system.simulator.clock) if (trace or trace_out) else None
     injector = None
     if chaos is not None:
@@ -330,6 +344,8 @@ def run_gateway_loadtest(tenants: int = 8, duration: float = 30.0, rate: float =
         "write_throughput": (writes / elapsed) if elapsed > 0 else 0.0,
         "metrics": metrics,
     }
+    if include_fingerprints:
+        result["fingerprints"] = system.state_fingerprints()
     if tracer is not None:
         result["trace"] = TraceAnalyzer.from_tracer(tracer).to_dict()
         result["trace"]["tracer"] = tracer.statistics()
@@ -349,6 +365,56 @@ def run_gateway_loadtest(tenants: int = 8, duration: float = 30.0, rate: float =
             result["chaos"]["events_path"] = str(chaos_events_out)
             result["chaos"]["events_written"] = injector.write_events(
                 chaos_events_out)
+    return result
+
+
+def run_gateway_fleet(processes: int, tenants: int = 8, duration: float = 30.0,
+                      rate: float = 1.0, read_fraction: float = 0.5,
+                      interval: float = 2.0, batch_size: int = 16,
+                      seed: int = 23, transport: str = "sync",
+                      mode: str = "multiprocess",
+                      wire_codec: Optional[str] = None,
+                      state_dir: Optional[str] = None,
+                      fsync_policy: Optional[str] = None,
+                      include_fingerprints: bool = False,
+                      timeout: float = 300.0) -> Dict[str, Any]:
+    """Run the gateway load test as a worker fleet; returns aggregated metrics.
+
+    The engine behind ``gateway-loadtest --processes N``: the tenant
+    population is dealt round-robin into ``processes`` worker slices (seeds
+    ``seed + index``), each slice runs :func:`run_gateway_loadtest` behind a
+    :mod:`repro.runtime` transport, and the coordinator merges results,
+    simulated clocks and (optionally) state fingerprints.  ``mode`` picks
+    the placement: ``multiprocess`` forks real worker processes (socketpair
+    framing, genuinely parallel commits), ``loopback`` runs the same
+    protocol over in-process queues (deterministic, byte-identical to the
+    sequential runs).  ``wire_codec`` selects the fleet's wire encoding and
+    is also handed to each worker's network transport.
+
+    With ``state_dir`` each worker journals responses under its own
+    ``<state_dir>/<worker-name>`` subdirectory, so a crashed worker's WAL
+    recovers independently of its siblings.
+    """
+    import dataclasses as _dataclasses
+    import os as _os
+
+    from repro.runtime import GatewayFleet, partition_tenants
+
+    specs = partition_tenants(
+        tenants, processes, base_seed=seed, duration=duration, rate=rate,
+        read_fraction=read_fraction, interval=interval, batch_size=batch_size,
+        transport=transport, fsync_policy=fsync_policy, wire_codec=wire_codec,
+        include_fingerprints=include_fingerprints)
+    if state_dir is not None:
+        specs = [_dataclasses.replace(spec,
+                                      state_dir=_os.path.join(state_dir, spec.name))
+                 for spec in specs]
+    fleet = GatewayFleet(specs, mode=mode, wire_codec=wire_codec,
+                         timeout=timeout)
+    result = fleet.run().to_dict()
+    result["processes"] = processes
+    result["tenants"] = tenants
+    result["wire_codec"] = wire_codec
     return result
 
 
@@ -584,6 +650,8 @@ def _cmd_chaos_soak(args: argparse.Namespace) -> int:
 
 
 def _cmd_gateway_loadtest(args: argparse.Namespace) -> int:
+    if args.processes > 1:
+        return _cmd_gateway_fleet(args)
     try:
         result = run_gateway_loadtest(
             tenants=args.tenants, duration=args.duration, rate=args.rate,
@@ -596,7 +664,8 @@ def _cmd_gateway_loadtest(args: argparse.Namespace) -> int:
             latency_target=args.latency_target, chaos=args.chaos,
             chaos_events_out=args.chaos_events_out, replicas=args.replicas,
             replica_ship_interval=args.replica_ship_interval,
-            replica_max_lag=args.replica_max_lag)
+            replica_max_lag=args.replica_max_lag,
+            wire_codec=args.wire_codec)
     except (ValueError, ChaosError, OSError) as exc:
         print(f"gateway-loadtest: {exc}", file=sys.stderr)
         return 2
@@ -673,6 +742,61 @@ def _cmd_gateway_loadtest(args: argparse.Namespace) -> int:
         if "export_path" in result["trace"]:
             print(f"\nexported {result['trace']['exported_spans']} spans to "
                   f"{result['trace']['export_path']}")
+    return 0
+
+
+def _cmd_gateway_fleet(args: argparse.Namespace) -> int:
+    """The ``--processes N`` (N>1) branch of ``gateway-loadtest``."""
+    from repro.errors import FleetError, WorkerCrashError
+
+    try:
+        result = run_gateway_fleet(
+            processes=args.processes, tenants=args.tenants,
+            duration=args.duration, rate=args.rate,
+            read_fraction=args.read_fraction, interval=args.interval,
+            batch_size=args.batch_size, seed=args.seed,
+            transport=args.transport, mode=args.fleet_mode,
+            wire_codec=args.wire_codec, state_dir=args.state_dir,
+            fsync_policy=args.fsync_policy)
+    except (ValueError, FleetError, WorkerCrashError, OSError) as exc:
+        print(f"gateway-loadtest: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        _emit_json(result)
+        return 0
+    rows = [
+        ("placement", result["mode"]),
+        ("worker processes", result["processes"]),
+        ("tenants (total)", result["tenants"]),
+        ("wire codec", result["wire_codec"] or "none (loopback objects)"),
+        ("wall seconds", round(result["wall_seconds"], 3)),
+        ("writes committed (all workers)", result["committed_writes"]),
+        ("aggregate throughput (writes/s wall)",
+         round(result["aggregate_throughput"], 2)),
+        ("merged simulated clock (s)", round(result["clock"]["merged_now"], 2)),
+    ]
+    print(format_table(("metric", "value"), rows, title="Gateway fleet"))
+    worker_rows = []
+    for name in sorted(result["workers"]):
+        worker = result["workers"][name]
+        metrics = worker["metrics"]
+        worker_rows.append((
+            name, worker["tenants"],
+            metrics["batches"]["writes_committed"],
+            round(worker["write_throughput"], 3),
+            round(worker["wall_seconds"], 3),
+        ))
+    print()
+    print(format_table(
+        ("worker", "tenants", "writes", "sim throughput (1/s)", "wall (s)"),
+        worker_rows, title="Per-worker slices"))
+    if result["crashes"]:
+        print()
+        print(format_table(("worker", "exitcode", "state dir"),
+                           [(crash["worker"], crash["exitcode"],
+                             crash["state_dir"] or "-")
+                            for crash in result["crashes"]],
+                           title="Crashed workers"))
     return 0
 
 
@@ -891,6 +1015,24 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="SECONDS",
                           help="bounded-staleness routing cutoff: replicas "
                                "lagging more than this fall back to the primary")
+    loadtest.add_argument("--processes", type=int, default=1,
+                          help="run as a worker fleet: partition the tenants "
+                               "across this many worker processes, each a "
+                               "full gateway pipeline behind the runtime "
+                               "message boundary (1 = classic single-process "
+                               "run)")
+    loadtest.add_argument("--fleet-mode", choices=("multiprocess", "loopback"),
+                          default="multiprocess",
+                          help="fleet placement: forked worker processes "
+                               "(parallel commits) or in-process loopback "
+                               "threads (deterministic rehearsal of the "
+                               "same protocol)")
+    loadtest.add_argument("--wire-codec", choices=("canonical-json", "binary"),
+                          default=None,
+                          help="wire codec for the runtime boundary: fleet "
+                               "framing and the gossip transport's "
+                               "encode/decode rehearsal (default: no "
+                               "re-encoding)")
 
     soak = add_command(
         "chaos-soak", "run a seeded fault plan against its fault-free "

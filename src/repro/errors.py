@@ -221,6 +221,56 @@ class CircuitOpenError(GatewayError):
 
 
 # ---------------------------------------------------------------------------
+# Runtime (message-passing boundary, wire codecs, process fleet)
+# ---------------------------------------------------------------------------
+
+class RuntimeBoundaryError(ReproError):
+    """Base class for errors raised by :mod:`repro.runtime`."""
+
+
+class CodecError(RuntimeBoundaryError):
+    """A wire codec could not encode or decode a payload.
+
+    Raised for values outside the deterministic wire model (unsupported
+    types, non-string mapping keys) and for malformed byte streams
+    (unknown tags, truncated frames, trailing garbage).
+    """
+
+
+class EnvelopeError(RuntimeBoundaryError):
+    """An envelope violated the message discipline (bad kind, missing
+    sequence, wrong schema version)."""
+
+
+class FleetError(RuntimeBoundaryError):
+    """Base class for multi-process fleet failures."""
+
+
+class FleetProtocolError(FleetError):
+    """A worker and the coordinator disagreed on the request/reply protocol
+    (out-of-sequence reply, unexpected kind, undecodable frame)."""
+
+
+class WorkerCrashError(FleetError):
+    """A worker process died before delivering its reply.
+
+    Carries enough context (worker name, exit code) for the coordinator to
+    decide between failing the run and recovering the worker's durable
+    state through the WAL path.
+    """
+
+    def __init__(self, worker: str, exitcode: "int | None" = None,
+                 message: "str | None" = None) -> None:
+        self.worker = worker
+        self.exitcode = exitcode
+        detail = message or (
+            f"worker {worker!r} exited with code {exitcode!r} "
+            "before replying"
+        )
+        super().__init__(detail)
+
+
+# ---------------------------------------------------------------------------
 # Chaos (deterministic fault injection)
 # ---------------------------------------------------------------------------
 

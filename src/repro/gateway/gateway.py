@@ -51,7 +51,7 @@ import json
 import pathlib
 import threading
 import time
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.chaos import NULL_INJECTOR, STATE_CLOSED, BreakerBoard, Retrier
 from repro.core.system import MedicalDataSharingSystem
@@ -356,6 +356,11 @@ class SharingGateway:
         self._enqueue_listeners: List[Callable[[int], None]] = []
         self._lock = threading.RLock()
         self._commit_lock = threading.RLock()
+        #: Per-lane commit-pump stats, keyed by lane ("all" for unfiltered
+        #: commits, "0"/"1"/... for lane-pure pumps).  Updated under
+        #: ``_lock`` inside commit_once; surfaced in
+        #: ``metrics()["transport"]["pumps"]``.
+        self._pump_stats: Dict[str, Dict[str, Any]] = {}
         # Durability: terminal responses are journaled to an on-disk WAL
         # (before terminal listeners fire), so a restarted gateway answers
         # old request-id lookups and in-memory responses can be evicted
@@ -928,7 +933,8 @@ class SharingGateway:
         """Batch commits currently running their consensus rounds (0 or 1)."""
         return self._commits_in_flight.value
 
-    def commit_once(self, trigger: Optional[str] = None) -> Optional[BatchCommitResult]:
+    def commit_once(self, trigger: Optional[str] = None,
+                    shard: Optional[int] = None) -> Optional[BatchCommitResult]:
         """Plan and commit one batch; None when the queue is empty.
 
         A failure inside the commit never strands queued responses: every
@@ -940,19 +946,41 @@ class SharingGateway:
 
         ``trigger`` labels the commit's trace span with what sealed the
         batch (the async pump's depth/deadline/idle/flush, or "worker").
+
+        ``shard`` makes the commit *lane-pure*: only writes whose table
+        routes to that consensus shard are planned (per-shard pumps each
+        drive their own lane; writes for other lanes stay queued for their
+        own pump).  Commits still serialise on the commit lock — the
+        chain's block sequence is global — but each lane plans, seals and
+        reports independently; ``metrics()["transport"]["pumps"]`` shows
+        the per-lane pump activity.
         """
+        pump_key = "all" if shard is None else str(shard)
+        router = self.system.simulator.router if shard is not None else None
         with self._commit_lock:
             with self.tracer.span("gateway.commit") as span:
                 if trigger is not None:
                     span.annotate(trigger=trigger)
+                if shard is not None:
+                    span.annotate(shard=shard)
                 with self._lock:
                     with self.tracer.span("scheduler.plan") as plan_span:
-                        plan = self.scheduler.plan()
+                        plan = self.scheduler.plan(shard=shard, router=router)
                         plan_span.annotate(groups=len(plan.groups),
                                            size=plan.size)
+                    pump = self._pump_stats.setdefault(pump_key, {
+                        "commits": 0, "writes": 0, "empty_plans": 0,
+                        "deferred": 0, "triggers": {}})
+                    if trigger is not None:
+                        pump["triggers"][trigger] = (
+                            pump["triggers"].get(trigger, 0) + 1)
                     if plan.is_empty:
+                        pump["empty_plans"] += 1
                         span.annotate(empty=True)
                         return None
+                    pump["commits"] += 1
+                    pump["writes"] += plan.size
+                    pump["deferred"] += plan.deferred
                     self._commits_in_flight.increment()
                     # Batches get their own trace id; the member request ids
                     # stitch each write's admission trace to the batch's
@@ -1181,6 +1209,10 @@ class SharingGateway:
                     "commits_in_flight_peak": self._commits_in_flight.peak,
                     "admitted_during_commit": self.admitted_during_commit,
                     "outstanding_writes_peak": self._outstanding.peak,
+                    "pumps": {key: {**stats,
+                                    "triggers": dict(sorted(
+                                        stats["triggers"].items()))}
+                              for key, stats in sorted(self._pump_stats.items())},
                 },
                 "batches": {
                     "committed": batches,

@@ -213,7 +213,8 @@ class WriteScheduler:
 
     # ---------------------------------------------------------------- planning
 
-    def plan(self, limit: Optional[int] = None) -> BatchPlan:
+    def plan(self, limit: Optional[int] = None, shard: Optional[int] = None,
+             router=None) -> BatchPlan:
         """Dequeue up to ``limit`` compatible writes and group them.
 
         The queue is scanned oldest-first; a write that conflicts with the
@@ -221,8 +222,18 @@ class WriteScheduler:
         the same shared table, another operation kind, same row key already
         edited, or a full group) stays queued for the next batch — that
         deferral is exactly what serialises same-key writes.
+
+        With ``shard``/``router`` the plan is *lane-pure*: only writes whose
+        table routes to that consensus shard are eligible; the rest stay
+        queued, untouched, for their own lane's pump.  Lane filtering is
+        order-safe because every table maps to exactly one lane and all of
+        the serialisation machinery (claimed row keys, deferred peer-table
+        pairs) is per-table — two writes that must stay ordered always land
+        in the same lane's plans.
         """
         limit = self.max_batch_size if limit is None else min(limit, self.max_batch_size)
+        if shard is not None and router is None:
+            raise ValueError("lane-filtered planning needs the shard router")
         plan = BatchPlan()
         group_of_table: Dict[str, int] = {}
         states: List[_GroupState] = []
@@ -232,10 +243,18 @@ class WriteScheduler:
         #: tenant's writes on one shared table commit in submission order.
         deferred_peer_tables = set()
         kept: List[PendingWrite] = []
-        while self._queue and plan.size < limit:
+        scanned = 0
+        queue_size = len(self._queue)
+        while self._queue and scanned < queue_size and plan.size < limit:
             pending = self._queue.popleft()
+            scanned += 1
             self._count_down(pending)
             metadata_id = pending.request.metadata_id
+            if shard is not None and router.shard_of(metadata_id) != shard:
+                # Another lane's write: skip without claiming keys or
+                # deferring — this scan must not affect its ordering state.
+                kept.append(pending)
+                continue
             edit = pending.to_edit()
             conflict = pending.conflict_key()
             columns = pending.column_set()

@@ -29,11 +29,23 @@ class GatewayWorkerPool:
     """N worker threads calling :meth:`SharingGateway.commit_once` in a loop."""
 
     def __init__(self, gateway: SharingGateway, workers: int = 2,
-                 idle_sleep: float = 0.001):
+                 idle_sleep: float = 0.001, per_shard: bool = False):
         if workers < 1:
             raise ValueError("the pool needs at least one worker")
         self.gateway = gateway
-        self.worker_count = workers
+        #: ``per_shard`` pins one worker to each consensus lane: worker *i*
+        #: plans lane-pure batches for shard *i* (``commit_once(shard=i)``),
+        #: so every lane has a dedicated pump and no lane can starve behind
+        #: another's backlog.  The ``workers`` count is then derived from
+        #: the router instead of the argument.
+        self.per_shard = per_shard
+        if per_shard:
+            router = gateway.system.simulator.router
+            self._lanes: List[Optional[int]] = list(range(router.num_shards))
+            self.worker_count = len(self._lanes)
+        else:
+            self._lanes = [None] * workers
+            self.worker_count = workers
         if idle_sleep <= 0:
             raise ValueError("idle_sleep must be positive")
         #: Idle workers block on the enqueue event; this only sets the
@@ -68,7 +80,9 @@ class GatewayWorkerPool:
             self._subscribed = True
         self._stop.clear()
         for index in range(self.worker_count):
-            thread = threading.Thread(target=self._run, name=f"gateway-worker-{index}",
+            lane = self._lanes[index]
+            suffix = f"gateway-worker-{index}" if lane is None else f"gateway-pump-shard-{lane}"
+            thread = threading.Thread(target=self._run, args=(lane,), name=suffix,
                                       daemon=True)
             self._threads.append(thread)
             thread.start()
@@ -94,10 +108,17 @@ class GatewayWorkerPool:
 
     # -------------------------------------------------------------------- work
 
-    def _run(self) -> None:
+    def _lane_depth(self, lane: Optional[int]) -> int:
+        if lane is None:
+            return self.gateway.queue_depth
+        router = self.gateway.system.simulator.router
+        depths = self.gateway.scheduler.queue_depth_by_shard(router)
+        return depths.get(lane, 0)
+
+    def _run(self, lane: Optional[int] = None) -> None:
         while True:
             try:
-                result = self.gateway.commit_once(trigger="worker")
+                result = self.gateway.commit_once(trigger="worker", shard=lane)
             except Exception as exc:  # noqa: BLE001 - a worker must survive
                 with self._counter_lock:
                     self.errors.append(f"{type(exc).__name__}: {exc}")
@@ -109,9 +130,11 @@ class GatewayWorkerPool:
             if self._stop.is_set():
                 return
             # Clear-then-check-then-wait: an enqueue between the check and
-            # the wait re-sets the event, so no wakeup is ever lost.
+            # the wait re-sets the event, so no wakeup is ever lost.  A lane
+            # worker checks only its own lane's depth — re-spinning on another
+            # lane's backlog would busy-loop on empty plans.
             self._work_available.clear()
-            if self.gateway.queue_depth > 0 or self._stop.is_set():
+            if self._lane_depth(lane) > 0 or self._stop.is_set():
                 continue
             self._work_available.wait(timeout=max(self.idle_sleep, 0.1))
 

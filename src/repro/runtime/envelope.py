@@ -1,0 +1,116 @@
+"""Typed envelopes with the WAL's sequence discipline.
+
+Every message crossing the runtime boundary is an :class:`Envelope`: a
+``kind`` naming the protocol verb, a JSON-model ``payload``, the logical
+``sender``, the simulated-time ``sent_at``, and a per-channel monotonically
+increasing ``sequence``.  The sequence rule mirrors the WAL's: receivers
+reject gaps and reordering instead of silently accepting them, which is
+what makes a crashed worker distinguishable from a slow one.
+
+:class:`EnvelopeChannel` is the stateful half: it stamps outgoing
+sequences and verifies incoming ones, one instance per directed
+(sender → receiver) stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.errors import EnvelopeError
+
+__all__ = ["Envelope", "EnvelopeChannel", "ENVELOPE_SCHEMA_VERSION"]
+
+#: Bumped whenever the wire shape of an envelope changes incompatibly.
+ENVELOPE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One typed message on a runtime channel."""
+
+    kind: str
+    payload: Any
+    sender: str
+    sequence: int
+    sent_at: float = 0.0
+    version: int = ENVELOPE_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if not self.kind or not isinstance(self.kind, str):
+            raise EnvelopeError("envelope kind must be a non-empty string")
+        if self.sequence < 0:
+            raise EnvelopeError("envelope sequence must be non-negative")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "payload": self.payload,
+            "sender": self.sender,
+            "sequence": self.sequence,
+            "sent_at": self.sent_at,
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Envelope":
+        try:
+            version = data["version"]
+            if version != ENVELOPE_SCHEMA_VERSION:
+                raise EnvelopeError(
+                    f"unsupported envelope version {version!r} "
+                    f"(expected {ENVELOPE_SCHEMA_VERSION})"
+                )
+            return cls(
+                kind=data["kind"],
+                payload=data["payload"],
+                sender=data["sender"],
+                sequence=data["sequence"],
+                sent_at=data.get("sent_at", 0.0),
+                version=version,
+            )
+        except KeyError as exc:
+            raise EnvelopeError(f"envelope missing field {exc.args[0]!r}") from exc
+
+
+class EnvelopeChannel:
+    """Sequence discipline for one directed envelope stream.
+
+    The sender side calls :meth:`stamp` to mint envelopes with consecutive
+    sequences; the receiver side calls :meth:`accept` to verify them.  A
+    gap or replay raises :class:`EnvelopeError` — the transport layer
+    treats that as a protocol failure, not data.
+    """
+
+    def __init__(self, sender: str) -> None:
+        self.sender = sender
+        self._next_out = 0
+        self._next_in = 0
+
+    def stamp(self, kind: str, payload: Any, sent_at: float = 0.0) -> Envelope:
+        envelope = Envelope(
+            kind=kind,
+            payload=payload,
+            sender=self.sender,
+            sequence=self._next_out,
+            sent_at=sent_at,
+        )
+        self._next_out += 1
+        return envelope
+
+    def accept(self, envelope: Envelope) -> Envelope:
+        if envelope.sequence != self._next_in:
+            raise EnvelopeError(
+                f"sequence gap on channel from {envelope.sender!r}: "
+                f"expected {self._next_in}, got {envelope.sequence}"
+            )
+        self._next_in += 1
+        return envelope
+
+    @property
+    def sent(self) -> int:
+        return self._next_out
+
+    @property
+    def received(self) -> int:
+        return self._next_in

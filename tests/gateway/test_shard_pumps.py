@@ -1,0 +1,220 @@
+"""Per-shard commit pumps: lane-pure planning, pump stats, both transports."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.gateway import (
+    GatewayWorkerPool,
+    SharingGateway,
+    STATUS_OK,
+    UpdateEntryRequest,
+)
+from repro.gateway.aio import AsyncSharingGateway
+from repro.workloads.topology import TopologySpec, build_topology_system
+
+
+def _build_system(shards: int, patients: int = 4):
+    config = SystemConfig.private_chain(1.0, consensus_shards=shards)
+    return build_topology_system(
+        TopologySpec(patients=patients, researchers=0), config)
+
+
+def _submit_all(gateway, session, tables, rounds: int, tag: str):
+    responses = []
+    for round_number in range(rounds):
+        for metadata_id in tables:
+            patient_id = int(metadata_id.split(":")[1])
+            responses.append(gateway.submit(session, UpdateEntryRequest(
+                metadata_id=metadata_id, key=(patient_id,),
+                updates={"clinical_data": f"{tag}-{round_number}",
+                         "dosage": f"{tag}-{round_number}"})))
+    return responses
+
+
+class TestLaneFilteredPlanning:
+    def test_plan_keeps_other_lanes_queued(self):
+        system = _build_system(shards=3)
+        gateway = SharingGateway(system, max_batch_size=16)
+        doctor = gateway.open_session("doctor")
+        tables = sorted(system.agreement_ids)
+        router = system.simulator.router
+        _submit_all(gateway, doctor, tables, rounds=1, tag="lane")
+        depth_before = gateway.queue_depth
+
+        lanes = {router.shard_of(metadata_id) for metadata_id in tables}
+        target = sorted(lanes)[0]
+        plan = gateway.scheduler.plan(shard=target, router=router)
+        assert plan.size > 0
+        assert all(router.shard_of(write.request.metadata_id) == target
+                   for member in plan.members for write in member)
+        # Other lanes' writes were skipped, not consumed.
+        assert gateway.queue_depth == depth_before - plan.size
+
+    def test_shard_without_router_rejected(self):
+        system = _build_system(shards=2)
+        gateway = SharingGateway(system)
+        with pytest.raises(ValueError, match="router"):
+            gateway.scheduler.plan(shard=1)
+
+    def test_lane_commits_cover_all_writes(self):
+        """Draining lane by lane commits exactly the same writes a global
+        drain would — no write is lost to the filter."""
+        system = _build_system(shards=3)
+        gateway = SharingGateway(system, max_batch_size=4)
+        doctor = gateway.open_session("doctor")
+        tables = sorted(system.agreement_ids)
+        responses = _submit_all(gateway, doctor, tables, rounds=3, tag="cover")
+        router = system.simulator.router
+        for _ in range(100):
+            if gateway.queue_depth == 0:
+                break
+            for lane in range(router.num_shards):
+                gateway.commit_once(trigger="test", shard=lane)
+        assert gateway.queue_depth == 0
+        assert all(response.status == STATUS_OK for response in responses)
+
+
+class TestPumpStats:
+    def test_unfiltered_commits_use_the_all_key(self):
+        system = _build_system(shards=1)
+        gateway = SharingGateway(system, max_batch_size=4)
+        doctor = gateway.open_session("doctor")
+        tables = sorted(system.agreement_ids)
+        _submit_all(gateway, doctor, tables, rounds=1, tag="stats")
+        gateway.drain()
+        pumps = gateway.metrics()["transport"]["pumps"]
+        assert set(pumps) == {"all"}
+        assert pumps["all"]["commits"] >= 1
+        assert pumps["all"]["writes"] == len(tables)
+
+    def test_per_lane_keys_and_trigger_counts(self):
+        system = _build_system(shards=3)
+        gateway = SharingGateway(system, max_batch_size=8)
+        doctor = gateway.open_session("doctor")
+        tables = sorted(system.agreement_ids)
+        _submit_all(gateway, doctor, tables, rounds=2, tag="lane-stats")
+        router = system.simulator.router
+        busy_lanes = {str(router.shard_of(m)) for m in tables}
+        for lane in range(router.num_shards):
+            while gateway.commit_once(trigger="pump-test", shard=lane):
+                pass
+        pumps = gateway.metrics()["transport"]["pumps"]
+        assert busy_lanes <= set(pumps)
+        committed = {lane for lane, stats in pumps.items()
+                     if stats["commits"] > 0}
+        assert committed == busy_lanes
+        total_writes = sum(stats["writes"] for stats in pumps.values())
+        assert total_writes == len(tables) * 2
+        for stats in pumps.values():
+            assert set(stats) == {"commits", "writes", "empty_plans",
+                                  "deferred", "triggers"}
+            assert sum(stats["triggers"].values()) >= stats["commits"]
+
+
+class TestPerShardWorkerPool:
+    def test_one_worker_per_lane_drains_everything(self):
+        system = _build_system(shards=3)
+        gateway = SharingGateway(system, max_batch_size=4)
+        doctor = gateway.open_session("doctor")
+        tables = sorted(system.agreement_ids)
+        with GatewayWorkerPool(gateway, per_shard=True) as pool:
+            assert pool.worker_count == system.simulator.router.num_shards
+            responses = _submit_all(gateway, doctor, tables, rounds=4,
+                                    tag="pool")
+            assert pool.join_idle(timeout=60.0)
+            assert not pool.errors, pool.errors
+        assert all(response.status == STATUS_OK for response in responses)
+        pumps = gateway.metrics()["transport"]["pumps"]
+        router = system.simulator.router
+        busy_lanes = {str(router.shard_of(m)) for m in tables}
+        assert {lane for lane, stats in pumps.items()
+                if stats["commits"] > 0} == busy_lanes
+
+    def test_classic_pool_unchanged(self):
+        system = _build_system(shards=1, patients=2)
+        gateway = SharingGateway(system, max_batch_size=4)
+        doctor = gateway.open_session("doctor")
+        tables = sorted(system.agreement_ids)
+        with GatewayWorkerPool(gateway, workers=2) as pool:
+            responses = _submit_all(gateway, doctor, tables, rounds=3,
+                                    tag="classic")
+            assert pool.join_idle(timeout=60.0)
+        assert all(response.status == STATUS_OK for response in responses)
+        assert set(gateway.metrics()["transport"]["pumps"]) == {"all"}
+
+
+class TestPerShardAsyncPumps:
+    def test_per_lane_pumps_seal_their_own_lanes(self):
+        async def run():
+            system = _build_system(shards=3)
+            agw = AsyncSharingGateway(system, seal_depth=4, per_shard=True,
+                                      max_batch_size=4)
+            tables = sorted(system.agreement_ids)
+            router = system.simulator.router
+            async with agw:
+                doctor = agw.open_session("doctor")
+                futures = []
+                for round_number in range(4):
+                    for metadata_id in tables:
+                        patient_id = int(metadata_id.split(":")[1])
+                        futures.append(agw.submit_nowait(
+                            doctor, UpdateEntryRequest(
+                                metadata_id=metadata_id, key=(patient_id,),
+                                updates={"clinical_data": f"a-{round_number}",
+                                         "dosage": f"a-{round_number}"})))
+                responses = await asyncio.gather(*futures)
+                await agw.drain()
+            assert all(r.status == STATUS_OK for r in responses)
+            assert not agw.commit_errors, agw.commit_errors
+            stats = agw.statistics()
+            assert stats["per_shard"] is True
+            busy_lanes = {str(router.shard_of(m)) for m in tables}
+            assert set(stats["sealed_by_lane"]) <= busy_lanes
+            assert sum(count
+                       for lane in stats["sealed_by_lane"].values()
+                       for count in lane.values()) == agw.commits
+            assert agw.commits > 0
+
+        asyncio.run(run())
+
+    def test_single_shard_per_shard_degenerates_to_one_pump(self):
+        async def run():
+            system = _build_system(shards=1, patients=2)
+            agw = AsyncSharingGateway(system, seal_depth=4, per_shard=True,
+                                      max_batch_size=4)
+            async with agw:
+                assert len(agw._pump_tasks) == 1
+                doctor = agw.open_session("doctor")
+                tables = sorted(system.agreement_ids)
+                futures = []
+                for metadata_id in tables:
+                    patient_id = int(metadata_id.split(":")[1])
+                    futures.append(agw.submit_nowait(
+                        doctor, UpdateEntryRequest(
+                            metadata_id=metadata_id, key=(patient_id,),
+                            updates={"clinical_data": "single",
+                                     "dosage": "single"})))
+                responses = await asyncio.gather(*futures)
+                await agw.drain()
+            assert all(r.status == STATUS_OK for r in responses)
+            stats = agw.statistics()
+            assert stats["per_shard"] is True
+            assert set(stats["sealed_by_lane"]) <= {"all"}
+
+        asyncio.run(run())
+
+    def test_classic_async_stats_have_no_lane_keys(self):
+        async def run():
+            system = _build_system(shards=1, patients=2)
+            agw = AsyncSharingGateway(system, seal_depth=2, max_batch_size=4)
+            async with agw:
+                await agw.drain()
+            stats = agw.statistics()
+            assert "per_shard" not in stats
+            assert "sealed_by_lane" not in stats
+
+        asyncio.run(run())

@@ -51,8 +51,8 @@ class RecordingScheduler(WriteScheduler):
         super().__init__(*args, **kwargs)
         self.plans = []
 
-    def plan(self, limit=None):
-        produced = super().plan(limit)
+    def plan(self, limit=None, **kwargs):
+        produced = super().plan(limit, **kwargs)
         if not produced.is_empty:
             self.plans.append(produced)
         return produced

@@ -1,0 +1,194 @@
+"""The WAL backend behind a pluggable wire codec: binary segments.
+
+``JsonlWalBackend(codec="binary")`` swaps JSONL lines for length-prefixed
+frames of the binary codec's bytes (``wal-*.walb``) behind the unchanged
+backend API.  These tests pin the properties the swap must preserve —
+round trip, rotation, torn-tail repair, truncation covering — plus the
+properties it adds: framed repair semantics and the mixed-format refusal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WalCorruptionError
+from repro.relational.durability import (
+    JsonlWalBackend,
+    open_durable_database,
+    recover,
+)
+from repro.relational.schema import Schema
+from repro.relational.wal import WalEntry
+
+
+def _entry(sequence: int, tag: str = "x") -> WalEntry:
+    return WalEntry(sequence=sequence, operation="response", table="responses",
+                    payload={"tag": tag, "sequence": sequence,
+                             "nested": {"ok": True, "values": [1, 2.5, None]}})
+
+
+def _backend(tmp_path, **kwargs) -> JsonlWalBackend:
+    kwargs.setdefault("codec", "binary")
+    return JsonlWalBackend(tmp_path / "wal", **kwargs)
+
+
+class TestBinarySegments:
+    def test_round_trip_and_suffix(self, tmp_path):
+        backend = _backend(tmp_path)
+        originals = [_entry(sequence) for sequence in range(1, 21)]
+        for entry in originals:
+            backend.append(entry)
+        backend.sync()
+        assert all(path.suffix == ".walb" for path in backend.segment_paths())
+        entries, torn = backend.read_entries()
+        assert torn == 0
+        assert [e.to_dict() for e in entries] == [e.to_dict() for e in originals]
+        assert backend.statistics()["codec"] == "binary"
+        backend.close()
+
+    def test_rotation_and_reopen(self, tmp_path):
+        backend = _backend(tmp_path, segment_max_bytes=200)
+        for sequence in range(1, 21):
+            backend.append(_entry(sequence))
+        backend.sync()
+        assert len(backend.segment_paths()) > 1
+        assert backend.rotations > 0
+        backend.close()
+
+        reopened = _backend(tmp_path)
+        entries, torn = reopened.read_entries()
+        assert [e.sequence for e in entries] == list(range(1, 21))
+        assert torn == 0
+        reopened.close()
+
+    def test_read_since_cursor(self, tmp_path):
+        backend = _backend(tmp_path, segment_max_bytes=200)
+        for sequence in range(1, 21):
+            backend.append(_entry(sequence))
+        backend.sync()
+        entries, _ = backend.read_entries(since=15)
+        assert [e.sequence for e in entries] == [16, 17, 18, 19, 20]
+        backend.close()
+
+    def test_truncate_covering_rule(self, tmp_path):
+        backend = _backend(tmp_path, segment_max_bytes=200)
+        for sequence in range(1, 21):
+            backend.append(_entry(sequence))
+        backend.sync()
+        removed = backend.truncate(10)
+        assert removed >= 1
+        entries, _ = backend.read_entries(since=10)
+        assert [e.sequence for e in entries] == list(range(11, 21))
+        assert backend.covers(10)
+        backend.close()
+
+
+class TestTornTailRepair:
+    def test_partial_frame_is_amputated_on_reopen(self, tmp_path):
+        backend = _backend(tmp_path)
+        for sequence in range(1, 6):
+            backend.append(_entry(sequence))
+        backend.sync()
+        backend.close()
+        segment = sorted((tmp_path / "wal").glob("wal-*.walb"))[-1]
+        with open(segment, "ab") as handle:
+            handle.write((500).to_bytes(4, "big") + b"only-a-few-bytes")
+
+        reopened = _backend(tmp_path)
+        assert reopened.torn_lines_repaired == 1
+        entries, torn = reopened.read_entries()
+        assert [e.sequence for e in entries] == [1, 2, 3, 4, 5]
+        assert torn == 0
+        # The repaired log appends cleanly past the amputation.
+        reopened.append(_entry(6))
+        reopened.sync()
+        entries, _ = reopened.read_entries()
+        assert [e.sequence for e in entries] == [1, 2, 3, 4, 5, 6]
+        reopened.close()
+
+    def test_torn_header_alone_is_repaired(self, tmp_path):
+        backend = _backend(tmp_path)
+        backend.append(_entry(1))
+        backend.sync()
+        backend.close()
+        segment = sorted((tmp_path / "wal").glob("wal-*.walb"))[-1]
+        with open(segment, "ab") as handle:
+            handle.write(b"\x00\x00")  # 2 of 4 prefix bytes
+
+        reopened = _backend(tmp_path)
+        assert reopened.torn_lines_repaired == 1
+        entries, _ = reopened.read_entries()
+        assert [e.sequence for e in entries] == [1]
+        reopened.close()
+
+    def test_corrupt_complete_frame_is_corruption_not_tear(self, tmp_path):
+        """A complete frame holds exactly what its writer framed — decode
+        failure there is corruption, never a legitimate crash artefact."""
+        backend = _backend(tmp_path)
+        backend.append(_entry(1))
+        backend.sync()
+        backend.close()
+        segment = sorted((tmp_path / "wal").glob("wal-*.walb"))[-1]
+        with open(segment, "ab") as handle:
+            garbage = b"\x7f garbage bytes"
+            handle.write(len(garbage).to_bytes(4, "big") + garbage)
+
+        reopened = _backend(tmp_path)  # framing is intact: nothing to repair
+        assert reopened.torn_lines_repaired == 0
+        with pytest.raises(WalCorruptionError, match="undecodable"):
+            reopened.read_entries()
+        reopened.close()
+
+
+class TestFormatIsolation:
+    def test_jsonl_directory_refuses_binary_codec(self, tmp_path):
+        plain = JsonlWalBackend(tmp_path / "wal")
+        plain.append(_entry(1))
+        plain.sync()
+        plain.close()
+        with pytest.raises(WalCorruptionError, match="another"):
+            _backend(tmp_path)
+
+    def test_binary_directory_refuses_jsonl(self, tmp_path):
+        backend = _backend(tmp_path)
+        backend.append(_entry(1))
+        backend.sync()
+        backend.close()
+        with pytest.raises(WalCorruptionError, match="another"):
+            JsonlWalBackend(tmp_path / "wal")
+
+    def test_canonical_json_codec_keeps_legacy_format(self, tmp_path):
+        """codec='canonical-json' must stay byte-compatible with the default
+        JSONL path — same suffix, interchangeable directories."""
+        named = JsonlWalBackend(tmp_path / "wal", codec="canonical-json")
+        named.append(_entry(1))
+        named.sync()
+        assert named.codec is None  # resolved to the proven JSONL fast path
+        assert all(p.suffix == ".jsonl" for p in named.segment_paths())
+        named.close()
+        legacy = JsonlWalBackend(tmp_path / "wal")
+        entries, _ = legacy.read_entries()
+        assert [e.sequence for e in entries] == [1]
+        legacy.close()
+
+
+class TestDurableDatabaseWithCodec:
+    def test_checkpoint_recover_cycle(self, tmp_path):
+        state_dir = tmp_path / "db"
+        database = open_durable_database("clinic", state_dir, codec="binary")
+        schema = Schema.build([("id", "integer"), ("name", "string")],
+                              primary_key=["id"])
+        database.create_table("patients", schema)
+        for row_id in range(6):
+            database.insert("patients", {"id": row_id,
+                                         "name": f"patient-{row_id}"})
+        database.wal.sync()
+        fingerprint = database.table("patients").fingerprint()
+        database.wal.close()
+
+        recovery = recover(state_dir, codec="binary")
+        assert recovery.entries_replayed >= 6
+        recovered = recovery.database.table("patients")
+        assert recovered.fingerprint() == fingerprint
+        assert recovery.database.wal.backend.statistics()["codec"] == "binary"
+        recovery.database.wal.backend.close()

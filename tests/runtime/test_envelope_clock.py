@@ -1,0 +1,125 @@
+"""Envelope sequence discipline and cross-process clock coordination."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import EnvelopeError
+from repro.runtime import ClockCoordinator, Envelope, EnvelopeChannel, WorkerClock
+from repro.runtime.envelope import ENVELOPE_SCHEMA_VERSION
+
+SEEDS = range(8)
+
+
+class TestEnvelope:
+    def test_round_trip(self):
+        envelope = Envelope(kind="worker.run", payload={"tenants": 4},
+                            sender="coordinator", sequence=3, sent_at=1.5)
+        assert Envelope.from_dict(envelope.to_dict()) == envelope
+
+    def test_invalid_kind(self):
+        with pytest.raises(EnvelopeError):
+            Envelope(kind="", payload=None, sender="a", sequence=0)
+
+    def test_negative_sequence(self):
+        with pytest.raises(EnvelopeError):
+            Envelope(kind="x", payload=None, sender="a", sequence=-1)
+
+    def test_version_mismatch(self):
+        data = Envelope(kind="x", payload=None, sender="a", sequence=0).to_dict()
+        data["version"] = ENVELOPE_SCHEMA_VERSION + 1
+        with pytest.raises(EnvelopeError, match="unsupported envelope version"):
+            Envelope.from_dict(data)
+
+    def test_missing_field(self):
+        data = Envelope(kind="x", payload=None, sender="a", sequence=0).to_dict()
+        del data["sequence"]
+        with pytest.raises(EnvelopeError, match="missing field"):
+            Envelope.from_dict(data)
+
+
+class TestEnvelopeChannel:
+    def test_consecutive_sequences(self):
+        out = EnvelopeChannel("left")
+        incoming = EnvelopeChannel("left")
+        for expected in range(5):
+            envelope = out.stamp("ping", {"n": expected})
+            assert envelope.sequence == expected
+            incoming.accept(envelope)
+        assert out.sent == 5
+        assert incoming.received == 5
+
+    def test_gap_detected(self):
+        out = EnvelopeChannel("left")
+        incoming = EnvelopeChannel("left")
+        incoming.accept(out.stamp("ping", None))
+        skipped = out.stamp("ping", None)  # sequence 1, never delivered
+        assert skipped.sequence == 1
+        late = out.stamp("ping", None)
+        with pytest.raises(EnvelopeError, match="sequence gap"):
+            incoming.accept(late)
+
+    def test_replay_detected(self):
+        out = EnvelopeChannel("left")
+        incoming = EnvelopeChannel("left")
+        first = out.stamp("ping", None)
+        incoming.accept(first)
+        with pytest.raises(EnvelopeError, match="sequence gap"):
+            incoming.accept(first)
+
+
+class TestClockCoordinator:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_merge_is_order_independent(self, seed):
+        """Any interleaving of the same reports converges to the same merged
+        time and the same per-worker report map."""
+        rng = random.Random(seed)
+        reports = [(f"worker-{rng.randint(0, 3)}", round(rng.uniform(0, 100), 3))
+                   for _ in range(40)]
+        baselines = None
+        for _ in range(4):
+            shuffled = list(reports)
+            rng.shuffle(shuffled)
+            coordinator = ClockCoordinator()
+            for worker, now in shuffled:
+                coordinator.observe(worker, now)
+            state = (coordinator.now(), coordinator.reports())
+            if baselines is None:
+                baselines = state
+            assert state == baselines
+        assert baselines[0] == max(now for _, now in reports)
+        for worker, now in reports:
+            assert baselines[1][worker] >= now
+
+    def test_merged_clock_is_monotone(self):
+        coordinator = ClockCoordinator()
+        coordinator.observe("a", 10.0)
+        coordinator.observe("b", 5.0)  # lagging report cannot rewind
+        assert coordinator.now() == 10.0
+
+    def test_negative_report_rejected(self):
+        with pytest.raises(ValueError):
+            ClockCoordinator().observe("a", -1.0)
+
+    def test_seed_for_resumes_from_reported_time(self):
+        coordinator = ClockCoordinator()
+        coordinator.observe("a", 7.5)
+        coordinator.observe("b", 3.0)
+        assert coordinator.seed_for("a") == 7.5
+        assert coordinator.seed_for("b") == 3.0
+        # an unseen worker starts at the merged now
+        assert coordinator.seed_for("fresh") == coordinator.now()
+
+
+class TestWorkerClock:
+    def test_report_payload(self):
+        clock = WorkerClock(start=2.0, worker="w0")
+        clock.advance(1.5)
+        assert clock.report() == {"worker": "w0", "now": 3.5}
+
+    def test_is_a_simclock(self):
+        clock = WorkerClock()
+        clock.advance_to(9.0)
+        assert clock.now() == 9.0
