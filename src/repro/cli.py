@@ -651,6 +651,32 @@ def _cmd_chaos_soak(args: argparse.Namespace) -> int:
 
 def _cmd_gateway_loadtest(args: argparse.Namespace) -> int:
     if args.processes > 1:
+        # The fleet branch forwards only the per-worker engine knobs.  A
+        # flag it would silently drop must be an error, not a run that does
+        # not match the requested configuration.  (value, default) pairs
+        # mirror the argparse defaults above.
+        unsupported = [
+            ("--rate-limit", args.rate_limit, 0.0),
+            ("--max-delay", args.max_delay, 1.0),
+            ("--max-queue-depth", args.max_queue_depth, None),
+            ("--max-responses", args.max_responses, None),
+            ("--trace", args.trace, False),
+            ("--trace-out", args.trace_out, None),
+            ("--latency-target", args.latency_target, None),
+            ("--chaos", args.chaos, None),
+            ("--chaos-events-out", args.chaos_events_out, None),
+            ("--replicas", args.replicas, 0),
+            ("--replica-ship-interval", args.replica_ship_interval, 0.0),
+            ("--replica-max-lag", args.replica_max_lag, 30.0),
+        ]
+        rejected = [flag for flag, value, default in unsupported
+                    if value != default]
+        if rejected:
+            print("gateway-loadtest: " + ", ".join(rejected) + " "
+                  + ("is" if len(rejected) == 1 else "are")
+                  + " not supported with --processes > 1; run the fleet "
+                  "without them or drop --processes", file=sys.stderr)
+            return 2
         return _cmd_gateway_fleet(args)
     try:
         result = run_gateway_loadtest(

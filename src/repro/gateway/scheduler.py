@@ -19,6 +19,7 @@ commits, the scheduler plans a batch:
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, FrozenSet, List, Optional, Tuple
@@ -132,6 +133,13 @@ class WriteScheduler:
         #: behaviour).
         self.queue_capacity = max_queue_depth
         self._queue: Deque[PendingWrite] = deque()
+        #: Guards queue/tenant-count *iteration* against mutation.  Single
+        #: deque operations are atomic under the GIL, but per-shard pumps
+        #: read multi-item snapshots (``queue_depth_by_shard``, ``pending``,
+        #: ``queued_by_tenant``) from threads that do not hold the gateway's
+        #: admission lock — iterating while ``enqueue``/``plan`` mutate
+        #: raises ``RuntimeError: deque mutated during iteration``.
+        self._lock = threading.Lock()
         #: Live queued-write count per tenant, for fair-queueing admission.
         self._tenant_counts: Dict[str, int] = {}
         self.enqueued_total = 0
@@ -147,11 +155,12 @@ class WriteScheduler:
     # ---------------------------------------------------------------- queueing
 
     def enqueue(self, pending: PendingWrite) -> None:
-        self._queue.append(pending)
-        self._tenant_counts[pending.tenant] = (
-            self._tenant_counts.get(pending.tenant, 0) + 1)
-        self.enqueued_total += 1
-        self.max_queue_depth = max(self.max_queue_depth, len(self._queue))
+        with self._lock:
+            self._queue.append(pending)
+            self._tenant_counts[pending.tenant] = (
+                self._tenant_counts.get(pending.tenant, 0) + 1)
+            self.enqueued_total += 1
+            self.max_queue_depth = max(self.max_queue_depth, len(self._queue))
 
     def _count_down(self, pending: PendingWrite) -> None:
         remaining = self._tenant_counts.get(pending.tenant, 0) - 1
@@ -174,7 +183,8 @@ class WriteScheduler:
         return len(self._tenant_counts)
 
     def queued_by_tenant(self) -> Dict[str, int]:
-        return dict(sorted(self._tenant_counts.items()))
+        with self._lock:
+            return dict(sorted(self._tenant_counts.items()))
 
     @property
     def at_capacity(self) -> bool:
@@ -199,15 +209,20 @@ class WriteScheduler:
             return None
 
     def pending(self) -> Tuple[PendingWrite, ...]:
-        return tuple(self._queue)
+        with self._lock:
+            return tuple(self._queue)
 
     def queue_depth_by_shard(self, router) -> Dict[int, int]:
         """Queued writes per consensus shard (``router`` maps metadata ids).
 
         Empty shards are included so dashboards see the full lane picture.
+        Safe to call from lane-pump threads: the queue is snapshotted under
+        the scheduler's lock before shard routing runs on the copy.
         """
+        with self._lock:
+            snapshot = tuple(self._queue)
         depths = {shard: 0 for shard in range(router.num_shards)}
-        for pending in self._queue:
+        for pending in snapshot:
             depths[router.shard_of(pending.request.metadata_id)] += 1
         return depths
 
@@ -230,7 +245,17 @@ class WriteScheduler:
         the serialisation machinery (claimed row keys, deferred peer-table
         pairs) is per-table — two writes that must stay ordered always land
         in the same lane's plans.
+
+        The scheduler's lock is held for the whole scan (callers already
+        serialise ``plan`` against ``enqueue`` through the gateway's
+        admission lock; this additionally keeps depth snapshots from racing
+        the popleft/appendleft churn).
         """
+        with self._lock:
+            return self._plan_locked(limit=limit, shard=shard, router=router)
+
+    def _plan_locked(self, limit: Optional[int], shard: Optional[int],
+                     router) -> BatchPlan:
         limit = self.max_batch_size if limit is None else min(limit, self.max_batch_size)
         if shard is not None and router is None:
             raise ValueError("lane-filtered planning needs the shard router")

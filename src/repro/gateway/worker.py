@@ -134,7 +134,16 @@ class GatewayWorkerPool:
             # worker checks only its own lane's depth — re-spinning on another
             # lane's backlog would busy-loop on empty plans.
             self._work_available.clear()
-            if self._lane_depth(lane) > 0 or self._stop.is_set():
+            try:
+                depth = self._lane_depth(lane)
+            except Exception as exc:  # noqa: BLE001 - the pump must survive
+                # A failed depth probe must not kill the lane's only pump
+                # (queued writes would stall forever); record it and re-check
+                # through commit_once, which has its own error handling.
+                with self._counter_lock:
+                    self.errors.append(f"{type(exc).__name__}: {exc}")
+                depth = 1
+            if depth > 0 or self._stop.is_set():
                 continue
             self._work_available.wait(timeout=max(self.idle_sleep, 0.1))
 

@@ -174,8 +174,15 @@ def _install_crash_hook(crash_after_syncs: int) -> None:
     ResponseJournal.sync = crashing_sync  # type: ignore[method-assign]
 
 
-def _serve_worker(transport: Transport) -> None:
-    """The worker side of the fleet protocol: serve until shutdown."""
+def _serve_worker(transport: Transport, forked: bool = False) -> None:
+    """The worker side of the fleet protocol: serve until shutdown.
+
+    ``forked`` is True only in a forked child process
+    (:func:`_mp_worker_entry`).  The injected-crash hook is gated on it: in
+    loopback mode this function runs on a coordinator thread, where
+    ``os._exit`` would kill the whole coordinator and the class-wide
+    ``ResponseJournal.sync`` patch would leak into every in-process worker.
+    """
     while True:
         envelope = transport.receive()
         if envelope is None or envelope.kind == "worker.shutdown":
@@ -186,6 +193,14 @@ def _serve_worker(transport: Transport) -> None:
             )
         spec = WorkerSpec.from_dict(envelope.payload)
         if spec.crash_after_syncs is not None:
+            if not forked:
+                # Surface as a clean end-of-stream (-> WorkerCrashError on
+                # the coordinator side) instead of hanging the collector.
+                transport.close()
+                raise FleetProtocolError(
+                    "crash_after_syncs requires a forked worker process; "
+                    "it cannot be armed on a coordinator thread"
+                )
             _install_crash_hook(spec.crash_after_syncs)
         result = run_worker_slice(spec)
         transport.send("clock.report",
@@ -200,7 +215,7 @@ def _mp_worker_entry(name: str, sock: socket.socket, codec: Optional[str]) -> No
     """Child-process entry point (fork start method)."""
     transport = MultiprocessTransport(name, sock, codec=codec)
     try:
-        _serve_worker(transport)
+        _serve_worker(transport, forked=True)
     except FleetProtocolError:
         # The coordinator vanished; nothing to report to.
         transport.close()
@@ -220,6 +235,14 @@ class GatewayFleet:
         names = [spec.name for spec in specs]
         if len(set(names)) != len(names):
             raise FleetError(f"duplicate worker names: {names}")
+        if mode == "loopback":
+            crashers = [spec.name for spec in specs
+                        if spec.crash_after_syncs is not None]
+            if crashers:
+                raise FleetError(
+                    "crash_after_syncs needs a forked worker process to kill "
+                    "(os._exit on a loopback thread would take down the "
+                    f"coordinator): use mode='multiprocess' for {crashers}")
         self.specs = list(specs)
         self.mode = mode
         self.wire_codec = wire_codec

@@ -160,6 +160,15 @@ class MultiprocessTransport(Transport):
     Each envelope is ``codec.encode(envelope.to_dict())`` behind a 4-byte
     big-endian length prefix.  The codec defaults to ``canonical-json``;
     the deterministic ``binary`` codec plugs in behind the same API.
+
+    .. warning:: a receive timeout **poisons the transport**.  Frames are
+       read through a buffered ``makefile`` reader; a timeout that fires
+       mid-frame leaves partially-consumed bytes in the buffer, permanently
+       desyncing the stream.  That is why the timeout surfaces as a fatal
+       :class:`FleetProtocolError` rather than a retryable "nothing yet":
+       after one, the peer is presumed broken and the transport must be
+       abandoned (the fleet coordinator treats it as a worker crash), never
+       ``receive``\\ d from again.
     """
 
     def __init__(self, name: str, sock: socket.socket,
@@ -196,8 +205,12 @@ class MultiprocessTransport(Transport):
         try:
             frame = read_frame(self._reader)
         except socket.timeout:
+            # Mid-frame bytes may be stranded in the buffered reader: the
+            # stream is desynced for good (see the class docstring), so this
+            # is deliberately fatal, not a retry hint.
             raise FleetProtocolError(
-                f"socket receive on {self.name!r} timed out after {timeout}s"
+                f"socket receive on {self.name!r} timed out after {timeout}s; "
+                "the frame stream is now desynced — abandon this transport"
             ) from None
         except CodecError as exc:
             raise FleetProtocolError(

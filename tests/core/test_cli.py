@@ -67,6 +67,16 @@ class TestCli:
         assert "pump seals (depth/deadline/idle/flush)" in output
         assert "admitted during commit" in output
 
+    def test_gateway_loadtest_fleet_rejects_unsupported_flags(self, capsys):
+        """--processes > 1 must refuse flags the fleet branch would silently
+        drop, instead of running a configuration the user did not ask for."""
+        assert main(["gateway-loadtest", "--processes", "2", "--tenants", "4",
+                     "--duration", "2", "--replicas", "2",
+                     "--latency-target", "0.5"]) == 2
+        err = capsys.readouterr().err
+        assert "--replicas" in err and "--latency-target" in err
+        assert "not supported with --processes" in err
+
     def test_gateway_loadtest_rejects_unknown_transport(self):
         from repro.cli import run_gateway_loadtest
 

@@ -63,6 +63,14 @@ class TestFleetValidation:
         with pytest.raises(FleetError, match="on_crash"):
             GatewayFleet([WorkerSpec("w", tenants=1)], on_crash="shrug")
 
+    def test_loopback_rejects_crash_specs(self):
+        """A crash spec on a loopback thread would os._exit the coordinator
+        itself (and leak the ResponseJournal.sync patch into every
+        in-process worker), so the fleet must refuse it up front."""
+        spec = WorkerSpec("w", tenants=1, crash_after_syncs=1)
+        with pytest.raises(FleetError, match="crash_after_syncs"):
+            GatewayFleet([spec], mode="loopback")
+
 
 class TestLoopbackParity:
     def test_one_worker_loopback_matches_direct_run(self):
